@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Splices measured result tables from results/*.md into EXPERIMENTS.md.
+
+Each `<!-- measured:NAME -->` marker is replaced by the contents of
+results/NAME.md (markers are kept so the script is idempotent)."""
+import pathlib
+import re
+
+root = pathlib.Path(__file__).parent
+doc = (root / "EXPERIMENTS.md").read_text()
+
+def splice(m):
+    name = m.group(1)
+    f = root / "results" / f"{name}.md"
+    body = f.read_text().strip() if f.exists() else "*(not yet generated)*"
+    return f"<!-- measured:{name} -->\n\n{body}\n\n<!-- /measured:{name} -->"
+
+# remove previous splices, then re-splice
+doc = re.sub(r"<!-- measured:(\w+) -->.*?<!-- /measured:\1 -->", lambda m: f"<!-- measured:{m.group(1)} -->", doc, flags=re.S)
+doc = re.sub(r"<!-- measured:(\w+) -->", splice, doc)
+(root / "EXPERIMENTS.md").write_text(doc)
+print("EXPERIMENTS.md assembled")

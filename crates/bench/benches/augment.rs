@@ -1,0 +1,35 @@
+//! Augmentation pipeline throughput: per-op and full two-view cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cq_data::{AugmentConfig, AugmentPipeline, Dataset, DatasetConfig, TwoViewLoader};
+use cq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_augment(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let img = Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng);
+    let pipe = AugmentPipeline::new(AugmentConfig::simclr());
+    c.bench_function("augment_single_16", |b| {
+        let mut r = StdRng::seed_from_u64(1);
+        b.iter(|| pipe.apply(black_box(&img), &mut r))
+    });
+    c.bench_function("two_views_16", |b| {
+        let mut r = StdRng::seed_from_u64(2);
+        b.iter(|| pipe.two_views(black_box(&img), &mut r))
+    });
+
+    let (train, _) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(128, 16));
+    c.bench_function("two_view_batch_128", |b| {
+        let mut loader = TwoViewLoader::new(pipe, 128, 3);
+        let idxs: Vec<usize> = (0..128).collect();
+        b.iter(|| loader.make_batch(black_box(&train), &idxs))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_augment
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! NT-Xent loss scaling in batch size (the 2N×2N similarity matrix is the
+//! quadratic term of SimCLR's step cost).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_core::{byol_regression, nt_xent};
+use cq_tensor::Tensor;
+use rand::SeedableRng;
+
+fn bench_losses(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut g = c.benchmark_group("nt_xent");
+    for n in [32usize, 64, 128, 256] {
+        let a = Tensor::randn(&[n, 32], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[n, 32], 0.0, 1.0, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| nt_xent(black_box(&a), black_box(&b), 0.5).unwrap())
+        });
+    }
+    g.finish();
+
+    let p = Tensor::randn(&[128, 32], 0.0, 1.0, &mut rng);
+    let t = Tensor::randn(&[128, 32], 0.0, 1.0, &mut rng);
+    c.bench_function("byol_regression_128", |b| {
+        b.iter(|| byol_regression(black_box(&p), black_box(&t)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_losses
+}
+criterion_main!(benches);

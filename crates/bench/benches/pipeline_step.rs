@@ -1,0 +1,40 @@
+//! Per-step cost of each Contrastive Quant pipeline variant — quantifying
+//! the compute overhead of the method itself (CQ-A ≈ baseline; CQ-B/CQ-C
+//! roughly double the forwards per step).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_core::{Pipeline, PretrainConfig, SimclrTrainer};
+use cq_data::{AugmentConfig, AugmentPipeline, Dataset, DatasetConfig, TwoViewLoader};
+use cq_models::{Arch, Encoder, EncoderConfig};
+use cq_quant::PrecisionSet;
+
+fn bench_steps(c: &mut Criterion) {
+    let (train, _) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(64, 16));
+    let mut loader = TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), 32, 0);
+    let idxs: Vec<usize> = (0..32).collect();
+    let batch = loader.make_batch(&train, &idxs);
+
+    let mut g = c.benchmark_group("simclr_step_r18w4_b32");
+    g.sample_size(10);
+    for pipeline in [Pipeline::Baseline, Pipeline::CqA, Pipeline::CqB, Pipeline::CqC, Pipeline::CqQuant] {
+        let enc = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 4).with_proj(32, 16), 0).unwrap();
+        let cfg = PretrainConfig {
+            pipeline,
+            precision_set: pipeline.needs_precisions().then(|| PrecisionSet::range(6, 16).unwrap()),
+            batch_size: 32,
+            ..Default::default()
+        };
+        let mut trainer = SimclrTrainer::new(enc, cfg).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(pipeline.name()), &pipeline, |b, _| {
+            b.iter(|| trainer.step(black_box(&batch), 0.01).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_steps
+}
+criterion_main!(benches);

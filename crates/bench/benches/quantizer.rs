@@ -1,0 +1,32 @@
+//! Throughput of the Eq. 10 linear quantizer across bit-widths and
+//! rounding modes — the per-forward overhead Contrastive Quant adds.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_quant::{fake_quant, Precision, QuantMode};
+use cq_tensor::Tensor;
+use rand::SeedableRng;
+
+fn bench_quantizer(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let t = Tensor::randn(&[64 * 1024], 0.0, 1.0, &mut rng);
+    let mut g = c.benchmark_group("fake_quant_64k");
+    for bits in [4u8, 8, 12, 16] {
+        g.bench_with_input(BenchmarkId::new("round", bits), &bits, |b, &bits| {
+            b.iter(|| fake_quant(black_box(&t), Precision::Bits(bits), QuantMode::Round))
+        });
+    }
+    g.bench_function("floor_8", |b| {
+        b.iter(|| fake_quant(black_box(&t), Precision::Bits(8), QuantMode::Floor))
+    });
+    g.bench_function("fp_noop", |b| {
+        b.iter(|| fake_quant(black_box(&t), Precision::Fp, QuantMode::Round))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_quantizer
+}
+criterion_main!(benches);

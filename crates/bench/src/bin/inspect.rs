@@ -1,0 +1,46 @@
+//! Checkpoint inspector: prints the architecture, parameter inventory and
+//! feature statistics of a saved encoder (`.cqen` file).
+//!
+//! ```text
+//! cargo run --release -p cq-bench --bin inspect -- target/cq-cache/<tag>.cqen
+//! ```
+
+use cq_models::Encoder;
+use cq_nn::ForwardCtx;
+use cq_tensor::Tensor;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: inspect <checkpoint.cqen>");
+        std::process::exit(2);
+    });
+    let f = std::fs::File::open(&path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut enc = Encoder::load(std::io::BufReader::new(f)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("checkpoint : {path}");
+    println!("encoder    : {enc:?}");
+    println!("parameters : {} tensors, {} scalars", enc.params().len(), enc.num_params());
+    let mut total = 0usize;
+    for (_, name, t) in enc.params().iter() {
+        total += t.len();
+        println!("  {:<28} {:>10?} | {:>8} | rms {:.4}", name, t.dims(), t.len(),
+                 (t.sq_norm() / t.len().max(1) as f32).sqrt());
+    }
+    println!("total scalars: {total}");
+    // probe with a deterministic input
+    let x = Tensor::full(&[2, 3, 16, 16], 0.5);
+    match enc.forward(&x, &ForwardCtx::eval()) {
+        Ok(out) => println!(
+            "probe forward ok: features {:?} (norm {:.3}), projection {:?}",
+            out.features.dims(),
+            out.features.norm(),
+            out.projection.dims()
+        ),
+        Err(e) => println!("probe forward failed (input size may differ): {e}"),
+    }
+}

@@ -1,0 +1,33 @@
+//! Calibration pilot: time one pretrain+eval cycle and check effect
+//! direction (baseline vs CQ-A vs CQ-C) on a small slice.
+
+use cq_bench::*;
+use cq_core::Pipeline;
+use cq_models::Arch;
+use cq_quant::PrecisionSet;
+use std::time::Instant;
+
+fn main() {
+    let mut proto = Protocol::new(Regime::CifarLike, Scale::Quick);
+    proto.data = proto.data.with_sizes(512, 256);
+    proto.pretrain_epochs = 8;
+    proto.ft_epochs = 8;
+    let (train, test) = proto.datasets();
+    for (name, pipeline, pset) in [
+        ("SimCLR", Pipeline::Baseline, None),
+        ("CQ-A", Pipeline::CqA, Some(PrecisionSet::range(6, 16).unwrap())),
+        ("CQ-C", Pipeline::CqC, Some(PrecisionSet::range(6, 16).unwrap())),
+    ] {
+        let t0 = Instant::now();
+        let (mut enc, expl) = pretrain_simclr(Arch::ResNet18, pipeline, pset, &proto, &train).unwrap();
+        let t_pre = t0.elapsed().as_secs_f32();
+        let t1 = Instant::now();
+        let grid = finetune_grid(&enc, &train, &test, &proto).unwrap();
+        let t_ft = t1.elapsed().as_secs_f32();
+        let lin = linear_probe(&mut enc, &train, &test, &proto).unwrap();
+        println!(
+            "{name}: pretrain {t_pre:.1}s (expl {expl:.2}), ft-grid {t_ft:.1}s | fp10 {:.1} fp1 {:.1} q10 {:.1} q1 {:.1} | linear {lin:.1}",
+            grid.fp10, grid.fp1, grid.q10, grid.q1
+        );
+    }
+}

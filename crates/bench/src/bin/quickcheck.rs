@@ -1,0 +1,77 @@
+//! Harness smoke check: runs a miniature version of every experiment path
+//! (all tables + figure) in about a minute, asserting sanity rather than
+//! accuracy. Use it to validate a build before launching the real suite.
+//!
+//! ```text
+//! cargo run --release -p cq-bench --bin quickcheck
+//! ```
+
+use cq_bench::{finetune_grid, linear_probe, pretrain_byol, pretrain_simclr, Protocol, Regime, Scale};
+use cq_core::{extract_features, Pipeline};
+use cq_detect::{train_detector, DetDataset, DetectionConfig, DetectorConfig};
+use cq_eval::{knn_accuracy, separability_ratio, tsne, TsneConfig};
+use cq_models::Arch;
+use cq_quant::PrecisionSet;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let mut proto = Protocol::new(Regime::CifarLike, Scale::Quick);
+    proto.data = proto.data.with_sizes(96, 48);
+    proto.pretrain_epochs = 1;
+    proto.ft_epochs = 2;
+    proto.linear_epochs = 5;
+    proto.batch_size = 32;
+    let (train, test) = proto.datasets();
+    let pset = PrecisionSet::range(6, 16).expect("valid");
+    let mut failures = 0usize;
+    let mut check = |name: &str, ok: bool| {
+        println!("{} {name}", if ok { "ok  " } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // T1/T4/T7-style: every SimCLR pipeline pretrains + fine-tunes.
+    for pipeline in Pipeline::all() {
+        let pset_arg = pipeline.needs_precisions().then(|| pset.clone());
+        let res = pretrain_simclr(Arch::ResNet18, pipeline, pset_arg, &proto, &train)
+            .and_then(|(enc, _)| finetune_grid(&enc, &train, &test, &proto));
+        check(&format!("simclr pipeline {pipeline}"), res.map(|g| g.fp10.is_finite()).unwrap_or(false));
+    }
+    // extensions
+    for pipeline in Pipeline::extensions() {
+        let res = pretrain_simclr(Arch::ResNet18, pipeline, None, &proto, &train);
+        check(&format!("extension {pipeline}"), res.is_ok());
+    }
+
+    // T2/T5-style linear eval.
+    {
+        let (mut enc, _) =
+            pretrain_simclr(Arch::ResNet18, Pipeline::Baseline, None, &proto, &train).expect("pretrain");
+        let lin = linear_probe(&mut enc, &train, &test, &proto);
+        check("linear evaluation", lin.map(|a| (0.0..=100.0).contains(&a)).unwrap_or(false));
+
+        // T3-style detection transfer.
+        let (dtr, dte) = DetDataset::generate(&DetectionConfig::default().with_sizes(24, 8));
+        let det = train_detector(&enc, &dtr, &dte, &DetectorConfig { epochs: 1, batch_size: 8, ..Default::default() });
+        check("detection transfer", det.map(|m| m.ap.is_finite()).unwrap_or(false));
+
+        // F2-style embedding.
+        let (feats, labels) = extract_features(&mut enc, &test, 32).expect("features");
+        let emb = tsne(&feats, &TsneConfig { iterations: 50, ..Default::default() });
+        check("t-SNE + metrics", emb.is_finite() && knn_accuracy(&emb, &labels, 3) >= 0.0
+            && separability_ratio(&feats, &labels) >= 0.0);
+    }
+
+    // T6-style BYOL.
+    {
+        let res = pretrain_byol(Arch::ResNet18, Pipeline::CqC, Some(pset), &proto, &train);
+        check("byol cq-c", res.is_ok());
+    }
+
+    println!("quickcheck finished in {:.1}s, {failures} failures", t0.elapsed().as_secs_f32());
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

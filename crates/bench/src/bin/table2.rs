@@ -1,0 +1,40 @@
+//! Table 2: linear evaluation on the ImageNet-like config, ResNet-18/34
+//! (reuses the cached Table 1 encoders).
+
+use cq_bench::{fmt_acc, linear_probe, pretrain_simclr_cached, Protocol, Regime, Scale};
+use cq_core::Pipeline;
+use cq_eval::Table;
+use cq_models::Arch;
+use cq_quant::PrecisionSet;
+
+fn main() {
+    let scale = Scale::from_args();
+    let proto = Protocol::new(Regime::ImagenetLike, scale);
+    let (train, test) = proto.datasets();
+    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+
+    let mut table = Table::new(
+        "Table 2: Linear evaluation (ImageNet-like)",
+        &["Network", "SimCLR", "CQ-C", "CQ-A"],
+    );
+    for arch in [Arch::ResNet18, Arch::ResNet34] {
+        let arch_tag = if arch == Arch::ResNet18 { "r18" } else { "r34" };
+        let mut cells = vec![arch.name().to_string()];
+        let methods: [(&str, Pipeline, Option<PrecisionSet>); 3] = [
+            ("simclr", Pipeline::Baseline, None),
+            ("cq-c", Pipeline::CqC, Some(PrecisionSet::range(8, 16).expect("valid"))),
+            ("cq-a", Pipeline::CqA, Some(PrecisionSet::range(6, 16).expect("valid"))),
+        ];
+        for (name, pipeline, pset) in methods {
+            let tag = format!("in-{arch_tag}-{name}-{scale_tag}");
+            let (mut enc, _) = pretrain_simclr_cached(&tag, arch, pipeline, pset, &proto, &train)
+                .expect("pretraining failed");
+            let acc = linear_probe(&mut enc, &train, &test, &proto).expect("linear eval failed");
+            cells.push(fmt_acc(acc));
+            eprintln!("  {arch} {name}: linear done");
+        }
+        table.row_owned(cells);
+    }
+    table.print();
+    let _ = table.write_csv(std::path::Path::new("table2.csv"));
+}

@@ -1,0 +1,54 @@
+//! Table 4: CQ-C (precision set 6-16) vs SimCLR on the CIFAR-like config
+//! across all six networks, fine-tuning with 10%/1% labels at FP/4-bit.
+
+use cq_bench::{finetune_grid, fmt_acc, pretrain_simclr_cached, Protocol, Regime, Scale};
+use cq_core::Pipeline;
+use cq_eval::Table;
+use cq_models::Arch;
+use cq_quant::PrecisionSet;
+
+/// Short cache tag for an architecture.
+fn arch_tag(arch: Arch) -> &'static str {
+    match arch {
+        Arch::ResNet18 => "r18",
+        Arch::ResNet34 => "r34",
+        Arch::ResNet74 => "r74",
+        Arch::ResNet110 => "r110",
+        Arch::ResNet152 => "r152",
+        Arch::MobileNetV2 => "mnv2",
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let proto = Protocol::new(Regime::CifarLike, scale);
+    let (train, test) = proto.datasets();
+    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+
+    let mut table = Table::new(
+        "Table 4: CQ-C vs SimCLR on six networks (CIFAR-like, fine-tuning)",
+        &["Network", "Method", "FP 10%", "FP 1%", "4-bit 10%", "4-bit 1%"],
+    );
+    for arch in Arch::all() {
+        for (name, pipeline, pset) in [
+            ("SimCLR", Pipeline::Baseline, None),
+            ("CQ-C", Pipeline::CqC, Some(PrecisionSet::range(6, 16).expect("valid"))),
+        ] {
+            let tag = format!("ci-{}-{}-{scale_tag}", arch_tag(arch), name.to_lowercase());
+            let (enc, _) = pretrain_simclr_cached(&tag, arch, pipeline, pset, &proto, &train)
+                .expect("pretraining failed");
+            let grid = finetune_grid(&enc, &train, &test, &proto).expect("fine-tuning failed");
+            table.row_owned(vec![
+                arch.name().into(),
+                name.into(),
+                fmt_acc(grid.fp10),
+                fmt_acc(grid.fp1),
+                fmt_acc(grid.q10),
+                fmt_acc(grid.q1),
+            ]);
+            eprintln!("  {arch} {name}: done");
+        }
+    }
+    table.print();
+    let _ = table.write_csv(std::path::Path::new("table4.csv"));
+}

@@ -1,0 +1,389 @@
+//! # cq-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper
+//! (see DESIGN.md §4 for the experiment index). The binaries in
+//! `src/bin/` print paper-style markdown tables; the criterion benches in
+//! `benches/` measure component throughput.
+//!
+//! ## Scale
+//!
+//! Every binary accepts `--scale quick|paper` (or the `CQ_SCALE` env
+//! var). `quick` — the default — targets minutes per table on a laptop;
+//! `paper` runs longer for tighter numbers. Both run the *same* protocol,
+//! only sizes change, and all methods within a table always share sizes,
+//! seeds and data so comparisons stay fair.
+
+#![deny(missing_docs)]
+
+use cq_core::{ByolTrainer, Pipeline, PretrainConfig, SimclrTrainer};
+use cq_data::{Dataset, DatasetConfig};
+use cq_eval::{finetune, linear_eval, FinetuneConfig, LinearEvalConfig};
+use cq_models::{Arch, Encoder, EncoderConfig};
+use cq_nn::NnError;
+use cq_quant::{Precision, PrecisionSet};
+
+/// Run scale: quick (CI/laptop) or paper (longer, tighter numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes per table.
+    Quick,
+    /// Tens of minutes per table.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale` from argv, falling back to the `CQ_SCALE` env var
+    /// and then to `Quick`.
+    pub fn from_args() -> Scale {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--scale" {
+                if let Some(v) = args.next() {
+                    return Scale::parse(&v);
+                }
+            } else if let Some(v) = a.strip_prefix("--scale=") {
+                return Scale::parse(v);
+            }
+        }
+        match std::env::var("CQ_SCALE") {
+            Ok(v) => Scale::parse(&v),
+            Err(_) => Scale::Quick,
+        }
+    }
+
+    fn parse(v: &str) -> Scale {
+        match v.to_ascii_lowercase().as_str() {
+            "paper" | "full" => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+}
+
+/// The two dataset regimes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// CIFAR-100 stand-in: small, low-diversity.
+    CifarLike,
+    /// ImageNet stand-in: larger, higher-diversity.
+    ImagenetLike,
+}
+
+/// All sizes of one experiment protocol (shared across methods so
+/// comparisons are fair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Protocol {
+    /// Dataset configuration.
+    pub data: DatasetConfig,
+    /// Backbone width.
+    pub width: usize,
+    /// Projection head (hidden, out).
+    pub proj: (usize, usize),
+    /// SSL pre-training epochs.
+    pub pretrain_epochs: usize,
+    /// SSL batch size.
+    pub batch_size: usize,
+    /// SSL learning rate.
+    pub pretrain_lr: f32,
+    /// Fine-tuning epochs.
+    pub ft_epochs: usize,
+    /// Linear-eval epochs.
+    pub linear_epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Protocol {
+    /// Standard protocol for a regime at a scale.
+    pub fn new(regime: Regime, scale: Scale) -> Protocol {
+        let (data, width) = match regime {
+            Regime::CifarLike => (DatasetConfig::cifarlike(), 8),
+            Regime::ImagenetLike => (DatasetConfig::imagenetlike(), 8),
+        };
+        let (data, pretrain_epochs, ft_epochs, linear_epochs) = match scale {
+            Scale::Quick => {
+                let (tr, te) = match regime {
+                    Regime::CifarLike => (512, 192),
+                    Regime::ImagenetLike => (640, 192),
+                };
+                (data.with_sizes(tr, te), 8, 8, 25)
+            }
+            Scale::Paper => {
+                let (tr, te) = match regime {
+                    Regime::CifarLike => (2048, 512),
+                    Regime::ImagenetLike => (4096, 1024),
+                };
+                (data.with_sizes(tr, te), 40, 30, 60)
+            }
+        };
+        Protocol {
+            data,
+            width,
+            proj: (64, 32),
+            pretrain_epochs,
+            batch_size: 128,
+            pretrain_lr: 0.2,
+            ft_epochs,
+            linear_epochs,
+            seed: 0xC0DE,
+        }
+    }
+
+    /// Generates the train/test splits for this protocol.
+    pub fn datasets(&self) -> (Dataset, Dataset) {
+        Dataset::generate(&self.data)
+    }
+
+    /// Backbone width for an architecture: the deep 3-stage CIFAR ResNets
+    /// (74/110/152) run at half width so the single-core experiment budget
+    /// stays sane; comparisons are always within an architecture row, so
+    /// this does not affect any method-vs-method conclusion.
+    pub fn width_for(&self, arch: Arch) -> usize {
+        match arch {
+            Arch::ResNet74 | Arch::ResNet110 | Arch::ResNet152 => (self.width / 2).max(2),
+            _ => self.width,
+        }
+    }
+
+    /// Encoder configuration for a SimCLR run.
+    pub fn encoder_cfg(&self, arch: Arch) -> EncoderConfig {
+        EncoderConfig::new(arch, self.width_for(arch)).with_proj(self.proj.0, self.proj.1)
+    }
+
+    /// Encoder configuration for a BYOL run.
+    pub fn byol_encoder_cfg(&self, arch: Arch) -> EncoderConfig {
+        EncoderConfig::new(arch, self.width_for(arch)).with_byol_proj(self.proj.0, self.proj.1)
+    }
+
+    /// Pre-training configuration for a pipeline.
+    pub fn pretrain_cfg(&self, pipeline: Pipeline, pset: Option<PrecisionSet>) -> PretrainConfig {
+        PretrainConfig {
+            pipeline,
+            precision_set: pset,
+            epochs: self.pretrain_epochs,
+            batch_size: self.batch_size,
+            lr: self.pretrain_lr,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            temperature: 0.5,
+            ema_tau: 0.99,
+            explosion_threshold: 1e4,
+            quant_mode: cq_quant::QuantMode::Round,
+            sampling: cq_core::PrecisionSampling::Uniform,
+            noise_std: 0.05,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Pre-trains an encoder with SimCLR + the given pipeline; returns the
+/// encoder and the explosion rate (diagnostics for CQ-B).
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn pretrain_simclr(
+    arch: Arch,
+    pipeline: Pipeline,
+    pset: Option<PrecisionSet>,
+    proto: &Protocol,
+    train: &Dataset,
+) -> Result<(Encoder, f32), NnError> {
+    let enc = Encoder::new(&proto.encoder_cfg(arch), proto.seed)?;
+    let mut trainer = SimclrTrainer::new(enc, proto.pretrain_cfg(pipeline, pset))?;
+    trainer.train(train)?;
+    let explosion = trainer.history().explosion_rate();
+    Ok((trainer.into_encoder(), explosion))
+}
+
+/// Pre-trains an encoder with BYOL + the given pipeline.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn pretrain_byol(
+    arch: Arch,
+    pipeline: Pipeline,
+    pset: Option<PrecisionSet>,
+    proto: &Protocol,
+    train: &Dataset,
+) -> Result<(Encoder, f32), NnError> {
+    let enc = Encoder::new(&proto.byol_encoder_cfg(arch), proto.seed)?;
+    let mut trainer = ByolTrainer::new(enc, proto.pretrain_cfg(pipeline, pset))?;
+    trainer.train(train)?;
+    let explosion = trainer.history().explosion_rate();
+    Ok((trainer.into_encoder(), explosion))
+}
+
+/// The fine-tuning accuracy grid of the paper's tables:
+/// (FP 10%, FP 1%, 4-bit 10%, 4-bit 1%).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtGrid {
+    /// Full-precision fine-tuning, 10% labels.
+    pub fp10: f32,
+    /// Full-precision fine-tuning, 1% labels.
+    pub fp1: f32,
+    /// 4-bit fine-tuning, 10% labels.
+    pub q10: f32,
+    /// 4-bit fine-tuning, 1% labels.
+    pub q1: f32,
+}
+
+/// Runs the paper's 2×2 fine-tuning grid on a pretrained encoder.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn finetune_grid(
+    encoder: &Encoder,
+    train: &Dataset,
+    test: &Dataset,
+    proto: &Protocol,
+) -> Result<FtGrid, NnError> {
+    let run = |precision: Precision, fraction: f32| -> Result<f32, NnError> {
+        let cfg = FinetuneConfig {
+            label_fraction: fraction,
+            precision,
+            epochs: proto.ft_epochs,
+            batch_size: 64,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: proto.seed ^ 0xF1,
+        };
+        Ok(finetune(encoder, train, test, &cfg)?.test_acc)
+    };
+    Ok(FtGrid {
+        fp10: run(Precision::Fp, 0.1)?,
+        fp1: run(Precision::Fp, 0.01)?,
+        q10: run(Precision::Bits(4), 0.1)?,
+        q1: run(Precision::Bits(4), 0.01)?,
+    })
+}
+
+/// Linear evaluation with the protocol's settings.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn linear_probe(
+    encoder: &mut Encoder,
+    train: &Dataset,
+    test: &Dataset,
+    proto: &Protocol,
+) -> Result<f32, NnError> {
+    linear_eval(
+        encoder,
+        train,
+        test,
+        &LinearEvalConfig {
+            epochs: proto.linear_epochs,
+            batch_size: 64,
+            lr: 0.1,
+            momentum: 0.9,
+            seed: proto.seed ^ 0x1E,
+        },
+    )
+}
+
+/// Formats an accuracy cell.
+pub fn fmt_acc(v: f32) -> String {
+    format!("{v:.2}")
+}
+
+/// Directory for cached pretrained encoders (`CQ_CACHE_DIR` env var, or
+/// `target/cq-cache`). Several tables share the same pretrained encoders
+/// (T1/T2/T3/F2); caching avoids recomputing them per binary.
+pub fn cache_dir() -> std::path::PathBuf {
+    let dir = std::env::var("CQ_CACHE_DIR").unwrap_or_else(|_| "target/cq-cache".into());
+    let p = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&p);
+    p
+}
+
+/// Pre-trains with SimCLR + pipeline, cached on disk under `tag`.
+/// Returns the encoder and the explosion rate (0 when loaded from cache —
+/// the rate is only meaningful on the run that trained).
+///
+/// # Errors
+///
+/// Propagates training/serialisation errors.
+pub fn pretrain_simclr_cached(
+    tag: &str,
+    arch: Arch,
+    pipeline: Pipeline,
+    pset: Option<PrecisionSet>,
+    proto: &Protocol,
+    train: &Dataset,
+) -> Result<(Encoder, f32), NnError> {
+    let path = cache_dir().join(format!("{tag}.cqen"));
+    if let Ok(f) = std::fs::File::open(&path) {
+        if let Ok(enc) = Encoder::load(std::io::BufReader::new(f)) {
+            eprintln!("  [cache] loaded {tag}");
+            return Ok((enc, 0.0));
+        }
+    }
+    eprintln!("  [train] {tag}");
+    let (enc, expl) = pretrain_simclr(arch, pipeline, pset, proto, train)?;
+    let f = std::fs::File::create(&path)?;
+    enc.save(std::io::BufWriter::new(f))?;
+    Ok((enc, expl))
+}
+
+/// BYOL variant of [`pretrain_simclr_cached`].
+///
+/// # Errors
+///
+/// Propagates training/serialisation errors.
+pub fn pretrain_byol_cached(
+    tag: &str,
+    arch: Arch,
+    pipeline: Pipeline,
+    pset: Option<PrecisionSet>,
+    proto: &Protocol,
+    train: &Dataset,
+) -> Result<(Encoder, f32), NnError> {
+    let path = cache_dir().join(format!("{tag}.cqen"));
+    if let Ok(f) = std::fs::File::open(&path) {
+        if let Ok(enc) = Encoder::load(std::io::BufReader::new(f)) {
+            eprintln!("  [cache] loaded {tag}");
+            return Ok((enc, 0.0));
+        }
+    }
+    eprintln!("  [train] {tag}");
+    let (enc, expl) = pretrain_byol(arch, pipeline, pset, proto, train)?;
+    let f = std::fs::File::create(&path)?;
+    enc.save(std::io::BufWriter::new(f))?;
+    Ok((enc, expl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("paper"), Scale::Paper);
+        assert_eq!(Scale::parse("full"), Scale::Paper);
+        assert_eq!(Scale::parse("quick"), Scale::Quick);
+        assert_eq!(Scale::parse("garbage"), Scale::Quick);
+    }
+
+    #[test]
+    fn protocols_share_sizes_across_methods() {
+        let p = Protocol::new(Regime::CifarLike, Scale::Quick);
+        let a = p.pretrain_cfg(Pipeline::Baseline, None);
+        let b = p.pretrain_cfg(Pipeline::CqC, Some(PrecisionSet::range(6, 16).unwrap()));
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.batch_size, b.batch_size);
+        assert_eq!(a.lr, b.lr);
+        assert_eq!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn imagenetlike_protocol_is_larger() {
+        let c = Protocol::new(Regime::CifarLike, Scale::Quick);
+        let i = Protocol::new(Regime::ImagenetLike, Scale::Quick);
+        assert!(i.data.train_size >= c.data.train_size);
+        assert!(i.data.num_classes > c.data.num_classes);
+    }
+}

@@ -1,0 +1,310 @@
+//! BYOL trainer (online/target networks) with Contrastive Quant support.
+//!
+//! Per §3.4 of the paper, adapting Contrastive Quant to BYOL means:
+//! (1) the NCE loss becomes BYOL's normalized-MSE regression loss;
+//! (2) a projection head *and* prediction head follow the encoder;
+//! (3) gradients are stopped along the target network, and both views pass
+//! through online and target networks alternately (the symmetric loss).
+//!
+//! CQ-C on BYOL adds, on top of the per-precision view-consistency terms,
+//! cross-precision consistency between the online projections of the same
+//! view under `q1` vs `q2` (the direct analogue of Eq. 9's
+//! `NCE(f1, f2) + NCE(f1⁺, f2⁺)` terms); each cross term is applied
+//! symmetrically with a stop-gradient on the opposite branch.
+
+use cq_data::{AugmentConfig, AugmentPipeline, Dataset, TwoViewBatch, TwoViewLoader};
+use cq_models::{mlp_head, Encoder, HeadConfig};
+use cq_nn::{CosineSchedule, ForwardCtx, Layer, NnError, Sequential, Sgd, SgdConfig};
+use cq_quant::{Precision, QuantConfig};
+use cq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{byol_regression, Pipeline, PretrainConfig, TrainHistory};
+
+/// BYOL self-supervised pre-training, hosting the [`Pipeline::Baseline`]
+/// and [`Pipeline::CqC`] variants evaluated in Table 6 of the paper.
+pub struct ByolTrainer {
+    online: Encoder,
+    predictor: Sequential,
+    /// Parameter count of the online encoder before the predictor was
+    /// registered; used to strip the predictor in `into_encoder`.
+    encoder_params: usize,
+    target: Encoder,
+    cfg: PretrainConfig,
+    opt: Sgd,
+    loader: TwoViewLoader,
+    rng: StdRng,
+    history: TrainHistory,
+    steps_taken: usize,
+}
+
+impl std::fmt::Debug for ByolTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ByolTrainer(pipeline={}, steps={})", self.cfg.pipeline, self.steps_taken)
+    }
+}
+
+impl ByolTrainer {
+    /// Creates a BYOL trainer around `online` (which should be built with
+    /// a BYOL-style projection head). A prediction head of the same shape
+    /// as the projector is registered into the online parameter set; the
+    /// target network starts as an exact copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Param`] for inconsistent configs or unsupported
+    /// pipelines (BYOL hosts `Baseline` and `CqC`, the variants in the
+    /// paper's Table 6).
+    pub fn new(mut online: Encoder, cfg: PretrainConfig) -> Result<Self, NnError> {
+        cfg.validate().map_err(NnError::Param)?;
+        if !matches!(cfg.pipeline, Pipeline::Baseline | Pipeline::CqC) {
+            return Err(NnError::Param(format!(
+                "BYOL hosts Baseline and CQ-C (paper Tab. 6); got {}",
+                cfg.pipeline
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1234);
+        // Duplicate into the target BEFORE registering the predictor: the
+        // target network has no prediction head.
+        let target = online.duplicate()?;
+        let encoder_params = online.params().len();
+        let pd = online.proj_dim();
+        let predictor = mlp_head(
+            &HeadConfig::byol(pd, pd * 2, pd),
+            "pred",
+            online.params_mut(),
+            &mut rng,
+        );
+        let opt = Sgd::new(
+            online.params(),
+            SgdConfig {
+                lr: cfg.lr,
+                momentum: cfg.momentum,
+                weight_decay: cfg.weight_decay,
+                nesterov: false,
+            },
+        );
+        let loader =
+            TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), cfg.batch_size, cfg.seed ^ 0xB0B0);
+        let sample_rng = StdRng::seed_from_u64(cfg.seed);
+        Ok(ByolTrainer {
+            online,
+            predictor,
+            encoder_params,
+            target,
+            cfg,
+            opt,
+            loader,
+            rng: sample_rng,
+            history: TrainHistory::default(),
+            steps_taken: 0,
+        })
+    }
+
+    /// The online encoder (the one that is kept after pre-training).
+    pub fn online(&self) -> &Encoder {
+        &self.online
+    }
+
+    /// Mutable online encoder access.
+    pub fn online_mut(&mut self) -> &mut Encoder {
+        &mut self.online
+    }
+
+    /// Consumes the trainer, returning the trained online encoder with
+    /// the prediction head stripped (its parameters were registered after
+    /// the encoder's, so truncation restores architectural alignment for
+    /// `duplicate`/`save`).
+    pub fn into_encoder(self) -> Encoder {
+        let mut online = self.online;
+        online.params_mut().truncate(self.encoder_params);
+        online
+    }
+
+    /// Training diagnostics so far.
+    pub fn history(&self) -> &TrainHistory {
+        &self.history
+    }
+
+    /// Runs `cfg.epochs` of BYOL pre-training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/optimizer errors; exploded steps are skipped and
+    /// counted, not raised.
+    pub fn train(&mut self, dataset: &Dataset) -> Result<(), NnError> {
+        let total = (self.cfg.epochs * self.loader.batches_per_epoch(dataset)).max(1);
+        let sched = CosineSchedule::new(self.cfg.lr, total, total / 20);
+        for _ in 0..self.cfg.epochs {
+            let batches = self.loader.epoch(dataset);
+            let mut losses = Vec::new();
+            let mut norms = Vec::new();
+            for batch in &batches {
+                let lr = sched.lr_at(self.steps_taken);
+                if let Some((loss, norm)) = self.step(batch, lr)? {
+                    losses.push(loss);
+                    norms.push(norm);
+                }
+                self.steps_taken += 1;
+            }
+            let mean = |v: &[f32]| if v.is_empty() { f32::NAN } else { v.iter().sum::<f32>() / v.len() as f32 };
+            self.history.epoch_losses.push(mean(&losses));
+            self.history.epoch_grad_norms.push(mean(&norms));
+        }
+        Ok(())
+    }
+
+    /// One optimizer + EMA step. Returns `None` when skipped (explosion).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/optimizer errors.
+    pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
+        let mut gs = self.online.params().zero_grads();
+        let loss = match self.cfg.pipeline {
+            Pipeline::Baseline => self.branch_loss(batch, None, &mut gs)?,
+            Pipeline::CqC => {
+                let (q1, q2) = self
+                    .cfg
+                    .precision_set
+                    .as_ref()
+                    .expect("validated")
+                    .sample_pair(&mut self.rng);
+                // View-consistency at each precision (Eq. 9 terms 1+2).
+                let mut loss = self.branch_loss(batch, Some(q1), &mut gs)?;
+                loss += self.branch_loss(batch, Some(q2), &mut gs)?;
+                // Cross-precision consistency within each view (terms 3+4).
+                loss += self.cross_precision_loss(&batch.view1, q1, q2, &mut gs)?;
+                loss += self.cross_precision_loss(&batch.view2, q1, q2, &mut gs)?;
+                loss
+            }
+            other => return Err(NnError::Param(format!("unsupported BYOL pipeline {other}"))),
+        };
+        let norm = gs.global_norm();
+        if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
+            self.history.exploded_steps += 1;
+            return Ok(None);
+        }
+        self.opt.step(self.online.params_mut(), &gs, lr)?;
+        self.target.ema_update_from(&self.online, self.cfg.ema_tau)?;
+        self.history.steps += 1;
+        Ok(Some((loss, norm)))
+    }
+
+    /// Symmetric BYOL loss at one precision: both views pass through the
+    /// online network (with predictor) against the target's other view.
+    fn branch_loss(
+        &mut self,
+        batch: &TwoViewBatch,
+        q: Option<Precision>,
+        gs: &mut cq_nn::GradSet,
+    ) -> Result<f32, NnError> {
+        let ctx = match q {
+            Some(p) => {
+                ForwardCtx::train().with_quant(QuantConfig::uniform(p).with_mode(self.cfg.quant_mode))
+            }
+            None => ForwardCtx::train(),
+        };
+        let mut total = 0.0f32;
+        for (va, vb) in [(&batch.view1, &batch.view2), (&batch.view2, &batch.view1)] {
+            let online_out = self.online.forward(va, &ctx)?;
+            let (p, pred_cache) = self.predictor.forward(self.online.params(), &online_out.projection, &ctx)?;
+            // stop-gradient: target forward is never backpropagated
+            let t = self.target.forward(vb, &ctx)?;
+            let pl = byol_regression(&p, &t.projection)?;
+            total += pl.loss;
+            let dz = self.predictor.backward(self.online.params(), &pred_cache, &pl.grad_a, gs)?;
+            self.online.backward_projection(&online_out.trace, &dz, gs)?;
+        }
+        Ok(total)
+    }
+
+    /// Cross-precision consistency on online projections of one view,
+    /// applied symmetrically with a stop-gradient on the opposite branch.
+    fn cross_precision_loss(
+        &mut self,
+        view: &Tensor,
+        q1: Precision,
+        q2: Precision,
+        gs: &mut cq_nn::GradSet,
+    ) -> Result<f32, NnError> {
+        let c1 = ForwardCtx::train().with_quant(QuantConfig::uniform(q1).with_mode(self.cfg.quant_mode));
+        let c2 = ForwardCtx::train().with_quant(QuantConfig::uniform(q2).with_mode(self.cfg.quant_mode));
+        let o1 = self.online.forward(view, &c1)?;
+        let o2 = self.online.forward(view, &c2)?;
+        let l12 = byol_regression(&o1.projection, &o2.projection)?;
+        let l21 = byol_regression(&o2.projection, &o1.projection)?;
+        self.online.backward_projection(&o1.trace, &l12.grad_a, gs)?;
+        self.online.backward_projection(&o2.trace, &l21.grad_a, gs)?;
+        Ok(0.5 * (l12.loss + l21.loss))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_data::DatasetConfig;
+    use cq_models::{Arch, EncoderConfig};
+    use cq_quant::PrecisionSet;
+
+    fn tiny_encoder(seed: u64) -> Encoder {
+        Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8), seed).unwrap()
+    }
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::generate(&DatasetConfig::cifarlike().with_sizes(32, 8)).0
+    }
+
+    fn cfg(pipeline: Pipeline) -> PretrainConfig {
+        PretrainConfig {
+            pipeline,
+            precision_set: pipeline.needs_precisions().then(|| PrecisionSet::range(6, 16).unwrap()),
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.02,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn baseline_byol_trains() {
+        let mut t = ByolTrainer::new(tiny_encoder(1), cfg(Pipeline::Baseline)).unwrap();
+        t.train(&tiny_dataset()).unwrap();
+        assert!(t.history().final_loss().unwrap().is_finite());
+        assert!(t.history().steps > 0);
+    }
+
+    #[test]
+    fn cqc_byol_trains() {
+        let mut t = ByolTrainer::new(tiny_encoder(2), cfg(Pipeline::CqC)).unwrap();
+        t.train(&tiny_dataset()).unwrap();
+        assert!(t.history().final_loss().unwrap().is_finite());
+    }
+
+    #[test]
+    fn unsupported_pipelines_rejected() {
+        for p in [Pipeline::CqA, Pipeline::CqB, Pipeline::CqQuant] {
+            assert!(ByolTrainer::new(tiny_encoder(3), cfg(p)).is_err(), "{p}");
+        }
+    }
+
+    #[test]
+    fn ema_moves_target() {
+        let mut t = ByolTrainer::new(tiny_encoder(4), cfg(Pipeline::Baseline)).unwrap();
+        let before: Vec<f32> = t.target.params().iter().map(|(_, _, p)| p.sum()).collect();
+        t.train(&tiny_dataset()).unwrap();
+        let after: Vec<f32> = t.target.params().iter().map(|(_, _, p)| p.sum()).collect();
+        assert_ne!(before, after, "EMA must move target parameters");
+    }
+
+    #[test]
+    fn byol_loss_decreases() {
+        let mut c = cfg(Pipeline::Baseline);
+        c.epochs = 5;
+        let mut t = ByolTrainer::new(tiny_encoder(5), c).unwrap();
+        t.train(&tiny_dataset()).unwrap();
+        let l = &t.history().epoch_losses;
+        assert!(l.last().unwrap() <= l.first().unwrap(), "{l:?}");
+    }
+}

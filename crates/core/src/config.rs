@@ -1,0 +1,258 @@
+//! Pre-training configuration shared by the SimCLR and BYOL trainers.
+
+use cq_quant::{PrecisionSet, QuantMode};
+
+/// The pipeline designs of Fig. 1 plus the Table 8 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pipeline {
+    /// Vanilla SimCLR/BYOL — no quantization augmentation.
+    Baseline,
+    /// CQ-A: sequential augmentation, `NCE(F_q1(a1), F_q2(a2))` (Eq. 5).
+    CqA,
+    /// CQ-B: same-precision view pairs, `NCE(f1, f1⁺) + NCE(f2, f2⁺)`
+    /// (Eq. 8).
+    CqB,
+    /// CQ-C: CQ-B plus explicit cross-precision consistency (Eq. 9).
+    CqC,
+    /// CQ-Quant: quantization as the *only* augmentation, `NCE(f1, f2)` on
+    /// unaugmented inputs (§4.5).
+    CqQuant,
+    /// Extension (paper §4.2 names this future work): CQ-A's loss
+    /// structure with Gaussian *weight noise* instead of quantization as
+    /// the model-side augmentation.
+    NoiseA,
+    /// Extension: CQ-C's loss structure with Gaussian weight noise
+    /// instead of quantization.
+    NoiseC,
+}
+
+impl Pipeline {
+    /// The paper's own variants, in presentation order.
+    pub fn all() -> [Pipeline; 5] {
+        [Pipeline::Baseline, Pipeline::CqA, Pipeline::CqB, Pipeline::CqC, Pipeline::CqQuant]
+    }
+
+    /// The noise-augmentation extensions (not in the paper's tables).
+    pub fn extensions() -> [Pipeline; 2] {
+        [Pipeline::NoiseA, Pipeline::NoiseC]
+    }
+
+    /// Whether the pipeline needs a precision set.
+    pub fn needs_precisions(&self) -> bool {
+        matches!(self, Pipeline::CqA | Pipeline::CqB | Pipeline::CqC | Pipeline::CqQuant)
+    }
+
+    /// Whether the pipeline perturbs weights with Gaussian noise.
+    pub fn uses_weight_noise(&self) -> bool {
+        matches!(self, Pipeline::NoiseA | Pipeline::NoiseC)
+    }
+
+    /// Encoder forwards per training step.
+    pub fn forwards_per_step(&self) -> usize {
+        match self {
+            Pipeline::Baseline | Pipeline::CqA | Pipeline::CqQuant | Pipeline::NoiseA => 2,
+            Pipeline::CqB | Pipeline::CqC | Pipeline::NoiseC => 4,
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pipeline::Baseline => "Baseline",
+            Pipeline::CqA => "CQ-A",
+            Pipeline::CqB => "CQ-B",
+            Pipeline::CqC => "CQ-C",
+            Pipeline::CqQuant => "CQ-Quant",
+            Pipeline::NoiseA => "Noise-A",
+            Pipeline::NoiseC => "Noise-C",
+        }
+    }
+}
+
+/// How the per-iteration precision pair `(q1, q2)` is drawn from the set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrecisionSampling {
+    /// Two independent uniform draws — the paper's scheme.
+    #[default]
+    Uniform,
+    /// Deterministic cyclic walk (CPT-style, ref 3 of the paper):
+    /// `q1 = set[t mod n]`, `q2 = set[(t + n/2) mod n]` at step `t`.
+    Cyclic,
+}
+
+impl std::fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Hyper-parameters for one SSL pre-training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PretrainConfig {
+    /// Pipeline variant.
+    pub pipeline: Pipeline,
+    /// Precision set sampled each iteration (`None` only for
+    /// [`Pipeline::Baseline`]).
+    pub precision_set: Option<PrecisionSet>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Base learning rate (cosine-decayed).
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Weight decay.
+    pub weight_decay: f32,
+    /// NT-Xent temperature (SimCLR path).
+    pub temperature: f32,
+    /// BYOL target EMA coefficient.
+    pub ema_tau: f32,
+    /// Gradient-norm threshold above which a step counts as exploded;
+    /// exploded steps are skipped and recorded in [`TrainHistory`].
+    pub explosion_threshold: f32,
+    /// Rounding mode of the Eq. 10 quantizer (round-to-nearest by
+    /// default; floor reproduces the paper's literal notation).
+    pub quant_mode: QuantMode,
+    /// Precision-pair sampling scheme.
+    pub sampling: PrecisionSampling,
+    /// Relative weight-noise strength for the Noise-A/Noise-C extensions.
+    pub noise_std: f32,
+    /// Seed for precision sampling and data order.
+    pub seed: u64,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        PretrainConfig {
+            pipeline: Pipeline::Baseline,
+            precision_set: None,
+            epochs: 10,
+            batch_size: 64,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            temperature: 0.5,
+            ema_tau: 0.99,
+            explosion_threshold: 1e4,
+            quant_mode: QuantMode::Round,
+            sampling: PrecisionSampling::Uniform,
+            noise_std: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+impl PretrainConfig {
+    /// Validates pipeline/precision-set consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pipeline.needs_precisions() && self.precision_set.is_none() {
+            return Err(format!("pipeline {} requires a precision set", self.pipeline));
+        }
+        if self.batch_size < 2 {
+            return Err("batch_size must be >= 2 (NT-Xent needs negatives)".into());
+        }
+        if self.temperature <= 0.0 {
+            return Err("temperature must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.ema_tau) {
+            return Err("ema_tau must be in [0, 1]".into());
+        }
+        if self.pipeline.uses_weight_noise() && self.noise_std <= 0.0 {
+            return Err(format!("pipeline {} requires noise_std > 0", self.pipeline));
+        }
+        Ok(())
+    }
+}
+
+/// Per-run training diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct TrainHistory {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Mean gradient norm per epoch.
+    pub epoch_grad_norms: Vec<f32>,
+    /// Number of steps skipped due to explosion/non-finite gradients —
+    /// how we quantify the paper's "CQ-B suffers severe gradient
+    /// explosion" observation.
+    pub exploded_steps: usize,
+    /// Total optimizer steps taken.
+    pub steps: usize,
+}
+
+impl TrainHistory {
+    /// Final epoch loss, if any epochs ran.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_losses.last().copied()
+    }
+
+    /// Fraction of steps that exploded.
+    pub fn explosion_rate(&self) -> f32 {
+        if self.steps + self.exploded_steps == 0 {
+            0.0
+        } else {
+            self.exploded_steps as f32 / (self.steps + self.exploded_steps) as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_properties() {
+        assert!(!Pipeline::Baseline.needs_precisions());
+        assert!(Pipeline::CqC.needs_precisions());
+        assert_eq!(Pipeline::CqA.forwards_per_step(), 2);
+        assert_eq!(Pipeline::CqB.forwards_per_step(), 4);
+        assert_eq!(Pipeline::all().len(), 5);
+        assert_eq!(Pipeline::CqC.to_string(), "CQ-C");
+    }
+
+    #[test]
+    fn noise_extension_properties() {
+        assert!(!Pipeline::NoiseA.needs_precisions());
+        assert!(Pipeline::NoiseA.uses_weight_noise());
+        assert!(!Pipeline::CqC.uses_weight_noise());
+        assert_eq!(Pipeline::NoiseC.forwards_per_step(), 4);
+        assert_eq!(Pipeline::extensions().len(), 2);
+        let mut cfg = PretrainConfig { pipeline: Pipeline::NoiseC, ..Default::default() };
+        assert!(cfg.validate().is_ok());
+        cfg.noise_std = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = PretrainConfig::default();
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.pipeline = Pipeline::CqA;
+        assert!(bad.validate().is_err());
+        bad.precision_set = Some(PrecisionSet::range(6, 16).unwrap());
+        assert!(bad.validate().is_ok());
+        let mut tiny = ok.clone();
+        tiny.batch_size = 1;
+        assert!(tiny.validate().is_err());
+        let mut temp = ok;
+        temp.temperature = -1.0;
+        assert!(temp.validate().is_err());
+    }
+
+    #[test]
+    fn history_rates() {
+        let mut h = TrainHistory::default();
+        assert_eq!(h.explosion_rate(), 0.0);
+        assert_eq!(h.final_loss(), None);
+        h.steps = 8;
+        h.exploded_steps = 2;
+        h.epoch_losses.push(1.5);
+        assert!((h.explosion_rate() - 0.2).abs() < 1e-6);
+        assert_eq!(h.final_loss(), Some(1.5));
+    }
+}

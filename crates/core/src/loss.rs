@@ -1,0 +1,283 @@
+//! Contrastive losses with analytic gradients.
+//!
+//! [`nt_xent`] is SimCLR's normalized-temperature cross-entropy (the NCE
+//! instantiation the paper uses per §3.4); [`byol_regression`] is BYOL's
+//! normalized MSE, equal to `2 − 2·cos(p, t)` per pair.
+
+use cq_tensor::Tensor;
+use cq_nn::NnError;
+
+/// A pairwise contrastive loss value plus gradients w.r.t. both inputs.
+#[derive(Debug, Clone)]
+pub struct PairLoss {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the first feature batch.
+    pub grad_a: Tensor,
+    /// Gradient w.r.t. the second feature batch.
+    pub grad_b: Tensor,
+}
+
+/// NT-Xent (SimCLR) loss between two `[N, D]` feature batches whose rows
+/// are positive pairs; all other rows in the concatenated `2N` batch act
+/// as negatives.
+///
+/// Features are L2-normalized internally; gradients are propagated through
+/// the normalization.
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree, `N < 2`, or `temperature <= 0`.
+pub fn nt_xent(a: &Tensor, b: &Tensor, temperature: f32) -> Result<PairLoss, NnError> {
+    if a.rank() != 2 || a.dims() != b.dims() {
+        return Err(NnError::BadInput {
+            layer: "nt_xent".into(),
+            expected: "two equal [N, D] batches".into(),
+            got: b.dims().to_vec(),
+        });
+    }
+    let n = a.dims()[0];
+    let d = a.dims()[1];
+    if n < 2 {
+        return Err(NnError::BadInput {
+            layer: "nt_xent".into(),
+            expected: "batch of at least 2 (needs negatives)".into(),
+            got: a.dims().to_vec(),
+        });
+    }
+    if temperature <= 0.0 {
+        return Err(NnError::Param(format!("temperature must be positive, got {temperature}")));
+    }
+
+    // Concatenate and normalize: u[i] = z[i] / |z[i]|, rows 0..n from a,
+    // n..2n from b.
+    let m = 2 * n;
+    let mut z = Vec::with_capacity(m * d);
+    z.extend_from_slice(a.as_slice());
+    z.extend_from_slice(b.as_slice());
+    let z = Tensor::from_vec(z, &[m, d])?;
+    let u = z.l2_normalize_rows(1e-12)?;
+
+    // Similarity matrix s = u uᵀ / τ.
+    let s = u.matmul_nt(&u)?.scale(1.0 / temperature);
+
+    // Row-wise softmax over k != i; positives at i+n mod m.
+    let mut loss = 0.0f32;
+    let mut ds = vec![0.0f32; m * m]; // dL/ds
+    let ss = s.as_slice();
+    for i in 0..m {
+        let pos = (i + n) % m;
+        // log-sum-exp over k != i
+        let mut mx = f32::NEG_INFINITY;
+        for k in 0..m {
+            if k != i {
+                mx = mx.max(ss[i * m + k]);
+            }
+        }
+        let mut denom = 0.0f32;
+        for k in 0..m {
+            if k != i {
+                denom += (ss[i * m + k] - mx).exp();
+            }
+        }
+        let lse = denom.ln() + mx;
+        loss += lse - ss[i * m + pos];
+        let coef = 1.0 / m as f32;
+        for k in 0..m {
+            if k != i {
+                let p = (ss[i * m + k] - lse).exp();
+                ds[i * m + k] = coef * (p - if k == pos { 1.0 } else { 0.0 });
+            }
+        }
+    }
+    loss /= m as f32;
+
+    // dL/du = (ds + dsᵀ) u / τ.
+    let ds = Tensor::from_vec(ds, &[m, m])?;
+    let sym = ds.add(&ds.transpose()?)?;
+    let du = sym.matmul(&u)?.scale(1.0 / temperature);
+
+    // Backprop through row normalization: dz = (du - (du·u) u) / |z|.
+    let mut dz = vec![0.0f32; m * d];
+    let zs = z.as_slice();
+    let us = u.as_slice();
+    let dus = du.as_slice();
+    for i in 0..m {
+        let zrow = &zs[i * d..(i + 1) * d];
+        let urow = &us[i * d..(i + 1) * d];
+        let durow = &dus[i * d..(i + 1) * d];
+        let norm = zrow.iter().map(|&v| v * v).sum::<f32>().sqrt().max(1e-12);
+        let dot: f32 = durow.iter().zip(urow).map(|(&g, &uu)| g * uu).sum();
+        for k in 0..d {
+            dz[i * d + k] = (durow[k] - dot * urow[k]) / norm;
+        }
+    }
+    let grad_a = Tensor::from_vec(dz[..n * d].to_vec(), &[n, d])?;
+    let grad_b = Tensor::from_vec(dz[n * d..].to_vec(), &[n, d])?;
+    Ok(PairLoss { loss, grad_a, grad_b })
+}
+
+/// BYOL's regression loss between online predictions `p` and target
+/// projections `t` (both `[N, D]`): mean over the batch of
+/// `2 − 2·cos(p_i, t_i)`.
+///
+/// The gradient is returned for `p` only (`grad_b` is zero): BYOL
+/// stop-gradients the target branch. For the symmetric cross-precision
+/// consistency terms of CQ-C-on-BYOL, call it twice with the arguments
+/// swapped.
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree.
+pub fn byol_regression(p: &Tensor, t: &Tensor) -> Result<PairLoss, NnError> {
+    if p.rank() != 2 || p.dims() != t.dims() {
+        return Err(NnError::BadInput {
+            layer: "byol_regression".into(),
+            expected: "two equal [N, D] batches".into(),
+            got: t.dims().to_vec(),
+        });
+    }
+    let (n, d) = (p.dims()[0], p.dims()[1]);
+    let mut loss = 0.0f32;
+    let mut grad = vec![0.0f32; n * d];
+    let psl = p.as_slice();
+    let tsl = t.as_slice();
+    for i in 0..n {
+        let pr = &psl[i * d..(i + 1) * d];
+        let tr = &tsl[i * d..(i + 1) * d];
+        let pn = pr.iter().map(|&v| v * v).sum::<f32>().sqrt().max(1e-12);
+        let tn = tr.iter().map(|&v| v * v).sum::<f32>().sqrt().max(1e-12);
+        let dot: f32 = pr.iter().zip(tr).map(|(&a, &b)| a * b).sum();
+        let cos = dot / (pn * tn);
+        loss += 2.0 - 2.0 * cos;
+        // d(-2 cos)/dp = -2/(pn*tn) * (t - (dot/pn^2) p)
+        let coef = -2.0 / (pn * tn * n as f32);
+        for k in 0..d {
+            grad[i * d + k] = coef * (tr[k] - dot / (pn * pn) * pr[k]);
+        }
+    }
+    loss /= n as f32;
+    Ok(PairLoss {
+        loss,
+        grad_a: Tensor::from_vec(grad, &[n, d])?,
+        grad_b: Tensor::zeros(&[n, d]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rand_feats(n: usize, d: usize, seed: u64) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Tensor::randn(&[n, d], 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn nt_xent_lower_for_aligned_pairs() {
+        let a = rand_feats(8, 16, 0);
+        // identical features: positives perfectly aligned
+        let aligned = nt_xent(&a, &a, 0.5).unwrap().loss;
+        let random = nt_xent(&a, &rand_feats(8, 16, 1), 0.5).unwrap().loss;
+        assert!(aligned < random, "{aligned} !< {random}");
+    }
+
+    #[test]
+    fn nt_xent_gradient_matches_finite_difference() {
+        let a = rand_feats(4, 6, 2);
+        let b = rand_feats(4, 6, 3);
+        let out = nt_xent(&a, &b, 0.5).unwrap();
+        let eps = 1e-2;
+        for idx in [0usize, 5, 11, 17, 23] {
+            let mut ap = a.clone();
+            ap.as_mut_slice()[idx] += eps;
+            let mut am = a.clone();
+            am.as_mut_slice()[idx] -= eps;
+            let fd = (nt_xent(&ap, &b, 0.5).unwrap().loss - nt_xent(&am, &b, 0.5).unwrap().loss)
+                / (2.0 * eps);
+            let an = out.grad_a.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-3, "a[{idx}]: fd {fd} vs {an}");
+        }
+        for idx in [0usize, 7, 13, 19] {
+            let mut bp = b.clone();
+            bp.as_mut_slice()[idx] += eps;
+            let mut bm = b.clone();
+            bm.as_mut_slice()[idx] -= eps;
+            let fd = (nt_xent(&a, &bp, 0.5).unwrap().loss - nt_xent(&a, &bm, 0.5).unwrap().loss)
+                / (2.0 * eps);
+            let an = out.grad_b.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-3, "b[{idx}]: fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn nt_xent_scale_invariant_in_features() {
+        // normalization makes the loss invariant to per-batch rescaling
+        let a = rand_feats(6, 8, 4);
+        let b = rand_feats(6, 8, 5);
+        let l1 = nt_xent(&a, &b, 0.5).unwrap().loss;
+        let l2 = nt_xent(&a.scale(3.0), &b.scale(0.2), 0.5).unwrap().loss;
+        assert!((l1 - l2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nt_xent_temperature_sharpens() {
+        // at lower temperature, aligned positives yield lower loss
+        let a = rand_feats(8, 16, 6);
+        let hot = nt_xent(&a, &a, 1.0).unwrap().loss;
+        let cold = nt_xent(&a, &a, 0.1).unwrap().loss;
+        assert!(cold < hot);
+    }
+
+    #[test]
+    fn nt_xent_validates_inputs() {
+        let a = rand_feats(4, 8, 7);
+        assert!(nt_xent(&a, &rand_feats(5, 8, 8), 0.5).is_err());
+        assert!(nt_xent(&a, &a, 0.0).is_err());
+        let single = rand_feats(1, 8, 9);
+        assert!(nt_xent(&single, &single, 0.5).is_err());
+    }
+
+    #[test]
+    fn byol_loss_zero_for_parallel_vectors() {
+        let p = rand_feats(4, 8, 10);
+        let out = byol_regression(&p, &p.scale(2.5)).unwrap();
+        assert!(out.loss.abs() < 1e-5);
+        assert!(out.grad_a.norm() < 1e-4);
+    }
+
+    #[test]
+    fn byol_loss_max_for_antiparallel() {
+        let p = rand_feats(4, 8, 11);
+        let out = byol_regression(&p, &p.scale(-1.0)).unwrap();
+        assert!((out.loss - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn byol_gradient_matches_finite_difference() {
+        let p = rand_feats(3, 5, 12);
+        let t = rand_feats(3, 5, 13);
+        let out = byol_regression(&p, &t).unwrap();
+        let eps = 1e-3;
+        for idx in 0..15 {
+            let mut pp = p.clone();
+            pp.as_mut_slice()[idx] += eps;
+            let mut pm = p.clone();
+            pm.as_mut_slice()[idx] -= eps;
+            let fd = (byol_regression(&pp, &t).unwrap().loss
+                - byol_regression(&pm, &t).unwrap().loss)
+                / (2.0 * eps);
+            let an = out.grad_a.as_slice()[idx];
+            assert!((fd - an).abs() < 1e-3, "p[{idx}]: fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn byol_target_gradient_is_zero() {
+        let p = rand_feats(3, 5, 14);
+        let t = rand_feats(3, 5, 15);
+        let out = byol_regression(&p, &t).unwrap();
+        assert_eq!(out.grad_b.sum(), 0.0);
+    }
+}

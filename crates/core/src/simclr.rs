@@ -1,0 +1,438 @@
+//! SimCLR trainer with the Contrastive Quant pipelines.
+
+use cq_data::{AugmentConfig, AugmentPipeline, Dataset, TwoViewBatch, TwoViewLoader};
+use cq_models::Encoder;
+use cq_nn::{CosineSchedule, ForwardCtx, NnError, Sgd, SgdConfig};
+use cq_quant::{Precision, QuantConfig};
+use cq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{nt_xent, Pipeline, PrecisionSampling, PretrainConfig, TrainHistory};
+
+/// Self-supervised pre-training with SimCLR's NT-Xent objective, hosting
+/// every [`Pipeline`] variant of the paper.
+///
+/// # Example
+///
+/// ```no_run
+/// use cq_core::{SimclrTrainer, PretrainConfig, Pipeline};
+/// use cq_models::{Arch, Encoder, EncoderConfig};
+/// use cq_data::{Dataset, DatasetConfig};
+/// use cq_quant::PrecisionSet;
+///
+/// let enc = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 4).with_proj(32, 16), 0)?;
+/// let cfg = PretrainConfig {
+///     pipeline: Pipeline::CqC,
+///     precision_set: Some(PrecisionSet::range(6, 16)?),
+///     epochs: 5,
+///     ..Default::default()
+/// };
+/// let (train, _) = Dataset::generate(&DatasetConfig::cifarlike());
+/// let mut trainer = SimclrTrainer::new(enc, cfg)?;
+/// trainer.train(&train)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SimclrTrainer {
+    encoder: Encoder,
+    cfg: PretrainConfig,
+    opt: Sgd,
+    loader: TwoViewLoader,
+    rng: StdRng,
+    history: TrainHistory,
+    steps_taken: usize,
+}
+
+impl std::fmt::Debug for SimclrTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimclrTrainer(pipeline={}, steps={})", self.cfg.pipeline, self.steps_taken)
+    }
+}
+
+impl SimclrTrainer {
+    /// Creates a trainer. The augmentation pipeline is chosen from the
+    /// pipeline variant: [`Pipeline::CqQuant`] disables input
+    /// augmentations (§4.5); everything else uses SimCLR-strength
+    /// augmentations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Param`] for an inconsistent configuration.
+    pub fn new(encoder: Encoder, cfg: PretrainConfig) -> Result<Self, NnError> {
+        cfg.validate().map_err(NnError::Param)?;
+        let aug = if cfg.pipeline == Pipeline::CqQuant {
+            AugmentConfig::none()
+        } else {
+            AugmentConfig::simclr()
+        };
+        let loader = TwoViewLoader::new(AugmentPipeline::new(aug), cfg.batch_size, cfg.seed ^ 0xA5A5);
+        let opt = Sgd::new(
+            encoder.params(),
+            SgdConfig {
+                lr: cfg.lr,
+                momentum: cfg.momentum,
+                weight_decay: cfg.weight_decay,
+                nesterov: false,
+            },
+        );
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Ok(SimclrTrainer { encoder, cfg, opt, loader, rng, history: TrainHistory::default(), steps_taken: 0 })
+    }
+
+    /// The encoder being trained.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Mutable encoder access (evaluation needs `&mut` for forward).
+    pub fn encoder_mut(&mut self) -> &mut Encoder {
+        &mut self.encoder
+    }
+
+    /// Consumes the trainer, returning the trained encoder.
+    pub fn into_encoder(self) -> Encoder {
+        self.encoder
+    }
+
+    /// Training diagnostics so far.
+    pub fn history(&self) -> &TrainHistory {
+        &self.history
+    }
+
+    /// Runs `cfg.epochs` of pre-training over `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/optimizer errors. Gradient explosions do NOT
+    /// error: the step is skipped and counted in the history (this is the
+    /// behaviour the paper describes for CQ-B).
+    pub fn train(&mut self, dataset: &Dataset) -> Result<(), NnError> {
+        let batches_per_epoch = self.loader.batches_per_epoch(dataset);
+        let total = (self.cfg.epochs * batches_per_epoch).max(1);
+        let sched = CosineSchedule::new(self.cfg.lr, total, total / 20);
+        for _ in 0..self.cfg.epochs {
+            let batches = self.loader.epoch(dataset);
+            let mut losses = Vec::with_capacity(batches.len());
+            let mut norms = Vec::with_capacity(batches.len());
+            for batch in &batches {
+                let lr = sched.lr_at(self.steps_taken);
+                if let Some((loss, norm)) = self.step(batch, lr)? {
+                    losses.push(loss);
+                    norms.push(norm);
+                }
+                self.steps_taken += 1;
+            }
+            let mean = |v: &[f32]| if v.is_empty() { f32::NAN } else { v.iter().sum::<f32>() / v.len() as f32 };
+            self.history.epoch_losses.push(mean(&losses));
+            self.history.epoch_grad_norms.push(mean(&norms));
+        }
+        Ok(())
+    }
+
+    /// One optimizer step on a two-view batch. Returns `None` when the
+    /// step was skipped due to gradient explosion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/optimizer errors.
+    pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
+        let mut gs = self.encoder.params().zero_grads();
+        let temp = self.cfg.temperature;
+        let loss = match self.cfg.pipeline {
+            Pipeline::Baseline => {
+                let ctx = ForwardCtx::train();
+                let o1 = self.encoder.forward(&batch.view1, &ctx)?;
+                let o2 = self.encoder.forward(&batch.view2, &ctx)?;
+                let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
+                self.encoder.backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
+                self.encoder.backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
+                pl.loss
+            }
+            Pipeline::CqA => {
+                let (q1, q2) = self.sample_pair();
+                let o1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
+                let o2 = self.encoder.forward(&batch.view2, &self.quant_ctx(q2))?;
+                let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
+                self.encoder.backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
+                self.encoder.backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
+                pl.loss
+            }
+            Pipeline::CqB => {
+                let (q1, q2) = self.sample_pair();
+                let f1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
+                let f2 = self.encoder.forward(&batch.view1, &self.quant_ctx(q2))?;
+                let f1p = self.encoder.forward(&batch.view2, &self.quant_ctx(q1))?;
+                let f2p = self.encoder.forward(&batch.view2, &self.quant_ctx(q2))?;
+                let t1 = nt_xent(&f1.projection, &f1p.projection, temp)?;
+                let t2 = nt_xent(&f2.projection, &f2p.projection, temp)?;
+                self.encoder.backward_projection(&f1.trace, &t1.grad_a, &mut gs)?;
+                self.encoder.backward_projection(&f1p.trace, &t1.grad_b, &mut gs)?;
+                self.encoder.backward_projection(&f2.trace, &t2.grad_a, &mut gs)?;
+                self.encoder.backward_projection(&f2p.trace, &t2.grad_b, &mut gs)?;
+                t1.loss + t2.loss
+            }
+            Pipeline::CqC => {
+                let (q1, q2) = self.sample_pair();
+                let f1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
+                let f2 = self.encoder.forward(&batch.view1, &self.quant_ctx(q2))?;
+                let f1p = self.encoder.forward(&batch.view2, &self.quant_ctx(q1))?;
+                let f2p = self.encoder.forward(&batch.view2, &self.quant_ctx(q2))?;
+                // Eq. 9: view terms + cross-precision terms.
+                let t1 = nt_xent(&f1.projection, &f1p.projection, temp)?;
+                let t2 = nt_xent(&f2.projection, &f2p.projection, temp)?;
+                let t3 = nt_xent(&f1.projection, &f2.projection, temp)?;
+                let t4 = nt_xent(&f1p.projection, &f2p.projection, temp)?;
+                // Each branch participates in two terms; sum its gradients
+                // before walking the trace once.
+                let d_f1 = t1.grad_a.add(&t3.grad_a)?;
+                let d_f2 = t2.grad_a.add(&t3.grad_b)?;
+                let d_f1p = t1.grad_b.add(&t4.grad_a)?;
+                let d_f2p = t2.grad_b.add(&t4.grad_b)?;
+                self.encoder.backward_projection(&f1.trace, &d_f1, &mut gs)?;
+                self.encoder.backward_projection(&f2.trace, &d_f2, &mut gs)?;
+                self.encoder.backward_projection(&f1p.trace, &d_f1p, &mut gs)?;
+                self.encoder.backward_projection(&f2p.trace, &d_f2p, &mut gs)?;
+                t1.loss + t2.loss + t3.loss + t4.loss
+            }
+            Pipeline::CqQuant => {
+                // No input augmentation (the loader already produced
+                // identical views); quantization is the only view-maker.
+                let (q1, q2) = self.sample_pair();
+                let f1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
+                let f2 = self.encoder.forward(&batch.view1, &self.quant_ctx(q2))?;
+                let pl = nt_xent(&f1.projection, &f2.projection, temp)?;
+                self.encoder.backward_projection(&f1.trace, &pl.grad_a, &mut gs)?;
+                self.encoder.backward_projection(&f2.trace, &pl.grad_b, &mut gs)?;
+                pl.loss
+            }
+            Pipeline::NoiseA => {
+                // CQ-A's structure with Gaussian weight noise as the
+                // model-side augmentation (the paper's future-work
+                // direction, §4.2).
+                let (s1, s2) = (self.rng.gen::<u64>(), self.rng.gen::<u64>());
+                let o1 = self.encoder.forward(&batch.view1, &self.noise_ctx(s1))?;
+                let o2 = self.encoder.forward(&batch.view2, &self.noise_ctx(s2))?;
+                let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
+                self.encoder.backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
+                self.encoder.backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
+                pl.loss
+            }
+            Pipeline::NoiseC => {
+                // CQ-C's structure with Gaussian weight noise.
+                let (s1, s2) = (self.rng.gen::<u64>(), self.rng.gen::<u64>());
+                let f1 = self.encoder.forward(&batch.view1, &self.noise_ctx(s1))?;
+                let f2 = self.encoder.forward(&batch.view1, &self.noise_ctx(s2))?;
+                let f1p = self.encoder.forward(&batch.view2, &self.noise_ctx(s1))?;
+                let f2p = self.encoder.forward(&batch.view2, &self.noise_ctx(s2))?;
+                let t1 = nt_xent(&f1.projection, &f1p.projection, temp)?;
+                let t2 = nt_xent(&f2.projection, &f2p.projection, temp)?;
+                let t3 = nt_xent(&f1.projection, &f2.projection, temp)?;
+                let t4 = nt_xent(&f1p.projection, &f2p.projection, temp)?;
+                let d_f1 = t1.grad_a.add(&t3.grad_a)?;
+                let d_f2 = t2.grad_a.add(&t3.grad_b)?;
+                let d_f1p = t1.grad_b.add(&t4.grad_a)?;
+                let d_f2p = t2.grad_b.add(&t4.grad_b)?;
+                self.encoder.backward_projection(&f1.trace, &d_f1, &mut gs)?;
+                self.encoder.backward_projection(&f2.trace, &d_f2, &mut gs)?;
+                self.encoder.backward_projection(&f1p.trace, &d_f1p, &mut gs)?;
+                self.encoder.backward_projection(&f2p.trace, &d_f2p, &mut gs)?;
+                t1.loss + t2.loss + t3.loss + t4.loss
+            }
+        };
+        let norm = gs.global_norm();
+        if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
+            self.history.exploded_steps += 1;
+            return Ok(None);
+        }
+        self.opt.step(self.encoder.params_mut(), &gs, lr)?;
+        self.history.steps += 1;
+        Ok(Some((loss, norm)))
+    }
+
+    fn sample_pair(&mut self) -> (Precision, Precision) {
+        let set = self
+            .cfg
+            .precision_set
+            .as_ref()
+            .expect("validated: quantized pipeline has a precision set");
+        match self.cfg.sampling {
+            PrecisionSampling::Uniform => set.sample_pair(&mut self.rng),
+            PrecisionSampling::Cyclic => {
+                let bits = set.as_slice();
+                let n = bits.len();
+                let t = self.steps_taken;
+                (
+                    Precision::Bits(bits[t % n]),
+                    Precision::Bits(bits[(t + n / 2) % n]),
+                )
+            }
+        }
+    }
+
+    fn quant_ctx(&self, p: Precision) -> ForwardCtx {
+        ForwardCtx::train().with_quant(QuantConfig::uniform(p).with_mode(self.cfg.quant_mode))
+    }
+
+    fn noise_ctx(&self, seed: u64) -> ForwardCtx {
+        ForwardCtx::train().with_weight_noise(self.cfg.noise_std, seed)
+    }
+}
+
+/// Extracts all features of a dataset with the given encoder (eval mode,
+/// full precision) — shared by the evaluation harness and examples.
+///
+/// # Errors
+///
+/// Propagates layer errors.
+pub fn extract_features(
+    encoder: &mut Encoder,
+    dataset: &Dataset,
+    batch_size: usize,
+) -> Result<(Tensor, Vec<usize>), NnError> {
+    let mut feats: Vec<f32> = Vec::with_capacity(dataset.len() * encoder.feat_dim());
+    let mut labels = Vec::with_capacity(dataset.len());
+    let ctx = ForwardCtx::eval();
+    let mut i = 0;
+    while i < dataset.len() {
+        let end = (i + batch_size).min(dataset.len());
+        let idxs: Vec<usize> = (i..end).collect();
+        let (x, l) = dataset.batch(&idxs);
+        let h = encoder.features(&x, &ctx)?;
+        feats.extend_from_slice(h.as_slice());
+        labels.extend(l);
+        i = end;
+    }
+    let d = encoder.feat_dim();
+    Ok((Tensor::from_vec(feats, &[dataset.len(), d])?, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_data::DatasetConfig;
+    use cq_models::{Arch, EncoderConfig};
+    use cq_quant::PrecisionSet;
+
+    fn tiny_encoder(seed: u64) -> Encoder {
+        Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), seed).unwrap()
+    }
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::generate(&DatasetConfig::cifarlike().with_sizes(32, 8)).0
+    }
+
+    fn cfg(pipeline: Pipeline) -> PretrainConfig {
+        PretrainConfig {
+            pipeline,
+            precision_set: pipeline.needs_precisions().then(|| PrecisionSet::range(6, 16).unwrap()),
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.02,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn every_pipeline_trains_one_epoch() {
+        let ds = tiny_dataset();
+        for pipeline in Pipeline::all() {
+            let mut t = SimclrTrainer::new(tiny_encoder(1), cfg(pipeline)).unwrap();
+            t.train(&ds).unwrap();
+            let h = t.history();
+            assert_eq!(h.epoch_losses.len(), 1, "{pipeline}");
+            assert!(h.final_loss().unwrap().is_finite(), "{pipeline}");
+            assert!(h.steps > 0, "{pipeline}");
+        }
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let ds = tiny_dataset();
+        let mut c = cfg(Pipeline::Baseline);
+        c.epochs = 6;
+        let mut t = SimclrTrainer::new(tiny_encoder(2), c).unwrap();
+        t.train(&ds).unwrap();
+        let l = &t.history().epoch_losses;
+        assert!(
+            l.last().unwrap() < l.first().unwrap(),
+            "loss should decrease: {l:?}"
+        );
+    }
+
+    #[test]
+    fn quantized_pipeline_requires_precision_set() {
+        let mut c = cfg(Pipeline::CqA);
+        c.precision_set = None;
+        assert!(SimclrTrainer::new(tiny_encoder(3), c).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = tiny_dataset();
+        let run = || {
+            let mut t = SimclrTrainer::new(tiny_encoder(4), cfg(Pipeline::CqC)).unwrap();
+            t.train(&ds).unwrap();
+            t.history().final_loss().unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn noise_pipelines_train() {
+        let ds = tiny_dataset();
+        for pipeline in Pipeline::extensions() {
+            let c = PretrainConfig {
+                pipeline,
+                precision_set: None,
+                noise_std: 0.05,
+                epochs: 1,
+                batch_size: 8,
+                lr: 0.02,
+                ..Default::default()
+            };
+            let mut t = SimclrTrainer::new(tiny_encoder(11), c).unwrap();
+            t.train(&ds).unwrap();
+            assert!(t.history().final_loss().unwrap().is_finite(), "{pipeline}");
+        }
+    }
+
+    #[test]
+    fn cyclic_sampling_trains_and_differs_from_uniform() {
+        let ds = tiny_dataset();
+        let run = |sampling| {
+            let c = PretrainConfig {
+                sampling,
+                ..cfg(Pipeline::CqC)
+            };
+            let mut t = SimclrTrainer::new(tiny_encoder(12), c).unwrap();
+            t.train(&ds).unwrap();
+            t.history().final_loss().unwrap()
+        };
+        let u = run(crate::PrecisionSampling::Uniform);
+        let cy = run(crate::PrecisionSampling::Cyclic);
+        assert!(u.is_finite() && cy.is_finite());
+        assert_ne!(u, cy, "different sampling schedules should diverge");
+    }
+
+    #[test]
+    fn floor_mode_trains() {
+        let ds = tiny_dataset();
+        let c = PretrainConfig {
+            quant_mode: cq_quant::QuantMode::Floor,
+            ..cfg(Pipeline::CqC)
+        };
+        let mut t = SimclrTrainer::new(tiny_encoder(13), c).unwrap();
+        t.train(&ds).unwrap();
+        assert!(t.history().final_loss().unwrap().is_finite());
+    }
+
+    #[test]
+    fn extract_features_shapes() {
+        let ds = tiny_dataset();
+        let mut enc = tiny_encoder(5);
+        let (f, labels) = extract_features(&mut enc, &ds, 8).unwrap();
+        assert_eq!(f.dims(), &[32, enc.feat_dim()]);
+        assert_eq!(labels.len(), 32);
+        assert!(f.is_finite());
+    }
+}

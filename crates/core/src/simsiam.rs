@@ -1,0 +1,252 @@
+//! SimSiam trainer (Chen & He, ref 12 of the paper): a stop-gradient
+//! siamese method with **no negative pairs and no momentum target** —
+//! included as an extra baseline to situate Contrastive Quant among the
+//! contrastive-learning frameworks it builds on.
+//!
+//! The loss is the symmetric negative cosine similarity
+//! `L = D(p1, sg(z2))/2 + D(p2, sg(z1))/2` with `p = predictor(z)`; we
+//! reuse [`crate::byol_regression`] (`2 − 2·cos` has the same gradient
+//! direction as `−cos`, scaled by 2). The CQ-C adaptation mirrors the
+//! BYOL one: per-precision view-consistency terms plus symmetric
+//! cross-precision consistency on the projections.
+
+use cq_data::{AugmentConfig, AugmentPipeline, Dataset, TwoViewBatch, TwoViewLoader};
+use cq_models::{mlp_head, Encoder, HeadConfig};
+use cq_nn::{CosineSchedule, ForwardCtx, Layer, NnError, Sequential, Sgd, SgdConfig};
+use cq_quant::{Precision, QuantConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{byol_regression, Pipeline, PretrainConfig, TrainHistory};
+
+/// SimSiam self-supervised pre-training, hosting [`Pipeline::Baseline`]
+/// and [`Pipeline::CqC`].
+pub struct SimsiamTrainer {
+    encoder: Encoder,
+    predictor: Sequential,
+    encoder_params: usize,
+    cfg: PretrainConfig,
+    opt: Sgd,
+    loader: TwoViewLoader,
+    rng: StdRng,
+    history: TrainHistory,
+    steps_taken: usize,
+}
+
+impl std::fmt::Debug for SimsiamTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimsiamTrainer(pipeline={}, steps={})", self.cfg.pipeline, self.steps_taken)
+    }
+}
+
+impl SimsiamTrainer {
+    /// Creates a SimSiam trainer around `encoder` (built with a
+    /// batch-normed projection head, as in the reference method).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Param`] for inconsistent configs or pipelines
+    /// other than `Baseline` / `CqC`.
+    pub fn new(mut encoder: Encoder, cfg: PretrainConfig) -> Result<Self, NnError> {
+        cfg.validate().map_err(NnError::Param)?;
+        if !matches!(cfg.pipeline, Pipeline::Baseline | Pipeline::CqC) {
+            return Err(NnError::Param(format!(
+                "SimSiam hosts Baseline and CQ-C; got {}",
+                cfg.pipeline
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51A51);
+        let encoder_params = encoder.params().len();
+        let pd = encoder.proj_dim();
+        let predictor =
+            mlp_head(&HeadConfig::byol(pd, pd / 2 + 1, pd), "pred", encoder.params_mut(), &mut rng);
+        let opt = Sgd::new(
+            encoder.params(),
+            SgdConfig {
+                lr: cfg.lr,
+                momentum: cfg.momentum,
+                weight_decay: cfg.weight_decay,
+                nesterov: false,
+            },
+        );
+        let loader = TwoViewLoader::new(
+            AugmentPipeline::new(AugmentConfig::simclr()),
+            cfg.batch_size,
+            cfg.seed ^ 0x5151,
+        );
+        let sample_rng = StdRng::seed_from_u64(cfg.seed);
+        Ok(SimsiamTrainer {
+            encoder,
+            predictor,
+            encoder_params,
+            cfg,
+            opt,
+            loader,
+            rng: sample_rng,
+            history: TrainHistory::default(),
+            steps_taken: 0,
+        })
+    }
+
+    /// Training diagnostics so far.
+    pub fn history(&self) -> &TrainHistory {
+        &self.history
+    }
+
+    /// Consumes the trainer, returning the encoder with the predictor
+    /// stripped.
+    pub fn into_encoder(self) -> Encoder {
+        let mut enc = self.encoder;
+        enc.params_mut().truncate(self.encoder_params);
+        enc
+    }
+
+    /// Runs `cfg.epochs` of SimSiam pre-training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/optimizer errors; exploded steps are skipped and
+    /// counted.
+    pub fn train(&mut self, dataset: &Dataset) -> Result<(), NnError> {
+        let total = (self.cfg.epochs * self.loader.batches_per_epoch(dataset)).max(1);
+        let sched = CosineSchedule::new(self.cfg.lr, total, total / 20);
+        for _ in 0..self.cfg.epochs {
+            let batches = self.loader.epoch(dataset);
+            let mut losses = Vec::new();
+            let mut norms = Vec::new();
+            for batch in &batches {
+                let lr = sched.lr_at(self.steps_taken);
+                if let Some((loss, norm)) = self.step(batch, lr)? {
+                    losses.push(loss);
+                    norms.push(norm);
+                }
+                self.steps_taken += 1;
+            }
+            let mean = |v: &[f32]| if v.is_empty() { f32::NAN } else { v.iter().sum::<f32>() / v.len() as f32 };
+            self.history.epoch_losses.push(mean(&losses));
+            self.history.epoch_grad_norms.push(mean(&norms));
+        }
+        Ok(())
+    }
+
+    /// One optimizer step; `None` when skipped due to explosion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/optimizer errors.
+    pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
+        let mut gs = self.encoder.params().zero_grads();
+        let loss = match self.cfg.pipeline {
+            Pipeline::Baseline => self.branch_loss(batch, None, &mut gs)?,
+            Pipeline::CqC => {
+                let (q1, q2) = self
+                    .cfg
+                    .precision_set
+                    .as_ref()
+                    .expect("validated")
+                    .sample_pair(&mut self.rng);
+                let mut loss = self.branch_loss(batch, Some(q1), &mut gs)?;
+                loss += self.branch_loss(batch, Some(q2), &mut gs)?;
+                loss
+            }
+            other => return Err(NnError::Param(format!("unsupported SimSiam pipeline {other}"))),
+        };
+        let norm = gs.global_norm();
+        if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
+            self.history.exploded_steps += 1;
+            return Ok(None);
+        }
+        self.opt.step(self.encoder.params_mut(), &gs, lr)?;
+        self.history.steps += 1;
+        Ok(Some((loss, norm)))
+    }
+
+    /// Symmetric stop-grad loss at one (optional) precision: both views
+    /// are encoded once; each prediction regresses onto the *detached*
+    /// projection of the other view.
+    fn branch_loss(
+        &mut self,
+        batch: &TwoViewBatch,
+        q: Option<Precision>,
+        gs: &mut cq_nn::GradSet,
+    ) -> Result<f32, NnError> {
+        let ctx = match q {
+            Some(p) => {
+                ForwardCtx::train().with_quant(QuantConfig::uniform(p).with_mode(self.cfg.quant_mode))
+            }
+            None => ForwardCtx::train(),
+        };
+        let o1 = self.encoder.forward(&batch.view1, &ctx)?;
+        let o2 = self.encoder.forward(&batch.view2, &ctx)?;
+        let (p1, c1) = self.predictor.forward(self.encoder.params(), &o1.projection, &ctx)?;
+        let (p2, c2) = self.predictor.forward(self.encoder.params(), &o2.projection, &ctx)?;
+        // D(p1, sg(z2)) — gradient flows through p1's branch only.
+        let l1 = byol_regression(&p1, &o2.projection)?;
+        let l2 = byol_regression(&p2, &o1.projection)?;
+        let dz1 = self.predictor.backward(self.encoder.params(), &c1, &l1.grad_a, gs)?;
+        self.encoder.backward_projection(&o1.trace, &dz1, gs)?;
+        let dz2 = self.predictor.backward(self.encoder.params(), &c2, &l2.grad_a, gs)?;
+        self.encoder.backward_projection(&o2.trace, &dz2, gs)?;
+        Ok(0.5 * (l1.loss + l2.loss))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_data::DatasetConfig;
+    use cq_models::{Arch, EncoderConfig};
+    use cq_quant::PrecisionSet;
+
+    fn tiny_encoder(seed: u64) -> Encoder {
+        Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8), seed).unwrap()
+    }
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::generate(&DatasetConfig::cifarlike().with_sizes(32, 8)).0
+    }
+
+    fn cfg(pipeline: Pipeline) -> PretrainConfig {
+        PretrainConfig {
+            pipeline,
+            precision_set: pipeline.needs_precisions().then(|| PrecisionSet::range(6, 16).unwrap()),
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.02,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn baseline_simsiam_trains() {
+        let mut t = SimsiamTrainer::new(tiny_encoder(1), cfg(Pipeline::Baseline)).unwrap();
+        t.train(&tiny_dataset()).unwrap();
+        assert!(t.history().final_loss().unwrap().is_finite());
+        assert!(t.history().steps > 0);
+    }
+
+    #[test]
+    fn cqc_simsiam_trains() {
+        let mut t = SimsiamTrainer::new(tiny_encoder(2), cfg(Pipeline::CqC)).unwrap();
+        t.train(&tiny_dataset()).unwrap();
+        assert!(t.history().final_loss().unwrap().is_finite());
+    }
+
+    #[test]
+    fn into_encoder_strips_predictor() {
+        let enc = tiny_encoder(3);
+        let n = enc.params().len();
+        let mut t = SimsiamTrainer::new(enc, cfg(Pipeline::Baseline)).unwrap();
+        t.train(&tiny_dataset()).unwrap();
+        let out = t.into_encoder();
+        assert_eq!(out.params().len(), n);
+        assert!(out.duplicate().is_ok());
+    }
+
+    #[test]
+    fn unsupported_pipelines_rejected() {
+        for p in [Pipeline::CqA, Pipeline::CqB, Pipeline::CqQuant, Pipeline::NoiseA] {
+            assert!(SimsiamTrainer::new(tiny_encoder(4), cfg(p)).is_err(), "{p}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Batch iteration: shuffled supervised batches and the two-view
+//! contrastive loader (augmentation parallelised over the batch).
+
+use cq_tensor::par::parallel_for_each;
+use cq_tensor::Tensor;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{AugmentPipeline, Dataset};
+
+/// Iterator over shuffled `(images, labels)` mini-batches of a dataset.
+///
+/// The last partial batch is dropped (standard for BN-based training).
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates a shuffled batch iterator for one epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(dataset: &'a Dataset, batch_size: usize, rng: &mut StdRng) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        BatchIter { dataset, order: Tensor::permutation(dataset.len(), rng), batch_size, cursor: 0 }
+    }
+
+    /// Number of full batches this iterator will yield.
+    pub fn num_batches(&self) -> usize {
+        self.dataset.len() / self.batch_size
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor + self.batch_size > self.order.len() {
+            return None;
+        }
+        let idxs = &self.order[self.cursor..self.cursor + self.batch_size];
+        self.cursor += self.batch_size;
+        Some(self.dataset.batch(idxs))
+    }
+}
+
+/// A mini-batch carrying two augmented views of each image plus labels.
+#[derive(Debug, Clone)]
+pub struct TwoViewBatch {
+    /// First augmented view, `[N, 3, H, W]`.
+    pub view1: Tensor,
+    /// Second augmented view, `[N, 3, H, W]`.
+    pub view2: Tensor,
+    /// Ground-truth labels (unused by SSL training; kept for diagnostics).
+    pub labels: Vec<usize>,
+}
+
+/// Loader producing [`TwoViewBatch`]es for contrastive pre-training.
+///
+/// Augmentation is parallelised over the batch; determinism is preserved
+/// by deriving an independent per-sample RNG seed from the loader's master
+/// stream before fanning out.
+#[derive(Debug)]
+pub struct TwoViewLoader {
+    pipeline: AugmentPipeline,
+    rng: StdRng,
+    batch_size: usize,
+}
+
+impl TwoViewLoader {
+    /// Creates a loader with the given augmentation pipeline and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(pipeline: AugmentPipeline, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        TwoViewLoader { pipeline, rng: StdRng::seed_from_u64(seed), batch_size }
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of batches per epoch over `dataset`.
+    pub fn batches_per_epoch(&self, dataset: &Dataset) -> usize {
+        dataset.len() / self.batch_size
+    }
+
+    /// Produces all two-view batches of one shuffled epoch.
+    pub fn epoch(&mut self, dataset: &Dataset) -> Vec<TwoViewBatch> {
+        let order = Tensor::permutation(dataset.len(), &mut self.rng);
+        let nb = dataset.len() / self.batch_size;
+        let mut out = Vec::with_capacity(nb);
+        for b in 0..nb {
+            let idxs = &order[b * self.batch_size..(b + 1) * self.batch_size];
+            out.push(self.make_batch(dataset, idxs));
+        }
+        out
+    }
+
+    /// Builds one two-view batch from explicit sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn make_batch(&mut self, dataset: &Dataset, indices: &[usize]) -> TwoViewBatch {
+        let n = indices.len();
+        let s = dataset.image_size();
+        let chw = 3 * s * s;
+        // Per-sample seeds drawn serially => deterministic regardless of
+        // worker scheduling.
+        let seeds: Vec<u64> = (0..n).map(|_| self.rng.gen()).collect();
+        let v1 = Mutex::new(vec![0.0f32; n * chw]);
+        let v2 = Mutex::new(vec![0.0f32; n * chw]);
+        let pipeline = self.pipeline;
+        parallel_for_each(n, |i| {
+            let mut srng = StdRng::seed_from_u64(seeds[i]);
+            let img = dataset.image(indices[i]);
+            let (a, b) = pipeline.two_views(img, &mut srng);
+            v1.lock()[i * chw..(i + 1) * chw].copy_from_slice(a.as_slice());
+            v2.lock()[i * chw..(i + 1) * chw].copy_from_slice(b.as_slice());
+        });
+        let labels = indices.iter().map(|&i| dataset.label(i)).collect();
+        TwoViewBatch {
+            view1: Tensor::from_vec(v1.into_inner(), &[n, 3, s, s]).expect("view1 shape"),
+            view2: Tensor::from_vec(v2.into_inner(), &[n, 3, s, s]).expect("view2 shape"),
+            labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AugmentConfig, DatasetConfig};
+
+    fn tiny() -> Dataset {
+        Dataset::generate(&DatasetConfig::cifarlike().with_sizes(32, 8)).0
+    }
+
+    #[test]
+    fn batch_iter_covers_dataset_once() {
+        let ds = tiny();
+        let mut rng = StdRng::seed_from_u64(0);
+        let it = BatchIter::new(&ds, 8, &mut rng);
+        assert_eq!(it.num_batches(), 4);
+        let mut count = 0;
+        for (x, labels) in it {
+            assert_eq!(x.dims(), &[8, 3, 16, 16]);
+            assert_eq!(labels.len(), 8);
+            count += 1;
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn batch_iter_drops_ragged_tail() {
+        let ds = tiny();
+        let mut rng = StdRng::seed_from_u64(0);
+        let it = BatchIter::new(&ds, 10, &mut rng);
+        assert_eq!(it.count(), 3); // 32 / 10
+    }
+
+    #[test]
+    fn two_view_loader_shapes_and_determinism() {
+        let ds = tiny();
+        let mut l1 = TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), 8, 42);
+        let mut l2 = TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), 8, 42);
+        let e1 = l1.epoch(&ds);
+        let e2 = l2.epoch(&ds);
+        assert_eq!(e1.len(), 4);
+        assert_eq!(e1[0].view1.dims(), &[8, 3, 16, 16]);
+        assert_eq!(e1[0].view1, e2[0].view1);
+        assert_eq!(e1[2].view2, e2[2].view2);
+        assert_ne!(e1[0].view1, e1[0].view2);
+    }
+
+    #[test]
+    fn different_loader_seeds_give_different_views() {
+        let ds = tiny();
+        let mut l1 = TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), 8, 1);
+        let mut l2 = TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), 8, 2);
+        assert_ne!(l1.epoch(&ds)[0].view1, l2.epoch(&ds)[0].view1);
+    }
+
+    #[test]
+    fn none_augment_views_equal_source() {
+        let ds = tiny();
+        let mut loader = TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::none()), 4, 7);
+        let b = loader.make_batch(&ds, &[0, 1, 2, 3]);
+        assert_eq!(b.view1, b.view2);
+        assert_eq!(&b.view1.as_slice()[..768], ds.image(0).as_slice());
+    }
+}

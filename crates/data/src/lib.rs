@@ -1,0 +1,41 @@
+//! # cq-data
+//!
+//! Synthetic vision datasets and the input-augmentation pipeline for the
+//! Contrastive Quant reproduction.
+//!
+//! The paper evaluates on CIFAR-100 and ImageNet, neither of which is
+//! available in this environment; per the substitution protocol
+//! (DESIGN.md §1) this crate generates procedural image datasets whose
+//! class identity is carried by *shape + colour + texture* latents that
+//! survive augmentation, while nuisance factors (pose, scale, background,
+//! lighting, noise) vary freely — exactly the structure contrastive
+//! learning exploits. Two presets mirror the paper's small-scale vs
+//! large-scale contrast:
+//!
+//! - [`DatasetConfig::cifarlike`]: 16×16, 10 classes, low diversity;
+//! - [`DatasetConfig::imagenetlike`]: 24×24, 20 classes, higher nuisance
+//!   diversity and more samples.
+//!
+//! # Example
+//!
+//! ```
+//! use cq_data::{DatasetConfig, Dataset};
+//!
+//! let cfg = DatasetConfig::cifarlike().with_sizes(64, 16);
+//! let (train, test) = Dataset::generate(&cfg);
+//! assert_eq!(train.len(), 64);
+//! assert_eq!(test.len(), 16);
+//! assert_eq!(train.image(0).dims(), &[3, 16, 16]);
+//! ```
+
+#![deny(missing_docs)]
+
+mod augment;
+mod batch;
+mod ppm;
+mod synth;
+
+pub use augment::{AugmentConfig, AugmentPipeline};
+pub use ppm::{contact_sheet, write_ppm};
+pub use batch::{BatchIter, TwoViewBatch, TwoViewLoader};
+pub use synth::{Dataset, DatasetConfig};

@@ -1,0 +1,108 @@
+//! Binary PPM (P6) export for CHW `f32` images — lets users eyeball the
+//! synthetic datasets, augmentations and detection scenes without any
+//! image-crate dependency.
+
+use std::io::Write;
+use std::path::Path;
+
+use cq_tensor::Tensor;
+
+/// Writes a `[3, H, W]` image with values in `[0, 1]` as binary PPM.
+///
+/// # Errors
+///
+/// Returns an I/O error on write failure.
+///
+/// # Panics
+///
+/// Panics if the tensor is not CHW with 3 channels.
+pub fn write_ppm(img: &Tensor, path: &Path) -> std::io::Result<()> {
+    assert_eq!(img.rank(), 3, "write_ppm expects [3, H, W]");
+    assert_eq!(img.dims()[0], 3, "write_ppm expects 3 channels");
+    let (h, w) = (img.dims()[1], img.dims()[2]);
+    let mut buf = Vec::with_capacity(32 + 3 * h * w);
+    write!(buf, "P6\n{w} {h}\n255\n")?;
+    let s = img.as_slice();
+    for y in 0..h {
+        for x in 0..w {
+            for c in 0..3 {
+                let v = (s[c * h * w + y * w + x].clamp(0.0, 1.0) * 255.0).round() as u8;
+                buf.push(v);
+            }
+        }
+    }
+    std::fs::write(path, buf)
+}
+
+/// Tiles a list of same-sized images into one `cols`-wide contact sheet
+/// (row-major, black padding for the ragged tail).
+///
+/// # Panics
+///
+/// Panics if `images` is empty, `cols == 0`, or sizes differ.
+pub fn contact_sheet(images: &[&Tensor], cols: usize) -> Tensor {
+    assert!(!images.is_empty(), "contact_sheet needs images");
+    assert!(cols > 0, "cols must be positive");
+    let (h, w) = (images[0].dims()[1], images[0].dims()[2]);
+    for img in images {
+        assert_eq!(img.dims(), &[3, h, w], "all tiles must share the size");
+    }
+    let rows = images.len().div_ceil(cols);
+    let (sheet_h, sheet_w) = (rows * h, cols * w);
+    let mut data = vec![0.0f32; 3 * sheet_h * sheet_w];
+    for (i, img) in images.iter().enumerate() {
+        let (r, ccol) = (i / cols, i % cols);
+        let s = img.as_slice();
+        for c in 0..3 {
+            for y in 0..h {
+                for x in 0..w {
+                    data[c * sheet_h * sheet_w + (r * h + y) * sheet_w + (ccol * w + x)] =
+                        s[c * h * w + y * w + x];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(data, &[3, sheet_h, sheet_w]).expect("sheet shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Tensor::full(&[3, 2, 3], 0.5);
+        let dir = std::env::temp_dir().join("cq_ppm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ppm");
+        write_ppm(&img, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), b"P6\n3 2\n255\n".len() + 3 * 2 * 3);
+        // 0.5 -> 128
+        assert_eq!(*bytes.last().unwrap(), 128);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn contact_sheet_tiles_row_major() {
+        let a = Tensor::full(&[3, 2, 2], 1.0);
+        let b = Tensor::zeros(&[3, 2, 2]);
+        let sheet = contact_sheet(&[&a, &b, &a], 2);
+        assert_eq!(sheet.dims(), &[3, 4, 4]);
+        // top-left tile is ones, top-right zeros
+        assert_eq!(sheet.at(&[0, 0, 0]), 1.0);
+        assert_eq!(sheet.at(&[0, 0, 2]), 0.0);
+        // bottom-left is the third image (ones), bottom-right padding (0)
+        assert_eq!(sheet.at(&[0, 2, 0]), 1.0);
+        assert_eq!(sheet.at(&[0, 2, 2]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the size")]
+    fn contact_sheet_rejects_mixed_sizes() {
+        let a = Tensor::zeros(&[3, 2, 2]);
+        let b = Tensor::zeros(&[3, 3, 3]);
+        contact_sheet(&[&a, &b], 2);
+    }
+}

@@ -1,0 +1,488 @@
+//! Procedural image dataset generator.
+//!
+//! Every sample is rendered from two groups of latent factors:
+//!
+//! - **class latents** (shared by all samples of a class): a shape
+//!   archetype, a base hue, and a texture frequency signature;
+//! - **nuisance latents** (per sample): object position/scale/rotation,
+//!   background gradient, lighting, and pixel noise.
+//!
+//! A good representation must become invariant to the nuisance factors
+//! while staying sensitive to the class latents — the same structure the
+//! paper's augmentation-consistency objective targets on CIFAR/ImageNet.
+
+use cq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Human-readable name ("cifarlike" / "imagenetlike").
+    pub name: String,
+    /// Square image side in pixels.
+    pub image_size: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Training-set size.
+    pub train_size: usize,
+    /// Test-set size.
+    pub test_size: usize,
+    /// Strength of nuisance variation in `[0, 1]` — the "diversity" axis
+    /// distinguishing the imagenetlike config from the cifarlike one.
+    pub nuisance: f32,
+    /// Master seed; train/test derive distinct streams from it.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Small-scale, low-diversity preset standing in for CIFAR-100.
+    pub fn cifarlike() -> Self {
+        DatasetConfig {
+            name: "cifarlike".into(),
+            image_size: 16,
+            num_classes: 10,
+            train_size: 2048,
+            test_size: 512,
+            nuisance: 0.45,
+            seed: 1001,
+        }
+    }
+
+    /// Larger, higher-diversity preset standing in for ImageNet.
+    pub fn imagenetlike() -> Self {
+        DatasetConfig {
+            name: "imagenetlike".into(),
+            image_size: 24,
+            num_classes: 20,
+            train_size: 4096,
+            test_size: 1024,
+            nuisance: 0.8,
+            seed: 2002,
+        }
+    }
+
+    /// Overrides the train/test sizes (scaled experiment protocol).
+    pub fn with_sizes(mut self, train: usize, test: usize) -> Self {
+        self.train_size = train;
+        self.test_size = test;
+        self
+    }
+
+    /// Overrides the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Class-level latent description.
+#[derive(Debug, Clone, Copy)]
+struct ClassLatent {
+    shape: u8,
+    hue: f32,
+    tex_freq: f32,
+    tex_angle: f32,
+}
+
+/// An in-memory labelled image dataset (CHW `f32` images in `[0, 1]`).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+    num_classes: usize,
+    image_size: usize,
+}
+
+impl Dataset {
+    /// Generates the train and test splits described by `cfg`.
+    ///
+    /// Both splits draw from the same class latents but disjoint nuisance
+    /// streams, like a real dataset's i.i.d. split.
+    pub fn generate(cfg: &DatasetConfig) -> (Dataset, Dataset) {
+        let latents = class_latents(cfg);
+        let train = Self::render_split(cfg, &latents, cfg.train_size, cfg.seed.wrapping_mul(0x9E37_79B9));
+        let test = Self::render_split(cfg, &latents, cfg.test_size, cfg.seed.wrapping_mul(0x85EB_CA6B).wrapping_add(1));
+        (train, test)
+    }
+
+    fn render_split(cfg: &DatasetConfig, latents: &[ClassLatent], n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % cfg.num_classes; // balanced classes
+            let img = render_sample(cfg, &latents[class], &mut rng);
+            images.push(img);
+            labels.push(class);
+        }
+        // Shuffle so class order is not systematic.
+        let perm = Tensor::permutation(n, &mut rng);
+        let images = perm.iter().map(|&i| images[i].clone()).collect();
+        let labels = perm.iter().map(|&i| labels[i]).collect();
+        Dataset { images, labels, num_classes: cfg.num_classes, image_size: cfg.image_size }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Image side length.
+    pub fn image_size(&self) -> usize {
+        self.image_size
+    }
+
+    /// The `i`-th image (`[3, H, W]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn image(&self, i: usize) -> &Tensor {
+        &self.images[i]
+    }
+
+    /// The `i`-th label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Stacks the images at `indices` into an NCHW batch with labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let c = 3;
+        let s = self.image_size;
+        let mut data = Vec::with_capacity(indices.len() * c * s * s);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.images[i].as_slice());
+            labels.push(self.labels[i]);
+        }
+        let t = Tensor::from_vec(data, &[indices.len(), c, s, s]).expect("batch assembly");
+        (t, labels)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Per-channel mean and standard deviation over the whole dataset —
+    /// useful for normalisation and for verifying generator changes.
+    pub fn channel_stats(&self) -> ([f32; 3], [f32; 3]) {
+        let s = self.image_size;
+        let mut mean = [0.0f64; 3];
+        let mut var = [0.0f64; 3];
+        let n = (self.images.len() * s * s).max(1) as f64;
+        for img in &self.images {
+            for c in 0..3 {
+                for &v in &img.as_slice()[c * s * s..(c + 1) * s * s] {
+                    mean[c] += v as f64;
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        for img in &self.images {
+            for c in 0..3 {
+                for &v in &img.as_slice()[c * s * s..(c + 1) * s * s] {
+                    let d = v as f64 - mean[c];
+                    var[c] += d * d;
+                }
+            }
+        }
+        let mean_f = [mean[0] as f32, mean[1] as f32, mean[2] as f32];
+        let std_f = [
+            (var[0] / n).sqrt() as f32,
+            (var[1] / n).sqrt() as f32,
+            (var[2] / n).sqrt() as f32,
+        ];
+        (mean_f, std_f)
+    }
+
+    /// Class-stratified label subset of the given fraction — the paper's
+    /// 10% / 1% semi-supervised fine-tuning splits. Guarantees at least
+    /// one sample per class.
+    pub fn stratified_subset(&self, fraction: f32, rng: &mut StdRng) -> Dataset {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_classes];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        let mut chosen = Vec::new();
+        for idxs in &by_class {
+            if idxs.is_empty() {
+                continue;
+            }
+            let k = ((idxs.len() as f32 * fraction).round() as usize).max(1).min(idxs.len());
+            let perm = Tensor::permutation(idxs.len(), rng);
+            chosen.extend(perm[..k].iter().map(|&p| idxs[p]));
+        }
+        chosen.sort_unstable();
+        Dataset {
+            images: chosen.iter().map(|&i| self.images[i].clone()).collect(),
+            labels: chosen.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+            image_size: self.image_size,
+        }
+    }
+}
+
+/// Golden-ratio-spaced hues plus shape/texture assignment per class.
+fn class_latents(cfg: &DatasetConfig) -> Vec<ClassLatent> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.num_classes)
+        .map(|c| ClassLatent {
+            shape: (c % 5) as u8,
+            hue: (c as f32 * 0.618_034) % 1.0,
+            tex_freq: 1.5 + (c / 5) as f32 * 1.7 + rng.gen_range(0.0..0.4),
+            tex_angle: rng.gen_range(0.0..std::f32::consts::PI),
+        })
+        .collect()
+}
+
+/// HSV-ish hue to RGB (s = v = 1).
+fn hue_to_rgb(h: f32) -> [f32; 3] {
+    let h6 = (h % 1.0) * 6.0;
+    let x = 1.0 - (h6 % 2.0 - 1.0).abs();
+    match h6 as usize {
+        0 => [1.0, x, 0.0],
+        1 => [x, 1.0, 0.0],
+        2 => [0.0, 1.0, x],
+        3 => [0.0, x, 1.0],
+        4 => [x, 0.0, 1.0],
+        _ => [1.0, 0.0, x],
+    }
+}
+
+/// Signed distance-ish membership of point `(u, v)` (object frame, roughly
+/// `[-1, 1]`) in shape `id`. Positive inside.
+fn shape_mask(id: u8, u: f32, v: f32) -> bool {
+    match id {
+        0 => u * u + v * v < 0.8,                          // disc
+        1 => u.abs() < 0.75 && v.abs() < 0.75,             // square
+        2 => v > -0.7 && v < 1.3 * (0.75 - u.abs()),       // triangle
+        3 => (u * u + v * v < 0.9) && (u * u + v * v > 0.35), // ring
+        _ => u.abs() + v.abs() < 0.95,                     // diamond
+    }
+}
+
+/// Renders one sample: background gradient + textured class shape +
+/// lighting + noise.
+fn render_sample(cfg: &DatasetConfig, lat: &ClassLatent, rng: &mut StdRng) -> Tensor {
+    let s = cfg.image_size;
+    let nu = cfg.nuisance;
+    // nuisance draws
+    let cx = 0.5 + nu * rng.gen_range(-0.25..0.25);
+    let cy = 0.5 + nu * rng.gen_range(-0.25..0.25);
+    let scale = 0.34 * (1.0 + nu * rng.gen_range(-0.35..0.35));
+    let rot = nu * rng.gen_range(-0.8..0.8f32);
+    let (sin_r, cos_r) = rot.sin_cos();
+    let bg_hue = rng.gen_range(0.0..1.0f32);
+    let bg_angle = rng.gen_range(0.0..std::f32::consts::PI);
+    let (bg_sin, bg_cos) = bg_angle.sin_cos();
+    let bg_strength = 0.2 + 0.3 * nu;
+    let light = 1.0 + nu * rng.gen_range(-0.3..0.3);
+    let noise_sigma = 0.02 + 0.06 * nu;
+    let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+
+    let fg = hue_to_rgb(lat.hue);
+    let bg = hue_to_rgb(bg_hue);
+    let (ta_sin, ta_cos) = lat.tex_angle.sin_cos();
+
+    let mut data = vec![0.0f32; 3 * s * s];
+    for y in 0..s {
+        for x in 0..s {
+            let fx = x as f32 / s as f32;
+            let fy = y as f32 / s as f32;
+            // object-frame coordinates
+            let du = (fx - cx) / scale;
+            let dv = (fy - cy) / scale;
+            let u = cos_r * du - sin_r * dv;
+            let v = sin_r * du + cos_r * dv;
+            let inside = shape_mask(lat.shape, u, v);
+            let px = if inside {
+                // class texture: oriented sinusoid at the class frequency
+                let t = ((u * ta_cos + v * ta_sin) * lat.tex_freq * std::f32::consts::PI + phase)
+                    .sin()
+                    * 0.5
+                    + 0.5;
+                [
+                    fg[0] * (0.55 + 0.45 * t),
+                    fg[1] * (0.55 + 0.45 * t),
+                    fg[2] * (0.55 + 0.45 * t),
+                ]
+            } else {
+                let g = 0.5 + bg_strength * ((fx - 0.5) * bg_cos + (fy - 0.5) * bg_sin);
+                [bg[0] * g * 0.6, bg[1] * g * 0.6, bg[2] * g * 0.6]
+            };
+            for (ci, &val) in px.iter().enumerate() {
+                let noisy = val * light + noise_sigma * gauss(rng);
+                data[ci * s * s + y * s + x] = noisy.clamp(0.0, 1.0);
+            }
+        }
+    }
+    Tensor::from_vec(data, &[3, s, s]).expect("render buffer matches shape")
+}
+
+/// One standard-normal sample (Box–Muller, single value).
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> DatasetConfig {
+        DatasetConfig::cifarlike().with_sizes(40, 20)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = Dataset::generate(&tiny_cfg());
+        let (b, _) = Dataset::generate(&tiny_cfg());
+        assert_eq!(a.image(0), b.image(0));
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = Dataset::generate(&tiny_cfg());
+        let (b, _) = Dataset::generate(&tiny_cfg().with_seed(999));
+        assert_ne!(a.image(0), b.image(0));
+    }
+
+    #[test]
+    fn images_are_valid_chw_unit_range() {
+        let (train, test) = Dataset::generate(&tiny_cfg());
+        for ds in [&train, &test] {
+            for i in 0..ds.len() {
+                let img = ds.image(i);
+                assert_eq!(img.dims(), &[3, 16, 16]);
+                assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let (train, _) = Dataset::generate(&tiny_cfg());
+        let mut counts = vec![0usize; train.num_classes()];
+        for &l in train.labels() {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, vec![4; 10]);
+    }
+
+    #[test]
+    fn same_class_samples_share_structure_more_than_cross_class() {
+        // mean intra-class pixel distance must be below inter-class
+        // distance — otherwise the class latents would carry no signal.
+        let cfg = DatasetConfig::cifarlike().with_sizes(200, 10);
+        let (train, _) = Dataset::generate(&cfg);
+        let mut intra = (0.0f32, 0usize);
+        let mut inter = (0.0f32, 0usize);
+        for i in 0..60 {
+            for j in (i + 1)..60 {
+                let d = train.image(i).sub(train.image(j)).unwrap().sq_norm();
+                if train.label(i) == train.label(j) {
+                    intra.0 += d;
+                    intra.1 += 1;
+                } else {
+                    inter.0 += d;
+                    inter.1 += 1;
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1.max(1) as f32;
+        let inter_mean = inter.0 / inter.1.max(1) as f32;
+        assert!(
+            intra_mean < inter_mean,
+            "intra {intra_mean} must be < inter {inter_mean}"
+        );
+    }
+
+    #[test]
+    fn batch_assembly() {
+        let (train, _) = Dataset::generate(&tiny_cfg());
+        let (x, labels) = train.batch(&[0, 3, 5]);
+        assert_eq!(x.dims(), &[3, 3, 16, 16]);
+        assert_eq!(labels.len(), 3);
+        assert_eq!(&x.as_slice()[..768], train.image(0).as_slice());
+    }
+
+    #[test]
+    fn stratified_subset_fraction_and_coverage() {
+        let cfg = DatasetConfig::cifarlike().with_sizes(400, 10);
+        let (train, _) = Dataset::generate(&cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sub = train.stratified_subset(0.1, &mut rng);
+        assert_eq!(sub.len(), 40); // 10% of 400, stratified
+        let mut seen = [false; 10];
+        for &l in sub.labels() {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every class represented");
+        // 1%: at least one per class
+        let sub1 = train.stratified_subset(0.01, &mut rng);
+        assert_eq!(sub1.len(), 10);
+    }
+
+    #[test]
+    fn imagenetlike_is_larger_and_more_diverse() {
+        let c = DatasetConfig::cifarlike();
+        let i = DatasetConfig::imagenetlike();
+        assert!(i.image_size > c.image_size);
+        assert!(i.num_classes > c.num_classes);
+        assert!(i.nuisance > c.nuisance);
+        assert!(i.train_size > c.train_size);
+    }
+
+    #[test]
+    fn class_counts_and_channel_stats() {
+        let (train, _) = Dataset::generate(&tiny_cfg());
+        assert_eq!(train.class_counts().iter().sum::<usize>(), train.len());
+        let (mean, std) = train.channel_stats();
+        for c in 0..3 {
+            assert!((0.05..0.95).contains(&mean[c]), "mean[{c}] = {}", mean[c]);
+            assert!(std[c] > 0.01, "std[{c}] = {}", std[c]);
+        }
+    }
+
+    #[test]
+    fn hue_wheel_produces_distinct_primaries() {
+        assert_eq!(hue_to_rgb(0.0), [1.0, 0.0, 0.0]);
+        let g = hue_to_rgb(2.0 / 6.0);
+        assert!(g[1] == 1.0 && g[0] < 0.01);
+    }
+}

@@ -1,0 +1,130 @@
+//! Axis-aligned bounding boxes, IoU and non-maximum suppression.
+
+/// An axis-aligned box in normalised `[0, 1]` center-size coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Center x.
+    pub cx: f32,
+    /// Center y.
+    pub cy: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+}
+
+impl BBox {
+    /// Creates a box, clamping size to be non-negative.
+    pub fn new(cx: f32, cy: f32, w: f32, h: f32) -> Self {
+        BBox { cx, cy, w: w.max(0.0), h: h.max(0.0) }
+    }
+
+    /// Corner coordinates `(x0, y0, x1, y1)`.
+    pub fn corners(&self) -> (f32, f32, f32, f32) {
+        (
+            self.cx - self.w / 2.0,
+            self.cy - self.h / 2.0,
+            self.cx + self.w / 2.0,
+            self.cy + self.h / 2.0,
+        )
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f32 {
+        self.w * self.h
+    }
+}
+
+/// Intersection-over-union of two boxes, in `[0, 1]`.
+pub fn iou(a: &BBox, b: &BBox) -> f32 {
+    let (ax0, ay0, ax1, ay1) = a.corners();
+    let (bx0, by0, bx1, by1) = b.corners();
+    let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+    let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+    let inter = ix * iy;
+    let union = a.area() + b.area() - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Greedy non-maximum suppression: keeps the highest-scoring boxes,
+/// dropping any box with IoU above `thresh` against an already-kept box
+/// of the same class. Returns indices into the input, descending by
+/// score.
+pub fn nms(boxes: &[BBox], scores: &[f32], classes: &[usize], thresh: f32) -> Vec<usize> {
+    assert_eq!(boxes.len(), scores.len());
+    assert_eq!(boxes.len(), classes.len());
+    let mut order: Vec<usize> = (0..boxes.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut keep = Vec::new();
+    for &i in &order {
+        let suppressed = keep.iter().any(|&k: &usize| {
+            classes[k] == classes[i] && iou(&boxes[k], &boxes[i]) > thresh
+        });
+        if !suppressed {
+            keep.push(i);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iou_identical_is_one() {
+        let b = BBox::new(0.5, 0.5, 0.2, 0.2);
+        assert!((iou(&b, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = BBox::new(0.2, 0.2, 0.1, 0.1);
+        let b = BBox::new(0.8, 0.8, 0.1, 0.1);
+        assert_eq!(iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        // two unit-width boxes offset by half a width: inter = 0.5, union = 1.5
+        let a = BBox::new(0.5, 0.5, 0.2, 0.2);
+        let b = BBox::new(0.6, 0.5, 0.2, 0.2);
+        let expected = 0.1 * 0.2 / (2.0 * 0.04 - 0.02);
+        assert!((iou(&a, &b) - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn iou_zero_area_boxes() {
+        let a = BBox::new(0.5, 0.5, 0.0, 0.0);
+        assert_eq!(iou(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn nms_suppresses_same_class_overlaps() {
+        let boxes = vec![
+            BBox::new(0.5, 0.5, 0.2, 0.2),
+            BBox::new(0.51, 0.5, 0.2, 0.2), // overlaps box 0
+            BBox::new(0.9, 0.9, 0.1, 0.1),  // far away
+        ];
+        let keep = nms(&boxes, &[0.9, 0.8, 0.7], &[0, 0, 0], 0.5);
+        assert_eq!(keep, vec![0, 2]);
+    }
+
+    #[test]
+    fn nms_keeps_cross_class_overlaps() {
+        let boxes = vec![BBox::new(0.5, 0.5, 0.2, 0.2), BBox::new(0.5, 0.5, 0.2, 0.2)];
+        let keep = nms(&boxes, &[0.9, 0.8], &[0, 1], 0.5);
+        assert_eq!(keep.len(), 2);
+    }
+
+    #[test]
+    fn nms_orders_by_score() {
+        let boxes = vec![BBox::new(0.2, 0.2, 0.1, 0.1), BBox::new(0.8, 0.8, 0.1, 0.1)];
+        let keep = nms(&boxes, &[0.3, 0.9], &[0, 0], 0.5);
+        assert_eq!(keep, vec![1, 0]);
+    }
+}

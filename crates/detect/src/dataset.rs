@@ -1,0 +1,303 @@
+//! Synthetic detection dataset: images with 1–3 coloured shapes and their
+//! ground-truth boxes — the Pascal VOC stand-in for the Table 3 transfer.
+
+use cq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::BBox;
+
+/// A ground-truth object: box plus class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GtBox {
+    /// Normalised box.
+    pub bbox: BBox,
+    /// Object class (shape archetype).
+    pub class: usize,
+}
+
+/// Configuration of the synthetic detection dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionConfig {
+    /// Square image side.
+    pub image_size: usize,
+    /// Number of object classes (shape archetypes, ≤ 5).
+    pub num_classes: usize,
+    /// Maximum objects per image (≥ 1).
+    pub max_objects: usize,
+    /// Training images.
+    pub train_size: usize,
+    /// Test images.
+    pub test_size: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig {
+            image_size: 24,
+            num_classes: 5,
+            max_objects: 3,
+            train_size: 512,
+            test_size: 128,
+            seed: 4004,
+        }
+    }
+}
+
+impl DetectionConfig {
+    /// Overrides the split sizes.
+    pub fn with_sizes(mut self, train: usize, test: usize) -> Self {
+        self.train_size = train;
+        self.test_size = test;
+        self
+    }
+}
+
+/// An in-memory detection dataset.
+#[derive(Debug, Clone)]
+pub struct DetDataset {
+    images: Vec<Tensor>,
+    annotations: Vec<Vec<GtBox>>,
+    num_classes: usize,
+    image_size: usize,
+}
+
+impl DetDataset {
+    /// Generates train and test splits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (0 classes, > 5 classes, 0 objects).
+    pub fn generate(cfg: &DetectionConfig) -> (DetDataset, DetDataset) {
+        assert!((1..=5).contains(&cfg.num_classes), "1..=5 shape classes supported");
+        assert!(cfg.max_objects >= 1, "max_objects must be >= 1");
+        let train = Self::render_split(cfg, cfg.train_size, cfg.seed.wrapping_mul(31));
+        let test = Self::render_split(cfg, cfg.test_size, cfg.seed.wrapping_mul(37).wrapping_add(5));
+        (train, test)
+    }
+
+    fn render_split(cfg: &DetectionConfig, n: usize, seed: u64) -> DetDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::with_capacity(n);
+        let mut annotations = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (img, anns) = render_scene(cfg, &mut rng);
+            images.push(img);
+            annotations.push(anns);
+        }
+        DetDataset { images, annotations, num_classes: cfg.num_classes, image_size: cfg.image_size }
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Image side length.
+    pub fn image_size(&self) -> usize {
+        self.image_size
+    }
+
+    /// The `i`-th image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn image(&self, i: usize) -> &Tensor {
+        &self.images[i]
+    }
+
+    /// Ground truth of the `i`-th image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn annotations(&self, i: usize) -> &[GtBox] {
+        &self.annotations[i]
+    }
+
+    /// Stacks images at `indices` into an NCHW batch plus their ground
+    /// truths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<Vec<GtBox>>) {
+        let s = self.image_size;
+        let mut data = Vec::with_capacity(indices.len() * 3 * s * s);
+        let mut anns = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.images[i].as_slice());
+            anns.push(self.annotations[i].clone());
+        }
+        (
+            Tensor::from_vec(data, &[indices.len(), 3, s, s]).expect("batch shape"),
+            anns,
+        )
+    }
+}
+
+/// Class hue (objects are colour+shape coded so transferable colour/shape
+/// features from SSL pretraining help).
+fn class_color(class: usize) -> [f32; 3] {
+    match class {
+        0 => [0.95, 0.2, 0.15],
+        1 => [0.2, 0.9, 0.25],
+        2 => [0.2, 0.35, 0.95],
+        3 => [0.95, 0.9, 0.2],
+        _ => [0.9, 0.25, 0.9],
+    }
+}
+
+fn shape_mask(class: usize, u: f32, v: f32) -> bool {
+    match class {
+        0 => u * u + v * v < 1.0,
+        1 => u.abs() < 0.85 && v.abs() < 0.85,
+        2 => v > -0.8 && v < 1.4 * (0.8 - u.abs()),
+        3 => (u * u + v * v < 1.0) && (u * u + v * v > 0.4),
+        _ => u.abs() + v.abs() < 1.0,
+    }
+}
+
+fn render_scene(cfg: &DetectionConfig, rng: &mut StdRng) -> (Tensor, Vec<GtBox>) {
+    let s = cfg.image_size;
+    // background gradient
+    let bg = rng.gen_range(0.1..0.45f32);
+    let tilt = rng.gen_range(-0.2..0.2f32);
+    let mut data = vec![0.0f32; 3 * s * s];
+    for y in 0..s {
+        for x in 0..s {
+            let g = (bg + tilt * (x as f32 + y as f32) / (2.0 * s as f32)).clamp(0.0, 1.0);
+            data[y * s + x] = g;
+            data[s * s + y * s + x] = g;
+            data[2 * s * s + y * s + x] = g;
+        }
+    }
+    let count = rng.gen_range(1..=cfg.max_objects);
+    let mut anns: Vec<GtBox> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let class = rng.gen_range(0..cfg.num_classes);
+        // try a few times to find a placement with low overlap
+        let mut placed = None;
+        for _ in 0..8 {
+            let w = rng.gen_range(0.25..0.5f32);
+            let h = w * rng.gen_range(0.8..1.25);
+            let cx = rng.gen_range(w / 2.0..1.0 - w / 2.0);
+            let cy = rng.gen_range(h / 2.0..1.0 - h / 2.0);
+            let cand = BBox::new(cx, cy, w, h);
+            if anns.iter().all(|a| crate::iou(&a.bbox, &cand) < 0.15) {
+                placed = Some(cand);
+                break;
+            }
+        }
+        let Some(bbox) = placed else { continue };
+        let color = class_color(class);
+        let shade = rng.gen_range(0.75..1.0f32);
+        for y in 0..s {
+            for x in 0..s {
+                let fx = (x as f32 + 0.5) / s as f32;
+                let fy = (y as f32 + 0.5) / s as f32;
+                let u = (fx - bbox.cx) / (bbox.w / 2.0);
+                let v = (fy - bbox.cy) / (bbox.h / 2.0);
+                if u.abs() <= 1.0 && v.abs() <= 1.0 && shape_mask(class, u, v) {
+                    for (c, &col) in color.iter().enumerate() {
+                        data[c * s * s + y * s + x] = (col * shade).clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+        anns.push(GtBox { bbox, class });
+    }
+    (Tensor::from_vec(data, &[3, s, s]).expect("scene shape"), anns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DetectionConfig {
+        DetectionConfig { train_size: 16, test_size: 8, ..Default::default() }
+    }
+
+    #[test]
+    fn generation_shapes_and_determinism() {
+        let (a, t) = DetDataset::generate(&tiny());
+        assert_eq!(a.len(), 16);
+        assert_eq!(t.len(), 8);
+        assert_eq!(a.image(0).dims(), &[3, 24, 24]);
+        let (b, _) = DetDataset::generate(&tiny());
+        assert_eq!(a.image(3), b.image(3));
+        assert_eq!(a.annotations(3), b.annotations(3));
+    }
+
+    #[test]
+    fn annotations_in_bounds() {
+        let (train, _) = DetDataset::generate(&tiny());
+        for i in 0..train.len() {
+            let anns = train.annotations(i);
+            assert!(!anns.is_empty());
+            assert!(anns.len() <= 3);
+            for a in anns {
+                let (x0, y0, x1, y1) = a.bbox.corners();
+                assert!(x0 >= -1e-4 && y0 >= -1e-4 && x1 <= 1.0 + 1e-4 && y1 <= 1.0 + 1e-4);
+                assert!(a.class < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn objects_render_inside_their_boxes() {
+        // pixel colour inside a gt box should differ from the grayscale
+        // background somewhere
+        let (train, _) = DetDataset::generate(&tiny());
+        let s = 24;
+        for i in 0..4 {
+            let img = train.image(i).as_slice();
+            for a in train.annotations(i) {
+                // some pixel inside the gt box must be coloured (the ring
+                // class is hollow at its exact center, so scan the box)
+                let (x0, y0, x1, y1) = a.bbox.corners();
+                let mut found = false;
+                for y in (y0.max(0.0) * s as f32) as usize..((y1.min(1.0) * s as f32) as usize).min(s) {
+                    for x in (x0.max(0.0) * s as f32) as usize..((x1.min(1.0) * s as f32) as usize).min(s) {
+                        let idx = y * s + x;
+                        let r = img[idx];
+                        let g = img[s * s + idx];
+                        let b = img[2 * s * s + idx];
+                        if (r - g).abs() > 1e-5 || (g - b).abs() > 1e-5 {
+                            found = true;
+                        }
+                    }
+                }
+                assert!(found, "image {i}: box should contain coloured pixels");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_assembly() {
+        let (train, _) = DetDataset::generate(&tiny());
+        let (x, anns) = train.batch(&[0, 1]);
+        assert_eq!(x.dims(), &[2, 3, 24, 24]);
+        assert_eq!(anns.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape classes")]
+    fn too_many_classes_rejected() {
+        let cfg = DetectionConfig { num_classes: 9, ..tiny() };
+        DetDataset::generate(&cfg);
+    }
+}

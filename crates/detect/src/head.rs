@@ -1,0 +1,195 @@
+//! Single-scale YOLO-style detection head and prediction decoding.
+
+use cq_nn::{BatchNorm2d, Cache, Conv2d, ForwardCtx, GradSet, Layer, NnError, ParamSet, Relu};
+use cq_tensor::{Conv2dSpec, Tensor};
+use rand::rngs::StdRng;
+
+use crate::BBox;
+
+/// A decoded detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted box (normalised coordinates).
+    pub bbox: BBox,
+    /// Confidence score (objectness × class probability).
+    pub score: f32,
+    /// Predicted class.
+    pub class: usize,
+}
+
+/// YOLO-style grid head: `conv3×3 → BN → ReLU → conv1×1` mapping the
+/// backbone's spatial features `[N, C, g, g]` to raw predictions
+/// `[N, 5 + K, g, g]` (objectness, tx, ty, tw, th, class logits).
+pub struct DetectionHead {
+    conv1: Conv2d,
+    bn: BatchNorm2d,
+    relu: Relu,
+    conv2: Conv2d,
+    num_classes: usize,
+}
+
+impl std::fmt::Debug for DetectionHead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DetectionHead(classes={})", self.num_classes)
+    }
+}
+
+/// Forward trace of [`DetectionHead`].
+struct HeadCache {
+    c1: Cache,
+    b: Cache,
+    r: Cache,
+    c2: Cache,
+}
+
+impl DetectionHead {
+    /// Creates a head over `in_channels` backbone channels for
+    /// `num_classes` object classes.
+    pub fn new(
+        ps: &mut ParamSet,
+        in_channels: usize,
+        num_classes: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let conv1 = Conv2d::new(ps, "det.conv1", in_channels, in_channels, Conv2dSpec::new(3, 1, 1), false, rng);
+        let bn = BatchNorm2d::new(ps, "det.bn", in_channels);
+        let conv2 = Conv2d::new(ps, "det.conv2", in_channels, 5 + num_classes, Conv2dSpec::new(1, 1, 0), true, rng);
+        DetectionHead { conv1, bn, relu: Relu::new(), conv2, num_classes }
+    }
+
+    /// Number of object classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+impl Layer for DetectionHead {
+    fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache), NnError> {
+        let (y1, c1) = self.conv1.forward(ps, x, ctx)?;
+        let (y2, b) = self.bn.forward(ps, &y1, ctx)?;
+        let (y3, r) = self.relu.forward(ps, &y2, ctx)?;
+        let (y4, c2) = self.conv2.forward(ps, &y3, ctx)?;
+        Ok((y4, Cache::new(HeadCache { c1, b, r, c2 })))
+    }
+
+    fn backward(&self, ps: &ParamSet, cache: &Cache, dy: &Tensor, gs: &mut GradSet) -> Result<Tensor, NnError> {
+        let c = cache.downcast::<HeadCache>("DetectionHead")?;
+        let d3 = self.conv2.backward(ps, &c.c2, dy, gs)?;
+        let d2 = self.relu.backward(ps, &c.r, &d3, gs)?;
+        let d1 = self.bn.backward(ps, &c.b, &d2, gs)?;
+        self.conv1.backward(ps, &c.c1, &d1, gs)
+    }
+
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        self.bn.state_tensors()
+    }
+
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        self.bn.state_tensors_mut()
+    }
+}
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Decodes raw head output `[N, 5+K, g, g]` into per-image predictions
+/// with `score >= conf_thresh`.
+///
+/// Cell `(gy, gx)` decodes to `cx = (gx + σ(tx)) / g`,
+/// `cy = (gy + σ(ty)) / g`, `w = σ(tw)`, `h = σ(th)`; the score is
+/// `σ(obj) · max_class_prob`.
+///
+/// # Panics
+///
+/// Panics if the channel count does not match `5 + num_classes`.
+pub fn decode_predictions(raw: &Tensor, num_classes: usize, conf_thresh: f32) -> Vec<Vec<Prediction>> {
+    assert_eq!(raw.rank(), 4, "decode expects [N, 5+K, g, g]");
+    let (n, a, gh, gw) = (raw.dims()[0], raw.dims()[1], raw.dims()[2], raw.dims()[3]);
+    assert_eq!(a, 5 + num_classes, "channel count mismatch");
+    let rs = raw.as_slice();
+    let cell = |ni: usize, ch: usize, gy: usize, gx: usize| rs[((ni * a + ch) * gh + gy) * gw + gx];
+    let mut out = Vec::with_capacity(n);
+    for ni in 0..n {
+        let mut preds = Vec::new();
+        for gy in 0..gh {
+            for gx in 0..gw {
+                let obj = sigmoid(cell(ni, 0, gy, gx));
+                // softmax over class logits
+                let logits: Vec<f32> = (0..num_classes).map(|k| cell(ni, 5 + k, gy, gx)).collect();
+                let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let exps: Vec<f32> = logits.iter().map(|&v| (v - mx).exp()).collect();
+                let sum: f32 = exps.iter().sum();
+                let (best, best_p) = exps
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, &e)| (i, e / sum))
+                    .unwrap_or((0, 0.0));
+                let score = obj * best_p;
+                if score < conf_thresh {
+                    continue;
+                }
+                let cx = (gx as f32 + sigmoid(cell(ni, 1, gy, gx))) / gw as f32;
+                let cy = (gy as f32 + sigmoid(cell(ni, 2, gy, gx))) / gh as f32;
+                let w = sigmoid(cell(ni, 3, gy, gx));
+                let h = sigmoid(cell(ni, 4, gy, gx));
+                preds.push(Prediction { bbox: BBox::new(cx, cy, w, h), score, class: best });
+            }
+        }
+        out.push(preds);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn head_shapes() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut head = DetectionHead::new(&mut ps, 8, 5, &mut rng);
+        let x = Tensor::ones(&[2, 8, 3, 3]);
+        let (y, _) = head.forward(&ps, &x, &ForwardCtx::train()).unwrap();
+        assert_eq!(y.dims(), &[2, 10, 3, 3]);
+    }
+
+    #[test]
+    fn head_gradcheck() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let head = DetectionHead::new(&mut ps, 4, 3, &mut rng);
+        cq_nn::gradcheck::check_layer_soft(head, ps, &[2, 4, 3, 3], &ForwardCtx::train(), 8e-2);
+    }
+
+    #[test]
+    fn decode_thresholds_and_geometry() {
+        // hand-build raw output: one confident cell at (gy=1, gx=2) of 3x3
+        let (n, k, g) = (1usize, 2usize, 3usize);
+        let a = 5 + k;
+        let mut raw = vec![-10.0f32; n * a * g * g]; // all suppressed
+        let set = |raw: &mut Vec<f32>, ch: usize, gy: usize, gx: usize, v: f32| {
+            raw[(ch * g + gy) * g + gx] = v;
+        };
+        set(&mut raw, 0, 1, 2, 6.0); // obj = sigmoid(6) ~ 0.9975
+        set(&mut raw, 1, 1, 2, 0.0); // sigmoid 0.5 => cx = 2.5/3
+        set(&mut raw, 2, 1, 2, 0.0); // cy = 1.5/3
+        set(&mut raw, 3, 1, 2, 0.0); // w = 0.5
+        set(&mut raw, 4, 1, 2, 0.0); // h = 0.5
+        set(&mut raw, 5, 1, 2, 5.0); // class 0 dominant
+        let raw = Tensor::from_vec(raw, &[n, a, g, g]).unwrap();
+        let preds = decode_predictions(&raw, k, 0.3);
+        assert_eq!(preds[0].len(), 1);
+        let p = preds[0][0];
+        assert_eq!(p.class, 0);
+        assert!((p.bbox.cx - 2.5 / 3.0).abs() < 1e-4);
+        assert!((p.bbox.cy - 1.5 / 3.0).abs() < 1e-4);
+        assert!((p.bbox.w - 0.5).abs() < 1e-4);
+        assert!(p.score > 0.9);
+        // raising the threshold suppresses it
+        assert!(decode_predictions(&raw, k, 0.999)[0].is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! YOLO-style training loss with analytic gradients.
+
+use cq_nn::NnError;
+use cq_tensor::Tensor;
+
+use crate::GtBox;
+
+/// Loss weights (standard YOLO choices).
+const LAMBDA_BOX: f32 = 5.0;
+const LAMBDA_NOOBJ: f32 = 0.5;
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Computes the detection training loss and its gradient w.r.t. the raw
+/// head output `[N, 5+K, g, g]`.
+///
+/// Per ground-truth box, the grid cell containing the box center is
+/// responsible: binary cross-entropy pushes its objectness to 1, MSE (on
+/// sigmoid-decoded values, weight 5) fits the box, and cross-entropy fits
+/// the class. All other cells receive a down-weighted (0.5) no-object BCE.
+/// When two ground truths land in one cell, the first claims it.
+///
+/// # Errors
+///
+/// Returns an error on shape inconsistencies.
+pub fn yolo_loss(
+    raw: &Tensor,
+    gts: &[Vec<GtBox>],
+    num_classes: usize,
+) -> Result<(f32, Tensor), NnError> {
+    if raw.rank() != 4 || raw.dims()[1] != 5 + num_classes {
+        return Err(NnError::BadInput {
+            layer: "yolo_loss".into(),
+            expected: format!("[N, {}, g, g]", 5 + num_classes),
+            got: raw.dims().to_vec(),
+        });
+    }
+    let (n, a, gh, gw) = (raw.dims()[0], raw.dims()[1], raw.dims()[2], raw.dims()[3]);
+    if gts.len() != n {
+        return Err(NnError::BadInput {
+            layer: "yolo_loss".into(),
+            expected: format!("{n} ground-truth lists"),
+            got: vec![gts.len()],
+        });
+    }
+    let rs = raw.as_slice();
+    let idx = |ni: usize, ch: usize, gy: usize, gx: usize| ((ni * a + ch) * gh + gy) * gw + gx;
+
+    let mut loss = 0.0f32;
+    let mut grad = vec![0.0f32; raw.len()];
+    let norm = n as f32;
+
+    for (ni, anns) in gts.iter().enumerate() {
+        // Which cell is responsible for which annotation.
+        let mut responsible: Vec<Option<&GtBox>> = vec![None; gh * gw];
+        for gt in anns {
+            let gx = ((gt.bbox.cx * gw as f32) as usize).min(gw - 1);
+            let gy = ((gt.bbox.cy * gh as f32) as usize).min(gh - 1);
+            if responsible[gy * gw + gx].is_none() {
+                responsible[gy * gw + gx] = Some(gt);
+            }
+        }
+        for gy in 0..gh {
+            for gx in 0..gw {
+                let o = rs[idx(ni, 0, gy, gx)];
+                let p_obj = sigmoid(o);
+                match responsible[gy * gw + gx] {
+                    Some(gt) => {
+                        // objectness -> 1
+                        loss += -(p_obj.max(1e-7)).ln() / norm;
+                        grad[idx(ni, 0, gy, gx)] += (p_obj - 1.0) / norm;
+                        // box regression on sigmoid-decoded coordinates
+                        let targets = [
+                            gt.bbox.cx * gw as f32 - gx as f32,
+                            gt.bbox.cy * gh as f32 - gy as f32,
+                            gt.bbox.w,
+                            gt.bbox.h,
+                        ];
+                        for (ch, &target) in (1..5).zip(&targets) {
+                            let t = rs[idx(ni, ch, gy, gx)];
+                            let st = sigmoid(t);
+                            let diff = st - target.clamp(0.0, 1.0);
+                            loss += LAMBDA_BOX * diff * diff / norm;
+                            grad[idx(ni, ch, gy, gx)] +=
+                                LAMBDA_BOX * 2.0 * diff * st * (1.0 - st) / norm;
+                        }
+                        // class cross-entropy
+                        let logits: Vec<f32> =
+                            (0..num_classes).map(|k| rs[idx(ni, 5 + k, gy, gx)]).collect();
+                        let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                        let sum: f32 = logits.iter().map(|&v| (v - mx).exp()).sum();
+                        let lse = sum.ln() + mx;
+                        loss += (lse - logits[gt.class]) / norm;
+                        for (k, &l) in logits.iter().enumerate() {
+                            let p = (l - lse).exp();
+                            grad[idx(ni, 5 + k, gy, gx)] +=
+                                (p - if k == gt.class { 1.0 } else { 0.0 }) / norm;
+                        }
+                    }
+                    None => {
+                        // objectness -> 0, down-weighted
+                        loss += -LAMBDA_NOOBJ * (1.0 - p_obj).max(1e-7).ln() / norm;
+                        grad[idx(ni, 0, gy, gx)] += LAMBDA_NOOBJ * p_obj / norm;
+                    }
+                }
+            }
+        }
+    }
+    Ok((loss, Tensor::from_vec(grad, raw.dims())?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BBox;
+    use rand::SeedableRng;
+
+    fn one_gt() -> Vec<Vec<GtBox>> {
+        vec![vec![GtBox { bbox: BBox::new(0.5, 0.5, 0.4, 0.4), class: 1 }]]
+    }
+
+    #[test]
+    fn loss_gradient_matches_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let raw = Tensor::randn(&[1, 5 + 3, 3, 3], 0.0, 1.0, &mut rng);
+        let gts = one_gt();
+        let (_, grad) = yolo_loss(&raw, &gts, 3).unwrap();
+        let eps = 1e-3;
+        for idx in (0..raw.len()).step_by(7) {
+            let mut rp = raw.clone();
+            rp.as_mut_slice()[idx] += eps;
+            let mut rm = raw.clone();
+            rm.as_mut_slice()[idx] -= eps;
+            let fd = (yolo_loss(&rp, &gts, 3).unwrap().0 - yolo_loss(&rm, &gts, 3).unwrap().0)
+                / (2.0 * eps);
+            let an = grad.as_slice()[idx];
+            assert!((fd - an).abs() < 1e-3, "[{idx}]: fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_small_loss() {
+        // Build a raw tensor decoding exactly to the gt.
+        let gts = one_gt();
+        let (g, k) = (3usize, 3usize);
+        let a = 5 + k;
+        let mut raw = vec![-12.0f32; a * g * g]; // all no-obj, sigmoid ~ 0
+        // gt center (0.5, 0.5) -> cell (1,1), offsets 0.5 -> logit 0
+        let set = |raw: &mut Vec<f32>, ch: usize, v: f32| raw[(ch * g + 1) * g + 1] = v;
+        set(&mut raw, 0, 12.0);
+        set(&mut raw, 1, 0.0);
+        set(&mut raw, 2, 0.0);
+        // w = h = 0.4 => logit = ln(0.4/0.6)
+        let wl = (0.4f32 / 0.6).ln();
+        set(&mut raw, 3, wl);
+        set(&mut raw, 4, wl);
+        set(&mut raw, 6, 12.0); // class 1 dominant
+        let raw = Tensor::from_vec(raw, &[1, a, g, g]).unwrap();
+        let (loss, _) = yolo_loss(&raw, &gts, k).unwrap();
+        assert!(loss < 0.01, "near-perfect prediction loss {loss}");
+
+        // A bad prediction must cost more.
+        let bad = Tensor::zeros(&[1, a, g, g]);
+        let (bad_loss, _) = yolo_loss(&bad, &gts, k).unwrap();
+        assert!(bad_loss > loss * 10.0);
+    }
+
+    #[test]
+    fn validates_shapes() {
+        let raw = Tensor::zeros(&[1, 8, 3, 3]);
+        assert!(yolo_loss(&raw, &one_gt(), 4).is_err()); // 5+4 != 8
+        let ok = Tensor::zeros(&[2, 8, 3, 3]);
+        assert!(yolo_loss(&ok, &one_gt(), 3).is_err()); // 1 gt list for 2 images
+    }
+
+    #[test]
+    fn empty_annotations_are_pure_noobj() {
+        let raw = Tensor::zeros(&[1, 8, 2, 2]);
+        let (loss, grad) = yolo_loss(&raw, &[vec![]], 3).unwrap();
+        // all 4 cells: 0.5 * -ln(0.5)
+        let expected = 4.0 * 0.5 * (2.0f32).ln();
+        assert!((loss - expected).abs() < 1e-5);
+        // gradient only on objectness channel
+        for ch in 1..8 {
+            for c in 0..4 {
+                assert_eq!(grad.as_slice()[ch * 4 + c], 0.0);
+            }
+        }
+    }
+}

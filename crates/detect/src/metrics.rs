@@ -1,0 +1,204 @@
+//! Detection evaluation: per-class average precision and the COCO-style
+//! AP / AP50 / AP75 summary of the paper's Table 3.
+
+use crate::{iou, GtBox, Prediction};
+
+/// Detection quality metrics (×100, as the paper reports them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetMetrics {
+    /// Mean AP over IoU thresholds 0.50:0.05:0.95.
+    pub ap: f32,
+    /// AP at IoU 0.50.
+    pub ap50: f32,
+    /// AP at IoU 0.75.
+    pub ap75: f32,
+}
+
+impl std::fmt::Display for DetMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AP {:.2} / AP50 {:.2} / AP75 {:.2}", self.ap, self.ap50, self.ap75)
+    }
+}
+
+/// Average precision for one class at one IoU threshold, over all images.
+fn class_ap(
+    preds: &[Vec<Prediction>],
+    gts: &[Vec<GtBox>],
+    class: usize,
+    iou_thresh: f32,
+) -> Option<f32> {
+    let total_gt: usize = gts.iter().map(|g| g.iter().filter(|b| b.class == class).count()).sum();
+    if total_gt == 0 {
+        return None;
+    }
+    // Flatten class predictions with image ids, sort by score.
+    let mut dets: Vec<(usize, &Prediction)> = Vec::new();
+    for (img, ps) in preds.iter().enumerate() {
+        for p in ps.iter().filter(|p| p.class == class) {
+            dets.push((img, p));
+        }
+    }
+    dets.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut matched: Vec<Vec<bool>> =
+        gts.iter().map(|g| vec![false; g.len()]).collect();
+    let mut tp = Vec::with_capacity(dets.len());
+    for (img, p) in &dets {
+        // best unmatched same-class gt in this image
+        let mut best = None;
+        let mut best_iou = iou_thresh;
+        for (gi, gt) in gts[*img].iter().enumerate() {
+            if gt.class != class || matched[*img][gi] {
+                continue;
+            }
+            let i = iou(&p.bbox, &gt.bbox);
+            if i >= best_iou {
+                best_iou = i;
+                best = Some(gi);
+            }
+        }
+        match best {
+            Some(gi) => {
+                matched[*img][gi] = true;
+                tp.push(true);
+            }
+            None => tp.push(false),
+        }
+    }
+    // precision-recall with monotone precision envelope
+    let mut cum_tp = 0usize;
+    let mut curve: Vec<(f32, f32)> = Vec::with_capacity(tp.len());
+    for (i, &is_tp) in tp.iter().enumerate() {
+        if is_tp {
+            cum_tp += 1;
+        }
+        let prec = cum_tp as f32 / (i + 1) as f32;
+        let rec = cum_tp as f32 / total_gt as f32;
+        curve.push((rec, prec));
+    }
+    // envelope from the right
+    for i in (0..curve.len().saturating_sub(1)).rev() {
+        curve[i].1 = curve[i].1.max(curve[i + 1].1);
+    }
+    // integrate over recall
+    let mut ap = 0.0f32;
+    let mut prev_rec = 0.0f32;
+    for &(rec, prec) in &curve {
+        if rec > prev_rec {
+            ap += (rec - prev_rec) * prec;
+            prev_rec = rec;
+        }
+    }
+    Some(ap)
+}
+
+/// Mean AP over classes at one IoU threshold (fraction in `[0, 1]`).
+fn map_at(preds: &[Vec<Prediction>], gts: &[Vec<GtBox>], num_classes: usize, t: f32) -> f32 {
+    let mut sum = 0.0f32;
+    let mut count = 0usize;
+    for c in 0..num_classes {
+        if let Some(ap) = class_ap(preds, gts, c, t) {
+            sum += ap;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f32
+    }
+}
+
+/// Evaluates decoded (and NMS-filtered) predictions against ground truth,
+/// producing the paper's AP / AP50 / AP75 (×100).
+///
+/// # Panics
+///
+/// Panics if `preds` and `gts` have different lengths.
+pub fn evaluate_detections(
+    preds: &[Vec<Prediction>],
+    gts: &[Vec<GtBox>],
+    num_classes: usize,
+) -> DetMetrics {
+    assert_eq!(preds.len(), gts.len(), "one prediction list per image");
+    let thresholds: Vec<f32> = (0..10).map(|i| 0.5 + 0.05 * i as f32).collect();
+    let mut sum = 0.0f32;
+    for &t in &thresholds {
+        sum += map_at(preds, gts, num_classes, t);
+    }
+    DetMetrics {
+        ap: 100.0 * sum / thresholds.len() as f32,
+        ap50: 100.0 * map_at(preds, gts, num_classes, 0.5),
+        ap75: 100.0 * map_at(preds, gts, num_classes, 0.75),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BBox;
+
+    fn gt(cx: f32, cy: f32, class: usize) -> GtBox {
+        GtBox { bbox: BBox::new(cx, cy, 0.2, 0.2), class }
+    }
+
+    fn pred(cx: f32, cy: f32, class: usize, score: f32) -> Prediction {
+        Prediction { bbox: BBox::new(cx, cy, 0.2, 0.2), score, class }
+    }
+
+    #[test]
+    fn perfect_predictions_give_ap_100() {
+        let gts = vec![vec![gt(0.3, 0.3, 0), gt(0.7, 0.7, 1)]];
+        let preds = vec![vec![pred(0.3, 0.3, 0, 0.9), pred(0.7, 0.7, 1, 0.8)]];
+        let m = evaluate_detections(&preds, &gts, 2);
+        assert!((m.ap - 100.0).abs() < 1e-3, "{m}");
+        assert!((m.ap50 - 100.0).abs() < 1e-3);
+        assert!((m.ap75 - 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn no_predictions_give_ap_0() {
+        let gts = vec![vec![gt(0.3, 0.3, 0)]];
+        let preds = vec![vec![]];
+        let m = evaluate_detections(&preds, &gts, 1);
+        assert_eq!(m.ap, 0.0);
+    }
+
+    #[test]
+    fn slightly_offset_box_passes_ap50_but_not_ap75() {
+        // IoU of 0.2-boxes offset by 0.04 in x: inter = 0.16*0.2,
+        // union = 2*0.04 - 0.032 = 0.048 => IoU = 2/3.
+        let gts = vec![vec![gt(0.5, 0.5, 0)]];
+        let preds = vec![vec![pred(0.54, 0.5, 0, 0.9)]];
+        let m = evaluate_detections(&preds, &gts, 1);
+        assert!((m.ap50 - 100.0).abs() < 1e-3, "{m}");
+        assert_eq!(m.ap75, 0.0, "{m}");
+        assert!(m.ap > 0.0 && m.ap < 100.0);
+    }
+
+    #[test]
+    fn false_positives_lower_precision() {
+        let gts = vec![vec![gt(0.3, 0.3, 0)]];
+        // fp has HIGHER score than the tp -> precision at the tp is 0.5
+        let preds = vec![vec![pred(0.8, 0.8, 0, 0.95), pred(0.3, 0.3, 0, 0.9)]];
+        let m = evaluate_detections(&preds, &gts, 1);
+        assert!((m.ap50 - 50.0).abs() < 1.0, "{m}");
+    }
+
+    #[test]
+    fn duplicate_detections_count_once() {
+        let gts = vec![vec![gt(0.3, 0.3, 0)]];
+        let preds = vec![vec![pred(0.3, 0.3, 0, 0.9), pred(0.3, 0.3, 0, 0.85)]];
+        let m = evaluate_detections(&preds, &gts, 1);
+        // first matches (recall 1 at precision 1), duplicate is a FP after
+        assert!((m.ap50 - 100.0).abs() < 1e-3, "{m}");
+    }
+
+    #[test]
+    fn wrong_class_never_matches() {
+        let gts = vec![vec![gt(0.3, 0.3, 0)]];
+        let preds = vec![vec![pred(0.3, 0.3, 1, 0.9)]];
+        let m = evaluate_detections(&preds, &gts, 2);
+        assert_eq!(m.ap50, 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Semi-supervised fine-tuning (paper §4.1): classifier on the encoder,
+//! trained end-to-end on a stratified label subset, under a fixed
+//! precision (FP or 4-bit).
+
+use cq_data::{BatchIter, Dataset};
+use cq_models::Encoder;
+use cq_nn::{
+    accuracy, softmax_cross_entropy, CosineSchedule, ForwardCtx, Layer, Linear, NnError, Sgd,
+    SgdConfig,
+};
+use cq_quant::{Precision, QuantConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fine-tuning hyper-parameters. Defaults follow the paper: SGD with
+/// momentum 0.9, cosine decay from lr 0.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinetuneConfig {
+    /// Fraction of training labels available (1.0, 0.1 or 0.01 in the
+    /// paper's tables).
+    pub label_fraction: f32,
+    /// Fixed precision the model is fine-tuned and evaluated under
+    /// (`Precision::Fp` or 4-bit in the paper).
+    pub precision: Precision,
+    /// Fine-tuning epochs (paper: 50; scale down for CPU runs).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate (cosine-decayed).
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Weight decay.
+    pub weight_decay: f32,
+    /// Seed for the label subset and batch order.
+    pub seed: u64,
+}
+
+impl Default for FinetuneConfig {
+    fn default() -> Self {
+        FinetuneConfig {
+            label_fraction: 0.1,
+            precision: Precision::Fp,
+            epochs: 10,
+            batch_size: 64,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 7,
+        }
+    }
+}
+
+/// Outcome of a fine-tuning run.
+#[derive(Debug, Clone)]
+pub struct FinetuneResult {
+    /// Top-1 accuracy on the test set (percent, 0–100).
+    pub test_acc: f32,
+    /// Top-1 accuracy on the (subset) training data (percent).
+    pub train_acc: f32,
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Number of labelled examples used.
+    pub labelled: usize,
+}
+
+/// Fine-tunes a copy of `encoder` on a stratified `label_fraction` subset
+/// of `train`, evaluating on `test` under the same fixed precision.
+///
+/// The input encoder is left untouched (the same pretrained checkpoint is
+/// reused across the FP / 4-bit × 10% / 1% grid of the paper's tables).
+///
+/// # Errors
+///
+/// Propagates layer/optimizer errors.
+pub fn finetune(
+    encoder: &Encoder,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &FinetuneConfig,
+) -> Result<FinetuneResult, NnError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let subset = train.stratified_subset(cfg.label_fraction, &mut rng);
+
+    let mut model = encoder.duplicate()?;
+    let feat_dim = model.feat_dim();
+    let mut classifier = Linear::new(
+        model.params_mut(),
+        "classifier",
+        feat_dim,
+        train.num_classes(),
+        true,
+        &mut rng,
+    );
+    let mut opt = Sgd::new(
+        model.params(),
+        SgdConfig { lr: cfg.lr, momentum: cfg.momentum, weight_decay: cfg.weight_decay, nesterov: false },
+    );
+    let quant = QuantConfig::uniform(cfg.precision);
+    let train_ctx = ForwardCtx::train().with_quant(quant);
+    let eval_ctx = ForwardCtx::eval().with_quant(quant);
+
+    let steps_per_epoch = (subset.len() / cfg.batch_size).max(1);
+    let sched = CosineSchedule::new(cfg.lr, cfg.epochs * steps_per_epoch, 0);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut step = 0usize;
+    for _ in 0..cfg.epochs {
+        let mut losses = Vec::new();
+        // When the subset is smaller than one batch, use it whole.
+        let bs = cfg.batch_size.min(subset.len());
+        for (x, labels) in BatchIter::new(&subset, bs, &mut rng) {
+            let out = model.forward(&x, &train_ctx)?;
+            let (logits, head_cache) = classifier.forward(model.params(), &out.features, &train_ctx)?;
+            let lo = softmax_cross_entropy(&logits, &labels)?;
+            let mut gs = model.params().zero_grads();
+            let dh = classifier.backward(model.params(), &head_cache, &lo.grad, &mut gs)?;
+            model.backward_features(&out.trace, &dh, &mut gs)?;
+            if gs.is_finite() {
+                opt.step(model.params_mut(), &gs, sched.lr_at(step))?;
+                losses.push(lo.loss);
+            }
+            step += 1;
+        }
+        epoch_losses.push(if losses.is_empty() { f32::NAN } else { losses.iter().sum::<f32>() / losses.len() as f32 });
+    }
+
+    let evaluate = |model: &mut Encoder, classifier: &mut Linear, ds: &Dataset| -> Result<f32, NnError> {
+        let mut correct_weighted = 0.0f32;
+        let mut total = 0usize;
+        let bs = 64usize.min(ds.len().max(1));
+        let mut i = 0;
+        while i < ds.len() {
+            let end = (i + bs).min(ds.len());
+            let idxs: Vec<usize> = (i..end).collect();
+            let (x, labels) = ds.batch(&idxs);
+            let h = model.features(&x, &eval_ctx)?;
+            let (logits, _) = classifier.forward(model.params(), &h, &eval_ctx)?;
+            correct_weighted += accuracy(&logits, &labels) * labels.len() as f32;
+            total += labels.len();
+            i = end;
+        }
+        Ok(100.0 * correct_weighted / total.max(1) as f32)
+    };
+    let test_acc = evaluate(&mut model, &mut classifier, test)?;
+    let train_acc = evaluate(&mut model, &mut classifier, &subset)?;
+    Ok(FinetuneResult { test_acc, train_acc, epoch_losses, labelled: subset.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_data::DatasetConfig;
+    use cq_models::{Arch, EncoderConfig};
+
+    fn setup() -> (Encoder, Dataset, Dataset) {
+        let enc = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), 0).unwrap();
+        let (train, test) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(80, 40));
+        (enc, train, test)
+    }
+
+    #[test]
+    fn finetune_runs_and_beats_chance_on_full_labels() {
+        let (enc, train, test) = setup();
+        let cfg = FinetuneConfig {
+            label_fraction: 1.0,
+            epochs: 8,
+            batch_size: 16,
+            lr: 0.05,
+            ..Default::default()
+        };
+        let res = finetune(&enc, &train, &test, &cfg).unwrap();
+        assert_eq!(res.labelled, 80);
+        // 10 classes => chance is 10%; even a scratch encoder should learn
+        // something on this easy synthetic set.
+        assert!(res.test_acc > 12.0, "test acc {} should beat chance", res.test_acc);
+        assert!(res.train_acc >= res.test_acc * 0.5);
+        assert_eq!(res.epoch_losses.len(), 8);
+    }
+
+    #[test]
+    fn finetune_does_not_mutate_input_encoder() {
+        let (enc, train, test) = setup();
+        let before: f32 = enc.params().iter().map(|(_, _, t)| t.sum()).sum();
+        let cfg = FinetuneConfig { epochs: 1, batch_size: 16, ..Default::default() };
+        finetune(&enc, &train, &test, &cfg).unwrap();
+        let after: f32 = enc.params().iter().map(|(_, _, t)| t.sum()).sum();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn one_percent_labels_still_runs() {
+        let (enc, train, test) = setup();
+        let cfg = FinetuneConfig {
+            label_fraction: 0.01,
+            epochs: 2,
+            batch_size: 16,
+            ..Default::default()
+        };
+        let res = finetune(&enc, &train, &test, &cfg).unwrap();
+        assert_eq!(res.labelled, 10); // 1 per class minimum
+        assert!(res.test_acc.is_finite());
+    }
+
+    #[test]
+    fn four_bit_finetune_runs() {
+        let (enc, train, test) = setup();
+        let cfg = FinetuneConfig {
+            precision: Precision::Bits(4),
+            epochs: 2,
+            batch_size: 16,
+            ..Default::default()
+        };
+        let res = finetune(&enc, &train, &test, &cfg).unwrap();
+        assert!(res.test_acc.is_finite());
+    }
+
+    #[test]
+    fn finetune_is_deterministic() {
+        let (enc, train, test) = setup();
+        let cfg = FinetuneConfig { epochs: 2, batch_size: 16, ..Default::default() };
+        let a = finetune(&enc, &train, &test, &cfg).unwrap();
+        let b = finetune(&enc, &train, &test, &cfg).unwrap();
+        assert_eq!(a.test_acc, b.test_acc);
+    }
+}

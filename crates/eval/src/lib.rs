@@ -1,0 +1,30 @@
+//! # cq-eval
+//!
+//! Evaluation harness for the Contrastive Quant reproduction, implementing
+//! the paper's three evaluation settings (§4.1):
+//!
+//! - **fine-tuning** ([`finetune`]): attach a classifier to the pretrained
+//!   encoder and train end-to-end on a 10% / 1% stratified label subset,
+//!   under a fixed precision (FP or 4-bit);
+//! - **linear evaluation** ([`linear_eval`]): logistic regression on
+//!   frozen features;
+//! - **transfer** lives in `cq-detect` (detection).
+//!
+//! Plus the Fig. 2 tooling: an exact t-SNE implementation ([`tsne`]) and
+//! quantitative separability metrics ([`knn_accuracy`],
+//! [`separability_ratio`]), and a small markdown/CSV table writer used by
+//! every experiment binary.
+
+#![deny(missing_docs)]
+
+mod finetune;
+mod linear;
+mod metrics;
+mod table;
+mod tsne;
+
+pub use finetune::{finetune, FinetuneConfig, FinetuneResult};
+pub use linear::{linear_eval, LinearEvalConfig};
+pub use metrics::{confusion_matrix, knn_accuracy, separability_ratio};
+pub use table::Table;
+pub use tsne::{tsne, TsneConfig};

@@ -1,0 +1,233 @@
+//! Representation-quality metrics used to quantify Fig. 2's visual claim
+//! ("representations learned by Contrastive Quant show better linear
+//! separability").
+
+use cq_tensor::Tensor;
+
+/// Leave-one-out k-nearest-neighbour accuracy of a feature matrix
+/// `[N, D]` under Euclidean distance, in percent.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `k == 0`.
+pub fn knn_accuracy(features: &Tensor, labels: &[usize], k: usize) -> f32 {
+    assert_eq!(features.rank(), 2, "knn expects [N, D]");
+    assert!(k > 0, "k must be positive");
+    let (n, d) = (features.dims()[0], features.dims()[1]);
+    assert_eq!(labels.len(), n);
+    if n < 2 {
+        return 0.0;
+    }
+    let fs = features.as_slice();
+    let mut correct = 0usize;
+    for i in 0..n {
+        let fi = &fs[i * d..(i + 1) * d];
+        // (distance, label) for all j != i
+        let mut dists: Vec<(f32, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let fj = &fs[j * d..(j + 1) * d];
+                let dist: f32 = fi.iter().zip(fj).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                (dist, labels[j])
+            })
+            .collect();
+        let kk = k.min(dists.len());
+        dists.select_nth_unstable_by(kk - 1, |a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut votes = std::collections::HashMap::new();
+        for &(_, l) in &dists[..kk] {
+            *votes.entry(l).or_insert(0usize) += 1;
+        }
+        let pred = votes.into_iter().max_by_key(|&(_, c)| c).map(|(l, _)| l).unwrap();
+        if pred == labels[i] {
+            correct += 1;
+        }
+    }
+    100.0 * correct as f32 / n as f32
+}
+
+/// Ratio of mean between-class centroid distance to mean within-class
+/// scatter — higher means more separable clusters (a scalar summary of
+/// what Fig. 2's t-SNE plots show qualitatively).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn separability_ratio(features: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(features.rank(), 2);
+    let (n, d) = (features.dims()[0], features.dims()[1]);
+    assert_eq!(labels.len(), n);
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if num_classes < 2 {
+        return 0.0;
+    }
+    let fs = features.as_slice();
+    // class centroids
+    let mut centroids = vec![0.0f32; num_classes * d];
+    let mut counts = vec![0usize; num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        counts[l] += 1;
+        for k in 0..d {
+            centroids[l * d + k] += fs[i * d + k];
+        }
+    }
+    for (c, &cnt) in counts.iter().enumerate() {
+        if cnt > 0 {
+            for k in 0..d {
+                centroids[c * d + k] /= cnt as f32;
+            }
+        }
+    }
+    // within-class scatter
+    let mut within = 0.0f32;
+    for (i, &l) in labels.iter().enumerate() {
+        let mut acc = 0.0f32;
+        for k in 0..d {
+            let diff = fs[i * d + k] - centroids[l * d + k];
+            acc += diff * diff;
+        }
+        within += acc.sqrt();
+    }
+    within /= n as f32;
+    // between-class centroid distances
+    let mut between = 0.0f32;
+    let mut pairs = 0usize;
+    for a in 0..num_classes {
+        for b in (a + 1)..num_classes {
+            if counts[a] == 0 || counts[b] == 0 {
+                continue;
+            }
+            let mut acc = 0.0f32;
+            for k in 0..d {
+                let diff = centroids[a * d + k] - centroids[b * d + k];
+                acc += diff * diff;
+            }
+            between += acc.sqrt();
+            pairs += 1;
+        }
+    }
+    between /= pairs.max(1) as f32;
+    between / within.max(1e-9)
+}
+
+/// Row-normalised confusion matrix `[true, predicted]` from logits, for
+/// inspecting which classes a probe confuses.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes.
+pub fn confusion_matrix(logits: &Tensor, labels: &[usize], num_classes: usize) -> Tensor {
+    assert_eq!(logits.rank(), 2, "confusion_matrix expects [N, K] logits");
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n);
+    assert!(k >= num_classes, "logit width below class count");
+    let mut counts = vec![0.0f32; num_classes * num_classes];
+    for (i, &lab) in labels.iter().enumerate() {
+        assert!(lab < num_classes, "label {lab} out of range");
+        let row = &logits.as_slice()[i * k..(i + 1) * k];
+        let pred = row
+            .iter()
+            .take(num_classes)
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        counts[lab * num_classes + pred] += 1.0;
+    }
+    // row-normalise
+    for r in 0..num_classes {
+        let sum: f32 = counts[r * num_classes..(r + 1) * num_classes].iter().sum();
+        if sum > 0.0 {
+            for v in &mut counts[r * num_classes..(r + 1) * num_classes] {
+                *v /= sum;
+            }
+        }
+    }
+    Tensor::from_vec(counts, &[num_classes, num_classes]).expect("square matrix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Tensor, Vec<usize>) {
+        // class 0 around (0,0), class 1 around (10,10)
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            let jitter = (i as f32) * 0.05;
+            data.extend_from_slice(&[jitter, -jitter]);
+            labels.push(0);
+            data.extend_from_slice(&[10.0 + jitter, 10.0 - jitter]);
+            labels.push(1);
+        }
+        (Tensor::from_vec(data, &[20, 2]).unwrap(), labels)
+    }
+
+    #[test]
+    fn knn_perfect_on_separated_blobs() {
+        let (f, l) = two_blobs();
+        assert_eq!(knn_accuracy(&f, &l, 3), 100.0);
+    }
+
+    #[test]
+    fn knn_chance_on_random_labels() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let f = Tensor::randn(&[100, 4], 0.0, 1.0, &mut rng);
+        let l: Vec<usize> = (0..100).map(|_| rng.gen_range(0..4)).collect();
+        let acc = knn_accuracy(&f, &l, 5);
+        assert!(acc < 50.0, "random labels should be near 25%: {acc}");
+    }
+
+    #[test]
+    fn separability_higher_for_tighter_clusters() {
+        let (f, l) = two_blobs();
+        let tight = separability_ratio(&f, &l);
+        // inflate within-class scatter 10x
+        let spread = f.map(|v| v * 1.0);
+        let mut spread = spread.into_vec();
+        for (i, v) in spread.iter_mut().enumerate() {
+            // move points away from their centroid by scaling jitter
+            if i % 2 == 0 {
+                *v += (i as f32 % 7.0) * 0.5;
+            }
+        }
+        let spread = Tensor::from_vec(spread, &[20, 2]).unwrap();
+        let loose = separability_ratio(&spread, &l);
+        assert!(tight > loose, "{tight} !> {loose}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let f = Tensor::zeros(&[3, 2]);
+        assert_eq!(separability_ratio(&f, &[0, 0, 0]), 0.0);
+        assert_eq!(knn_accuracy(&Tensor::zeros(&[1, 2]), &[0], 1), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal_for_perfect_logits() {
+        // logits put all mass on the true class
+        let logits = Tensor::from_vec(
+            vec![5.0, 0.0, 0.0, /* row 1 */ 0.0, 5.0, 0.0, /* row 2 */ 0.0, 0.0, 5.0],
+            &[3, 3],
+        )
+        .unwrap();
+        let cm = confusion_matrix(&logits, &[0, 1, 2], 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                let expected = if r == c { 1.0 } else { 0.0 };
+                assert_eq!(cm.at(&[r, c]), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_rows_sum_to_one_or_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0], &[2, 2]).unwrap();
+        let cm = confusion_matrix(&logits, &[0, 0], 2);
+        let row0: f32 = (0..2).map(|c| cm.at(&[0, c])).sum();
+        let row1: f32 = (0..2).map(|c| cm.at(&[1, c])).sum();
+        assert!((row0 - 1.0).abs() < 1e-6);
+        assert_eq!(row1, 0.0); // class 1 never appears
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal markdown / CSV table writer used by every experiment binary to
+//! print paper-style result tables.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple result table: title, column headers and string rows.
+///
+/// # Example
+///
+/// ```
+/// use cq_eval::Table;
+///
+/// let mut t = Table::new("Table 1", &["Network", "Method", "Acc."]);
+/// t.row(&["ResNet-18", "SimCLR", "42.44"]);
+/// t.row(&["ResNet-18", "CQ-A", "51.39"]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| ResNet-18 | CQ-A | 51.39 |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned strings (for formatted numbers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "### {}\n", self.title);
+        let _ = writeln!(s, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(s, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for r in &self.rows {
+            let _ = writeln!(s, "| {} |", r.join(" | "));
+        }
+        s
+    }
+
+    /// Renders CSV (headers + rows; commas in cells are replaced with `;`).
+    pub fn to_csv(&self) -> String {
+        let clean = |c: &str| c.replace(',', ";");
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(","));
+        for r in &self.rows {
+            let _ = writeln!(s, "{}", r.iter().map(|c| clean(c)).collect::<Vec<_>>().join(","));
+        }
+        s
+    }
+
+    /// Prints the markdown rendering to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+
+    /// Writes the CSV rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(&["1", "2"]).row(&["3", "4"]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_rendering_escapes_commas() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(&["1,5"]);
+        assert_eq!(t.to_csv(), "a\n1;5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        Table::new("x", &["a", "b"]).row(&["only one"]);
+    }
+
+    #[test]
+    fn row_owned_formats() {
+        let mut t = Table::new("x", &["v"]);
+        t.row_owned(vec![format!("{:.2}", 1.234f32)]);
+        assert!(t.to_markdown().contains("1.23"));
+    }
+}

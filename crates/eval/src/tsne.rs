@@ -1,0 +1,219 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for the Fig. 2
+//! reproduction. O(N²) affinities — fine at the N ≤ 1k scale of the
+//! scaled experiment protocol.
+
+use cq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Early-exaggeration factor applied for the first quarter of the
+    /// iterations.
+    pub exaggeration: f32,
+    /// Seed for the initial embedding.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig { perplexity: 15.0, iterations: 300, lr: 100.0, exaggeration: 4.0, seed: 0 }
+    }
+}
+
+/// Embeds an `[N, D]` feature matrix into `[N, 2]` with exact t-SNE.
+///
+/// # Panics
+///
+/// Panics if `features` is not rank 2 or `N < 5`.
+pub fn tsne(features: &Tensor, cfg: &TsneConfig) -> Tensor {
+    assert_eq!(features.rank(), 2, "tsne expects [N, D]");
+    let (n, d) = (features.dims()[0], features.dims()[1]);
+    assert!(n >= 5, "tsne needs at least 5 points");
+    let fs = features.as_slice();
+
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut acc = 0.0f32;
+            for k in 0..d {
+                let diff = fs[i * d + k] - fs[j * d + k];
+                acc += diff * diff;
+            }
+            d2[i * n + j] = acc;
+            d2[j * n + i] = acc;
+        }
+    }
+
+    // Per-point binary search for the bandwidth matching the perplexity.
+    let target_entropy = cfg.perplexity.ln();
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let mut beta = 1.0f32; // 1 / (2 sigma^2)
+        let (mut lo, mut hi) = (0.0f32, f32::INFINITY);
+        for _ in 0..50 {
+            // conditional distribution at this beta
+            let mut sum = 0.0f32;
+            let mut sum_dp = 0.0f32;
+            for (j, &dist) in row.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let pij = (-beta * dist).exp();
+                sum += pij;
+                sum_dp += pij * dist;
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            // H = ln(sum) + beta * E[d]
+            let h = sum.ln() + beta * sum_dp / sum;
+            if (h - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if h > target_entropy {
+                lo = beta;
+                beta = if hi.is_finite() { 0.5 * (beta + hi) } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = 0.5 * (beta + lo);
+            }
+        }
+        let mut sum = 0.0f32;
+        for (j, &dist) in row.iter().enumerate() {
+            if j != i {
+                let v = (-beta * dist).exp();
+                p[i * n + j] = v;
+                sum += v;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrize.
+    let mut pij = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+
+    // Gradient descent on the 2-D embedding.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut y = Tensor::randn(&[n, 2], 0.0, 1e-2, &mut rng).into_vec();
+    let mut vel = vec![0.0f32; n * 2];
+    let exag_until = cfg.iterations / 4;
+    for it in 0..cfg.iterations {
+        let exag = if it < exag_until { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities in embedding space.
+        let mut qnum = vec![0.0f32; n * n];
+        let mut qsum = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dy0 = y[i * 2] - y[j * 2];
+                let dy1 = y[i * 2 + 1] - y[j * 2 + 1];
+                let q = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+                qnum[i * n + j] = q;
+                qnum[j * n + i] = q;
+                qsum += 2.0 * q;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+        let momentum = if it < exag_until { 0.5 } else { 0.8 };
+        // Synchronous update: all gradients from the same snapshot of y
+        // (asynchronous updates amplify with momentum and diverge).
+        let mut grad = vec![0.0f32; n * 2];
+        for i in 0..n {
+            let mut g0 = 0.0f32;
+            let mut g1 = 0.0f32;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let qn = qnum[i * n + j];
+                let coef = 4.0 * (exag * pij[i * n + j] - qn / qsum) * qn;
+                g0 += coef * (y[i * 2] - y[j * 2]);
+                g1 += coef * (y[i * 2 + 1] - y[j * 2 + 1]);
+            }
+            grad[i * 2] = g0;
+            grad[i * 2 + 1] = g1;
+        }
+        for k in 0..n * 2 {
+            vel[k] = momentum * vel[k] - cfg.lr * grad[k];
+            y[k] += vel[k];
+        }
+        // Recentre to remove the translational degree of freedom.
+        let (mut m0, mut m1) = (0.0f32, 0.0f32);
+        for i in 0..n {
+            m0 += y[i * 2];
+            m1 += y[i * 2 + 1];
+        }
+        m0 /= n as f32;
+        m1 /= n as f32;
+        for i in 0..n {
+            y[i * 2] -= m0;
+            y[i * 2 + 1] -= m1;
+        }
+    }
+    Tensor::from_vec(y, &[n, 2]).expect("embedding shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn_accuracy;
+
+    /// Three well-separated Gaussian blobs in 10-D.
+    fn blobs() -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for _ in 0..15 {
+                for k in 0..10 {
+                    let center = if k == c { 8.0 } else { 0.0 };
+                    data.push(center + Tensor::randn(&[1], 0.0, 0.5, &mut rng).item());
+                }
+                labels.push(c);
+            }
+        }
+        (Tensor::from_vec(data, &[45, 10]).unwrap(), labels)
+    }
+
+    #[test]
+    fn tsne_preserves_cluster_structure() {
+        let (f, labels) = blobs();
+        // perplexity must stay below the per-cluster point count (15)
+        let emb = tsne(&f, &TsneConfig { iterations: 500, perplexity: 8.0, lr: 50.0, ..Default::default() });
+        assert_eq!(emb.dims(), &[45, 2]);
+        assert!(emb.is_finite());
+        // cluster structure survives the embedding
+        let acc = knn_accuracy(&emb, &labels, 5);
+        assert!(acc > 90.0, "knn in embedding space: {acc}");
+    }
+
+    #[test]
+    fn tsne_deterministic_under_seed() {
+        let (f, _) = blobs();
+        let cfg = TsneConfig { iterations: 50, ..Default::default() };
+        assert_eq!(tsne(&f, &cfg), tsne(&f, &cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5")]
+    fn tsne_rejects_tiny_inputs() {
+        tsne(&Tensor::zeros(&[3, 4]), &TsneConfig::default());
+    }
+}

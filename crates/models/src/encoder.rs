@@ -1,0 +1,541 @@
+//! The [`Encoder`]: a backbone plus optional projection head over one
+//! parameter set — the unit Contrastive Quant trains.
+
+use std::io::{Read, Write};
+
+use cq_nn::{Cache, ForwardCtx, GradSet, Layer, NnError, ParamSet, Sequential};
+use cq_tensor::{read_tensor, write_tensor, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{build_mobilenet_v2, build_resnet, mlp_head, Arch, HeadConfig};
+
+/// Build-time description of an [`Encoder`]; kept by the encoder so BYOL
+/// targets and checkpoints can reconstruct the same architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncoderConfig {
+    /// Backbone architecture.
+    pub arch: Arch,
+    /// Backbone base width.
+    pub width: usize,
+    /// Projection head `(hidden, out)` dimensions; `None` = no projector
+    /// (projection output equals the features).
+    pub proj: Option<(usize, usize)>,
+    /// Use a BYOL-style (batch-normed) projection head.
+    pub proj_bn: bool,
+}
+
+impl EncoderConfig {
+    /// Backbone-only configuration.
+    pub fn new(arch: Arch, width: usize) -> Self {
+        EncoderConfig { arch, width, proj: None, proj_bn: false }
+    }
+
+    /// Adds a SimCLR-style projection head.
+    pub fn with_proj(mut self, hidden: usize, out: usize) -> Self {
+        self.proj = Some((hidden, out));
+        self
+    }
+
+    /// Adds a BYOL-style (batch-normed) projection head.
+    pub fn with_byol_proj(mut self, hidden: usize, out: usize) -> Self {
+        self.proj = Some((hidden, out));
+        self.proj_bn = true;
+        self
+    }
+}
+
+/// Trace of one [`Encoder::forward`]; several traces of the same encoder
+/// can be alive at once (the multi-quantization branches of Contrastive
+/// Quant).
+pub struct EncoderTrace {
+    backbone: Cache,
+    proj: Option<Cache>,
+}
+
+impl std::fmt::Debug for EncoderTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EncoderTrace(proj={})", self.proj.is_some())
+    }
+}
+
+/// Output of one encoder forward pass.
+#[derive(Debug)]
+pub struct EncoderOutput {
+    /// Backbone features `h` (`[N, feat_dim]`) — what linear evaluation
+    /// and fine-tuning consume.
+    pub features: Tensor,
+    /// Projected representation `z` (`[N, proj_dim]`) — what the
+    /// contrastive losses consume. Equals `features` when no projector is
+    /// configured.
+    pub projection: Tensor,
+    /// Backward trace.
+    pub trace: EncoderTrace,
+}
+
+/// A backbone + optional projection head over a single [`ParamSet`].
+pub struct Encoder {
+    cfg: EncoderConfig,
+    params: ParamSet,
+    backbone: Sequential,
+    projector: Option<Sequential>,
+    feat_dim: usize,
+    proj_dim: usize,
+}
+
+impl std::fmt::Debug for Encoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Encoder({} w{}, feat={}, proj={})",
+            self.cfg.arch, self.cfg.width, self.feat_dim, self.proj_dim
+        )
+    }
+}
+
+impl Encoder {
+    /// Builds an encoder from `cfg`, initialising all weights from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (kept fallible for future archs);
+    /// the signature matches the rest of the training API.
+    pub fn new(cfg: &EncoderConfig, seed: u64) -> Result<Self, NnError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let (backbone, feat_dim) = match cfg.arch {
+            Arch::MobileNetV2 => build_mobilenet_v2(cfg.width, &mut params, &mut rng),
+            _ => build_resnet(cfg.arch, cfg.width, &mut params, &mut rng),
+        };
+        let (projector, proj_dim) = match cfg.proj {
+            Some((hidden, out)) => {
+                let hc = if cfg.proj_bn {
+                    HeadConfig::byol(feat_dim, hidden, out)
+                } else {
+                    HeadConfig::simclr(feat_dim, hidden, out)
+                };
+                (Some(mlp_head(&hc, "proj", &mut params, &mut rng)), out)
+            }
+            None => (None, feat_dim),
+        };
+        Ok(Encoder { cfg: *cfg, params, backbone, projector, feat_dim, proj_dim })
+    }
+
+    /// The configuration this encoder was built from.
+    pub fn config(&self) -> EncoderConfig {
+        self.cfg
+    }
+
+    /// Backbone feature dimension.
+    pub fn feat_dim(&self) -> usize {
+        self.feat_dim
+    }
+
+    /// Projection output dimension.
+    pub fn proj_dim(&self) -> usize {
+        self.proj_dim
+    }
+
+    /// The parameter set (optimizers are built against this).
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Mutable parameter set (optimizer steps; registering extra heads
+    /// such as BYOL's predictor or a fine-tuning classifier).
+    pub fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.params.num_scalars()
+    }
+
+    /// Runs the encoder, returning features, projection and the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (bad input shapes etc.).
+    pub fn forward(&mut self, x: &Tensor, ctx: &ForwardCtx) -> Result<EncoderOutput, NnError> {
+        let (features, backbone) = self.backbone.forward(&self.params, x, ctx)?;
+        let (projection, proj) = match &mut self.projector {
+            Some(p) => {
+                let (z, c) = p.forward(&self.params, &features, ctx)?;
+                (z, Some(c))
+            }
+            None => (features.clone(), None),
+        };
+        Ok(EncoderOutput { features, projection, trace: EncoderTrace { backbone, proj } })
+    }
+
+    /// Convenience: features only, no projector run (evaluation paths).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn features(&mut self, x: &Tensor, ctx: &ForwardCtx) -> Result<Tensor, NnError> {
+        let (features, _) = self.backbone.forward(&self.params, x, ctx)?;
+        Ok(features)
+    }
+
+    /// Backpropagates a gradient w.r.t. the *projection* through projector
+    /// and backbone, accumulating into `gs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (e.g. a trace from another encoder).
+    pub fn backward_projection(
+        &self,
+        trace: &EncoderTrace,
+        dz: &Tensor,
+        gs: &mut GradSet,
+    ) -> Result<(), NnError> {
+        let dh = match (&self.projector, &trace.proj) {
+            (Some(p), Some(c)) => p.backward(&self.params, c, dz, gs)?,
+            (None, None) => dz.clone(),
+            _ => return Err(NnError::CacheMismatch { layer: "Encoder".into() }),
+        };
+        self.backbone.backward(&self.params, &trace.backbone, &dh, gs)?;
+        Ok(())
+    }
+
+    /// Backpropagates a gradient w.r.t. the *features* (fine-tuning path:
+    /// a classifier sits directly on `h`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn backward_features(
+        &self,
+        trace: &EncoderTrace,
+        dh: &Tensor,
+        gs: &mut GradSet,
+    ) -> Result<(), NnError> {
+        self.backbone.backward(&self.params, &trace.backbone, dh, gs)?;
+        Ok(())
+    }
+
+    /// Runs the backbone *without* its final global pooling, returning the
+    /// spatial feature map `[N, feat_dim, h, w]` — what dense-prediction
+    /// heads (detection transfer, Tab. 3) consume — plus a trace for
+    /// [`Encoder::backward_spatial`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn forward_spatial(&mut self, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache), NnError> {
+        let n = self.backbone.len() - 1; // last layer is GlobalAvgPool
+        self.backbone.forward_upto(&self.params, x, ctx, n)
+    }
+
+    /// Backpropagates a gradient w.r.t. the spatial feature map produced
+    /// by [`Encoder::forward_spatial`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn backward_spatial(
+        &self,
+        cache: &Cache,
+        dy: &Tensor,
+        gs: &mut GradSet,
+    ) -> Result<(), NnError> {
+        self.backbone.backward(&self.params, cache, dy, gs)?;
+        Ok(())
+    }
+
+    /// Builds a structural copy with identical parameters and state — the
+    /// starting point of a BYOL target network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-copy errors (never expected for a fresh copy).
+    pub fn duplicate(&self) -> Result<Encoder, NnError> {
+        let mut copy = Encoder::new(&self.cfg, 0)?;
+        copy.params.copy_from(&self.params)?;
+        cq_nn::copy_state(&mut copy.backbone, &self.backbone)?;
+        if let (Some(d), Some(s)) = (&mut copy.projector, &self.projector) {
+            cq_nn::copy_state(d, s)?;
+        }
+        Ok(copy)
+    }
+
+    /// BYOL target update: `self.params = tau * self.params + (1 - tau) *
+    /// online.params`. The online network may carry extra trailing
+    /// parameters (its prediction head); they are ignored. Running
+    /// statistics are left to the target's own forward passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shared-prefix parameters do not align.
+    pub fn ema_update_from(&mut self, online: &Encoder, tau: f32) -> Result<(), NnError> {
+        self.params.ema_from_prefix(&online.params, tau)
+    }
+
+    /// Serialises config, parameters and layer state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), NnError> {
+        w.write_all(b"CQEN")?;
+        let arch_tag: u8 = match self.cfg.arch {
+            Arch::ResNet18 => 0,
+            Arch::ResNet34 => 1,
+            Arch::ResNet74 => 2,
+            Arch::ResNet110 => 3,
+            Arch::ResNet152 => 4,
+            Arch::MobileNetV2 => 5,
+        };
+        w.write_all(&[arch_tag, u8::from(self.cfg.proj_bn)])?;
+        w.write_all(&(self.cfg.width as u64).to_le_bytes())?;
+        let (ph, po) = self.cfg.proj.unwrap_or((0, 0));
+        w.write_all(&(ph as u64).to_le_bytes())?;
+        w.write_all(&(po as u64).to_le_bytes())?;
+        self.params.save(&mut w)?;
+        let state = self.state_tensors();
+        w.write_all(&(state.len() as u32).to_le_bytes())?;
+        for t in state {
+            write_tensor(&mut w, t).map_err(NnError::Tensor)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialises an encoder written with [`Encoder::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] on malformed input.
+    pub fn load<R: Read>(mut r: R) -> Result<Encoder, NnError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"CQEN" {
+            return Err(NnError::Io(format!("bad encoder magic {magic:?}")));
+        }
+        let mut hdr = [0u8; 2];
+        r.read_exact(&mut hdr)?;
+        let arch = match hdr[0] {
+            0 => Arch::ResNet18,
+            1 => Arch::ResNet34,
+            2 => Arch::ResNet74,
+            3 => Arch::ResNet110,
+            4 => Arch::ResNet152,
+            5 => Arch::MobileNetV2,
+            t => return Err(NnError::Io(format!("unknown arch tag {t}"))),
+        };
+        let proj_bn = hdr[1] != 0;
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b8)?;
+        let width = u64::from_le_bytes(b8) as usize;
+        r.read_exact(&mut b8)?;
+        let ph = u64::from_le_bytes(b8) as usize;
+        r.read_exact(&mut b8)?;
+        let po = u64::from_le_bytes(b8) as usize;
+        let cfg = EncoderConfig {
+            arch,
+            width,
+            proj: (ph != 0 || po != 0).then_some((ph, po)),
+            proj_bn,
+        };
+        let params = ParamSet::load(&mut r)?;
+        let mut enc = Encoder::new(&cfg, 0)?;
+        enc.params.copy_from(&params)?;
+        let mut cnt = [0u8; 4];
+        r.read_exact(&mut cnt)?;
+        let n = u32::from_le_bytes(cnt) as usize;
+        let mut loaded = Vec::with_capacity(n);
+        for _ in 0..n {
+            loaded.push(read_tensor(&mut r).map_err(NnError::Tensor)?);
+        }
+        let mut state = enc.state_tensors_mut();
+        if state.len() != n {
+            return Err(NnError::Io(format!(
+                "state tensor count mismatch: file {n}, model {}",
+                state.len()
+            )));
+        }
+        for (dst, src) in state.iter_mut().zip(&loaded) {
+            if dst.dims() != src.dims() {
+                return Err(NnError::Io("state tensor shape mismatch".into()));
+            }
+            dst.as_mut_slice().copy_from_slice(src.as_slice());
+        }
+        Ok(enc)
+    }
+
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        let mut v = self.backbone.state_tensors();
+        if let Some(p) = &self.projector {
+            v.extend(p.state_tensors());
+        }
+        v
+    }
+
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut v = self.backbone.state_tensors_mut();
+        if let Some(p) = &mut self.projector {
+            v.extend(p.state_tensors_mut());
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_quant::{Precision, QuantConfig};
+
+    fn small_cfg() -> EncoderConfig {
+        EncoderConfig::new(Arch::ResNet18, 2).with_proj(8, 4)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut enc = Encoder::new(&small_cfg(), 1).unwrap();
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let out = enc.forward(&x, &ForwardCtx::eval()).unwrap();
+        assert_eq!(out.features.dims(), &[2, 16]);
+        assert_eq!(out.projection.dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn no_projector_projection_equals_features() {
+        let cfg = EncoderConfig::new(Arch::ResNet18, 2);
+        let mut enc = Encoder::new(&cfg, 1).unwrap();
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let out = enc.forward(&x, &ForwardCtx::eval()).unwrap();
+        assert_eq!(out.features, out.projection);
+        assert_eq!(enc.proj_dim(), enc.feat_dim());
+    }
+
+    #[test]
+    fn backward_projection_accumulates() {
+        let mut enc = Encoder::new(&small_cfg(), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let out = enc.forward(&x, &ForwardCtx::train()).unwrap();
+        let mut gs = enc.params().zero_grads();
+        let dz = Tensor::ones(&[2, 4]);
+        enc.backward_projection(&out.trace, &dz, &mut gs).unwrap();
+        assert!(gs.global_norm() > 0.0);
+        assert!(gs.is_finite());
+    }
+
+    #[test]
+    fn multiple_traces_same_params() {
+        // the Contrastive Quant pattern: two quantized branches, gradients
+        // accumulated from both into one GradSet
+        let mut enc = Encoder::new(&small_cfg(), 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let ctx1 = ForwardCtx::train().with_quant(QuantConfig::uniform(Precision::Bits(6)));
+        let ctx2 = ForwardCtx::train().with_quant(QuantConfig::uniform(Precision::Bits(12)));
+        let out1 = enc.forward(&x, &ctx1).unwrap();
+        let out2 = enc.forward(&x, &ctx2).unwrap();
+        assert!(out1.projection.sub(&out2.projection).unwrap().norm() > 1e-6);
+        let mut gs = enc.params().zero_grads();
+        let dz = Tensor::ones(&[2, 4]);
+        enc.backward_projection(&out1.trace, &dz, &mut gs).unwrap();
+        let n1 = gs.global_norm();
+        enc.backward_projection(&out2.trace, &dz, &mut gs).unwrap();
+        assert!(gs.global_norm() != n1);
+    }
+
+    #[test]
+    fn duplicate_matches_and_then_diverges() {
+        let mut enc = Encoder::new(&small_cfg(), 4).unwrap();
+        let mut dup = enc.duplicate().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let a = enc.forward(&x, &ForwardCtx::eval()).unwrap();
+        let b = dup.forward(&x, &ForwardCtx::eval()).unwrap();
+        assert!(a.projection.sub(&b.projection).unwrap().norm() < 1e-6);
+    }
+
+    #[test]
+    fn ema_update_moves_target_toward_online() {
+        let online = Encoder::new(&small_cfg(), 5).unwrap();
+        let mut target = Encoder::new(&small_cfg(), 6).unwrap();
+        let before: f32 = target
+            .params()
+            .iter()
+            .zip(online.params().iter())
+            .map(|((_, _, a), (_, _, b))| a.sub(b).unwrap().sq_norm())
+            .sum();
+        target.ema_update_from(&online, 0.5).unwrap();
+        let after: f32 = target
+            .params()
+            .iter()
+            .zip(online.params().iter())
+            .map(|((_, _, a), (_, _, b))| a.sub(b).unwrap().sq_norm())
+            .sum();
+        assert!(after < before);
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_outputs() {
+        let mut enc = Encoder::new(&small_cfg(), 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        // push some state into BN running stats
+        let x = Tensor::randn(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+        enc.forward(&x, &ForwardCtx::train()).unwrap();
+        let mut buf = Vec::new();
+        enc.save(&mut buf).unwrap();
+        let mut back = Encoder::load(buf.as_slice()).unwrap();
+        assert_eq!(back.config(), enc.config());
+        let a = enc.forward(&x, &ForwardCtx::eval()).unwrap();
+        let b = back.forward(&x, &ForwardCtx::eval()).unwrap();
+        assert!(a.projection.sub(&b.projection).unwrap().norm() < 1e-5);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(Encoder::load(&b"NOPE"[..]).is_err());
+    }
+
+    #[test]
+    fn forward_spatial_shapes_per_arch() {
+        // ResNet-18 (4 stages): 16x16 -> 2x2 spatial map; channels == feat_dim
+        let mut r18 = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2), 1).unwrap();
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let (sp, _) = r18.forward_spatial(&x, &ForwardCtx::eval()).unwrap();
+        assert_eq!(sp.dims(), &[2, r18.feat_dim(), 2, 2]);
+
+        // ResNet-74 (3 stages): 16x16 -> 4x4
+        let mut r74 = Encoder::new(&EncoderConfig::new(Arch::ResNet74, 2), 2).unwrap();
+        let (sp, _) = r74.forward_spatial(&x, &ForwardCtx::eval()).unwrap();
+        assert_eq!(sp.dims(), &[2, r74.feat_dim(), 4, 4]);
+
+        // MobileNetV2 (two stride-2 stages): 16x16 -> 4x4
+        let mut mnv = Encoder::new(&EncoderConfig::new(Arch::MobileNetV2, 2), 3).unwrap();
+        let (sp, _) = mnv.forward_spatial(&x, &ForwardCtx::eval()).unwrap();
+        assert_eq!(sp.dims(), &[2, mnv.feat_dim(), 4, 4]);
+    }
+
+    #[test]
+    fn spatial_pooled_matches_features() {
+        // global-average-pooling the spatial map reproduces features()
+        let mut enc = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2), 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let (sp, _) = enc.forward_spatial(&x, &ForwardCtx::eval()).unwrap();
+        let pooled = cq_tensor::global_avg_pool(&sp).unwrap();
+        let feats = enc.features(&x, &ForwardCtx::eval()).unwrap();
+        for (a, b) in pooled.as_slice().iter().zip(feats.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_spatial_accumulates_gradients() {
+        let mut enc = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2), 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let (sp, cache) = enc.forward_spatial(&x, &ForwardCtx::train()).unwrap();
+        let mut gs = enc.params().zero_grads();
+        enc.backward_spatial(&cache, &Tensor::ones(sp.dims()), &mut gs).unwrap();
+        assert!(gs.global_norm() > 0.0);
+        assert!(gs.is_finite());
+    }
+}

@@ -1,0 +1,81 @@
+//! Projection and prediction heads.
+//!
+//! SimCLR (§3.4: "adding a projection head after the encoder") uses a
+//! 2-layer MLP; BYOL additionally uses a prediction head on the online
+//! network. Both are the same shape: `Linear → [BN] → ReLU → Linear`.
+
+use cq_nn::{BatchNorm1d, Linear, ParamSet, Relu, Sequential};
+use rand::rngs::StdRng;
+
+/// Configuration of an MLP head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadConfig {
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Insert BatchNorm1d after the first linear (BYOL-style head).
+    pub batch_norm: bool,
+}
+
+impl HeadConfig {
+    /// SimCLR-style head (no batch norm).
+    pub fn simclr(in_dim: usize, hidden: usize, out_dim: usize) -> Self {
+        HeadConfig { in_dim, hidden, out_dim, batch_norm: false }
+    }
+
+    /// BYOL-style head (batch norm after the first linear).
+    pub fn byol(in_dim: usize, hidden: usize, out_dim: usize) -> Self {
+        HeadConfig { in_dim, hidden, out_dim, batch_norm: true }
+    }
+}
+
+/// Builds the `Linear → [BN] → ReLU → Linear` head described by `cfg`.
+pub fn mlp_head(cfg: &HeadConfig, name: &str, ps: &mut ParamSet, rng: &mut StdRng) -> Sequential {
+    let mut head = Sequential::new();
+    head.push(Linear::new(ps, &format!("{name}.fc1"), cfg.in_dim, cfg.hidden, !cfg.batch_norm, rng));
+    if cfg.batch_norm {
+        head.push(BatchNorm1d::new(ps, &format!("{name}.bn"), cfg.hidden));
+    }
+    head.push(Relu::new());
+    head.push(Linear::new(ps, &format!("{name}.fc2"), cfg.hidden, cfg.out_dim, true, rng));
+    head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_nn::{ForwardCtx, Layer};
+    use cq_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simclr_head_shapes() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut head = mlp_head(&HeadConfig::simclr(8, 16, 4), "proj", &mut ps, &mut rng);
+        let (z, _) = head.forward(&ps, &Tensor::ones(&[3, 8]), &ForwardCtx::eval()).unwrap();
+        assert_eq!(z.dims(), &[3, 4]);
+        assert!(head.state_tensors().is_empty());
+    }
+
+    #[test]
+    fn byol_head_has_bn_state() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = mlp_head(&HeadConfig::byol(8, 16, 4), "proj", &mut ps, &mut rng);
+        assert_eq!(head.state_tensors().len(), 2);
+        let (z, _) = head.forward(&ps, &Tensor::ones(&[3, 8]), &ForwardCtx::eval()).unwrap();
+        assert_eq!(z.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn head_gradcheck() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let head = mlp_head(&HeadConfig::simclr(5, 7, 3), "proj", &mut ps, &mut rng);
+        cq_nn::gradcheck::check_layer(head, ps, &[4, 5], &ForwardCtx::train(), 5e-2);
+    }
+}

@@ -1,0 +1,261 @@
+//! MobileNetV2 with inverted residual (expand → depthwise → linear
+//! bottleneck) blocks, CIFAR-style stem for small inputs.
+
+use cq_nn::{
+    BatchNorm2d, Cache, Conv2d, DepthwiseConv2d, ForwardCtx, GlobalAvgPool, GradSet, Layer,
+    NnError, ParamSet, Relu6, Sequential,
+};
+use cq_tensor::{Conv2dSpec, Tensor};
+use rand::rngs::StdRng;
+
+/// MobileNetV2 inverted residual block.
+///
+/// `expand 1×1 conv (t×) → BN → ReLU6 → depthwise 3×3 → BN → ReLU6 →
+/// project 1×1 conv → BN`, with an identity residual when the stride is 1
+/// and the channel count is unchanged. The expansion stage is omitted when
+/// `t == 1` (the first block), exactly as in the reference network.
+pub struct InvertedResidual {
+    expand: Option<(Conv2d, BatchNorm2d, Relu6)>,
+    dw: DepthwiseConv2d,
+    bn_dw: BatchNorm2d,
+    act_dw: Relu6,
+    project: Conv2d,
+    bn_proj: BatchNorm2d,
+    use_res: bool,
+}
+
+impl std::fmt::Debug for InvertedResidual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InvertedResidual(out={}, res={})", self.project.out_channels(), self.use_res)
+    }
+}
+
+/// Forward trace of [`InvertedResidual`].
+struct IrCache {
+    expand: Option<(Cache, Cache, Cache)>,
+    dw: Cache,
+    bn_dw: Cache,
+    act_dw: Cache,
+    project: Cache,
+    bn_proj: Cache,
+}
+
+impl InvertedResidual {
+    /// Creates a block `in_ch -> out_ch` with expansion factor `t` and the
+    /// given depthwise stride.
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        t: usize,
+        stride: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(t >= 1, "expansion factor must be >= 1");
+        let hidden = in_ch * t;
+        let expand = (t != 1).then(|| {
+            (
+                Conv2d::new(ps, &format!("{name}.expand.conv"), in_ch, hidden, Conv2dSpec::new(1, 1, 0), false, rng),
+                BatchNorm2d::new(ps, &format!("{name}.expand.bn"), hidden),
+                Relu6::new(),
+            )
+        });
+        let dw = DepthwiseConv2d::new(ps, &format!("{name}.dw"), hidden, Conv2dSpec::new(3, stride, 1), rng);
+        let bn_dw = BatchNorm2d::new(ps, &format!("{name}.dw.bn"), hidden);
+        let project = Conv2d::new(ps, &format!("{name}.project.conv"), hidden, out_ch, Conv2dSpec::new(1, 1, 0), false, rng);
+        let bn_proj = BatchNorm2d::new(ps, &format!("{name}.project.bn"), out_ch);
+        InvertedResidual {
+            expand,
+            dw,
+            bn_dw,
+            act_dw: Relu6::new(),
+            project,
+            bn_proj,
+            use_res: stride == 1 && in_ch == out_ch,
+        }
+    }
+}
+
+impl Layer for InvertedResidual {
+    fn forward(
+        &mut self,
+        ps: &ParamSet,
+        x: &Tensor,
+        ctx: &ForwardCtx,
+    ) -> Result<(Tensor, Cache), NnError> {
+        let (h, expand_cache) = match &mut self.expand {
+            Some((c, b, a)) => {
+                let (h1, cc) = c.forward(ps, x, ctx)?;
+                let (h2, bc) = b.forward(ps, &h1, ctx)?;
+                let (h3, ac) = a.forward(ps, &h2, ctx)?;
+                (h3, Some((cc, bc, ac)))
+            }
+            None => (x.clone(), None),
+        };
+        let (d1, dw) = self.dw.forward(ps, &h, ctx)?;
+        let (d2, bn_dw) = self.bn_dw.forward(ps, &d1, ctx)?;
+        let (d3, act_dw) = self.act_dw.forward(ps, &d2, ctx)?;
+        let (p1, project) = self.project.forward(ps, &d3, ctx)?;
+        let (p2, bn_proj) = self.bn_proj.forward(ps, &p1, ctx)?;
+        let out = if self.use_res { p2.add(x)? } else { p2 };
+        Ok((out, Cache::new(IrCache { expand: expand_cache, dw, bn_dw, act_dw, project, bn_proj })))
+    }
+
+    fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        gs: &mut GradSet,
+    ) -> Result<Tensor, NnError> {
+        let c = cache.downcast::<IrCache>("InvertedResidual")?;
+        let dp = self.bn_proj.backward(ps, &c.bn_proj, dy, gs)?;
+        let dd3 = self.project.backward(ps, &c.project, &dp, gs)?;
+        let dd2 = self.act_dw.backward(ps, &c.act_dw, &dd3, gs)?;
+        let dd1 = self.bn_dw.backward(ps, &c.bn_dw, &dd2, gs)?;
+        let dh = self.dw.backward(ps, &c.dw, &dd1, gs)?;
+        let dx_main = match (&self.expand, &c.expand) {
+            (Some((conv, bn, act)), Some((cc, bc, ac))) => {
+                let d3 = act.backward(ps, ac, &dh, gs)?;
+                let d2 = bn.backward(ps, bc, &d3, gs)?;
+                conv.backward(ps, cc, &d2, gs)?
+            }
+            (None, None) => dh,
+            _ => return Err(NnError::CacheMismatch { layer: "InvertedResidual".into() }),
+        };
+        if self.use_res {
+            Ok(dx_main.add(dy)?)
+        } else {
+            Ok(dx_main)
+        }
+    }
+
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        let mut v = Vec::new();
+        if let Some((_, b, _)) = &self.expand {
+            v.extend(b.state_tensors());
+        }
+        v.extend(self.bn_dw.state_tensors());
+        v.extend(self.bn_proj.state_tensors());
+        v
+    }
+
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut v = Vec::new();
+        if let Some((_, b, _)) = &mut self.expand {
+            v.extend(b.state_tensors_mut());
+        }
+        v.extend(self.bn_dw.state_tensors_mut());
+        v.extend(self.bn_proj.state_tensors_mut());
+        v
+    }
+}
+
+/// Builds a width-scaled MobileNetV2 backbone
+/// `[N, 3, H, W] -> [N, feat_dim]`.
+///
+/// Stage table (scaled-down version of the reference network, preserving
+/// the expansion-factor pattern): stem 3×3 conv, then inverted residuals
+/// `(t, c, n, s)` = (1, w, 1, 1), (6, 2w, 2, 2), (6, 4w, 2, 2), followed by
+/// a 1×1 conv to `8w` features and global average pooling.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn build_mobilenet_v2(width: usize, ps: &mut ParamSet, rng: &mut StdRng) -> (Sequential, usize) {
+    assert!(width > 0, "width must be positive");
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(ps, "stem.conv", 3, width, Conv2dSpec::new(3, 1, 1), false, rng));
+    net.push(BatchNorm2d::new(ps, "stem.bn", width));
+    net.push(Relu6::new());
+
+    let stages: [(usize, usize, usize, usize); 3] =
+        [(1, width, 1, 1), (6, 2 * width, 2, 2), (6, 4 * width, 2, 2)];
+    let mut in_ch = width;
+    for (si, &(t, c, n, s)) in stages.iter().enumerate() {
+        for bi in 0..n {
+            let stride = if bi == 0 { s } else { 1 };
+            net.push(InvertedResidual::new(ps, &format!("ir{si}.{bi}"), in_ch, c, t, stride, rng));
+            in_ch = c;
+        }
+    }
+    let feat = 8 * width;
+    net.push(Conv2d::new(ps, "head.conv", in_ch, feat, Conv2dSpec::new(1, 1, 0), false, rng));
+    net.push(BatchNorm2d::new(ps, "head.bn", feat));
+    net.push(Relu6::new());
+    net.push(GlobalAvgPool::new());
+    (net, feat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inverted_residual_shapes() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ir = InvertedResidual::new(&mut ps, "ir", 4, 4, 6, 1, &mut rng);
+        assert!(ir.use_res);
+        let x = Tensor::ones(&[2, 4, 6, 6]);
+        let (y, _) = ir.forward(&ps, &x, &ForwardCtx::train()).unwrap();
+        assert_eq!(y.dims(), &[2, 4, 6, 6]);
+
+        let mut ir2 = InvertedResidual::new(&mut ps, "ir2", 4, 8, 6, 2, &mut rng);
+        assert!(!ir2.use_res);
+        let (y2, _) = ir2.forward(&ps, &x, &ForwardCtx::train()).unwrap();
+        assert_eq!(y2.dims(), &[2, 8, 3, 3]);
+    }
+
+    #[test]
+    fn t1_block_has_no_expand_stage() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ir = InvertedResidual::new(&mut ps, "ir", 4, 4, 1, 1, &mut rng);
+        assert!(ir.expand.is_none());
+        // dw weight + 2 bn(gamma,beta) + project + bn = 1 + 2 + 1 + 2
+        assert_eq!(ps.len(), 6);
+    }
+
+    #[test]
+    fn inverted_residual_gradcheck() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ir = InvertedResidual::new(&mut ps, "ir", 3, 3, 2, 1, &mut rng);
+        cq_nn::gradcheck::check_layer_soft(ir, ps, &[2, 3, 4, 4], &ForwardCtx::train(), 8e-2);
+    }
+
+    #[test]
+    fn inverted_residual_gradcheck_strided_no_res() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ir = InvertedResidual::new(&mut ps, "ir", 3, 4, 2, 2, &mut rng);
+        cq_nn::gradcheck::check_layer_soft(ir, ps, &[2, 3, 4, 4], &ForwardCtx::train(), 8e-2);
+    }
+
+    #[test]
+    fn mobilenet_shapes() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (mut net, dim) = build_mobilenet_v2(4, &mut ps, &mut rng);
+        assert_eq!(dim, 32);
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let (y, _) = net.forward(&ps, &x, &ForwardCtx::eval()).unwrap();
+        assert_eq!(y.dims(), &[2, 32]);
+    }
+
+    #[test]
+    fn mobilenet_backward_finite() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut net, dim) = build_mobilenet_v2(2, &mut ps, &mut rng);
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let (_, cache) = net.forward(&ps, &x, &ForwardCtx::train()).unwrap();
+        let mut gs = ps.zero_grads();
+        net.backward(&ps, &cache, &Tensor::ones(&[2, dim]), &mut gs).unwrap();
+        assert!(gs.is_finite());
+        assert!(gs.global_norm() > 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! CIFAR-style residual networks at the paper's six depths.
+//!
+//! ResNet-18/34 use the 4-stage BasicBlock layout of the ImageNet family
+//! (block counts [2,2,2,2] / [3,4,6,3]) with a 3×3 stem (no stem pooling —
+//! inputs here are small). ResNet-74/110/152 use the classic 3-stage CIFAR
+//! layout `6n+2` with `n` = 12 / 18 / 25.
+
+use cq_nn::{
+    BatchNorm2d, Cache, Conv2d, ForwardCtx, GlobalAvgPool, GradSet, Layer, NnError, ParamSet,
+    Relu, Sequential,
+};
+use cq_tensor::{Conv2dSpec, Tensor};
+use rand::rngs::StdRng;
+
+/// Backbone architecture identifiers (the paper's six networks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// 4-stage BasicBlock ResNet, blocks [2,2,2,2].
+    ResNet18,
+    /// 4-stage BasicBlock ResNet, blocks [3,4,6,3].
+    ResNet34,
+    /// 3-stage CIFAR ResNet, 6·12+2 layers.
+    ResNet74,
+    /// 3-stage CIFAR ResNet, 6·18+2 layers.
+    ResNet110,
+    /// 3-stage CIFAR ResNet, 6·25+2 layers.
+    ResNet152,
+    /// MobileNetV2 with inverted residual blocks.
+    MobileNetV2,
+}
+
+impl Arch {
+    /// All architectures evaluated in the paper, in table order.
+    pub fn all() -> [Arch; 6] {
+        [Arch::ResNet18, Arch::ResNet34, Arch::ResNet74, Arch::ResNet110, Arch::ResNet152, Arch::MobileNetV2]
+    }
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arch::ResNet18 => "ResNet-18",
+            Arch::ResNet34 => "ResNet-34",
+            Arch::ResNet74 => "ResNet-74",
+            Arch::ResNet110 => "ResNet-110",
+            Arch::ResNet152 => "ResNet-152",
+            Arch::MobileNetV2 => "MobileNetV2",
+        }
+    }
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The standard two-conv residual block with identity or projection skip.
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    down: Option<(Conv2d, BatchNorm2d)>,
+    relu_out: Relu,
+}
+
+impl std::fmt::Debug for BasicBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BasicBlock(out={}, down={})", self.conv2.out_channels(), self.down.is_some())
+    }
+}
+
+/// Forward trace of [`BasicBlock`].
+struct BlockCache {
+    c1: Cache,
+    b1: Cache,
+    r1: Cache,
+    c2: Cache,
+    b2: Cache,
+    down: Option<(Cache, Cache)>,
+    rout: Cache,
+}
+
+impl BasicBlock {
+    /// Creates a block mapping `in_ch -> out_ch` with the given stride on
+    /// the first conv; a 1×1 projection skip is added when the shape
+    /// changes.
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let conv1 = Conv2d::new(ps, &format!("{name}.conv1"), in_ch, out_ch, Conv2dSpec::new(3, stride, 1), false, rng);
+        let bn1 = BatchNorm2d::new(ps, &format!("{name}.bn1"), out_ch);
+        let conv2 = Conv2d::new(ps, &format!("{name}.conv2"), out_ch, out_ch, Conv2dSpec::new(3, 1, 1), false, rng);
+        let bn2 = BatchNorm2d::new(ps, &format!("{name}.bn2"), out_ch);
+        let down = (stride != 1 || in_ch != out_ch).then(|| {
+            (
+                Conv2d::new(ps, &format!("{name}.down.conv"), in_ch, out_ch, Conv2dSpec::new(1, stride, 0), false, rng),
+                BatchNorm2d::new(ps, &format!("{name}.down.bn"), out_ch),
+            )
+        });
+        BasicBlock { conv1, bn1, relu1: Relu::new(), conv2, bn2, down, relu_out: Relu::new() }
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(
+        &mut self,
+        ps: &ParamSet,
+        x: &Tensor,
+        ctx: &ForwardCtx,
+    ) -> Result<(Tensor, Cache), NnError> {
+        let (y1, c1) = self.conv1.forward(ps, x, ctx)?;
+        let (y2, b1) = self.bn1.forward(ps, &y1, ctx)?;
+        let (y3, r1) = self.relu1.forward(ps, &y2, ctx)?;
+        let (y4, c2) = self.conv2.forward(ps, &y3, ctx)?;
+        let (y5, b2) = self.bn2.forward(ps, &y4, ctx)?;
+        let (skip, down) = match &mut self.down {
+            Some((dc, db)) => {
+                let (s1, dcc) = dc.forward(ps, x, ctx)?;
+                let (s2, dbc) = db.forward(ps, &s1, ctx)?;
+                (s2, Some((dcc, dbc)))
+            }
+            None => (x.clone(), None),
+        };
+        let summed = y5.add(&skip)?;
+        let (out, rout) = self.relu_out.forward(ps, &summed, ctx)?;
+        Ok((out, Cache::new(BlockCache { c1, b1, r1, c2, b2, down, rout })))
+    }
+
+    fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        gs: &mut GradSet,
+    ) -> Result<Tensor, NnError> {
+        let c = cache.downcast::<BlockCache>("BasicBlock")?;
+        let dsum = self.relu_out.backward(ps, &c.rout, dy, gs)?;
+        // main branch
+        let d5 = self.bn2.backward(ps, &c.b2, &dsum, gs)?;
+        let d4 = self.conv2.backward(ps, &c.c2, &d5, gs)?;
+        let d3 = self.relu1.backward(ps, &c.r1, &d4, gs)?;
+        let d2 = self.bn1.backward(ps, &c.b1, &d3, gs)?;
+        let dx_main = self.conv1.backward(ps, &c.c1, &d2, gs)?;
+        // skip branch
+        let dx_skip = match (&self.down, &c.down) {
+            (Some((dc, db)), Some((dcc, dbc))) => {
+                let ds = db.backward(ps, dbc, &dsum, gs)?;
+                dc.backward(ps, dcc, &ds, gs)?
+            }
+            (None, None) => dsum,
+            _ => return Err(NnError::CacheMismatch { layer: "BasicBlock".into() }),
+        };
+        Ok(dx_main.add(&dx_skip)?)
+    }
+
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        let mut v = Vec::new();
+        v.extend(self.bn1.state_tensors());
+        v.extend(self.bn2.state_tensors());
+        if let Some((_, db)) = &self.down {
+            v.extend(db.state_tensors());
+        }
+        v
+    }
+
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut v = Vec::new();
+        v.extend(self.bn1.state_tensors_mut());
+        v.extend(self.bn2.state_tensors_mut());
+        if let Some((_, db)) = &mut self.down {
+            v.extend(db.state_tensors_mut());
+        }
+        v
+    }
+}
+
+/// Builds a ResNet backbone mapping `[N, 3, H, W] -> [N, feat_dim]`.
+///
+/// `width` is the first-stage channel count (the paper's full-scale models
+/// correspond to width 64 / 16; the scaled protocol uses 4–16). Returns the
+/// layer and the feature dimension.
+///
+/// # Panics
+///
+/// Panics if `arch` is [`Arch::MobileNetV2`] (use
+/// [`crate::build_mobilenet_v2`]) or `width == 0`.
+pub fn build_resnet(
+    arch: Arch,
+    width: usize,
+    ps: &mut ParamSet,
+    rng: &mut StdRng,
+) -> (Sequential, usize) {
+    assert!(width > 0, "width must be positive");
+    let (stage_blocks, stage_mults): (Vec<usize>, Vec<usize>) = match arch {
+        Arch::ResNet18 => (vec![2, 2, 2, 2], vec![1, 2, 4, 8]),
+        Arch::ResNet34 => (vec![3, 4, 6, 3], vec![1, 2, 4, 8]),
+        Arch::ResNet74 => (vec![12, 12, 12], vec![1, 2, 4]),
+        Arch::ResNet110 => (vec![18, 18, 18], vec![1, 2, 4]),
+        Arch::ResNet152 => (vec![25, 25, 25], vec![1, 2, 4]),
+        Arch::MobileNetV2 => panic!("use build_mobilenet_v2 for MobileNetV2"),
+    };
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(ps, "stem.conv", 3, width, Conv2dSpec::new(3, 1, 1), false, rng));
+    net.push(BatchNorm2d::new(ps, "stem.bn", width));
+    net.push(Relu::new());
+    let mut in_ch = width;
+    for (si, (&n_blocks, &mult)) in stage_blocks.iter().zip(&stage_mults).enumerate() {
+        let out_ch = width * mult;
+        for bi in 0..n_blocks {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            net.push(BasicBlock::new(ps, &format!("s{si}.b{bi}"), in_ch, out_ch, stride, rng));
+            in_ch = out_ch;
+        }
+    }
+    net.push(GlobalAvgPool::new());
+    (net, in_ch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arch_names_match_paper() {
+        assert_eq!(Arch::ResNet18.name(), "ResNet-18");
+        assert_eq!(Arch::all().len(), 6);
+        assert_eq!(Arch::MobileNetV2.to_string(), "MobileNetV2");
+    }
+
+    #[test]
+    fn basic_block_identity_skip_shapes() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut blk = BasicBlock::new(&mut ps, "b", 4, 4, 1, &mut rng);
+        let x = Tensor::ones(&[2, 4, 6, 6]);
+        let (y, _) = blk.forward(&ps, &x, &ForwardCtx::train()).unwrap();
+        assert_eq!(y.dims(), &[2, 4, 6, 6]);
+        assert_eq!(blk.state_tensors().len(), 4); // 2 BNs x (mean, var)
+    }
+
+    #[test]
+    fn basic_block_projection_skip_shapes() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut blk = BasicBlock::new(&mut ps, "b", 4, 8, 2, &mut rng);
+        let x = Tensor::ones(&[2, 4, 6, 6]);
+        let (y, _) = blk.forward(&ps, &x, &ForwardCtx::train()).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 3, 3]);
+        assert_eq!(blk.state_tensors().len(), 6); // 3 BNs
+    }
+
+    #[test]
+    fn basic_block_gradcheck_identity() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let blk = BasicBlock::new(&mut ps, "b", 3, 3, 1, &mut rng);
+        cq_nn::gradcheck::check_layer_soft(blk, ps, &[2, 3, 4, 4], &ForwardCtx::train(), 8e-2);
+    }
+
+    #[test]
+    fn basic_block_gradcheck_projection() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let blk = BasicBlock::new(&mut ps, "b", 3, 4, 2, &mut rng);
+        cq_nn::gradcheck::check_layer_soft(blk, ps, &[2, 3, 4, 4], &ForwardCtx::train(), 8e-2);
+    }
+
+    #[test]
+    fn resnet18_shapes_and_feat_dim() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (mut net, dim) = build_resnet(Arch::ResNet18, 4, &mut ps, &mut rng);
+        assert_eq!(dim, 32);
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let (y, _) = net.forward(&ps, &x, &ForwardCtx::eval()).unwrap();
+        assert_eq!(y.dims(), &[2, 32]);
+    }
+
+    #[test]
+    fn cifar_resnet_depth_counts() {
+        // ResNet-74 = 6*12+2: stem conv + 36 blocks*2 convs + fc (not here)
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (_, dim) = build_resnet(Arch::ResNet74, 4, &mut ps, &mut rng);
+        assert_eq!(dim, 16);
+        // weight params: stem conv + stem bn(2) + blocks
+        // 36 blocks, each 2 convs + 2 bns(2 each) = 6 params, plus 2
+        // projection blocks with 1x1 conv + bn = +3 each.
+        let expected = 1 + 2 + 36 * 6 + 2 * 3;
+        assert_eq!(ps.len(), expected);
+    }
+
+    #[test]
+    fn resnet_backward_runs_and_produces_finite_grads() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let (mut net, dim) = build_resnet(Arch::ResNet18, 2, &mut ps, &mut rng);
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let (_y, cache) = net.forward(&ps, &x, &ForwardCtx::train()).unwrap();
+        let mut gs = ps.zero_grads();
+        let dy = Tensor::ones(&[2, dim]);
+        let dx = net.backward(&ps, &cache, &dy, &mut gs).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+        assert!(gs.is_finite());
+        assert!(gs.global_norm() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "build_mobilenet_v2")]
+    fn resnet_builder_rejects_mobilenet() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        build_resnet(Arch::MobileNetV2, 4, &mut ps, &mut rng);
+    }
+}

@@ -1,0 +1,158 @@
+//! Activation layers. These are also where *activation* fake-quantization
+//! happens: under a quantized [`ForwardCtx`] the activation output is
+//! projected onto the quantization grid (post-activation quantization, the
+//! standard QAT placement), and the straight-through estimator passes
+//! gradients through the quantizer unchanged.
+
+use cq_quant::fake_quant_into;
+use cq_tensor::Tensor;
+
+use crate::{Cache, ForwardCtx, GradSet, Layer, ParamSet, Result};
+
+/// Rectified linear unit `y = max(0, x)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relu;
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu
+    }
+}
+
+/// Pre-activation sign mask trace shared by [`Relu`] and [`Relu6`].
+struct ActCache {
+    /// 1.0 where the activation passes gradient, 0.0 elsewhere.
+    mask: Vec<f32>,
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, _ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
+        let mut y = x.clone();
+        let mut mask = vec![0.0f32; x.len()];
+        for (v, m) in y.as_mut_slice().iter_mut().zip(&mut mask) {
+            if *v > 0.0 {
+                *m = 1.0;
+            } else {
+                *v = 0.0;
+            }
+        }
+        fake_quant_into(y.as_mut_slice(), ctx.quant.act, ctx.quant.mode);
+        Ok((y, Cache::new(ActCache { mask })))
+    }
+
+    fn backward(
+        &self,
+        _ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        _gs: &mut GradSet,
+    ) -> Result<Tensor> {
+        let c = cache.downcast::<ActCache>("Relu")?;
+        let mut dx = dy.clone();
+        for (g, &m) in dx.as_mut_slice().iter_mut().zip(&c.mask) {
+            *g *= m;
+        }
+        Ok(dx)
+    }
+}
+
+/// ReLU6 `y = min(max(0, x), 6)` — the MobileNetV2 activation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relu6;
+
+impl Relu6 {
+    /// Creates a ReLU6 layer.
+    pub fn new() -> Self {
+        Relu6
+    }
+}
+
+impl Layer for Relu6 {
+    fn forward(&mut self, _ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
+        let mut y = x.clone();
+        let mut mask = vec![0.0f32; x.len()];
+        for (v, m) in y.as_mut_slice().iter_mut().zip(&mut mask) {
+            if *v > 0.0 && *v < 6.0 {
+                *m = 1.0;
+            }
+            *v = v.clamp(0.0, 6.0);
+        }
+        fake_quant_into(y.as_mut_slice(), ctx.quant.act, ctx.quant.mode);
+        Ok((y, Cache::new(ActCache { mask })))
+    }
+
+    fn backward(
+        &self,
+        _ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        _gs: &mut GradSet,
+    ) -> Result<Tensor> {
+        let c = cache.downcast::<ActCache>("Relu6")?;
+        let mut dx = dy.clone();
+        for (g, &m) in dx.as_mut_slice().iter_mut().zip(&c.mask) {
+            *g *= m;
+        }
+        Ok(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_quant::{Precision, QuantConfig};
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let (y, _) = r.forward(&ParamSet::new(), &x, &ForwardCtx::eval()).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 3.0]);
+        let (_, c) = r.forward(&ParamSet::new(), &x, &ForwardCtx::eval()).unwrap();
+        let mut gs = ParamSet::new().zero_grads();
+        let dx = r.backward(&ParamSet::new(), &c, &Tensor::from_slice(&[5.0, 5.0]), &mut gs).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn relu6_saturates_both_ends() {
+        let mut r = Relu6::new();
+        let x = Tensor::from_slice(&[-1.0, 3.0, 9.0]);
+        let (y, c) = r.forward(&ParamSet::new(), &x, &ForwardCtx::eval()).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 3.0, 6.0]);
+        let mut gs = ParamSet::new().zero_grads();
+        let dx = r
+            .backward(&ParamSet::new(), &c, &Tensor::from_slice(&[1.0, 1.0, 1.0]), &mut gs)
+            .unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn activation_quantization_snaps_output() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[0.11, 0.29, 0.53, 0.97, 0.0, 1.9]);
+        let ctx = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(2)));
+        let (y, _) = r.forward(&ParamSet::new(), &x, &ctx).unwrap();
+        // 2 bits over [0, 1.9] => grid step 1.9/3
+        let step = 1.9f32 / 3.0;
+        for &v in y.as_slice() {
+            let k = v / step;
+            assert!((k - k.round()).abs() < 1e-4, "{v} off-grid");
+        }
+    }
+
+    #[test]
+    fn gradcheck_relu_like() {
+        // use inputs away from the kink; gradcheck draws N(0,1), kinks at 0
+        // can flip under eps. Tolerance is loose to absorb that.
+        crate::gradcheck::check_layer(Relu::new(), ParamSet::new(), &[4, 6], &ForwardCtx::eval(), 0.3);
+        crate::gradcheck::check_layer(Relu6::new(), ParamSet::new(), &[4, 6], &ForwardCtx::eval(), 0.3);
+    }
+}

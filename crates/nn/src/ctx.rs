@@ -1,0 +1,143 @@
+//! Forward context (mode + quantization config) and type-erased caches.
+
+use std::any::Any;
+
+use cq_quant::QuantConfig;
+
+use crate::{NnError, Result};
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Training mode uses batch statistics in BatchNorm (and updates the
+/// running estimates); evaluation mode uses the running estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training: batch statistics, running-stat updates.
+    Train,
+    /// Evaluation: frozen running statistics.
+    #[default]
+    Eval,
+}
+
+/// Additive Gaussian weight perturbation — the alternative model-side
+/// augmentation the paper names as future work (§4.2 "explore other kinds
+/// of perturbations on weights/activations").
+///
+/// The noise drawn for a weight tensor is `N(0, (std · rms(w))²)`, seeded
+/// by `seed ^ hash(param id)` so each branch of a training step sees a
+/// different but *deterministic* perturbation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightNoise {
+    /// Relative noise strength (multiplies the weight tensor's RMS).
+    pub std: f32,
+    /// Branch seed.
+    pub seed: u64,
+}
+
+/// Per-forward-pass context: the mode and the quantization configuration
+/// under which the encoder is being evaluated.
+///
+/// Contrastive Quant constructs one `ForwardCtx` per branch per step, e.g.
+/// `ForwardCtx::train().with_quant(QuantConfig::uniform(q1))`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ForwardCtx {
+    /// Train vs eval behaviour.
+    pub mode: Mode,
+    /// Quantization applied to weights/activations in this pass.
+    pub quant: QuantConfig,
+    /// Optional Gaussian weight perturbation (noise-augmentation
+    /// extension; `None` in all of the paper's own pipelines).
+    pub weight_noise: Option<WeightNoise>,
+}
+
+impl ForwardCtx {
+    /// Training context at full precision.
+    pub fn train() -> Self {
+        ForwardCtx { mode: Mode::Train, quant: QuantConfig::fp(), weight_noise: None }
+    }
+
+    /// Evaluation context at full precision.
+    pub fn eval() -> Self {
+        ForwardCtx { mode: Mode::Eval, quant: QuantConfig::fp(), weight_noise: None }
+    }
+
+    /// Returns a copy with the given quantization config.
+    pub fn with_quant(mut self, quant: QuantConfig) -> Self {
+        self.quant = quant;
+        self
+    }
+
+    /// Returns a copy with Gaussian weight noise enabled.
+    pub fn with_weight_noise(mut self, std: f32, seed: u64) -> Self {
+        self.weight_noise = Some(WeightNoise { std, seed });
+        self
+    }
+
+    /// Whether this pass trains (batch statistics etc.).
+    pub fn is_train(&self) -> bool {
+        self.mode == Mode::Train
+    }
+
+    /// Whether this pass perturbs weights in any way (quantization or
+    /// noise).
+    pub fn perturbs_weights(&self) -> bool {
+        self.quant.weight.is_quantized() || self.weight_noise.is_some()
+    }
+}
+
+/// Type-erased per-forward state a layer needs for its backward pass.
+///
+/// Each [`crate::Layer::forward`] call returns a fresh `Cache`; holding
+/// several caches for the same layer is what enables the multi-branch
+/// (multi-quantization) training steps of Contrastive Quant.
+#[derive(Debug)]
+pub struct Cache(Box<dyn Any + Send>);
+
+impl Cache {
+    /// Wraps a layer-specific cache value.
+    pub fn new<T: Any + Send>(v: T) -> Self {
+        Cache(Box::new(v))
+    }
+
+    /// An empty cache for stateless layers.
+    pub fn none() -> Self {
+        Cache(Box::new(()))
+    }
+
+    /// Downcasts to the concrete cache type of the owning layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CacheMismatch`] if the cache was produced by a
+    /// different layer type.
+    pub fn downcast<T: Any>(&self, layer: &str) -> Result<&T> {
+        self.0
+            .downcast_ref::<T>()
+            .ok_or_else(|| NnError::CacheMismatch { layer: layer.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_quant::Precision;
+
+    #[test]
+    fn ctx_builders() {
+        let t = ForwardCtx::train();
+        assert!(t.is_train());
+        assert!(!t.quant.is_quantized());
+        let q = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(4)));
+        assert!(!q.is_train());
+        assert!(q.quant.is_quantized());
+    }
+
+    #[test]
+    fn cache_downcast_success_and_failure() {
+        let c = Cache::new(42u32);
+        assert_eq!(*c.downcast::<u32>("x").unwrap(), 42);
+        assert!(c.downcast::<f64>("x").is_err());
+        let n = Cache::none();
+        assert!(n.downcast::<()>("x").is_ok());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the neural-network substrate.
+
+use std::fmt;
+
+use cq_tensor::TensorError;
+
+/// Error returned by layer, loss and optimizer operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A layer received an input of unexpected shape.
+    BadInput {
+        /// The layer reporting the problem.
+        layer: String,
+        /// Human-readable description of the mismatch.
+        expected: String,
+        /// The shape actually received.
+        got: Vec<usize>,
+    },
+    /// A [`crate::Cache`] was passed to a layer that did not create it.
+    CacheMismatch {
+        /// The layer reporting the problem.
+        layer: String,
+    },
+    /// Parameter/gradient bookkeeping failed (e.g. id from another set).
+    Param(String),
+    /// A numeric invariant was violated (NaN/Inf detected where the caller
+    /// requested checking).
+    NonFinite {
+        /// Where the non-finite value surfaced.
+        context: String,
+    },
+    /// Checkpoint (de)serialisation failed.
+    Io(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput { layer, expected, got } => {
+                write!(f, "layer `{layer}` expected {expected}, got shape {got:?}")
+            }
+            NnError::CacheMismatch { layer } => {
+                write!(f, "cache passed to layer `{layer}` was created by a different layer")
+            }
+            NnError::Param(msg) => write!(f, "parameter error: {msg}"),
+            NnError::NonFinite { context } => write!(f, "non-finite value in {context}"),
+            NnError::Io(msg) => write!(f, "checkpoint i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: NnError = TensorError::Io("x".into()).into();
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+        let b = NnError::BadInput { layer: "conv1".into(), expected: "NCHW".into(), got: vec![2] };
+        assert!(b.to_string().contains("conv1"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NnError>();
+    }
+}

@@ -1,0 +1,263 @@
+//! The [`Layer`] trait and the [`Sequential`] container.
+
+use cq_tensor::Tensor;
+
+use crate::{Cache, ForwardCtx, GradSet, ParamSet, Result};
+
+/// A differentiable network module with trace-based forward/backward.
+///
+/// `forward` takes `&mut self` so stateful layers (BatchNorm running
+/// statistics) can update themselves in training mode; everything needed
+/// by `backward` is returned in the [`Cache`], so several forward traces
+/// of the same layer can be alive at once — the property Contrastive
+/// Quant's multi-branch steps rely on.
+pub trait Layer: Send {
+    /// Runs the layer on `x`, returning the output and the trace needed by
+    /// [`Layer::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inputs of unexpected shape.
+    fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)>;
+
+    /// Backpropagates `dy` through the trace, accumulating parameter
+    /// gradients into `gs` and returning the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cache` was produced by a different layer or
+    /// shapes are inconsistent.
+    fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        gs: &mut GradSet,
+    ) -> Result<Tensor>;
+
+    /// Non-parameter state tensors (e.g. BatchNorm running statistics),
+    /// in a deterministic traversal order. Used for checkpointing and for
+    /// copying state into a BYOL target network.
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Mutable access to the tensors of [`Layer::state_tensors`], in the
+    /// same order.
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+}
+
+/// A chain of layers applied in order.
+///
+/// # Example
+///
+/// ```
+/// use cq_nn::{Sequential, Linear, Relu, ParamSet, ForwardCtx, Layer};
+/// use cq_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut ps = ParamSet::new();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut mlp = Sequential::new();
+/// mlp.push(Linear::new(&mut ps, "fc1", 4, 8, true, &mut rng));
+/// mlp.push(Relu::new());
+/// mlp.push(Linear::new(&mut ps, "fc2", 8, 2, true, &mut rng));
+/// let (y, _) = mlp.forward(&ps, &Tensor::ones(&[5, 4]), &ForwardCtx::eval())?;
+/// assert_eq!(y.dims(), &[5, 2]);
+/// # Ok::<(), cq_nn::NnError>(())
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer (for dynamically built networks).
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs only the first `n_layers` layers (e.g. a backbone without its
+    /// final pooling, for dense prediction heads). The returned cache is
+    /// accepted by [`Layer::backward`], which walks exactly the layers the
+    /// cache covers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n_layers` exceeds the chain length or a child
+    /// layer fails.
+    pub fn forward_upto(
+        &mut self,
+        ps: &ParamSet,
+        x: &Tensor,
+        ctx: &ForwardCtx,
+        n_layers: usize,
+    ) -> Result<(Tensor, Cache)> {
+        if n_layers > self.layers.len() {
+            return Err(crate::NnError::Param(format!(
+                "forward_upto: {} layers requested, chain has {}",
+                n_layers,
+                self.layers.len()
+            )));
+        }
+        let mut children = Vec::with_capacity(n_layers);
+        let mut cur = x.clone();
+        for layer in &mut self.layers[..n_layers] {
+            let (y, c) = layer.forward(ps, &cur, ctx)?;
+            children.push(c);
+            cur = y;
+        }
+        Ok((cur, Cache::new(SeqCache { children })))
+    }
+}
+
+/// Trace for [`Sequential`]: one cache per child layer.
+struct SeqCache {
+    children: Vec<Cache>,
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
+        let mut children = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            let (y, c) = layer.forward(ps, &cur, ctx)?;
+            children.push(c);
+            cur = y;
+        }
+        Ok((cur, Cache::new(SeqCache { children })))
+    }
+
+    fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        gs: &mut GradSet,
+    ) -> Result<Tensor> {
+        let c = cache.downcast::<SeqCache>("Sequential")?;
+        // Prefix caches (from `forward_upto`) walk only the layers they
+        // cover; a full-forward cache covers every layer.
+        if c.children.len() > self.layers.len() {
+            return Err(crate::NnError::CacheMismatch { layer: "Sequential".into() });
+        }
+        let mut cur = dy.clone();
+        for (layer, child) in self.layers[..c.children.len()].iter().zip(&c.children).rev() {
+            cur = layer.backward(ps, child, &cur, gs)?;
+        }
+        Ok(cur)
+    }
+
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(|l| l.state_tensors()).collect()
+    }
+
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(|l| l.state_tensors_mut()).collect()
+    }
+}
+
+/// Copies all non-parameter state (BatchNorm running statistics) from one
+/// layer tree to an identically structured one — used when building a BYOL
+/// target network.
+///
+/// # Errors
+///
+/// Returns [`crate::NnError::Param`] if the trees have different state
+/// layouts.
+pub fn copy_state(dst: &mut dyn Layer, src: &dyn Layer) -> Result<()> {
+    let s = src.state_tensors();
+    let mut d = dst.state_tensors_mut();
+    if s.len() != d.len() {
+        return Err(crate::NnError::Param(format!(
+            "state layout mismatch: {} vs {} tensors",
+            d.len(),
+            s.len()
+        )));
+    }
+    for (dt, st) in d.iter_mut().zip(&s) {
+        if dt.dims() != st.dims() {
+            return Err(crate::NnError::Param("state tensor shape mismatch".into()));
+        }
+        dt.as_mut_slice().copy_from_slice(st.as_slice());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_chains_shapes() {
+        let mut ps = ParamSet::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut seq = Sequential::new();
+        seq.push(Linear::new(&mut ps, "a", 3, 5, true, &mut rng));
+        seq.push(Relu::new());
+        seq.push(Linear::new(&mut ps, "b", 5, 2, true, &mut rng));
+        assert_eq!(seq.len(), 3);
+        let x = Tensor::ones(&[4, 3]);
+        let (y, cache) = seq.forward(&ps, &x, &ForwardCtx::eval()).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+        let mut gs = ps.zero_grads();
+        let dx = seq.backward(&ps, &cache, &Tensor::ones(&[4, 2]), &mut gs).unwrap();
+        assert_eq!(dx.dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn wrong_cache_rejected() {
+        let mut ps = ParamSet::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut seq = Sequential::new();
+        seq.push(Linear::new(&mut ps, "a", 3, 3, true, &mut rng));
+        let mut gs = ps.zero_grads();
+        let bad = Cache::new(7u8);
+        assert!(seq.backward(&ps, &bad, &Tensor::ones(&[1, 3]), &mut gs).is_err());
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let ps = ParamSet::new();
+        let mut seq = Sequential::new();
+        assert!(seq.is_empty());
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        let (y, c) = seq.forward(&ps, &x, &ForwardCtx::eval()).unwrap();
+        assert_eq!(y, x);
+        let mut gs = ps.zero_grads();
+        let dx = seq.backward(&ps, &c, &x, &mut gs).unwrap();
+        assert_eq!(dx, x);
+    }
+}

@@ -1,0 +1,177 @@
+//! Fully connected layer with optional bias and weight fake-quantization.
+
+use cq_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::{Cache, ForwardCtx, GradSet, Layer, NnError, ParamId, ParamSet, Result};
+
+/// Fully connected layer: `y = x Wᵀ + b`, weight shape `[out, in]`.
+///
+/// Under a quantized [`ForwardCtx`] the weight is fake-quantized before
+/// use; the straight-through estimator passes `dW` gradients unchanged
+/// while data gradients flow through the quantized weight.
+#[derive(Debug)]
+pub struct Linear {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    in_features: usize,
+    out_features: usize,
+}
+
+/// Forward trace of [`Linear`].
+struct LinearCache {
+    input: Tensor,
+    /// Weight actually used in the forward pass (quantized when the ctx
+    /// asked for it); `None` means the raw parameter was used.
+    used_weight: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer, registering its parameters in `ps`.
+    ///
+    /// Weights use Xavier-uniform init; the bias (if any) starts at zero.
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = Tensor::xavier_uniform(&[out_features, in_features], in_features, out_features, rng);
+        let weight = ps.add(format!("{name}.weight"), w);
+        let bias = bias.then(|| ps.add(format!("{name}.bias"), Tensor::zeros(&[out_features])));
+        Linear { weight, bias, in_features, out_features }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight parameter handle.
+    pub fn weight_id(&self) -> ParamId {
+        self.weight
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
+        if x.rank() != 2 || x.dims()[1] != self.in_features {
+            return Err(NnError::BadInput {
+                layer: format!("Linear({}->{})", self.in_features, self.out_features),
+                expected: format!("[N, {}]", self.in_features),
+                got: x.dims().to_vec(),
+            });
+        }
+        let w = ps.get(self.weight);
+        let used = crate::perturb::perturbed_weight(w, self.weight, ctx);
+        let y = x.matmul_nt(used.as_ref().unwrap_or(w))?;
+        let y = match self.bias {
+            Some(b) => y.add_broadcast(ps.get(b))?,
+            None => y,
+        };
+        Ok((y, Cache::new(LinearCache { input: x.clone(), used_weight: used })))
+    }
+
+    fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        gs: &mut GradSet,
+    ) -> Result<Tensor> {
+        let c = cache.downcast::<LinearCache>("Linear")?;
+        // dW = dyᵀ x  (STE: same expression whether or not W was quantized)
+        let dw = dy.matmul_tn(&c.input)?;
+        gs.accumulate(self.weight, &dw)?;
+        if let Some(b) = self.bias {
+            gs.accumulate(b, &dy.sum_axis(0)?)?;
+        }
+        // dx = dy W, where W is the weight actually used in forward.
+        let w = c.used_weight.as_ref().unwrap_or_else(|| ps.get(self.weight));
+        Ok(dy.matmul(w)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_quant::{Precision, QuantConfig};
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamSet, Linear) {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let fc = Linear::new(&mut ps, "fc", 3, 2, true, &mut rng);
+        (ps, fc)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let (mut ps, mut fc) = setup();
+        // zero the weight; output should equal the bias
+        ps.get_mut(fc.weight_id()).fill(0.0);
+        let bias_id = fc.bias.unwrap();
+        ps.get_mut(bias_id).as_mut_slice().copy_from_slice(&[1.0, -1.0]);
+        let (y, _) = fc.forward(&ps, &Tensor::ones(&[2, 3]), &ForwardCtx::eval()).unwrap();
+        assert_eq!(y.as_slice(), &[1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let (ps, mut fc) = setup();
+        assert!(fc.forward(&ps, &Tensor::ones(&[2, 4]), &ForwardCtx::eval()).is_err());
+        assert!(fc.forward(&ps, &Tensor::ones(&[4]), &ForwardCtx::eval()).is_err());
+    }
+
+    #[test]
+    fn gradient_check_fp() {
+        let (ps, fc) = setup();
+        crate::gradcheck::check_layer(fc, ps, &[4, 3], &ForwardCtx::train(), 1e-2);
+    }
+
+    #[test]
+    fn quantized_forward_uses_grid_weights() {
+        let (ps, mut fc) = setup();
+        let ctx = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(2)));
+        let x = Tensor::eye(3); // rows pick out weight columns
+        let (yq, _) = fc.forward(&ps, &x, &ctx).unwrap();
+        let (yf, _) = fc.forward(&ps, &x, &ForwardCtx::eval()).unwrap();
+        // 2-bit quantization must actually change the output
+        assert!(yq.sub(&yf).unwrap().norm() > 1e-4);
+    }
+
+    #[test]
+    fn quantized_backward_dx_uses_quantized_weight() {
+        let (ps, mut fc) = setup();
+        let ctx = ForwardCtx::train().with_quant(QuantConfig::uniform(Precision::Bits(2)));
+        let x = Tensor::ones(&[1, 3]);
+        let (_, cache) = fc.forward(&ps, &x, &ctx).unwrap();
+        let mut gs = ps.zero_grads();
+        let dy = Tensor::ones(&[1, 2]);
+        let dx = fc.backward(&ps, &cache, &dy, &mut gs).unwrap();
+        // dx should equal column sums of the quantized weight, not the raw one
+        let wq = cq_quant::fake_quant(ps.get(fc.weight_id()), Precision::Bits(2), cq_quant::QuantMode::Round);
+        let expected = wq.sum_axis(0).unwrap();
+        for (a, b) in dx.as_slice().iter().zip(expected.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn no_bias_variant() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut fc = Linear::new(&mut ps, "fc", 2, 2, false, &mut rng);
+        assert_eq!(ps.len(), 1);
+        let (_, cache) = fc.forward(&ps, &Tensor::ones(&[1, 2]), &ForwardCtx::train()).unwrap();
+        let mut gs = ps.zero_grads();
+        fc.backward(&ps, &cache, &Tensor::ones(&[1, 2]), &mut gs).unwrap();
+    }
+}

@@ -1,0 +1,190 @@
+//! Supervised losses (softmax cross-entropy, MSE) and accuracy, each
+//! returning the loss value together with the gradient w.r.t. the input —
+//! the starting point of every backward trace.
+
+use cq_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// A scalar loss and its gradient with respect to the loss input.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss w.r.t. the input tensor.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy over `[N, K]` logits with integer class labels.
+///
+/// Returns the batch-mean loss and its gradient `(softmax − onehot) / N`.
+///
+/// # Errors
+///
+/// Returns an error if `logits` is not rank 2, `labels.len() != N`, or any
+/// label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    if logits.rank() != 2 {
+        return Err(NnError::BadInput {
+            layer: "softmax_cross_entropy".into(),
+            expected: "[N, K] logits".into(),
+            got: logits.dims().to_vec(),
+        });
+    }
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != n {
+        return Err(NnError::BadInput {
+            layer: "softmax_cross_entropy".into(),
+            expected: format!("{n} labels"),
+            got: vec![labels.len()],
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(NnError::BadInput {
+            layer: "softmax_cross_entropy".into(),
+            expected: format!("labels < {k}"),
+            got: vec![bad],
+        });
+    }
+    let logp = logits.log_softmax_rows()?;
+    let mut loss = 0.0f32;
+    let mut grad = logp.map(f32::exp); // softmax probabilities
+    for (i, &lab) in labels.iter().enumerate() {
+        loss -= logp.as_slice()[i * k + lab];
+        grad.as_mut_slice()[i * k + lab] -= 1.0;
+    }
+    loss /= n as f32;
+    grad.map_in_place(|v| v / n as f32);
+    Ok(LossOutput { loss, grad })
+}
+
+/// Mean-squared-error loss between `pred` and `target` (elementwise mean).
+///
+/// Gradient is `2 (pred − target) / len`.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Result<LossOutput> {
+    let diff = pred.sub(target)?;
+    let n = pred.len().max(1) as f32;
+    let loss = diff.sq_norm() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok(LossOutput { loss, grad })
+}
+
+/// Top-1 accuracy of `[N, K]` logits against integer labels, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent (this is an evaluation helper, not a
+/// training-path function).
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.rank(), 2, "accuracy expects [N, K] logits");
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n);
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (i, &lab) in labels.iter().enumerate() {
+        let row = &logits.as_slice()[i * k..(i + 1) * k];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        if pred == lab {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ce_uniform_logits_is_log_k() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_difference() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let logits = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        let labels = [2usize, 0, 3];
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let fp = softmax_cross_entropy(&lp, &labels).unwrap().loss;
+            let fm = softmax_cross_entropy(&lm, &labels).unwrap().loss;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - out.grad.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ce_grad_rows_sum_to_zero() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let logits = Tensor::randn(&[2, 5], 0.0, 2.0, &mut rng);
+        let out = softmax_cross_entropy(&logits, &[1, 4]).unwrap();
+        for i in 0..2 {
+            let s: f32 = out.grad.as_slice()[i * 5..(i + 1) * 5].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ce_validates_inputs() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[6]), &[0]).is_err());
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let out = mse_loss(&p, &t).unwrap();
+        assert!((out.loss - 2.5).abs() < 1e-6);
+        assert_eq!(out.grad.as_slice(), &[1.0, 2.0]);
+        assert!(mse_loss(&p, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn mse_gradient_finite_difference() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let p = Tensor::randn(&[6], 0.0, 1.0, &mut rng);
+        let t = Tensor::randn(&[6], 0.0, 1.0, &mut rng);
+        let out = mse_loss(&p, &t).unwrap();
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let mut pp = p.clone();
+            pp.as_mut_slice()[idx] += eps;
+            let mut pm = p.clone();
+            pm.as_mut_slice()[idx] -= eps;
+            let fd = (mse_loss(&pp, &t).unwrap().loss - mse_loss(&pm, &t).unwrap().loss) / (2.0 * eps);
+            assert!((fd - out.grad.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.0, 5.0, 1.0, 1.0], &[2, 3]).unwrap();
+        assert_eq!(accuracy(&logits, &[1, 0]), 1.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+}

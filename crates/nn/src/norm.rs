@@ -1,0 +1,388 @@
+//! Batch normalisation for NCHW feature maps ([`BatchNorm2d`]) and
+//! `[N, C]` feature vectors ([`BatchNorm1d`], used in projection heads).
+//!
+//! BatchNorm runs in full precision regardless of the quantization config
+//! (standard QAT practice: BN is folded into the preceding conv at
+//! deployment). Running statistics are layer state, returned by
+//! [`Layer::state_tensors`] for checkpointing and BYOL target copies.
+
+use cq_tensor::Tensor;
+
+use crate::{Cache, ForwardCtx, GradSet, Layer, Mode, NnError, ParamId, ParamSet, Result};
+
+/// Shared implementation: normalisation over the channel axis of data laid
+/// out as `(outer, channels, inner)`.
+#[derive(Debug)]
+struct BatchNormInner {
+    gamma: ParamId,
+    beta: ParamId,
+    running_mean: Tensor,
+    running_var: Tensor,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+}
+
+/// Forward trace of a batch-norm layer.
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    outer: usize,
+    inner: usize,
+    mode: Mode,
+}
+
+impl BatchNormInner {
+    fn new(ps: &mut ParamSet, name: &str, channels: usize, momentum: f32, eps: f32) -> Self {
+        let gamma = ps.add(format!("{name}.gamma"), Tensor::ones(&[channels]));
+        let beta = ps.add(format!("{name}.beta"), Tensor::zeros(&[channels]));
+        BatchNormInner {
+            gamma,
+            beta,
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            channels,
+            momentum,
+            eps,
+        }
+    }
+
+    /// `x` viewed as `(outer, channels, inner)`, row-major.
+    fn forward(
+        &mut self,
+        ps: &ParamSet,
+        x: &Tensor,
+        outer: usize,
+        inner: usize,
+        ctx: &ForwardCtx,
+        layer_name: &str,
+    ) -> Result<(Tensor, Cache)> {
+        let c = self.channels;
+        debug_assert_eq!(x.len(), outer * c * inner);
+        let m = (outer * inner) as f32;
+        let xs = x.as_slice();
+
+        let (mean, var) = match ctx.mode {
+            Mode::Train => {
+                if outer * inner < 2 {
+                    return Err(NnError::BadInput {
+                        layer: layer_name.to_string(),
+                        expected: "batch with >= 2 elements per channel in train mode".into(),
+                        got: x.dims().to_vec(),
+                    });
+                }
+                let mut mean = vec![0.0f32; c];
+                let mut var = vec![0.0f32; c];
+                for o in 0..outer {
+                    for ci in 0..c {
+                        let base = (o * c + ci) * inner;
+                        mean[ci] += xs[base..base + inner].iter().sum::<f32>();
+                    }
+                }
+                for v in &mut mean {
+                    *v /= m;
+                }
+                for o in 0..outer {
+                    for ci in 0..c {
+                        let base = (o * c + ci) * inner;
+                        let mu = mean[ci];
+                        var[ci] += xs[base..base + inner].iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>();
+                    }
+                }
+                for v in &mut var {
+                    *v /= m;
+                }
+                // EMA update of running statistics.
+                let mom = self.momentum;
+                for ((rm, rv), (&mu, &va)) in self
+                    .running_mean
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(self.running_var.as_mut_slice())
+                    .zip(mean.iter().zip(&var))
+                {
+                    *rm = (1.0 - mom) * *rm + mom * mu;
+                    *rv = (1.0 - mom) * *rv + mom * va;
+                }
+                (mean, var)
+            }
+            Mode::Eval => (
+                self.running_mean.as_slice().to_vec(),
+                self.running_var.as_slice().to_vec(),
+            ),
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let g = ps.get(self.gamma).as_slice();
+        let b = ps.get(self.beta).as_slice();
+        let mut xhat = vec![0.0f32; x.len()];
+        let mut y = vec![0.0f32; x.len()];
+        for o in 0..outer {
+            for ci in 0..c {
+                let base = (o * c + ci) * inner;
+                let mu = mean[ci];
+                let is = inv_std[ci];
+                let (gc, bc) = (g[ci], b[ci]);
+                for k in 0..inner {
+                    let xh = (xs[base + k] - mu) * is;
+                    xhat[base + k] = xh;
+                    y[base + k] = gc * xh + bc;
+                }
+            }
+        }
+        let xhat = Tensor::from_vec(xhat, x.dims())?;
+        let y = Tensor::from_vec(y, x.dims())?;
+        Ok((y, Cache::new(BnCache { xhat, inv_std, outer, inner, mode: ctx.mode })))
+    }
+
+    fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        gs: &mut GradSet,
+        layer_name: &str,
+    ) -> Result<Tensor> {
+        let cch = cache.downcast::<BnCache>(layer_name)?;
+        let c = self.channels;
+        let (outer, inner) = (cch.outer, cch.inner);
+        let m = (outer * inner) as f32;
+        let dys = dy.as_slice();
+        let xh = cch.xhat.as_slice();
+        let g = ps.get(self.gamma).as_slice();
+
+        // Per-channel reductions.
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        for o in 0..outer {
+            for ci in 0..c {
+                let base = (o * c + ci) * inner;
+                for k in 0..inner {
+                    dgamma[ci] += dys[base + k] * xh[base + k];
+                    dbeta[ci] += dys[base + k];
+                }
+            }
+        }
+
+        let mut dx = vec![0.0f32; dy.len()];
+        match cch.mode {
+            Mode::Train => {
+                for o in 0..outer {
+                    for ci in 0..c {
+                        let base = (o * c + ci) * inner;
+                        let is = cch.inv_std[ci];
+                        let gc = g[ci];
+                        let sum_dxhat = dbeta[ci] * gc;
+                        let sum_dxhat_xhat = dgamma[ci] * gc;
+                        for k in 0..inner {
+                            let dxhat = dys[base + k] * gc;
+                            dx[base + k] =
+                                (is / m) * (m * dxhat - sum_dxhat - xh[base + k] * sum_dxhat_xhat);
+                        }
+                    }
+                }
+            }
+            Mode::Eval => {
+                for o in 0..outer {
+                    for ci in 0..c {
+                        let base = (o * c + ci) * inner;
+                        let coef = g[ci] * cch.inv_std[ci];
+                        for k in 0..inner {
+                            dx[base + k] = dys[base + k] * coef;
+                        }
+                    }
+                }
+            }
+        }
+        gs.accumulate(self.gamma, &Tensor::from_vec(dgamma, &[c])?)?;
+        gs.accumulate(self.beta, &Tensor::from_vec(dbeta, &[c])?)?;
+        Ok(Tensor::from_vec(dx, dy.dims())?)
+    }
+}
+
+/// Batch normalisation over the channel axis of `[N, C, H, W]` inputs.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    inner: BatchNormInner,
+}
+
+impl BatchNorm2d {
+    /// Creates a 2-D batch norm with the given channel count
+    /// (momentum 0.1, eps 1e-5 — the standard defaults).
+    pub fn new(ps: &mut ParamSet, name: &str, channels: usize) -> Self {
+        BatchNorm2d { inner: BatchNormInner::new(ps, name, channels, 0.1, 1e-5) }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.inner.channels
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
+        if x.rank() != 4 || x.dims()[1] != self.inner.channels {
+            return Err(NnError::BadInput {
+                layer: format!("BatchNorm2d({})", self.inner.channels),
+                expected: format!("[N, {}, H, W]", self.inner.channels),
+                got: x.dims().to_vec(),
+            });
+        }
+        let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+        // NCHW is (outer=n, c, inner=h*w) in row-major order already.
+        self.inner.forward(ps, x, n, h * w, ctx, "BatchNorm2d")
+    }
+
+    fn backward(&self, ps: &ParamSet, cache: &Cache, dy: &Tensor, gs: &mut GradSet) -> Result<Tensor> {
+        self.inner.backward(ps, cache, dy, gs, "BatchNorm2d")
+    }
+
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        vec![&self.inner.running_mean, &self.inner.running_var]
+    }
+
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.inner.running_mean, &mut self.inner.running_var]
+    }
+}
+
+/// Batch normalisation over the feature axis of `[N, C]` inputs
+/// (projection / prediction heads).
+#[derive(Debug)]
+pub struct BatchNorm1d {
+    inner: BatchNormInner,
+}
+
+impl BatchNorm1d {
+    /// Creates a 1-D batch norm with the given feature count.
+    pub fn new(ps: &mut ParamSet, name: &str, features: usize) -> Self {
+        BatchNorm1d { inner: BatchNormInner::new(ps, name, features, 0.1, 1e-5) }
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
+        if x.rank() != 2 || x.dims()[1] != self.inner.channels {
+            return Err(NnError::BadInput {
+                layer: format!("BatchNorm1d({})", self.inner.channels),
+                expected: format!("[N, {}]", self.inner.channels),
+                got: x.dims().to_vec(),
+            });
+        }
+        let n = x.dims()[0];
+        self.inner.forward(ps, x, n, 1, ctx, "BatchNorm1d")
+    }
+
+    fn backward(&self, ps: &ParamSet, cache: &Cache, dy: &Tensor, gs: &mut GradSet) -> Result<Tensor> {
+        self.inner.backward(ps, cache, dy, gs, "BatchNorm1d")
+    }
+
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        vec![&self.inner.running_mean, &self.inner.running_var]
+    }
+
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.inner.running_mean, &mut self.inner.running_var]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut ps = ParamSet::new();
+        let mut bn = BatchNorm2d::new(&mut ps, "bn", 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[8, 2, 4, 4], 3.0, 2.0, &mut rng);
+        let (y, _) = bn.forward(&ps, &x, &ForwardCtx::train()).unwrap();
+        // per-channel mean ~ 0, var ~ 1
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for n in 0..8 {
+                let base = (n * 2 + ci) * 16;
+                vals.extend_from_slice(&y.as_slice()[base..base + 16]);
+            }
+            let t = Tensor::from_slice(&vals);
+            assert!(t.mean().abs() < 1e-4, "mean {}", t.mean());
+            assert!((t.variance() - 1.0).abs() < 1e-2, "var {}", t.variance());
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_data_stats() {
+        let mut ps = ParamSet::new();
+        let mut bn = BatchNorm2d::new(&mut ps, "bn", 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let x = Tensor::randn(&[16, 1, 2, 2], 5.0, 3.0, &mut rng);
+            bn.forward(&ps, &x, &ForwardCtx::train()).unwrap();
+        }
+        let rm = bn.inner.running_mean.as_slice()[0];
+        let rv = bn.inner.running_var.as_slice()[0];
+        assert!((rm - 5.0).abs() < 0.3, "running mean {rm}");
+        assert!((rv - 9.0).abs() < 1.5, "running var {rv}");
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut ps = ParamSet::new();
+        let mut bn = BatchNorm2d::new(&mut ps, "bn", 1);
+        // fresh BN: running mean 0, var 1 => eval is near-identity
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let (y, _) = bn.forward(&ps, &x, &ForwardCtx::eval()).unwrap();
+        for (a, b) in y.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn train_rejects_single_element_batch() {
+        let mut ps = ParamSet::new();
+        let mut bn = BatchNorm1d::new(&mut ps, "bn", 3);
+        let x = Tensor::ones(&[1, 3]);
+        assert!(bn.forward(&ps, &x, &ForwardCtx::train()).is_err());
+        assert!(bn.forward(&ps, &x, &ForwardCtx::eval()).is_ok());
+    }
+
+    #[test]
+    fn gradcheck_train_2d() {
+        let mut ps = ParamSet::new();
+        let bn = BatchNorm2d::new(&mut ps, "bn", 2);
+        crate::gradcheck::check_layer(bn, ps, &[4, 2, 3, 3], &ForwardCtx::train(), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_eval_2d() {
+        let mut ps = ParamSet::new();
+        let bn = BatchNorm2d::new(&mut ps, "bn", 2);
+        crate::gradcheck::check_layer(bn, ps, &[2, 2, 3, 3], &ForwardCtx::eval(), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_train_1d() {
+        let mut ps = ParamSet::new();
+        let bn = BatchNorm1d::new(&mut ps, "bn", 5);
+        crate::gradcheck::check_layer(bn, ps, &[6, 5], &ForwardCtx::train(), 2e-2);
+    }
+
+    #[test]
+    fn state_tensors_exposed_for_checkpointing() {
+        let mut ps = ParamSet::new();
+        let mut bn = BatchNorm2d::new(&mut ps, "bn", 3);
+        assert_eq!(bn.state_tensors().len(), 2);
+        bn.state_tensors_mut()[0].fill(7.0);
+        assert_eq!(bn.state_tensors()[0].as_slice(), &[7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn bn_rejects_wrong_shapes() {
+        let mut ps = ParamSet::new();
+        let mut bn2 = BatchNorm2d::new(&mut ps, "a", 2);
+        assert!(bn2.forward(&ps, &Tensor::ones(&[2, 3, 2, 2]), &ForwardCtx::eval()).is_err());
+        let mut bn1 = BatchNorm1d::new(&mut ps, "b", 2);
+        assert!(bn1.forward(&ps, &Tensor::ones(&[2, 3]), &ForwardCtx::eval()).is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! Optimisation: SGD with momentum and weight decay, cosine learning-rate
+//! decay (the paper's §4.1 schedule), and gradient clipping.
+
+use cq_tensor::Tensor;
+
+use crate::{GradSet, ParamSet, Result};
+
+/// Hyper-parameters for [`Sgd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Base learning rate (scaled per-step by the schedule).
+    pub lr: f32,
+    /// Momentum coefficient (paper fine-tuning uses 0.9).
+    pub momentum: f32,
+    /// L2 weight decay added to the gradient.
+    pub weight_decay: f32,
+    /// Use Nesterov momentum.
+    pub nesterov: bool,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 0.0, nesterov: false }
+    }
+}
+
+/// Stochastic gradient descent with momentum.
+///
+/// # Example
+///
+/// ```
+/// use cq_nn::{ParamSet, Sgd, SgdConfig};
+/// use cq_tensor::Tensor;
+///
+/// let mut ps = ParamSet::new();
+/// let id = ps.add("w", Tensor::ones(&[2]));
+/// let mut gs = ps.zero_grads();
+/// gs.accumulate(id, &Tensor::ones(&[2]))?;
+/// let mut opt = Sgd::new(&ps, SgdConfig { lr: 0.5, momentum: 0.0, ..Default::default() });
+/// opt.step(&mut ps, &gs, 0.5)?;
+/// assert_eq!(ps.get(id).as_slice(), &[0.5, 0.5]);
+/// # Ok::<(), cq_nn::NnError>(())
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    cfg: SgdConfig,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with zeroed momentum buffers matching `ps`.
+    pub fn new(ps: &ParamSet, cfg: SgdConfig) -> Self {
+        let velocity = ps.iter().map(|(_, _, t)| Tensor::zeros(t.dims())).collect();
+        Sgd { cfg, velocity }
+    }
+
+    /// The configuration this optimizer was built with.
+    pub fn config(&self) -> SgdConfig {
+        self.cfg
+    }
+
+    /// Applies one update with the given (scheduled) learning rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ps`/`gs` are not aligned with the optimizer's
+    /// momentum buffers.
+    pub fn step(&mut self, ps: &mut ParamSet, gs: &GradSet, lr: f32) -> Result<()> {
+        if ps.len() != self.velocity.len() || gs.len() != self.velocity.len() {
+            return Err(crate::NnError::Param(format!(
+                "optimizer built for {} params, got {} params / {} grads",
+                self.velocity.len(),
+                ps.len(),
+                gs.len()
+            )));
+        }
+        let ids: Vec<_> = ps.iter().map(|(id, _, _)| id).collect();
+        for (id, v) in ids.into_iter().zip(self.velocity.iter_mut()) {
+            let p = ps.get_mut(id);
+            let g = gs.get(id);
+            let (mu, wd) = (self.cfg.momentum, self.cfg.weight_decay);
+            let ps_ = p.as_mut_slice();
+            let gs_ = g.as_slice();
+            let vs_ = v.as_mut_slice();
+            for ((pv, &gv), vv) in ps_.iter_mut().zip(gs_).zip(vs_.iter_mut()) {
+                let grad = gv + wd * *pv;
+                *vv = mu * *vv + grad;
+                let upd = if self.cfg.nesterov { grad + mu * *vv } else { *vv };
+                *pv -= lr * upd;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cosine learning-rate decay with optional linear warmup — the paper's
+/// fine-tuning schedule ("cosine learning rate decay with an initial
+/// learning rate of 0.1").
+///
+/// # Example
+///
+/// ```
+/// use cq_nn::CosineSchedule;
+///
+/// let sched = CosineSchedule::new(0.1, 100, 0);
+/// assert!((sched.lr_at(0) - 0.1).abs() < 1e-6);
+/// assert!(sched.lr_at(99) < 0.001);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineSchedule {
+    base_lr: f32,
+    total_steps: usize,
+    warmup_steps: usize,
+}
+
+impl CosineSchedule {
+    /// Creates a schedule decaying `base_lr` to ~0 over `total_steps`,
+    /// with `warmup_steps` of linear ramp-up first.
+    pub fn new(base_lr: f32, total_steps: usize, warmup_steps: usize) -> Self {
+        CosineSchedule { base_lr, total_steps: total_steps.max(1), warmup_steps }
+    }
+
+    /// Learning rate at the given step (clamped past the end).
+    pub fn lr_at(&self, step: usize) -> f32 {
+        if step < self.warmup_steps {
+            return self.base_lr * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        let total = (self.total_steps.saturating_sub(self.warmup_steps)).max(1) as f32;
+        let t = ((step - self.warmup_steps) as f32).min(total);
+        0.5 * self.base_lr * (1.0 + (std::f32::consts::PI * t / total).cos())
+    }
+}
+
+/// Global L2 norm of all gradients in `gs` (alias for
+/// [`GradSet::global_norm`], exported for harness readability).
+pub fn global_grad_norm(gs: &GradSet) -> f32 {
+    gs.global_norm()
+}
+
+/// Hyper-parameters for [`Lars`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LarsConfig {
+    /// Base learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Weight decay.
+    pub weight_decay: f32,
+    /// Trust coefficient η (typical: 1e-3).
+    pub eta: f32,
+    /// Numerical floor for the trust-ratio denominator.
+    pub eps: f32,
+}
+
+impl Default for LarsConfig {
+    fn default() -> Self {
+        LarsConfig { lr: 0.1, momentum: 0.9, weight_decay: 1e-4, eta: 1e-3, eps: 1e-8 }
+    }
+}
+
+/// LARS (layer-wise adaptive rate scaling) — the optimizer SimCLR uses for
+/// large-batch pre-training. Each parameter tensor's update is rescaled by
+/// the trust ratio `η · ‖w‖ / (‖g‖ + wd·‖w‖ + eps)`.
+///
+/// Provided for protocol fidelity with the SimCLR reference; the scaled
+/// CPU experiments default to plain [`Sgd`] (small batches do not need
+/// layer-wise scaling).
+#[derive(Debug)]
+pub struct Lars {
+    cfg: LarsConfig,
+    velocity: Vec<Tensor>,
+}
+
+impl Lars {
+    /// Creates an optimizer with zeroed momentum buffers matching `ps`.
+    pub fn new(ps: &ParamSet, cfg: LarsConfig) -> Self {
+        let velocity = ps.iter().map(|(_, _, t)| Tensor::zeros(t.dims())).collect();
+        Lars { cfg, velocity }
+    }
+
+    /// Applies one update with the given (scheduled) learning rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ps`/`gs` are not aligned with the optimizer.
+    pub fn step(&mut self, ps: &mut ParamSet, gs: &GradSet, lr: f32) -> Result<()> {
+        if ps.len() != self.velocity.len() || gs.len() != self.velocity.len() {
+            return Err(crate::NnError::Param(format!(
+                "LARS built for {} params, got {} params / {} grads",
+                self.velocity.len(),
+                ps.len(),
+                gs.len()
+            )));
+        }
+        let ids: Vec<_> = ps.iter().map(|(id, _, _)| id).collect();
+        for (id, v) in ids.into_iter().zip(self.velocity.iter_mut()) {
+            let w_norm = ps.get(id).norm();
+            let g = gs.get(id);
+            let g_norm = g.norm();
+            let wd = self.cfg.weight_decay;
+            let denom = g_norm + wd * w_norm + self.cfg.eps;
+            // Bias/BN parameters start at or near zero; skip trust scaling
+            // for them (standard LARS practice).
+            let trust = if w_norm > 0.0 && g_norm > 0.0 {
+                self.cfg.eta * w_norm / denom
+            } else {
+                1.0
+            };
+            let p = ps.get_mut(id);
+            let mu = self.cfg.momentum;
+            for ((pv, &gv), vv) in
+                p.as_mut_slice().iter_mut().zip(g.as_slice()).zip(v.as_mut_slice().iter_mut())
+            {
+                let grad = gv + wd * *pv;
+                *vv = mu * *vv + trust * grad;
+                *pv -= lr * *vv;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Clips gradients to a maximum global norm; returns the pre-clip norm so
+/// callers can log or detect explosions (the paper reports CQ-B "suffers
+/// from severe gradient explosion").
+pub fn clip_grad_norm(gs: &mut GradSet, max_norm: f32) -> f32 {
+    let norm = gs.global_norm();
+    if norm > max_norm && norm > 0.0 {
+        gs.scale(max_norm / norm);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::from_slice(&[1.0, 2.0]));
+        let mut gs = ps.zero_grads();
+        gs.accumulate(id, &Tensor::from_slice(&[0.5, 0.5])).unwrap();
+        let mut opt = Sgd::new(&ps, SgdConfig { lr: 1.0, momentum: 0.0, weight_decay: 0.0, nesterov: false });
+        opt.step(&mut ps, &gs, 1.0).unwrap();
+        assert_eq!(ps.get(id).as_slice(), &[0.5, 1.5]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::zeros(&[1]));
+        let mut gs = ps.zero_grads();
+        gs.accumulate(id, &Tensor::from_slice(&[1.0])).unwrap();
+        let mut opt = Sgd::new(&ps, SgdConfig { lr: 1.0, momentum: 0.9, weight_decay: 0.0, nesterov: false });
+        opt.step(&mut ps, &gs, 1.0).unwrap(); // v=1, p=-1
+        opt.step(&mut ps, &gs, 1.0).unwrap(); // v=1.9, p=-2.9
+        assert!((ps.get(id).as_slice()[0] + 2.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::from_slice(&[10.0]));
+        let gs = ps.zero_grads(); // zero gradient; only decay acts
+        let mut opt = Sgd::new(&ps, SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.5, nesterov: false });
+        opt.step(&mut ps, &gs, 0.1).unwrap();
+        assert!((ps.get(id).as_slice()[0] - 9.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nesterov_differs_from_plain() {
+        let run = |nesterov: bool| {
+            let mut ps = ParamSet::new();
+            let id = ps.add("w", Tensor::zeros(&[1]));
+            let mut gs = ps.zero_grads();
+            gs.accumulate(id, &Tensor::from_slice(&[1.0])).unwrap();
+            let mut opt = Sgd::new(&ps, SgdConfig { lr: 1.0, momentum: 0.9, weight_decay: 0.0, nesterov });
+            opt.step(&mut ps, &gs, 1.0).unwrap();
+            ps.get(id).as_slice()[0]
+        };
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn misaligned_optimizer_rejected() {
+        let mut ps = ParamSet::new();
+        ps.add("w", Tensor::zeros(&[1]));
+        let mut opt = Sgd::new(&ps, SgdConfig::default());
+        let mut ps2 = ParamSet::new();
+        ps2.add("a", Tensor::zeros(&[1]));
+        ps2.add("b", Tensor::zeros(&[1]));
+        let gs2 = ps2.zero_grads();
+        assert!(opt.step(&mut ps2, &gs2, 0.1).is_err());
+    }
+
+    #[test]
+    fn cosine_schedule_monotone_after_warmup() {
+        let s = CosineSchedule::new(0.1, 100, 10);
+        assert!(s.lr_at(0) < s.lr_at(9)); // warming up
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-3);
+        let mut prev = s.lr_at(10);
+        for step in 11..100 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev + 1e-7);
+            prev = lr;
+        }
+        assert!(s.lr_at(1000) <= s.lr_at(99) + 1e-7); // clamped past end
+    }
+
+    #[test]
+    fn lars_scales_update_by_trust_ratio() {
+        let mut ps = ParamSet::new();
+        // weight with norm 2, gradient with norm 1
+        let id = ps.add("w", Tensor::from_slice(&[2.0, 0.0]));
+        let mut gs = ps.zero_grads();
+        gs.accumulate(id, &Tensor::from_slice(&[1.0, 0.0])).unwrap();
+        let cfg = LarsConfig { lr: 1.0, momentum: 0.0, weight_decay: 0.0, eta: 0.5, eps: 0.0 };
+        let mut opt = Lars::new(&ps, cfg);
+        opt.step(&mut ps, &gs, 1.0).unwrap();
+        // trust = 0.5 * 2 / 1 = 1.0 -> update = 1.0 * grad
+        assert!((ps.get(id).as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lars_zero_norm_params_fall_back_to_plain_update() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("b", Tensor::zeros(&[2]));
+        let mut gs = ps.zero_grads();
+        gs.accumulate(id, &Tensor::from_slice(&[0.5, 0.5])).unwrap();
+        let mut opt = Lars::new(&ps, LarsConfig { lr: 1.0, momentum: 0.0, weight_decay: 0.0, ..Default::default() });
+        opt.step(&mut ps, &gs, 1.0).unwrap();
+        assert!((ps.get(id).as_slice()[0] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lars_rejects_misaligned_sets() {
+        let mut ps = ParamSet::new();
+        ps.add("w", Tensor::zeros(&[1]));
+        let mut opt = Lars::new(&ps, LarsConfig::default());
+        let mut ps2 = ParamSet::new();
+        ps2.add("a", Tensor::zeros(&[1]));
+        ps2.add("b", Tensor::zeros(&[1]));
+        let gs2 = ps2.zero_grads();
+        assert!(opt.step(&mut ps2, &gs2, 0.1).is_err());
+    }
+
+    #[test]
+    fn clipping_caps_global_norm() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::zeros(&[2]));
+        let mut gs = ps.zero_grads();
+        gs.accumulate(id, &Tensor::from_slice(&[3.0, 4.0])).unwrap();
+        let pre = clip_grad_norm(&mut gs, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((gs.global_norm() - 1.0).abs() < 1e-5);
+        // under the cap: untouched
+        let pre2 = clip_grad_norm(&mut gs, 10.0);
+        assert!((pre2 - 1.0).abs() < 1e-5);
+        assert!((gs.global_norm() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,418 @@
+//! Parameter and gradient storage.
+//!
+//! All trainable tensors of a model live in one flat [`ParamSet`]; layers
+//! hold [`ParamId`] handles into it. This is what lets Contrastive Quant
+//! evaluate the *same* parameters under several quantization configs and
+//! accumulate all branch gradients into one aligned [`GradSet`].
+
+use std::io::{Read, Write};
+
+use cq_tensor::{read_tensor, write_tensor, Tensor};
+
+use crate::{NnError, Result};
+
+/// Handle to one parameter tensor inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    /// The raw index (stable across clones of the owning set).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Flat store of named parameter tensors.
+///
+/// # Example
+///
+/// ```
+/// use cq_nn::ParamSet;
+/// use cq_tensor::Tensor;
+///
+/// let mut ps = ParamSet::new();
+/// let id = ps.add("w", Tensor::ones(&[2, 2]));
+/// assert_eq!(ps.get(id).sum(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamSet {
+    tensors: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamSet {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, t: Tensor) -> ParamId {
+        self.tensors.push(t);
+        self.names.push(name.into());
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// The parameter tensor behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` comes from a different set (index out of range).
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access to the parameter tensor behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` comes from a different set.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// The registered name of `id`.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// Drops all parameters registered after the first `len` — used to
+    /// strip auxiliary heads (e.g. BYOL's predictor) that were registered
+    /// after a base model's parameters, restoring alignment with the base
+    /// architecture. Handles owned by dropped entries become invalid.
+    pub fn truncate(&mut self, len: usize) {
+        self.tensors.truncate(len);
+        self.names.truncate(len);
+    }
+
+    /// Iterates over `(id, name, tensor)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.tensors
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (t, n))| (ParamId(i), n.as_str(), t))
+    }
+
+    /// Creates a gradient set with one zero tensor per parameter.
+    pub fn zero_grads(&self) -> GradSet {
+        GradSet { tensors: self.tensors.iter().map(|t| Tensor::zeros(t.dims())).collect() }
+    }
+
+    /// Copies every tensor from `src` (shapes must match pairwise); used to
+    /// clone model weights into a BYOL target network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Param`] if the sets are not aligned.
+    pub fn copy_from(&mut self, src: &ParamSet) -> Result<()> {
+        self.check_aligned(src)?;
+        for (dst, s) in self.tensors.iter_mut().zip(&src.tensors) {
+            dst.as_mut_slice().copy_from_slice(s.as_slice());
+        }
+        Ok(())
+    }
+
+    /// Exponential-moving-average update `self = tau * self + (1-tau) * src`
+    /// — BYOL's target-network update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Param`] if the sets are not aligned.
+    pub fn ema_from(&mut self, src: &ParamSet, tau: f32) -> Result<()> {
+        self.check_aligned(src)?;
+        self.ema_prefix(src, tau);
+        Ok(())
+    }
+
+    /// EMA update over the leading `self.len()` tensors of `src` — used
+    /// when `src` carries extra trailing parameters the destination lacks
+    /// (BYOL: the online network's prediction head is registered after the
+    /// shared encoder parameters and has no counterpart in the target).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Param`] if `src` has fewer tensors than `self`
+    /// or prefix shapes disagree.
+    pub fn ema_from_prefix(&mut self, src: &ParamSet, tau: f32) -> Result<()> {
+        if src.tensors.len() < self.tensors.len() {
+            return Err(NnError::Param(format!(
+                "ema_from_prefix: source has {} tensors, destination needs {}",
+                src.tensors.len(),
+                self.tensors.len()
+            )));
+        }
+        for (a, b) in self.tensors.iter().zip(&src.tensors) {
+            if a.dims() != b.dims() {
+                return Err(NnError::Param(format!(
+                    "ema_from_prefix: shape mismatch {:?} vs {:?}",
+                    a.dims(),
+                    b.dims()
+                )));
+            }
+        }
+        self.ema_prefix(src, tau);
+        Ok(())
+    }
+
+    fn ema_prefix(&mut self, src: &ParamSet, tau: f32) {
+        for (dst, s) in self.tensors.iter_mut().zip(&src.tensors) {
+            for (d, &v) in dst.as_mut_slice().iter_mut().zip(s.as_slice()) {
+                *d = tau * *d + (1.0 - tau) * v;
+            }
+        }
+    }
+
+    /// Whether every parameter is finite.
+    pub fn is_finite(&self) -> bool {
+        self.tensors.iter().all(Tensor::is_finite)
+    }
+
+    /// Serialises the set (names + tensors) to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<()> {
+        w.write_all(b"CQPS")?;
+        w.write_all(&(self.tensors.len() as u32).to_le_bytes())?;
+        for (t, n) in self.tensors.iter().zip(&self.names) {
+            let nb = n.as_bytes();
+            w.write_all(&(nb.len() as u32).to_le_bytes())?;
+            w.write_all(nb)?;
+            write_tensor(&mut w, t).map_err(NnError::Tensor)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialises a set previously written with [`ParamSet::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] on malformed input.
+    pub fn load<R: Read>(mut r: R) -> Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"CQPS" {
+            return Err(NnError::Io(format!("bad paramset magic {magic:?}")));
+        }
+        let mut cnt = [0u8; 4];
+        r.read_exact(&mut cnt)?;
+        let n = u32::from_le_bytes(cnt) as usize;
+        let mut out = ParamSet::new();
+        for _ in 0..n {
+            let mut nl = [0u8; 4];
+            r.read_exact(&mut nl)?;
+            let nl = u32::from_le_bytes(nl) as usize;
+            if nl > 4096 {
+                return Err(NnError::Io(format!("implausible name length {nl}")));
+            }
+            let mut name = vec![0u8; nl];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name).map_err(|e| NnError::Io(e.to_string()))?;
+            let t = read_tensor(&mut r).map_err(NnError::Tensor)?;
+            out.add(name, t);
+        }
+        Ok(out)
+    }
+
+    fn check_aligned(&self, src: &ParamSet) -> Result<()> {
+        if self.tensors.len() != src.tensors.len() {
+            return Err(NnError::Param(format!(
+                "param sets not aligned: {} vs {} tensors",
+                self.tensors.len(),
+                src.tensors.len()
+            )));
+        }
+        for (a, b) in self.tensors.iter().zip(&src.tensors) {
+            if a.dims() != b.dims() {
+                return Err(NnError::Param(format!(
+                    "param sets not aligned: {:?} vs {:?}",
+                    a.dims(),
+                    b.dims()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Gradient accumulator aligned index-for-index with a [`ParamSet`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GradSet {
+    tensors: Vec<Tensor>,
+}
+
+impl GradSet {
+    /// The accumulated gradient for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` comes from a different set.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access to the gradient for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` comes from a different set.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// Accumulates `g` into the gradient for `id` (`+=`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Tensor`] on shape mismatch.
+    pub fn accumulate(&mut self, id: ParamId, g: &Tensor) -> Result<()> {
+        self.tensors[id.0].add_assign(g)?;
+        Ok(())
+    }
+
+    /// Resets all gradients to zero.
+    pub fn zero(&mut self) {
+        for t in &mut self.tensors {
+            t.fill(0.0);
+        }
+    }
+
+    /// Scales all gradients by `s` (e.g. to average over loss terms).
+    pub fn scale(&mut self, s: f32) {
+        for t in &mut self.tensors {
+            t.map_in_place(|v| v * s);
+        }
+    }
+
+    /// Global L2 norm across every gradient tensor.
+    pub fn global_norm(&self) -> f32 {
+        self.tensors.iter().map(Tensor::sq_norm).sum::<f32>().sqrt()
+    }
+
+    /// Whether every gradient is finite — used to detect the gradient
+    /// explosions the paper reports for CQ-B.
+    pub fn is_finite(&self) -> bool {
+        self.tensors.iter().all(Tensor::is_finite)
+    }
+
+    /// Number of gradient tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Iterates over the gradient tensors mutably (optimizer use).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Tensor> {
+        self.tensors.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", Tensor::ones(&[2]));
+        let b = ps.add("b", Tensor::zeros(&[3]));
+        assert_eq!(ps.get(a).len(), 2);
+        assert_eq!(ps.name(b), "b");
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.num_scalars(), 5);
+        ps.get_mut(a).fill(3.0);
+        assert_eq!(ps.get(a).sum(), 6.0);
+    }
+
+    #[test]
+    fn grads_accumulate_and_zero() {
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", Tensor::ones(&[2]));
+        let mut gs = ps.zero_grads();
+        gs.accumulate(a, &Tensor::from_slice(&[1.0, 2.0])).unwrap();
+        gs.accumulate(a, &Tensor::from_slice(&[1.0, 2.0])).unwrap();
+        assert_eq!(gs.get(a).as_slice(), &[2.0, 4.0]);
+        assert!((gs.global_norm() - 20.0f32.sqrt()).abs() < 1e-6);
+        gs.scale(0.5);
+        assert_eq!(gs.get(a).as_slice(), &[1.0, 2.0]);
+        gs.zero();
+        assert_eq!(gs.get(a).sum(), 0.0);
+        assert!(gs.accumulate(a, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn copy_and_ema() {
+        let mut a = ParamSet::new();
+        a.add("w", Tensor::full(&[2], 1.0));
+        let mut b = ParamSet::new();
+        b.add("w", Tensor::full(&[2], 3.0));
+        let mut t = a.clone();
+        t.copy_from(&b).unwrap();
+        assert_eq!(t.get(ParamId(0)).as_slice(), &[3.0, 3.0]);
+        let mut e = a.clone();
+        e.ema_from(&b, 0.5).unwrap();
+        assert_eq!(e.get(ParamId(0)).as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn misaligned_sets_rejected() {
+        let mut a = ParamSet::new();
+        a.add("w", Tensor::zeros(&[2]));
+        let mut b = ParamSet::new();
+        b.add("w", Tensor::zeros(&[3]));
+        assert!(a.clone().copy_from(&b).is_err());
+        let mut c = ParamSet::new();
+        c.add("w", Tensor::zeros(&[2]));
+        c.add("v", Tensor::zeros(&[2]));
+        assert!(a.copy_from(&c).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new();
+        ps.add("conv.w", Tensor::randn(&[4, 9], 0.0, 1.0, &mut rng));
+        ps.add("fc.b", Tensor::randn(&[7], 0.0, 1.0, &mut rng));
+        let mut buf = Vec::new();
+        ps.save(&mut buf).unwrap();
+        let back = ParamSet::load(buf.as_slice()).unwrap();
+        assert_eq!(back, ps);
+        assert_eq!(back.name(ParamId(0)), "conv.w");
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(ParamSet::load(&b"XXXX"[..]).is_err());
+    }
+
+    #[test]
+    fn finite_checks() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::ones(&[2]));
+        assert!(ps.is_finite());
+        ps.get_mut(id).as_mut_slice()[0] = f32::INFINITY;
+        assert!(!ps.is_finite());
+    }
+}

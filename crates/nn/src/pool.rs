@@ -1,0 +1,137 @@
+//! Layer wrappers around the pooling kernels of `cq-tensor`.
+
+use cq_tensor::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward, Conv2dSpec, Tensor,
+};
+
+use crate::{Cache, ForwardCtx, GradSet, Layer, ParamSet, Result};
+
+/// Max-pooling layer over NCHW inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2dLayer {
+    spec: Conv2dSpec,
+}
+
+/// Forward trace of [`MaxPool2dLayer`].
+struct MaxPoolCache {
+    argmax: Vec<usize>,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool2dLayer {
+    /// Creates a max-pool with the given geometry.
+    pub fn new(spec: Conv2dSpec) -> Self {
+        MaxPool2dLayer { spec }
+    }
+}
+
+impl Layer for MaxPool2dLayer {
+    fn forward(&mut self, _ps: &ParamSet, x: &Tensor, _ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
+        let (y, argmax) = max_pool2d(x, &self.spec)?;
+        Ok((y, Cache::new(MaxPoolCache { argmax, input_shape: x.dims().to_vec() })))
+    }
+
+    fn backward(&self, _ps: &ParamSet, cache: &Cache, dy: &Tensor, _gs: &mut GradSet) -> Result<Tensor> {
+        let c = cache.downcast::<MaxPoolCache>("MaxPool2dLayer")?;
+        Ok(max_pool2d_backward(dy, &c.argmax, &c.input_shape)?)
+    }
+}
+
+/// Average-pooling layer over NCHW inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPool2dLayer {
+    spec: Conv2dSpec,
+}
+
+/// Forward trace of [`AvgPool2dLayer`].
+struct AvgPoolCache {
+    input_shape: Vec<usize>,
+}
+
+impl AvgPool2dLayer {
+    /// Creates an average pool with the given geometry.
+    pub fn new(spec: Conv2dSpec) -> Self {
+        AvgPool2dLayer { spec }
+    }
+}
+
+impl Layer for AvgPool2dLayer {
+    fn forward(&mut self, _ps: &ParamSet, x: &Tensor, _ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
+        let y = avg_pool2d(x, &self.spec)?;
+        Ok((y, Cache::new(AvgPoolCache { input_shape: x.dims().to_vec() })))
+    }
+
+    fn backward(&self, _ps: &ParamSet, cache: &Cache, dy: &Tensor, _gs: &mut GradSet) -> Result<Tensor> {
+        let c = cache.downcast::<AvgPoolCache>("AvgPool2dLayer")?;
+        Ok(avg_pool2d_backward(dy, &c.input_shape, &self.spec)?)
+    }
+}
+
+/// Global average pooling `[N, C, H, W] -> [N, C]` — the standard
+/// backbone-to-features transition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalAvgPool;
+
+impl GlobalAvgPool {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        GlobalAvgPool
+    }
+}
+
+/// Forward trace of [`GlobalAvgPool`].
+struct GapCache {
+    input_shape: Vec<usize>,
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, _ps: &ParamSet, x: &Tensor, _ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
+        let y = global_avg_pool(x)?;
+        Ok((y, Cache::new(GapCache { input_shape: x.dims().to_vec() })))
+    }
+
+    fn backward(&self, _ps: &ParamSet, cache: &Cache, dy: &Tensor, _gs: &mut GradSet) -> Result<Tensor> {
+        let c = cache.downcast::<GapCache>("GlobalAvgPool")?;
+        Ok(global_avg_pool_backward(dy, &c.input_shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_layer_round_trip() {
+        let mut l = MaxPool2dLayer::new(Conv2dSpec::new(2, 2, 0));
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let ps = ParamSet::new();
+        let (y, c) = l.forward(&ps, &x, &ForwardCtx::train()).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        let mut gs = ps.zero_grads();
+        let dx = l.backward(&ps, &c, &Tensor::ones(&[1, 1, 2, 2]), &mut gs).unwrap();
+        assert_eq!(dx.sum(), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_layer_gradcheck() {
+        crate::gradcheck::check_layer(
+            AvgPool2dLayer::new(Conv2dSpec::new(2, 2, 0)),
+            ParamSet::new(),
+            &[2, 2, 4, 4],
+            &ForwardCtx::train(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gap_layer_gradcheck() {
+        crate::gradcheck::check_layer(
+            GlobalAvgPool::new(),
+            ParamSet::new(),
+            &[3, 4, 3, 3],
+            &ForwardCtx::train(),
+            1e-2,
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Bit-width precisions and the precision sets of §4.1.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// Error type for invalid precision specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// A bit-width outside the supported `2..=16` range.
+    InvalidBits(u8),
+    /// A precision range with `lo > hi`.
+    EmptyRange {
+        /// Lower bound requested.
+        lo: u8,
+        /// Upper bound requested.
+        hi: u8,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidBits(b) => write!(f, "bit-width {b} outside supported range 2..=16"),
+            QuantError::EmptyRange { lo, hi } => write!(f, "empty precision range {lo}-{hi}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// A numeric precision: full floating point, or a fixed-point bit-width.
+///
+/// The paper's encoder is evaluated at precisions drawn from a
+/// [`PrecisionSet`]; `Fp` is used for full-precision fine-tuning and as the
+/// no-quantization baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// A `q`-bit fixed-point precision (2 ≤ q ≤ 16).
+    Bits(u8),
+    /// Full 32-bit floating point (no quantization). Ordered above any
+    /// bit-width.
+    Fp,
+}
+
+impl Precision {
+    /// Creates a bit-width precision, validating the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidBits`] outside `2..=16`.
+    pub fn bits(q: u8) -> Result<Self, QuantError> {
+        if (2..=16).contains(&q) {
+            Ok(Precision::Bits(q))
+        } else {
+            Err(QuantError::InvalidBits(q))
+        }
+    }
+
+    /// Number of quantization levels (`2^q`), or `None` for FP.
+    pub fn levels(&self) -> Option<u32> {
+        match self {
+            Precision::Bits(q) => Some(1u32 << q),
+            Precision::Fp => None,
+        }
+    }
+
+    /// Whether this precision quantizes at all.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self, Precision::Bits(_))
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Bits(q) => write!(f, "{q}-bit"),
+            Precision::Fp => write!(f, "FP"),
+        }
+    }
+}
+
+/// A set of candidate bit-widths from which Contrastive Quant samples the
+/// pair `(q1, q2)` each training iteration (paper §4.1: 4–16, 6–16, 8–16).
+///
+/// # Example
+///
+/// ```
+/// use cq_quant::PrecisionSet;
+///
+/// let set = PrecisionSet::range(8, 16)?;
+/// assert_eq!(set.as_slice().len(), 9);
+/// assert_eq!(set.to_string(), "8-16");
+/// # Ok::<(), cq_quant::QuantError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PrecisionSet {
+    bits: Vec<u8>,
+}
+
+impl PrecisionSet {
+    /// Every integer bit-width in `lo..=hi` (the paper's "4-16" notation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid bounds or an empty range.
+    pub fn range(lo: u8, hi: u8) -> Result<Self, QuantError> {
+        if lo > hi {
+            return Err(QuantError::EmptyRange { lo, hi });
+        }
+        Precision::bits(lo)?;
+        Precision::bits(hi)?;
+        Ok(PrecisionSet { bits: (lo..=hi).collect() })
+    }
+
+    /// An explicit list of bit-widths (deduplicated, sorted).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty or any bit-width is invalid.
+    pub fn from_bits(bits: &[u8]) -> Result<Self, QuantError> {
+        if bits.is_empty() {
+            return Err(QuantError::EmptyRange { lo: 1, hi: 0 });
+        }
+        let mut v = bits.to_vec();
+        for &b in &v {
+            Precision::bits(b)?;
+        }
+        v.sort_unstable();
+        v.dedup();
+        Ok(PrecisionSet { bits: v })
+    }
+
+    /// The candidate bit-widths, ascending.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Samples one precision uniformly.
+    pub fn sample(&self, rng: &mut StdRng) -> Precision {
+        let i = rng.gen_range(0..self.bits.len());
+        Precision::Bits(self.bits[i])
+    }
+
+    /// Samples the iteration's precision pair `(q1, q2)` — two independent
+    /// uniform draws, exactly as the paper describes ("randomly selected
+    /// from a precision set during training"). The two draws may coincide.
+    pub fn sample_pair(&self, rng: &mut StdRng) -> (Precision, Precision) {
+        (self.sample(rng), self.sample(rng))
+    }
+
+    /// Diversity of the set measured as the number of distinct levels —
+    /// used by the Table 8 analysis ("more diverse precision settings
+    /// achieve a better accuracy").
+    pub fn diversity(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+impl fmt::Display for PrecisionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let contiguous = self.bits.windows(2).all(|w| w[1] == w[0] + 1);
+        if contiguous && self.bits.len() > 1 {
+            write!(f, "{}-{}", self.bits[0], self.bits[self.bits.len() - 1])
+        } else {
+            let strs: Vec<String> = self.bits.iter().map(|b| b.to_string()).collect();
+            write!(f, "{{{}}}", strs.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bits_validation() {
+        assert!(Precision::bits(2).is_ok());
+        assert!(Precision::bits(16).is_ok());
+        assert!(Precision::bits(1).is_err());
+        assert!(Precision::bits(17).is_err());
+    }
+
+    #[test]
+    fn levels_counts() {
+        assert_eq!(Precision::Bits(4).levels(), Some(16));
+        assert_eq!(Precision::Fp.levels(), None);
+        assert!(Precision::Bits(4).is_quantized());
+        assert!(!Precision::Fp.is_quantized());
+    }
+
+    #[test]
+    fn fp_orders_above_bits() {
+        assert!(Precision::Fp > Precision::Bits(16));
+        assert!(Precision::Bits(4) < Precision::Bits(8));
+    }
+
+    #[test]
+    fn range_sets_match_paper_notation() {
+        let s = PrecisionSet::range(4, 16).unwrap();
+        assert_eq!(s.as_slice().len(), 13);
+        assert_eq!(s.to_string(), "4-16");
+        assert_eq!(s.diversity(), 13);
+        assert!(PrecisionSet::range(10, 4).is_err());
+        assert!(PrecisionSet::range(1, 16).is_err());
+    }
+
+    #[test]
+    fn from_bits_dedups_and_sorts() {
+        let s = PrecisionSet::from_bits(&[8, 4, 8, 16]).unwrap();
+        assert_eq!(s.as_slice(), &[4, 8, 16]);
+        assert_eq!(s.to_string(), "{4,8,16}");
+        assert!(PrecisionSet::from_bits(&[]).is_err());
+    }
+
+    #[test]
+    fn sampling_stays_in_set_and_covers_it() {
+        let s = PrecisionSet::range(6, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let (a, b) = s.sample_pair(&mut rng);
+            for p in [a, b] {
+                match p {
+                    Precision::Bits(q) => {
+                        assert!((6..=8).contains(&q));
+                        seen.insert(q);
+                    }
+                    Precision::Fp => panic!("sample must be quantized"),
+                }
+            }
+        }
+        assert_eq!(seen.len(), 3, "all members should be hit in 400 draws");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let s = PrecisionSet::range(4, 16).unwrap();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(s.sample_pair(&mut a), s.sample_pair(&mut b));
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Precision::Bits(4).to_string(), "4-bit");
+        assert_eq!(Precision::Fp.to_string(), "FP");
+        assert!(!QuantError::InvalidBits(40).to_string().is_empty());
+    }
+}

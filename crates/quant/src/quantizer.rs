@@ -1,0 +1,261 @@
+//! The linear quantizer of Eq. 10 and fake-quantization helpers.
+//!
+//! Eq. 10 of the paper:
+//!
+//! ```text
+//! A_q = S_a * round(A / S_a),   S_a = A_range / (2^q - 1)
+//! ```
+//!
+//! where `A_range` is the dynamic range (max − min) of the tensor being
+//! quantized. The paper prints the bracket as ⌊·⌋; its reference [5]
+//! (Jacob et al.) and all standard linear quantizers round to nearest, so
+//! rounding is the default here and floor is available as
+//! [`QuantMode::Floor`] for an exact-notation ablation (see the
+//! `quant_mode` bench).
+//!
+//! *Fake* quantization maps a float tensor onto the quantized grid while
+//! staying in `f32`, so the surrounding network code is unchanged; the
+//! backward pass uses the straight-through estimator (gradients pass
+//! unchanged), the standard choice in quantization-aware training.
+
+use cq_tensor::Tensor;
+
+use crate::Precision;
+
+/// Rounding rule used when projecting onto the quantization grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantMode {
+    /// Round to nearest grid point (standard linear quantizer, default).
+    #[default]
+    Round,
+    /// Floor to the grid point below (the paper's literal Eq. 10 notation).
+    Floor,
+}
+
+/// Per-forward-pass quantization configuration: the precision applied to
+/// weights and to activations, plus the rounding mode.
+///
+/// Contrastive Quant quantizes *both* weights and activations (§3.4); the
+/// two fields let ablations decouple them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantConfig {
+    /// Precision applied to model weights.
+    pub weight: Precision,
+    /// Precision applied to intermediate activations.
+    pub act: Precision,
+    /// Rounding rule.
+    pub mode: QuantMode,
+}
+
+impl QuantConfig {
+    /// Full-precision configuration (no quantization anywhere).
+    pub fn fp() -> Self {
+        QuantConfig { weight: Precision::Fp, act: Precision::Fp, mode: QuantMode::Round }
+    }
+
+    /// Same precision for weights and activations — how the paper uses its
+    /// sampled `q` values.
+    pub fn uniform(p: Precision) -> Self {
+        QuantConfig { weight: p, act: p, mode: QuantMode::Round }
+    }
+
+    /// Whether this config performs any quantization.
+    pub fn is_quantized(&self) -> bool {
+        self.weight.is_quantized() || self.act.is_quantized()
+    }
+
+    /// Returns a copy using the given rounding mode.
+    pub fn with_mode(mut self, mode: QuantMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        QuantConfig::fp()
+    }
+}
+
+/// Applies the Eq. 10 linear quantizer to `t`, returning the fake-quantized
+/// tensor. `Precision::Fp` and constant tensors (zero dynamic range) are
+/// returned unchanged.
+pub fn fake_quant(t: &Tensor, precision: Precision, mode: QuantMode) -> Tensor {
+    let mut out = t.clone();
+    fake_quant_into(out.as_mut_slice(), precision, mode);
+    out
+}
+
+/// In-place variant of [`fake_quant`] operating on a raw slice; used on
+/// hot paths to avoid an allocation.
+pub fn fake_quant_into(data: &mut [f32], precision: Precision, mode: QuantMode) {
+    let q = match precision {
+        Precision::Fp => return,
+        Precision::Bits(q) => q,
+    };
+    if data.is_empty() {
+        return;
+    }
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in data.iter() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = hi - lo;
+    if !(range.is_finite() && range > 0.0) {
+        return; // constant or non-finite tensor: nothing to quantize
+    }
+    let step = range / ((1u32 << q) - 1) as f32;
+    match mode {
+        QuantMode::Round => {
+            for v in data.iter_mut() {
+                *v = step * (*v / step).round();
+            }
+        }
+        QuantMode::Floor => {
+            for v in data.iter_mut() {
+                *v = step * (*v / step).floor();
+            }
+        }
+    }
+}
+
+/// Mean squared quantization error of `t` at the given precision — the
+/// magnitude of the "augmentation noise" Contrastive Quant injects.
+pub fn quant_mse(t: &Tensor, precision: Precision, mode: QuantMode) -> f32 {
+    let q = fake_quant(t, precision, mode);
+    t.as_slice()
+        .iter()
+        .zip(q.as_slice())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f32>()
+        / t.len().max(1) as f32
+}
+
+/// Signal-to-quantization-noise ratio in dB. Returns `f32::INFINITY` when
+/// the error is zero (e.g. FP precision).
+pub fn quant_snr_db(t: &Tensor, precision: Precision, mode: QuantMode) -> f32 {
+    let noise = quant_mse(t, precision, mode);
+    if noise == 0.0 {
+        return f32::INFINITY;
+    }
+    let signal = t.sq_norm() / t.len().max(1) as f32;
+    10.0 * (signal / noise).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fp_is_identity() {
+        let t = Tensor::from_slice(&[0.1, -0.7, 3.2]);
+        assert_eq!(fake_quant(&t, Precision::Fp, QuantMode::Round), t);
+    }
+
+    #[test]
+    fn constant_tensor_unchanged() {
+        let t = Tensor::full(&[8], 2.5);
+        assert_eq!(fake_quant(&t, Precision::Bits(4), QuantMode::Round), t);
+    }
+
+    #[test]
+    fn values_land_on_grid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = Tensor::randn(&[256], 0.0, 1.0, &mut rng);
+        let q = fake_quant(&t, Precision::Bits(4), QuantMode::Round);
+        let lo = t.min();
+        let hi = t.max();
+        let step = (hi - lo) / 15.0;
+        for &v in q.as_slice() {
+            let k = v / step;
+            assert!((k - k.round()).abs() < 1e-3, "{v} not on grid (step {step})");
+        }
+    }
+
+    #[test]
+    fn round_error_bounded_by_half_step() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let t = Tensor::randn(&[512], 0.0, 2.0, &mut rng);
+        let q = fake_quant(&t, Precision::Bits(6), QuantMode::Round);
+        let step = (t.max() - t.min()) / 63.0;
+        for (&a, &b) in t.as_slice().iter().zip(q.as_slice()) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn floor_error_bounded_by_step_and_biased_down() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let t = Tensor::randn(&[512], 0.0, 2.0, &mut rng);
+        let q = fake_quant(&t, Precision::Bits(6), QuantMode::Floor);
+        let step = (t.max() - t.min()) / 63.0;
+        for (&a, &b) in t.as_slice().iter().zip(q.as_slice()) {
+            let e = a - b;
+            assert!(e >= -1e-6 && e <= step + 1e-6, "floor error {e} out of [0, step]");
+        }
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let t = Tensor::randn(&[1024], 0.0, 1.0, &mut rng);
+        let e4 = quant_mse(&t, Precision::Bits(4), QuantMode::Round);
+        let e8 = quant_mse(&t, Precision::Bits(8), QuantMode::Round);
+        let e16 = quant_mse(&t, Precision::Bits(16), QuantMode::Round);
+        assert!(e4 > e8 && e8 > e16, "{e4} {e8} {e16}");
+    }
+
+    #[test]
+    fn snr_increases_with_bits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let t = Tensor::randn(&[1024], 0.0, 1.0, &mut rng);
+        let s4 = quant_snr_db(&t, Precision::Bits(4), QuantMode::Round);
+        let s8 = quant_snr_db(&t, Precision::Bits(8), QuantMode::Round);
+        assert!(s8 > s4 + 10.0, "expect ~6dB/bit: {s4} -> {s8}");
+        assert_eq!(quant_snr_db(&t, Precision::Fp, QuantMode::Round), f32::INFINITY);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let t = Tensor::randn(&[128], 0.0, 1.0, &mut rng);
+        let q1 = fake_quant(&t, Precision::Bits(5), QuantMode::Round);
+        // Re-quantizing the already-quantized tensor at the same precision
+        // keeps values on (a refinement of) the same grid: every value must
+        // move by strictly less than half the original step.
+        let q2 = fake_quant(&q1, Precision::Bits(5), QuantMode::Round);
+        let step = (t.max() - t.min()) / 31.0;
+        for (&a, &b) in q1.as_slice().iter().zip(q2.as_slice()) {
+            assert!((a - b).abs() < step / 2.0);
+        }
+    }
+
+    #[test]
+    fn config_constructors() {
+        let fp = QuantConfig::fp();
+        assert!(!fp.is_quantized());
+        let u = QuantConfig::uniform(Precision::Bits(8));
+        assert!(u.is_quantized());
+        assert_eq!(u.weight, u.act);
+        assert_eq!(u.with_mode(QuantMode::Floor).mode, QuantMode::Floor);
+        assert_eq!(QuantConfig::default(), fp);
+    }
+
+    #[test]
+    fn empty_slice_is_noop() {
+        let mut v: Vec<f32> = vec![];
+        fake_quant_into(&mut v, Precision::Bits(4), QuantMode::Round);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn nonfinite_input_left_alone() {
+        let mut v = vec![f32::NAN, 1.0, 2.0];
+        fake_quant_into(&mut v, Precision::Bits(4), QuantMode::Round);
+        assert!(v[0].is_nan());
+        assert_eq!(&v[1..], &[1.0, 2.0]);
+    }
+}

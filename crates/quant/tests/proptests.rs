@@ -1,0 +1,90 @@
+//! Property-based tests of the quantizer — the noise source Contrastive
+//! Quant turns into an augmentation.
+
+use cq_quant::{fake_quant, quant_mse, Precision, PrecisionSet, QuantMode};
+use cq_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn vecf(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn grid_has_at_most_2_pow_q_levels(data in vecf(64), bits in 2u8..=8) {
+        let t = Tensor::from_slice(&data);
+        let q = fake_quant(&t, Precision::Bits(bits), QuantMode::Round);
+        let mut levels: Vec<f32> = q.as_slice().to_vec();
+        levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        levels.dedup();
+        prop_assert!(levels.len() <= (1usize << bits));
+    }
+
+    #[test]
+    fn floor_never_exceeds_value(data in vecf(64), bits in 2u8..=16) {
+        let t = Tensor::from_slice(&data);
+        let q = fake_quant(&t, Precision::Bits(bits), QuantMode::Floor);
+        for (&orig, &quant) in t.as_slice().iter().zip(q.as_slice()) {
+            prop_assert!(quant <= orig + 1e-4 * orig.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn round_beats_or_ties_floor_in_mse(data in vecf(64), bits in 2u8..=12) {
+        let t = Tensor::from_slice(&data);
+        let er = quant_mse(&t, Precision::Bits(bits), QuantMode::Round);
+        let ef = quant_mse(&t, Precision::Bits(bits), QuantMode::Floor);
+        prop_assert!(er <= ef + 1e-9, "round {er} vs floor {ef}");
+    }
+
+    #[test]
+    fn quantization_preserves_ordering_up_to_grid(data in vecf(32), bits in 4u8..=16) {
+        // quantization is monotone: a <= b implies Q(a) <= Q(b)
+        let t = Tensor::from_slice(&data);
+        let q = fake_quant(&t, Precision::Bits(bits), QuantMode::Round);
+        for i in 0..data.len() {
+            for j in 0..data.len() {
+                if data[i] < data[j] {
+                    prop_assert!(q.as_slice()[i] <= q.as_slice()[j] + 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_shift_commutes_with_quantization(data in vecf(32), shift in -10.0f32..10.0) {
+        // Q(x + c) == Q(x) + c up to float error: the grid is anchored to
+        // the dynamic range, which shifts with the data.
+        let t = Tensor::from_slice(&data);
+        let shifted = t.add_scalar(shift);
+        let q1 = fake_quant(&t, Precision::Bits(8), QuantMode::Round).add_scalar(shift);
+        let q2 = fake_quant(&shifted, Precision::Bits(8), QuantMode::Round);
+        let range = t.max() - t.min();
+        if range > 1.0 {
+            let step = range / 255.0;
+            for (a, b) in q1.as_slice().iter().zip(q2.as_slice()) {
+                prop_assert!((a - b).abs() < step, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn precision_sets_sample_uniformly_enough(lo in 2u8..=8, span in 1u8..=8, seed in 0u64..500) {
+        let hi = (lo + span).min(16);
+        let set = PrecisionSet::range(lo, hi).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..200 {
+            if let Precision::Bits(b) = set.sample(&mut rng) {
+                *counts.entry(b).or_insert(0usize) += 1;
+            }
+        }
+        // every member hit at least once in 200 draws (p_miss < 1e-9 for
+        // the largest set)
+        prop_assert_eq!(counts.len(), set.as_slice().len());
+    }
+}

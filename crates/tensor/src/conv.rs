@@ -1,0 +1,468 @@
+//! Convolution lowering: `im2col` / `col2im` and depthwise kernels.
+//!
+//! Dense convolutions are lowered per-sample to a column matrix of shape
+//! `[C*KH*KW, OH*OW]`; the convolution is then a matmul with the weight
+//! viewed as `[O, C*KH*KW]`. The backward pass reverses the lowering with
+//! [`col2im`]. Depthwise convolutions (MobileNetV2) skip the lowering and
+//! use direct loops, which is faster for a single channel per group.
+
+use crate::{Result, TensorError};
+
+/// Geometry of a 2-D convolution or pooling window: kernel size, stride and
+/// zero padding (symmetric).
+///
+/// # Example
+///
+/// ```
+/// use cq_tensor::Conv2dSpec;
+///
+/// let spec = Conv2dSpec::new(3, 1, 1); // 3x3, stride 1, pad 1 => "same"
+/// assert_eq!(spec.out_hw(16, 16)?, (16, 16));
+/// # Ok::<(), cq_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Kernel height and width.
+    pub kernel: (usize, usize),
+    /// Stride along height and width.
+    pub stride: (usize, usize),
+    /// Zero padding along height and width (applied on both sides).
+    pub padding: (usize, usize),
+}
+
+impl Conv2dSpec {
+    /// Square-kernel constructor: `k`×`k` kernel, stride `s`, padding `p`.
+    pub fn new(k: usize, s: usize, p: usize) -> Self {
+        Conv2dSpec { kernel: (k, k), stride: (s, s), padding: (p, p) }
+    }
+
+    /// Output spatial size for an `h`×`w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the kernel does not fit
+    /// in the padded input or any stride is zero.
+    pub fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let (ph, pw) = self.padding;
+        if sh == 0 || sw == 0 {
+            return Err(TensorError::InvalidGeometry("stride must be nonzero".into()));
+        }
+        if kh == 0 || kw == 0 {
+            return Err(TensorError::InvalidGeometry("kernel must be nonzero".into()));
+        }
+        let ph2 = h + 2 * ph;
+        let pw2 = w + 2 * pw;
+        if kh > ph2 || kw > pw2 {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {:?} larger than padded input {}x{}",
+                self.kernel, ph2, pw2
+            )));
+        }
+        Ok(((ph2 - kh) / sh + 1, (pw2 - kw) / sw + 1))
+    }
+
+    /// Number of rows of the column matrix for a `c`-channel input:
+    /// `c * kh * kw`.
+    pub fn col_rows(&self, c: usize) -> usize {
+        c * self.kernel.0 * self.kernel.1
+    }
+}
+
+/// Lowers one `[c, h, w]` sample (flat slice, CHW order) to a column matrix
+/// written into `out`, which must have length `c*kh*kw * oh*ow`.
+///
+/// Row `(ci*kh+ki)*kw+kj` of the column matrix holds, for every output
+/// location, the input value under kernel tap `(ki, kj)` of channel `ci`
+/// (zero where the tap falls in padding).
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with the geometry.
+pub fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, out: &mut [f32]) {
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let (oh, ow) = spec.out_hw(h, w).expect("im2col: invalid geometry");
+    assert_eq!(input.len(), c * h * w, "im2col: input length mismatch");
+    assert_eq!(out.len(), c * kh * kw * oh * ow, "im2col: output length mismatch");
+
+    let ospatial = oh * ow;
+    for ci in 0..c {
+        let in_ch = &input[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ci * kh + ki) * kw + kj) * ospatial;
+                let dst = &mut out[row..row + ospatial];
+                for oy in 0..oh {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        dst[oy * ow..(oy + 1) * ow].fill(0.0);
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * sw + kj) as isize - pw as isize;
+                        dst[oy * ow + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            in_ch[iy * w + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reverse of [`im2col`]: accumulates a column-matrix gradient back into a
+/// `[c, h, w]` input-gradient slice. `out` is accumulated into, not
+/// overwritten, so a caller can fold several branches together.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with the geometry.
+pub fn col2im(cols: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, out: &mut [f32]) {
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let (oh, ow) = spec.out_hw(h, w).expect("col2im: invalid geometry");
+    assert_eq!(out.len(), c * h * w, "col2im: output length mismatch");
+    assert_eq!(cols.len(), c * kh * kw * oh * ow, "col2im: cols length mismatch");
+
+    let ospatial = oh * ow;
+    for ci in 0..c {
+        let out_ch = &mut out[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ci * kh + ki) * kw + kj) * ospatial;
+                let src = &cols[row..row + ospatial];
+                for oy in 0..oh {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * sw + kj) as isize - pw as isize;
+                        if ix >= 0 && (ix as usize) < w {
+                            out_ch[iy * w + ix as usize] += src[oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Direct depthwise convolution over one `[c, h, w]` sample: channel `ci`
+/// of the output is channel `ci` of the input convolved with kernel
+/// `weight[ci]` (`weight` is flat `[c, kh, kw]`).
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with the geometry.
+pub fn depthwise_conv2d(
+    input: &[f32],
+    weight: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+) {
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let (oh, ow) = spec.out_hw(h, w).expect("depthwise: invalid geometry");
+    assert_eq!(input.len(), c * h * w);
+    assert_eq!(weight.len(), c * kh * kw);
+    assert_eq!(out.len(), c * oh * ow);
+
+    for ci in 0..c {
+        let in_ch = &input[ci * h * w..(ci + 1) * h * w];
+        let ker = &weight[ci * kh * kw..(ci + 1) * kh * kw];
+        let out_ch = &mut out[ci * oh * ow..(ci + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ki in 0..kh {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kj in 0..kw {
+                        let ix = (ox * sw + kj) as isize - pw as isize;
+                        if ix >= 0 && (ix as usize) < w {
+                            acc += in_ch[iy as usize * w + ix as usize] * ker[ki * kw + kj];
+                        }
+                    }
+                }
+                out_ch[oy * ow + ox] = acc;
+            }
+        }
+    }
+}
+
+/// Backward pass of [`depthwise_conv2d`]: accumulates the input gradient
+/// into `dinput` and the weight gradient into `dweight` given the output
+/// gradient `dout`.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn depthwise_conv2d_backward(
+    input: &[f32],
+    weight: &[f32],
+    dout: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    dinput: &mut [f32],
+    dweight: &mut [f32],
+) {
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let (oh, ow) = spec.out_hw(h, w).expect("depthwise backward: invalid geometry");
+    assert_eq!(input.len(), c * h * w);
+    assert_eq!(weight.len(), c * kh * kw);
+    assert_eq!(dout.len(), c * oh * ow);
+    assert_eq!(dinput.len(), c * h * w);
+    assert_eq!(dweight.len(), c * kh * kw);
+
+    for ci in 0..c {
+        let in_ch = &input[ci * h * w..(ci + 1) * h * w];
+        let ker = &weight[ci * kh * kw..(ci + 1) * kh * kw];
+        let dout_ch = &dout[ci * oh * ow..(ci + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = dout_ch[oy * ow + ox];
+                if g == 0.0 {
+                    continue;
+                }
+                for ki in 0..kh {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kj in 0..kw {
+                        let ix = (ox * sw + kj) as isize - pw as isize;
+                        if ix >= 0 && (ix as usize) < w {
+                            let iidx = ci * h * w + iy as usize * w + ix as usize;
+                            dinput[iidx] += g * ker[ki * kw + kj];
+                            dweight[ci * kh * kw + ki * kw + kj] +=
+                                g * in_ch[iy as usize * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn out_hw_same_padding() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        assert_eq!(spec.out_hw(8, 8).unwrap(), (8, 8));
+        let stride2 = Conv2dSpec::new(3, 2, 1);
+        assert_eq!(stride2.out_hw(8, 8).unwrap(), (4, 4));
+    }
+
+    #[test]
+    fn out_hw_rejects_bad_geometry() {
+        assert!(Conv2dSpec::new(5, 1, 0).out_hw(3, 3).is_err());
+        assert!(Conv2dSpec { kernel: (3, 3), stride: (0, 1), padding: (0, 0) }
+            .out_hw(8, 8)
+            .is_err());
+        assert!(Conv2dSpec { kernel: (0, 3), stride: (1, 1), padding: (0, 0) }
+            .out_hw(8, 8)
+            .is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel_1x1() {
+        // 1x1 kernel, stride 1, no padding: columns == input.
+        let x: Vec<f32> = (0..2 * 3 * 3).map(|v| v as f32).collect();
+        let spec = Conv2dSpec::new(1, 1, 0);
+        let mut cols = vec![0.0f32; 2 * 9];
+        im2col(&x, 2, 3, 3, &spec, &mut cols);
+        assert_eq!(cols, x);
+    }
+
+    #[test]
+    fn im2col_3x3_padding_zeroes_border() {
+        let x = vec![1.0f32; 9]; // 1 channel, 3x3 of ones
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let mut cols = vec![0.0f32; 9 * 9];
+        im2col(&x, 1, 3, 3, &spec, &mut cols);
+        // Tap (0,0) at output (0,0) reads input (-1,-1) => 0.
+        assert_eq!(cols[0], 0.0);
+        // Center tap (1,1) row is all ones (reads the input directly).
+        let center_row = &cols[4 * 9..5 * 9];
+        assert!(center_row.iter().all(|&v| v == 1.0));
+    }
+
+    /// Reference convolution via explicit loops, for cross-checking the
+    /// im2col+matmul path.
+    fn conv_reference(
+        x: &[f32],
+        wgt: &[f32],
+        c_in: usize,
+        c_out: usize,
+        h: usize,
+        w: usize,
+        spec: &Conv2dSpec,
+    ) -> Vec<f32> {
+        let (kh, kw) = spec.kernel;
+        let (sh, sw) = spec.stride;
+        let (ph, pw) = spec.padding;
+        let (oh, ow) = spec.out_hw(h, w).unwrap();
+        let mut out = vec![0.0f32; c_out * oh * ow];
+        for co in 0..c_out {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ci in 0..c_in {
+                        for ki in 0..kh {
+                            for kj in 0..kw {
+                                let iy = (oy * sh + ki) as isize - ph as isize;
+                                let ix = (ox * sw + kj) as isize - pw as isize;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    acc += x[ci * h * w + iy as usize * w + ix as usize]
+                                        * wgt[((co * c_in + ci) * kh + ki) * kw + kj];
+                                }
+                            }
+                        }
+                    }
+                    out[co * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn im2col_matmul_matches_reference_conv() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (c_in, c_out, h, w) = (3, 4, 6, 5);
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let x = Tensor::randn(&[c_in * h * w], 0.0, 1.0, &mut rng);
+        let wgt = Tensor::randn(&[c_out, c_in * 9], 0.0, 1.0, &mut rng);
+        let (oh, ow) = spec.out_hw(h, w).unwrap();
+
+        let mut cols = vec![0.0f32; c_in * 9 * oh * ow];
+        im2col(x.as_slice(), c_in, h, w, &spec, &mut cols);
+        let cols_t = Tensor::from_vec(cols, &[c_in * 9, oh * ow]).unwrap();
+        let got = wgt.matmul(&cols_t).unwrap();
+
+        let want = conv_reference(x.as_slice(), wgt.as_slice(), c_in, c_out, h, w, &spec);
+        for (g, r) in got.as_slice().iter().zip(&want) {
+            assert!((g - r).abs() < 1e-4, "{g} vs {r}");
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint, which is exactly what backward needs.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let (c, h, w) = (2, 5, 4);
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let (oh, ow) = spec.out_hw(h, w).unwrap();
+        let x = Tensor::randn(&[c * h * w], 0.0, 1.0, &mut rng);
+        let y = Tensor::randn(&[c * 9 * oh * ow], 0.0, 1.0, &mut rng);
+
+        let mut cols = vec![0.0f32; c * 9 * oh * ow];
+        im2col(x.as_slice(), c, h, w, &spec, &mut cols);
+        let lhs: f32 = cols.iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+
+        let mut back = vec![0.0f32; c * h * w];
+        col2im(y.as_slice(), c, h, w, &spec, &mut back);
+        let rhs: f32 = back.iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn depthwise_matches_reference_per_channel() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let (c, h, w) = (3, 6, 6);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let x = Tensor::randn(&[c * h * w], 0.0, 1.0, &mut rng);
+        let wgt = Tensor::randn(&[c * 9], 0.0, 1.0, &mut rng);
+        let (oh, ow) = spec.out_hw(h, w).unwrap();
+        let mut out = vec![0.0f32; c * oh * ow];
+        depthwise_conv2d(x.as_slice(), wgt.as_slice(), c, h, w, &spec, &mut out);
+
+        // Per channel, compare against the dense reference with c_in = c_out = 1.
+        for ci in 0..c {
+            let want = conv_reference(
+                &x.as_slice()[ci * h * w..(ci + 1) * h * w],
+                &wgt.as_slice()[ci * 9..(ci + 1) * 9],
+                1,
+                1,
+                h,
+                w,
+                &spec,
+            );
+            for (g, r) in out[ci * oh * ow..(ci + 1) * oh * ow].iter().zip(&want) {
+                assert!((g - r).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_backward_matches_finite_difference() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let (c, h, w) = (2, 4, 4);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let x = Tensor::randn(&[c * h * w], 0.0, 0.5, &mut rng);
+        let wgt = Tensor::randn(&[c * 9], 0.0, 0.5, &mut rng);
+        let (oh, ow) = spec.out_hw(h, w).unwrap();
+
+        // Loss = sum(out); dout = ones.
+        let dout = vec![1.0f32; c * oh * ow];
+        let mut dx = vec![0.0f32; c * h * w];
+        let mut dw = vec![0.0f32; c * 9];
+        depthwise_conv2d_backward(
+            x.as_slice(), wgt.as_slice(), &dout, c, h, w, &spec, &mut dx, &mut dw,
+        );
+
+        let loss = |xs: &[f32], ws: &[f32]| -> f32 {
+            let mut out = vec![0.0f32; c * oh * ow];
+            depthwise_conv2d(xs, ws, c, h, w, &spec, &mut out);
+            out.iter().sum()
+        };
+        let eps = 1e-3;
+        // check a few weight grads
+        for idx in [0usize, 5, 9, 17] {
+            let mut wp = wgt.as_slice().to_vec();
+            wp[idx] += eps;
+            let mut wm = wgt.as_slice().to_vec();
+            wm[idx] -= eps;
+            let fd = (loss(x.as_slice(), &wp) - loss(x.as_slice(), &wm)) / (2.0 * eps);
+            assert!((fd - dw[idx]).abs() < 1e-2, "w[{idx}]: fd {fd} vs {}", dw[idx]);
+        }
+        // and a few input grads
+        for idx in [0usize, 7, 15, 31] {
+            let mut xp = x.as_slice().to_vec();
+            xp[idx] += eps;
+            let mut xm = x.as_slice().to_vec();
+            xm[idx] -= eps;
+            let fd = (loss(&xp, wgt.as_slice()) - loss(&xm, wgt.as_slice())) / (2.0 * eps);
+            assert!((fd - dx[idx]).abs() < 1e-2, "x[{idx}]: fd {fd} vs {}", dx[idx]);
+        }
+    }
+}

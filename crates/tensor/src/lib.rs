@@ -1,0 +1,57 @@
+//! # cq-tensor
+//!
+//! N-dimensional `f32` tensor substrate for the Contrastive Quant
+//! reproduction.
+//!
+//! This crate provides everything the neural-network stack above it needs:
+//! contiguous row-major tensors, elementwise and broadcast arithmetic, a
+//! blocked parallel matrix multiply, `im2col`-based convolution lowering
+//! (dense and depthwise), pooling, reductions, softmax, random
+//! initialisation, and a tiny binary serialisation format for checkpoints.
+//!
+//! Design notes:
+//!
+//! - Tensors are always contiguous and row-major; operations that would
+//!   produce a strided view (e.g. [`Tensor::transpose`]) materialise the
+//!   result instead. This keeps every kernel simple and cache-friendly,
+//!   which matters more than view tricks at the model sizes used here.
+//! - All randomness is drawn from caller-provided [`rand::rngs::StdRng`]
+//!   instances so experiments are reproducible bit-for-bit.
+//! - Parallelism uses [`crossbeam`] scoped threads via [`par::parallel_for`];
+//!   kernels parallelise over row bands or batch elements.
+//!
+//! # Example
+//!
+//! ```
+//! use cq_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok::<(), cq_tensor::TensorError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod conv;
+mod error;
+mod io;
+mod linalg;
+pub mod par;
+mod pool;
+mod reduce;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, depthwise_conv2d, depthwise_conv2d_backward, im2col, Conv2dSpec};
+pub use error::TensorError;
+pub use io::{read_tensor, write_tensor};
+pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward,
+               max_pool2d, max_pool2d_backward};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

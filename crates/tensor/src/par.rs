@@ -1,0 +1,204 @@
+//! Minimal data-parallel helpers built on `crossbeam` scoped threads.
+//!
+//! The kernels in this crate parallelise over *row bands* (matmul) or
+//! *batch elements* (conv, augmentation). Both patterns reduce to "split
+//! `0..len` into contiguous chunks and run a closure per chunk", which is
+//! what [`parallel_for`] provides.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the number of worker threads to use.
+///
+/// Respects the `CQ_THREADS` environment variable when set (useful to pin
+/// benchmarks to one thread), otherwise uses the machine parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("CQ_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f(start, end)` over disjoint chunks covering `0..len` in parallel.
+///
+/// Chunks are at least `min_chunk` long; if `len <= min_chunk` or only one
+/// thread is available the closure runs inline on the caller's thread, so
+/// the overhead for small work is a single comparison.
+///
+/// # Example
+///
+/// ```
+/// use cq_tensor::par::parallel_for;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let total = AtomicUsize::new(0);
+/// parallel_for(1000, 64, |start, end| {
+///     total.fetch_add(end - start, Ordering::Relaxed);
+/// });
+/// assert_eq!(total.load(Ordering::Relaxed), 1000);
+/// ```
+pub fn parallel_for<F>(len: usize, min_chunk: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || len <= min_chunk.max(1) {
+        if len > 0 {
+            f(0, len);
+        }
+        return;
+    }
+    let n_chunks = threads.min(len / min_chunk.max(1)).max(1);
+    if n_chunks == 1 {
+        f(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(n_chunks);
+    crossbeam::scope(|s| {
+        for c in 0..n_chunks {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(len);
+            if start >= end {
+                continue;
+            }
+            let f = &f;
+            s.spawn(move |_| f(start, end));
+        }
+    })
+    .expect("parallel_for worker panicked");
+}
+
+/// Runs `f(i)` for every `i` in `0..len`, dynamically load-balanced.
+///
+/// Unlike [`parallel_for`], work items are claimed one at a time from an
+/// atomic counter, which suits heterogeneous per-item cost (e.g. per-image
+/// augmentation where some transforms are more expensive).
+pub fn parallel_for_each<F>(len: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = num_threads().min(len.max(1));
+    if threads <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            let f = &f;
+            let counter = &counter;
+            s.spawn(move |_| loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                f(i);
+            });
+        }
+    })
+    .expect("parallel_for_each worker panicked");
+}
+
+/// Splits `out` into disjoint mutable chunks of `chunk_len` elements and
+/// runs `f(chunk_index, chunk)` on each in parallel.
+///
+/// This is the write-side companion of [`parallel_for_each`]: each logical
+/// item owns a fixed-size slice of the output buffer (e.g. one image in a
+/// batch), so no synchronisation is needed.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `chunk_len`.
+pub fn parallel_chunks_mut<F>(out: &mut [f32], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert_eq!(out.len() % chunk_len, 0, "buffer not a multiple of chunk_len");
+    let n = out.len() / chunk_len;
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 {
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    let base = out.as_mut_ptr() as usize;
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            let f = &f;
+            let counter = &counter;
+            s.spawn(move |_| loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // SAFETY: each index i is claimed exactly once, and chunks
+                // [i*chunk_len, (i+1)*chunk_len) are disjoint; the scope
+                // guarantees the buffer outlives every worker.
+                let chunk = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        (base as *mut f32).add(i * chunk_len),
+                        chunk_len,
+                    )
+                };
+                f(i, chunk);
+            });
+        }
+    })
+    .expect("parallel_chunks_mut worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_covers_range_exactly() {
+        let hits = AtomicUsize::new(0);
+        parallel_for(10_000, 16, |s, e| {
+            hits.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn parallel_for_empty_is_noop() {
+        parallel_for(0, 16, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn parallel_for_each_visits_each_index_once() {
+        let n = 257;
+        let seen: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_each(n, |i| {
+            seen[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_chunks_mut_writes_disjoint_chunks() {
+        let mut buf = vec![0.0f32; 12 * 7];
+        parallel_chunks_mut(&mut buf, 7, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i as f32;
+            }
+        });
+        for (i, chunk) in buf.chunks(7).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as f32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of chunk_len")]
+    fn parallel_chunks_mut_rejects_ragged_buffer() {
+        let mut buf = vec![0.0f32; 10];
+        parallel_chunks_mut(&mut buf, 3, |_, _| {});
+    }
+}

@@ -1,0 +1,131 @@
+//! Random tensor constructors and weight-initialisation schemes.
+//!
+//! All constructors take an explicit `&mut StdRng` so every experiment in
+//! the reproduction is seeded and bit-reproducible.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{Shape, Tensor};
+
+impl Tensor {
+    /// Tensor of i.i.d. uniform samples from `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut StdRng) -> Self {
+        let shape = Shape::new(shape);
+        let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, shape.dims()).expect("internal: length matches shape")
+    }
+
+    /// Tensor of i.i.d. standard-normal samples scaled by `std` and shifted
+    /// by `mean` (Box–Muller transform; no external distribution crate
+    /// needed).
+    pub fn randn(shape: &[usize], mean: f32, std: f32, rng: &mut StdRng) -> Self {
+        let shape = Shape::new(shape);
+        let n = shape.len();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor::from_vec(data, shape.dims()).expect("internal: length matches shape")
+    }
+
+    /// Kaiming/He normal initialisation for a weight tensor with the given
+    /// fan-in: `N(0, sqrt(2 / fan_in))`. Standard for ReLU networks.
+    pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Tensor::randn(shape, 0.0, std, rng)
+    }
+
+    /// Xavier/Glorot uniform initialisation:
+    /// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`. Used for linear
+    /// projection heads.
+    pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
+        let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+        Tensor::rand_uniform(shape, -a, a, rng)
+    }
+
+    /// Returns a random permutation of `0..n` (Fisher–Yates), used for
+    /// epoch shuffling.
+    pub fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rand_uniform_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::rand_uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn randn_moments_approximately_correct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::randn(&[20_000], 1.0, 2.0, &mut rng);
+        assert!((t.mean() - 1.0).abs() < 0.1, "mean {}", t.mean());
+        assert!((t.variance().sqrt() - 2.0).abs() < 0.1, "std {}", t.variance().sqrt());
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(
+            Tensor::randn(&[16], 0.0, 1.0, &mut a),
+            Tensor::randn(&[16], 0.0, 1.0, &mut b)
+        );
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::kaiming_normal(&[10_000], 50, &mut rng);
+        let expected = (2.0f32 / 50.0).sqrt();
+        assert!((t.variance().sqrt() - expected).abs() < 0.02);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = (6.0f32 / 30.0).sqrt();
+        let t = Tensor::xavier_uniform(&[1000], 10, 20, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = Tensor::permutation(100, &mut rng);
+        let mut seen = [false; 100];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn odd_length_randn_works() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = Tensor::randn(&[7], 0.0, 1.0, &mut rng);
+        assert_eq!(t.len(), 7);
+        assert!(t.is_finite());
+    }
+}

@@ -1,0 +1,216 @@
+//! Shape arithmetic: dimensions, strides, index flattening, broadcasting.
+
+use crate::TensorError;
+
+/// The dimensions of a tensor.
+///
+/// A `Shape` is an ordered list of axis lengths. Rank-0 (scalar) shapes are
+/// represented by an empty list and have one element.
+///
+/// # Example
+///
+/// ```
+/// use cq_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of axis lengths.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// Creates the rank-0 (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The axis lengths.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of the axis lengths; 1 for a
+    /// scalar shape).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements (any axis of length 0).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Length of the given axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+    }
+
+    /// Flattens a multi-dimensional index into a row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the index has the right rank and is in bounds.
+    pub fn flatten_index(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut offset = 0;
+        let mut stride = 1;
+        for (i, (&d, &ix)) in self.dims.iter().zip(idx.iter()).enumerate().rev() {
+            debug_assert!(ix < d, "index {ix} out of bounds for axis {i} of length {d}");
+            offset += ix * stride;
+            stride *= d;
+        }
+        offset
+    }
+
+    /// Computes the broadcast shape of two operands following NumPy rules:
+    /// axes are aligned from the trailing end, and each pair must be equal
+    /// or one of them must be 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes are not
+    /// broadcast-compatible.
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape, TensorError> {
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![0; rank];
+        for i in 0..rank {
+            let a = if i < rank - self.rank() { 1 } else { self.dims[i - (rank - self.rank())] };
+            let b = if i < rank - other.rank() { 1 } else { other.dims[i - (rank - other.rank())] };
+            dims[i] = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: self.dims.clone(),
+                    rhs: other.dims.clone(),
+                    op: "broadcast",
+                });
+            };
+        }
+        Ok(Shape { dims })
+    }
+
+    /// Removes the given axis, reducing the rank by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn remove_axis(&self, axis: usize) -> Result<Shape, TensorError> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+        }
+        let mut dims = self.dims.clone();
+        dims.remove(axis);
+        Ok(Shape { dims })
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::scalar().len(), 1);
+        assert!(Shape::new(&[3, 0]).is_empty());
+    }
+
+    #[test]
+    fn flatten_index_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.flatten_index(&[0, 0, 0]), 0);
+        assert_eq!(s.flatten_index(&[1, 2, 3]), 23);
+        assert_eq!(s.flatten_index(&[1, 0, 2]), 14);
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::new(&[2, 1, 4]);
+        let b = Shape::new(&[3, 1]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::new(&[2, 3, 4]));
+        let c = Shape::new(&[2, 3]);
+        let d = Shape::new(&[4, 3]);
+        assert!(c.broadcast(&d).is_err());
+        assert_eq!(Shape::scalar().broadcast(&c).unwrap(), c);
+    }
+
+    #[test]
+    fn remove_axis_shrinks() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.remove_axis(1).unwrap(), Shape::new(&[2, 4]));
+        assert!(s.remove_axis(3).is_err());
+    }
+
+    #[test]
+    fn dim_bounds_checked() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.dim(1).unwrap(), 3);
+        assert!(s.dim(2).is_err());
+    }
+}

@@ -1,0 +1,575 @@
+//! The [`Tensor`] type: contiguous row-major `f32` storage plus a [`Shape`].
+
+use crate::{Result, Shape, TensorError};
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` is the workhorse type of the whole reproduction: model weights,
+/// activations, gradients, images and feature embeddings are all `Tensor`s.
+///
+/// # Example
+///
+/// ```
+/// use cq_tensor::Tensor;
+///
+/// let x = Tensor::full(&[2, 3], 2.0);
+/// let y = x.scale(0.5).add(&Tensor::ones(&[2, 3]))?;
+/// assert_eq!(y.as_slice(), &[2.0; 6]);
+/// # Ok::<(), cq_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let shape = Shape::new(shape);
+        Tensor { data: vec![0.0; shape.len()], shape }
+    }
+
+    /// Creates a tensor of ones with the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let shape = Shape::new(shape);
+        Tensor { data: vec![value; shape.len()], shape }
+    }
+
+    /// Creates a rank-0 tensor holding a single scalar.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { data: vec![value], shape: Shape::scalar() }
+    }
+
+    /// Creates an `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor that takes ownership of `data`, viewed as `shape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the element count implied by `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        let shape = Shape::new(shape);
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch { len: data.len(), shape: shape.dims().to_vec() });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor { data: data.to_vec(), shape: Shape::new(&[data.len()]) }
+    }
+
+    /// Creates a rank-1 tensor of `n` evenly spaced values in `[start, end)`.
+    pub fn arange(start: f32, end: f32, step: f32) -> Self {
+        assert!(step != 0.0, "step must be nonzero");
+        let mut data = Vec::new();
+        let mut v = start;
+        while (step > 0.0 && v < end) || (step < 0.0 && v > end) {
+            data.push(v);
+            v += step;
+        }
+        let n = data.len();
+        Tensor { data, shape: Shape::new(&[n]) }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The axis lengths.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts index validity; see [`Shape::flatten_index`].
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.flatten_index(idx)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.shape.flatten_index(idx);
+        self.data[off] = value;
+    }
+
+    /// The single value of a rank-0 or single-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() requires a single-element tensor");
+        self.data[0]
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data viewed as `shape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self> {
+        Tensor::from_vec(self.data.clone(), shape)
+    }
+
+    /// In-place variant of [`Tensor::reshape`]; avoids the copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if element counts differ.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) -> Result<()> {
+        let new_shape = Shape::new(shape);
+        if new_shape.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                len: self.data.len(),
+                shape: shape.to_vec(),
+            });
+        }
+        self.shape = new_shape;
+        Ok(())
+    }
+
+    /// Flattens to rank 1.
+    pub fn flatten(&self) -> Self {
+        Tensor { data: self.data.clone(), shape: Shape::new(&[self.data.len()]) }
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise maps
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "zip",
+            });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { data, shape: self.shape.clone() })
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|v| v + s)
+    }
+
+    /// Elementwise addition (exact shapes). See [`Tensor::add_broadcast`]
+    /// for broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Self> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Self> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Self> {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise division.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn div(&self, other: &Tensor) -> Result<Self> {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "add_assign",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "axpy",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Fills the tensor with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcasting binary ops
+    // ------------------------------------------------------------------
+
+    /// Elementwise binary operation with NumPy-style broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes are not
+    /// broadcast-compatible.
+    pub fn broadcast_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+        if self.shape == other.shape {
+            return self.zip(other, f);
+        }
+        let out_shape = self.shape.broadcast(&other.shape)?;
+        let out_dims = out_shape.dims().to_vec();
+        let rank = out_dims.len();
+        let a_dims = pad_leading(self.dims(), rank);
+        let b_dims = pad_leading(other.dims(), rank);
+        let a_strides = broadcast_strides(&a_dims, &Shape::new(&a_dims).strides(), &out_dims);
+        let b_strides = broadcast_strides(&b_dims, &Shape::new(&b_dims).strides(), &out_dims);
+
+        let mut data = vec![0.0f32; out_shape.len()];
+        let mut idx = vec![0usize; rank];
+        for slot in data.iter_mut() {
+            let mut ao = 0;
+            let mut bo = 0;
+            for d in 0..rank {
+                ao += idx[d] * a_strides[d];
+                bo += idx[d] * b_strides[d];
+            }
+            *slot = f(self.data[ao], other.data[bo]);
+            // increment odometer
+            for d in (0..rank).rev() {
+                idx[d] += 1;
+                if idx[d] < out_dims[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Ok(Tensor { data, shape: out_shape })
+    }
+
+    /// Broadcasting addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on incompatible shapes.
+    pub fn add_broadcast(&self, other: &Tensor) -> Result<Self> {
+        self.broadcast_with(other, |a, b| a + b)
+    }
+
+    /// Broadcasting multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on incompatible shapes.
+    pub fn mul_broadcast(&self, other: &Tensor) -> Result<Self> {
+        self.broadcast_with(other, |a, b| a * b)
+    }
+
+    // ------------------------------------------------------------------
+    // Numeric hygiene
+    // ------------------------------------------------------------------
+
+    /// Whether every element is finite (no NaN / infinity).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+
+    /// L2 norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Dot product treating both tensors as flat vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if element counts differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "dot",
+            });
+        }
+        Ok(self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum())
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Self {
+        self.map(|v| v.clamp(lo, hi))
+    }
+}
+
+/// Left-pads `dims` with 1s to `rank` axes.
+fn pad_leading(dims: &[usize], rank: usize) -> Vec<usize> {
+    let mut out = vec![1; rank];
+    out[rank - dims.len()..].copy_from_slice(dims);
+    out
+}
+
+/// Zeroes the stride of broadcast (length-1) axes.
+fn broadcast_strides(dims: &[usize], strides: &[usize], out_dims: &[usize]) -> Vec<usize> {
+    dims.iter()
+        .zip(strides)
+        .zip(out_dims)
+        .map(|((&d, &s), &od)| if d == od { s } else { 0 })
+        .collect()
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.len() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(f, "[{:?}, ... {} elements]", &self.data[..8], self.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_have_expected_contents() {
+        assert_eq!(Tensor::zeros(&[2, 2]).as_slice(), &[0.0; 4]);
+        assert_eq!(Tensor::ones(&[3]).as_slice(), &[1.0; 3]);
+        assert_eq!(Tensor::full(&[2], 7.0).as_slice(), &[7.0, 7.0]);
+        assert_eq!(Tensor::eye(2).as_slice(), &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(Tensor::scalar(3.0).item(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn arange_spacing() {
+        let t = Tensor::arange(0.0, 1.0, 0.25);
+        assert_eq!(t.as_slice(), &[0.0, 0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 5.0);
+        assert_eq!(t.at(&[1, 2]), 5.0);
+        assert_eq!(t.as_slice()[5], 5.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).unwrap().as_slice(), &[4.0, 2.5, 2.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+        let mut c = Tensor::zeros(&[2]);
+        assert!(c.add_assign(&b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let g = Tensor::from_slice(&[2.0, 4.0]);
+        a.axpy(0.5, &g).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_add_row_vector() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]).unwrap();
+        let c = a.add_broadcast(&b).unwrap();
+        assert_eq!(c.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcast_mul_column_vector() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![2.0, 3.0], &[2, 1]).unwrap();
+        let c = a.mul_broadcast(&b).unwrap();
+        assert_eq!(c.as_slice(), &[2.0, 4.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar_tensor() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let s = Tensor::scalar(10.0);
+        assert_eq!(a.mul_broadcast(&s).unwrap().as_slice(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn reshape_checks_length() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(a.reshape(&[3, 2]).is_ok());
+        assert!(a.reshape(&[4]).is_err());
+        let mut b = a.clone();
+        b.reshape_in_place(&[6]).unwrap();
+        assert_eq!(b.rank(), 1);
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let a = Tensor::from_slice(&[3.0, 4.0]);
+        assert_eq!(a.sq_norm(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        let b = Tensor::from_slice(&[1.0, 1.0]);
+        assert_eq!(a.dot(&b).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn finite_detection() {
+        let mut a = Tensor::ones(&[2]);
+        assert!(a.is_finite());
+        a.as_mut_slice()[0] = f32::NAN;
+        assert!(!a.is_finite());
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let a = Tensor::from_slice(&[-2.0, 0.5, 9.0]);
+        assert_eq!(a.clamp(0.0, 1.0).as_slice(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn display_never_empty() {
+        let t = Tensor::zeros(&[2]);
+        assert!(!format!("{t}").is_empty());
+        let big = Tensor::zeros(&[100]);
+        assert!(format!("{big}").contains("100 elements"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Head-to-head on the CIFAR-like config: vanilla SimCLR vs CQ-C, with
+//! the paper's semi-supervised fine-tuning protocol (10% labels, FP and
+//! 4-bit).
+//!
+//! ```text
+//! cargo run --release --example cifar_pipeline
+//! ```
+
+use contrastive_quant::core::{Pipeline, PretrainConfig, SimclrTrainer};
+use contrastive_quant::data::{Dataset, DatasetConfig};
+use contrastive_quant::eval::{finetune, FinetuneConfig, Table};
+use contrastive_quant::models::{Arch, Encoder, EncoderConfig};
+use contrastive_quant::quant::{Precision, PrecisionSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (train, test) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(384, 128));
+    let mut table = Table::new(
+        "SimCLR vs CQ-C (CIFAR-like, fine-tuning with 10% labels)",
+        &["Method", "FP 10%", "4-bit 10%"],
+    );
+
+    for (name, pipeline, pset) in [
+        ("SimCLR", Pipeline::Baseline, None),
+        ("CQ-C", Pipeline::CqC, Some(PrecisionSet::range(6, 16)?)),
+    ] {
+        let encoder = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 6).with_proj(48, 24), 7)?;
+        let cfg = PretrainConfig {
+            pipeline,
+            precision_set: pset,
+            epochs: 6,
+            batch_size: 64,
+            lr: 0.15,
+            ..Default::default()
+        };
+        let mut trainer = SimclrTrainer::new(encoder, cfg)?;
+        trainer.train(&train)?;
+        println!("{name}: final SSL loss {:?}", trainer.history().final_loss());
+        let encoder = trainer.into_encoder();
+
+        let mut accs = Vec::new();
+        for precision in [Precision::Fp, Precision::Bits(4)] {
+            let res = finetune(
+                &encoder,
+                &train,
+                &test,
+                &FinetuneConfig {
+                    label_fraction: 0.1,
+                    precision,
+                    epochs: 8,
+                    batch_size: 32,
+                    ..Default::default()
+                },
+            )?;
+            accs.push(format!("{:.2}", res.test_acc));
+        }
+        table.row_owned(vec![name.to_string(), accs[0].clone(), accs[1].clone()]);
+    }
+    table.print();
+    Ok(())
+}

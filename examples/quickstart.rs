@@ -1,0 +1,45 @@
+//! Quickstart: pre-train a small encoder with Contrastive Quant (CQ-C)
+//! and evaluate it with a linear probe.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use contrastive_quant::core::{Pipeline, PretrainConfig, SimclrTrainer};
+use contrastive_quant::data::{Dataset, DatasetConfig};
+use contrastive_quant::eval::{linear_eval, LinearEvalConfig};
+use contrastive_quant::models::{Arch, Encoder, EncoderConfig};
+use contrastive_quant::quant::PrecisionSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small synthetic dataset (CIFAR-100 stand-in).
+    let (train, test) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(256, 128));
+    println!("dataset: {} train / {} test, {} classes", train.len(), test.len(), train.num_classes());
+
+    // 2. A ResNet-18 encoder with a SimCLR projection head.
+    let encoder = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 4).with_proj(32, 16), 42)?;
+    println!("encoder: {} parameters", encoder.num_params());
+
+    // 3. Contrastive Quant pre-training: CQ-C with precision set 6-16.
+    //    Every iteration samples two precisions (q1, q2) and enforces
+    //    feature consistency across views AND across quantization levels.
+    let cfg = PretrainConfig {
+        pipeline: Pipeline::CqC,
+        precision_set: Some(PrecisionSet::range(6, 16)?),
+        epochs: 5,
+        batch_size: 64,
+        lr: 0.1,
+        ..Default::default()
+    };
+    let mut trainer = SimclrTrainer::new(encoder, cfg)?;
+    trainer.train(&train)?;
+    for (e, loss) in trainer.history().epoch_losses.iter().enumerate() {
+        println!("epoch {e}: CQ-C loss {loss:.4}");
+    }
+
+    // 4. Linear evaluation on frozen features.
+    let mut encoder = trainer.into_encoder();
+    let acc = linear_eval(&mut encoder, &train, &test, &LinearEvalConfig { epochs: 20, ..Default::default() })?;
+    println!("linear evaluation accuracy: {acc:.2}%");
+    Ok(())
+}

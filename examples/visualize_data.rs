@@ -1,0 +1,56 @@
+//! Dumps contact sheets of the synthetic datasets, the augmentation
+//! pipeline and the detection scenes to PPM files (viewable with any
+//! image tool), so the data substrate can be eyeballed.
+//!
+//! ```text
+//! cargo run --release --example visualize_data
+//! ```
+
+use contrastive_quant::data::{
+    contact_sheet, write_ppm, AugmentConfig, AugmentPipeline, Dataset, DatasetConfig,
+};
+use contrastive_quant::detect::{DetDataset, DetectionConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = Path::new("viz");
+    std::fs::create_dir_all(out)?;
+
+    // One row per class of the CIFAR-like config.
+    let (train, _) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(400, 10));
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); train.num_classes()];
+    for i in 0..train.len() {
+        let l = train.label(i);
+        if per_class[l].len() < 8 {
+            per_class[l].push(i);
+        }
+    }
+    let tiles: Vec<_> = per_class.iter().flatten().map(|&i| train.image(i)).collect();
+    write_ppm(&contact_sheet(&tiles, 8), &out.join("cifarlike_classes.ppm"))?;
+    println!("wrote viz/cifarlike_classes.ppm ({} classes x 8 samples)", train.num_classes());
+
+    // Augmented views of one image: SimCLR vs strong recipe.
+    let pipe = AugmentPipeline::new(AugmentConfig::simclr());
+    let strong = AugmentPipeline::new(AugmentConfig::strong());
+    let mut rng = StdRng::seed_from_u64(1);
+    let img = train.image(0);
+    let mut views = vec![img.clone()];
+    for _ in 0..7 {
+        views.push(pipe.apply(img, &mut rng));
+    }
+    for _ in 0..8 {
+        views.push(strong.apply(img, &mut rng));
+    }
+    let refs: Vec<_> = views.iter().collect();
+    write_ppm(&contact_sheet(&refs, 8), &out.join("augmentations.ppm"))?;
+    println!("wrote viz/augmentations.ppm (row 1: original + SimCLR; row 2: strong)");
+
+    // Detection scenes.
+    let (det, _) = DetDataset::generate(&DetectionConfig::default().with_sizes(16, 4));
+    let tiles: Vec<_> = (0..16).map(|i| det.image(i)).collect();
+    write_ppm(&contact_sheet(&tiles, 4), &out.join("detection_scenes.ppm"))?;
+    println!("wrote viz/detection_scenes.ppm (16 scenes, 1-3 objects each)");
+    Ok(())
+}

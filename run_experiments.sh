@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper (quick scale by default).
+# Order exploits the encoder cache: tables sharing pretrained encoders run
+# consecutively.
+set -u
+cd "$(dirname "$0")"
+SCALE="${CQ_SCALE:-quick}"
+mkdir -p results
+for exp in table1 table2 table3 table4 table5 table7 figure2 precision_sweep table6 table8; do
+  echo "=== $exp (scale: $SCALE) ==="
+  t0=$SECONDS; ./target/release/$exp --scale "$SCALE" > results/$exp.md 2> results/$exp.log; echo "elapsed: $((SECONDS-t0)) s" >> results/$exp.log
+  echo "--- done: $exp"
+done
+mv -f table*.csv figure2*.csv precision_sweep.csv results/ 2>/dev/null
+echo ALL_EXPERIMENTS_DONE

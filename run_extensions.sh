@@ -1,0 +1,14 @@
+#!/bin/bash
+# Runs the extension ablation binaries (after run_experiments.sh).
+set -u
+cd "$(dirname "$0")"
+SCALE="${CQ_SCALE:-quick}"
+mkdir -p results
+for exp in ablations frameworks; do
+  echo "=== $exp (scale: $SCALE) ==="
+  t0=$SECONDS; ./target/release/$exp --scale "$SCALE" > results/$exp.md 2> results/$exp.log
+  echo "elapsed: $((SECONDS-t0)) s" >> results/$exp.log
+  echo "--- done: $exp"
+done
+mv -f frameworks.csv results/ 2>/dev/null
+echo EXTENSIONS_DONE

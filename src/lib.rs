@@ -1,0 +1,19 @@
+//! # contrastive-quant
+//!
+//! Facade crate for the reproduction of *"Contrastive Quant: Quantization
+//! Makes Stronger Contrastive Learning"* (DAC 2022). Re-exports every
+//! sub-crate under a short alias so examples and downstream users can
+//! depend on a single crate.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use cq_core as core;
+pub use cq_data as data;
+pub use cq_detect as detect;
+pub use cq_eval as eval;
+pub use cq_models as models;
+pub use cq_nn as nn;
+pub use cq_quant as quant;
+pub use cq_tensor as tensor;

@@ -1,0 +1,134 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! through SSL pre-training to every evaluation setting.
+
+use contrastive_quant::core::{ByolTrainer, Pipeline, PretrainConfig, SimclrTrainer};
+use contrastive_quant::data::{Dataset, DatasetConfig};
+use contrastive_quant::detect::{train_detector, DetDataset, DetectionConfig, DetectorConfig};
+use contrastive_quant::eval::{finetune, linear_eval, FinetuneConfig, LinearEvalConfig};
+use contrastive_quant::models::{Arch, Encoder, EncoderConfig};
+use contrastive_quant::quant::{Precision, PrecisionSet};
+
+fn tiny_data() -> (Dataset, Dataset) {
+    Dataset::generate(&DatasetConfig::cifarlike().with_sizes(64, 32))
+}
+
+fn tiny_encoder(seed: u64) -> Encoder {
+    Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), seed).unwrap()
+}
+
+fn tiny_cfg(pipeline: Pipeline) -> PretrainConfig {
+    PretrainConfig {
+        pipeline,
+        precision_set: pipeline.needs_precisions().then(|| PrecisionSet::range(6, 16).unwrap()),
+        epochs: 1,
+        batch_size: 16,
+        lr: 0.05,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn pretrain_finetune_linear_eval_roundtrip() {
+    let (train, test) = tiny_data();
+    let mut trainer = SimclrTrainer::new(tiny_encoder(1), tiny_cfg(Pipeline::CqC)).unwrap();
+    trainer.train(&train).unwrap();
+    let encoder = trainer.into_encoder();
+
+    let ft = finetune(
+        &encoder,
+        &train,
+        &test,
+        &FinetuneConfig { label_fraction: 0.5, epochs: 2, batch_size: 16, ..Default::default() },
+    )
+    .unwrap();
+    assert!(ft.test_acc.is_finite() && (0.0..=100.0).contains(&ft.test_acc));
+
+    let mut enc = encoder;
+    let lin = linear_eval(&mut enc, &train, &test, &LinearEvalConfig { epochs: 3, ..Default::default() }).unwrap();
+    assert!((0.0..=100.0).contains(&lin));
+}
+
+#[test]
+fn byol_encoder_supports_downstream_evaluation() {
+    // regression: the online encoder must shed its predictor so that
+    // duplicate()/finetune() see the pure encoder architecture
+    let (train, test) = tiny_data();
+    let online = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8), 2).unwrap();
+    let mut trainer = ByolTrainer::new(online, tiny_cfg(Pipeline::CqC)).unwrap();
+    trainer.train(&train).unwrap();
+    let encoder = trainer.into_encoder();
+    let dup = encoder.duplicate().unwrap();
+    assert_eq!(dup.params().len(), encoder.params().len());
+    let ft = finetune(
+        &encoder,
+        &train,
+        &test,
+        &FinetuneConfig { label_fraction: 0.5, epochs: 1, batch_size: 16, ..Default::default() },
+    )
+    .unwrap();
+    assert!(ft.test_acc.is_finite());
+}
+
+#[test]
+fn byol_encoder_save_load_roundtrip() {
+    let (train, _) = tiny_data();
+    let online = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8), 3).unwrap();
+    let mut trainer = ByolTrainer::new(online, tiny_cfg(Pipeline::Baseline)).unwrap();
+    trainer.train(&train).unwrap();
+    let encoder = trainer.into_encoder();
+    let mut buf = Vec::new();
+    encoder.save(&mut buf).unwrap();
+    let back = Encoder::load(buf.as_slice()).unwrap();
+    assert_eq!(back.config(), encoder.config());
+}
+
+#[test]
+fn detection_transfer_runs_on_pretrained_encoder() {
+    let (train, _) = tiny_data();
+    let mut trainer = SimclrTrainer::new(tiny_encoder(4), tiny_cfg(Pipeline::CqA)).unwrap();
+    trainer.train(&train).unwrap();
+    let encoder = trainer.into_encoder();
+
+    let (dtr, dte) = DetDataset::generate(&DetectionConfig::default().with_sizes(16, 8));
+    let m = train_detector(
+        &encoder,
+        &dtr,
+        &dte,
+        &DetectorConfig { epochs: 1, batch_size: 8, ..Default::default() },
+    )
+    .unwrap();
+    assert!(m.ap.is_finite() && m.ap50.is_finite() && m.ap75.is_finite());
+}
+
+#[test]
+fn four_bit_finetune_of_cq_pretrained_encoder() {
+    let (train, test) = tiny_data();
+    let mut trainer = SimclrTrainer::new(tiny_encoder(5), tiny_cfg(Pipeline::CqQuant)).unwrap();
+    trainer.train(&train).unwrap();
+    let encoder = trainer.into_encoder();
+    let ft = finetune(
+        &encoder,
+        &train,
+        &test,
+        &FinetuneConfig {
+            label_fraction: 0.5,
+            precision: Precision::Bits(4),
+            epochs: 1,
+            batch_size: 16,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(ft.test_acc.is_finite());
+}
+
+#[test]
+fn all_six_architectures_run_the_ssl_step() {
+    let (train, _) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(32, 16));
+    for arch in Arch::all() {
+        let enc = Encoder::new(&EncoderConfig::new(arch, 2).with_proj(8, 8), 6).unwrap();
+        let mut trainer = SimclrTrainer::new(enc, tiny_cfg(Pipeline::CqC)).unwrap();
+        trainer.train(&train).unwrap();
+        assert!(trainer.history().final_loss().unwrap().is_finite(), "{arch}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) on the core invariants the paper's
+//! method relies on.
+
+use contrastive_quant::core::nt_xent;
+use contrastive_quant::data::{AugmentConfig, AugmentPipeline};
+use contrastive_quant::detect::{iou, BBox};
+use contrastive_quant::quant::{fake_quant, quant_mse, Precision, QuantMode};
+use contrastive_quant::tensor::{Shape, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Quantizer invariants (Eq. 10)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn quantized_values_stay_in_dynamic_range(data in finite_vec(64), bits in 2u8..=16) {
+        let t = Tensor::from_slice(&data);
+        let q = fake_quant(&t, Precision::Bits(bits), QuantMode::Round);
+        let (lo, hi) = (t.min(), t.max());
+        let step = (hi - lo) / ((1u32 << bits) - 1) as f32;
+        for &v in q.as_slice() {
+            // rounding can land at most half a step outside [lo, hi]
+            prop_assert!(v >= lo - step * 0.51 && v <= hi + step * 0.51);
+        }
+    }
+
+    #[test]
+    fn quant_error_bounded_by_half_step(data in finite_vec(64), bits in 2u8..=16) {
+        let t = Tensor::from_slice(&data);
+        let q = fake_quant(&t, Precision::Bits(bits), QuantMode::Round);
+        let range = t.max() - t.min();
+        if range > 0.0 {
+            let step = range / ((1u32 << bits) - 1) as f32;
+            for (&a, &b) in t.as_slice().iter().zip(q.as_slice()) {
+                prop_assert!((a - b).abs() <= step * 0.5 + step * 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_never_more_mse(data in finite_vec(128)) {
+        let t = Tensor::from_slice(&data);
+        let e4 = quant_mse(&t, Precision::Bits(4), QuantMode::Round);
+        let e8 = quant_mse(&t, Precision::Bits(8), QuantMode::Round);
+        let e12 = quant_mse(&t, Precision::Bits(12), QuantMode::Round);
+        prop_assert!(e8 <= e4 + 1e-9);
+        prop_assert!(e12 <= e8 + 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // Tensor algebra invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn matmul_distributes_over_addition(a in finite_vec(12), b in finite_vec(12), c in finite_vec(12)) {
+        let a = Tensor::from_vec(a, &[3, 4]).unwrap();
+        let b = Tensor::from_vec(b, &[4, 3]).unwrap();
+        let c = Tensor::from_vec(c, &[4, 3]).unwrap();
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(data in finite_vec(20)) {
+        let t = Tensor::from_vec(data, &[4, 5]).unwrap();
+        prop_assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
+    }
+
+    #[test]
+    fn broadcast_shapes_commute(d1 in 1usize..4, d2 in 1usize..4) {
+        let a = Shape::new(&[d1, 1]);
+        let b = Shape::new(&[1, d2]);
+        prop_assert_eq!(a.broadcast(&b).unwrap(), b.broadcast(&a).unwrap());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(data in finite_vec(24)) {
+        let t = Tensor::from_vec(data, &[4, 6]).unwrap();
+        let s = t.softmax_rows().unwrap();
+        for i in 0..4 {
+            let row = &s.as_slice()[i * 6..(i + 1) * 6];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Contrastive loss invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn nt_xent_is_symmetric_in_pair_swap(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[4, 8], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 8], 0.0, 1.0, &mut rng);
+        let ab = nt_xent(&a, &b, 0.5).unwrap();
+        let ba = nt_xent(&b, &a, 0.5).unwrap();
+        prop_assert!((ab.loss - ba.loss).abs() < 1e-4);
+        for (x, y) in ab.grad_a.as_slice().iter().zip(ba.grad_b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn nt_xent_positive_and_finite(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[6, 8], 0.0, 2.0, &mut rng);
+        let b = Tensor::randn(&[6, 8], 0.0, 2.0, &mut rng);
+        let out = nt_xent(&a, &b, 0.5).unwrap();
+        prop_assert!(out.loss.is_finite() && out.loss > 0.0);
+        prop_assert!(out.grad_a.is_finite() && out.grad_b.is_finite());
+    }
+
+    // ------------------------------------------------------------------
+    // Augmentation invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn augmentation_preserves_shape_and_range(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = Tensor::rand_uniform(&[3, 12, 12], 0.0, 1.0, &mut rng);
+        let pipe = AugmentPipeline::new(AugmentConfig::simclr());
+        let out = pipe.apply(&img, &mut rng);
+        prop_assert_eq!(out.dims(), img.dims());
+        prop_assert!(out.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    // ------------------------------------------------------------------
+    // Detection-geometry invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(
+        ax in 0.1f32..0.9, ay in 0.1f32..0.9, aw in 0.05f32..0.5, ah in 0.05f32..0.5,
+        bx in 0.1f32..0.9, by in 0.1f32..0.9, bw in 0.05f32..0.5, bh in 0.05f32..0.5,
+    ) {
+        let a = BBox::new(ax, ay, aw, ah);
+        let b = BBox::new(bx, by, bw, bh);
+        let i1 = iou(&a, &b);
+        let i2 = iou(&b, &a);
+        prop_assert!((i1 - i2).abs() < 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&i1));
+        // f32 cancellation in corner arithmetic leaves ~1e-5 slack
+        prop_assert!((iou(&a, &a) - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,89 @@
+//! Integration tests of the quantization-as-augmentation mechanism across
+//! the whole stack: the noise injected by quantized forwards must behave
+//! like a controllable augmentation (monotone in bit-width, zero at FP,
+//! distinct across precisions) — the premise of the paper.
+
+use contrastive_quant::models::{Arch, Encoder, EncoderConfig};
+use contrastive_quant::nn::ForwardCtx;
+use contrastive_quant::quant::{Precision, QuantConfig};
+use contrastive_quant::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn encoder_and_input() -> (Encoder, Tensor) {
+    let enc = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 4).with_proj(32, 16), 7).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = Tensor::rand_uniform(&[4, 3, 16, 16], 0.0, 1.0, &mut rng);
+    (enc, x)
+}
+
+fn drift(enc: &mut Encoder, x: &Tensor, p: Precision) -> f32 {
+    let fp = enc.forward(x, &ForwardCtx::eval()).unwrap().projection;
+    let ctx = ForwardCtx::eval().with_quant(QuantConfig::uniform(p));
+    let q = enc.forward(x, &ctx).unwrap().projection;
+    q.sub(&fp).unwrap().norm() / fp.norm().max(1e-9)
+}
+
+#[test]
+fn feature_drift_is_monotone_in_bit_width() {
+    let (mut enc, x) = encoder_and_input();
+    let d4 = drift(&mut enc, &x, Precision::Bits(4));
+    let d8 = drift(&mut enc, &x, Precision::Bits(8));
+    let d16 = drift(&mut enc, &x, Precision::Bits(16));
+    assert!(d4 > d8, "4-bit drift {d4} must exceed 8-bit {d8}");
+    assert!(d8 > d16, "8-bit drift {d8} must exceed 16-bit {d16}");
+    assert!(d16 > 0.0, "16-bit still perturbs");
+}
+
+#[test]
+fn fp_forward_has_zero_drift() {
+    let (mut enc, x) = encoder_and_input();
+    assert_eq!(drift(&mut enc, &x, Precision::Fp), 0.0);
+}
+
+#[test]
+fn different_precisions_make_different_views() {
+    // the pair (q1, q2) must produce genuinely different "views" of the
+    // same input — otherwise the consistency loss would be degenerate
+    let (mut enc, x) = encoder_and_input();
+    let c6 = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(6)));
+    let c12 = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(12)));
+    let z6 = enc.forward(&x, &c6).unwrap().projection;
+    let z12 = enc.forward(&x, &c12).unwrap().projection;
+    assert!(z6.sub(&z12).unwrap().norm() > 1e-5);
+}
+
+#[test]
+fn quantized_views_stay_correlated_with_fp() {
+    // the augmentation must perturb, not destroy: cosine similarity of
+    // quantized and FP projections stays high even at 4 bits
+    let (mut enc, x) = encoder_and_input();
+    let fp = enc.forward(&x, &ForwardCtx::eval()).unwrap().projection;
+    let ctx = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(4)));
+    let q = enc.forward(&x, &ctx).unwrap().projection;
+    let cos = fp.dot(&q).unwrap() / (fp.norm() * q.norm()).max(1e-9);
+    assert!(cos > 0.5, "4-bit view should stay correlated: cos {cos}");
+}
+
+#[test]
+fn weight_noise_behaves_like_quantization_noise() {
+    // the Noise extension must share the key properties: monotone in
+    // strength, deterministic per seed, distinct across seeds
+    let (mut enc, x) = encoder_and_input();
+    let fp = enc.forward(&x, &ForwardCtx::eval()).unwrap().projection;
+    let d_small = {
+        let ctx = ForwardCtx::eval().with_weight_noise(0.01, 5);
+        enc.forward(&x, &ctx).unwrap().projection.sub(&fp).unwrap().norm()
+    };
+    let d_large = {
+        let ctx = ForwardCtx::eval().with_weight_noise(0.2, 5);
+        enc.forward(&x, &ctx).unwrap().projection.sub(&fp).unwrap().norm()
+    };
+    assert!(d_large > d_small * 2.0, "{d_large} vs {d_small}");
+
+    let a = enc.forward(&x, &ForwardCtx::eval().with_weight_noise(0.1, 5)).unwrap().projection;
+    let b = enc.forward(&x, &ForwardCtx::eval().with_weight_noise(0.1, 5)).unwrap().projection;
+    let c = enc.forward(&x, &ForwardCtx::eval().with_weight_noise(0.1, 6)).unwrap().projection;
+    assert_eq!(a, b, "same seed, same view");
+    assert_ne!(a, c, "different seed, different view");
+}
