@@ -1,8 +1,8 @@
 //! Augmentation pipeline throughput: per-op and full two-view cost.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cq_data::{AugmentConfig, AugmentPipeline, Dataset, DatasetConfig, TwoViewLoader};
 use cq_tensor::Tensor;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -1,9 +1,9 @@
 //! Core kernel throughput: matmul variants, dense conv forward/backward
 //! and depthwise conv — the compute substrate under every experiment.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cq_nn::{Conv2d, DepthwiseConv2d, ForwardCtx, Layer, ParamSet};
 use cq_tensor::{Conv2dSpec, Tensor};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 
 fn bench_matmul(c: &mut Criterion) {
@@ -11,26 +11,43 @@ fn bench_matmul(c: &mut Criterion) {
     let a = Tensor::randn(&[128, 128], 0.0, 1.0, &mut rng);
     let b = Tensor::randn(&[128, 128], 0.0, 1.0, &mut rng);
     let mut g = c.benchmark_group("matmul_128");
-    g.bench_function("nn", |bch| bch.iter(|| black_box(&a).matmul(black_box(&b)).unwrap()));
-    g.bench_function("nt", |bch| bch.iter(|| black_box(&a).matmul_nt(black_box(&b)).unwrap()));
-    g.bench_function("tn", |bch| bch.iter(|| black_box(&a).matmul_tn(black_box(&b)).unwrap()));
+    g.bench_function("nn", |bch| {
+        bch.iter(|| black_box(&a).matmul(black_box(&b)).unwrap())
+    });
+    g.bench_function("nt", |bch| {
+        bch.iter(|| black_box(&a).matmul_nt(black_box(&b)).unwrap())
+    });
+    g.bench_function("tn", |bch| {
+        bch.iter(|| black_box(&a).matmul_tn(black_box(&b)).unwrap())
+    });
     g.finish();
 }
 
 fn bench_conv(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let mut ps = ParamSet::new();
-    let mut conv = Conv2d::new(&mut ps, "c", 16, 16, Conv2dSpec::new(3, 1, 1), false, &mut rng);
+    let mut conv = Conv2d::new(
+        &mut ps,
+        "c",
+        16,
+        16,
+        Conv2dSpec::new(3, 1, 1),
+        false,
+        &mut rng,
+    );
     let x = Tensor::randn(&[16, 16, 16, 16], 0.0, 1.0, &mut rng);
     let ctx = ForwardCtx::train();
     let mut g = c.benchmark_group("conv3x3_16c_16x16_b16");
-    g.bench_function("forward", |b| b.iter(|| conv.forward(&ps, black_box(&x), &ctx).unwrap()));
+    g.bench_function("forward", |b| {
+        b.iter(|| conv.forward(&ps, black_box(&x), &ctx).unwrap())
+    });
     let (y, cache) = conv.forward(&ps, &x, &ctx).unwrap();
     let dy = Tensor::ones(y.dims());
     g.bench_function("backward", |b| {
         b.iter(|| {
             let mut gs = ps.zero_grads();
-            conv.backward(&ps, black_box(&cache), black_box(&dy), &mut gs).unwrap()
+            conv.backward(&ps, black_box(&cache), black_box(&dy), &mut gs)
+                .unwrap()
         })
     });
     g.finish();

@@ -1,9 +1,9 @@
 //! NT-Xent loss scaling in batch size (the 2N×2N similarity matrix is the
 //! quadratic term of SimCLR's step cost).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_core::{byol_regression, nt_xent};
 use cq_tensor::Tensor;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 
 fn bench_losses(c: &mut Criterion) {

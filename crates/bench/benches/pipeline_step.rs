@@ -2,11 +2,11 @@
 //! the compute overhead of the method itself (CQ-A ≈ baseline; CQ-B/CQ-C
 //! roughly double the forwards per step).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_core::{Pipeline, PretrainConfig, SimclrTrainer};
 use cq_data::{AugmentConfig, AugmentPipeline, Dataset, DatasetConfig, TwoViewLoader};
 use cq_models::{Arch, Encoder, EncoderConfig};
 use cq_quant::PrecisionSet;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_steps(c: &mut Criterion) {
     let (train, _) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(64, 16));
@@ -16,18 +16,29 @@ fn bench_steps(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("simclr_step_r18w4_b32");
     g.sample_size(10);
-    for pipeline in [Pipeline::Baseline, Pipeline::CqA, Pipeline::CqB, Pipeline::CqC, Pipeline::CqQuant] {
-        let enc = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 4).with_proj(32, 16), 0).unwrap();
+    for pipeline in [
+        Pipeline::Baseline,
+        Pipeline::CqA,
+        Pipeline::CqB,
+        Pipeline::CqC,
+        Pipeline::CqQuant,
+    ] {
+        let enc =
+            Encoder::new(&EncoderConfig::new(Arch::ResNet18, 4).with_proj(32, 16), 0).unwrap();
         let cfg = PretrainConfig {
             pipeline,
-            precision_set: pipeline.needs_precisions().then(|| PrecisionSet::range(6, 16).unwrap()),
+            precision_set: pipeline
+                .needs_precisions()
+                .then(|| PrecisionSet::range(6, 16).unwrap()),
             batch_size: 32,
             ..Default::default()
         };
         let mut trainer = SimclrTrainer::new(enc, cfg).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(pipeline.name()), &pipeline, |b, _| {
-            b.iter(|| trainer.step(black_box(&batch), 0.01).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(pipeline.name()),
+            &pipeline,
+            |b, _| b.iter(|| trainer.step(black_box(&batch), 0.01).unwrap()),
+        );
     }
     g.finish();
 }

@@ -1,9 +1,9 @@
 //! Throughput of the Eq. 10 linear quantizer across bit-widths and
 //! rounding modes — the per-forward overhead Contrastive Quant adds.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_quant::{fake_quant, Precision, QuantMode};
 use cq_tensor::Tensor;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 
 fn bench_quantizer(c: &mut Criterion) {

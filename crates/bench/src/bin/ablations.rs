@@ -11,7 +11,9 @@
 //! All runs share the Table 4 protocol on ResNet-18 / CIFAR-like and reuse
 //! its encoder cache where applicable.
 
-use cq_bench::{finetune_grid, fmt_acc, linear_probe, pretrain_simclr_cached, Protocol, Regime, Scale};
+use cq_bench::{
+    finetune_grid, fmt_acc, linear_probe, pretrain_simclr_cached, Protocol, Regime, Scale,
+};
 use cq_core::{Pipeline, PrecisionSampling, PretrainConfig, SimclrTrainer};
 use cq_eval::Table;
 use cq_models::{Arch, Encoder};
@@ -21,7 +23,11 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::CifarLike, scale);
     let (train, test) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
     let pset = PrecisionSet::range(6, 16).expect("valid");
 
     let run_custom = |cfg: PretrainConfig| -> Encoder {
@@ -36,7 +42,14 @@ fn main() {
     // ------------------------------------------------------------------
     let mut t1 = Table::new(
         "Ablation: model-side perturbation kind (ResNet-18, CIFAR-like)",
-        &["Method", "FP 10%", "FP 1%", "4-bit 10%", "4-bit 1%", "Linear"],
+        &[
+            "Method",
+            "FP 10%",
+            "FP 1%",
+            "4-bit 10%",
+            "4-bit 1%",
+            "Linear",
+        ],
     );
     // cached baseline + CQ-C rows
     for (name, pipeline) in [("SimCLR", Pipeline::Baseline), ("CQ-C", Pipeline::CqC)] {
@@ -88,7 +101,10 @@ fn main() {
         "Ablation: quantizer rounding mode (CQ-C, ResNet-18)",
         &["Mode", "FP 10%", "FP 1%", "Linear"],
     );
-    for (name, mode) in [("Round (default)", QuantMode::Round), ("Floor (literal Eq. 10)", QuantMode::Floor)] {
+    for (name, mode) in [
+        ("Round (default)", QuantMode::Round),
+        ("Floor (literal Eq. 10)", QuantMode::Floor),
+    ] {
         eprintln!("  [train] mode {name}");
         let mut enc = run_custom(PretrainConfig {
             quant_mode: mode,
@@ -96,7 +112,12 @@ fn main() {
         });
         let grid = finetune_grid(&enc, &train, &test, &proto).expect("ft");
         let lin = linear_probe(&mut enc, &train, &test, &proto).expect("linear");
-        t2.row_owned(vec![name.into(), fmt_acc(grid.fp10), fmt_acc(grid.fp1), fmt_acc(lin)]);
+        t2.row_owned(vec![
+            name.into(),
+            fmt_acc(grid.fp10),
+            fmt_acc(grid.fp1),
+            fmt_acc(lin),
+        ]);
     }
     t2.print();
 
@@ -107,7 +128,10 @@ fn main() {
         "Ablation: precision-pair sampling (CQ-C, ResNet-18)",
         &["Sampling", "FP 10%", "FP 1%", "Linear"],
     );
-    for (name, sampling) in [("Uniform (paper)", PrecisionSampling::Uniform), ("Cyclic (CPT-style)", PrecisionSampling::Cyclic)] {
+    for (name, sampling) in [
+        ("Uniform (paper)", PrecisionSampling::Uniform),
+        ("Cyclic (CPT-style)", PrecisionSampling::Cyclic),
+    ] {
         eprintln!("  [train] sampling {name}");
         let mut enc = run_custom(PretrainConfig {
             sampling,
@@ -115,7 +139,12 @@ fn main() {
         });
         let grid = finetune_grid(&enc, &train, &test, &proto).expect("ft");
         let lin = linear_probe(&mut enc, &train, &test, &proto).expect("linear");
-        t3.row_owned(vec![name.into(), fmt_acc(grid.fp10), fmt_acc(grid.fp1), fmt_acc(lin)]);
+        t3.row_owned(vec![
+            name.into(),
+            fmt_acc(grid.fp10),
+            fmt_acc(grid.fp1),
+            fmt_acc(lin),
+        ]);
     }
     t3.print();
 }

@@ -17,29 +17,58 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::CifarLike, scale);
     let (train, test) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
 
     let mut table = Table::new(
         "Figure 2: representation separability (t-SNE embedding metrics)",
-        &["Network", "Method", "kNN acc (features)", "kNN acc (t-SNE 2-D)", "Separability ratio"],
+        &[
+            "Network",
+            "Method",
+            "kNN acc (features)",
+            "kNN acc (t-SNE 2-D)",
+            "Separability ratio",
+        ],
     );
     for (arch, at) in [(Arch::ResNet18, "r18"), (Arch::ResNet34, "r34")] {
         for (name, pipeline, pset) in [
             ("SimCLR", Pipeline::Baseline, None),
-            ("CQ-C", Pipeline::CqC, Some(PrecisionSet::range(6, 16).expect("valid"))),
+            (
+                "CQ-C",
+                Pipeline::CqC,
+                Some(PrecisionSet::range(6, 16).expect("valid")),
+            ),
         ] {
             let tag = format!("ci-{at}-{}-{scale_tag}", name.to_lowercase());
             let (mut enc, _) = pretrain_simclr_cached(&tag, arch, pipeline, pset, &proto, &train)
                 .expect("pretraining failed");
             let (feats, labels) = extract_features(&mut enc, &test, 64).expect("features");
-            let emb = tsne(&feats, &TsneConfig { iterations: 400, perplexity: 12.0, lr: 50.0, ..Default::default() });
+            let emb = tsne(
+                &feats,
+                &TsneConfig {
+                    iterations: 400,
+                    perplexity: 12.0,
+                    lr: 50.0,
+                    ..Default::default()
+                },
+            );
 
             // dump embedding CSV: x,y,label
             let fname = format!("figure2_{at}_{}.csv", name.to_lowercase().replace('-', ""));
             let mut f = std::fs::File::create(&fname).expect("csv");
             writeln!(f, "x,y,label").unwrap();
-            for i in 0..emb.dims()[0] {
-                writeln!(f, "{},{},{}", emb.as_slice()[i * 2], emb.as_slice()[i * 2 + 1], labels[i]).unwrap();
+            for (i, &lab) in labels.iter().enumerate() {
+                writeln!(
+                    f,
+                    "{},{},{}",
+                    emb.as_slice()[i * 2],
+                    emb.as_slice()[i * 2 + 1],
+                    lab
+                )
+                .unwrap();
             }
 
             table.row_owned(vec![

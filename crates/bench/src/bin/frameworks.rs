@@ -4,7 +4,9 @@
 //! from the paper's ref 12) — linear evaluation on the CIFAR-like
 //! config, ResNet-18.
 
-use cq_bench::{fmt_acc, linear_probe, pretrain_byol_cached, pretrain_simclr_cached, Protocol, Regime, Scale};
+use cq_bench::{
+    fmt_acc, linear_probe, pretrain_byol_cached, pretrain_simclr_cached, Protocol, Regime, Scale,
+};
 use cq_core::{Pipeline, SimsiamTrainer};
 use cq_eval::Table;
 use cq_models::{Arch, Encoder};
@@ -14,7 +16,11 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::CifarLike, scale);
     let (train, test) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
     let pset = PrecisionSet::range(6, 16).expect("valid");
 
     let mut table = Table::new(
@@ -85,8 +91,10 @@ fn main() {
     {
         let run = |pipeline: Pipeline| -> Encoder {
             eprintln!("  [train] simsiam {pipeline}");
-            let enc = Encoder::new(&proto.byol_encoder_cfg(Arch::ResNet18), proto.seed).expect("encoder");
-            let cfg = proto.pretrain_cfg(pipeline, pipeline.needs_precisions().then(|| pset.clone()));
+            let enc =
+                Encoder::new(&proto.byol_encoder_cfg(Arch::ResNet18), proto.seed).expect("encoder");
+            let cfg =
+                proto.pretrain_cfg(pipeline, pipeline.needs_precisions().then(|| pset.clone()));
             let mut t = SimsiamTrainer::new(enc, cfg).expect("trainer");
             t.train(&train).expect("training");
             t.into_encoder()

@@ -24,12 +24,21 @@ fn main() {
     });
     println!("checkpoint : {path}");
     println!("encoder    : {enc:?}");
-    println!("parameters : {} tensors, {} scalars", enc.params().len(), enc.num_params());
+    println!(
+        "parameters : {} tensors, {} scalars",
+        enc.params().len(),
+        enc.num_params()
+    );
     let mut total = 0usize;
     for (_, name, t) in enc.params().iter() {
         total += t.len();
-        println!("  {:<28} {:>10?} | {:>8} | rms {:.4}", name, t.dims(), t.len(),
-                 (t.sq_norm() / t.len().max(1) as f32).sqrt());
+        println!(
+            "  {:<28} {:>10?} | {:>8} | rms {:.4}",
+            name,
+            t.dims(),
+            t.len(),
+            (t.sq_norm() / t.len().max(1) as f32).sqrt()
+        );
     }
     println!("total scalars: {total}");
     // probe with a deterministic input

@@ -15,11 +15,20 @@ fn main() {
     let (train, test) = proto.datasets();
     for (name, pipeline, pset) in [
         ("SimCLR", Pipeline::Baseline, None),
-        ("CQ-A", Pipeline::CqA, Some(PrecisionSet::range(6, 16).unwrap())),
-        ("CQ-C", Pipeline::CqC, Some(PrecisionSet::range(6, 16).unwrap())),
+        (
+            "CQ-A",
+            Pipeline::CqA,
+            Some(PrecisionSet::range(6, 16).unwrap()),
+        ),
+        (
+            "CQ-C",
+            Pipeline::CqC,
+            Some(PrecisionSet::range(6, 16).unwrap()),
+        ),
     ] {
         let t0 = Instant::now();
-        let (mut enc, expl) = pretrain_simclr(Arch::ResNet18, pipeline, pset, &proto, &train).unwrap();
+        let (mut enc, expl) =
+            pretrain_simclr(Arch::ResNet18, pipeline, pset, &proto, &train).unwrap();
         let t_pre = t0.elapsed().as_secs_f32();
         let t1 = Instant::now();
         let grid = finetune_grid(&enc, &train, &test, &proto).unwrap();

@@ -3,7 +3,9 @@
 //! Complements Table 8's observation that more diverse precision sets
 //! help.
 
-use cq_bench::{finetune_grid, fmt_acc, linear_probe, pretrain_simclr_cached, Protocol, Regime, Scale};
+use cq_bench::{
+    finetune_grid, fmt_acc, linear_probe, pretrain_simclr_cached, Protocol, Regime, Scale,
+};
 use cq_core::Pipeline;
 use cq_eval::Table;
 use cq_models::Arch;
@@ -13,11 +15,23 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::CifarLike, scale);
     let (train, test) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
 
     let mut table = Table::new(
         "Precision-set sweep: CQ-C on ResNet-18 (CIFAR-like)",
-        &["Precision Set", "Diversity", "FP 10%", "FP 1%", "4-bit 10%", "4-bit 1%", "Linear"],
+        &[
+            "Precision Set",
+            "Diversity",
+            "FP 10%",
+            "FP 1%",
+            "4-bit 10%",
+            "4-bit 1%",
+            "Linear",
+        ],
     );
     for (lo, hi) in [(4u8, 16u8), (6, 16), (8, 16)] {
         let pset = PrecisionSet::range(lo, hi).expect("valid");

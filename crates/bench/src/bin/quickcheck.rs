@@ -6,7 +6,9 @@
 //! cargo run --release -p cq-bench --bin quickcheck
 //! ```
 
-use cq_bench::{finetune_grid, linear_probe, pretrain_byol, pretrain_simclr, Protocol, Regime, Scale};
+use cq_bench::{
+    finetune_grid, linear_probe, pretrain_byol, pretrain_simclr, Protocol, Regime, Scale,
+};
 use cq_core::{extract_features, Pipeline};
 use cq_detect::{train_detector, DetDataset, DetectionConfig, DetectorConfig};
 use cq_eval::{knn_accuracy, separability_ratio, tsne, TsneConfig};
@@ -37,7 +39,10 @@ fn main() {
         let pset_arg = pipeline.needs_precisions().then(|| pset.clone());
         let res = pretrain_simclr(Arch::ResNet18, pipeline, pset_arg, &proto, &train)
             .and_then(|(enc, _)| finetune_grid(&enc, &train, &test, &proto));
-        check(&format!("simclr pipeline {pipeline}"), res.map(|g| g.fp10.is_finite()).unwrap_or(false));
+        check(
+            &format!("simclr pipeline {pipeline}"),
+            res.map(|g| g.fp10.is_finite()).unwrap_or(false),
+        );
     }
     // extensions
     for pipeline in Pipeline::extensions() {
@@ -48,20 +53,46 @@ fn main() {
     // T2/T5-style linear eval.
     {
         let (mut enc, _) =
-            pretrain_simclr(Arch::ResNet18, Pipeline::Baseline, None, &proto, &train).expect("pretrain");
+            pretrain_simclr(Arch::ResNet18, Pipeline::Baseline, None, &proto, &train)
+                .expect("pretrain");
         let lin = linear_probe(&mut enc, &train, &test, &proto);
-        check("linear evaluation", lin.map(|a| (0.0..=100.0).contains(&a)).unwrap_or(false));
+        check(
+            "linear evaluation",
+            lin.map(|a| (0.0..=100.0).contains(&a)).unwrap_or(false),
+        );
 
         // T3-style detection transfer.
         let (dtr, dte) = DetDataset::generate(&DetectionConfig::default().with_sizes(24, 8));
-        let det = train_detector(&enc, &dtr, &dte, &DetectorConfig { epochs: 1, batch_size: 8, ..Default::default() });
-        check("detection transfer", det.map(|m| m.ap.is_finite()).unwrap_or(false));
+        let det = train_detector(
+            &enc,
+            &dtr,
+            &dte,
+            &DetectorConfig {
+                epochs: 1,
+                batch_size: 8,
+                ..Default::default()
+            },
+        );
+        check(
+            "detection transfer",
+            det.map(|m| m.ap.is_finite()).unwrap_or(false),
+        );
 
         // F2-style embedding.
         let (feats, labels) = extract_features(&mut enc, &test, 32).expect("features");
-        let emb = tsne(&feats, &TsneConfig { iterations: 50, ..Default::default() });
-        check("t-SNE + metrics", emb.is_finite() && knn_accuracy(&emb, &labels, 3) >= 0.0
-            && separability_ratio(&feats, &labels) >= 0.0);
+        let emb = tsne(
+            &feats,
+            &TsneConfig {
+                iterations: 50,
+                ..Default::default()
+            },
+        );
+        check(
+            "t-SNE + metrics",
+            emb.is_finite()
+                && knn_accuracy(&emb, &labels, 3) >= 0.0
+                && separability_ratio(&feats, &labels) >= 0.0,
+        );
     }
 
     // T6-style BYOL.
@@ -70,7 +101,10 @@ fn main() {
         check("byol cq-c", res.is_ok());
     }
 
-    println!("quickcheck finished in {:.1}s, {failures} failures", t0.elapsed().as_secs_f32());
+    println!(
+        "quickcheck finished in {:.1}s, {failures} failures",
+        t0.elapsed().as_secs_f32()
+    );
     if failures > 0 {
         std::process::exit(1);
     }

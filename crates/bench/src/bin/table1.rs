@@ -13,18 +13,40 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::ImagenetLike, scale);
     let (train, test) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
 
     let mut table = Table::new(
         "Table 1: Benchmark Contrastive Quant against SimCLR (ImageNet-like, fine-tuning)",
-        &["Network", "Method", "Precision Set", "FP 10%", "FP 1%", "4-bit 10%", "4-bit 1%"],
+        &[
+            "Network",
+            "Method",
+            "Precision Set",
+            "FP 10%",
+            "FP 1%",
+            "4-bit 10%",
+            "4-bit 1%",
+        ],
     );
     for arch in [Arch::ResNet18, Arch::ResNet34] {
         let arch_tag = if arch == Arch::ResNet18 { "r18" } else { "r34" };
         let methods: [(&str, Pipeline, Option<PrecisionSet>, &str); 3] = [
             ("SimCLR", Pipeline::Baseline, None, "-"),
-            ("CQ-A", Pipeline::CqA, Some(PrecisionSet::range(6, 16).expect("valid")), "6-16"),
-            ("CQ-C", Pipeline::CqC, Some(PrecisionSet::range(8, 16).expect("valid")), "8-16"),
+            (
+                "CQ-A",
+                Pipeline::CqA,
+                Some(PrecisionSet::range(6, 16).expect("valid")),
+                "6-16",
+            ),
+            (
+                "CQ-C",
+                Pipeline::CqC,
+                Some(PrecisionSet::range(8, 16).expect("valid")),
+                "8-16",
+            ),
         ];
         for (name, pipeline, pset, pset_name) in methods {
             let tag = format!("in-{arch_tag}-{}-{scale_tag}", name.to_lowercase());

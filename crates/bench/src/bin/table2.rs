@@ -11,7 +11,11 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::ImagenetLike, scale);
     let (train, test) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
 
     let mut table = Table::new(
         "Table 2: Linear evaluation (ImageNet-like)",
@@ -22,8 +26,16 @@ fn main() {
         let mut cells = vec![arch.name().to_string()];
         let methods: [(&str, Pipeline, Option<PrecisionSet>); 3] = [
             ("simclr", Pipeline::Baseline, None),
-            ("cq-c", Pipeline::CqC, Some(PrecisionSet::range(8, 16).expect("valid"))),
-            ("cq-a", Pipeline::CqA, Some(PrecisionSet::range(6, 16).expect("valid"))),
+            (
+                "cq-c",
+                Pipeline::CqC,
+                Some(PrecisionSet::range(8, 16).expect("valid")),
+            ),
+            (
+                "cq-a",
+                Pipeline::CqA,
+                Some(PrecisionSet::range(6, 16).expect("valid")),
+            ),
         ];
         for (name, pipeline, pset) in methods {
             let tag = format!("in-{arch_tag}-{name}-{scale_tag}");

@@ -13,7 +13,11 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::ImagenetLike, scale);
     let (ssl_train, _) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
 
     let det_cfg = match scale {
         Scale::Quick => DetectionConfig::default().with_sizes(256, 96),
@@ -34,8 +38,16 @@ fn main() {
         let arch_tag = if arch == Arch::ResNet18 { "r18" } else { "r34" };
         let methods: [(&str, Pipeline, Option<PrecisionSet>); 3] = [
             ("Vanilla SimCLR", Pipeline::Baseline, None),
-            ("CQ-C", Pipeline::CqC, Some(PrecisionSet::range(8, 16).expect("valid"))),
-            ("CQ-A", Pipeline::CqA, Some(PrecisionSet::range(6, 16).expect("valid"))),
+            (
+                "CQ-C",
+                Pipeline::CqC,
+                Some(PrecisionSet::range(8, 16).expect("valid")),
+            ),
+            (
+                "CQ-A",
+                Pipeline::CqA,
+                Some(PrecisionSet::range(6, 16).expect("valid")),
+            ),
         ];
         for (name, pipeline, pset) in methods {
             let short = match name {

@@ -23,16 +23,31 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::CifarLike, scale);
     let (train, test) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
 
     let mut table = Table::new(
         "Table 4: CQ-C vs SimCLR on six networks (CIFAR-like, fine-tuning)",
-        &["Network", "Method", "FP 10%", "FP 1%", "4-bit 10%", "4-bit 1%"],
+        &[
+            "Network",
+            "Method",
+            "FP 10%",
+            "FP 1%",
+            "4-bit 10%",
+            "4-bit 1%",
+        ],
     );
     for arch in Arch::all() {
         for (name, pipeline, pset) in [
             ("SimCLR", Pipeline::Baseline, None),
-            ("CQ-C", Pipeline::CqC, Some(PrecisionSet::range(6, 16).expect("valid"))),
+            (
+                "CQ-C",
+                Pipeline::CqC,
+                Some(PrecisionSet::range(6, 16).expect("valid")),
+            ),
         ] {
             let tag = format!("ci-{}-{}-{scale_tag}", arch_tag(arch), name.to_lowercase());
             let (enc, _) = pretrain_simclr_cached(&tag, arch, pipeline, pset, &proto, &train)

@@ -22,16 +22,27 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::CifarLike, scale);
     let (train, test) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
 
     let mut header = vec!["Method".to_string()];
     header.extend(Arch::all().iter().map(|a| a.name().to_string()));
     let headers: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table = Table::new("Table 5: Linear evaluation on six networks (CIFAR-like)", &headers);
+    let mut table = Table::new(
+        "Table 5: Linear evaluation on six networks (CIFAR-like)",
+        &headers,
+    );
 
     for (name, pipeline, pset) in [
         ("SimCLR", Pipeline::Baseline, None),
-        ("CQ-C", Pipeline::CqC, Some(PrecisionSet::range(6, 16).expect("valid"))),
+        (
+            "CQ-C",
+            Pipeline::CqC,
+            Some(PrecisionSet::range(6, 16).expect("valid")),
+        ),
     ] {
         let mut cells = vec![name.to_string()];
         for arch in Arch::all() {

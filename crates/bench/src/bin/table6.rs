@@ -11,16 +11,35 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::CifarLike, scale);
     let (train, test) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
 
     let mut table = Table::new(
         "Table 6: CQ-C vs BYOL (CIFAR-like, fine-tuning, precision set 6-16)",
-        &["Network", "Method", "FP 10%", "FP 1%", "4-bit 10%", "4-bit 1%"],
+        &[
+            "Network",
+            "Method",
+            "FP 10%",
+            "FP 1%",
+            "4-bit 10%",
+            "4-bit 1%",
+        ],
     );
-    for (arch, at) in [(Arch::ResNet18, "r18"), (Arch::ResNet34, "r34"), (Arch::MobileNetV2, "mnv2")] {
+    for (arch, at) in [
+        (Arch::ResNet18, "r18"),
+        (Arch::ResNet34, "r34"),
+        (Arch::MobileNetV2, "mnv2"),
+    ] {
         for (name, pipeline, pset) in [
             ("BYOL", Pipeline::Baseline, None),
-            ("CQ-C", Pipeline::CqC, Some(PrecisionSet::range(6, 16).expect("valid"))),
+            (
+                "CQ-C",
+                Pipeline::CqC,
+                Some(PrecisionSet::range(6, 16).expect("valid")),
+            ),
         ] {
             let tag = format!("byol-{at}-{}-{scale_tag}", name.to_lowercase());
             let (enc, _) = pretrain_byol_cached(&tag, arch, pipeline, pset, &proto, &train)

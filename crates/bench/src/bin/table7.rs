@@ -13,14 +13,30 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::CifarLike, scale);
     let (train, test) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
     let pset = PrecisionSet::range(6, 16).expect("valid");
 
     let mut table = Table::new(
         "Table 7: CQ variant ablation (CIFAR-like, precision set 6-16)",
-        &["Network", "Method", "FP 10%", "FP 1%", "4-bit 10%", "4-bit 1%", "Exploded steps"],
+        &[
+            "Network",
+            "Method",
+            "FP 10%",
+            "FP 1%",
+            "4-bit 10%",
+            "4-bit 1%",
+            "Exploded steps",
+        ],
     );
-    for (arch, at) in [(Arch::ResNet34, "r34"), (Arch::ResNet74, "r74"), (Arch::MobileNetV2, "mnv2")] {
+    for (arch, at) in [
+        (Arch::ResNet34, "r34"),
+        (Arch::ResNet74, "r74"),
+        (Arch::MobileNetV2, "mnv2"),
+    ] {
         for (name, pipeline) in [
             ("SimCLR", Pipeline::Baseline),
             ("CQ-A", Pipeline::CqA),
@@ -30,8 +46,9 @@ fn main() {
             // SimCLR and CQ-C share tags (and caches) with Table 4.
             let tag = format!("ci-{at}-{}-{scale_tag}", name.to_lowercase());
             let pset_arg = (pipeline != Pipeline::Baseline).then(|| pset.clone());
-            let (enc, expl) = pretrain_simclr_cached(&tag, arch, pipeline, pset_arg, &proto, &train)
-                .expect("pretraining failed");
+            let (enc, expl) =
+                pretrain_simclr_cached(&tag, arch, pipeline, pset_arg, &proto, &train)
+                    .expect("pretraining failed");
             let grid = finetune_grid(&enc, &train, &test, &proto).expect("fine-tuning failed");
             table.row_owned(vec![
                 arch.name().into(),
@@ -42,7 +59,10 @@ fn main() {
                 fmt_acc(grid.q1),
                 format!("{:.1}%", 100.0 * expl),
             ]);
-            eprintln!("  {arch} {name}: done (explosion rate {:.1}%)", 100.0 * expl);
+            eprintln!(
+                "  {arch} {name}: done (explosion rate {:.1}%)",
+                100.0 * expl
+            );
         }
     }
     table.print();

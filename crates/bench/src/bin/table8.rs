@@ -13,11 +13,21 @@ fn main() {
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::CifarLike, scale);
     let (train, test) = proto.datasets();
-    let scale_tag = if scale == Scale::Paper { "paper" } else { "quick" };
+    let scale_tag = if scale == Scale::Paper {
+        "paper"
+    } else {
+        "quick"
+    };
 
     let mut table = Table::new(
         "Table 8: CQ-Quant (quantization-only augmentation) vs no SSL training",
-        &["Network", "Precision Set", "FT FP 1%", "FT FP 10%", "Linear eval"],
+        &[
+            "Network",
+            "Precision Set",
+            "FT FP 1%",
+            "FT FP 10%",
+            "Linear eval",
+        ],
     );
     let ft = |enc: &Encoder, fraction: f32| -> f32 {
         let cfg = FinetuneConfig {
@@ -30,22 +40,18 @@ fn main() {
             weight_decay: 1e-4,
             seed: proto.seed ^ 0xF1,
         };
-        finetune(enc, &train, &test, &cfg).expect("fine-tuning failed").test_acc
+        finetune(enc, &train, &test, &cfg)
+            .expect("fine-tuning failed")
+            .test_acc
     };
 
     for (arch, at) in [(Arch::ResNet74, "r74"), (Arch::ResNet110, "r110")] {
         for (lo, hi) in [(6u8, 16u8), (8, 16)] {
             let pset = PrecisionSet::range(lo, hi).expect("valid");
             let tag = format!("cqq-{at}-{lo}-{hi}-{scale_tag}");
-            let (mut enc, _) = pretrain_simclr_cached(
-                &tag,
-                arch,
-                Pipeline::CqQuant,
-                Some(pset),
-                &proto,
-                &train,
-            )
-            .expect("pretraining failed");
+            let (mut enc, _) =
+                pretrain_simclr_cached(&tag, arch, Pipeline::CqQuant, Some(pset), &proto, &train)
+                    .expect("pretraining failed");
             let lin = linear_probe(&mut enc, &train, &test, &proto).expect("linear eval failed");
             table.row_owned(vec![
                 arch.name().into(),

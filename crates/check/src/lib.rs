@@ -1,0 +1,44 @@
+//! # cq-check
+//!
+//! Static analyzer for the contrastive-quant training stack. Three passes
+//! (see DESIGN.md §"Verification & static analysis"):
+//!
+//! 1. **Config pass** ([`configs`]) — symbolically interprets every
+//!    built-in table/figure configuration (all scales × regimes ×
+//!    architectures × pipelines) through the [`cq_nn::spec::Plan`] IR,
+//!    proving shapes, parameter counts and FLOPs are well-defined without
+//!    allocating a single tensor.
+//! 2. **Negative pass** ([`configs::negative_checks`]) — asserts that
+//!    deliberately broken configurations (projector input dim off by one,
+//!    1-bit quantizer, batch size 1, …) are *rejected* with
+//!    layer-attributed errors, guarding the validators themselves against
+//!    rot.
+//! 3. **Lint pass** ([`lint`]) — scans the workspace sources, denying
+//!    `unwrap`/`expect` in library code (escape hatch: a
+//!    `cq-check: allow — <reason>` marker on the same or preceding line)
+//!    and requiring every `Layer` impl to carry gradcheck coverage.
+//!
+//! The `cq-check` binary runs all three and exits non-zero on any
+//! violation, making it usable as a CI gate.
+
+#![deny(missing_docs)]
+
+pub mod configs;
+pub mod lint;
+
+/// One finding of any pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Pass that produced the finding (`configs`, `negative`, `lint`).
+    pub pass: &'static str,
+    /// Where: a config label or `file:line`.
+    pub location: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.pass, self.location, self.message)
+    }
+}

@@ -1,0 +1,247 @@
+//! Lint pass: source-level checks over the workspace's library crates.
+//!
+//! Two lints, both tuned to this repository's layout (test modules
+//! trail their file behind a `#[cfg(test)]` line; bench drivers live in
+//! `src/bin/`):
+//!
+//! - **no-unwrap**: library code must not call `unwrap`/`expect` —
+//!   errors are propagated as `Result`s. A justified site carries a
+//!   `cq-check: allow — <reason>` marker on the same or preceding line.
+//! - **gradcheck-coverage**: every file defining a non-test
+//!   `impl Layer for T` must also invoke the `check_layer` gradcheck
+//!   family, so no layer's backward pass ships unverified. A
+//!   machine-readable gradcheck log (`CQ_GRADCHECK_LOG` output,
+//!   `gradcheck layer=<kind> …` lines) can vouch for types checked from
+//!   another file.
+
+use std::path::{Path, PathBuf};
+
+use crate::Violation;
+
+/// Marker that exempts an `unwrap`/`expect` site, on its own line or the
+/// line above.
+pub const ALLOW_MARKER: &str = "cq-check: allow";
+
+// Spelled via concat so this file's own pattern definitions don't trip
+// the scanner when cq-check lints itself.
+const UNWRAP_PAT: &str = concat!(".unw", "rap()");
+const EXPECT_PAT: &str = concat!(".exp", "ect(");
+
+/// Recursively collects `.rs` files under `dir`, skipping `src/bin`
+/// directories (executables may panic on bad CLI input).
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// All library sources of the workspace at `root`: `crates/*/src/**/*.rs`
+/// minus `src/bin/**`.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates) else {
+        return files;
+    };
+    let mut dirs: Vec<_> = entries.flatten().map(|e| e.path().join("src")).collect();
+    dirs.sort();
+    for d in dirs {
+        rust_sources(&d, &mut files);
+    }
+    files
+}
+
+/// Index of the first `#[cfg(test)]` line, or `len` when absent. In this
+/// codebase test modules always trail the file, so everything after that
+/// line is test code.
+fn test_boundary(lines: &[&str]) -> usize {
+    lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len())
+}
+
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") // covers `///` and `//!` too
+}
+
+/// Applies the no-unwrap lint to one file's contents.
+fn lint_unwrap_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let boundary = test_boundary(&lines);
+    for (i, line) in lines.iter().enumerate().take(boundary) {
+        if is_comment(line) {
+            continue;
+        }
+        let has_site = line.contains(UNWRAP_PAT) || line.contains(EXPECT_PAT);
+        if !has_site {
+            continue;
+        }
+        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
+        if !allowed {
+            violations.push(Violation {
+                pass: "lint",
+                location: format!("{rel}:{}", i + 1),
+                message: format!(
+                    "unwrap/expect in library code; propagate the error or add \
+                     `{ALLOW_MARKER} — <reason>`"
+                ),
+            });
+        }
+    }
+}
+
+/// Non-test `impl Layer for T` type names declared in one file.
+fn layer_impls_in(text: &str) -> Vec<String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let boundary = test_boundary(&lines);
+    lines[..boundary]
+        .iter()
+        .filter_map(|l| {
+            let t = l.trim_start();
+            let rest = t.strip_prefix("impl Layer for ")?;
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            (!name.is_empty()).then_some(name)
+        })
+        .collect()
+}
+
+/// Layer kinds vouched for by a `CQ_GRADCHECK_LOG` file (empty when the
+/// env var is unset or the file is unreadable).
+fn logged_layers() -> Vec<String> {
+    let Ok(path) = std::env::var("CQ_GRADCHECK_LOG") else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| l.strip_prefix("gradcheck layer="))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Runs both source lints over the workspace at `root`.
+pub fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let logged = logged_layers();
+    for path in workspace_sources(root) {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .display()
+            .to_string();
+        lint_unwrap_in(&rel, &text, &mut violations);
+        let impls = layer_impls_in(&text);
+        if !impls.is_empty() && !text.contains("check_layer") {
+            for name in impls {
+                if logged.iter().any(|l| l == &name) {
+                    continue; // a gradcheck elsewhere logged this kind
+                }
+                violations.push(Violation {
+                    pass: "lint",
+                    location: rel.clone(),
+                    message: format!(
+                        "`impl Layer for {name}` has no gradcheck coverage in this file \
+                         (add a check_layer test or log it via CQ_GRADCHECK_LOG)"
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// The workspace root this binary was compiled in (two levels above the
+/// crate manifest).
+pub fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bad_line() -> String {
+        format!("    let v = thing{};", UNWRAP_PAT)
+    }
+
+    #[test]
+    fn flags_unmarked_unwrap() {
+        let text = format!("fn f() {{\n{}\n}}\n", bad_line());
+        let mut v = Vec::new();
+        lint_unwrap_in("x.rs", &text, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].location, "x.rs:2");
+    }
+
+    #[test]
+    fn marker_on_same_or_previous_line_allows() {
+        let same = format!("fn f() {{\n{} // {} — fine\n}}\n", bad_line(), ALLOW_MARKER);
+        let prev = format!(
+            "fn f() {{\n// {} — fine\n{}\n}}\n",
+            ALLOW_MARKER,
+            bad_line()
+        );
+        for text in [same, prev] {
+            let mut v = Vec::new();
+            lint_unwrap_in("x.rs", &text, &mut v);
+            assert!(v.is_empty(), "{text}");
+        }
+    }
+
+    #[test]
+    fn test_code_and_comments_are_ignored() {
+        let text = format!(
+            "fn f() {{}}\n// docs may mention {}\n#[cfg(test)]\nmod tests {{\n{}\n}}\n",
+            UNWRAP_PAT,
+            bad_line()
+        );
+        let mut v = Vec::new();
+        lint_unwrap_in("x.rs", &text, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn finds_layer_impls_outside_tests_only() {
+        let text =
+            "impl Layer for Conv9 {\n}\n#[cfg(test)]\nmod t {\nimpl Layer for Fake {\n}\n}\n";
+        assert_eq!(layer_impls_in(text), vec!["Conv9".to_string()]);
+    }
+
+    #[test]
+    fn repo_sources_pass_both_lints() {
+        let violations = lint_workspace(&default_root());
+        assert!(violations.is_empty(), "violations:\n{violations:#?}");
+    }
+
+    #[test]
+    fn workspace_sources_skip_bin_dirs() {
+        let files = workspace_sources(&default_root());
+        assert!(!files.is_empty());
+        assert!(files
+            .iter()
+            .all(|f| !f.components().any(|c| c.as_os_str() == "bin")));
+        assert!(files.iter().any(|f| f.ends_with("crates/nn/src/layer.rs")));
+    }
+}

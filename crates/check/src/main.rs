@@ -1,0 +1,94 @@
+//! `cq-check` — static analysis gate for the contrastive-quant stack.
+//!
+//! Runs three passes (config validation, negative checks, source lints)
+//! and exits non-zero on any violation. Usage:
+//!
+//! ```text
+//! cq-check [--root <workspace>] [--verbose]
+//! ```
+//!
+//! `--verbose` prints a per-config table (feature/projector dims,
+//! parameter counts, FLOPs) for every built-in experiment configuration.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cq_check::{configs, lint};
+
+fn main() -> ExitCode {
+    let mut root = lint::default_root();
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                if let Some(v) = args.next() {
+                    root = PathBuf::from(v);
+                }
+            }
+            "--verbose" | "-v" => verbose = true,
+            other => {
+                eprintln!("cq-check: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+
+    let (reports, mut config_violations) = configs::validate_builtin();
+    println!(
+        "[configs]  {} built-in encoder configs statically sound, {} violations",
+        reports.len(),
+        config_violations.len()
+    );
+    if verbose {
+        println!(
+            "  {:<40} {:>6} {:>6} {:>10} {:>14}",
+            "config", "feat", "out", "params", "flops"
+        );
+        for r in &reports {
+            println!(
+                "  {:<40} {:>6} {:>6} {:>10} {:>14}",
+                r.label, r.feat_dim, r.out_dim, r.params, r.flops
+            );
+        }
+    }
+    violations.append(&mut config_violations);
+
+    let mut negative_violations = configs::negative_checks();
+    println!(
+        "[negative] broken-config rejection checks: {} violations",
+        negative_violations.len()
+    );
+    violations.append(&mut negative_violations);
+
+    let mut lint_violations = lint::lint_workspace(&root);
+    let scanned = lint::workspace_sources(&root).len();
+    println!(
+        "[lint]     scanned {scanned} library sources under {}: {} violations",
+        root.display(),
+        lint_violations.len()
+    );
+    // An empty scan means the root is wrong (typo'd --root, moved tree);
+    // reporting PASS over zero files would make the gate vacuous.
+    if scanned == 0 {
+        violations.push(cq_check::Violation {
+            pass: "lint",
+            location: root.display().to_string(),
+            message: "no library sources found under this root (wrong --root?)".into(),
+        });
+    }
+    violations.append(&mut lint_violations);
+
+    if violations.is_empty() {
+        println!("cq-check: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("cq-check: FAIL ({} violations)", violations.len());
+        ExitCode::FAILURE
+    }
+}

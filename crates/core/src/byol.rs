@@ -41,7 +41,11 @@ pub struct ByolTrainer {
 
 impl std::fmt::Debug for ByolTrainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ByolTrainer(pipeline={}, steps={})", self.cfg.pipeline, self.steps_taken)
+        write!(
+            f,
+            "ByolTrainer(pipeline={}, steps={})",
+            self.cfg.pipeline, self.steps_taken
+        )
     }
 }
 
@@ -85,8 +89,11 @@ impl ByolTrainer {
                 nesterov: false,
             },
         );
-        let loader =
-            TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), cfg.batch_size, cfg.seed ^ 0xB0B0);
+        let loader = TwoViewLoader::new(
+            AugmentPipeline::new(AugmentConfig::simclr()),
+            cfg.batch_size,
+            cfg.seed ^ 0xB0B0,
+        );
         let sample_rng = StdRng::seed_from_u64(cfg.seed);
         Ok(ByolTrainer {
             online,
@@ -148,7 +155,13 @@ impl ByolTrainer {
                 }
                 self.steps_taken += 1;
             }
-            let mean = |v: &[f32]| if v.is_empty() { f32::NAN } else { v.iter().sum::<f32>() / v.len() as f32 };
+            let mean = |v: &[f32]| {
+                if v.is_empty() {
+                    f32::NAN
+                } else {
+                    v.iter().sum::<f32>() / v.len() as f32
+                }
+            };
             self.history.epoch_losses.push(mean(&losses));
             self.history.epoch_grad_norms.push(mean(&norms));
         }
@@ -169,7 +182,7 @@ impl ByolTrainer {
                     .cfg
                     .precision_set
                     .as_ref()
-                    .expect("validated")
+                    .ok_or_else(|| NnError::Param("CQ-C requires a precision set".into()))?
                     .sample_pair(&mut self.rng);
                 // View-consistency at each precision (Eq. 9 terms 1+2).
                 let mut loss = self.branch_loss(batch, Some(q1), &mut gs)?;
@@ -187,7 +200,8 @@ impl ByolTrainer {
             return Ok(None);
         }
         self.opt.step(self.online.params_mut(), &gs, lr)?;
-        self.target.ema_update_from(&self.online, self.cfg.ema_tau)?;
+        self.target
+            .ema_update_from(&self.online, self.cfg.ema_tau)?;
         self.history.steps += 1;
         Ok(Some((loss, norm)))
     }
@@ -201,21 +215,25 @@ impl ByolTrainer {
         gs: &mut cq_nn::GradSet,
     ) -> Result<f32, NnError> {
         let ctx = match q {
-            Some(p) => {
-                ForwardCtx::train().with_quant(QuantConfig::uniform(p).with_mode(self.cfg.quant_mode))
-            }
+            Some(p) => ForwardCtx::train()
+                .with_quant(QuantConfig::uniform(p).with_mode(self.cfg.quant_mode)),
             None => ForwardCtx::train(),
         };
         let mut total = 0.0f32;
         for (va, vb) in [(&batch.view1, &batch.view2), (&batch.view2, &batch.view1)] {
             let online_out = self.online.forward(va, &ctx)?;
-            let (p, pred_cache) = self.predictor.forward(self.online.params(), &online_out.projection, &ctx)?;
+            let (p, pred_cache) =
+                self.predictor
+                    .forward(self.online.params(), &online_out.projection, &ctx)?;
             // stop-gradient: target forward is never backpropagated
             let t = self.target.forward(vb, &ctx)?;
             let pl = byol_regression(&p, &t.projection)?;
             total += pl.loss;
-            let dz = self.predictor.backward(self.online.params(), &pred_cache, &pl.grad_a, gs)?;
-            self.online.backward_projection(&online_out.trace, &dz, gs)?;
+            let dz = self
+                .predictor
+                .backward(self.online.params(), &pred_cache, &pl.grad_a, gs)?;
+            self.online
+                .backward_projection(&online_out.trace, &dz, gs)?;
         }
         Ok(total)
     }
@@ -229,14 +247,18 @@ impl ByolTrainer {
         q2: Precision,
         gs: &mut cq_nn::GradSet,
     ) -> Result<f32, NnError> {
-        let c1 = ForwardCtx::train().with_quant(QuantConfig::uniform(q1).with_mode(self.cfg.quant_mode));
-        let c2 = ForwardCtx::train().with_quant(QuantConfig::uniform(q2).with_mode(self.cfg.quant_mode));
+        let c1 =
+            ForwardCtx::train().with_quant(QuantConfig::uniform(q1).with_mode(self.cfg.quant_mode));
+        let c2 =
+            ForwardCtx::train().with_quant(QuantConfig::uniform(q2).with_mode(self.cfg.quant_mode));
         let o1 = self.online.forward(view, &c1)?;
         let o2 = self.online.forward(view, &c2)?;
         let l12 = byol_regression(&o1.projection, &o2.projection)?;
         let l21 = byol_regression(&o2.projection, &o1.projection)?;
-        self.online.backward_projection(&o1.trace, &l12.grad_a, gs)?;
-        self.online.backward_projection(&o2.trace, &l21.grad_a, gs)?;
+        self.online
+            .backward_projection(&o1.trace, &l12.grad_a, gs)?;
+        self.online
+            .backward_projection(&o2.trace, &l21.grad_a, gs)?;
         Ok(0.5 * (l12.loss + l21.loss))
     }
 }
@@ -249,7 +271,11 @@ mod tests {
     use cq_quant::PrecisionSet;
 
     fn tiny_encoder(seed: u64) -> Encoder {
-        Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8), seed).unwrap()
+        Encoder::new(
+            &EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8),
+            seed,
+        )
+        .unwrap()
     }
 
     fn tiny_dataset() -> Dataset {
@@ -259,7 +285,9 @@ mod tests {
     fn cfg(pipeline: Pipeline) -> PretrainConfig {
         PretrainConfig {
             pipeline,
-            precision_set: pipeline.needs_precisions().then(|| PrecisionSet::range(6, 16).unwrap()),
+            precision_set: pipeline
+                .needs_precisions()
+                .then(|| PrecisionSet::range(6, 16).unwrap()),
             epochs: 1,
             batch_size: 8,
             lr: 0.02,

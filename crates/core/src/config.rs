@@ -29,7 +29,13 @@ pub enum Pipeline {
 impl Pipeline {
     /// The paper's own variants, in presentation order.
     pub fn all() -> [Pipeline; 5] {
-        [Pipeline::Baseline, Pipeline::CqA, Pipeline::CqB, Pipeline::CqC, Pipeline::CqQuant]
+        [
+            Pipeline::Baseline,
+            Pipeline::CqA,
+            Pipeline::CqB,
+            Pipeline::CqC,
+            Pipeline::CqQuant,
+        ]
     }
 
     /// The noise-augmentation extensions (not in the paper's tables).
@@ -39,7 +45,10 @@ impl Pipeline {
 
     /// Whether the pipeline needs a precision set.
     pub fn needs_precisions(&self) -> bool {
-        matches!(self, Pipeline::CqA | Pipeline::CqB | Pipeline::CqC | Pipeline::CqQuant)
+        matches!(
+            self,
+            Pipeline::CqA | Pipeline::CqB | Pipeline::CqC | Pipeline::CqQuant
+        )
     }
 
     /// Whether the pipeline perturbs weights with Gaussian noise.
@@ -151,10 +160,32 @@ impl PretrainConfig {
     /// Returns a description of the inconsistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.pipeline.needs_precisions() && self.precision_set.is_none() {
-            return Err(format!("pipeline {} requires a precision set", self.pipeline));
+            return Err(format!(
+                "pipeline {} requires a precision set",
+                self.pipeline
+            ));
+        }
+        if let Some(set) = &self.precision_set {
+            // PrecisionSet constructors enforce this, but the field is
+            // public-by-clone from deserialized configs — re-check here so
+            // cq-check sees every invariant at one choke point.
+            for &b in set.as_slice() {
+                if !(2..=16).contains(&b) {
+                    return Err(format!(
+                        "precision set contains {b}-bit; the quantizer supports 2..=16 \
+                         (the paper samples 4-16 at the widest)"
+                    ));
+                }
+            }
         }
         if self.batch_size < 2 {
             return Err("batch_size must be >= 2 (NT-Xent needs negatives)".into());
+        }
+        if self.epochs == 0 {
+            return Err("epochs must be positive".into());
+        }
+        if !(self.lr > 0.0 && self.lr.is_finite()) {
+            return Err("lr must be positive and finite".into());
         }
         if self.temperature <= 0.0 {
             return Err("temperature must be positive".into());
@@ -221,7 +252,10 @@ mod tests {
         assert!(!Pipeline::CqC.uses_weight_noise());
         assert_eq!(Pipeline::NoiseC.forwards_per_step(), 4);
         assert_eq!(Pipeline::extensions().len(), 2);
-        let mut cfg = PretrainConfig { pipeline: Pipeline::NoiseC, ..Default::default() };
+        let mut cfg = PretrainConfig {
+            pipeline: Pipeline::NoiseC,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_ok());
         cfg.noise_std = 0.0;
         assert!(cfg.validate().is_err());

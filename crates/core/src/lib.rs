@@ -28,9 +28,9 @@
 
 mod byol;
 mod config;
-mod simsiam;
 mod loss;
 mod simclr;
+mod simsiam;
 
 pub use byol::ByolTrainer;
 pub use config::{Pipeline, PrecisionSampling, PretrainConfig, TrainHistory};

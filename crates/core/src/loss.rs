@@ -4,8 +4,8 @@
 //! instantiation the paper uses per §3.4); [`byol_regression`] is BYOL's
 //! normalized MSE, equal to `2 − 2·cos(p, t)` per pair.
 
-use cq_tensor::Tensor;
 use cq_nn::NnError;
+use cq_tensor::Tensor;
 
 /// A pairwise contrastive loss value plus gradients w.r.t. both inputs.
 #[derive(Debug, Clone)]
@@ -46,7 +46,9 @@ pub fn nt_xent(a: &Tensor, b: &Tensor, temperature: f32) -> Result<PairLoss, NnE
         });
     }
     if temperature <= 0.0 {
-        return Err(NnError::Param(format!("temperature must be positive, got {temperature}")));
+        return Err(NnError::Param(format!(
+            "temperature must be positive, got {temperature}"
+        )));
     }
 
     // Concatenate and normalize: u[i] = z[i] / |z[i]|, rows 0..n from a,
@@ -114,7 +116,11 @@ pub fn nt_xent(a: &Tensor, b: &Tensor, temperature: f32) -> Result<PairLoss, NnE
     }
     let grad_a = Tensor::from_vec(dz[..n * d].to_vec(), &[n, d])?;
     let grad_b = Tensor::from_vec(dz[n * d..].to_vec(), &[n, d])?;
-    Ok(PairLoss { loss, grad_a, grad_b })
+    Ok(PairLoss {
+        loss,
+        grad_a,
+        grad_b,
+    })
 }
 
 /// BYOL's regression loss between online predictions `p` and target

@@ -45,7 +45,11 @@ pub struct SimclrTrainer {
 
 impl std::fmt::Debug for SimclrTrainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SimclrTrainer(pipeline={}, steps={})", self.cfg.pipeline, self.steps_taken)
+        write!(
+            f,
+            "SimclrTrainer(pipeline={}, steps={})",
+            self.cfg.pipeline, self.steps_taken
+        )
     }
 }
 
@@ -65,7 +69,8 @@ impl SimclrTrainer {
         } else {
             AugmentConfig::simclr()
         };
-        let loader = TwoViewLoader::new(AugmentPipeline::new(aug), cfg.batch_size, cfg.seed ^ 0xA5A5);
+        let loader =
+            TwoViewLoader::new(AugmentPipeline::new(aug), cfg.batch_size, cfg.seed ^ 0xA5A5);
         let opt = Sgd::new(
             encoder.params(),
             SgdConfig {
@@ -76,7 +81,15 @@ impl SimclrTrainer {
             },
         );
         let rng = StdRng::seed_from_u64(cfg.seed);
-        Ok(SimclrTrainer { encoder, cfg, opt, loader, rng, history: TrainHistory::default(), steps_taken: 0 })
+        Ok(SimclrTrainer {
+            encoder,
+            cfg,
+            opt,
+            loader,
+            rng,
+            history: TrainHistory::default(),
+            steps_taken: 0,
+        })
     }
 
     /// The encoder being trained.
@@ -122,7 +135,13 @@ impl SimclrTrainer {
                 }
                 self.steps_taken += 1;
             }
-            let mean = |v: &[f32]| if v.is_empty() { f32::NAN } else { v.iter().sum::<f32>() / v.len() as f32 };
+            let mean = |v: &[f32]| {
+                if v.is_empty() {
+                    f32::NAN
+                } else {
+                    v.iter().sum::<f32>() / v.len() as f32
+                }
+            };
             self.history.epoch_losses.push(mean(&losses));
             self.history.epoch_grad_norms.push(mean(&norms));
         }
@@ -144,35 +163,43 @@ impl SimclrTrainer {
                 let o1 = self.encoder.forward(&batch.view1, &ctx)?;
                 let o2 = self.encoder.forward(&batch.view2, &ctx)?;
                 let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
-                self.encoder.backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
-                self.encoder.backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
+                self.encoder
+                    .backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
+                self.encoder
+                    .backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
                 pl.loss
             }
             Pipeline::CqA => {
-                let (q1, q2) = self.sample_pair();
+                let (q1, q2) = self.sample_pair()?;
                 let o1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
                 let o2 = self.encoder.forward(&batch.view2, &self.quant_ctx(q2))?;
                 let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
-                self.encoder.backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
-                self.encoder.backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
+                self.encoder
+                    .backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
+                self.encoder
+                    .backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
                 pl.loss
             }
             Pipeline::CqB => {
-                let (q1, q2) = self.sample_pair();
+                let (q1, q2) = self.sample_pair()?;
                 let f1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
                 let f2 = self.encoder.forward(&batch.view1, &self.quant_ctx(q2))?;
                 let f1p = self.encoder.forward(&batch.view2, &self.quant_ctx(q1))?;
                 let f2p = self.encoder.forward(&batch.view2, &self.quant_ctx(q2))?;
                 let t1 = nt_xent(&f1.projection, &f1p.projection, temp)?;
                 let t2 = nt_xent(&f2.projection, &f2p.projection, temp)?;
-                self.encoder.backward_projection(&f1.trace, &t1.grad_a, &mut gs)?;
-                self.encoder.backward_projection(&f1p.trace, &t1.grad_b, &mut gs)?;
-                self.encoder.backward_projection(&f2.trace, &t2.grad_a, &mut gs)?;
-                self.encoder.backward_projection(&f2p.trace, &t2.grad_b, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f1.trace, &t1.grad_a, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f1p.trace, &t1.grad_b, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f2.trace, &t2.grad_a, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f2p.trace, &t2.grad_b, &mut gs)?;
                 t1.loss + t2.loss
             }
             Pipeline::CqC => {
-                let (q1, q2) = self.sample_pair();
+                let (q1, q2) = self.sample_pair()?;
                 let f1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
                 let f2 = self.encoder.forward(&batch.view1, &self.quant_ctx(q2))?;
                 let f1p = self.encoder.forward(&batch.view2, &self.quant_ctx(q1))?;
@@ -188,21 +215,27 @@ impl SimclrTrainer {
                 let d_f2 = t2.grad_a.add(&t3.grad_b)?;
                 let d_f1p = t1.grad_b.add(&t4.grad_a)?;
                 let d_f2p = t2.grad_b.add(&t4.grad_b)?;
-                self.encoder.backward_projection(&f1.trace, &d_f1, &mut gs)?;
-                self.encoder.backward_projection(&f2.trace, &d_f2, &mut gs)?;
-                self.encoder.backward_projection(&f1p.trace, &d_f1p, &mut gs)?;
-                self.encoder.backward_projection(&f2p.trace, &d_f2p, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f1.trace, &d_f1, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f2.trace, &d_f2, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f1p.trace, &d_f1p, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f2p.trace, &d_f2p, &mut gs)?;
                 t1.loss + t2.loss + t3.loss + t4.loss
             }
             Pipeline::CqQuant => {
                 // No input augmentation (the loader already produced
                 // identical views); quantization is the only view-maker.
-                let (q1, q2) = self.sample_pair();
+                let (q1, q2) = self.sample_pair()?;
                 let f1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
                 let f2 = self.encoder.forward(&batch.view1, &self.quant_ctx(q2))?;
                 let pl = nt_xent(&f1.projection, &f2.projection, temp)?;
-                self.encoder.backward_projection(&f1.trace, &pl.grad_a, &mut gs)?;
-                self.encoder.backward_projection(&f2.trace, &pl.grad_b, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f1.trace, &pl.grad_a, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f2.trace, &pl.grad_b, &mut gs)?;
                 pl.loss
             }
             Pipeline::NoiseA => {
@@ -213,8 +246,10 @@ impl SimclrTrainer {
                 let o1 = self.encoder.forward(&batch.view1, &self.noise_ctx(s1))?;
                 let o2 = self.encoder.forward(&batch.view2, &self.noise_ctx(s2))?;
                 let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
-                self.encoder.backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
-                self.encoder.backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
+                self.encoder
+                    .backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
+                self.encoder
+                    .backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
                 pl.loss
             }
             Pipeline::NoiseC => {
@@ -232,10 +267,14 @@ impl SimclrTrainer {
                 let d_f2 = t2.grad_a.add(&t3.grad_b)?;
                 let d_f1p = t1.grad_b.add(&t4.grad_a)?;
                 let d_f2p = t2.grad_b.add(&t4.grad_b)?;
-                self.encoder.backward_projection(&f1.trace, &d_f1, &mut gs)?;
-                self.encoder.backward_projection(&f2.trace, &d_f2, &mut gs)?;
-                self.encoder.backward_projection(&f1p.trace, &d_f1p, &mut gs)?;
-                self.encoder.backward_projection(&f2p.trace, &d_f2p, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f1.trace, &d_f1, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f2.trace, &d_f2, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f1p.trace, &d_f1p, &mut gs)?;
+                self.encoder
+                    .backward_projection(&f2p.trace, &d_f2p, &mut gs)?;
                 t1.loss + t2.loss + t3.loss + t4.loss
             }
         };
@@ -249,13 +288,14 @@ impl SimclrTrainer {
         Ok(Some((loss, norm)))
     }
 
-    fn sample_pair(&mut self) -> (Precision, Precision) {
-        let set = self
-            .cfg
-            .precision_set
-            .as_ref()
-            .expect("validated: quantized pipeline has a precision set");
-        match self.cfg.sampling {
+    fn sample_pair(&mut self) -> Result<(Precision, Precision), NnError> {
+        let set = self.cfg.precision_set.as_ref().ok_or_else(|| {
+            NnError::Param(format!(
+                "pipeline {} requires a precision set",
+                self.cfg.pipeline
+            ))
+        })?;
+        Ok(match self.cfg.sampling {
             PrecisionSampling::Uniform => set.sample_pair(&mut self.rng),
             PrecisionSampling::Cyclic => {
                 let bits = set.as_slice();
@@ -266,7 +306,7 @@ impl SimclrTrainer {
                     Precision::Bits(bits[(t + n / 2) % n]),
                 )
             }
-        }
+        })
     }
 
     fn quant_ctx(&self, p: Precision) -> ForwardCtx {
@@ -314,7 +354,11 @@ mod tests {
     use cq_quant::PrecisionSet;
 
     fn tiny_encoder(seed: u64) -> Encoder {
-        Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), seed).unwrap()
+        Encoder::new(
+            &EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8),
+            seed,
+        )
+        .unwrap()
     }
 
     fn tiny_dataset() -> Dataset {
@@ -324,7 +368,9 @@ mod tests {
     fn cfg(pipeline: Pipeline) -> PretrainConfig {
         PretrainConfig {
             pipeline,
-            precision_set: pipeline.needs_precisions().then(|| PrecisionSet::range(6, 16).unwrap()),
+            precision_set: pipeline
+                .needs_precisions()
+                .then(|| PrecisionSet::range(6, 16).unwrap()),
             epochs: 1,
             batch_size: 8,
             lr: 0.02,

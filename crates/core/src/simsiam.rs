@@ -35,7 +35,11 @@ pub struct SimsiamTrainer {
 
 impl std::fmt::Debug for SimsiamTrainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SimsiamTrainer(pipeline={}, steps={})", self.cfg.pipeline, self.steps_taken)
+        write!(
+            f,
+            "SimsiamTrainer(pipeline={}, steps={})",
+            self.cfg.pipeline, self.steps_taken
+        )
     }
 }
 
@@ -58,8 +62,12 @@ impl SimsiamTrainer {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51A51);
         let encoder_params = encoder.params().len();
         let pd = encoder.proj_dim();
-        let predictor =
-            mlp_head(&HeadConfig::byol(pd, pd / 2 + 1, pd), "pred", encoder.params_mut(), &mut rng);
+        let predictor = mlp_head(
+            &HeadConfig::byol(pd, pd / 2 + 1, pd),
+            "pred",
+            encoder.params_mut(),
+            &mut rng,
+        );
         let opt = Sgd::new(
             encoder.params(),
             SgdConfig {
@@ -122,7 +130,13 @@ impl SimsiamTrainer {
                 }
                 self.steps_taken += 1;
             }
-            let mean = |v: &[f32]| if v.is_empty() { f32::NAN } else { v.iter().sum::<f32>() / v.len() as f32 };
+            let mean = |v: &[f32]| {
+                if v.is_empty() {
+                    f32::NAN
+                } else {
+                    v.iter().sum::<f32>() / v.len() as f32
+                }
+            };
             self.history.epoch_losses.push(mean(&losses));
             self.history.epoch_grad_norms.push(mean(&norms));
         }
@@ -143,13 +157,17 @@ impl SimsiamTrainer {
                     .cfg
                     .precision_set
                     .as_ref()
-                    .expect("validated")
+                    .ok_or_else(|| NnError::Param("CQ-C requires a precision set".into()))?
                     .sample_pair(&mut self.rng);
                 let mut loss = self.branch_loss(batch, Some(q1), &mut gs)?;
                 loss += self.branch_loss(batch, Some(q2), &mut gs)?;
                 loss
             }
-            other => return Err(NnError::Param(format!("unsupported SimSiam pipeline {other}"))),
+            other => {
+                return Err(NnError::Param(format!(
+                    "unsupported SimSiam pipeline {other}"
+                )))
+            }
         };
         let norm = gs.global_norm();
         if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
@@ -171,21 +189,28 @@ impl SimsiamTrainer {
         gs: &mut cq_nn::GradSet,
     ) -> Result<f32, NnError> {
         let ctx = match q {
-            Some(p) => {
-                ForwardCtx::train().with_quant(QuantConfig::uniform(p).with_mode(self.cfg.quant_mode))
-            }
+            Some(p) => ForwardCtx::train()
+                .with_quant(QuantConfig::uniform(p).with_mode(self.cfg.quant_mode)),
             None => ForwardCtx::train(),
         };
         let o1 = self.encoder.forward(&batch.view1, &ctx)?;
         let o2 = self.encoder.forward(&batch.view2, &ctx)?;
-        let (p1, c1) = self.predictor.forward(self.encoder.params(), &o1.projection, &ctx)?;
-        let (p2, c2) = self.predictor.forward(self.encoder.params(), &o2.projection, &ctx)?;
+        let (p1, c1) = self
+            .predictor
+            .forward(self.encoder.params(), &o1.projection, &ctx)?;
+        let (p2, c2) = self
+            .predictor
+            .forward(self.encoder.params(), &o2.projection, &ctx)?;
         // D(p1, sg(z2)) — gradient flows through p1's branch only.
         let l1 = byol_regression(&p1, &o2.projection)?;
         let l2 = byol_regression(&p2, &o1.projection)?;
-        let dz1 = self.predictor.backward(self.encoder.params(), &c1, &l1.grad_a, gs)?;
+        let dz1 = self
+            .predictor
+            .backward(self.encoder.params(), &c1, &l1.grad_a, gs)?;
         self.encoder.backward_projection(&o1.trace, &dz1, gs)?;
-        let dz2 = self.predictor.backward(self.encoder.params(), &c2, &l2.grad_a, gs)?;
+        let dz2 = self
+            .predictor
+            .backward(self.encoder.params(), &c2, &l2.grad_a, gs)?;
         self.encoder.backward_projection(&o2.trace, &dz2, gs)?;
         Ok(0.5 * (l1.loss + l2.loss))
     }
@@ -199,7 +224,11 @@ mod tests {
     use cq_quant::PrecisionSet;
 
     fn tiny_encoder(seed: u64) -> Encoder {
-        Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8), seed).unwrap()
+        Encoder::new(
+            &EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8),
+            seed,
+        )
+        .unwrap()
     }
 
     fn tiny_dataset() -> Dataset {
@@ -209,7 +238,9 @@ mod tests {
     fn cfg(pipeline: Pipeline) -> PretrainConfig {
         PretrainConfig {
             pipeline,
-            precision_set: pipeline.needs_precisions().then(|| PrecisionSet::range(6, 16).unwrap()),
+            precision_set: pipeline
+                .needs_precisions()
+                .then(|| PrecisionSet::range(6, 16).unwrap()),
             epochs: 1,
             batch_size: 8,
             lr: 0.02,
@@ -245,7 +276,12 @@ mod tests {
 
     #[test]
     fn unsupported_pipelines_rejected() {
-        for p in [Pipeline::CqA, Pipeline::CqB, Pipeline::CqQuant, Pipeline::NoiseA] {
+        for p in [
+            Pipeline::CqA,
+            Pipeline::CqB,
+            Pipeline::CqQuant,
+            Pipeline::NoiseA,
+        ] {
             assert!(SimsiamTrainer::new(tiny_encoder(4), cfg(p)).is_err(), "{p}");
         }
     }

@@ -187,7 +187,7 @@ pub(crate) fn random_resized_crop(img: &Tensor, min_scale: f32, rng: &mut StdRng
             }
         }
     }
-    Tensor::from_vec(out, img.dims()).expect("crop preserves shape")
+    Tensor::from_vec(out, img.dims()).expect("crop preserves shape") // cq-check: allow — buffer length matches dims by construction
 }
 
 /// Horizontal flip.
@@ -202,7 +202,7 @@ pub(crate) fn hflip(img: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, img.dims()).expect("flip preserves shape")
+    Tensor::from_vec(out, img.dims()).expect("flip preserves shape") // cq-check: allow — buffer length matches dims by construction
 }
 
 /// Random brightness / contrast / saturation jitter of strength `s`.
@@ -230,7 +230,7 @@ pub(crate) fn color_jitter(img: &Tensor, s: f32, rng: &mut StdRng) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, img.dims()).expect("jitter preserves shape")
+    Tensor::from_vec(out, img.dims()).expect("jitter preserves shape") // cq-check: allow — buffer length matches dims by construction
 }
 
 /// Luminance grayscale, replicated across channels.
@@ -244,7 +244,7 @@ pub(crate) fn grayscale(img: &Tensor) -> Tensor {
         out[h * w + idx] = gray;
         out[2 * h * w + idx] = gray;
     }
-    Tensor::from_vec(out, img.dims()).expect("grayscale preserves shape")
+    Tensor::from_vec(out, img.dims()).expect("grayscale preserves shape") // cq-check: allow — buffer length matches dims by construction
 }
 
 /// Rotation around the image center by `angle` radians, bilinear
@@ -267,7 +267,7 @@ pub(crate) fn rotate(img: &Tensor, angle: f32) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, img.dims()).expect("rotate preserves shape")
+    Tensor::from_vec(out, img.dims()).expect("rotate preserves shape") // cq-check: allow — buffer length matches dims by construction
 }
 
 /// Erases a random square (side = `frac` of the image side) to the image
@@ -315,7 +315,7 @@ pub(crate) fn blur3(img: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, img.dims()).expect("blur preserves shape")
+    Tensor::from_vec(out, img.dims()).expect("blur preserves shape") // cq-check: allow — buffer length matches dims by construction
 }
 
 #[cfg(test)]

@@ -28,7 +28,12 @@ impl<'a> BatchIter<'a> {
     /// Panics if `batch_size == 0`.
     pub fn new(dataset: &'a Dataset, batch_size: usize, rng: &mut StdRng) -> Self {
         assert!(batch_size > 0, "batch_size must be positive");
-        BatchIter { dataset, order: Tensor::permutation(dataset.len(), rng), batch_size, cursor: 0 }
+        BatchIter {
+            dataset,
+            order: Tensor::permutation(dataset.len(), rng),
+            batch_size,
+            cursor: 0,
+        }
     }
 
     /// Number of full batches this iterator will yield.
@@ -81,7 +86,11 @@ impl TwoViewLoader {
     /// Panics if `batch_size == 0`.
     pub fn new(pipeline: AugmentPipeline, batch_size: usize, seed: u64) -> Self {
         assert!(batch_size > 0, "batch_size must be positive");
-        TwoViewLoader { pipeline, rng: StdRng::seed_from_u64(seed), batch_size }
+        TwoViewLoader {
+            pipeline,
+            rng: StdRng::seed_from_u64(seed),
+            batch_size,
+        }
     }
 
     /// The configured batch size.
@@ -130,8 +139,8 @@ impl TwoViewLoader {
         });
         let labels = indices.iter().map(|&i| dataset.label(i)).collect();
         TwoViewBatch {
-            view1: Tensor::from_vec(v1.into_inner(), &[n, 3, s, s]).expect("view1 shape"),
-            view2: Tensor::from_vec(v2.into_inner(), &[n, 3, s, s]).expect("view2 shape"),
+            view1: Tensor::from_vec(v1.into_inner(), &[n, 3, s, s]).expect("view1 shape"), // cq-check: allow — buffer length matches dims by construction
+            view2: Tensor::from_vec(v2.into_inner(), &[n, 3, s, s]).expect("view2 shape"), // cq-check: allow — buffer length matches dims by construction
             labels,
         }
     }

@@ -36,6 +36,6 @@ mod ppm;
 mod synth;
 
 pub use augment::{AugmentConfig, AugmentPipeline};
-pub use ppm::{contact_sheet, write_ppm};
 pub use batch::{BatchIter, TwoViewBatch, TwoViewLoader};
+pub use ppm::{contact_sheet, write_ppm};
 pub use synth::{Dataset, DatasetConfig};

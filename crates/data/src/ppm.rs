@@ -62,7 +62,7 @@ pub fn contact_sheet(images: &[&Tensor], cols: usize) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(data, &[3, sheet_h, sheet_w]).expect("sheet shape")
+    Tensor::from_vec(data, &[3, sheet_h, sheet_w]).expect("sheet shape") // cq-check: allow — buffer length matches dims by construction
 }
 
 #[cfg(test)]

@@ -101,8 +101,18 @@ impl Dataset {
     /// streams, like a real dataset's i.i.d. split.
     pub fn generate(cfg: &DatasetConfig) -> (Dataset, Dataset) {
         let latents = class_latents(cfg);
-        let train = Self::render_split(cfg, &latents, cfg.train_size, cfg.seed.wrapping_mul(0x9E37_79B9));
-        let test = Self::render_split(cfg, &latents, cfg.test_size, cfg.seed.wrapping_mul(0x85EB_CA6B).wrapping_add(1));
+        let train = Self::render_split(
+            cfg,
+            &latents,
+            cfg.train_size,
+            cfg.seed.wrapping_mul(0x9E37_79B9),
+        );
+        let test = Self::render_split(
+            cfg,
+            &latents,
+            cfg.test_size,
+            cfg.seed.wrapping_mul(0x85EB_CA6B).wrapping_add(1),
+        );
         (train, test)
     }
 
@@ -120,7 +130,12 @@ impl Dataset {
         let perm = Tensor::permutation(n, &mut rng);
         let images = perm.iter().map(|&i| images[i].clone()).collect();
         let labels = perm.iter().map(|&i| labels[i]).collect();
-        Dataset { images, labels, num_classes: cfg.num_classes, image_size: cfg.image_size }
+        Dataset {
+            images,
+            labels,
+            num_classes: cfg.num_classes,
+            image_size: cfg.image_size,
+        }
     }
 
     /// Number of samples.
@@ -180,7 +195,7 @@ impl Dataset {
             data.extend_from_slice(self.images[i].as_slice());
             labels.push(self.labels[i]);
         }
-        let t = Tensor::from_vec(data, &[indices.len(), c, s, s]).expect("batch assembly");
+        let t = Tensor::from_vec(data, &[indices.len(), c, s, s]).expect("batch assembly"); // cq-check: allow — buffer length matches dims by construction
         (t, labels)
     }
 
@@ -201,9 +216,9 @@ impl Dataset {
         let mut var = [0.0f64; 3];
         let n = (self.images.len() * s * s).max(1) as f64;
         for img in &self.images {
-            for c in 0..3 {
+            for (c, mv) in mean.iter_mut().enumerate() {
                 for &v in &img.as_slice()[c * s * s..(c + 1) * s * s] {
-                    mean[c] += v as f64;
+                    *mv += v as f64;
                 }
             }
         }
@@ -241,7 +256,9 @@ impl Dataset {
             if idxs.is_empty() {
                 continue;
             }
-            let k = ((idxs.len() as f32 * fraction).round() as usize).max(1).min(idxs.len());
+            let k = ((idxs.len() as f32 * fraction).round() as usize)
+                .max(1)
+                .min(idxs.len());
             let perm = Tensor::permutation(idxs.len(), rng);
             chosen.extend(perm[..k].iter().map(|&p| idxs[p]));
         }
@@ -286,11 +303,11 @@ fn hue_to_rgb(h: f32) -> [f32; 3] {
 /// `[-1, 1]`) in shape `id`. Positive inside.
 fn shape_mask(id: u8, u: f32, v: f32) -> bool {
     match id {
-        0 => u * u + v * v < 0.8,                          // disc
-        1 => u.abs() < 0.75 && v.abs() < 0.75,             // square
-        2 => v > -0.7 && v < 1.3 * (0.75 - u.abs()),       // triangle
+        0 => u * u + v * v < 0.8,                             // disc
+        1 => u.abs() < 0.75 && v.abs() < 0.75,                // square
+        2 => v > -0.7 && v < 1.3 * (0.75 - u.abs()),          // triangle
         3 => (u * u + v * v < 0.9) && (u * u + v * v > 0.35), // ring
-        _ => u.abs() + v.abs() < 0.95,                     // diamond
+        _ => u.abs() + v.abs() < 0.95,                        // diamond
     }
 }
 
@@ -349,7 +366,7 @@ fn render_sample(cfg: &DatasetConfig, lat: &ClassLatent, rng: &mut StdRng) -> Te
             }
         }
     }
-    Tensor::from_vec(data, &[3, s, s]).expect("render buffer matches shape")
+    Tensor::from_vec(data, &[3, s, s]).expect("render buffer matches shape") // cq-check: allow — buffer length matches dims by construction
 }
 
 /// One standard-normal sample (Box–Muller, single value).

@@ -16,7 +16,12 @@ pub struct BBox {
 impl BBox {
     /// Creates a box, clamping size to be non-negative.
     pub fn new(cx: f32, cy: f32, w: f32, h: f32) -> Self {
-        BBox { cx, cy, w: w.max(0.0), h: h.max(0.0) }
+        BBox {
+            cx,
+            cy,
+            w: w.max(0.0),
+            h: h.max(0.0),
+        }
     }
 
     /// Corner coordinates `(x0, y0, x1, y1)`.
@@ -58,12 +63,16 @@ pub fn nms(boxes: &[BBox], scores: &[f32], classes: &[usize], thresh: f32) -> Ve
     assert_eq!(boxes.len(), scores.len());
     assert_eq!(boxes.len(), classes.len());
     let mut order: Vec<usize> = (0..boxes.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut keep = Vec::new();
     for &i in &order {
-        let suppressed = keep.iter().any(|&k: &usize| {
-            classes[k] == classes[i] && iou(&boxes[k], &boxes[i]) > thresh
-        });
+        let suppressed = keep
+            .iter()
+            .any(|&k: &usize| classes[k] == classes[i] && iou(&boxes[k], &boxes[i]) > thresh);
         if !suppressed {
             keep.push(i);
         }

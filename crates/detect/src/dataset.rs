@@ -71,10 +71,17 @@ impl DetDataset {
     ///
     /// Panics on invalid configuration (0 classes, > 5 classes, 0 objects).
     pub fn generate(cfg: &DetectionConfig) -> (DetDataset, DetDataset) {
-        assert!((1..=5).contains(&cfg.num_classes), "1..=5 shape classes supported");
+        assert!(
+            (1..=5).contains(&cfg.num_classes),
+            "1..=5 shape classes supported"
+        );
         assert!(cfg.max_objects >= 1, "max_objects must be >= 1");
         let train = Self::render_split(cfg, cfg.train_size, cfg.seed.wrapping_mul(31));
-        let test = Self::render_split(cfg, cfg.test_size, cfg.seed.wrapping_mul(37).wrapping_add(5));
+        let test = Self::render_split(
+            cfg,
+            cfg.test_size,
+            cfg.seed.wrapping_mul(37).wrapping_add(5),
+        );
         (train, test)
     }
 
@@ -87,7 +94,12 @@ impl DetDataset {
             images.push(img);
             annotations.push(anns);
         }
-        DetDataset { images, annotations, num_classes: cfg.num_classes, image_size: cfg.image_size }
+        DetDataset {
+            images,
+            annotations,
+            num_classes: cfg.num_classes,
+            image_size: cfg.image_size,
+        }
     }
 
     /// Number of images.
@@ -143,7 +155,7 @@ impl DetDataset {
             anns.push(self.annotations[i].clone());
         }
         (
-            Tensor::from_vec(data, &[indices.len(), 3, s, s]).expect("batch shape"),
+            Tensor::from_vec(data, &[indices.len(), 3, s, s]).expect("batch shape"), // cq-check: allow — buffer length matches dims by construction
             anns,
         )
     }
@@ -220,7 +232,9 @@ fn render_scene(cfg: &DetectionConfig, rng: &mut StdRng) -> (Tensor, Vec<GtBox>)
         }
         anns.push(GtBox { bbox, class });
     }
-    (Tensor::from_vec(data, &[3, s, s]).expect("scene shape"), anns)
+    // cq-check: allow — buffer length matches dims by construction
+    let img = Tensor::from_vec(data, &[3, s, s]).expect("scene shape");
+    (img, anns)
 }
 
 #[cfg(test)]
@@ -228,7 +242,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> DetectionConfig {
-        DetectionConfig { train_size: 16, test_size: 8, ..Default::default() }
+        DetectionConfig {
+            train_size: 16,
+            test_size: 8,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -270,8 +288,12 @@ mod tests {
                 // class is hollow at its exact center, so scan the box)
                 let (x0, y0, x1, y1) = a.bbox.corners();
                 let mut found = false;
-                for y in (y0.max(0.0) * s as f32) as usize..((y1.min(1.0) * s as f32) as usize).min(s) {
-                    for x in (x0.max(0.0) * s as f32) as usize..((x1.min(1.0) * s as f32) as usize).min(s) {
+                for y in
+                    (y0.max(0.0) * s as f32) as usize..((y1.min(1.0) * s as f32) as usize).min(s)
+                {
+                    for x in (x0.max(0.0) * s as f32) as usize
+                        ..((x1.min(1.0) * s as f32) as usize).min(s)
+                    {
                         let idx = y * s + x;
                         let r = img[idx];
                         let g = img[s * s + idx];
@@ -297,7 +319,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "shape classes")]
     fn too_many_classes_rejected() {
-        let cfg = DetectionConfig { num_classes: 9, ..tiny() };
+        let cfg = DetectionConfig {
+            num_classes: 9,
+            ..tiny()
+        };
         DetDataset::generate(&cfg);
     }
 }

@@ -51,10 +51,32 @@ impl DetectionHead {
         num_classes: usize,
         rng: &mut StdRng,
     ) -> Self {
-        let conv1 = Conv2d::new(ps, "det.conv1", in_channels, in_channels, Conv2dSpec::new(3, 1, 1), false, rng);
+        let conv1 = Conv2d::new(
+            ps,
+            "det.conv1",
+            in_channels,
+            in_channels,
+            Conv2dSpec::new(3, 1, 1),
+            false,
+            rng,
+        );
         let bn = BatchNorm2d::new(ps, "det.bn", in_channels);
-        let conv2 = Conv2d::new(ps, "det.conv2", in_channels, 5 + num_classes, Conv2dSpec::new(1, 1, 0), true, rng);
-        DetectionHead { conv1, bn, relu: Relu::new(), conv2, num_classes }
+        let conv2 = Conv2d::new(
+            ps,
+            "det.conv2",
+            in_channels,
+            5 + num_classes,
+            Conv2dSpec::new(1, 1, 0),
+            true,
+            rng,
+        );
+        DetectionHead {
+            conv1,
+            bn,
+            relu: Relu::new(),
+            conv2,
+            num_classes,
+        }
     }
 
     /// Number of object classes.
@@ -63,8 +85,71 @@ impl DetectionHead {
     }
 }
 
+/// Symbolic plan of a [`DetectionHead`] over `in_channels` backbone
+/// channels — interpreted by [`crate::train_detector`] (and the `cq-check`
+/// binary) to validate the head's wiring before any weight is allocated.
+///
+/// # Errors
+///
+/// Returns a layer-attributed [`cq_nn::spec::SpecError`] for zero channel
+/// or class counts.
+pub fn head_plan(
+    in_channels: usize,
+    num_classes: usize,
+) -> Result<cq_nn::spec::Plan, cq_nn::spec::SpecError> {
+    use cq_nn::spec::{LayerKind, Plan, SpecError};
+    if in_channels == 0 {
+        return Err(SpecError::config(
+            "det.conv1",
+            "in_channels must be positive",
+        ));
+    }
+    if num_classes == 0 {
+        return Err(SpecError::config(
+            "det.conv2",
+            "num_classes must be positive",
+        ));
+    }
+    let mut p = Plan::new();
+    p.push(
+        "det.conv1",
+        LayerKind::Conv2d {
+            in_ch: in_channels,
+            out_ch: in_channels,
+            spec: Conv2dSpec::new(3, 1, 1),
+            bias: false,
+        },
+    );
+    p.push(
+        "det.bn",
+        LayerKind::BatchNorm2d {
+            channels: in_channels,
+        },
+    );
+    p.push("det.relu", LayerKind::Relu);
+    p.push(
+        "det.conv2",
+        LayerKind::Conv2d {
+            in_ch: in_channels,
+            out_ch: 5 + num_classes,
+            spec: Conv2dSpec::new(1, 1, 0),
+            bias: true,
+        },
+    );
+    Ok(p)
+}
+
 impl Layer for DetectionHead {
-    fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache), NnError> {
+    fn layer_kind(&self) -> &'static str {
+        "DetectionHead"
+    }
+
+    fn forward(
+        &mut self,
+        ps: &ParamSet,
+        x: &Tensor,
+        ctx: &ForwardCtx,
+    ) -> Result<(Tensor, Cache), NnError> {
         let (y1, c1) = self.conv1.forward(ps, x, ctx)?;
         let (y2, b) = self.bn.forward(ps, &y1, ctx)?;
         let (y3, r) = self.relu.forward(ps, &y2, ctx)?;
@@ -72,7 +157,13 @@ impl Layer for DetectionHead {
         Ok((y4, Cache::new(HeadCache { c1, b, r, c2 })))
     }
 
-    fn backward(&self, ps: &ParamSet, cache: &Cache, dy: &Tensor, gs: &mut GradSet) -> Result<Tensor, NnError> {
+    fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        gs: &mut GradSet,
+    ) -> Result<Tensor, NnError> {
         let c = cache.downcast::<HeadCache>("DetectionHead")?;
         let d3 = self.conv2.backward(ps, &c.c2, dy, gs)?;
         let d2 = self.relu.backward(ps, &c.r, &d3, gs)?;
@@ -103,7 +194,11 @@ fn sigmoid(v: f32) -> f32 {
 /// # Panics
 ///
 /// Panics if the channel count does not match `5 + num_classes`.
-pub fn decode_predictions(raw: &Tensor, num_classes: usize, conf_thresh: f32) -> Vec<Vec<Prediction>> {
+pub fn decode_predictions(
+    raw: &Tensor,
+    num_classes: usize,
+    conf_thresh: f32,
+) -> Vec<Vec<Prediction>> {
     assert_eq!(raw.rank(), 4, "decode expects [N, 5+K, g, g]");
     let (n, a, gh, gw) = (raw.dims()[0], raw.dims()[1], raw.dims()[2], raw.dims()[3]);
     assert_eq!(a, 5 + num_classes, "channel count mismatch");
@@ -134,7 +229,11 @@ pub fn decode_predictions(raw: &Tensor, num_classes: usize, conf_thresh: f32) ->
                 let cy = (gy as f32 + sigmoid(cell(ni, 2, gy, gx))) / gh as f32;
                 let w = sigmoid(cell(ni, 3, gy, gx));
                 let h = sigmoid(cell(ni, 4, gy, gx));
-                preds.push(Prediction { bbox: BBox::new(cx, cy, w, h), score, class: best });
+                preds.push(Prediction {
+                    bbox: BBox::new(cx, cy, w, h),
+                    score,
+                    class: best,
+                });
             }
         }
         out.push(preds);

@@ -87,8 +87,9 @@ pub fn yolo_loss(
                                 LAMBDA_BOX * 2.0 * diff * st * (1.0 - st) / norm;
                         }
                         // class cross-entropy
-                        let logits: Vec<f32> =
-                            (0..num_classes).map(|k| rs[idx(ni, 5 + k, gy, gx)]).collect();
+                        let logits: Vec<f32> = (0..num_classes)
+                            .map(|k| rs[idx(ni, 5 + k, gy, gx)])
+                            .collect();
                         let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                         let sum: f32 = logits.iter().map(|&v| (v - mx).exp()).sum();
                         let lse = sum.ln() + mx;
@@ -118,7 +119,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn one_gt() -> Vec<Vec<GtBox>> {
-        vec![vec![GtBox { bbox: BBox::new(0.5, 0.5, 0.4, 0.4), class: 1 }]]
+        vec![vec![GtBox {
+            bbox: BBox::new(0.5, 0.5, 0.4, 0.4),
+            class: 1,
+        }]]
     }
 
     #[test]
@@ -147,7 +151,7 @@ mod tests {
         let (g, k) = (3usize, 3usize);
         let a = 5 + k;
         let mut raw = vec![-12.0f32; a * g * g]; // all no-obj, sigmoid ~ 0
-        // gt center (0.5, 0.5) -> cell (1,1), offsets 0.5 -> logit 0
+                                                 // gt center (0.5, 0.5) -> cell (1,1), offsets 0.5 -> logit 0
         let set = |raw: &mut Vec<f32>, ch: usize, v: f32| raw[(ch * g + 1) * g + 1] = v;
         set(&mut raw, 0, 12.0);
         set(&mut raw, 1, 0.0);

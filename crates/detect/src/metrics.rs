@@ -16,7 +16,11 @@ pub struct DetMetrics {
 
 impl std::fmt::Display for DetMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "AP {:.2} / AP50 {:.2} / AP75 {:.2}", self.ap, self.ap50, self.ap75)
+        write!(
+            f,
+            "AP {:.2} / AP50 {:.2} / AP75 {:.2}",
+            self.ap, self.ap50, self.ap75
+        )
     }
 }
 
@@ -27,7 +31,10 @@ fn class_ap(
     class: usize,
     iou_thresh: f32,
 ) -> Option<f32> {
-    let total_gt: usize = gts.iter().map(|g| g.iter().filter(|b| b.class == class).count()).sum();
+    let total_gt: usize = gts
+        .iter()
+        .map(|g| g.iter().filter(|b| b.class == class).count())
+        .sum();
     if total_gt == 0 {
         return None;
     }
@@ -38,10 +45,13 @@ fn class_ap(
             dets.push((img, p));
         }
     }
-    dets.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).unwrap_or(std::cmp::Ordering::Equal));
+    dets.sort_by(|a, b| {
+        b.1.score
+            .partial_cmp(&a.1.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
-    let mut matched: Vec<Vec<bool>> =
-        gts.iter().map(|g| vec![false; g.len()]).collect();
+    let mut matched: Vec<Vec<bool>> = gts.iter().map(|g| vec![false; g.len()]).collect();
     let mut tp = Vec::with_capacity(dets.len());
     for (img, p) in &dets {
         // best unmatched same-class gt in this image
@@ -139,11 +149,18 @@ mod tests {
     use crate::BBox;
 
     fn gt(cx: f32, cy: f32, class: usize) -> GtBox {
-        GtBox { bbox: BBox::new(cx, cy, 0.2, 0.2), class }
+        GtBox {
+            bbox: BBox::new(cx, cy, 0.2, 0.2),
+            class,
+        }
     }
 
     fn pred(cx: f32, cy: f32, class: usize, score: f32) -> Prediction {
-        Prediction { bbox: BBox::new(cx, cy, 0.2, 0.2), score, class }
+        Prediction {
+            bbox: BBox::new(cx, cy, 0.2, 0.2),
+            score,
+            class,
+        }
     }
 
     #[test]

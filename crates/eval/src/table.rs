@@ -41,7 +41,8 @@ impl Table {
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -71,7 +72,15 @@ impl Table {
         let mut s = String::new();
         let _ = writeln!(s, "### {}\n", self.title);
         let _ = writeln!(s, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(s, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for r in &self.rows {
             let _ = writeln!(s, "| {} |", r.join(" | "));
         }
@@ -82,9 +91,21 @@ impl Table {
     pub fn to_csv(&self) -> String {
         let clean = |c: &str| c.replace(',', ";");
         let mut s = String::new();
-        let _ = writeln!(s, "{}", self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            s,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| clean(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for r in &self.rows {
-            let _ = writeln!(s, "{}", r.iter().map(|c| clean(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                s,
+                "{}",
+                r.iter().map(|c| clean(c)).collect::<Vec<_>>().join(",")
+            );
         }
         s
     }

@@ -24,7 +24,13 @@ pub struct TsneConfig {
 
 impl Default for TsneConfig {
     fn default() -> Self {
-        TsneConfig { perplexity: 15.0, iterations: 300, lr: 100.0, exaggeration: 4.0, seed: 0 }
+        TsneConfig {
+            perplexity: 15.0,
+            iterations: 300,
+            lr: 100.0,
+            exaggeration: 4.0,
+            seed: 0,
+        }
     }
 }
 
@@ -82,7 +88,11 @@ pub fn tsne(features: &Tensor, cfg: &TsneConfig) -> Tensor {
             }
             if h > target_entropy {
                 lo = beta;
-                beta = if hi.is_finite() { 0.5 * (beta + hi) } else { beta * 2.0 };
+                beta = if hi.is_finite() {
+                    0.5 * (beta + hi)
+                } else {
+                    beta * 2.0
+                };
             } else {
                 hi = beta;
                 beta = 0.5 * (beta + lo);
@@ -116,7 +126,11 @@ pub fn tsne(features: &Tensor, cfg: &TsneConfig) -> Tensor {
     let mut vel = vec![0.0f32; n * 2];
     let exag_until = cfg.iterations / 4;
     for it in 0..cfg.iterations {
-        let exag = if it < exag_until { cfg.exaggeration } else { 1.0 };
+        let exag = if it < exag_until {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
         // Student-t affinities in embedding space.
         let mut qnum = vec![0.0f32; n * n];
         let mut qsum = 0.0f32;
@@ -167,7 +181,7 @@ pub fn tsne(features: &Tensor, cfg: &TsneConfig) -> Tensor {
             y[i * 2 + 1] -= m1;
         }
     }
-    Tensor::from_vec(y, &[n, 2]).expect("embedding shape")
+    Tensor::from_vec(y, &[n, 2]).expect("embedding shape") // cq-check: allow — buffer length matches dims by construction
 }
 
 #[cfg(test)]
@@ -196,7 +210,15 @@ mod tests {
     fn tsne_preserves_cluster_structure() {
         let (f, labels) = blobs();
         // perplexity must stay below the per-cluster point count (15)
-        let emb = tsne(&f, &TsneConfig { iterations: 500, perplexity: 8.0, lr: 50.0, ..Default::default() });
+        let emb = tsne(
+            &f,
+            &TsneConfig {
+                iterations: 500,
+                perplexity: 8.0,
+                lr: 50.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(emb.dims(), &[45, 2]);
         assert!(emb.is_finite());
         // cluster structure survives the embedding
@@ -207,7 +229,10 @@ mod tests {
     #[test]
     fn tsne_deterministic_under_seed() {
         let (f, _) = blobs();
-        let cfg = TsneConfig { iterations: 50, ..Default::default() };
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..Default::default()
+        };
         assert_eq!(tsne(&f, &cfg), tsne(&f, &cfg));
     }
 

@@ -28,7 +28,12 @@ pub struct EncoderConfig {
 impl EncoderConfig {
     /// Backbone-only configuration.
     pub fn new(arch: Arch, width: usize) -> Self {
-        EncoderConfig { arch, width, proj: None, proj_bn: false }
+        EncoderConfig {
+            arch,
+            width,
+            proj: None,
+            proj_bn: false,
+        }
     }
 
     /// Adds a SimCLR-style projection head.
@@ -96,11 +101,17 @@ impl std::fmt::Debug for Encoder {
 impl Encoder {
     /// Builds an encoder from `cfg`, initialising all weights from `seed`.
     ///
+    /// The configuration is first validated symbolically (see
+    /// [`crate::plan::validate_encoder`]); an invalid stack is rejected
+    /// with a layer-attributed error before any weight is allocated.
+    ///
     /// # Errors
     ///
-    /// Currently infallible in practice (kept fallible for future archs);
-    /// the signature matches the rest of the training API.
+    /// Returns [`NnError::Param`] describing the offending layer when the
+    /// configuration is invalid (zero width, bad projector dimensions).
     pub fn new(cfg: &EncoderConfig, seed: u64) -> Result<Self, NnError> {
+        crate::plan::validate_encoder(cfg)
+            .map_err(|e| NnError::Param(format!("invalid encoder config: {e}")))?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut params = ParamSet::new();
         let (backbone, feat_dim) = match cfg.arch {
@@ -118,7 +129,14 @@ impl Encoder {
             }
             None => (None, feat_dim),
         };
-        Ok(Encoder { cfg: *cfg, params, backbone, projector, feat_dim, proj_dim })
+        Ok(Encoder {
+            cfg: *cfg,
+            params,
+            backbone,
+            projector,
+            feat_dim,
+            proj_dim,
+        })
     }
 
     /// The configuration this encoder was built from.
@@ -166,7 +184,11 @@ impl Encoder {
             }
             None => (features.clone(), None),
         };
-        Ok(EncoderOutput { features, projection, trace: EncoderTrace { backbone, proj } })
+        Ok(EncoderOutput {
+            features,
+            projection,
+            trace: EncoderTrace { backbone, proj },
+        })
     }
 
     /// Convenience: features only, no projector run (evaluation paths).
@@ -194,9 +216,14 @@ impl Encoder {
         let dh = match (&self.projector, &trace.proj) {
             (Some(p), Some(c)) => p.backward(&self.params, c, dz, gs)?,
             (None, None) => dz.clone(),
-            _ => return Err(NnError::CacheMismatch { layer: "Encoder".into() }),
+            _ => {
+                return Err(NnError::CacheMismatch {
+                    layer: "Encoder".into(),
+                })
+            }
         };
-        self.backbone.backward(&self.params, &trace.backbone, &dh, gs)?;
+        self.backbone
+            .backward(&self.params, &trace.backbone, &dh, gs)?;
         Ok(())
     }
 
@@ -212,7 +239,8 @@ impl Encoder {
         dh: &Tensor,
         gs: &mut GradSet,
     ) -> Result<(), NnError> {
-        self.backbone.backward(&self.params, &trace.backbone, dh, gs)?;
+        self.backbone
+            .backward(&self.params, &trace.backbone, dh, gs)?;
         Ok(())
     }
 
@@ -224,7 +252,11 @@ impl Encoder {
     /// # Errors
     ///
     /// Propagates layer errors.
-    pub fn forward_spatial(&mut self, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache), NnError> {
+    pub fn forward_spatial(
+        &mut self,
+        x: &Tensor,
+        ctx: &ForwardCtx,
+    ) -> Result<(Tensor, Cache), NnError> {
         let n = self.backbone.len() - 1; // last layer is GlobalAvgPool
         self.backbone.forward_upto(&self.params, x, ctx, n)
     }
@@ -534,7 +566,8 @@ mod tests {
         let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
         let (sp, cache) = enc.forward_spatial(&x, &ForwardCtx::train()).unwrap();
         let mut gs = enc.params().zero_grads();
-        enc.backward_spatial(&cache, &Tensor::ones(sp.dims()), &mut gs).unwrap();
+        enc.backward_spatial(&cache, &Tensor::ones(sp.dims()), &mut gs)
+            .unwrap();
         assert!(gs.global_norm() > 0.0);
         assert!(gs.is_finite());
     }

@@ -23,24 +23,48 @@ pub struct HeadConfig {
 impl HeadConfig {
     /// SimCLR-style head (no batch norm).
     pub fn simclr(in_dim: usize, hidden: usize, out_dim: usize) -> Self {
-        HeadConfig { in_dim, hidden, out_dim, batch_norm: false }
+        HeadConfig {
+            in_dim,
+            hidden,
+            out_dim,
+            batch_norm: false,
+        }
     }
 
     /// BYOL-style head (batch norm after the first linear).
     pub fn byol(in_dim: usize, hidden: usize, out_dim: usize) -> Self {
-        HeadConfig { in_dim, hidden, out_dim, batch_norm: true }
+        HeadConfig {
+            in_dim,
+            hidden,
+            out_dim,
+            batch_norm: true,
+        }
     }
 }
 
 /// Builds the `Linear → [BN] → ReLU → Linear` head described by `cfg`.
 pub fn mlp_head(cfg: &HeadConfig, name: &str, ps: &mut ParamSet, rng: &mut StdRng) -> Sequential {
     let mut head = Sequential::new();
-    head.push(Linear::new(ps, &format!("{name}.fc1"), cfg.in_dim, cfg.hidden, !cfg.batch_norm, rng));
+    head.push(Linear::new(
+        ps,
+        &format!("{name}.fc1"),
+        cfg.in_dim,
+        cfg.hidden,
+        !cfg.batch_norm,
+        rng,
+    ));
     if cfg.batch_norm {
         head.push(BatchNorm1d::new(ps, &format!("{name}.bn"), cfg.hidden));
     }
     head.push(Relu::new());
-    head.push(Linear::new(ps, &format!("{name}.fc2"), cfg.hidden, cfg.out_dim, true, rng));
+    head.push(Linear::new(
+        ps,
+        &format!("{name}.fc2"),
+        cfg.hidden,
+        cfg.out_dim,
+        true,
+        rng,
+    ));
     head
 }
 
@@ -56,7 +80,9 @@ mod tests {
         let mut ps = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(0);
         let mut head = mlp_head(&HeadConfig::simclr(8, 16, 4), "proj", &mut ps, &mut rng);
-        let (z, _) = head.forward(&ps, &Tensor::ones(&[3, 8]), &ForwardCtx::eval()).unwrap();
+        let (z, _) = head
+            .forward(&ps, &Tensor::ones(&[3, 8]), &ForwardCtx::eval())
+            .unwrap();
         assert_eq!(z.dims(), &[3, 4]);
         assert!(head.state_tensors().is_empty());
     }
@@ -67,7 +93,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut head = mlp_head(&HeadConfig::byol(8, 16, 4), "proj", &mut ps, &mut rng);
         assert_eq!(head.state_tensors().len(), 2);
-        let (z, _) = head.forward(&ps, &Tensor::ones(&[3, 8]), &ForwardCtx::eval()).unwrap();
+        let (z, _) = head
+            .forward(&ps, &Tensor::ones(&[3, 8]), &ForwardCtx::eval())
+            .unwrap();
         assert_eq!(z.dims(), &[3, 4]);
     }
 

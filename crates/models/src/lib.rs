@@ -29,6 +29,7 @@
 mod encoder;
 mod heads;
 mod mobilenet;
+pub mod plan;
 mod resnet;
 
 pub use encoder::{Encoder, EncoderConfig, EncoderOutput, EncoderTrace};

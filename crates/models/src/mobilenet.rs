@@ -26,7 +26,12 @@ pub struct InvertedResidual {
 
 impl std::fmt::Debug for InvertedResidual {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "InvertedResidual(out={}, res={})", self.project.out_channels(), self.use_res)
+        write!(
+            f,
+            "InvertedResidual(out={}, res={})",
+            self.project.out_channels(),
+            self.use_res
+        )
     }
 }
 
@@ -56,14 +61,36 @@ impl InvertedResidual {
         let hidden = in_ch * t;
         let expand = (t != 1).then(|| {
             (
-                Conv2d::new(ps, &format!("{name}.expand.conv"), in_ch, hidden, Conv2dSpec::new(1, 1, 0), false, rng),
+                Conv2d::new(
+                    ps,
+                    &format!("{name}.expand.conv"),
+                    in_ch,
+                    hidden,
+                    Conv2dSpec::new(1, 1, 0),
+                    false,
+                    rng,
+                ),
                 BatchNorm2d::new(ps, &format!("{name}.expand.bn"), hidden),
                 Relu6::new(),
             )
         });
-        let dw = DepthwiseConv2d::new(ps, &format!("{name}.dw"), hidden, Conv2dSpec::new(3, stride, 1), rng);
+        let dw = DepthwiseConv2d::new(
+            ps,
+            &format!("{name}.dw"),
+            hidden,
+            Conv2dSpec::new(3, stride, 1),
+            rng,
+        );
         let bn_dw = BatchNorm2d::new(ps, &format!("{name}.dw.bn"), hidden);
-        let project = Conv2d::new(ps, &format!("{name}.project.conv"), hidden, out_ch, Conv2dSpec::new(1, 1, 0), false, rng);
+        let project = Conv2d::new(
+            ps,
+            &format!("{name}.project.conv"),
+            hidden,
+            out_ch,
+            Conv2dSpec::new(1, 1, 0),
+            false,
+            rng,
+        );
         let bn_proj = BatchNorm2d::new(ps, &format!("{name}.project.bn"), out_ch);
         InvertedResidual {
             expand,
@@ -78,6 +105,10 @@ impl InvertedResidual {
 }
 
 impl Layer for InvertedResidual {
+    fn layer_kind(&self) -> &'static str {
+        "InvertedResidual"
+    }
+
     fn forward(
         &mut self,
         ps: &ParamSet,
@@ -99,7 +130,17 @@ impl Layer for InvertedResidual {
         let (p1, project) = self.project.forward(ps, &d3, ctx)?;
         let (p2, bn_proj) = self.bn_proj.forward(ps, &p1, ctx)?;
         let out = if self.use_res { p2.add(x)? } else { p2 };
-        Ok((out, Cache::new(IrCache { expand: expand_cache, dw, bn_dw, act_dw, project, bn_proj })))
+        Ok((
+            out,
+            Cache::new(IrCache {
+                expand: expand_cache,
+                dw,
+                bn_dw,
+                act_dw,
+                project,
+                bn_proj,
+            }),
+        ))
     }
 
     fn backward(
@@ -122,7 +163,11 @@ impl Layer for InvertedResidual {
                 conv.backward(ps, cc, &d2, gs)?
             }
             (None, None) => dh,
-            _ => return Err(NnError::CacheMismatch { layer: "InvertedResidual".into() }),
+            _ => {
+                return Err(NnError::CacheMismatch {
+                    layer: "InvertedResidual".into(),
+                })
+            }
         };
         if self.use_res {
             Ok(dx_main.add(dy)?)
@@ -163,10 +208,22 @@ impl Layer for InvertedResidual {
 /// # Panics
 ///
 /// Panics if `width == 0`.
-pub fn build_mobilenet_v2(width: usize, ps: &mut ParamSet, rng: &mut StdRng) -> (Sequential, usize) {
+pub fn build_mobilenet_v2(
+    width: usize,
+    ps: &mut ParamSet,
+    rng: &mut StdRng,
+) -> (Sequential, usize) {
     assert!(width > 0, "width must be positive");
     let mut net = Sequential::new();
-    net.push(Conv2d::new(ps, "stem.conv", 3, width, Conv2dSpec::new(3, 1, 1), false, rng));
+    net.push(Conv2d::new(
+        ps,
+        "stem.conv",
+        3,
+        width,
+        Conv2dSpec::new(3, 1, 1),
+        false,
+        rng,
+    ));
     net.push(BatchNorm2d::new(ps, "stem.bn", width));
     net.push(Relu6::new());
 
@@ -176,12 +233,28 @@ pub fn build_mobilenet_v2(width: usize, ps: &mut ParamSet, rng: &mut StdRng) -> 
     for (si, &(t, c, n, s)) in stages.iter().enumerate() {
         for bi in 0..n {
             let stride = if bi == 0 { s } else { 1 };
-            net.push(InvertedResidual::new(ps, &format!("ir{si}.{bi}"), in_ch, c, t, stride, rng));
+            net.push(InvertedResidual::new(
+                ps,
+                &format!("ir{si}.{bi}"),
+                in_ch,
+                c,
+                t,
+                stride,
+                rng,
+            ));
             in_ch = c;
         }
     }
     let feat = 8 * width;
-    net.push(Conv2d::new(ps, "head.conv", in_ch, feat, Conv2dSpec::new(1, 1, 0), false, rng));
+    net.push(Conv2d::new(
+        ps,
+        "head.conv",
+        in_ch,
+        feat,
+        Conv2dSpec::new(1, 1, 0),
+        false,
+        rng,
+    ));
     net.push(BatchNorm2d::new(ps, "head.bn", feat));
     net.push(Relu6::new());
     net.push(GlobalAvgPool::new());
@@ -254,7 +327,8 @@ mod tests {
         let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
         let (_, cache) = net.forward(&ps, &x, &ForwardCtx::train()).unwrap();
         let mut gs = ps.zero_grads();
-        net.backward(&ps, &cache, &Tensor::ones(&[2, dim]), &mut gs).unwrap();
+        net.backward(&ps, &cache, &Tensor::ones(&[2, dim]), &mut gs)
+            .unwrap();
         assert!(gs.is_finite());
         assert!(gs.global_norm() > 0.0);
     }

@@ -1,0 +1,411 @@
+//! Symbolic [`Plan`]s mirroring every backbone/head this crate builds.
+//!
+//! Each builder here follows the corresponding constructor
+//! ([`crate::build_resnet`], [`crate::build_mobilenet_v2`],
+//! [`crate::mlp_head`]) layer for layer, so [`Plan::infer`],
+//! [`Plan::param_count`] and [`Plan::flops`] describe the real network
+//! without allocating a tensor. [`crate::Encoder::new`] validates its
+//! configuration against [`encoder_plan`] before any weight is
+//! initialised, and the `cq-check` binary runs the same pass over every
+//! built-in experiment configuration.
+
+use cq_nn::spec::{LayerKind, Plan, SpecError};
+use cq_tensor::Conv2dSpec;
+
+use crate::{Arch, EncoderConfig, HeadConfig};
+
+/// Nominal input shape used when validating encoder configurations
+/// (CIFAR-sized, batch 2 so BatchNorm statistics are well defined).
+pub const NOMINAL_INPUT: [usize; 4] = [2, 3, 32, 32];
+
+/// Plan of a [`crate::BasicBlock`]: residual main/skip branches followed
+/// by the output ReLU.
+fn basic_block_plan(name: &str, in_ch: usize, out_ch: usize, stride: usize) -> LayerKind {
+    let mut main = Plan::new();
+    main.push(
+        format!("{name}.conv1"),
+        LayerKind::Conv2d {
+            in_ch,
+            out_ch,
+            spec: Conv2dSpec::new(3, stride, 1),
+            bias: false,
+        },
+    );
+    main.push(
+        format!("{name}.bn1"),
+        LayerKind::BatchNorm2d { channels: out_ch },
+    );
+    main.push(format!("{name}.relu1"), LayerKind::Relu);
+    main.push(
+        format!("{name}.conv2"),
+        LayerKind::Conv2d {
+            in_ch: out_ch,
+            out_ch,
+            spec: Conv2dSpec::new(3, 1, 1),
+            bias: false,
+        },
+    );
+    main.push(
+        format!("{name}.bn2"),
+        LayerKind::BatchNorm2d { channels: out_ch },
+    );
+    let skip = (stride != 1 || in_ch != out_ch).then(|| {
+        let mut s = Plan::new();
+        s.push(
+            format!("{name}.down.conv"),
+            LayerKind::Conv2d {
+                in_ch,
+                out_ch,
+                spec: Conv2dSpec::new(1, stride, 0),
+                bias: false,
+            },
+        );
+        s.push(
+            format!("{name}.down.bn"),
+            LayerKind::BatchNorm2d { channels: out_ch },
+        );
+        s
+    });
+    let mut block = Plan::new();
+    block.push(format!("{name}.res"), LayerKind::Residual { main, skip });
+    block.push(format!("{name}.relu_out"), LayerKind::Relu);
+    LayerKind::Block(block)
+}
+
+/// Plan of a [`crate::InvertedResidual`] block.
+fn inverted_residual_plan(
+    name: &str,
+    in_ch: usize,
+    out_ch: usize,
+    t: usize,
+    stride: usize,
+) -> LayerKind {
+    let hidden = in_ch * t;
+    let mut main = Plan::new();
+    if t != 1 {
+        main.push(
+            format!("{name}.expand.conv"),
+            LayerKind::Conv2d {
+                in_ch,
+                out_ch: hidden,
+                spec: Conv2dSpec::new(1, 1, 0),
+                bias: false,
+            },
+        );
+        main.push(
+            format!("{name}.expand.bn"),
+            LayerKind::BatchNorm2d { channels: hidden },
+        );
+        main.push(format!("{name}.expand.relu6"), LayerKind::Relu6);
+    }
+    main.push(
+        format!("{name}.dw"),
+        LayerKind::DepthwiseConv2d {
+            channels: hidden,
+            spec: Conv2dSpec::new(3, stride, 1),
+        },
+    );
+    main.push(
+        format!("{name}.dw.bn"),
+        LayerKind::BatchNorm2d { channels: hidden },
+    );
+    main.push(format!("{name}.dw.relu6"), LayerKind::Relu6);
+    main.push(
+        format!("{name}.project.conv"),
+        LayerKind::Conv2d {
+            in_ch: hidden,
+            out_ch,
+            spec: Conv2dSpec::new(1, 1, 0),
+            bias: false,
+        },
+    );
+    main.push(
+        format!("{name}.project.bn"),
+        LayerKind::BatchNorm2d { channels: out_ch },
+    );
+    if stride == 1 && in_ch == out_ch {
+        LayerKind::Residual { main, skip: None }
+    } else {
+        LayerKind::Block(main)
+    }
+}
+
+/// Plan of [`crate::build_resnet`], returning `(plan, feat_dim)`.
+///
+/// # Errors
+///
+/// Returns a config-attributed [`SpecError`] for `width == 0` or
+/// [`Arch::MobileNetV2`] (use [`mobilenet_v2_plan`]).
+pub fn resnet_plan(arch: Arch, width: usize) -> Result<(Plan, usize), SpecError> {
+    if width == 0 {
+        return Err(SpecError::config("backbone", "width must be positive"));
+    }
+    let (stage_blocks, stage_mults): (Vec<usize>, Vec<usize>) = match arch {
+        Arch::ResNet18 => (vec![2, 2, 2, 2], vec![1, 2, 4, 8]),
+        Arch::ResNet34 => (vec![3, 4, 6, 3], vec![1, 2, 4, 8]),
+        Arch::ResNet74 => (vec![12, 12, 12], vec![1, 2, 4]),
+        Arch::ResNet110 => (vec![18, 18, 18], vec![1, 2, 4]),
+        Arch::ResNet152 => (vec![25, 25, 25], vec![1, 2, 4]),
+        Arch::MobileNetV2 => {
+            return Err(SpecError::config(
+                "backbone",
+                "use mobilenet_v2_plan for MobileNetV2",
+            ));
+        }
+    };
+    let mut plan = Plan::new();
+    plan.push(
+        "stem.conv",
+        LayerKind::Conv2d {
+            in_ch: 3,
+            out_ch: width,
+            spec: Conv2dSpec::new(3, 1, 1),
+            bias: false,
+        },
+    );
+    plan.push("stem.bn", LayerKind::BatchNorm2d { channels: width });
+    plan.push("stem.relu", LayerKind::Relu);
+    let mut in_ch = width;
+    for (si, (&n_blocks, &mult)) in stage_blocks.iter().zip(&stage_mults).enumerate() {
+        let out_ch = width * mult;
+        for bi in 0..n_blocks {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            let name = format!("s{si}.b{bi}");
+            plan.push(&name, basic_block_plan(&name, in_ch, out_ch, stride));
+            in_ch = out_ch;
+        }
+    }
+    plan.push("gap", LayerKind::GlobalAvgPool);
+    Ok((plan, in_ch))
+}
+
+/// Plan of [`crate::build_mobilenet_v2`], returning `(plan, feat_dim)`.
+///
+/// # Errors
+///
+/// Returns a config-attributed [`SpecError`] for `width == 0`.
+pub fn mobilenet_v2_plan(width: usize) -> Result<(Plan, usize), SpecError> {
+    if width == 0 {
+        return Err(SpecError::config("backbone", "width must be positive"));
+    }
+    let mut plan = Plan::new();
+    plan.push(
+        "stem.conv",
+        LayerKind::Conv2d {
+            in_ch: 3,
+            out_ch: width,
+            spec: Conv2dSpec::new(3, 1, 1),
+            bias: false,
+        },
+    );
+    plan.push("stem.bn", LayerKind::BatchNorm2d { channels: width });
+    plan.push("stem.relu6", LayerKind::Relu6);
+    let stages: [(usize, usize, usize, usize); 3] =
+        [(1, width, 1, 1), (6, 2 * width, 2, 2), (6, 4 * width, 2, 2)];
+    let mut in_ch = width;
+    for (si, &(t, c, n, s)) in stages.iter().enumerate() {
+        for bi in 0..n {
+            let stride = if bi == 0 { s } else { 1 };
+            let name = format!("ir{si}.{bi}");
+            plan.push(&name, inverted_residual_plan(&name, in_ch, c, t, stride));
+            in_ch = c;
+        }
+    }
+    let feat = 8 * width;
+    plan.push(
+        "head.conv",
+        LayerKind::Conv2d {
+            in_ch,
+            out_ch: feat,
+            spec: Conv2dSpec::new(1, 1, 0),
+            bias: false,
+        },
+    );
+    plan.push("head.bn", LayerKind::BatchNorm2d { channels: feat });
+    plan.push("head.relu6", LayerKind::Relu6);
+    plan.push("gap", LayerKind::GlobalAvgPool);
+    Ok((plan, feat))
+}
+
+/// Plan of any backbone architecture, returning `(plan, feat_dim)`.
+///
+/// # Errors
+///
+/// Returns a config-attributed [`SpecError`] for `width == 0`.
+pub fn backbone_plan(arch: Arch, width: usize) -> Result<(Plan, usize), SpecError> {
+    match arch {
+        Arch::MobileNetV2 => mobilenet_v2_plan(width),
+        _ => resnet_plan(arch, width),
+    }
+}
+
+/// Plan of [`crate::mlp_head`] (`Linear → [BN] → ReLU → Linear`).
+pub fn mlp_head_plan(cfg: &HeadConfig, name: &str) -> Plan {
+    let mut plan = Plan::new();
+    plan.push(
+        format!("{name}.fc1"),
+        LayerKind::Linear {
+            in_features: cfg.in_dim,
+            out_features: cfg.hidden,
+            bias: !cfg.batch_norm,
+        },
+    );
+    if cfg.batch_norm {
+        plan.push(
+            format!("{name}.bn"),
+            LayerKind::BatchNorm1d {
+                features: cfg.hidden,
+            },
+        );
+    }
+    plan.push(format!("{name}.relu"), LayerKind::Relu);
+    plan.push(
+        format!("{name}.fc2"),
+        LayerKind::Linear {
+            in_features: cfg.hidden,
+            out_features: cfg.out_dim,
+            bias: true,
+        },
+    );
+    plan
+}
+
+/// Plan of a full [`crate::Encoder`] (backbone + optional projector),
+/// returning `(plan, feat_dim, proj_dim)`.
+///
+/// # Errors
+///
+/// Returns a layer- or config-attributed [`SpecError`] for invalid widths
+/// or projector dimensions.
+pub fn encoder_plan(cfg: &EncoderConfig) -> Result<(Plan, usize, usize), SpecError> {
+    let (mut plan, feat) = backbone_plan(cfg.arch, cfg.width)?;
+    let proj_dim = match cfg.proj {
+        Some((hidden, out)) => {
+            if hidden == 0 || out == 0 {
+                return Err(SpecError::config(
+                    "proj",
+                    format!("projector dims must be positive, got ({hidden}, {out})"),
+                ));
+            }
+            let hc = if cfg.proj_bn {
+                HeadConfig::byol(feat, hidden, out)
+            } else {
+                HeadConfig::simclr(feat, hidden, out)
+            };
+            for l in mlp_head_plan(&hc, "proj").layers() {
+                plan.push(l.name.clone(), l.kind.clone());
+            }
+            out
+        }
+        None => feat,
+    };
+    Ok((plan, feat, proj_dim))
+}
+
+/// Statically validates an encoder configuration: builds its plan and
+/// interprets it on [`NOMINAL_INPUT`], returning `(feat_dim, proj_dim)`.
+///
+/// # Errors
+///
+/// Returns the first layer-attributed [`SpecError`] — this is what makes
+/// [`crate::Encoder::new`] reject invalid configurations before touching
+/// any weights.
+pub fn validate_encoder(cfg: &EncoderConfig) -> Result<(usize, usize), SpecError> {
+    let (plan, feat, proj) = encoder_plan(cfg)?;
+    plan.infer(&NOMINAL_INPUT)?;
+    Ok((feat, proj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_mobilenet_v2, build_resnet, Encoder};
+    use cq_nn::{ForwardCtx, Layer, ParamSet};
+    use cq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Plans must agree with the real networks on parameter count and
+    /// output shape — for every architecture the paper evaluates.
+    #[test]
+    fn plans_match_real_networks_for_every_arch() {
+        for arch in Arch::all() {
+            let mut ps = ParamSet::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let (mut net, feat) = match arch {
+                Arch::MobileNetV2 => build_mobilenet_v2(2, &mut ps, &mut rng),
+                _ => build_resnet(arch, 2, &mut ps, &mut rng),
+            };
+            let (plan, plan_feat) = backbone_plan(arch, 2).unwrap();
+            assert_eq!(plan_feat, feat, "{arch}: feature dim");
+            assert_eq!(plan.param_count(), ps.num_scalars(), "{arch}: param count");
+            let x = Tensor::zeros(&[2, 3, 16, 16]);
+            let (y, _) = net.forward(&ps, &x, &ForwardCtx::eval()).unwrap();
+            assert_eq!(
+                plan.infer(&[2, 3, 16, 16]).unwrap(),
+                y.dims(),
+                "{arch}: shape"
+            );
+            assert!(plan.flops(&[2, 3, 16, 16]).unwrap() > 0, "{arch}: flops");
+        }
+    }
+
+    #[test]
+    fn encoder_plan_matches_encoder_for_every_arch() {
+        for arch in Arch::all() {
+            let cfg = EncoderConfig::new(arch, 2).with_proj(8, 4);
+            let mut enc = Encoder::new(&cfg, 1).unwrap();
+            let (plan, feat, proj) = encoder_plan(&cfg).unwrap();
+            assert_eq!(feat, enc.feat_dim(), "{arch}: feat dim");
+            assert_eq!(proj, enc.proj_dim(), "{arch}: proj dim");
+            assert_eq!(plan.param_count(), enc.num_params(), "{arch}: params");
+            let x = Tensor::zeros(&[2, 3, 16, 16]);
+            let out = enc.forward(&x, &ForwardCtx::eval()).unwrap();
+            assert_eq!(
+                plan.infer(&[2, 3, 16, 16]).unwrap(),
+                out.projection.dims(),
+                "{arch}"
+            );
+        }
+    }
+
+    #[test]
+    fn byol_encoder_plan_counts_bn_head() {
+        let cfg = EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(8, 4);
+        let enc = Encoder::new(&cfg, 1).unwrap();
+        let (plan, _, _) = encoder_plan(&cfg).unwrap();
+        assert_eq!(plan.param_count(), enc.num_params());
+    }
+
+    #[test]
+    fn zero_width_rejected_before_any_allocation() {
+        let cfg = EncoderConfig::new(Arch::ResNet18, 0);
+        let err = validate_encoder(&cfg).unwrap_err();
+        assert!(err.to_string().contains("width"));
+        assert!(Encoder::new(&cfg, 0).is_err());
+    }
+
+    #[test]
+    fn zero_projector_dims_rejected() {
+        let cfg = EncoderConfig::new(Arch::ResNet18, 2).with_proj(0, 4);
+        let err = validate_encoder(&cfg).unwrap_err();
+        assert_eq!(err.layer, "proj");
+        assert!(Encoder::new(&cfg, 0).is_err());
+    }
+
+    #[test]
+    fn off_by_one_projector_input_is_layer_attributed() {
+        // A hand-built head whose input dim misses the backbone features
+        // by one — the canonical wiring mistake cq-check exists to catch.
+        let (mut plan, feat) = backbone_plan(Arch::ResNet18, 2).unwrap();
+        let head = mlp_head_plan(&HeadConfig::simclr(feat + 1, 8, 4), "proj");
+        for l in head.layers() {
+            plan.push(l.name.clone(), l.kind.clone());
+        }
+        let err = plan.infer(&NOMINAL_INPUT).unwrap_err();
+        assert_eq!(err.layer, "proj.fc1");
+        assert!(err
+            .to_string()
+            .contains(&format!("expected {} input features", feat + 1)));
+    }
+}

@@ -6,8 +6,8 @@
 //! layout `6n+2` with `n` = 12 / 18 / 25.
 
 use cq_nn::{
-    BatchNorm2d, Cache, Conv2d, ForwardCtx, GlobalAvgPool, GradSet, Layer, NnError, ParamSet,
-    Relu, Sequential,
+    BatchNorm2d, Cache, Conv2d, ForwardCtx, GlobalAvgPool, GradSet, Layer, NnError, ParamSet, Relu,
+    Sequential,
 };
 use cq_tensor::{Conv2dSpec, Tensor};
 use rand::rngs::StdRng;
@@ -32,7 +32,14 @@ pub enum Arch {
 impl Arch {
     /// All architectures evaluated in the paper, in table order.
     pub fn all() -> [Arch; 6] {
-        [Arch::ResNet18, Arch::ResNet34, Arch::ResNet74, Arch::ResNet110, Arch::ResNet152, Arch::MobileNetV2]
+        [
+            Arch::ResNet18,
+            Arch::ResNet34,
+            Arch::ResNet74,
+            Arch::ResNet110,
+            Arch::ResNet152,
+            Arch::MobileNetV2,
+        ]
     }
 
     /// Human-readable name matching the paper's tables.
@@ -67,7 +74,12 @@ pub struct BasicBlock {
 
 impl std::fmt::Debug for BasicBlock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "BasicBlock(out={}, down={})", self.conv2.out_channels(), self.down.is_some())
+        write!(
+            f,
+            "BasicBlock(out={}, down={})",
+            self.conv2.out_channels(),
+            self.down.is_some()
+        )
     }
 }
 
@@ -94,21 +106,57 @@ impl BasicBlock {
         stride: usize,
         rng: &mut StdRng,
     ) -> Self {
-        let conv1 = Conv2d::new(ps, &format!("{name}.conv1"), in_ch, out_ch, Conv2dSpec::new(3, stride, 1), false, rng);
+        let conv1 = Conv2d::new(
+            ps,
+            &format!("{name}.conv1"),
+            in_ch,
+            out_ch,
+            Conv2dSpec::new(3, stride, 1),
+            false,
+            rng,
+        );
         let bn1 = BatchNorm2d::new(ps, &format!("{name}.bn1"), out_ch);
-        let conv2 = Conv2d::new(ps, &format!("{name}.conv2"), out_ch, out_ch, Conv2dSpec::new(3, 1, 1), false, rng);
+        let conv2 = Conv2d::new(
+            ps,
+            &format!("{name}.conv2"),
+            out_ch,
+            out_ch,
+            Conv2dSpec::new(3, 1, 1),
+            false,
+            rng,
+        );
         let bn2 = BatchNorm2d::new(ps, &format!("{name}.bn2"), out_ch);
         let down = (stride != 1 || in_ch != out_ch).then(|| {
             (
-                Conv2d::new(ps, &format!("{name}.down.conv"), in_ch, out_ch, Conv2dSpec::new(1, stride, 0), false, rng),
+                Conv2d::new(
+                    ps,
+                    &format!("{name}.down.conv"),
+                    in_ch,
+                    out_ch,
+                    Conv2dSpec::new(1, stride, 0),
+                    false,
+                    rng,
+                ),
                 BatchNorm2d::new(ps, &format!("{name}.down.bn"), out_ch),
             )
         });
-        BasicBlock { conv1, bn1, relu1: Relu::new(), conv2, bn2, down, relu_out: Relu::new() }
+        BasicBlock {
+            conv1,
+            bn1,
+            relu1: Relu::new(),
+            conv2,
+            bn2,
+            down,
+            relu_out: Relu::new(),
+        }
     }
 }
 
 impl Layer for BasicBlock {
+    fn layer_kind(&self) -> &'static str {
+        "BasicBlock"
+    }
+
     fn forward(
         &mut self,
         ps: &ParamSet,
@@ -130,7 +178,18 @@ impl Layer for BasicBlock {
         };
         let summed = y5.add(&skip)?;
         let (out, rout) = self.relu_out.forward(ps, &summed, ctx)?;
-        Ok((out, Cache::new(BlockCache { c1, b1, r1, c2, b2, down, rout })))
+        Ok((
+            out,
+            Cache::new(BlockCache {
+                c1,
+                b1,
+                r1,
+                c2,
+                b2,
+                down,
+                rout,
+            }),
+        ))
     }
 
     fn backward(
@@ -155,7 +214,11 @@ impl Layer for BasicBlock {
                 dc.backward(ps, dcc, &ds, gs)?
             }
             (None, None) => dsum,
-            _ => return Err(NnError::CacheMismatch { layer: "BasicBlock".into() }),
+            _ => {
+                return Err(NnError::CacheMismatch {
+                    layer: "BasicBlock".into(),
+                })
+            }
         };
         Ok(dx_main.add(&dx_skip)?)
     }
@@ -207,7 +270,15 @@ pub fn build_resnet(
         Arch::MobileNetV2 => panic!("use build_mobilenet_v2 for MobileNetV2"),
     };
     let mut net = Sequential::new();
-    net.push(Conv2d::new(ps, "stem.conv", 3, width, Conv2dSpec::new(3, 1, 1), false, rng));
+    net.push(Conv2d::new(
+        ps,
+        "stem.conv",
+        3,
+        width,
+        Conv2dSpec::new(3, 1, 1),
+        false,
+        rng,
+    ));
     net.push(BatchNorm2d::new(ps, "stem.bn", width));
     net.push(Relu::new());
     let mut in_ch = width;
@@ -215,7 +286,14 @@ pub fn build_resnet(
         let out_ch = width * mult;
         for bi in 0..n_blocks {
             let stride = if si > 0 && bi == 0 { 2 } else { 1 };
-            net.push(BasicBlock::new(ps, &format!("s{si}.b{bi}"), in_ch, out_ch, stride, rng));
+            net.push(BasicBlock::new(
+                ps,
+                &format!("s{si}.b{bi}"),
+                in_ch,
+                out_ch,
+                stride,
+                rng,
+            ));
             in_ch = out_ch;
         }
     }

@@ -27,6 +27,10 @@ struct ActCache {
 }
 
 impl Layer for Relu {
+    fn layer_kind(&self) -> &'static str {
+        "Relu"
+    }
+
     fn forward(&mut self, _ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
         let mut y = x.clone();
         let mut mask = vec![0.0f32; x.len()];
@@ -69,6 +73,10 @@ impl Relu6 {
 }
 
 impl Layer for Relu6 {
+    fn layer_kind(&self) -> &'static str {
+        "Relu6"
+    }
+
     fn forward(&mut self, _ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
         let mut y = x.clone();
         let mut mask = vec![0.0f32; x.len()];
@@ -107,7 +115,9 @@ mod tests {
     fn relu_clamps_negatives() {
         let mut r = Relu::new();
         let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
-        let (y, _) = r.forward(&ParamSet::new(), &x, &ForwardCtx::eval()).unwrap();
+        let (y, _) = r
+            .forward(&ParamSet::new(), &x, &ForwardCtx::eval())
+            .unwrap();
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
     }
 
@@ -115,9 +125,18 @@ mod tests {
     fn relu_backward_masks() {
         let mut r = Relu::new();
         let x = Tensor::from_slice(&[-1.0, 3.0]);
-        let (_, c) = r.forward(&ParamSet::new(), &x, &ForwardCtx::eval()).unwrap();
+        let (_, c) = r
+            .forward(&ParamSet::new(), &x, &ForwardCtx::eval())
+            .unwrap();
         let mut gs = ParamSet::new().zero_grads();
-        let dx = r.backward(&ParamSet::new(), &c, &Tensor::from_slice(&[5.0, 5.0]), &mut gs).unwrap();
+        let dx = r
+            .backward(
+                &ParamSet::new(),
+                &c,
+                &Tensor::from_slice(&[5.0, 5.0]),
+                &mut gs,
+            )
+            .unwrap();
         assert_eq!(dx.as_slice(), &[0.0, 5.0]);
     }
 
@@ -125,11 +144,18 @@ mod tests {
     fn relu6_saturates_both_ends() {
         let mut r = Relu6::new();
         let x = Tensor::from_slice(&[-1.0, 3.0, 9.0]);
-        let (y, c) = r.forward(&ParamSet::new(), &x, &ForwardCtx::eval()).unwrap();
+        let (y, c) = r
+            .forward(&ParamSet::new(), &x, &ForwardCtx::eval())
+            .unwrap();
         assert_eq!(y.as_slice(), &[0.0, 3.0, 6.0]);
         let mut gs = ParamSet::new().zero_grads();
         let dx = r
-            .backward(&ParamSet::new(), &c, &Tensor::from_slice(&[1.0, 1.0, 1.0]), &mut gs)
+            .backward(
+                &ParamSet::new(),
+                &c,
+                &Tensor::from_slice(&[1.0, 1.0, 1.0]),
+                &mut gs,
+            )
             .unwrap();
         assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0]);
     }
@@ -152,7 +178,19 @@ mod tests {
     fn gradcheck_relu_like() {
         // use inputs away from the kink; gradcheck draws N(0,1), kinks at 0
         // can flip under eps. Tolerance is loose to absorb that.
-        crate::gradcheck::check_layer(Relu::new(), ParamSet::new(), &[4, 6], &ForwardCtx::eval(), 0.3);
-        crate::gradcheck::check_layer(Relu6::new(), ParamSet::new(), &[4, 6], &ForwardCtx::eval(), 0.3);
+        crate::gradcheck::check_layer(
+            Relu::new(),
+            ParamSet::new(),
+            &[4, 6],
+            &ForwardCtx::eval(),
+            0.3,
+        );
+        crate::gradcheck::check_layer(
+            Relu6::new(),
+            ParamSet::new(),
+            &[4, 6],
+            &ForwardCtx::eval(),
+            0.3,
+        );
     }
 }

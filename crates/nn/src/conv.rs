@@ -118,7 +118,13 @@ impl Conv2d {
         let w = Tensor::kaiming_normal(&[out_channels, fan_in], fan_in, rng);
         let weight = ps.add(format!("{name}.weight"), w);
         let bias = bias.then(|| ps.add(format!("{name}.bias"), Tensor::zeros(&[out_channels])));
-        Conv2d { weight, bias, spec, in_channels, out_channels }
+        Conv2d {
+            weight,
+            bias,
+            spec,
+            in_channels,
+            out_channels,
+        }
     }
 
     /// The layer's geometry.
@@ -149,6 +155,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn layer_kind(&self) -> &'static str {
+        "Conv2d"
+    }
+
     fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
         let (n, h, w) = self.check_input(x)?;
         let (oh, ow) = self.spec.out_hw(h, w)?;
@@ -171,7 +181,14 @@ impl Layer for Conv2d {
                     s.spawn(move |_| {
                         let mut cols = vec![0.0f32; ckk * oh * ow];
                         for i in b0..b1 {
-                            im2col(&xs[i * c * h * w..(i + 1) * c * h * w], c, h, w, &spec, &mut cols);
+                            im2col(
+                                &xs[i * c * h * w..(i + 1) * c * h * w],
+                                c,
+                                h,
+                                w,
+                                &spec,
+                                &mut cols,
+                            );
                             // SAFETY: sample chunks are disjoint across bands.
                             let dst = unsafe {
                                 std::slice::from_raw_parts_mut(
@@ -191,10 +208,18 @@ impl Layer for Conv2d {
                     });
                 }
             })
-            .expect("conv2d forward worker panicked");
+            .expect("conv2d forward worker panicked"); // cq-check: allow — re-raises a worker panic
         }
         let y = Tensor::from_vec(out, &[n, o, oh, ow])?;
-        Ok((y, Cache::new(ConvCache { input: x.clone(), used_weight: used, in_hw: (h, w), out_hw: (oh, ow) })))
+        Ok((
+            y,
+            Cache::new(ConvCache {
+                input: x.clone(),
+                used_weight: used,
+                in_hw: (h, w),
+                out_hw: (oh, ow),
+            }),
+        ))
     }
 
     fn backward(
@@ -217,7 +242,11 @@ impl Layer for Conv2d {
             });
         }
         let ckk = self.spec.col_rows(c);
-        let wslice = cch.used_weight.as_ref().unwrap_or_else(|| ps.get(self.weight)).as_slice();
+        let wslice = cch
+            .used_weight
+            .as_ref()
+            .unwrap_or_else(|| ps.get(self.weight))
+            .as_slice();
         let xs = cch.input.as_slice();
         let dys = dy.as_slice();
         let spec = self.spec;
@@ -243,14 +272,17 @@ impl Layer for Conv2d {
                             mm_tn(wslice, o, ckk, dy_n, oh * ow, &mut dcols);
                             // SAFETY: disjoint per-sample chunks.
                             let dx_n = unsafe {
-                                std::slice::from_raw_parts_mut(dx_ptr.0.add(i * c * h * w), c * h * w)
+                                std::slice::from_raw_parts_mut(
+                                    dx_ptr.0.add(i * c * h * w),
+                                    c * h * w,
+                                )
                             };
                             col2im(&dcols, c, h, w, &spec, dx_n);
                         }
                     });
                 }
             })
-            .expect("conv2d backward worker panicked");
+            .expect("conv2d backward worker panicked"); // cq-check: allow — re-raises a worker panic
         }
         // In-order reduction of per-band partials keeps gradients deterministic.
         let mut dw = Tensor::zeros(&[o, ckk]);
@@ -303,7 +335,11 @@ impl DepthwiseConv2d {
         let fan_in = spec.kernel.0 * spec.kernel.1;
         let w = Tensor::kaiming_normal(&[channels, spec.kernel.0, spec.kernel.1], fan_in, rng);
         let weight = ps.add(format!("{name}.weight"), w);
-        DepthwiseConv2d { weight, spec, channels }
+        DepthwiseConv2d {
+            weight,
+            spec,
+            channels,
+        }
     }
 
     /// The weight parameter handle.
@@ -313,6 +349,10 @@ impl DepthwiseConv2d {
 }
 
 impl Layer for DepthwiseConv2d {
+    fn layer_kind(&self) -> &'static str {
+        "DepthwiseConv2d"
+    }
+
     fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
         if x.rank() != 4 || x.dims()[1] != self.channels {
             return Err(NnError::BadInput {
@@ -356,10 +396,18 @@ impl Layer for DepthwiseConv2d {
                     });
                 }
             })
-            .expect("depthwise forward worker panicked");
+            .expect("depthwise forward worker panicked"); // cq-check: allow — re-raises a worker panic
         }
         let y = Tensor::from_vec(out, &[n, c, oh, ow])?;
-        Ok((y, Cache::new(DwCache { input: x.clone(), used_weight: used, in_hw: (h, w), out_hw: (oh, ow) })))
+        Ok((
+            y,
+            Cache::new(DwCache {
+                input: x.clone(),
+                used_weight: used,
+                in_hw: (h, w),
+                out_hw: (oh, ow),
+            }),
+        ))
     }
 
     fn backward(
@@ -381,7 +429,11 @@ impl Layer for DepthwiseConv2d {
                 got: dy.dims().to_vec(),
             });
         }
-        let wslice = cch.used_weight.as_ref().unwrap_or_else(|| ps.get(self.weight)).as_slice();
+        let wslice = cch
+            .used_weight
+            .as_ref()
+            .unwrap_or_else(|| ps.get(self.weight))
+            .as_slice();
         let xs = cch.input.as_slice();
         let dys = dy.as_slice();
         let spec = self.spec;
@@ -399,7 +451,10 @@ impl Layer for DepthwiseConv2d {
                         for i in b0..b1 {
                             // SAFETY: disjoint per-sample chunks.
                             let dx_n = unsafe {
-                                std::slice::from_raw_parts_mut(dx_ptr.0.add(i * c * h * w), c * h * w)
+                                std::slice::from_raw_parts_mut(
+                                    dx_ptr.0.add(i * c * h * w),
+                                    c * h * w,
+                                )
                             };
                             depthwise_conv2d_backward(
                                 &xs[i * c * h * w..(i + 1) * c * h * w],
@@ -416,7 +471,7 @@ impl Layer for DepthwiseConv2d {
                     });
                 }
             })
-            .expect("depthwise backward worker panicked");
+            .expect("depthwise backward worker panicked"); // cq-check: allow — re-raises a worker panic
         }
         let mut dw = Tensor::zeros(&[c, kh, kw]);
         for part in &dw_partials {
@@ -449,8 +504,18 @@ mod tests {
     fn conv_rejects_wrong_channels() {
         let mut ps = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut conv = Conv2d::new(&mut ps, "c", 3, 8, Conv2dSpec::new(3, 1, 1), false, &mut rng);
-        assert!(conv.forward(&ps, &Tensor::ones(&[2, 4, 8, 8]), &ForwardCtx::train()).is_err());
+        let mut conv = Conv2d::new(
+            &mut ps,
+            "c",
+            3,
+            8,
+            Conv2dSpec::new(3, 1, 1),
+            false,
+            &mut rng,
+        );
+        assert!(conv
+            .forward(&ps, &Tensor::ones(&[2, 4, 8, 8]), &ForwardCtx::train())
+            .is_err());
     }
 
     #[test]
@@ -465,7 +530,15 @@ mod tests {
     fn conv_gradcheck_strided() {
         let mut ps = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(2);
-        let conv = Conv2d::new(&mut ps, "c", 2, 4, Conv2dSpec::new(3, 2, 1), false, &mut rng);
+        let conv = Conv2d::new(
+            &mut ps,
+            "c",
+            2,
+            4,
+            Conv2dSpec::new(3, 2, 1),
+            false,
+            &mut rng,
+        );
         crate::gradcheck::check_layer(conv, ps, &[2, 2, 6, 6], &ForwardCtx::train(), 2e-2);
     }
 
@@ -473,7 +546,15 @@ mod tests {
     fn conv_1x1_gradcheck() {
         let mut ps = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(3);
-        let conv = Conv2d::new(&mut ps, "c", 3, 2, Conv2dSpec::new(1, 1, 0), false, &mut rng);
+        let conv = Conv2d::new(
+            &mut ps,
+            "c",
+            3,
+            2,
+            Conv2dSpec::new(1, 1, 0),
+            false,
+            &mut rng,
+        );
         crate::gradcheck::check_layer(conv, ps, &[2, 3, 4, 4], &ForwardCtx::train(), 2e-2);
     }
 
@@ -481,7 +562,15 @@ mod tests {
     fn conv_quantized_output_differs_from_fp() {
         let mut ps = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(4);
-        let mut conv = Conv2d::new(&mut ps, "c", 3, 4, Conv2dSpec::new(3, 1, 1), false, &mut rng);
+        let mut conv = Conv2d::new(
+            &mut ps,
+            "c",
+            3,
+            4,
+            Conv2dSpec::new(3, 1, 1),
+            false,
+            &mut rng,
+        );
         let x = Tensor::randn(&[1, 3, 6, 6], 0.0, 1.0, &mut rng);
         let (yf, _) = conv.forward(&ps, &x, &ForwardCtx::eval()).unwrap();
         let ctx4 = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(4)));
@@ -490,7 +579,10 @@ mod tests {
         let (y16, _) = conv.forward(&ps, &x, &ctx16).unwrap();
         let e4 = y4.sub(&yf).unwrap().norm();
         let e16 = y16.sub(&yf).unwrap().norm();
-        assert!(e4 > e16, "4-bit noise {e4} should exceed 16-bit noise {e16}");
+        assert!(
+            e4 > e16,
+            "4-bit noise {e4} should exceed 16-bit noise {e16}"
+        );
         assert!(e4 > 1e-4);
     }
 

@@ -48,17 +48,31 @@ pub struct ForwardCtx {
     /// Optional Gaussian weight perturbation (noise-augmentation
     /// extension; `None` in all of the paper's own pipelines).
     pub weight_noise: Option<WeightNoise>,
+    /// Numerics sanitizer: when set, containers check every layer's output
+    /// for NaN/Inf and fail with a layer-attributed error (see
+    /// [`cq_tensor::sanitize`]). Denormals are recorded as warnings.
+    pub sanitize: bool,
 }
 
 impl ForwardCtx {
     /// Training context at full precision.
     pub fn train() -> Self {
-        ForwardCtx { mode: Mode::Train, quant: QuantConfig::fp(), weight_noise: None }
+        ForwardCtx {
+            mode: Mode::Train,
+            quant: QuantConfig::fp(),
+            weight_noise: None,
+            sanitize: false,
+        }
     }
 
     /// Evaluation context at full precision.
     pub fn eval() -> Self {
-        ForwardCtx { mode: Mode::Eval, quant: QuantConfig::fp(), weight_noise: None }
+        ForwardCtx {
+            mode: Mode::Eval,
+            quant: QuantConfig::fp(),
+            weight_noise: None,
+            sanitize: false,
+        }
     }
 
     /// Returns a copy with the given quantization config.
@@ -70,6 +84,15 @@ impl ForwardCtx {
     /// Returns a copy with Gaussian weight noise enabled.
     pub fn with_weight_noise(mut self, std: f32, seed: u64) -> Self {
         self.weight_noise = Some(WeightNoise { std, seed });
+        self
+    }
+
+    /// Returns a copy with the numerics sanitizer enabled: every layer
+    /// output inside a [`crate::Sequential`] is checked for NaN/Inf, and a
+    /// violation fails the forward pass with an error naming the producing
+    /// layer.
+    pub fn with_sanitize(mut self) -> Self {
+        self.sanitize = true;
         self
     }
 
@@ -113,7 +136,9 @@ impl Cache {
     pub fn downcast<T: Any>(&self, layer: &str) -> Result<&T> {
         self.0
             .downcast_ref::<T>()
-            .ok_or_else(|| NnError::CacheMismatch { layer: layer.to_string() })
+            .ok_or_else(|| NnError::CacheMismatch {
+                layer: layer.to_string(),
+            })
     }
 }
 
@@ -130,6 +155,8 @@ mod tests {
         let q = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(4)));
         assert!(!q.is_train());
         assert!(q.quant.is_quantized());
+        assert!(!q.sanitize);
+        assert!(ForwardCtx::eval().with_sanitize().sanitize);
     }
 
     #[test]

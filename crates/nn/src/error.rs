@@ -39,11 +39,18 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
-            NnError::BadInput { layer, expected, got } => {
+            NnError::BadInput {
+                layer,
+                expected,
+                got,
+            } => {
                 write!(f, "layer `{layer}` expected {expected}, got shape {got:?}")
             }
             NnError::CacheMismatch { layer } => {
-                write!(f, "cache passed to layer `{layer}` was created by a different layer")
+                write!(
+                    f,
+                    "cache passed to layer `{layer}` was created by a different layer"
+                )
             }
             NnError::Param(msg) => write!(f, "parameter error: {msg}"),
             NnError::NonFinite { context } => write!(f, "non-finite value in {context}"),
@@ -83,7 +90,11 @@ mod tests {
         let e: NnError = TensorError::Io("x".into()).into();
         assert!(e.to_string().contains("tensor error"));
         assert!(e.source().is_some());
-        let b = NnError::BadInput { layer: "conv1".into(), expected: "NCHW".into(), got: vec![2] };
+        let b = NnError::BadInput {
+            layer: "conv1".into(),
+            expected: "NCHW".into(),
+            got: vec![2],
+        };
         assert!(b.to_string().contains("conv1"));
     }
 

@@ -87,6 +87,33 @@ pub fn check_layer_eps<L: Layer>(
     run_check(layer, ps, input_shape, ctx, tol, eps, false)
 }
 
+/// Appends a machine-readable one-line summary of a finished check to the
+/// file named by the `CQ_GRADCHECK_LOG` env var (no-op when unset).
+///
+/// Format: `gradcheck layer=<kind> max_rel=<err> coords=<n>` — one line
+/// per [`check_layer`]-family call, consumed by the `cq-check` binary's
+/// gradcheck-coverage lint.
+fn log_summary(kind: &str, max_rel: f32, coords: usize) {
+    let Ok(path) = std::env::var("CQ_GRADCHECK_LOG") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    // Logging is best-effort: an unwritable log must not fail the check.
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            f,
+            "gradcheck layer={kind} max_rel={max_rel} coords={coords}"
+        );
+    }
+}
+
 fn run_check<L: Layer>(
     mut layer: L,
     mut ps: ParamSet,
@@ -99,16 +126,26 @@ fn run_check<L: Layer>(
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     let x = Tensor::randn(input_shape, 0.0, 1.0, &mut rng);
 
-    let (y0, cache) = layer.forward(&ps, &x, ctx).expect("gradcheck: forward failed");
+    let (y0, cache) = layer
+        .forward(&ps, &x, ctx)
+        .expect("gradcheck: forward failed"); // cq-check: allow — gradcheck reports failures by panicking
     let r = Tensor::randn(y0.dims(), 0.0, 1.0, &mut rng);
 
     let mut gs = ps.zero_grads();
-    let dx = layer.backward(&ps, &cache, &r, &mut gs).expect("gradcheck: backward failed");
+    let dx = layer
+        .backward(&ps, &cache, &r, &mut gs)
+        .expect("gradcheck: backward failed"); // cq-check: allow — gradcheck reports failures by panicking
     assert_eq!(dx.dims(), x.dims(), "input gradient shape mismatch");
 
     let loss = |layer: &mut L, ps: &ParamSet, x: &Tensor| -> f32 {
-        let (y, _) = layer.forward(ps, x, ctx).expect("gradcheck: forward failed");
-        y.as_slice().iter().zip(r.as_slice()).map(|(&a, &b)| a * b).sum()
+        let (y, _) = layer
+            .forward(ps, x, ctx)
+            .expect("gradcheck: forward failed"); // cq-check: allow — gradcheck reports failures by panicking
+        y.as_slice()
+            .iter()
+            .zip(r.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum()
     };
 
     // (relative error, description) for every sampled coordinate.
@@ -129,7 +166,16 @@ fn run_check<L: Layer>(
             let an = gs.get(id).as_slice()[ci];
             let denom = 1.0f32.max(fd.abs()).max(an.abs());
             let rel = (fd - an).abs() / denom;
-            results.push((rel, format!("param `{}`[{}]: finite-diff {} vs analytic {}", ps.name(id), ci, fd, an)));
+            results.push((
+                rel,
+                format!(
+                    "param `{}`[{}]: finite-diff {} vs analytic {}",
+                    ps.name(id),
+                    ci,
+                    fd,
+                    an
+                ),
+            ));
         }
     }
 
@@ -146,8 +192,14 @@ fn run_check<L: Layer>(
         let an = dx.as_slice()[ci];
         let denom = 1.0f32.max(fd.abs()).max(an.abs());
         let rel = (fd - an).abs() / denom;
-        results.push((rel, format!("input[{ci}]: finite-diff {fd} vs analytic {an}")));
+        results.push((
+            rel,
+            format!("input[{ci}]: finite-diff {fd} vs analytic {an}"),
+        ));
     }
+
+    let max_rel = results.iter().map(|(rel, _)| *rel).fold(0.0f32, f32::max);
+    log_summary(layer.layer_kind(), max_rel, results.len());
 
     if soft {
         let failures: Vec<&(f32, String)> = results.iter().filter(|(rel, _)| *rel >= tol).collect();
@@ -217,13 +269,48 @@ mod tests {
 
     #[test]
     fn accepts_correct_backward() {
-        check_layer(CorrectDouble, ParamSet::new(), &[3, 4], &ForwardCtx::eval(), 1e-3);
+        check_layer(
+            CorrectDouble,
+            ParamSet::new(),
+            &[3, 4],
+            &ForwardCtx::eval(),
+            1e-3,
+        );
     }
 
     #[test]
     #[should_panic(expected = "finite-diff")]
     fn rejects_broken_backward() {
-        check_layer(BrokenDouble, ParamSet::new(), &[3, 4], &ForwardCtx::eval(), 1e-3);
+        check_layer(
+            BrokenDouble,
+            ParamSet::new(),
+            &[3, 4],
+            &ForwardCtx::eval(),
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn summary_logging_appends_machine_readable_line() {
+        let path = std::env::temp_dir().join(format!("cq-gradcheck-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CQ_GRADCHECK_LOG", &path);
+        check_layer(
+            CorrectDouble,
+            ParamSet::new(),
+            &[2, 2],
+            &ForwardCtx::eval(),
+            1e-3,
+        );
+        std::env::remove_var("CQ_GRADCHECK_LOG");
+        let log = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            log.lines().any(|l| l.starts_with("gradcheck layer=")
+                && l.contains("max_rel=")
+                && l.contains("coords=")),
+            "no summary line in: {log}"
+        );
     }
 
     #[test]

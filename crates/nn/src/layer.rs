@@ -47,6 +47,12 @@ pub trait Layer: Send {
     fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
         Vec::new()
     }
+
+    /// Short type name used by diagnostics (the numerics sanitizer labels
+    /// violations with it). Override in concrete layers.
+    fn layer_kind(&self) -> &'static str {
+        "layer"
+    }
 }
 
 /// A chain of layers applied in order.
@@ -130,15 +136,36 @@ impl Sequential {
                 self.layers.len()
             )));
         }
-        let mut children = Vec::with_capacity(n_layers);
-        let mut cur = x.clone();
-        for layer in &mut self.layers[..n_layers] {
-            let (y, c) = layer.forward(ps, &cur, ctx)?;
-            children.push(c);
-            cur = y;
-        }
-        Ok((cur, Cache::new(SeqCache { children })))
+        run_layers(&mut self.layers[..n_layers], ps, x, ctx)
     }
+}
+
+/// Runs a chain of layers, checking each output when `ctx.sanitize` is on.
+fn run_layers(
+    layers: &mut [Box<dyn Layer>],
+    ps: &ParamSet,
+    x: &Tensor,
+    ctx: &ForwardCtx,
+) -> Result<(Tensor, Cache)> {
+    let mut children = Vec::with_capacity(layers.len());
+    let mut cur = x.clone();
+    for (i, layer) in layers.iter_mut().enumerate() {
+        let (y, c) = layer.forward(ps, &cur, ctx)?;
+        if ctx.sanitize {
+            let label = format!("layer #{i} ({})", layer.layer_kind());
+            if let Some(v) = cq_tensor::sanitize::scan(&label, y.dims(), y.as_slice()) {
+                cq_tensor::sanitize::record(v.clone());
+                if v.kind.is_fatal() {
+                    return Err(crate::NnError::NonFinite {
+                        context: v.to_string(),
+                    });
+                }
+            }
+        }
+        children.push(c);
+        cur = y;
+    }
+    Ok((cur, Cache::new(SeqCache { children })))
 }
 
 /// Trace for [`Sequential`]: one cache per child layer.
@@ -148,14 +175,7 @@ struct SeqCache {
 
 impl Layer for Sequential {
     fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
-        let mut children = Vec::with_capacity(self.layers.len());
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            let (y, c) = layer.forward(ps, &cur, ctx)?;
-            children.push(c);
-            cur = y;
-        }
-        Ok((cur, Cache::new(SeqCache { children })))
+        run_layers(&mut self.layers, ps, x, ctx)
     }
 
     fn backward(
@@ -169,10 +189,16 @@ impl Layer for Sequential {
         // Prefix caches (from `forward_upto`) walk only the layers they
         // cover; a full-forward cache covers every layer.
         if c.children.len() > self.layers.len() {
-            return Err(crate::NnError::CacheMismatch { layer: "Sequential".into() });
+            return Err(crate::NnError::CacheMismatch {
+                layer: "Sequential".into(),
+            });
         }
         let mut cur = dy.clone();
-        for (layer, child) in self.layers[..c.children.len()].iter().zip(&c.children).rev() {
+        for (layer, child) in self.layers[..c.children.len()]
+            .iter()
+            .zip(&c.children)
+            .rev()
+        {
             cur = layer.backward(ps, child, &cur, gs)?;
         }
         Ok(cur)
@@ -183,7 +209,14 @@ impl Layer for Sequential {
     }
 
     fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
-        self.layers.iter_mut().flat_map(|l| l.state_tensors_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.state_tensors_mut())
+            .collect()
+    }
+
+    fn layer_kind(&self) -> &'static str {
+        "Sequential"
     }
 }
 
@@ -233,8 +266,21 @@ mod tests {
         let (y, cache) = seq.forward(&ps, &x, &ForwardCtx::eval()).unwrap();
         assert_eq!(y.dims(), &[4, 2]);
         let mut gs = ps.zero_grads();
-        let dx = seq.backward(&ps, &cache, &Tensor::ones(&[4, 2]), &mut gs).unwrap();
+        let dx = seq
+            .backward(&ps, &cache, &Tensor::ones(&[4, 2]), &mut gs)
+            .unwrap();
         assert_eq!(dx.dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn sequential_gradcheck() {
+        let mut ps = ParamSet::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut seq = Sequential::new();
+        seq.push(Linear::new(&mut ps, "g.fc1", 4, 6, true, &mut rng));
+        seq.push(Relu::new());
+        seq.push(Linear::new(&mut ps, "g.fc2", 6, 3, true, &mut rng));
+        crate::gradcheck::check_layer_soft(seq, ps, &[2, 4], &ForwardCtx::eval(), 1e-2);
     }
 
     #[test]
@@ -245,7 +291,64 @@ mod tests {
         seq.push(Linear::new(&mut ps, "a", 3, 3, true, &mut rng));
         let mut gs = ps.zero_grads();
         let bad = Cache::new(7u8);
-        assert!(seq.backward(&ps, &bad, &Tensor::ones(&[1, 3]), &mut gs).is_err());
+        assert!(seq
+            .backward(&ps, &bad, &Tensor::ones(&[1, 3]), &mut gs)
+            .is_err());
+    }
+
+    /// Test layer that poisons one output element with NaN.
+    struct NanLayer;
+
+    impl Layer for NanLayer {
+        fn forward(
+            &mut self,
+            _ps: &ParamSet,
+            x: &Tensor,
+            _ctx: &ForwardCtx,
+        ) -> Result<(Tensor, Cache)> {
+            let mut y = x.clone();
+            y.as_mut_slice()[0] = f32::NAN;
+            Ok((y, Cache::none()))
+        }
+
+        fn backward(
+            &self,
+            _ps: &ParamSet,
+            _cache: &Cache,
+            dy: &Tensor,
+            _gs: &mut GradSet,
+        ) -> Result<Tensor> {
+            Ok(dy.clone())
+        }
+
+        fn layer_kind(&self) -> &'static str {
+            "NanLayer"
+        }
+    }
+
+    #[test]
+    fn sanitize_attributes_nan_to_producing_layer() {
+        let mut ps = ParamSet::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut seq = Sequential::new();
+        seq.push(Linear::new(&mut ps, "a", 3, 3, true, &mut rng));
+        seq.push(NanLayer);
+        seq.push(Relu::new());
+        let x = Tensor::ones(&[2, 3]);
+        // Without the sanitizer the NaN flows through silently.
+        assert!(seq.forward(&ps, &x, &ForwardCtx::eval()).is_ok());
+        // With it, the pass fails and names the producing layer.
+        let err = seq
+            .forward(&ps, &x, &ForwardCtx::eval().with_sanitize())
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("layer #1 (NanLayer)"),
+            "unattributed error: {msg}"
+        );
+        let recorded = cq_tensor::sanitize::take_violations();
+        assert_eq!(recorded.len(), 1);
+        assert!(recorded[0].kind.is_fatal());
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod optim;
 mod param;
 mod perturb;
 mod pool;
+pub mod spec;
 
 pub use act::{Relu, Relu6};
 pub use conv::{Conv2d, DepthwiseConv2d};
@@ -65,7 +66,9 @@ pub use layer::{copy_state, Layer, Sequential};
 pub use linear::Linear;
 pub use loss::{accuracy, mse_loss, softmax_cross_entropy, LossOutput};
 pub use norm::{BatchNorm1d, BatchNorm2d};
-pub use optim::{clip_grad_norm, global_grad_norm, CosineSchedule, Lars, LarsConfig, Sgd, SgdConfig};
+pub use optim::{
+    clip_grad_norm, global_grad_norm, CosineSchedule, Lars, LarsConfig, Sgd, SgdConfig,
+};
 pub use param::{GradSet, ParamId, ParamSet};
 pub use pool::{AvgPool2dLayer, GlobalAvgPool, MaxPool2dLayer};
 

@@ -38,10 +38,16 @@ impl Linear {
         bias: bool,
         rng: &mut StdRng,
     ) -> Self {
-        let w = Tensor::xavier_uniform(&[out_features, in_features], in_features, out_features, rng);
+        let w =
+            Tensor::xavier_uniform(&[out_features, in_features], in_features, out_features, rng);
         let weight = ps.add(format!("{name}.weight"), w);
         let bias = bias.then(|| ps.add(format!("{name}.bias"), Tensor::zeros(&[out_features])));
-        Linear { weight, bias, in_features, out_features }
+        Linear {
+            weight,
+            bias,
+            in_features,
+            out_features,
+        }
     }
 
     /// Input feature count.
@@ -61,6 +67,10 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn layer_kind(&self) -> &'static str {
+        "Linear"
+    }
+
     fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
         if x.rank() != 2 || x.dims()[1] != self.in_features {
             return Err(NnError::BadInput {
@@ -76,7 +86,13 @@ impl Layer for Linear {
             Some(b) => y.add_broadcast(ps.get(b))?,
             None => y,
         };
-        Ok((y, Cache::new(LinearCache { input: x.clone(), used_weight: used })))
+        Ok((
+            y,
+            Cache::new(LinearCache {
+                input: x.clone(),
+                used_weight: used,
+            }),
+        ))
     }
 
     fn backward(
@@ -94,7 +110,10 @@ impl Layer for Linear {
             gs.accumulate(b, &dy.sum_axis(0)?)?;
         }
         // dx = dy W, where W is the weight actually used in forward.
-        let w = c.used_weight.as_ref().unwrap_or_else(|| ps.get(self.weight));
+        let w = c
+            .used_weight
+            .as_ref()
+            .unwrap_or_else(|| ps.get(self.weight));
         Ok(dy.matmul(w)?)
     }
 }
@@ -118,16 +137,24 @@ mod tests {
         // zero the weight; output should equal the bias
         ps.get_mut(fc.weight_id()).fill(0.0);
         let bias_id = fc.bias.unwrap();
-        ps.get_mut(bias_id).as_mut_slice().copy_from_slice(&[1.0, -1.0]);
-        let (y, _) = fc.forward(&ps, &Tensor::ones(&[2, 3]), &ForwardCtx::eval()).unwrap();
+        ps.get_mut(bias_id)
+            .as_mut_slice()
+            .copy_from_slice(&[1.0, -1.0]);
+        let (y, _) = fc
+            .forward(&ps, &Tensor::ones(&[2, 3]), &ForwardCtx::eval())
+            .unwrap();
         assert_eq!(y.as_slice(), &[1.0, -1.0, 1.0, -1.0]);
     }
 
     #[test]
     fn rejects_bad_input() {
         let (ps, mut fc) = setup();
-        assert!(fc.forward(&ps, &Tensor::ones(&[2, 4]), &ForwardCtx::eval()).is_err());
-        assert!(fc.forward(&ps, &Tensor::ones(&[4]), &ForwardCtx::eval()).is_err());
+        assert!(fc
+            .forward(&ps, &Tensor::ones(&[2, 4]), &ForwardCtx::eval())
+            .is_err());
+        assert!(fc
+            .forward(&ps, &Tensor::ones(&[4]), &ForwardCtx::eval())
+            .is_err());
     }
 
     #[test]
@@ -157,7 +184,11 @@ mod tests {
         let dy = Tensor::ones(&[1, 2]);
         let dx = fc.backward(&ps, &cache, &dy, &mut gs).unwrap();
         // dx should equal column sums of the quantized weight, not the raw one
-        let wq = cq_quant::fake_quant(ps.get(fc.weight_id()), Precision::Bits(2), cq_quant::QuantMode::Round);
+        let wq = cq_quant::fake_quant(
+            ps.get(fc.weight_id()),
+            Precision::Bits(2),
+            cq_quant::QuantMode::Round,
+        );
         let expected = wq.sum_axis(0).unwrap();
         for (a, b) in dx.as_slice().iter().zip(expected.as_slice()) {
             assert!((a - b).abs() < 1e-5);
@@ -170,8 +201,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut fc = Linear::new(&mut ps, "fc", 2, 2, false, &mut rng);
         assert_eq!(ps.len(), 1);
-        let (_, cache) = fc.forward(&ps, &Tensor::ones(&[1, 2]), &ForwardCtx::train()).unwrap();
+        let (_, cache) = fc
+            .forward(&ps, &Tensor::ones(&[1, 2]), &ForwardCtx::train())
+            .unwrap();
         let mut gs = ps.zero_grads();
-        fc.backward(&ps, &cache, &Tensor::ones(&[1, 2]), &mut gs).unwrap();
+        fc.backward(&ps, &cache, &Tensor::ones(&[1, 2]), &mut gs)
+            .unwrap();
     }
 }

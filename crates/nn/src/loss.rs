@@ -176,7 +176,8 @@ mod tests {
             pp.as_mut_slice()[idx] += eps;
             let mut pm = p.clone();
             pm.as_mut_slice()[idx] -= eps;
-            let fd = (mse_loss(&pp, &t).unwrap().loss - mse_loss(&pm, &t).unwrap().loss) / (2.0 * eps);
+            let fd =
+                (mse_loss(&pp, &t).unwrap().loss - mse_loss(&pm, &t).unwrap().loss) / (2.0 * eps);
             assert!((fd - out.grad.as_slice()[idx]).abs() < 1e-3);
         }
     }

@@ -74,9 +74,9 @@ impl BatchNormInner {
                 let mut mean = vec![0.0f32; c];
                 let mut var = vec![0.0f32; c];
                 for o in 0..outer {
-                    for ci in 0..c {
+                    for (ci, mv) in mean.iter_mut().enumerate() {
                         let base = (o * c + ci) * inner;
-                        mean[ci] += xs[base..base + inner].iter().sum::<f32>();
+                        *mv += xs[base..base + inner].iter().sum::<f32>();
                     }
                 }
                 for v in &mut mean {
@@ -86,7 +86,10 @@ impl BatchNormInner {
                     for ci in 0..c {
                         let base = (o * c + ci) * inner;
                         let mu = mean[ci];
-                        var[ci] += xs[base..base + inner].iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>();
+                        var[ci] += xs[base..base + inner]
+                            .iter()
+                            .map(|&v| (v - mu) * (v - mu))
+                            .sum::<f32>();
                     }
                 }
                 for v in &mut var {
@@ -132,7 +135,16 @@ impl BatchNormInner {
         }
         let xhat = Tensor::from_vec(xhat, x.dims())?;
         let y = Tensor::from_vec(y, x.dims())?;
-        Ok((y, Cache::new(BnCache { xhat, inv_std, outer, inner, mode: ctx.mode })))
+        Ok((
+            y,
+            Cache::new(BnCache {
+                xhat,
+                inv_std,
+                outer,
+                inner,
+                mode: ctx.mode,
+            }),
+        ))
     }
 
     fn backward(
@@ -184,9 +196,9 @@ impl BatchNormInner {
             }
             Mode::Eval => {
                 for o in 0..outer {
-                    for ci in 0..c {
+                    for (ci, &gc) in g.iter().enumerate() {
                         let base = (o * c + ci) * inner;
-                        let coef = g[ci] * cch.inv_std[ci];
+                        let coef = gc * cch.inv_std[ci];
                         for k in 0..inner {
                             dx[base + k] = dys[base + k] * coef;
                         }
@@ -210,7 +222,9 @@ impl BatchNorm2d {
     /// Creates a 2-D batch norm with the given channel count
     /// (momentum 0.1, eps 1e-5 — the standard defaults).
     pub fn new(ps: &mut ParamSet, name: &str, channels: usize) -> Self {
-        BatchNorm2d { inner: BatchNormInner::new(ps, name, channels, 0.1, 1e-5) }
+        BatchNorm2d {
+            inner: BatchNormInner::new(ps, name, channels, 0.1, 1e-5),
+        }
     }
 
     /// Channel count.
@@ -220,6 +234,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn layer_kind(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+
     fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
         if x.rank() != 4 || x.dims()[1] != self.inner.channels {
             return Err(NnError::BadInput {
@@ -233,7 +251,13 @@ impl Layer for BatchNorm2d {
         self.inner.forward(ps, x, n, h * w, ctx, "BatchNorm2d")
     }
 
-    fn backward(&self, ps: &ParamSet, cache: &Cache, dy: &Tensor, gs: &mut GradSet) -> Result<Tensor> {
+    fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        gs: &mut GradSet,
+    ) -> Result<Tensor> {
         self.inner.backward(ps, cache, dy, gs, "BatchNorm2d")
     }
 
@@ -256,11 +280,17 @@ pub struct BatchNorm1d {
 impl BatchNorm1d {
     /// Creates a 1-D batch norm with the given feature count.
     pub fn new(ps: &mut ParamSet, name: &str, features: usize) -> Self {
-        BatchNorm1d { inner: BatchNormInner::new(ps, name, features, 0.1, 1e-5) }
+        BatchNorm1d {
+            inner: BatchNormInner::new(ps, name, features, 0.1, 1e-5),
+        }
     }
 }
 
 impl Layer for BatchNorm1d {
+    fn layer_kind(&self) -> &'static str {
+        "BatchNorm1d"
+    }
+
     fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
         if x.rank() != 2 || x.dims()[1] != self.inner.channels {
             return Err(NnError::BadInput {
@@ -273,7 +303,13 @@ impl Layer for BatchNorm1d {
         self.inner.forward(ps, x, n, 1, ctx, "BatchNorm1d")
     }
 
-    fn backward(&self, ps: &ParamSet, cache: &Cache, dy: &Tensor, gs: &mut GradSet) -> Result<Tensor> {
+    fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        gs: &mut GradSet,
+    ) -> Result<Tensor> {
         self.inner.backward(ps, cache, dy, gs, "BatchNorm1d")
     }
 
@@ -381,8 +417,12 @@ mod tests {
     fn bn_rejects_wrong_shapes() {
         let mut ps = ParamSet::new();
         let mut bn2 = BatchNorm2d::new(&mut ps, "a", 2);
-        assert!(bn2.forward(&ps, &Tensor::ones(&[2, 3, 2, 2]), &ForwardCtx::eval()).is_err());
+        assert!(bn2
+            .forward(&ps, &Tensor::ones(&[2, 3, 2, 2]), &ForwardCtx::eval())
+            .is_err());
         let mut bn1 = BatchNorm1d::new(&mut ps, "b", 2);
-        assert!(bn1.forward(&ps, &Tensor::ones(&[2, 3]), &ForwardCtx::eval()).is_err());
+        assert!(bn1
+            .forward(&ps, &Tensor::ones(&[2, 3]), &ForwardCtx::eval())
+            .is_err());
     }
 }

@@ -20,7 +20,12 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 0.0, nesterov: false }
+        SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            nesterov: false,
+        }
     }
 }
 
@@ -85,7 +90,11 @@ impl Sgd {
             for ((pv, &gv), vv) in ps_.iter_mut().zip(gs_).zip(vs_.iter_mut()) {
                 let grad = gv + wd * *pv;
                 *vv = mu * *vv + grad;
-                let upd = if self.cfg.nesterov { grad + mu * *vv } else { *vv };
+                let upd = if self.cfg.nesterov {
+                    grad + mu * *vv
+                } else {
+                    *vv
+                };
                 *pv -= lr * upd;
             }
         }
@@ -117,7 +126,11 @@ impl CosineSchedule {
     /// Creates a schedule decaying `base_lr` to ~0 over `total_steps`,
     /// with `warmup_steps` of linear ramp-up first.
     pub fn new(base_lr: f32, total_steps: usize, warmup_steps: usize) -> Self {
-        CosineSchedule { base_lr, total_steps: total_steps.max(1), warmup_steps }
+        CosineSchedule {
+            base_lr,
+            total_steps: total_steps.max(1),
+            warmup_steps,
+        }
     }
 
     /// Learning rate at the given step (clamped past the end).
@@ -154,7 +167,13 @@ pub struct LarsConfig {
 
 impl Default for LarsConfig {
     fn default() -> Self {
-        LarsConfig { lr: 0.1, momentum: 0.9, weight_decay: 1e-4, eta: 1e-3, eps: 1e-8 }
+        LarsConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            eta: 1e-3,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -208,8 +227,11 @@ impl Lars {
             };
             let p = ps.get_mut(id);
             let mu = self.cfg.momentum;
-            for ((pv, &gv), vv) in
-                p.as_mut_slice().iter_mut().zip(g.as_slice()).zip(v.as_mut_slice().iter_mut())
+            for ((pv, &gv), vv) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(v.as_mut_slice().iter_mut())
             {
                 let grad = gv + wd * *pv;
                 *vv = mu * *vv + trust * grad;
@@ -241,7 +263,15 @@ mod tests {
         let id = ps.add("w", Tensor::from_slice(&[1.0, 2.0]));
         let mut gs = ps.zero_grads();
         gs.accumulate(id, &Tensor::from_slice(&[0.5, 0.5])).unwrap();
-        let mut opt = Sgd::new(&ps, SgdConfig { lr: 1.0, momentum: 0.0, weight_decay: 0.0, nesterov: false });
+        let mut opt = Sgd::new(
+            &ps,
+            SgdConfig {
+                lr: 1.0,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
+        );
         opt.step(&mut ps, &gs, 1.0).unwrap();
         assert_eq!(ps.get(id).as_slice(), &[0.5, 1.5]);
     }
@@ -252,7 +282,15 @@ mod tests {
         let id = ps.add("w", Tensor::zeros(&[1]));
         let mut gs = ps.zero_grads();
         gs.accumulate(id, &Tensor::from_slice(&[1.0])).unwrap();
-        let mut opt = Sgd::new(&ps, SgdConfig { lr: 1.0, momentum: 0.9, weight_decay: 0.0, nesterov: false });
+        let mut opt = Sgd::new(
+            &ps,
+            SgdConfig {
+                lr: 1.0,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
+        );
         opt.step(&mut ps, &gs, 1.0).unwrap(); // v=1, p=-1
         opt.step(&mut ps, &gs, 1.0).unwrap(); // v=1.9, p=-2.9
         assert!((ps.get(id).as_slice()[0] + 2.9).abs() < 1e-6);
@@ -263,7 +301,15 @@ mod tests {
         let mut ps = ParamSet::new();
         let id = ps.add("w", Tensor::from_slice(&[10.0]));
         let gs = ps.zero_grads(); // zero gradient; only decay acts
-        let mut opt = Sgd::new(&ps, SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.5, nesterov: false });
+        let mut opt = Sgd::new(
+            &ps,
+            SgdConfig {
+                lr: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.5,
+                nesterov: false,
+            },
+        );
         opt.step(&mut ps, &gs, 0.1).unwrap();
         assert!((ps.get(id).as_slice()[0] - 9.5).abs() < 1e-6);
     }
@@ -275,7 +321,15 @@ mod tests {
             let id = ps.add("w", Tensor::zeros(&[1]));
             let mut gs = ps.zero_grads();
             gs.accumulate(id, &Tensor::from_slice(&[1.0])).unwrap();
-            let mut opt = Sgd::new(&ps, SgdConfig { lr: 1.0, momentum: 0.9, weight_decay: 0.0, nesterov });
+            let mut opt = Sgd::new(
+                &ps,
+                SgdConfig {
+                    lr: 1.0,
+                    momentum: 0.9,
+                    weight_decay: 0.0,
+                    nesterov,
+                },
+            );
             opt.step(&mut ps, &gs, 1.0).unwrap();
             ps.get(id).as_slice()[0]
         };
@@ -315,7 +369,13 @@ mod tests {
         let id = ps.add("w", Tensor::from_slice(&[2.0, 0.0]));
         let mut gs = ps.zero_grads();
         gs.accumulate(id, &Tensor::from_slice(&[1.0, 0.0])).unwrap();
-        let cfg = LarsConfig { lr: 1.0, momentum: 0.0, weight_decay: 0.0, eta: 0.5, eps: 0.0 };
+        let cfg = LarsConfig {
+            lr: 1.0,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            eta: 0.5,
+            eps: 0.0,
+        };
         let mut opt = Lars::new(&ps, cfg);
         opt.step(&mut ps, &gs, 1.0).unwrap();
         // trust = 0.5 * 2 / 1 = 1.0 -> update = 1.0 * grad
@@ -328,7 +388,15 @@ mod tests {
         let id = ps.add("b", Tensor::zeros(&[2]));
         let mut gs = ps.zero_grads();
         gs.accumulate(id, &Tensor::from_slice(&[0.5, 0.5])).unwrap();
-        let mut opt = Lars::new(&ps, LarsConfig { lr: 1.0, momentum: 0.0, weight_decay: 0.0, ..Default::default() });
+        let mut opt = Lars::new(
+            &ps,
+            LarsConfig {
+                lr: 1.0,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+        );
         opt.step(&mut ps, &gs, 1.0).unwrap();
         assert!((ps.get(id).as_slice()[0] + 0.5).abs() < 1e-6);
     }

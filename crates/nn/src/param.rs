@@ -111,7 +111,13 @@ impl ParamSet {
 
     /// Creates a gradient set with one zero tensor per parameter.
     pub fn zero_grads(&self) -> GradSet {
-        GradSet { tensors: self.tensors.iter().map(|t| Tensor::zeros(t.dims())).collect() }
+        GradSet {
+            tensors: self
+                .tensors
+                .iter()
+                .map(|t| Tensor::zeros(t.dims()))
+                .collect(),
+        }
     }
 
     /// Copies every tensor from `src` (shapes must match pairwise); used to

@@ -26,7 +26,8 @@ pub(crate) fn perturbed_weight(w: &Tensor, id: ParamId, ctx: &ForwardCtx) -> Opt
                 noise.seed ^ (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
             let n = Tensor::randn(w.dims(), 0.0, sigma, &mut rng);
-            out.add_assign(&n).expect("noise tensor matches weight shape");
+            out.add_assign(&n)
+                .expect("noise tensor matches weight shape"); // cq-check: allow — noise drawn with w.dims(), shapes match
         }
     }
     Some(out)
@@ -66,8 +67,10 @@ mod tests {
     #[test]
     fn noise_magnitude_tracks_std() {
         let (_, id, w) = weight();
-        let small = perturbed_weight(&w, id, &ForwardCtx::train().with_weight_noise(0.01, 1)).unwrap();
-        let large = perturbed_weight(&w, id, &ForwardCtx::train().with_weight_noise(0.5, 1)).unwrap();
+        let small =
+            perturbed_weight(&w, id, &ForwardCtx::train().with_weight_noise(0.01, 1)).unwrap();
+        let large =
+            perturbed_weight(&w, id, &ForwardCtx::train().with_weight_noise(0.5, 1)).unwrap();
         let ds = small.sub(&w).unwrap().norm();
         let dl = large.sub(&w).unwrap().norm();
         assert!(dl > ds * 10.0, "{dl} vs {ds}");
@@ -80,9 +83,12 @@ mod tests {
             .with_quant(QuantConfig::uniform(Precision::Bits(4)))
             .with_weight_noise(0.1, 3);
         let both = perturbed_weight(&w, id, &ctx).unwrap();
-        let quant_only =
-            perturbed_weight(&w, id, &ForwardCtx::train().with_quant(QuantConfig::uniform(Precision::Bits(4))))
-                .unwrap();
+        let quant_only = perturbed_weight(
+            &w,
+            id,
+            &ForwardCtx::train().with_quant(QuantConfig::uniform(Precision::Bits(4))),
+        )
+        .unwrap();
         assert_ne!(both, quant_only);
         assert_ne!(both, w);
     }
@@ -94,7 +100,12 @@ mod tests {
             .with_quant(QuantConfig::uniform(Precision::Bits(8)))
             .with_weight_noise(0.0, 3);
         let both = perturbed_weight(&w, id, &ctx).unwrap();
-        let q = perturbed_weight(&w, id, &ForwardCtx::train().with_quant(QuantConfig::uniform(Precision::Bits(8)))).unwrap();
+        let q = perturbed_weight(
+            &w,
+            id,
+            &ForwardCtx::train().with_quant(QuantConfig::uniform(Precision::Bits(8))),
+        )
+        .unwrap();
         assert_eq!(both, q);
     }
 }

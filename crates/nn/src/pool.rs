@@ -27,12 +27,33 @@ impl MaxPool2dLayer {
 }
 
 impl Layer for MaxPool2dLayer {
-    fn forward(&mut self, _ps: &ParamSet, x: &Tensor, _ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
-        let (y, argmax) = max_pool2d(x, &self.spec)?;
-        Ok((y, Cache::new(MaxPoolCache { argmax, input_shape: x.dims().to_vec() })))
+    fn layer_kind(&self) -> &'static str {
+        "MaxPool2d"
     }
 
-    fn backward(&self, _ps: &ParamSet, cache: &Cache, dy: &Tensor, _gs: &mut GradSet) -> Result<Tensor> {
+    fn forward(
+        &mut self,
+        _ps: &ParamSet,
+        x: &Tensor,
+        _ctx: &ForwardCtx,
+    ) -> Result<(Tensor, Cache)> {
+        let (y, argmax) = max_pool2d(x, &self.spec)?;
+        Ok((
+            y,
+            Cache::new(MaxPoolCache {
+                argmax,
+                input_shape: x.dims().to_vec(),
+            }),
+        ))
+    }
+
+    fn backward(
+        &self,
+        _ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        _gs: &mut GradSet,
+    ) -> Result<Tensor> {
         let c = cache.downcast::<MaxPoolCache>("MaxPool2dLayer")?;
         Ok(max_pool2d_backward(dy, &c.argmax, &c.input_shape)?)
     }
@@ -57,12 +78,32 @@ impl AvgPool2dLayer {
 }
 
 impl Layer for AvgPool2dLayer {
-    fn forward(&mut self, _ps: &ParamSet, x: &Tensor, _ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
-        let y = avg_pool2d(x, &self.spec)?;
-        Ok((y, Cache::new(AvgPoolCache { input_shape: x.dims().to_vec() })))
+    fn layer_kind(&self) -> &'static str {
+        "AvgPool2d"
     }
 
-    fn backward(&self, _ps: &ParamSet, cache: &Cache, dy: &Tensor, _gs: &mut GradSet) -> Result<Tensor> {
+    fn forward(
+        &mut self,
+        _ps: &ParamSet,
+        x: &Tensor,
+        _ctx: &ForwardCtx,
+    ) -> Result<(Tensor, Cache)> {
+        let y = avg_pool2d(x, &self.spec)?;
+        Ok((
+            y,
+            Cache::new(AvgPoolCache {
+                input_shape: x.dims().to_vec(),
+            }),
+        ))
+    }
+
+    fn backward(
+        &self,
+        _ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        _gs: &mut GradSet,
+    ) -> Result<Tensor> {
         let c = cache.downcast::<AvgPoolCache>("AvgPool2dLayer")?;
         Ok(avg_pool2d_backward(dy, &c.input_shape, &self.spec)?)
     }
@@ -86,12 +127,32 @@ struct GapCache {
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, _ps: &ParamSet, x: &Tensor, _ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
-        let y = global_avg_pool(x)?;
-        Ok((y, Cache::new(GapCache { input_shape: x.dims().to_vec() })))
+    fn layer_kind(&self) -> &'static str {
+        "GlobalAvgPool"
     }
 
-    fn backward(&self, _ps: &ParamSet, cache: &Cache, dy: &Tensor, _gs: &mut GradSet) -> Result<Tensor> {
+    fn forward(
+        &mut self,
+        _ps: &ParamSet,
+        x: &Tensor,
+        _ctx: &ForwardCtx,
+    ) -> Result<(Tensor, Cache)> {
+        let y = global_avg_pool(x)?;
+        Ok((
+            y,
+            Cache::new(GapCache {
+                input_shape: x.dims().to_vec(),
+            }),
+        ))
+    }
+
+    fn backward(
+        &self,
+        _ps: &ParamSet,
+        cache: &Cache,
+        dy: &Tensor,
+        _gs: &mut GradSet,
+    ) -> Result<Tensor> {
         let c = cache.downcast::<GapCache>("GlobalAvgPool")?;
         Ok(global_avg_pool_backward(dy, &c.input_shape)?)
     }
@@ -109,7 +170,9 @@ mod tests {
         let (y, c) = l.forward(&ps, &x, &ForwardCtx::train()).unwrap();
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
         let mut gs = ps.zero_grads();
-        let dx = l.backward(&ps, &c, &Tensor::ones(&[1, 1, 2, 2]), &mut gs).unwrap();
+        let dx = l
+            .backward(&ps, &c, &Tensor::ones(&[1, 1, 2, 2]), &mut gs)
+            .unwrap();
         assert_eq!(dx.sum(), 4.0);
     }
 

@@ -1,0 +1,699 @@
+//! Static shape, parameter and FLOP analysis over layer stacks.
+//!
+//! A [`Plan`] is a symbolic mirror of a [`crate::Sequential`] network: the
+//! same layers, but described by their configuration instead of their
+//! weights. Interpreting a plan infers every intermediate shape, parameter
+//! count and FLOP cost *without allocating a single tensor*, and rejects
+//! invalid stacks (channel mismatches, conv geometry that would underflow,
+//! projector dimensions that do not line up) with a layer-attributed
+//! [`SpecError`] — before any training-time allocation happens.
+//!
+//! The model crates build a plan alongside every real network (see
+//! `cq-models`); constructors run [`Plan::infer`] on a nominal input so a
+//! bad configuration fails at build time with a message naming the exact
+//! layer, and the `cq-check` binary runs the same pass over every built-in
+//! experiment configuration as a CI gate.
+//!
+//! # Example
+//!
+//! ```
+//! use cq_nn::spec::{LayerKind, Plan};
+//! use cq_tensor::Conv2dSpec;
+//!
+//! let mut plan = Plan::new();
+//! plan.push("stem.conv", LayerKind::Conv2d {
+//!     in_ch: 3, out_ch: 8, spec: Conv2dSpec::new(3, 1, 1), bias: false });
+//! plan.push("stem.bn", LayerKind::BatchNorm2d { channels: 8 });
+//! plan.push("gap", LayerKind::GlobalAvgPool);
+//! assert_eq!(plan.infer(&[2, 3, 16, 16])?, vec![2, 8]);
+//! assert_eq!(plan.param_count(), 3 * 8 * 9 + 2 * 8);
+//! # Ok::<(), cq_nn::spec::SpecError>(())
+//! ```
+
+use std::fmt;
+
+use cq_tensor::Conv2dSpec;
+
+/// What went wrong at a specific layer of a [`Plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecErrorKind {
+    /// The input tensor rank is wrong.
+    Rank {
+        /// Rank the layer requires.
+        expected: usize,
+        /// Rank the incoming shape has.
+        got: usize,
+    },
+    /// The channel axis does not match the layer's configuration.
+    Channels {
+        /// Channel count the layer was built for.
+        expected: usize,
+        /// Channel count of the incoming shape.
+        got: usize,
+    },
+    /// The feature axis does not match the layer's configuration.
+    Features {
+        /// Feature count the layer was built for.
+        expected: usize,
+        /// Feature count of the incoming shape.
+        got: usize,
+    },
+    /// Convolution/pooling geometry is invalid for the incoming spatial
+    /// size (stride 0, kernel larger than the padded input, …).
+    Geometry(String),
+    /// The residual main and skip branches produce different shapes.
+    BranchMismatch {
+        /// Output shape of the main branch.
+        main: Vec<usize>,
+        /// Output shape of the skip branch.
+        skip: Vec<usize>,
+    },
+    /// A configuration-level invariant was violated (zero width, empty
+    /// plan where one is required, quantizer bits out of range, …).
+    Config(String),
+}
+
+/// A layer-attributed static-analysis error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Name of the layer at which inference failed.
+    pub layer: String,
+    /// The failure itself.
+    pub kind: SpecErrorKind,
+}
+
+impl SpecError {
+    /// Builds a configuration-level error attributed to `layer`.
+    pub fn config(layer: impl Into<String>, msg: impl Into<String>) -> Self {
+        SpecError {
+            layer: layer.into(),
+            kind: SpecErrorKind::Config(msg.into()),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layer `{}`: ", self.layer)?;
+        match &self.kind {
+            SpecErrorKind::Rank { expected, got } => {
+                write!(f, "expected rank-{expected} input, got rank {got}")
+            }
+            SpecErrorKind::Channels { expected, got } => {
+                write!(f, "expected {expected} input channels, got {got}")
+            }
+            SpecErrorKind::Features { expected, got } => {
+                write!(f, "expected {expected} input features, got {got}")
+            }
+            SpecErrorKind::Geometry(msg) => write!(f, "invalid geometry: {msg}"),
+            SpecErrorKind::BranchMismatch { main, skip } => {
+                write!(
+                    f,
+                    "residual branches disagree: main {main:?} vs skip {skip:?}"
+                )
+            }
+            SpecErrorKind::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Symbolic description of one layer, mirroring the concrete layer types
+/// of this crate (and the composite blocks of `cq-models`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Dense convolution (`crate::Conv2d`).
+    Conv2d {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Kernel/stride/padding.
+        spec: Conv2dSpec,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// Depthwise convolution (`crate::DepthwiseConv2d`).
+    DepthwiseConv2d {
+        /// Channel count (input == output).
+        channels: usize,
+        /// Kernel/stride/padding.
+        spec: Conv2dSpec,
+    },
+    /// `crate::BatchNorm2d` over `[N, C, H, W]`.
+    BatchNorm2d {
+        /// Channel count.
+        channels: usize,
+    },
+    /// `crate::BatchNorm1d` over `[N, F]`.
+    BatchNorm1d {
+        /// Feature count.
+        features: usize,
+    },
+    /// Fully connected layer (`crate::Linear`).
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// Shape-preserving activation (`crate::Relu`).
+    Relu,
+    /// Shape-preserving activation (`crate::Relu6`).
+    Relu6,
+    /// Max pooling (`crate::MaxPool2dLayer`).
+    MaxPool2d {
+        /// Kernel/stride/padding.
+        spec: Conv2dSpec,
+    },
+    /// Average pooling (`crate::AvgPool2dLayer`).
+    AvgPool2d {
+        /// Kernel/stride/padding.
+        spec: Conv2dSpec,
+    },
+    /// Global average pooling `[N, C, H, W] -> [N, C]`.
+    GlobalAvgPool,
+    /// Two-branch residual composite (`BasicBlock` / `InvertedResidual`):
+    /// `out = main(x) + skip(x)`, identity skip when `skip` is `None`.
+    Residual {
+        /// The main branch.
+        main: Plan,
+        /// The projection skip; `None` = identity.
+        skip: Option<Plan>,
+    },
+    /// An inlined sub-plan (a composite block without a residual sum).
+    Block(Plan),
+}
+
+/// A named [`LayerKind`] inside a [`Plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Layer name (matches the parameter-set naming of the real network).
+    pub name: String,
+    /// Symbolic layer description.
+    pub kind: LayerKind,
+}
+
+/// Per-layer result of interpreting a plan — see [`Plan::trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Inferred output shape.
+    pub out_shape: Vec<usize>,
+    /// Scalar parameters owned by this layer (including sub-plans).
+    pub params: usize,
+    /// Forward FLOPs for this layer at the traced input size.
+    pub flops: u64,
+}
+
+/// A symbolic network: an ordered list of [`LayerSpec`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Plan {
+    layers: Vec<LayerSpec>,
+}
+
+impl Plan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Appends a named layer.
+    pub fn push(&mut self, name: impl Into<String>, kind: LayerKind) -> &mut Self {
+        self.layers.push(LayerSpec {
+            name: name.into(),
+            kind,
+        });
+        self
+    }
+
+    /// Number of (top-level) layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the plan has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Infers the output shape for `input`, checking every layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer-attributed [`SpecError`].
+    pub fn infer(&self, input: &[usize]) -> Result<Vec<usize>, SpecError> {
+        let mut cur = input.to_vec();
+        for layer in &self.layers {
+            cur = infer_layer(layer, &cur)?.0;
+        }
+        Ok(cur)
+    }
+
+    /// Total scalar parameter count of the plan.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(param_count_layer).sum()
+    }
+
+    /// Total forward FLOPs at the given input size (multiply and add
+    /// counted separately, the usual convention).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer-attributed [`SpecError`].
+    pub fn flops(&self, input: &[usize]) -> Result<u64, SpecError> {
+        Ok(self.trace(input)?.iter().map(|r| r.flops).sum())
+    }
+
+    /// Interprets the plan, returning a per-layer report (shape, params,
+    /// FLOPs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer-attributed [`SpecError`].
+    pub fn trace(&self, input: &[usize]) -> Result<Vec<LayerReport>, SpecError> {
+        let mut cur = input.to_vec();
+        let mut out = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (shape, flops) = infer_layer(layer, &cur)?;
+            out.push(LayerReport {
+                name: layer.name.clone(),
+                out_shape: shape.clone(),
+                params: param_count_layer(layer),
+                flops,
+            });
+            cur = shape;
+        }
+        Ok(out)
+    }
+
+    /// Renders a human-readable per-layer summary table.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer-attributed [`SpecError`].
+    pub fn summarize(&self, input: &[usize]) -> Result<String, SpecError> {
+        let reports = self.trace(input)?;
+        let mut s = format!(
+            "{:<28} {:>18} {:>12} {:>14}\n",
+            "layer", "output", "params", "flops"
+        );
+        for r in &reports {
+            s.push_str(&format!(
+                "{:<28} {:>18} {:>12} {:>14}\n",
+                r.name,
+                format!("{:?}", r.out_shape),
+                r.params,
+                r.flops
+            ));
+        }
+        let total_p: usize = reports.iter().map(|r| r.params).sum();
+        let total_f: u64 = reports.iter().map(|r| r.flops).sum();
+        s.push_str(&format!(
+            "{:<28} {:>18} {:>12} {:>14}\n",
+            "total", "", total_p, total_f
+        ));
+        Ok(s)
+    }
+}
+
+fn numel(dims: &[usize]) -> u64 {
+    dims.iter().map(|&d| d as u64).product()
+}
+
+fn want_rank(name: &str, dims: &[usize], rank: usize) -> Result<(), SpecError> {
+    if dims.len() != rank {
+        return Err(SpecError {
+            layer: name.to_string(),
+            kind: SpecErrorKind::Rank {
+                expected: rank,
+                got: dims.len(),
+            },
+        });
+    }
+    Ok(())
+}
+
+fn out_hw(name: &str, spec: &Conv2dSpec, h: usize, w: usize) -> Result<(usize, usize), SpecError> {
+    spec.out_hw(h, w).map_err(|e| SpecError {
+        layer: name.to_string(),
+        kind: SpecErrorKind::Geometry(e.to_string()),
+    })
+}
+
+/// Infers `(output shape, flops)` for one layer.
+fn infer_layer(layer: &LayerSpec, dims: &[usize]) -> Result<(Vec<usize>, u64), SpecError> {
+    let name = layer.name.as_str();
+    match &layer.kind {
+        LayerKind::Conv2d {
+            in_ch,
+            out_ch,
+            spec,
+            bias,
+        } => {
+            want_rank(name, dims, 4)?;
+            if dims[1] != *in_ch {
+                return Err(SpecError {
+                    layer: name.to_string(),
+                    kind: SpecErrorKind::Channels {
+                        expected: *in_ch,
+                        got: dims[1],
+                    },
+                });
+            }
+            let (oh, ow) = out_hw(name, spec, dims[2], dims[3])?;
+            let out = vec![dims[0], *out_ch, oh, ow];
+            let (kh, kw) = spec.kernel;
+            let mut flops = 2 * numel(&out) * (*in_ch as u64) * (kh as u64) * (kw as u64);
+            if *bias {
+                flops += numel(&out);
+            }
+            Ok((out, flops))
+        }
+        LayerKind::DepthwiseConv2d { channels, spec } => {
+            want_rank(name, dims, 4)?;
+            if dims[1] != *channels {
+                return Err(SpecError {
+                    layer: name.to_string(),
+                    kind: SpecErrorKind::Channels {
+                        expected: *channels,
+                        got: dims[1],
+                    },
+                });
+            }
+            let (oh, ow) = out_hw(name, spec, dims[2], dims[3])?;
+            let out = vec![dims[0], *channels, oh, ow];
+            let (kh, kw) = spec.kernel;
+            let flops = 2 * numel(&out) * (kh as u64) * (kw as u64);
+            Ok((out, flops))
+        }
+        LayerKind::BatchNorm2d { channels } => {
+            want_rank(name, dims, 4)?;
+            if dims[1] != *channels {
+                return Err(SpecError {
+                    layer: name.to_string(),
+                    kind: SpecErrorKind::Channels {
+                        expected: *channels,
+                        got: dims[1],
+                    },
+                });
+            }
+            Ok((dims.to_vec(), 2 * numel(dims)))
+        }
+        LayerKind::BatchNorm1d { features } => {
+            want_rank(name, dims, 2)?;
+            if dims[1] != *features {
+                return Err(SpecError {
+                    layer: name.to_string(),
+                    kind: SpecErrorKind::Features {
+                        expected: *features,
+                        got: dims[1],
+                    },
+                });
+            }
+            Ok((dims.to_vec(), 2 * numel(dims)))
+        }
+        LayerKind::Linear {
+            in_features,
+            out_features,
+            bias,
+        } => {
+            want_rank(name, dims, 2)?;
+            if dims[1] != *in_features {
+                return Err(SpecError {
+                    layer: name.to_string(),
+                    kind: SpecErrorKind::Features {
+                        expected: *in_features,
+                        got: dims[1],
+                    },
+                });
+            }
+            let out = vec![dims[0], *out_features];
+            let mut flops = 2 * (dims[0] as u64) * (*in_features as u64) * (*out_features as u64);
+            if *bias {
+                flops += numel(&out);
+            }
+            Ok((out, flops))
+        }
+        LayerKind::Relu | LayerKind::Relu6 => Ok((dims.to_vec(), numel(dims))),
+        LayerKind::MaxPool2d { spec } | LayerKind::AvgPool2d { spec } => {
+            want_rank(name, dims, 4)?;
+            let (oh, ow) = out_hw(name, spec, dims[2], dims[3])?;
+            let out = vec![dims[0], dims[1], oh, ow];
+            let (kh, kw) = spec.kernel;
+            let flops = numel(&out) * (kh as u64) * (kw as u64);
+            Ok((out, flops))
+        }
+        LayerKind::GlobalAvgPool => {
+            want_rank(name, dims, 4)?;
+            Ok((vec![dims[0], dims[1]], numel(dims)))
+        }
+        LayerKind::Residual { main, skip } => {
+            let mut flops = 0u64;
+            let mut main_shape = dims.to_vec();
+            for l in &main.layers {
+                let (s, f) = infer_layer(l, &main_shape)?;
+                main_shape = s;
+                flops += f;
+            }
+            let skip_shape = match skip {
+                Some(p) => {
+                    let mut s = dims.to_vec();
+                    for l in &p.layers {
+                        let (ns, f) = infer_layer(l, &s)?;
+                        s = ns;
+                        flops += f;
+                    }
+                    s
+                }
+                None => dims.to_vec(),
+            };
+            if main_shape != skip_shape {
+                return Err(SpecError {
+                    layer: name.to_string(),
+                    kind: SpecErrorKind::BranchMismatch {
+                        main: main_shape,
+                        skip: skip_shape,
+                    },
+                });
+            }
+            flops += numel(&main_shape); // the elementwise sum
+            Ok((main_shape, flops))
+        }
+        LayerKind::Block(p) => {
+            let mut shape = dims.to_vec();
+            let mut flops = 0u64;
+            for l in &p.layers {
+                let (s, f) = infer_layer(l, &shape)?;
+                shape = s;
+                flops += f;
+            }
+            Ok((shape, flops))
+        }
+    }
+}
+
+fn param_count_layer(layer: &LayerSpec) -> usize {
+    match &layer.kind {
+        LayerKind::Conv2d {
+            in_ch,
+            out_ch,
+            spec,
+            bias,
+        } => {
+            let (kh, kw) = spec.kernel;
+            out_ch * in_ch * kh * kw + if *bias { *out_ch } else { 0 }
+        }
+        LayerKind::DepthwiseConv2d { channels, spec } => {
+            let (kh, kw) = spec.kernel;
+            channels * kh * kw
+        }
+        LayerKind::BatchNorm2d { channels } => 2 * channels,
+        LayerKind::BatchNorm1d { features } => 2 * features,
+        LayerKind::Linear {
+            in_features,
+            out_features,
+            bias,
+        } => in_features * out_features + if *bias { *out_features } else { 0 },
+        LayerKind::Relu
+        | LayerKind::Relu6
+        | LayerKind::MaxPool2d { .. }
+        | LayerKind::AvgPool2d { .. }
+        | LayerKind::GlobalAvgPool => 0,
+        LayerKind::Residual { main, skip } => {
+            main.param_count() + skip.as_ref().map_or(0, Plan::param_count)
+        }
+        LayerKind::Block(p) => p.param_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(name: &str, i: usize, o: usize, k: usize, s: usize, p: usize) -> LayerSpec {
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::Conv2d {
+                in_ch: i,
+                out_ch: o,
+                spec: Conv2dSpec::new(k, s, p),
+                bias: false,
+            },
+        }
+    }
+
+    #[test]
+    fn conv_chain_infers_shapes_and_counts() {
+        let mut p = Plan::new();
+        p.push("c1", conv("c1", 3, 8, 3, 1, 1).kind);
+        p.push("bn", LayerKind::BatchNorm2d { channels: 8 });
+        p.push("relu", LayerKind::Relu);
+        p.push("c2", conv("c2", 8, 16, 3, 2, 1).kind);
+        p.push("gap", LayerKind::GlobalAvgPool);
+        assert_eq!(p.infer(&[4, 3, 16, 16]).unwrap(), vec![4, 16]);
+        assert_eq!(p.param_count(), 3 * 8 * 9 + 16 + 8 * 16 * 9);
+        let tr = p.trace(&[4, 3, 16, 16]).unwrap();
+        assert_eq!(tr[3].out_shape, vec![4, 16, 8, 8]);
+        // conv flops: 2 * out_elems * in_ch * k*k
+        assert_eq!(tr[0].flops, 2 * 4 * 8 * 16 * 16 * 3 * 9);
+        assert!(p.summarize(&[4, 3, 16, 16]).unwrap().contains("total"));
+    }
+
+    #[test]
+    fn channel_mismatch_names_the_layer() {
+        let mut p = Plan::new();
+        p.push("stem", conv("stem", 3, 8, 3, 1, 1).kind);
+        p.push("broken", conv("broken", 16, 8, 3, 1, 1).kind);
+        let err = p.infer(&[1, 3, 8, 8]).unwrap_err();
+        assert_eq!(err.layer, "broken");
+        assert_eq!(
+            err.kind,
+            SpecErrorKind::Channels {
+                expected: 16,
+                got: 8
+            }
+        );
+        assert!(err.to_string().contains("`broken`"));
+    }
+
+    #[test]
+    fn geometry_error_names_the_layer() {
+        let mut p = Plan::new();
+        p.push("huge", conv("huge", 3, 8, 7, 1, 0).kind);
+        let err = p.infer(&[1, 3, 4, 4]).unwrap_err();
+        assert_eq!(err.layer, "huge");
+        assert!(matches!(err.kind, SpecErrorKind::Geometry(_)));
+    }
+
+    #[test]
+    fn rank_and_feature_mismatches() {
+        let mut p = Plan::new();
+        p.push(
+            "fc",
+            LayerKind::Linear {
+                in_features: 8,
+                out_features: 4,
+                bias: true,
+            },
+        );
+        let err = p.infer(&[1, 8, 2, 2]).unwrap_err();
+        assert_eq!(
+            err.kind,
+            SpecErrorKind::Rank {
+                expected: 2,
+                got: 4
+            }
+        );
+        let err = p.infer(&[1, 9]).unwrap_err();
+        assert_eq!(
+            err.kind,
+            SpecErrorKind::Features {
+                expected: 8,
+                got: 9
+            }
+        );
+        assert_eq!(p.infer(&[5, 8]).unwrap(), vec![5, 4]);
+        assert_eq!(p.param_count(), 8 * 4 + 4);
+    }
+
+    #[test]
+    fn residual_branch_agreement_is_checked() {
+        let mut main = Plan::new();
+        main.push("m.conv", conv("m.conv", 4, 8, 3, 2, 1).kind);
+        let mut skip = Plan::new();
+        skip.push("s.conv", conv("s.conv", 4, 8, 1, 2, 0).kind);
+        let mut p = Plan::new();
+        p.push(
+            "block",
+            LayerKind::Residual {
+                main: main.clone(),
+                skip: Some(skip),
+            },
+        );
+        assert_eq!(p.infer(&[2, 4, 8, 8]).unwrap(), vec![2, 8, 4, 4]);
+
+        // identity skip cannot match a strided main branch
+        let mut bad = Plan::new();
+        bad.push("block", LayerKind::Residual { main, skip: None });
+        let err = bad.infer(&[2, 4, 8, 8]).unwrap_err();
+        assert_eq!(err.layer, "block");
+        assert!(matches!(err.kind, SpecErrorKind::BranchMismatch { .. }));
+    }
+
+    #[test]
+    fn depthwise_and_pool_layers() {
+        let mut p = Plan::new();
+        p.push(
+            "dw",
+            LayerKind::DepthwiseConv2d {
+                channels: 6,
+                spec: Conv2dSpec::new(3, 1, 1),
+            },
+        );
+        p.push(
+            "mp",
+            LayerKind::MaxPool2d {
+                spec: Conv2dSpec::new(2, 2, 0),
+            },
+        );
+        p.push(
+            "ap",
+            LayerKind::AvgPool2d {
+                spec: Conv2dSpec::new(2, 2, 0),
+            },
+        );
+        assert_eq!(p.infer(&[1, 6, 8, 8]).unwrap(), vec![1, 6, 2, 2]);
+        assert_eq!(p.param_count(), 6 * 9);
+        let err = p.infer(&[1, 5, 8, 8]).unwrap_err();
+        assert_eq!(err.layer, "dw");
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let p = Plan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.infer(&[7, 3]).unwrap(), vec![7, 3]);
+        assert_eq!(p.param_count(), 0);
+        assert_eq!(p.flops(&[7, 3]).unwrap(), 0);
+    }
+
+    #[test]
+    fn spec_error_display_is_layer_attributed() {
+        let e = SpecError::config(
+            "proj.fc1",
+            "input dim 33 does not match encoder features 32",
+        );
+        let s = e.to_string();
+        assert!(s.contains("proj.fc1") && s.contains("33"));
+    }
+}

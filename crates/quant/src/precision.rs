@@ -110,7 +110,9 @@ impl PrecisionSet {
         }
         Precision::bits(lo)?;
         Precision::bits(hi)?;
-        Ok(PrecisionSet { bits: (lo..=hi).collect() })
+        Ok(PrecisionSet {
+            bits: (lo..=hi).collect(),
+        })
     }
 
     /// An explicit list of bit-widths (deduplicated, sorted).

@@ -50,13 +50,21 @@ pub struct QuantConfig {
 impl QuantConfig {
     /// Full-precision configuration (no quantization anywhere).
     pub fn fp() -> Self {
-        QuantConfig { weight: Precision::Fp, act: Precision::Fp, mode: QuantMode::Round }
+        QuantConfig {
+            weight: Precision::Fp,
+            act: Precision::Fp,
+            mode: QuantMode::Round,
+        }
     }
 
     /// Same precision for weights and activations — how the paper uses its
     /// sampled `q` values.
     pub fn uniform(p: Precision) -> Self {
-        QuantConfig { weight: p, act: p, mode: QuantMode::Round }
+        QuantConfig {
+            weight: p,
+            act: p,
+            mode: QuantMode::Round,
+        }
     }
 
     /// Whether this config performs any quantization.
@@ -119,6 +127,16 @@ pub fn fake_quant_into(data: &mut [f32], precision: Precision, mode: QuantMode) 
             }
         }
     }
+    // The grid is anchored at 0, so quantized values may legitimately land
+    // up to one step outside [lo, hi]; anything further is a quantizer bug.
+    #[cfg(feature = "sanitize")]
+    if cq_tensor::sanitize::is_enabled() {
+        if let Some(v) =
+            cq_tensor::sanitize::scan_quant("fake_quant", &[data.len()], data, lo, hi, step)
+        {
+            cq_tensor::sanitize::record(v);
+        }
+    }
 }
 
 /// Mean squared quantization error of `t` at the given precision — the
@@ -171,7 +189,10 @@ mod tests {
         let step = (hi - lo) / 15.0;
         for &v in q.as_slice() {
             let k = v / step;
-            assert!((k - k.round()).abs() < 1e-3, "{v} not on grid (step {step})");
+            assert!(
+                (k - k.round()).abs() < 1e-3,
+                "{v} not on grid (step {step})"
+            );
         }
     }
 
@@ -194,7 +215,10 @@ mod tests {
         let step = (t.max() - t.min()) / 63.0;
         for (&a, &b) in t.as_slice().iter().zip(q.as_slice()) {
             let e = a - b;
-            assert!(e >= -1e-6 && e <= step + 1e-6, "floor error {e} out of [0, step]");
+            assert!(
+                e >= -1e-6 && e <= step + 1e-6,
+                "floor error {e} out of [0, step]"
+            );
         }
     }
 
@@ -215,7 +239,10 @@ mod tests {
         let s4 = quant_snr_db(&t, Precision::Bits(4), QuantMode::Round);
         let s8 = quant_snr_db(&t, Precision::Bits(8), QuantMode::Round);
         assert!(s8 > s4 + 10.0, "expect ~6dB/bit: {s4} -> {s8}");
-        assert_eq!(quant_snr_db(&t, Precision::Fp, QuantMode::Round), f32::INFINITY);
+        assert_eq!(
+            quant_snr_db(&t, Precision::Fp, QuantMode::Round),
+            f32::INFINITY
+        );
     }
 
     #[test]

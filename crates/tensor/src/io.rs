@@ -40,7 +40,9 @@ pub fn read_tensor<R: Read>(mut r: R) -> Result<Tensor> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(TensorError::Io(format!("bad magic {magic:?}, expected {MAGIC:?}")));
+        return Err(TensorError::Io(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
     }
     let mut rank_buf = [0u8; 4];
     r.read_exact(&mut rank_buf)?;
@@ -95,7 +97,10 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let buf = b"NOPE\x00\x00\x00\x00".to_vec();
-        assert!(matches!(read_tensor(buf.as_slice()), Err(TensorError::Io(_))));
+        assert!(matches!(
+            read_tensor(buf.as_slice()),
+            Err(TensorError::Io(_))
+        ));
     }
 
     #[test]

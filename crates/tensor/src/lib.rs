@@ -42,14 +42,17 @@ pub mod par;
 mod pool;
 mod reduce;
 mod rng;
+pub mod sanitize;
 mod shape;
 mod tensor;
 
 pub use conv::{col2im, depthwise_conv2d, depthwise_conv2d_backward, im2col, Conv2dSpec};
 pub use error::TensorError;
 pub use io::{read_tensor, write_tensor};
-pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward,
-               max_pool2d, max_pool2d_backward};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

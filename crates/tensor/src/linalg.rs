@@ -40,8 +40,7 @@ impl Tensor {
                 for i in r0..r1 {
                     // SAFETY: bands [r0, r1) are disjoint across workers, so
                     // each output row is written by exactly one thread.
-                    let row =
-                        unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
+                    let row = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
                     for kk in 0..k {
                         let aik = a[i * k + kk];
                         if aik == 0.0 {
@@ -55,6 +54,8 @@ impl Tensor {
                 }
             });
         }
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::guard_slice("matmul", &out);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -86,8 +87,7 @@ impl Tensor {
                 let out_ptr = &out_ptr;
                 for i in r0..r1 {
                     // SAFETY: disjoint row bands, as in `matmul`.
-                    let row =
-                        unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
+                    let row = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
                     let arow = &a[i * k..i * k + k];
                     for (j, o) in row.iter_mut().enumerate() {
                         let brow = &b[j * k..j * k + k];
@@ -100,6 +100,8 @@ impl Tensor {
                 }
             });
         }
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::guard_slice("matmul", &out);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -130,8 +132,7 @@ impl Tensor {
                 let out_ptr = &out_ptr;
                 for i in r0..r1 {
                     // SAFETY: disjoint row bands, as in `matmul`.
-                    let row =
-                        unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
+                    let row = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
                     for kk in 0..k {
                         let aki = a[kk * m + i];
                         if aki == 0.0 {
@@ -145,6 +146,8 @@ impl Tensor {
                 }
             });
         }
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::guard_slice("matmul", &out);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -187,7 +190,9 @@ impl Tensor {
     /// or [`TensorError::InvalidGeometry`] if `rows` is empty.
     pub fn from_rows(rows: &[Tensor]) -> Result<Tensor> {
         if rows.is_empty() {
-            return Err(TensorError::InvalidGeometry("from_rows: empty row list".into()));
+            return Err(TensorError::InvalidGeometry(
+                "from_rows: empty row list".into(),
+            ));
         }
         let n = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * n);
@@ -214,7 +219,11 @@ unsafe impl Sync for SendPtr {}
 
 fn as_2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, got: t.rank(), op });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            got: t.rank(),
+            op,
+        });
     }
     Ok((t.dims()[0], t.dims()[1]))
 }
@@ -258,8 +267,16 @@ mod tests {
     fn matmul_matches_naive_on_larger_inputs() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let a = Tensor::from_vec((0..37 * 19).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[37, 19]).unwrap();
-        let b = Tensor::from_vec((0..19 * 23).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[19, 23]).unwrap();
+        let a = Tensor::from_vec(
+            (0..37 * 19).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[37, 19],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            (0..19 * 23).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[19, 23],
+        )
+        .unwrap();
         let fast = a.matmul(&b).unwrap();
         let slow = naive_matmul(&a, &b);
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
@@ -271,8 +288,16 @@ mod tests {
     fn matmul_nt_equals_matmul_with_transpose() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let a = Tensor::from_vec((0..6 * 5).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[6, 5]).unwrap();
-        let b = Tensor::from_vec((0..7 * 5).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[7, 5]).unwrap();
+        let a = Tensor::from_vec(
+            (0..6 * 5).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[6, 5],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            (0..7 * 5).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[7, 5],
+        )
+        .unwrap();
         let direct = a.matmul_nt(&b).unwrap();
         let via_t = a.matmul(&b.transpose().unwrap()).unwrap();
         for (x, y) in direct.as_slice().iter().zip(via_t.as_slice()) {
@@ -284,8 +309,16 @@ mod tests {
     fn matmul_tn_equals_transpose_then_matmul() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let a = Tensor::from_vec((0..5 * 6).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[5, 6]).unwrap();
-        let b = Tensor::from_vec((0..5 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[5, 4]).unwrap();
+        let a = Tensor::from_vec(
+            (0..5 * 6).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[5, 6],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            (0..5 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[5, 4],
+        )
+        .unwrap();
         let direct = a.matmul_tn(&b).unwrap();
         let via_t = a.transpose().unwrap().matmul(&b).unwrap();
         for (x, y) in direct.as_slice().iter().zip(via_t.as_slice()) {

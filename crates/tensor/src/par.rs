@@ -17,7 +17,9 @@ pub fn num_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Runs `f(start, end)` over disjoint chunks covering `0..len` in parallel.
@@ -66,7 +68,7 @@ where
             s.spawn(move |_| f(start, end));
         }
     })
-    .expect("parallel_for worker panicked");
+    .expect("parallel_for worker panicked"); // cq-check: allow — re-raises a worker panic
 }
 
 /// Runs `f(i)` for every `i` in `0..len`, dynamically load-balanced.
@@ -99,7 +101,7 @@ where
             });
         }
     })
-    .expect("parallel_for_each worker panicked");
+    .expect("parallel_for_each worker panicked"); // cq-check: allow — re-raises a worker panic
 }
 
 /// Splits `out` into disjoint mutable chunks of `chunk_len` elements and
@@ -117,7 +119,11 @@ where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     assert!(chunk_len > 0, "chunk_len must be positive");
-    assert_eq!(out.len() % chunk_len, 0, "buffer not a multiple of chunk_len");
+    assert_eq!(
+        out.len() % chunk_len,
+        0,
+        "buffer not a multiple of chunk_len"
+    );
     let n = out.len() / chunk_len;
     let threads = num_threads().min(n.max(1));
     if threads <= 1 {
@@ -141,16 +147,13 @@ where
                 // [i*chunk_len, (i+1)*chunk_len) are disjoint; the scope
                 // guarantees the buffer outlives every worker.
                 let chunk = unsafe {
-                    std::slice::from_raw_parts_mut(
-                        (base as *mut f32).add(i * chunk_len),
-                        chunk_len,
-                    )
+                    std::slice::from_raw_parts_mut((base as *mut f32).add(i * chunk_len), chunk_len)
                 };
                 f(i, chunk);
             });
         }
     })
-    .expect("parallel_chunks_mut worker panicked");
+    .expect("parallel_chunks_mut worker panicked"); // cq-check: allow — re-raises a worker panic
 }
 
 #[cfg(test)]

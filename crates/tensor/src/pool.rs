@@ -5,7 +5,11 @@ use crate::{Conv2dSpec, Result, Tensor, TensorError};
 
 fn check_nchw(x: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
     if x.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, got: x.rank(), op });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: x.rank(),
+            op,
+        });
     }
     let d = x.dims();
     Ok((d[0], d[1], d[2], d[3]))
@@ -72,7 +76,10 @@ pub fn max_pool2d(x: &Tensor, spec: &Conv2dSpec) -> Result<(Tensor, Vec<usize>)>
 /// Returns an error if `dy`'s element count disagrees with `argmax`.
 pub fn max_pool2d_backward(dy: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Result<Tensor> {
     if dy.len() != argmax.len() {
-        return Err(TensorError::LengthMismatch { len: argmax.len(), shape: dy.dims().to_vec() });
+        return Err(TensorError::LengthMismatch {
+            len: argmax.len(),
+            shape: dy.dims().to_vec(),
+        });
     }
     let mut dx = Tensor::zeros(input_shape);
     let dxs = dx.as_mut_slice();
@@ -132,7 +139,11 @@ pub fn avg_pool2d(x: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
 /// # Errors
 ///
 /// Returns an error for inconsistent shapes or invalid geometry.
-pub fn avg_pool2d_backward(dy: &Tensor, input_shape: &[usize], spec: &Conv2dSpec) -> Result<Tensor> {
+pub fn avg_pool2d_backward(
+    dy: &Tensor,
+    input_shape: &[usize],
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
     let (n, c, oh, ow) = check_nchw(dy, "avg_pool2d_backward")?;
     let (h, w) = (input_shape[2], input_shape[3]);
     let (kh, kw) = spec.kernel;

@@ -25,7 +25,10 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn max(&self) -> f32 {
         assert!(!self.is_empty(), "max of empty tensor");
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
@@ -35,7 +38,10 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn min(&self) -> f32 {
         assert!(!self.is_empty(), "min of empty tensor");
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Index of the maximum element (first occurrence, flat index).
@@ -62,7 +68,11 @@ impl Tensor {
             return 0.0;
         }
         let m = self.mean();
-        self.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / self.len() as f32
+        self.as_slice()
+            .iter()
+            .map(|&v| (v - m) * (v - m))
+            .sum::<f32>()
+            / self.len() as f32
     }
 
     /// Sums a rank-2 tensor over `axis` (0 → column sums `[n]`,
@@ -74,7 +84,11 @@ impl Tensor {
     /// [`TensorError::AxisOutOfRange`] for `axis > 1`.
     pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, got: self.rank(), op: "sum_axis" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                got: self.rank(),
+                op: "sum_axis",
+            });
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
         match axis {
@@ -116,7 +130,11 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
     pub fn softmax_rows(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, got: self.rank(), op: "softmax_rows" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                got: self.rank(),
+                op: "softmax_rows",
+            });
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; m * n];
@@ -133,6 +151,8 @@ impl Tensor {
                 *v /= denom;
             }
         }
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::guard_slice("softmax_rows", &out);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -159,6 +179,8 @@ impl Tensor {
                 out[i * n + j] = v - lse;
             }
         }
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::guard_slice("log_softmax_rows", &out);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -189,6 +211,8 @@ impl Tensor {
                 }
             }
         }
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::guard_slice("l2_normalize_rows", &out);
         Tensor::from_vec(out, &[m, n])
     }
 }

@@ -13,6 +13,7 @@ impl Tensor {
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut StdRng) -> Self {
         let shape = Shape::new(shape);
         let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+        // cq-check: allow — buffer length matches dims by construction
         Tensor::from_vec(data, shape.dims()).expect("internal: length matches shape")
     }
 
@@ -33,6 +34,7 @@ impl Tensor {
                 data.push(mean + std * r * theta.sin());
             }
         }
+        // cq-check: allow — buffer length matches dims by construction
         Tensor::from_vec(data, shape.dims()).expect("internal: length matches shape")
     }
 
@@ -46,7 +48,12 @@ impl Tensor {
     /// Xavier/Glorot uniform initialisation:
     /// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`. Used for linear
     /// projection heads.
-    pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
+    pub fn xavier_uniform(
+        shape: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
         Tensor::rand_uniform(shape, -a, a, rng)
     }
@@ -80,7 +87,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let t = Tensor::randn(&[20_000], 1.0, 2.0, &mut rng);
         assert!((t.mean() - 1.0).abs() < 0.1, "mean {}", t.mean());
-        assert!((t.variance().sqrt() - 2.0).abs() < 0.1, "std {}", t.variance().sqrt());
+        assert!(
+            (t.variance().sqrt() - 2.0).abs() < 0.1,
+            "std {}",
+            t.variance().sqrt()
+        );
     }
 
     #[test]

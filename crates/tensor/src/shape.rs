@@ -24,7 +24,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a slice of axis lengths.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Creates the rank-0 (scalar) shape.
@@ -71,7 +73,10 @@ impl Shape {
         self.dims
             .get(axis)
             .copied()
-            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
     }
 
     /// Flattens a multi-dimensional index into a row-major offset.
@@ -84,7 +89,10 @@ impl Shape {
         let mut offset = 0;
         let mut stride = 1;
         for (i, (&d, &ix)) in self.dims.iter().zip(idx.iter()).enumerate().rev() {
-            debug_assert!(ix < d, "index {ix} out of bounds for axis {i} of length {d}");
+            debug_assert!(
+                ix < d,
+                "index {ix} out of bounds for axis {i} of length {d}"
+            );
             offset += ix * stride;
             stride *= d;
         }
@@ -102,10 +110,18 @@ impl Shape {
     pub fn broadcast(&self, other: &Shape) -> Result<Shape, TensorError> {
         let rank = self.rank().max(other.rank());
         let mut dims = vec![0; rank];
-        for i in 0..rank {
-            let a = if i < rank - self.rank() { 1 } else { self.dims[i - (rank - self.rank())] };
-            let b = if i < rank - other.rank() { 1 } else { other.dims[i - (rank - other.rank())] };
-            dims[i] = if a == b {
+        for (i, dim) in dims.iter_mut().enumerate() {
+            let a = if i < rank - self.rank() {
+                1
+            } else {
+                self.dims[i - (rank - self.rank())]
+            };
+            let b = if i < rank - other.rank() {
+                1
+            } else {
+                other.dims[i - (rank - other.rank())]
+            };
+            *dim = if a == b {
                 a
             } else if a == 1 {
                 b
@@ -129,7 +145,10 @@ impl Shape {
     /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
     pub fn remove_axis(&self, axis: usize) -> Result<Shape, TensorError> {
         if axis >= self.rank() {
-            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
         }
         let mut dims = self.dims.clone();
         dims.remove(axis);
@@ -151,7 +170,9 @@ impl From<Vec<usize>> for Shape {
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 }
 

@@ -31,7 +31,10 @@ impl Tensor {
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let shape = Shape::new(shape);
-        Tensor { data: vec![0.0; shape.len()], shape }
+        Tensor {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
     }
 
     /// Creates a tensor of ones with the given shape.
@@ -42,12 +45,18 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let shape = Shape::new(shape);
-        Tensor { data: vec![value; shape.len()], shape }
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
     }
 
     /// Creates a rank-0 tensor holding a single scalar.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::scalar() }
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
     }
 
     /// Creates an `n`×`n` identity matrix.
@@ -68,14 +77,20 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
         let shape = Shape::new(shape);
         if data.len() != shape.len() {
-            return Err(TensorError::LengthMismatch { len: data.len(), shape: shape.dims().to_vec() });
+            return Err(TensorError::LengthMismatch {
+                len: data.len(),
+                shape: shape.dims().to_vec(),
+            });
         }
         Ok(Tensor { data, shape })
     }
 
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
-        Tensor { data: data.to_vec(), shape: Shape::new(&[data.len()]) }
+        Tensor {
+            data: data.to_vec(),
+            shape: Shape::new(&[data.len()]),
+        }
     }
 
     /// Creates a rank-1 tensor of `n` evenly spaced values in `[start, end)`.
@@ -88,7 +103,10 @@ impl Tensor {
             v += step;
         }
         let n = data.len();
-        Tensor { data, shape: Shape::new(&[n]) }
+        Tensor {
+            data,
+            shape: Shape::new(&[n]),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -156,7 +174,11 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() requires a single-element tensor");
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() requires a single-element tensor"
+        );
         self.data[0]
     }
 
@@ -192,7 +214,10 @@ impl Tensor {
 
     /// Flattens to rank 1.
     pub fn flatten(&self) -> Self {
-        Tensor { data: self.data.clone(), shape: Shape::new(&[self.data.len()]) }
+        Tensor {
+            data: self.data.clone(),
+            shape: Shape::new(&[self.data.len()]),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -201,7 +226,10 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -224,8 +252,18 @@ impl Tensor {
                 op: "zip",
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { data, shape: self.shape.clone() })
+        let data: Vec<f32> = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::guard_slice("zip", &data);
+        Ok(Tensor {
+            data,
+            shape: self.shape.clone(),
+        })
     }
 
     /// Multiplies every element by `s`.
@@ -359,7 +397,12 @@ impl Tensor {
                 idx[d] = 0;
             }
         }
-        Ok(Tensor { data, shape: out_shape })
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::guard_slice("broadcast_with", &data);
+        Ok(Tensor {
+            data,
+            shape: out_shape,
+        })
     }
 
     /// Broadcasting addition.
@@ -412,7 +455,12 @@ impl Tensor {
                 op: "dot",
             });
         }
-        Ok(self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum())
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum())
     }
 
     /// Clamps every element into `[lo, hi]`.

@@ -125,6 +125,121 @@ proptest! {
     }
 
     #[test]
+    fn broadcast_is_commutative_for_any_ranks(
+        a in proptest::collection::vec(1usize..5, 0..4usize),
+        b in proptest::collection::vec(1usize..5, 0..4usize),
+    ) {
+        // Ranks 0..=3 with axes 1..=4: exercises rank-0 scalars, size-1
+        // axes and mismatched ranks in one sweep.
+        let (sa, sb) = (Shape::new(&a), Shape::new(&b));
+        match (sa.broadcast(&sb), sb.broadcast(&sa)) {
+            (Ok(l), Ok(r)) => prop_assert_eq!(l, r),
+            (Err(_), Err(_)) => {}
+            (l, r) => prop_assert!(false, "asymmetric broadcast: {:?} vs {:?}", l, r),
+        }
+    }
+
+    #[test]
+    fn broadcast_with_scalar_and_self_is_identity(
+        dims in proptest::collection::vec(1usize..5, 0..4usize),
+    ) {
+        let s = Shape::new(&dims);
+        prop_assert_eq!(s.broadcast(&Shape::scalar()).unwrap(), s.clone());
+        prop_assert_eq!(Shape::scalar().broadcast(&s).unwrap(), s.clone());
+        prop_assert_eq!(s.broadcast(&s).unwrap(), s);
+    }
+
+    #[test]
+    fn broadcast_aligns_from_trailing_axes(
+        dims in proptest::collection::vec(1usize..5, 1..4usize),
+        extra in 1usize..5,
+    ) {
+        // A rank-(n+1) shape with a leading axis broadcasts against the
+        // rank-n suffix; the suffix axes must survive unchanged.
+        let mut longer = vec![extra];
+        longer.extend_from_slice(&dims);
+        let out = Shape::new(&longer).broadcast(&Shape::new(&dims)).unwrap();
+        prop_assert_eq!(out.dims(), &longer[..]);
+    }
+
+    #[test]
+    fn size_one_axis_stretches_to_any_extent(
+        dims in proptest::collection::vec(1usize..5, 1..4usize),
+        axis_seed in 0usize..8,
+        stretch in 1usize..6,
+    ) {
+        let axis = axis_seed % dims.len();
+        let mut pinched = dims.clone();
+        pinched[axis] = 1;
+        let mut stretched = dims.clone();
+        stretched[axis] = stretch;
+        let out = Shape::new(&pinched).broadcast(&Shape::new(&stretched)).unwrap();
+        prop_assert_eq!(out.dims(), &stretched[..]);
+    }
+
+    #[test]
+    fn incompatible_axes_are_rejected(
+        dims in proptest::collection::vec(2usize..5, 1..4usize),
+        axis_seed in 0usize..8,
+    ) {
+        // Two shapes differing (both > 1) on one axis can never broadcast.
+        let axis = axis_seed % dims.len();
+        let mut other = dims.clone();
+        other[axis] += 1;
+        prop_assert!(Shape::new(&dims).broadcast(&Shape::new(&other)).is_err());
+    }
+
+    #[test]
+    fn strides_are_suffix_products_and_index_bijective(
+        dims in proptest::collection::vec(1usize..5, 0..4usize),
+    ) {
+        let s = Shape::new(&dims);
+        let strides = s.strides();
+        prop_assert_eq!(strides.len(), dims.len());
+        for (i, &st) in strides.iter().enumerate() {
+            prop_assert_eq!(st, dims[i + 1..].iter().product::<usize>());
+        }
+        // flatten_index enumerates 0..len exactly once over the index grid.
+        let mut seen = vec![false; s.len()];
+        let mut idx = vec![0usize; dims.len()];
+        loop {
+            let flat = s.flatten_index(&idx);
+            prop_assert!(!seen[flat], "index {:?} collided at {}", idx, flat);
+            seen[flat] = true;
+            // odometer increment over the dims grid
+            let mut axis = dims.len();
+            loop {
+                if axis == 0 {
+                    break;
+                }
+                idx[axis - 1] += 1;
+                if idx[axis - 1] < dims[axis - 1] {
+                    break;
+                }
+                idx[axis - 1] = 0;
+                axis -= 1;
+            }
+            if axis == 0 {
+                break;
+            }
+        }
+        prop_assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn remove_axis_divides_element_count(
+        dims in proptest::collection::vec(1usize..5, 1..4usize),
+        axis_seed in 0usize..8,
+    ) {
+        let axis = axis_seed % dims.len();
+        let s = Shape::new(&dims);
+        let r = s.remove_axis(axis).unwrap();
+        prop_assert_eq!(r.rank(), s.rank() - 1);
+        prop_assert_eq!(r.len() * dims[axis], s.len());
+        prop_assert!(s.remove_axis(dims.len()).is_err());
+    }
+
+    #[test]
     fn io_round_trip_any_shape(data in vecf(24)) {
         let t = Tensor::from_vec(data, &[2, 3, 4]).unwrap();
         let mut buf = Vec::new();

@@ -17,11 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (name, pipeline, pset) in [
         ("BYOL", Pipeline::Baseline, None),
-        ("CQ-C on BYOL", Pipeline::CqC, Some(PrecisionSet::range(6, 16)?)),
+        (
+            "CQ-C on BYOL",
+            Pipeline::CqC,
+            Some(PrecisionSet::range(6, 16)?),
+        ),
     ] {
         // BYOL uses a batch-normed projection head (and the trainer adds
         // the prediction head itself).
-        let online = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 4).with_byol_proj(32, 16), 3)?;
+        let online = Encoder::new(
+            &EncoderConfig::new(Arch::ResNet18, 4).with_byol_proj(32, 16),
+            3,
+        )?;
         let cfg = PretrainConfig {
             pipeline,
             precision_set: pset,
@@ -43,7 +50,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect::<Vec<_>>()
         );
         let mut encoder = trainer.into_encoder();
-        let acc = linear_eval(&mut encoder, &train, &test, &LinearEvalConfig { epochs: 20, ..Default::default() })?;
+        let acc = linear_eval(
+            &mut encoder,
+            &train,
+            &test,
+            &LinearEvalConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        )?;
         println!("{name}: linear evaluation {acc:.2}%\n");
     }
     Ok(())

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let mut trainer = SimclrTrainer::new(encoder, cfg)?;
         trainer.train(&train)?;
-        println!("{name}: final SSL loss {:?}", trainer.history().final_loss());
+        println!(
+            "{name}: final SSL loss {:?}",
+            trainer.history().final_loss()
+        );
         let encoder = trainer.into_encoder();
 
         let mut accs = Vec::new();

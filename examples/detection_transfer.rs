@@ -30,12 +30,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("pretrained CQ-A encoder ready");
 
     // Detection transfer.
-    let (det_train, det_test) = DetDataset::generate(&DetectionConfig::default().with_sizes(128, 48));
+    let (det_train, det_test) =
+        DetDataset::generate(&DetectionConfig::default().with_sizes(128, 48));
     let metrics = train_detector(
         &encoder,
         &det_train,
         &det_test,
-        &DetectorConfig { epochs: 6, batch_size: 16, ..Default::default() },
+        &DetectorConfig {
+            epochs: 6,
+            batch_size: 16,
+            ..Default::default()
+        },
     )?;
     println!("detection transfer: {metrics}");
 
@@ -45,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &fresh,
         &det_train,
         &det_test,
-        &DetectorConfig { epochs: 6, batch_size: 16, ..Default::default() },
+        &DetectorConfig {
+            epochs: 6,
+            batch_size: 16,
+            ..Default::default()
+        },
     )?;
     println!("from-scratch baseline: {scratch}");
     Ok(())

@@ -19,11 +19,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Raw quantizer SNR on a Gaussian tensor (≈ 6 dB per bit).
     let t = Tensor::randn(&[16384], 0.0, 1.0, &mut rng);
-    let mut snr = Table::new("Quantizer SNR (Eq. 10, round-to-nearest)", &["Bits", "SNR (dB)"]);
+    let mut snr = Table::new(
+        "Quantizer SNR (Eq. 10, round-to-nearest)",
+        &["Bits", "SNR (dB)"],
+    );
     for bits in [4u8, 6, 8, 10, 12, 16] {
         snr.row_owned(vec![
             bits.to_string(),
-            format!("{:.1}", quant_snr_db(&t, Precision::Bits(bits), QuantMode::Round)),
+            format!(
+                "{:.1}",
+                quant_snr_db(&t, Precision::Bits(bits), QuantMode::Round)
+            ),
         ]);
     }
     snr.print();

@@ -14,7 +14,12 @@ use contrastive_quant::quant::PrecisionSet;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small synthetic dataset (CIFAR-100 stand-in).
     let (train, test) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(256, 128));
-    println!("dataset: {} train / {} test, {} classes", train.len(), test.len(), train.num_classes());
+    println!(
+        "dataset: {} train / {} test, {} classes",
+        train.len(),
+        test.len(),
+        train.num_classes()
+    );
 
     // 2. A ResNet-18 encoder with a SimCLR projection head.
     let encoder = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 4).with_proj(32, 16), 42)?;
@@ -39,7 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Linear evaluation on frozen features.
     let mut encoder = trainer.into_encoder();
-    let acc = linear_eval(&mut encoder, &train, &test, &LinearEvalConfig { epochs: 20, ..Default::default() })?;
+    let acc = linear_eval(
+        &mut encoder,
+        &train,
+        &test,
+        &LinearEvalConfig {
+            epochs: 20,
+            ..Default::default()
+        },
+    )?;
     println!("linear evaluation accuracy: {acc:.2}%");
     Ok(())
 }

@@ -27,9 +27,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             per_class[l].push(i);
         }
     }
-    let tiles: Vec<_> = per_class.iter().flatten().map(|&i| train.image(i)).collect();
-    write_ppm(&contact_sheet(&tiles, 8), &out.join("cifarlike_classes.ppm"))?;
-    println!("wrote viz/cifarlike_classes.ppm ({} classes x 8 samples)", train.num_classes());
+    let tiles: Vec<_> = per_class
+        .iter()
+        .flatten()
+        .map(|&i| train.image(i))
+        .collect();
+    write_ppm(
+        &contact_sheet(&tiles, 8),
+        &out.join("cifarlike_classes.ppm"),
+    )?;
+    println!(
+        "wrote viz/cifarlike_classes.ppm ({} classes x 8 samples)",
+        train.num_classes()
+    );
 
     // Augmented views of one image: SimCLR vs strong recipe.
     let pipe = AugmentPipeline::new(AugmentConfig::simclr());

@@ -10,10 +10,16 @@ use contrastive_quant::tensor::Tensor;
 
 fn run(pipeline: Pipeline, seed: u64) -> Encoder {
     let (train, _) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(64, 16));
-    let enc = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), seed).unwrap();
+    let enc = Encoder::new(
+        &EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8),
+        seed,
+    )
+    .unwrap();
     let cfg = PretrainConfig {
         pipeline,
-        precision_set: pipeline.needs_precisions().then(|| PrecisionSet::range(6, 16).unwrap()),
+        precision_set: pipeline
+            .needs_precisions()
+            .then(|| PrecisionSet::range(6, 16).unwrap()),
         epochs: 1,
         batch_size: 16,
         lr: 0.05,

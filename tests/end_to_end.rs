@@ -13,13 +13,19 @@ fn tiny_data() -> (Dataset, Dataset) {
 }
 
 fn tiny_encoder(seed: u64) -> Encoder {
-    Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), seed).unwrap()
+    Encoder::new(
+        &EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8),
+        seed,
+    )
+    .unwrap()
 }
 
 fn tiny_cfg(pipeline: Pipeline) -> PretrainConfig {
     PretrainConfig {
         pipeline,
-        precision_set: pipeline.needs_precisions().then(|| PrecisionSet::range(6, 16).unwrap()),
+        precision_set: pipeline
+            .needs_precisions()
+            .then(|| PrecisionSet::range(6, 16).unwrap()),
         epochs: 1,
         batch_size: 16,
         lr: 0.05,
@@ -38,13 +44,27 @@ fn pretrain_finetune_linear_eval_roundtrip() {
         &encoder,
         &train,
         &test,
-        &FinetuneConfig { label_fraction: 0.5, epochs: 2, batch_size: 16, ..Default::default() },
+        &FinetuneConfig {
+            label_fraction: 0.5,
+            epochs: 2,
+            batch_size: 16,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(ft.test_acc.is_finite() && (0.0..=100.0).contains(&ft.test_acc));
 
     let mut enc = encoder;
-    let lin = linear_eval(&mut enc, &train, &test, &LinearEvalConfig { epochs: 3, ..Default::default() }).unwrap();
+    let lin = linear_eval(
+        &mut enc,
+        &train,
+        &test,
+        &LinearEvalConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert!((0.0..=100.0).contains(&lin));
 }
 
@@ -53,7 +73,11 @@ fn byol_encoder_supports_downstream_evaluation() {
     // regression: the online encoder must shed its predictor so that
     // duplicate()/finetune() see the pure encoder architecture
     let (train, test) = tiny_data();
-    let online = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8), 2).unwrap();
+    let online = Encoder::new(
+        &EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8),
+        2,
+    )
+    .unwrap();
     let mut trainer = ByolTrainer::new(online, tiny_cfg(Pipeline::CqC)).unwrap();
     trainer.train(&train).unwrap();
     let encoder = trainer.into_encoder();
@@ -63,7 +87,12 @@ fn byol_encoder_supports_downstream_evaluation() {
         &encoder,
         &train,
         &test,
-        &FinetuneConfig { label_fraction: 0.5, epochs: 1, batch_size: 16, ..Default::default() },
+        &FinetuneConfig {
+            label_fraction: 0.5,
+            epochs: 1,
+            batch_size: 16,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(ft.test_acc.is_finite());
@@ -72,7 +101,11 @@ fn byol_encoder_supports_downstream_evaluation() {
 #[test]
 fn byol_encoder_save_load_roundtrip() {
     let (train, _) = tiny_data();
-    let online = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8), 3).unwrap();
+    let online = Encoder::new(
+        &EncoderConfig::new(Arch::ResNet18, 2).with_byol_proj(16, 8),
+        3,
+    )
+    .unwrap();
     let mut trainer = ByolTrainer::new(online, tiny_cfg(Pipeline::Baseline)).unwrap();
     trainer.train(&train).unwrap();
     let encoder = trainer.into_encoder();
@@ -94,7 +127,11 @@ fn detection_transfer_runs_on_pretrained_encoder() {
         &encoder,
         &dtr,
         &dte,
-        &DetectorConfig { epochs: 1, batch_size: 8, ..Default::default() },
+        &DetectorConfig {
+            epochs: 1,
+            batch_size: 8,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(m.ap.is_finite() && m.ap50.is_finite() && m.ap75.is_finite());
@@ -129,6 +166,9 @@ fn all_six_architectures_run_the_ssl_step() {
         let enc = Encoder::new(&EncoderConfig::new(arch, 2).with_proj(8, 8), 6).unwrap();
         let mut trainer = SimclrTrainer::new(enc, tiny_cfg(Pipeline::CqC)).unwrap();
         trainer.train(&train).unwrap();
-        assert!(trainer.history().final_loss().unwrap().is_finite(), "{arch}");
+        assert!(
+            trainer.history().final_loss().unwrap().is_finite(),
+            "{arch}"
+        );
     }
 }

@@ -73,17 +73,36 @@ fn weight_noise_behaves_like_quantization_noise() {
     let fp = enc.forward(&x, &ForwardCtx::eval()).unwrap().projection;
     let d_small = {
         let ctx = ForwardCtx::eval().with_weight_noise(0.01, 5);
-        enc.forward(&x, &ctx).unwrap().projection.sub(&fp).unwrap().norm()
+        enc.forward(&x, &ctx)
+            .unwrap()
+            .projection
+            .sub(&fp)
+            .unwrap()
+            .norm()
     };
     let d_large = {
         let ctx = ForwardCtx::eval().with_weight_noise(0.2, 5);
-        enc.forward(&x, &ctx).unwrap().projection.sub(&fp).unwrap().norm()
+        enc.forward(&x, &ctx)
+            .unwrap()
+            .projection
+            .sub(&fp)
+            .unwrap()
+            .norm()
     };
     assert!(d_large > d_small * 2.0, "{d_large} vs {d_small}");
 
-    let a = enc.forward(&x, &ForwardCtx::eval().with_weight_noise(0.1, 5)).unwrap().projection;
-    let b = enc.forward(&x, &ForwardCtx::eval().with_weight_noise(0.1, 5)).unwrap().projection;
-    let c = enc.forward(&x, &ForwardCtx::eval().with_weight_noise(0.1, 6)).unwrap().projection;
+    let a = enc
+        .forward(&x, &ForwardCtx::eval().with_weight_noise(0.1, 5))
+        .unwrap()
+        .projection;
+    let b = enc
+        .forward(&x, &ForwardCtx::eval().with_weight_noise(0.1, 5))
+        .unwrap()
+        .projection;
+    let c = enc
+        .forward(&x, &ForwardCtx::eval().with_weight_noise(0.1, 6))
+        .unwrap()
+        .projection;
     assert_eq!(a, b, "same seed, same view");
     assert_ne!(a, c, "different seed, different view");
 }

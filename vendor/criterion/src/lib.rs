@@ -1,0 +1,185 @@
+//! Offline shim for the `criterion` API subset this workspace's benches
+//! use. Runs each benchmark closure a small fixed number of iterations and
+//! prints a mean wall-clock time — enough to keep `cargo bench` useful for
+//! coarse comparisons without the statistical machinery (or the network
+//! access) of real criterion.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/param` identifier.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    label: String,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing the batch.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // one warm-up call, then the timed batch
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let per_iter = start.elapsed().as_secs_f64() / self.iters as f64;
+        println!(
+            "bench {:<48} {:>12.3} µs/iter ({} iters)",
+            self.label,
+            per_iter * 1e6,
+            self.iters
+        );
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(self.sample_size, name.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(self.parent.sample_size, format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            self.parent.sample_size,
+            format!("{}/{}", self.name, id),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(iters: usize, label: String, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: iters as u64,
+        label,
+    };
+    f(&mut b);
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_closures() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut hits = 0u32;
+        c.bench_function("unit", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("p", 3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}
