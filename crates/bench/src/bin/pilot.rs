@@ -8,6 +8,7 @@ use cq_quant::PrecisionSet;
 use std::time::Instant;
 
 fn main() {
+    obs_init();
     let mut proto = Protocol::new(Regime::CifarLike, Scale::Quick);
     proto.data = proto.data.with_sizes(512, 256);
     proto.pretrain_epochs = 8;
@@ -38,5 +39,8 @@ fn main() {
             "{name}: pretrain {t_pre:.1}s (expl {expl:.2}), ft-grid {t_ft:.1}s | fp10 {:.1} fp1 {:.1} q10 {:.1} q1 {:.1} | linear {lin:.1}",
             grid.fp10, grid.fp1, grid.q10, grid.q1
         );
+    }
+    if let Some(summary) = obs_summary() {
+        println!("\n{summary}");
     }
 }

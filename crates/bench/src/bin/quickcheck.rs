@@ -17,6 +17,7 @@ use cq_quant::PrecisionSet;
 use std::time::Instant;
 
 fn main() {
+    cq_bench::obs_init();
     let t0 = Instant::now();
     let mut proto = Protocol::new(Regime::CifarLike, Scale::Quick);
     proto.data = proto.data.with_sizes(96, 48);
@@ -101,6 +102,9 @@ fn main() {
         check("byol cq-c", res.is_ok());
     }
 
+    if let Some(summary) = cq_bench::obs_summary() {
+        println!("\n{summary}");
+    }
     println!(
         "quickcheck finished in {:.1}s, {failures} failures",
         t0.elapsed().as_secs_f32()

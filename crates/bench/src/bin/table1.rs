@@ -10,6 +10,7 @@ use cq_models::Arch;
 use cq_quant::PrecisionSet;
 
 fn main() {
+    cq_bench::obs_init();
     let scale = Scale::from_args();
     let proto = Protocol::new(Regime::ImagenetLike, scale);
     let (train, test) = proto.datasets();
@@ -67,4 +68,7 @@ fn main() {
     }
     table.print();
     let _ = table.write_csv(std::path::Path::new("table1.csv"));
+    if let Some(summary) = cq_bench::obs_summary() {
+        println!("\n{summary}");
+    }
 }

@@ -290,6 +290,32 @@ pub fn fmt_acc(v: f32) -> String {
     format!("{v:.2}")
 }
 
+/// Installs an observability sink according to `CQ_OBS` (see
+/// `cq_obs::sink::init_from_env`), announcing the choice on stderr. Call
+/// once at the top of every bench binary's `main`.
+pub fn obs_init() {
+    if let Some(desc) = cq_obs::sink::init_from_env() {
+        eprintln!("  [obs] {desc}");
+    }
+}
+
+/// Flushes counters and renders the summary report (per-phase time
+/// breakdown, bit-width histogram, counters, metrics). Returns `None` when
+/// observability was never enabled or nothing was recorded, so binaries can
+/// print it only when there is something to show.
+pub fn obs_summary() -> Option<String> {
+    if !cq_obs::enabled() {
+        return None;
+    }
+    cq_obs::flush();
+    let report = cq_obs::summary_report();
+    if report.is_empty() {
+        None
+    } else {
+        Some(report.render())
+    }
+}
+
 /// Directory for cached pretrained encoders (`CQ_CACHE_DIR` env var, or
 /// `target/cq-cache`). Several tables share the same pretrained encoders
 /// (T1/T2/T3/F2); caching avoids recomputing them per binary.

@@ -1,12 +1,18 @@
 //! Lint pass: source-level checks over the workspace's library crates.
 //!
-//! Two lints, both tuned to this repository's layout (test modules
+//! Three lints, all tuned to this repository's layout (test modules
 //! trail their file behind a `#[cfg(test)]` line; bench drivers live in
-//! `src/bin/`):
+//! `src/bin/`; binary entry points are `main.rs`):
 //!
 //! - **no-unwrap**: library code must not call `unwrap`/`expect` —
 //!   errors are propagated as `Result`s. A justified site carries a
 //!   `cq-check: allow — <reason>` marker on the same or preceding line.
+//! - **no-println**: library code must not write diagnostics to stdout
+//!   with `println!` — route them through `cq_obs` (events/metrics) or
+//!   `eprintln!` so stdout stays reserved for a binary's actual output.
+//!   `main.rs` and `src/bin/**` are exempt (stdout is theirs), and a
+//!   deliberate site (e.g. a report printer) carries the same
+//!   `cq-check: allow — <reason>` marker.
 //! - **gradcheck-coverage**: every file defining a non-test
 //!   `impl Layer for T` must also invoke the `check_layer` gradcheck
 //!   family, so no layer's backward pass ships unverified. A
@@ -26,6 +32,7 @@ pub const ALLOW_MARKER: &str = "cq-check: allow";
 // the scanner when cq-check lints itself.
 const UNWRAP_PAT: &str = concat!(".unw", "rap()");
 const EXPECT_PAT: &str = concat!(".exp", "ect(");
+const PRINTLN_PAT: &str = concat!("print", "ln!(");
 
 /// Recursively collects `.rs` files under `dir`, skipping `src/bin`
 /// directories (executables may panic on bad CLI input).
@@ -104,6 +111,46 @@ fn lint_unwrap_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
     }
 }
 
+/// True when `line` invokes `println!` itself — not `eprintln!`, whose
+/// spelling contains the shorter macro name as a suffix.
+fn calls_println(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(PRINTLN_PAT) {
+        let at = from + pos;
+        let preceded_by_ident =
+            at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        if !preceded_by_ident {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Applies the no-println lint to one file's contents. `main.rs` is the
+/// caller's responsibility to exempt (it owns stdout).
+fn lint_println_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let boundary = test_boundary(&lines);
+    for (i, line) in lines.iter().enumerate().take(boundary) {
+        if is_comment(line) || !calls_println(line) {
+            continue;
+        }
+        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
+        if !allowed {
+            violations.push(Violation {
+                pass: "lint",
+                location: format!("{rel}:{}", i + 1),
+                message: format!(
+                    "println! in library code; emit a cq_obs event or use eprintln!, \
+                     or add `{ALLOW_MARKER} — <reason>`"
+                ),
+            });
+        }
+    }
+}
+
 /// Non-test `impl Layer for T` type names declared in one file.
 fn layer_impls_in(text: &str) -> Vec<String> {
     let lines: Vec<&str> = text.lines().collect();
@@ -138,7 +185,7 @@ fn logged_layers() -> Vec<String> {
         .collect()
 }
 
-/// Runs both source lints over the workspace at `root`.
+/// Runs all three source lints over the workspace at `root`.
 pub fn lint_workspace(root: &Path) -> Vec<Violation> {
     let mut violations = Vec::new();
     let logged = logged_layers();
@@ -152,6 +199,9 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
             .display()
             .to_string();
         lint_unwrap_in(&rel, &text, &mut violations);
+        if path.file_name().is_none_or(|n| n != "main.rs") {
+            lint_println_in(&rel, &text, &mut violations);
+        }
         let impls = layer_impls_in(&text);
         if !impls.is_empty() && !text.contains("check_layer") {
             for name in impls {
@@ -220,6 +270,35 @@ mod tests {
         let mut v = Vec::new();
         lint_unwrap_in("x.rs", &text, &mut v);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_println_but_not_eprintln() {
+        let text = format!(
+            "fn f() {{\n    {}\"x\");\n    e{}\"y\");\n}}\n",
+            PRINTLN_PAT, PRINTLN_PAT
+        );
+        let mut v = Vec::new();
+        lint_println_in("x.rs", &text, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].location, "x.rs:2");
+    }
+
+    #[test]
+    fn println_marker_and_test_code_allowed() {
+        let marked = format!(
+            "fn f() {{\n    {}\"x\"); // {} — report output\n}}\n",
+            PRINTLN_PAT, ALLOW_MARKER
+        );
+        let in_tests = format!(
+            "fn f() {{}}\n#[cfg(test)]\nmod t {{\nfn g() {{ {}\"x\"); }}\n}}\n",
+            PRINTLN_PAT
+        );
+        for text in [marked, in_tests] {
+            let mut v = Vec::new();
+            lint_println_in("x.rs", &text, &mut v);
+            assert!(v.is_empty(), "{text}");
+        }
     }
 
     #[test]

@@ -144,6 +144,7 @@ impl ByolTrainer {
         let total = (self.cfg.epochs * self.loader.batches_per_epoch(dataset)).max(1);
         let sched = CosineSchedule::new(self.cfg.lr, total, total / 20);
         for _ in 0..self.cfg.epochs {
+            let epoch_start = std::time::Instant::now();
             let batches = self.loader.epoch(dataset);
             let mut losses = Vec::new();
             let mut norms = Vec::new();
@@ -155,6 +156,11 @@ impl ByolTrainer {
                 }
                 self.steps_taken += 1;
             }
+            crate::simclr::record_epoch_throughput(
+                self.steps_taken,
+                batches.len() * self.cfg.batch_size,
+                epoch_start.elapsed(),
+            );
             let mean = |v: &[f32]| {
                 if v.is_empty() {
                     f32::NAN
@@ -174,6 +180,7 @@ impl ByolTrainer {
     ///
     /// Propagates layer/optimizer errors.
     pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
+        let _sp = cq_obs::span("train.step");
         let mut gs = self.online.params().zero_grads();
         let loss = match self.cfg.pipeline {
             Pipeline::Baseline => self.branch_loss(batch, None, &mut gs)?,
@@ -197,12 +204,14 @@ impl ByolTrainer {
         let norm = gs.global_norm();
         if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
             self.history.exploded_steps += 1;
+            crate::simclr::record_exploded_step();
             return Ok(None);
         }
         self.opt.step(self.online.params_mut(), &gs, lr)?;
         self.target
             .ema_update_from(&self.online, self.cfg.ema_tau)?;
         self.history.steps += 1;
+        crate::simclr::record_step_metrics(self.steps_taken, loss, norm, lr);
         Ok(Some((loss, norm)))
     }
 

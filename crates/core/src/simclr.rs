@@ -10,6 +10,32 @@ use rand::{Rng, SeedableRng};
 
 use crate::{nt_xent, Pipeline, PrecisionSampling, PretrainConfig, TrainHistory};
 
+// Steps skipped due to gradient explosion, across all trainers in the
+// process; no-op unless a cq-obs sink is installed.
+static EXPLODED_STEPS: cq_obs::Counter = cq_obs::Counter::new("train.exploded_steps");
+
+/// Emits the per-step training metrics shared by the SimCLR/BYOL/SimSiam
+/// trainers (all hooks are no-ops without an installed sink).
+pub(crate) fn record_step_metrics(step: usize, loss: f32, norm: f32, lr: f32) {
+    let step = step as u64;
+    cq_obs::metric("train.loss", step, loss as f64);
+    cq_obs::metric("train.grad_norm", step, norm as f64);
+    cq_obs::metric("train.lr", step, lr as f64);
+}
+
+/// Records one exploded (skipped) step.
+pub(crate) fn record_exploded_step() {
+    EXPLODED_STEPS.add(1);
+}
+
+/// Emits the end-of-epoch throughput metric.
+pub(crate) fn record_epoch_throughput(step: usize, images: usize, elapsed: std::time::Duration) {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        cq_obs::metric("train.images_per_sec", step as u64, images as f64 / secs);
+    }
+}
+
 /// Self-supervised pre-training with SimCLR's NT-Xent objective, hosting
 /// every [`Pipeline`] variant of the paper.
 ///
@@ -124,6 +150,7 @@ impl SimclrTrainer {
         let total = (self.cfg.epochs * batches_per_epoch).max(1);
         let sched = CosineSchedule::new(self.cfg.lr, total, total / 20);
         for _ in 0..self.cfg.epochs {
+            let epoch_start = std::time::Instant::now();
             let batches = self.loader.epoch(dataset);
             let mut losses = Vec::with_capacity(batches.len());
             let mut norms = Vec::with_capacity(batches.len());
@@ -135,6 +162,11 @@ impl SimclrTrainer {
                 }
                 self.steps_taken += 1;
             }
+            crate::simclr::record_epoch_throughput(
+                self.steps_taken,
+                batches.len() * self.cfg.batch_size,
+                epoch_start.elapsed(),
+            );
             let mean = |v: &[f32]| {
                 if v.is_empty() {
                     f32::NAN
@@ -155,6 +187,7 @@ impl SimclrTrainer {
     ///
     /// Propagates layer/optimizer errors.
     pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
+        let _sp = cq_obs::span("train.step");
         let mut gs = self.encoder.params().zero_grads();
         let temp = self.cfg.temperature;
         let loss = match self.cfg.pipeline {
@@ -281,10 +314,12 @@ impl SimclrTrainer {
         let norm = gs.global_norm();
         if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
             self.history.exploded_steps += 1;
+            record_exploded_step();
             return Ok(None);
         }
         self.opt.step(self.encoder.params_mut(), &gs, lr)?;
         self.history.steps += 1;
+        record_step_metrics(self.steps_taken, loss, norm, lr);
         Ok(Some((loss, norm)))
     }
 

@@ -119,6 +119,7 @@ impl SimsiamTrainer {
         let total = (self.cfg.epochs * self.loader.batches_per_epoch(dataset)).max(1);
         let sched = CosineSchedule::new(self.cfg.lr, total, total / 20);
         for _ in 0..self.cfg.epochs {
+            let epoch_start = std::time::Instant::now();
             let batches = self.loader.epoch(dataset);
             let mut losses = Vec::new();
             let mut norms = Vec::new();
@@ -130,6 +131,11 @@ impl SimsiamTrainer {
                 }
                 self.steps_taken += 1;
             }
+            crate::simclr::record_epoch_throughput(
+                self.steps_taken,
+                batches.len() * self.cfg.batch_size,
+                epoch_start.elapsed(),
+            );
             let mean = |v: &[f32]| {
                 if v.is_empty() {
                     f32::NAN
@@ -149,6 +155,7 @@ impl SimsiamTrainer {
     ///
     /// Propagates layer/optimizer errors.
     pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
+        let _sp = cq_obs::span("train.step");
         let mut gs = self.encoder.params().zero_grads();
         let loss = match self.cfg.pipeline {
             Pipeline::Baseline => self.branch_loss(batch, None, &mut gs)?,
@@ -172,10 +179,12 @@ impl SimsiamTrainer {
         let norm = gs.global_norm();
         if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
             self.history.exploded_steps += 1;
+            crate::simclr::record_exploded_step();
             return Ok(None);
         }
         self.opt.step(self.encoder.params_mut(), &gs, lr)?;
         self.history.steps += 1;
+        crate::simclr::record_step_metrics(self.steps_taken, loss, norm, lr);
         Ok(Some((loss, norm)))
     }
 

@@ -1,0 +1,128 @@
+//! Property-based tests of the NT-Xent loss (ISSUE satellite).
+//!
+//! Three laws the SimCLR objective must obey:
+//!
+//! 1. **Pair-order invariance** — permuting the batch rows of both views
+//!    by the same permutation leaves the loss unchanged: NT-Xent treats
+//!    pairs as a set.
+//! 2. **Monotonicity in the positive similarity** — with every negative
+//!    similarity pinned to exactly zero (an orthogonal-basis
+//!    construction), increasing one positive pair's cosine similarity
+//!    strictly decreases the loss.
+//! 3. **Finiteness** — loss and both gradients stay finite across the
+//!    temperature range 0.05–1.0 the experiments sweep.
+
+use cq_core::nt_xent;
+use cq_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Applies `perm` to the rows of an `[n, d]` row-major buffer.
+fn permute_rows(data: &[f32], perm: &[usize], d: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(data.len());
+    for &src in perm {
+        out.extend_from_slice(&data[src * d..(src + 1) * d]);
+    }
+    out
+}
+
+/// Feature batches `(a, b)` over an orthonormal basis of dimension `2n`:
+/// `a_i = e_{2i}`, `b_j = e_{2j+1}`, except `b_0 = cosθ·e_0 + sinθ·e_1`.
+/// Every inter-pair similarity is exactly 0; only pair 0's positive
+/// similarity (`cos θ`) varies with θ.
+fn orthogonal_views(n: usize, theta: f32) -> (Tensor, Tensor) {
+    let d = 2 * n;
+    let mut a = vec![0.0f32; n * d];
+    let mut b = vec![0.0f32; n * d];
+    for i in 0..n {
+        a[i * d + 2 * i] = 1.0;
+        b[i * d + 2 * i + 1] = 1.0;
+    }
+    b[1] = 0.0;
+    b[0] = theta.cos();
+    b[1] = theta.sin();
+    (
+        Tensor::from_vec(a, &[n, d]).unwrap(),
+        Tensor::from_vec(b, &[n, d]).unwrap(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn loss_is_invariant_to_pair_order(
+        n in 2usize..=6,
+        d in 3usize..=8,
+        seed in 0usize..1000,
+        temp in 0.1f32..1.0,
+    ) {
+        // Deterministic fill keyed by `seed` so the permuted and original
+        // batches share data exactly.
+        let data_a: Vec<f32> = (0..n * d)
+            .map(|i| (((i * 31 + seed * 17) % 97) as f32 / 48.5) - 1.0)
+            .collect();
+        let data_b: Vec<f32> = (0..n * d)
+            .map(|i| (((i * 53 + seed * 29) % 89) as f32 / 44.5) - 1.0)
+            .collect();
+        // Permutation: rotate by `seed % n`, then reverse.
+        let mut perm: Vec<usize> = (0..n).map(|i| (i + seed) % n).collect();
+        perm.reverse();
+
+        let a = Tensor::from_vec(data_a.clone(), &[n, d]).unwrap();
+        let b = Tensor::from_vec(data_b.clone(), &[n, d]).unwrap();
+        let ap = Tensor::from_vec(permute_rows(&data_a, &perm, d), &[n, d]).unwrap();
+        let bp = Tensor::from_vec(permute_rows(&data_b, &perm, d), &[n, d]).unwrap();
+
+        let orig = nt_xent(&a, &b, temp).unwrap();
+        let perm_loss = nt_xent(&ap, &bp, temp).unwrap();
+        prop_assert!(
+            (orig.loss - perm_loss.loss).abs() <= 1e-4 * orig.loss.abs().max(1.0),
+            "loss changed under pair permutation: {} vs {}",
+            orig.loss,
+            perm_loss.loss
+        );
+    }
+
+    #[test]
+    fn loss_strictly_decreases_as_positive_similarity_rises(
+        n in 2usize..=6,
+        theta_low in 0.05f32..0.7,
+        gap in 0.2f32..0.8,
+        temp in 0.1f32..1.0,
+    ) {
+        // Both angles in (0, π/2): cos is strictly decreasing there, so
+        // theta_low has the HIGHER positive similarity.
+        let theta_high = theta_low + gap;
+        let (a_lo, b_lo) = orthogonal_views(n, theta_low);
+        let (a_hi, b_hi) = orthogonal_views(n, theta_high);
+        let closer = nt_xent(&a_lo, &b_lo, temp).unwrap().loss;
+        let farther = nt_xent(&a_hi, &b_hi, temp).unwrap().loss;
+        prop_assert!(
+            closer + 1e-6 < farther,
+            "raising pair-0 similarity (cos {theta_low} > cos {theta_high}) \
+             must strictly lower the loss: {closer} vs {farther}"
+        );
+    }
+
+    #[test]
+    fn loss_and_grads_finite_across_temperature_range(
+        n in 2usize..=5,
+        d in 2usize..=8,
+        data_a in proptest::collection::vec(-3.0f32..3.0, 40),
+        data_b in proptest::collection::vec(-3.0f32..3.0, 40),
+        temp in 0.05f32..=1.0,
+    ) {
+        let a = Tensor::from_vec(data_a[..n * d].to_vec(), &[n, d]).unwrap();
+        let b = Tensor::from_vec(data_b[..n * d].to_vec(), &[n, d]).unwrap();
+        let out = nt_xent(&a, &b, temp).unwrap();
+        prop_assert!(out.loss.is_finite(), "loss not finite at temp {temp}");
+        prop_assert!(
+            out.grad_a.as_slice().iter().all(|v| v.is_finite()),
+            "grad_a not finite at temp {temp}"
+        );
+        prop_assert!(
+            out.grad_b.as_slice().iter().all(|v| v.is_finite()),
+            "grad_b not finite at temp {temp}"
+        );
+    }
+}

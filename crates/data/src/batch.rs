@@ -9,6 +9,10 @@ use rand::{Rng, SeedableRng};
 
 use crate::{AugmentPipeline, Dataset};
 
+// Images pushed through the two-view augmentation pipeline; no-op unless a
+// cq-obs sink is installed.
+static AUGMENTED_IMAGES: cq_obs::Counter = cq_obs::Counter::new("data.images");
+
 /// Iterator over shuffled `(images, labels)` mini-batches of a dataset.
 ///
 /// The last partial batch is dropped (standard for BN-based training).
@@ -105,6 +109,7 @@ impl TwoViewLoader {
 
     /// Produces all two-view batches of one shuffled epoch.
     pub fn epoch(&mut self, dataset: &Dataset) -> Vec<TwoViewBatch> {
+        let _sp = cq_obs::span("data.epoch");
         let order = Tensor::permutation(dataset.len(), &mut self.rng);
         let nb = dataset.len() / self.batch_size;
         let mut out = Vec::with_capacity(nb);
@@ -121,6 +126,8 @@ impl TwoViewLoader {
     ///
     /// Panics if any index is out of range.
     pub fn make_batch(&mut self, dataset: &Dataset, indices: &[usize]) -> TwoViewBatch {
+        let _sp = cq_obs::span("data.make_batch");
+        AUGMENTED_IMAGES.add(indices.len() as u64);
         let n = indices.len();
         let s = dataset.image_size();
         let chw = 3 * s * s;

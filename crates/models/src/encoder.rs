@@ -176,6 +176,7 @@ impl Encoder {
     ///
     /// Propagates layer errors (bad input shapes etc.).
     pub fn forward(&mut self, x: &Tensor, ctx: &ForwardCtx) -> Result<EncoderOutput, NnError> {
+        let _sp = cq_obs::span("encoder.forward");
         let (features, backbone) = self.backbone.forward(&self.params, x, ctx)?;
         let (projection, proj) = match &mut self.projector {
             Some(p) => {
@@ -213,6 +214,7 @@ impl Encoder {
         dz: &Tensor,
         gs: &mut GradSet,
     ) -> Result<(), NnError> {
+        let _sp = cq_obs::span("encoder.backward");
         let dh = match (&self.projector, &trace.proj) {
             (Some(p), Some(c)) => p.backward(&self.params, c, dz, gs)?,
             (None, None) => dz.clone(),

@@ -150,6 +150,9 @@ fn run_layers(
     let mut children = Vec::with_capacity(layers.len());
     let mut cur = x.clone();
     for (i, layer) in layers.iter_mut().enumerate() {
+        // Per-layer forward timer; layer_kind() is 'static so the hook is
+        // allocation-free, and a no-op without an installed sink.
+        let _sp = cq_obs::span(layer.layer_kind());
         let (y, c) = layer.forward(ps, &cur, ctx)?;
         if ctx.sanitize {
             let label = format!("layer #{i} ({})", layer.layer_kind());
@@ -199,6 +202,9 @@ impl Layer for Sequential {
             .zip(&c.children)
             .rev()
         {
+            // Per-layer backward timer (same static-name convention as the
+            // forward path in `run_layers`).
+            let _sp = cq_obs::span(layer.layer_kind());
             cur = layer.backward(ps, child, &cur, gs)?;
         }
         Ok(cur)

@@ -1,0 +1,294 @@
+//! Event sinks: in-memory (tests), JSONL file writer (runs), and the
+//! `CQ_OBS` environment-variable selector.
+//!
+//! ## JSONL schema
+//!
+//! One JSON object per line, discriminated by `"t"`:
+//!
+//! ```text
+//! {"t":"span","name":"train.step","depth":0,"ns":1234567}
+//! {"t":"counter","name":"tensor.matmul.flops","total":98304}
+//! {"t":"hist","name":"quant.bits","v":8}
+//! {"t":"metric","name":"train.loss","step":3,"v":4.125}
+//! {"t":"warn","msg":"CQ_THREADS=0 rejected; using 1"}
+//! ```
+//!
+//! `SpanStart` events are not written — the `SpanEnd` record carries the
+//! name, depth and duration, which halves trace volume without losing
+//! information (ordering within a thread is reconstructible from depth).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::{Event, Sink};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Records every event in memory, in arrival order. For tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns all recorded events, leaving the sink empty.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut lock(&self.events))
+    }
+
+    /// Clones the recorded events without draining them.
+    pub fn snapshot(&self) -> Vec<Event> {
+        lock(&self.events).clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        lock(&self.events).len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn event(&self, ev: &Event) {
+        lock(&self.events).push(ev.clone());
+    }
+}
+
+/// Counts events without storing them. Used by overhead-guard tests to
+/// assert that instrumented paths emit nothing while uninstalled.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    count: std::sync::atomic::AtomicU64,
+}
+
+impl CountingSink {
+    /// Creates a sink with a zero count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events seen.
+    pub fn count(&self) -> u64 {
+        self.count.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Sink for CountingSink {
+    fn event(&self, _ev: &Event) {
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Streams events as JSON Lines to a buffered file (schema above).
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+/// Minimal JSON string escaping for warning messages (the only free-form
+/// strings in the schema).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats `v` so the output is valid JSON (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Round-trippable, and integral values print without a ".0" tail
+        // matching what a histogram of bit-widths looks like.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn event(&self, ev: &Event) {
+        let line = match ev {
+            // Start records carry no information the end record lacks.
+            Event::SpanStart { .. } => return,
+            Event::SpanEnd { name, depth, nanos } => {
+                format!("{{\"t\":\"span\",\"name\":\"{name}\",\"depth\":{depth},\"ns\":{nanos}}}")
+            }
+            Event::Counter { name, total } => {
+                format!("{{\"t\":\"counter\",\"name\":\"{name}\",\"total\":{total}}}")
+            }
+            Event::Histogram { name, value } => {
+                format!(
+                    "{{\"t\":\"hist\",\"name\":\"{name}\",\"v\":{}}}",
+                    json_f64(*value)
+                )
+            }
+            Event::Metric { name, step, value } => format!(
+                "{{\"t\":\"metric\",\"name\":\"{name}\",\"step\":{step},\"v\":{}}}",
+                json_f64(*value)
+            ),
+            Event::Warning { message } => {
+                format!("{{\"t\":\"warn\",\"msg\":\"{}\"}}", escape_json(message))
+            }
+        };
+        let mut w = lock(&self.writer);
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = lock(&self.writer).flush();
+    }
+}
+
+/// Installs a sink according to the `CQ_OBS` environment variable and
+/// returns a human-readable description of what was installed.
+///
+/// - unset or empty → no sink (all hooks stay no-ops), returns `None`
+/// - `jsonl` → [`JsonlSink`] writing to `CQ_OBS_PATH` (default
+///   `cq-obs.jsonl`)
+/// - `mem` → [`MemorySink`] (aggregation only; useful to enable the
+///   summary report without a trace file)
+/// - anything else → no sink, returns `None`
+pub fn init_from_env() -> Option<String> {
+    let mode = std::env::var("CQ_OBS").ok()?;
+    match mode.as_str() {
+        "jsonl" => {
+            let path = std::env::var("CQ_OBS_PATH").unwrap_or_else(|_| "cq-obs.jsonl".to_string());
+            match JsonlSink::create(&path) {
+                Ok(sink) => {
+                    crate::install(Arc::new(sink));
+                    Some(format!("jsonl trace -> {path}"))
+                }
+                Err(e) => {
+                    // Cannot route through cq-obs (no sink could be made);
+                    // stderr is the only channel left.
+                    eprintln!("cq-obs: cannot create {path}: {e}");
+                    None
+                }
+            }
+        }
+        "mem" => {
+            crate::install(Arc::new(MemorySink::new()));
+            Some("in-memory sink (summary only)".to_string())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_schema_lines() {
+        let _g = crate::test_lock();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cq-obs-test-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).expect("temp file"); // cq-check: allow — test-only
+        sink.event(&Event::SpanStart {
+            name: "skipped",
+            depth: 0,
+        });
+        sink.event(&Event::SpanEnd {
+            name: "train.step",
+            depth: 1,
+            nanos: 42,
+        });
+        sink.event(&Event::Counter {
+            name: "tensor.matmul.flops",
+            total: 7,
+        });
+        sink.event(&Event::Histogram {
+            name: "quant.bits",
+            value: 8.0,
+        });
+        sink.event(&Event::Metric {
+            name: "train.loss",
+            step: 2,
+            value: 0.5,
+        });
+        sink.event(&Event::Warning {
+            message: "a \"quoted\"\nmessage".to_string(),
+        });
+        Sink::flush(&sink);
+        let text = std::fs::read_to_string(&path).expect("trace readable"); // cq-check: allow — test-only
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "SpanStart must be skipped: {lines:?}");
+        assert_eq!(
+            lines[0],
+            "{\"t\":\"span\",\"name\":\"train.step\",\"depth\":1,\"ns\":42}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"t\":\"counter\",\"name\":\"tensor.matmul.flops\",\"total\":7}"
+        );
+        assert_eq!(lines[2], "{\"t\":\"hist\",\"name\":\"quant.bits\",\"v\":8}");
+        assert_eq!(
+            lines[3],
+            "{\"t\":\"metric\",\"name\":\"train.loss\",\"step\":2,\"v\":0.5}"
+        );
+        assert_eq!(
+            lines[4],
+            "{\"t\":\"warn\",\"msg\":\"a \\\"quoted\\\"\\nmessage\"}"
+        );
+    }
+
+    #[test]
+    fn json_f64_handles_specials() {
+        assert_eq!(json_f64(8.0), "8");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let s = CountingSink::new();
+        s.event(&Event::Histogram {
+            name: "h",
+            value: 1.0,
+        });
+        s.event(&Event::Histogram {
+            name: "h",
+            value: 2.0,
+        });
+        assert_eq!(s.count(), 2);
+    }
+}

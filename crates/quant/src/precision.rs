@@ -138,10 +138,15 @@ impl PrecisionSet {
         &self.bits
     }
 
-    /// Samples one precision uniformly.
+    /// Samples one precision uniformly. Each draw is recorded in the
+    /// `quant.bits` observability histogram (a no-op without a sink), which
+    /// is how runs verify the sampled distribution matches the configured
+    /// set — the paper's core augmentation mechanism.
     pub fn sample(&self, rng: &mut StdRng) -> Precision {
         let i = rng.gen_range(0..self.bits.len());
-        Precision::Bits(self.bits[i])
+        let q = self.bits[i];
+        cq_obs::histogram("quant.bits", q as f64);
+        Precision::Bits(q)
     }
 
     /// Samples the iteration's precision pair `(q1, q2)` — two independent

@@ -22,6 +22,9 @@ use cq_tensor::Tensor;
 
 use crate::Precision;
 
+// Fake-quantized element counter; no-op unless a cq-obs sink is installed.
+static FAKE_QUANT_ELEMS: cq_obs::Counter = cq_obs::Counter::new("quant.fake_quant.elems");
+
 /// Rounding rule used when projecting onto the quantization grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum QuantMode {
@@ -114,6 +117,11 @@ pub fn fake_quant_into(data: &mut [f32], precision: Precision, mode: QuantMode) 
     if !(range.is_finite() && range > 0.0) {
         return; // constant or non-finite tensor: nothing to quantize
     }
+    // Clip-range and volume observability: the dynamic range drives the
+    // quantization step (Eq. 10), so its distribution over a run is the
+    // first thing to inspect when quantization noise looks wrong.
+    cq_obs::histogram("quant.clip_range", range as f64);
+    FAKE_QUANT_ELEMS.add(data.len() as u64);
     let step = range / ((1u32 << q) - 1) as f32;
     match mode {
         QuantMode::Round => {

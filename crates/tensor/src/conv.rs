@@ -8,6 +8,12 @@
 
 use crate::{Result, TensorError};
 
+// Kernel counters (no-ops unless a cq-obs sink is installed). im2col is
+// counted in column-matrix elements written; depthwise convs in
+// multiply-add FLOPs, so observed totals reconcile with Plan IR estimates.
+static IM2COL_ELEMS: cq_obs::Counter = cq_obs::Counter::new("tensor.im2col.elems");
+static DEPTHWISE_FLOPS: cq_obs::Counter = cq_obs::Counter::new("tensor.depthwise.flops");
+
 /// Geometry of a 2-D convolution or pooling window: kernel size, stride and
 /// zero padding (symmetric).
 ///
@@ -99,6 +105,7 @@ pub fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, ou
         c * kh * kw * oh * ow,
         "im2col: output length mismatch"
     );
+    IM2COL_ELEMS.add(out.len() as u64);
 
     let ospatial = oh * ow;
     for ci in 0..c {
@@ -195,6 +202,7 @@ pub fn depthwise_conv2d(
     assert_eq!(input.len(), c * h * w);
     assert_eq!(weight.len(), c * kh * kw);
     assert_eq!(out.len(), c * oh * ow);
+    DEPTHWISE_FLOPS.add(2 * (c * oh * ow * kh * kw) as u64);
 
     for ci in 0..c {
         let in_ch = &input[ci * h * w..(ci + 1) * h * w];

@@ -8,6 +8,18 @@ use crate::{Result, Tensor, TensorError};
 /// single-threaded; thread spawn overhead would dominate.
 const MIN_ROWS_PER_BAND: usize = 8;
 
+// Kernel counters: calls and multiply-add FLOPs (2·m·n·k per product, all
+// three layout variants pooled) so an observed run can be reconciled
+// against the Plan IR estimate. No-ops unless a cq-obs sink is installed.
+static MATMUL_CALLS: cq_obs::Counter = cq_obs::Counter::new("tensor.matmul.calls");
+static MATMUL_FLOPS: cq_obs::Counter = cq_obs::Counter::new("tensor.matmul.flops");
+
+#[inline]
+fn count_matmul(m: usize, n: usize, k: usize) {
+    MATMUL_CALLS.add(1);
+    MATMUL_FLOPS.add(2 * (m as u64) * (n as u64) * (k as u64));
+}
+
 impl Tensor {
     /// Matrix product `self @ other` for rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
@@ -30,6 +42,7 @@ impl Tensor {
                 op: "matmul",
             });
         }
+        count_matmul(m, n, k);
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -78,6 +91,7 @@ impl Tensor {
                 op: "matmul_nt",
             });
         }
+        count_matmul(m, n, k);
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -123,6 +137,7 @@ impl Tensor {
                 op: "matmul_tn",
             });
         }
+        count_matmul(m, n, k);
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];

@@ -5,21 +5,73 @@
 //! `0..len` into contiguous chunks and run a closure per chunk", which is
 //! what [`parallel_for`] provides.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// How a raw `CQ_THREADS` value was interpreted (pure, testable without
+/// touching the process environment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadsSpec {
+    /// Variable not set: use the machine parallelism.
+    Unset,
+    /// A positive thread count.
+    Count(usize),
+    /// Explicit `0`: rejected (a zero-thread pool is meaningless); run
+    /// single-threaded after warning.
+    Zero,
+    /// Unparseable value: ignored (machine parallelism) after warning.
+    Garbage,
+}
+
+fn parse_cq_threads(raw: Option<&str>) -> ThreadsSpec {
+    match raw {
+        None => ThreadsSpec::Unset,
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(0) => ThreadsSpec::Zero,
+            Ok(n) => ThreadsSpec::Count(n),
+            Err(_) => ThreadsSpec::Garbage,
+        },
+    }
+}
+
+fn machine_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Returns the number of worker threads to use.
 ///
 /// Respects the `CQ_THREADS` environment variable when set (useful to pin
 /// benchmarks to one thread), otherwise uses the machine parallelism.
+/// `CQ_THREADS=0` is rejected — it warns (once, through cq-obs) and runs
+/// single-threaded; an unparseable value warns and falls back to the
+/// machine parallelism.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("CQ_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    let raw = std::env::var("CQ_THREADS").ok();
+    match parse_cq_threads(raw.as_deref()) {
+        ThreadsSpec::Count(n) => n,
+        ThreadsSpec::Unset => machine_parallelism(),
+        ThreadsSpec::Zero => {
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                cq_obs::warn_with(|| {
+                    "CQ_THREADS=0 rejected (zero-thread pool is meaningless); using 1".to_string()
+                });
+            }
+            1
+        }
+        ThreadsSpec::Garbage => {
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                cq_obs::warn_with(|| {
+                    format!(
+                        "CQ_THREADS={:?} is not a thread count; using machine parallelism",
+                        raw.as_deref().unwrap_or("")
+                    )
+                });
+            }
+            machine_parallelism()
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 /// Runs `f(start, end)` over disjoint chunks covering `0..len` in parallel.
@@ -160,6 +212,20 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parse_cq_threads_rejects_zero_and_garbage() {
+        // Pure-function tests: no env mutation, so safe under a parallel
+        // test harness.
+        assert_eq!(parse_cq_threads(None), ThreadsSpec::Unset);
+        assert_eq!(parse_cq_threads(Some("4")), ThreadsSpec::Count(4));
+        assert_eq!(parse_cq_threads(Some(" 2 ")), ThreadsSpec::Count(2));
+        assert_eq!(parse_cq_threads(Some("0")), ThreadsSpec::Zero);
+        assert_eq!(parse_cq_threads(Some("banana")), ThreadsSpec::Garbage);
+        assert_eq!(parse_cq_threads(Some("")), ThreadsSpec::Garbage);
+        assert_eq!(parse_cq_threads(Some("-3")), ThreadsSpec::Garbage);
+        assert_eq!(parse_cq_threads(Some("1.5")), ThreadsSpec::Garbage);
+    }
 
     #[test]
     fn parallel_for_covers_range_exactly() {

@@ -3,6 +3,10 @@
 
 use crate::{Conv2dSpec, Result, Tensor, TensorError};
 
+// Output-element counter shared by the forward pooling kernels (max, avg,
+// global avg). No-op unless a cq-obs sink is installed.
+static POOL_ELEMS: cq_obs::Counter = cq_obs::Counter::new("tensor.pool.elems");
+
 fn check_nchw(x: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
     if x.rank() != 4 {
         return Err(TensorError::RankMismatch {
@@ -31,6 +35,7 @@ pub fn max_pool2d(x: &Tensor, spec: &Conv2dSpec) -> Result<(Tensor, Vec<usize>)>
     let (kh, kw) = spec.kernel;
     let (sh, sw) = spec.stride;
     let (ph, pw) = spec.padding;
+    POOL_ELEMS.add((n * c * oh * ow) as u64);
     let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
     let mut arg = vec![usize::MAX; n * c * oh * ow];
     let xs = x.as_slice();
@@ -105,6 +110,7 @@ pub fn avg_pool2d(x: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
     let (sh, sw) = spec.stride;
     let (ph, pw) = spec.padding;
     let area = (kh * kw) as f32;
+    POOL_ELEMS.add((n * c * oh * ow) as u64);
     let mut out = vec![0.0f32; n * c * oh * ow];
     let xs = x.as_slice();
     for ni in 0..n {
@@ -187,6 +193,7 @@ pub fn avg_pool2d_backward(
 pub fn global_avg_pool(x: &Tensor) -> Result<Tensor> {
     let (n, c, h, w) = check_nchw(x, "global_avg_pool")?;
     let spatial = (h * w) as f32;
+    POOL_ELEMS.add((n * c) as u64);
     let mut out = vec![0.0f32; n * c];
     let xs = x.as_slice();
     for (i, o) in out.iter_mut().enumerate() {

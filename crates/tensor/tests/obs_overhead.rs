@@ -1,0 +1,146 @@
+//! Overhead guard for the observability hooks (ISSUE satellite).
+//!
+//! With no sink installed, every hook must be a branch-on-atomic-load
+//! no-op: this test installs a counting global allocator and asserts the
+//! disabled paths of `span`/`Counter::add`/`histogram`/`metric`/
+//! `warn_with` perform **zero** heap allocations. With a sink installed,
+//! it asserts events actually flow (and stop flowing after `uninstall`),
+//! that spans nest in the correct order, and that the matmul kernel
+//! counters in cq-tensor reconcile with the executed shape.
+//!
+//! Everything lives in ONE `#[test]` so the global allocator tally and
+//! the process-global sink are never raced by a sibling test thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cq_obs::sink::{CountingSink, MemorySink};
+use cq_obs::Event;
+use cq_tensor::Tensor;
+
+/// Passes through to the system allocator, tallying `alloc` calls.
+/// `GlobalAlloc`'s default `realloc`/`alloc_zeroed` route through
+/// `alloc`, so those are tallied too.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+static LOCAL_COUNTER: cq_obs::Counter = cq_obs::Counter::new("test.obs_overhead.local");
+
+#[test]
+fn hooks_are_zero_alloc_disabled_and_ordered_enabled() {
+    // ---- Phase 1: no sink installed → hooks allocate nothing. ----
+    assert!(!cq_obs::enabled(), "no sink should be installed at start");
+    // Warm up lazy thread-local initialisation before tallying.
+    for _ in 0..8 {
+        let _sp = cq_obs::span("warmup");
+        LOCAL_COUNTER.add(1);
+    }
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for step in 0..1_000u64 {
+        let _sp = cq_obs::span("tensor.matmul");
+        LOCAL_COUNTER.add(3);
+        cq_obs::histogram("quant.bits", 8.0);
+        cq_obs::metric("train.loss", step, 0.5);
+        cq_obs::warn_with(|| panic!("warn_with closure must not run when disabled"));
+    }
+    let hook_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        hook_allocs, 0,
+        "disabled obs hooks performed {hook_allocs} heap allocations; \
+         they must be branch-on-atomic-load no-ops"
+    );
+
+    // ---- Phase 2: counting sink sees events; uninstall stops them. ----
+    let counting = Arc::new(CountingSink::new());
+    cq_obs::install(counting.clone());
+    assert!(cq_obs::enabled());
+    {
+        let _sp = cq_obs::span("phase2");
+        cq_obs::metric("phase2.metric", 0, 1.0);
+    }
+    let while_installed = counting.count();
+    assert_eq!(
+        while_installed, 3,
+        "expected SpanStart + Metric + SpanEnd while installed"
+    );
+    let returned = cq_obs::uninstall();
+    assert!(returned.is_some(), "uninstall returns the sink");
+    assert!(!cq_obs::enabled());
+    {
+        let _sp = cq_obs::span("phase2.after");
+        cq_obs::metric("phase2.metric", 1, 2.0);
+    }
+    assert_eq!(
+        counting.count(),
+        while_installed,
+        "events must stop flowing after uninstall"
+    );
+
+    // ---- Phase 3: memory sink records spans in nesting order and the
+    // matmul counters reconcile with the executed shape. ----
+    cq_obs::reset();
+    let mem = Arc::new(MemorySink::new());
+    cq_obs::install(mem.clone());
+    let (m, k, n) = (2usize, 3usize, 4usize);
+    {
+        let _outer = cq_obs::span("outer");
+        {
+            let _inner = cq_obs::span("inner");
+            let a = Tensor::from_vec(vec![1.0; m * k], &[m, k]).unwrap();
+            let b = Tensor::from_vec(vec![1.0; k * n], &[k, n]).unwrap();
+            let c = a.matmul(&b).unwrap();
+            assert_eq!(c.shape().dims(), &[m, n]);
+        }
+    }
+    cq_obs::flush();
+    cq_obs::uninstall();
+    let events = mem.take();
+
+    let spans: Vec<(&str, bool, u16)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::SpanStart { name, depth } => Some((*name, true, *depth)),
+            Event::SpanEnd { name, depth, .. } => Some((*name, false, *depth)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        spans,
+        vec![
+            ("outer", true, 0),
+            ("inner", true, 1),
+            ("inner", false, 1),
+            ("outer", false, 0),
+        ],
+        "spans must open and close in proper nesting order"
+    );
+
+    let counter_total = |want: &str| -> Option<u64> {
+        events.iter().find_map(|e| match e {
+            Event::Counter { name, total } if *name == want => Some(*total),
+            _ => None,
+        })
+    };
+    assert_eq!(counter_total("tensor.matmul.calls"), Some(1));
+    assert_eq!(
+        counter_total("tensor.matmul.flops"),
+        Some(2 * (m * n * k) as u64),
+        "observed FLOPs must reconcile with 2*m*n*k for the executed matmul"
+    );
+    cq_obs::reset();
+}
