@@ -291,18 +291,25 @@ pub fn fmt_acc(v: f32) -> String {
 }
 
 /// Installs an observability sink according to `CQ_OBS` (see
-/// `cq_obs::sink::init_from_env`), announcing the choice on stderr. Call
-/// once at the top of every bench binary's `main`.
+/// `cq_obs::sink::init_from_env`) and the training-health monitor
+/// according to `CQ_OBS_HEALTH` (see `cq_obs::health::init_from_env`),
+/// announcing the choices on stderr. Call once at the top of every bench
+/// binary's `main`.
 pub fn obs_init() {
     if let Some(desc) = cq_obs::sink::init_from_env() {
         eprintln!("  [obs] {desc}");
     }
+    match cq_obs::health::init_from_env() {
+        cq_obs::health::HealthPolicy::Off => {}
+        policy => eprintln!("  [obs] health monitor on ({policy:?} policy)"),
+    }
 }
 
 /// Flushes counters and renders the summary report (per-phase time
-/// breakdown, bit-width histogram, counters, metrics). Returns `None` when
-/// observability was never enabled or nothing was recorded, so binaries can
-/// print it only when there is something to show.
+/// breakdown, bit-width histogram, counters, metrics, health verdicts).
+/// Returns `None` when observability was never enabled or nothing was
+/// recorded, so binaries can print it only when there is something to
+/// show.
 pub fn obs_summary() -> Option<String> {
     if !cq_obs::enabled() {
         return None;

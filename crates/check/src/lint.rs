@@ -1,6 +1,6 @@
 //! Lint pass: source-level checks over the workspace's library crates.
 //!
-//! Three lints, all tuned to this repository's layout (test modules
+//! Four lints, all tuned to this repository's layout (test modules
 //! trail their file behind a `#[cfg(test)]` line; bench drivers live in
 //! `src/bin/`; binary entry points are `main.rs`):
 //!
@@ -19,6 +19,15 @@
 //!   machine-readable gradcheck log (`CQ_GRADCHECK_LOG` output,
 //!   `gradcheck layer=<kind> …` lines) can vouch for types checked from
 //!   another file.
+//! - **obs-names**: `cq_obs::metric(…)` / `cq_obs::histogram(…)` call
+//!   sites must name their series via a `cq_obs::names::*` constant, not
+//!   an ad-hoc string literal — ad-hoc names silently fork a series
+//!   (`"train.loss"` vs `"train_loss"`) and break the health monitor and
+//!   `cq-trace diff`, which match on the canonical names. The check is
+//!   line-local: it flags a literal as the first argument on the same
+//!   line (or the immediately following line for calls broken after the
+//!   open paren). The usual `cq-check: allow — <reason>` marker exempts
+//!   a deliberate site.
 
 use std::path::{Path, PathBuf};
 
@@ -33,6 +42,8 @@ pub const ALLOW_MARKER: &str = "cq-check: allow";
 const UNWRAP_PAT: &str = concat!(".unw", "rap()");
 const EXPECT_PAT: &str = concat!(".exp", "ect(");
 const PRINTLN_PAT: &str = concat!("print", "ln!(");
+const METRIC_PAT: &str = concat!("cq_obs::met", "ric(");
+const HIST_PAT: &str = concat!("cq_obs::hist", "ogram(");
 
 /// Recursively collects `.rs` files under `dir`, skipping `src/bin`
 /// directories (executables may panic on bad CLI input).
@@ -151,6 +162,57 @@ fn lint_println_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
     }
 }
 
+/// True when, after a `cq_obs::metric(` / `cq_obs::histogram(` site at
+/// byte offset `after_paren` in `line`, the first argument is a string
+/// literal. When the call is broken right after the open paren, the first
+/// token of `next_line` (if any) is inspected instead.
+fn literal_first_arg(line: &str, after_paren: usize, next_line: Option<&str>) -> bool {
+    let rest = line[after_paren..].trim_start();
+    if rest.is_empty() {
+        return next_line.is_some_and(|l| l.trim_start().starts_with('"'));
+    }
+    rest.starts_with('"')
+}
+
+/// Applies the obs-names lint to one file's contents: metric/histogram
+/// series must be named by `cq_obs::names::*` constants.
+fn lint_obs_names_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let boundary = test_boundary(&lines);
+    for (i, line) in lines.iter().enumerate().take(boundary) {
+        if is_comment(line) {
+            continue;
+        }
+        let mut flagged = false;
+        for pat in [METRIC_PAT, HIST_PAT] {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(pat) {
+                let after = from + pos + pat.len();
+                let next = (i + 1 < boundary).then(|| lines[i + 1]);
+                if literal_first_arg(line, after, next) {
+                    flagged = true;
+                }
+                from = after;
+            }
+        }
+        if !flagged {
+            continue;
+        }
+        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
+        if !allowed {
+            violations.push(Violation {
+                pass: "lint",
+                location: format!("{rel}:{}", i + 1),
+                message: format!(
+                    "ad-hoc metric/histogram name literal; use a `cq_obs::names::*` \
+                     constant so the series stays canonical, or add \
+                     `{ALLOW_MARKER} — <reason>`"
+                ),
+            });
+        }
+    }
+}
+
 /// Non-test `impl Layer for T` type names declared in one file.
 fn layer_impls_in(text: &str) -> Vec<String> {
     let lines: Vec<&str> = text.lines().collect();
@@ -199,6 +261,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
             .display()
             .to_string();
         lint_unwrap_in(&rel, &text, &mut violations);
+        lint_obs_names_in(&rel, &text, &mut violations);
         if path.file_name().is_none_or(|n| n != "main.rs") {
             lint_println_in(&rel, &text, &mut violations);
         }
@@ -297,6 +360,49 @@ mod tests {
         for text in [marked, in_tests] {
             let mut v = Vec::new();
             lint_println_in("x.rs", &text, &mut v);
+            assert!(v.is_empty(), "{text}");
+        }
+    }
+
+    #[test]
+    fn obs_names_flags_literals_but_not_constants() {
+        let text = format!(
+            "fn f() {{\n    {}\"train.loss\", 0, 1.0);\n    \
+             {}cq_obs::names::TRAIN_LOSS, 0, 1.0);\n    \
+             {}\"quant.bits\", 4.0);\n    {}cq_obs::names::QUANT_BITS, 4.0);\n}}\n",
+            METRIC_PAT, METRIC_PAT, HIST_PAT, HIST_PAT
+        );
+        let mut v = Vec::new();
+        lint_obs_names_in("x.rs", &text, &mut v);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].location, "x.rs:2");
+        assert_eq!(v[1].location, "x.rs:4");
+    }
+
+    #[test]
+    fn obs_names_catches_literal_after_line_break() {
+        let text = format!(
+            "fn f() {{\n    {}\n        \"ad.hoc\", 0, 1.0);\n}}\n",
+            METRIC_PAT
+        );
+        let mut v = Vec::new();
+        lint_obs_names_in("x.rs", &text, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn obs_names_marker_and_test_code_allowed() {
+        let marked = format!(
+            "fn f() {{\n    {}\"one.off\", 0, 1.0); // {} — experiment-local series\n}}\n",
+            METRIC_PAT, ALLOW_MARKER
+        );
+        let in_tests = format!(
+            "fn f() {{}}\n#[cfg(test)]\nmod t {{\nfn g() {{ {}\"x\", 0, 1.0); }}\n}}\n",
+            METRIC_PAT
+        );
+        for text in [marked, in_tests] {
+            let mut v = Vec::new();
+            lint_obs_names_in("x.rs", &text, &mut v);
             assert!(v.is_empty(), "{text}");
         }
     }

@@ -150,9 +150,17 @@ impl ByolTrainer {
             let mut norms = Vec::new();
             for batch in &batches {
                 let lr = sched.lr_at(self.steps_taken);
-                if let Some((loss, norm)) = self.step(batch, lr)? {
-                    losses.push(loss);
-                    norms.push(norm);
+                match self.step(batch, lr)? {
+                    Some((loss, norm)) => {
+                        losses.push(loss);
+                        norms.push(norm);
+                    }
+                    // NaN placeholder keeps one slot per step; the epoch
+                    // means skip it and its count becomes a metric.
+                    None => {
+                        losses.push(f32::NAN);
+                        norms.push(f32::NAN);
+                    }
                 }
                 self.steps_taken += 1;
             }
@@ -161,15 +169,11 @@ impl ByolTrainer {
                 batches.len() * self.cfg.batch_size,
                 epoch_start.elapsed(),
             );
-            let mean = |v: &[f32]| {
-                if v.is_empty() {
-                    f32::NAN
-                } else {
-                    v.iter().sum::<f32>() / v.len() as f32
-                }
-            };
-            self.history.epoch_losses.push(mean(&losses));
-            self.history.epoch_grad_norms.push(mean(&norms));
+            if let Some(batch) = batches.first() {
+                crate::simclr::record_collapse_probe(&mut self.online, batch, self.steps_taken)?;
+            }
+            crate::simclr::record_epoch_stats(&mut self.history, &losses, &norms, self.steps_taken);
+            crate::simclr::abort_check()?;
         }
         Ok(())
     }
@@ -178,8 +182,10 @@ impl ByolTrainer {
     ///
     /// # Errors
     ///
-    /// Propagates layer/optimizer errors.
+    /// Propagates layer/optimizer errors, and [`NnError::Health`] when the
+    /// health monitor has latched an abort.
     pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
+        crate::simclr::abort_check()?;
         let _sp = cq_obs::span("train.step");
         let mut gs = self.online.params().zero_grads();
         let loss = match self.cfg.pipeline {
@@ -205,6 +211,9 @@ impl ByolTrainer {
         if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
             self.history.exploded_steps += 1;
             crate::simclr::record_exploded_step();
+            // Report the divergent values before skipping — this is what
+            // lets the health sentinels see the explosion.
+            crate::simclr::record_step_metrics(self.steps_taken, loss, norm, lr);
             return Ok(None);
         }
         self.opt.step(self.online.params_mut(), &gs, lr)?;

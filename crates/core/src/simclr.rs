@@ -15,12 +15,14 @@ use crate::{nt_xent, Pipeline, PrecisionSampling, PretrainConfig, TrainHistory};
 static EXPLODED_STEPS: cq_obs::Counter = cq_obs::Counter::new("train.exploded_steps");
 
 /// Emits the per-step training metrics shared by the SimCLR/BYOL/SimSiam
-/// trainers (all hooks are no-ops without an installed sink).
+/// trainers (no-ops without an installed sink or health monitor). Also
+/// called for exploded steps — the possibly NaN/oversized values are what
+/// the health sentinels need to see a divergence.
 pub(crate) fn record_step_metrics(step: usize, loss: f32, norm: f32, lr: f32) {
     let step = step as u64;
-    cq_obs::metric("train.loss", step, loss as f64);
-    cq_obs::metric("train.grad_norm", step, norm as f64);
-    cq_obs::metric("train.lr", step, lr as f64);
+    cq_obs::metric(cq_obs::names::TRAIN_LOSS, step, loss as f64);
+    cq_obs::metric(cq_obs::names::TRAIN_GRAD_NORM, step, norm as f64);
+    cq_obs::metric(cq_obs::names::TRAIN_LR, step, lr as f64);
 }
 
 /// Records one exploded (skipped) step.
@@ -32,8 +34,81 @@ pub(crate) fn record_exploded_step() {
 pub(crate) fn record_epoch_throughput(step: usize, images: usize, elapsed: std::time::Duration) {
     let secs = elapsed.as_secs_f64();
     if secs > 0.0 {
-        cq_obs::metric("train.images_per_sec", step as u64, images as f64 / secs);
+        cq_obs::metric(
+            cq_obs::names::TRAIN_IMAGES_PER_SEC,
+            step as u64,
+            images as f64 / secs,
+        );
     }
+}
+
+/// Surfaces a pending health abort (`CQ_OBS_HEALTH=abort` + Critical
+/// verdict) as an error; trainers call this once per step and per epoch.
+pub(crate) fn abort_check() -> Result<(), NnError> {
+    match cq_obs::health::abort_requested() {
+        Some(msg) => Err(NnError::Health(msg)),
+        None => Ok(()),
+    }
+}
+
+/// Mean over the finite entries of `v`, plus the count of non-finite
+/// entries (the NaN placeholders skipped/exploded steps leave behind).
+/// All-non-finite input yields NaN, preserving "nothing succeeded".
+pub(crate) fn finite_mean(v: &[f32]) -> (f32, usize) {
+    let mut sum = 0.0f64;
+    let mut finite = 0usize;
+    for &x in v {
+        if x.is_finite() {
+            sum += x as f64;
+            finite += 1;
+        }
+    }
+    let mean = if finite == 0 {
+        f32::NAN
+    } else {
+        (sum / finite as f64) as f32
+    };
+    (mean, v.len() - finite)
+}
+
+/// Pushes the epoch loss/grad-norm means (finite entries only) into the
+/// history and emits the non-finite step count as a metric, which the
+/// health NaN sentinel watches.
+pub(crate) fn record_epoch_stats(
+    history: &mut TrainHistory,
+    losses: &[f32],
+    norms: &[f32],
+    step: usize,
+) {
+    let (loss_mean, bad) = finite_mean(losses);
+    let (norm_mean, _) = finite_mean(norms);
+    cq_obs::metric(
+        cq_obs::names::TRAIN_NONFINITE_STEPS,
+        step as u64,
+        bad as f64,
+    );
+    history.epoch_losses.push(loss_mean);
+    history.epoch_grad_norms.push(norm_mean);
+}
+
+/// Per-epoch SSL collapse probe: one extra full-precision forward over
+/// `batch`, with the embedding statistics emitted as `embed.*` metrics.
+/// Skipped entirely unless a sink or the health monitor is active, so
+/// plain runs pay nothing.
+pub(crate) fn record_collapse_probe(
+    encoder: &mut Encoder,
+    batch: &TwoViewBatch,
+    step: usize,
+) -> Result<(), NnError> {
+    if !cq_models::stats::stats_enabled() {
+        return Ok(());
+    }
+    let _sp = cq_obs::span("train.collapse_probe");
+    let ctx = ForwardCtx::eval();
+    let o1 = encoder.forward(&batch.view1, &ctx)?;
+    let o2 = encoder.forward(&batch.view2, &ctx)?;
+    cq_models::record_embedding_stats(step as u64, &o1.projection, &o2.projection)?;
+    Ok(())
 }
 
 /// Self-supervised pre-training with SimCLR's NT-Xent objective, hosting
@@ -156,9 +231,17 @@ impl SimclrTrainer {
             let mut norms = Vec::with_capacity(batches.len());
             for batch in &batches {
                 let lr = sched.lr_at(self.steps_taken);
-                if let Some((loss, norm)) = self.step(batch, lr)? {
-                    losses.push(loss);
-                    norms.push(norm);
+                match self.step(batch, lr)? {
+                    Some((loss, norm)) => {
+                        losses.push(loss);
+                        norms.push(norm);
+                    }
+                    // NaN placeholder keeps one slot per step; the epoch
+                    // means skip it and its count becomes a metric.
+                    None => {
+                        losses.push(f32::NAN);
+                        norms.push(f32::NAN);
+                    }
                 }
                 self.steps_taken += 1;
             }
@@ -167,15 +250,16 @@ impl SimclrTrainer {
                 batches.len() * self.cfg.batch_size,
                 epoch_start.elapsed(),
             );
-            let mean = |v: &[f32]| {
-                if v.is_empty() {
-                    f32::NAN
-                } else {
-                    v.iter().sum::<f32>() / v.len() as f32
+            // CQ-Quant feeds identical input views (quantization is the
+            // only view-maker), which makes the positive-pair probe
+            // vacuous — skip it for that pipeline.
+            if self.cfg.pipeline != Pipeline::CqQuant {
+                if let Some(batch) = batches.first() {
+                    record_collapse_probe(&mut self.encoder, batch, self.steps_taken)?;
                 }
-            };
-            self.history.epoch_losses.push(mean(&losses));
-            self.history.epoch_grad_norms.push(mean(&norms));
+            }
+            record_epoch_stats(&mut self.history, &losses, &norms, self.steps_taken);
+            abort_check()?;
         }
         Ok(())
     }
@@ -185,8 +269,10 @@ impl SimclrTrainer {
     ///
     /// # Errors
     ///
-    /// Propagates layer/optimizer errors.
+    /// Propagates layer/optimizer errors, and [`NnError::Health`] when the
+    /// health monitor has latched an abort.
     pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
+        abort_check()?;
         let _sp = cq_obs::span("train.step");
         let mut gs = self.encoder.params().zero_grads();
         let temp = self.cfg.temperature;
@@ -315,6 +401,9 @@ impl SimclrTrainer {
         if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
             self.history.exploded_steps += 1;
             record_exploded_step();
+            // Report the divergent values before skipping — this is what
+            // lets the health sentinels see the explosion.
+            record_step_metrics(self.steps_taken, loss, norm, lr);
             return Ok(None);
         }
         self.opt.step(self.encoder.params_mut(), &gs, lr)?;

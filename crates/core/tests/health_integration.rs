@@ -1,0 +1,195 @@
+//! End-to-end tests for the training-health monitor (ISSUE 3 satellite):
+//! seeded unhealthy runs must trip the detectors, aborting under
+//! `CQ_OBS_HEALTH=abort` semantics while finishing under `warn`.
+//!
+//! A note on which detector catches LR divergence: with the golden-trace
+//! configuration at LR ×100 (and up to ×10000) the loss never goes
+//! non-finite, because NT-Xent operates on *normalized* projections — a
+//! huge weight blow-up bounds the loss and *shrinks* the gradients
+//! instead of exploding them. The observable symptom of the divergence
+//! is representation collapse (feature std drops through the floor
+//! within one epoch), so it is the collapse probe that aborts the run.
+//! The NaN sentinel is exercised by poisoning a weight directly, and the
+//! gradient-anomaly detector through the real `cq_obs::metric` path with
+//! a spiked norm series.
+//!
+//! The health monitor is process-global, so every test serialises on one
+//! mutex and installs/uninstalls its own engine. No sink is installed:
+//! the monitor is fed directly by `cq_obs::metric`, which is exactly the
+//! "health works without a sink" contract these tests also pin down.
+
+use std::sync::{Mutex, MutexGuard};
+
+use cq_core::{Pipeline, PretrainConfig, SimclrTrainer};
+use cq_data::{Dataset, DatasetConfig};
+use cq_models::{Arch, Encoder, EncoderConfig};
+use cq_nn::NnError;
+use cq_obs::health::{self, HealthConfig, HealthEngine, HealthPolicy, Verdict};
+use cq_quant::PrecisionSet;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The golden-trace encoder/config (see `golden_trace.rs`), with the
+/// learning rate scaled by `lr_mult` and `epochs` epochs over the same
+/// 24-image dataset (3 steps per epoch).
+fn trainer(pipeline: Pipeline, lr_mult: f32, epochs: usize) -> (SimclrTrainer, Dataset) {
+    let encoder = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), 7)
+        .expect("encoder construction");
+    let cfg = PretrainConfig {
+        pipeline,
+        precision_set: pipeline
+            .needs_precisions()
+            .then(|| PrecisionSet::range(6, 16).expect("valid range")),
+        epochs,
+        batch_size: 8,
+        lr: 0.02 * lr_mult,
+        seed: 7,
+        ..Default::default()
+    };
+    let (train, _test) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(24, 8));
+    let t = SimclrTrainer::new(encoder, cfg).expect("trainer construction");
+    (t, train)
+}
+
+/// Runs the divergent (LR ×100) golden-trace config under `policy` and
+/// returns the train result plus the engine state at the end.
+fn run_divergent(policy: HealthPolicy) -> (Result<(), NnError>, HealthEngine) {
+    let (mut t, data) = trainer(Pipeline::CqA, 100.0, 2);
+    health::install(policy, HealthConfig::default());
+    let result = t.train(&data);
+    let engine = health::uninstall().expect("engine was installed");
+    (result, engine)
+}
+
+#[test]
+fn divergent_run_aborts_under_abort_policy() {
+    let _g = serial();
+    let (result, engine) = run_divergent(HealthPolicy::Abort);
+    match result {
+        Err(NnError::Health(msg)) => {
+            assert!(
+                msg.contains("collapse_probe"),
+                "abort message should name the detector that fired: {msg}"
+            );
+        }
+        other => panic!("divergent run must abort with NnError::Health, got {other:?}"),
+    }
+    assert_eq!(engine.worst(), Verdict::Critical);
+    assert_eq!(
+        engine.worst_of("collapse_probe"),
+        Verdict::Critical,
+        "LR divergence reads as collapse here (see module docs): {:?}",
+        engine.log()
+    );
+    // Uninstall cleared the latch: later runs are unaffected.
+    assert!(health::abort_requested().is_none());
+}
+
+#[test]
+fn divergent_run_finishes_under_warn_policy() {
+    let _g = serial();
+    let (result, engine) = run_divergent(HealthPolicy::Warn);
+    assert!(
+        result.is_ok(),
+        "warn policy must not abort training: {result:?}"
+    );
+    // Same divergence, same detectors — only the policy differs.
+    assert_eq!(engine.worst(), Verdict::Critical, "{:?}", engine.log());
+    assert!(health::abort_requested().is_none());
+}
+
+#[test]
+fn divergent_run_is_invisible_when_monitor_off() {
+    let _g = serial();
+    health::uninstall();
+    let (mut t, data) = trainer(Pipeline::CqA, 100.0, 1);
+    assert!(t.train(&data).is_ok(), "no monitor, no abort");
+    assert!(health::abort_requested().is_none());
+    assert_eq!(health::worst(), Verdict::Ok);
+}
+
+#[test]
+fn zero_projector_trips_collapse_probe() {
+    let _g = serial();
+    let (mut t, data) = trainer(Pipeline::Baseline, 1.0, 1);
+    // Zero every projection-head parameter: the encoder then emits
+    // identical (all-zero) embeddings for every input — the canonical
+    // collapsed representation.
+    let proj_ids: Vec<_> = t
+        .encoder()
+        .params()
+        .iter()
+        .filter(|(_, name, _)| name.starts_with("proj"))
+        .map(|(id, _, _)| id)
+        .collect();
+    assert!(!proj_ids.is_empty(), "projection head params not found");
+    for id in proj_ids {
+        t.encoder_mut()
+            .params_mut()
+            .get_mut(id)
+            .as_mut_slice()
+            .fill(0.0);
+    }
+    health::install(HealthPolicy::Warn, HealthConfig::default());
+    let result = t.train(&data);
+    let engine = health::uninstall().expect("engine was installed");
+    assert!(result.is_ok(), "warn policy must not abort: {result:?}");
+    assert_eq!(
+        engine.worst_of("collapse_probe"),
+        Verdict::Critical,
+        "zero projector must read as collapsed: {:?}",
+        engine.log()
+    );
+}
+
+#[test]
+fn nan_poisoned_weights_trip_nan_sentinel_and_abort() {
+    let _g = serial();
+    let (mut t, data) = trainer(Pipeline::CqA, 1.0, 1);
+    // Poison one weight: every forward pass now yields a non-finite loss,
+    // each step is skipped as exploded, and the sentinel sees the NaN
+    // through the per-step metrics the exploded path still emits.
+    let first = t
+        .encoder()
+        .params()
+        .iter()
+        .map(|(id, _, _)| id)
+        .next()
+        .expect("encoder has parameters");
+    t.encoder_mut().params_mut().get_mut(first).as_mut_slice()[0] = f32::NAN;
+    health::install(HealthPolicy::Abort, HealthConfig::default());
+    let result = t.train(&data);
+    let engine = health::uninstall().expect("engine was installed");
+    match result {
+        Err(NnError::Health(msg)) => {
+            assert!(msg.contains("nan_sentinel"), "unexpected abort: {msg}");
+        }
+        other => panic!("NaN-poisoned run must abort, got {other:?}"),
+    }
+    assert_eq!(engine.worst_of("nan_sentinel"), Verdict::Critical);
+}
+
+#[test]
+fn grad_norm_spike_trips_anomaly_detector_via_metric_path() {
+    let _g = serial();
+    health::install(HealthPolicy::Abort, HealthConfig::default());
+    // A stable gradient-norm series through the production metric hook:
+    // well past the EWMA warmup, no verdicts.
+    for step in 0..16u64 {
+        let wobble = 0.01 * (step % 3) as f64;
+        cq_obs::metric(cq_obs::names::TRAIN_GRAD_NORM, step, 1.0 + wobble);
+    }
+    assert!(health::abort_requested().is_none());
+    assert_eq!(health::worst(), Verdict::Ok);
+    // A 6-orders-of-magnitude spike must read as Critical and latch the
+    // abort under the abort policy.
+    cq_obs::metric(cq_obs::names::TRAIN_GRAD_NORM, 16, 1.0e6);
+    let msg = health::abort_requested().expect("spike must latch an abort");
+    assert!(msg.contains("grad_anomaly"), "unexpected abort: {msg}");
+    let engine = health::uninstall().expect("engine was installed");
+    assert_eq!(engine.worst_of("grad_anomaly"), Verdict::Critical);
+}

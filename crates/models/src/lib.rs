@@ -31,8 +31,10 @@ mod heads;
 mod mobilenet;
 pub mod plan;
 mod resnet;
+pub mod stats;
 
 pub use encoder::{Encoder, EncoderConfig, EncoderOutput, EncoderTrace};
 pub use heads::{mlp_head, HeadConfig};
 pub use mobilenet::{build_mobilenet_v2, InvertedResidual};
 pub use resnet::{build_resnet, Arch, BasicBlock};
+pub use stats::{embedding_stats, record_embedding_stats, EmbeddingStats};

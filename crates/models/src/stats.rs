@@ -1,0 +1,229 @@
+//! SSL collapse probes over projector embeddings.
+//!
+//! Computed once per epoch by the trainers (on the first batch of the
+//! epoch, with an extra eval-style forward) and fed to the cq-obs metric
+//! hook under the canonical `embed.*` names, where the health monitor's
+//! collapse probe watches them. All statistics operate on L2-normalized
+//! rows, matching how the NT-Xent/BYOL objectives consume projections.
+
+use cq_nn::NnError;
+use cq_tensor::Tensor;
+
+/// The per-epoch embedding statistics (see `cq_obs::names` for the
+/// semantics of each value).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmbeddingStats {
+    /// Mean per-dimension std of normalized embeddings, scaled by
+    /// `sqrt(d)`: ~1 for an isotropic representation, 0 when collapsed.
+    pub feature_std: f32,
+    /// Mean cosine similarity between positive pairs.
+    pub pos_cosine: f32,
+    /// Wang & Isola alignment: mean squared positive-pair distance.
+    pub alignment: f32,
+    /// Wang & Isola uniformity: `log E exp(-2 ||z_i - z_j||^2)` over
+    /// distinct pairs; 0 means every embedding coincides.
+    pub uniformity: f32,
+}
+
+/// Whether the per-epoch probe is worth computing: either telemetry is
+/// being recorded or the health monitor is watching. Trainers gate the
+/// extra forward pass on this, so disabled runs pay nothing.
+pub fn stats_enabled() -> bool {
+    cq_obs::enabled() || cq_obs::health::enabled()
+}
+
+fn normalized_rows(z: &Tensor) -> Result<(Vec<f32>, usize, usize), NnError> {
+    let dims = z.dims();
+    let [n, d] = dims else {
+        return Err(NnError::Param(format!(
+            "embedding_stats expects [N, D] projections, got {dims:?}"
+        )));
+    };
+    let (n, d) = (*n, *d);
+    let mut rows = z.as_slice().to_vec();
+    for i in 0..n {
+        let row = &mut rows[i * d..(i + 1) * d];
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+        for v in row.iter_mut() {
+            *v /= norm;
+        }
+    }
+    Ok((rows, n, d))
+}
+
+/// Computes the collapse probes from the two views' projections
+/// (`[N, D]` each, same shape).
+///
+/// # Errors
+///
+/// Returns [`NnError::Param`] on a shape mismatch or empty batch.
+pub fn embedding_stats(z1: &Tensor, z2: &Tensor) -> Result<EmbeddingStats, NnError> {
+    if z1.dims() != z2.dims() {
+        return Err(NnError::Param(format!(
+            "embedding_stats: view shapes differ ({:?} vs {:?})",
+            z1.dims(),
+            z2.dims()
+        )));
+    }
+    let (r1, n, d) = normalized_rows(z1)?;
+    let (r2, _, _) = normalized_rows(z2)?;
+    if n == 0 || d == 0 {
+        return Err(NnError::Param("embedding_stats: empty batch".to_string()));
+    }
+
+    // Positive-pair cosine and alignment over matching rows.
+    let mut pos_cosine = 0.0f64;
+    let mut alignment = 0.0f64;
+    for i in 0..n {
+        let (a, b) = (&r1[i * d..(i + 1) * d], &r2[i * d..(i + 1) * d]);
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let dist2: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        pos_cosine += dot as f64;
+        alignment += dist2 as f64;
+    }
+    pos_cosine /= n as f64;
+    alignment /= n as f64;
+
+    // Feature std over the pooled 2N normalized embeddings.
+    let all: Vec<&[f32]> = (0..n)
+        .map(|i| &r1[i * d..(i + 1) * d])
+        .chain((0..n).map(|i| &r2[i * d..(i + 1) * d]))
+        .collect();
+    let rows = all.len();
+    let mut feature_std = 0.0f64;
+    for dim in 0..d {
+        let mean: f64 = all.iter().map(|r| r[dim] as f64).sum::<f64>() / rows as f64;
+        let var: f64 = all
+            .iter()
+            .map(|r| {
+                let dv = r[dim] as f64 - mean;
+                dv * dv
+            })
+            .sum::<f64>()
+            / rows as f64;
+        feature_std += var.sqrt();
+    }
+    feature_std = feature_std / d as f64 * (d as f64).sqrt();
+
+    // Uniformity over distinct pooled pairs (O(N^2 D); per-epoch on one
+    // batch, so the cost is negligible next to a training step).
+    let mut acc = 0.0f64;
+    let mut pairs = 0u64;
+    for i in 0..rows {
+        for j in (i + 1)..rows {
+            let dist2: f32 = all[i]
+                .iter()
+                .zip(all[j])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            acc += (-2.0 * dist2 as f64).exp();
+            pairs += 1;
+        }
+    }
+    let uniformity = if pairs > 0 {
+        (acc / pairs as f64).ln()
+    } else {
+        0.0
+    };
+
+    Ok(EmbeddingStats {
+        feature_std: feature_std as f32,
+        pos_cosine: pos_cosine as f32,
+        alignment: alignment as f32,
+        uniformity: uniformity as f32,
+    })
+}
+
+/// Computes the probes and emits them as `embed.*` metrics at `step`
+/// (the emission is what feeds the health monitor's collapse probe).
+///
+/// # Errors
+///
+/// Propagates [`embedding_stats`] errors.
+pub fn record_embedding_stats(
+    step: u64,
+    z1: &Tensor,
+    z2: &Tensor,
+) -> Result<EmbeddingStats, NnError> {
+    let stats = embedding_stats(z1, z2)?;
+    cq_obs::metric(
+        cq_obs::names::EMBED_FEATURE_STD,
+        step,
+        stats.feature_std as f64,
+    );
+    cq_obs::metric(
+        cq_obs::names::EMBED_POS_COSINE,
+        step,
+        stats.pos_cosine as f64,
+    );
+    cq_obs::metric(cq_obs::names::EMBED_ALIGNMENT, step, stats.alignment as f64);
+    cq_obs::metric(
+        cq_obs::names::EMBED_UNIFORMITY,
+        step,
+        stats.uniformity as f64,
+    );
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(rows: &[&[f32]]) -> Tensor {
+        let d = rows[0].len();
+        let flat: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec(flat, &[rows.len(), d]).unwrap()
+    }
+
+    #[test]
+    fn identical_views_are_perfectly_aligned() {
+        let z = tensor(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let s = embedding_stats(&z, &z).unwrap();
+        assert!((s.pos_cosine - 1.0).abs() < 1e-6);
+        assert!(s.alignment.abs() < 1e-6);
+        // Orthogonal embeddings: spread out, healthy std.
+        assert!(s.feature_std > 0.5, "std={}", s.feature_std);
+        assert!(s.uniformity < -0.5, "uniformity={}", s.uniformity);
+    }
+
+    #[test]
+    fn collapsed_embeddings_have_zero_std_and_zero_uniformity() {
+        // Every row identical: the collapse signature.
+        let z = tensor(&[&[0.6, 0.8], &[0.6, 0.8], &[0.6, 0.8]]);
+        let s = embedding_stats(&z, &z).unwrap();
+        assert!(s.feature_std.abs() < 1e-6, "std={}", s.feature_std);
+        assert!(s.uniformity.abs() < 1e-6, "uniformity={}", s.uniformity);
+        assert!((s.pos_cosine - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_embeddings_read_as_collapsed() {
+        let z = tensor(&[&[0.0, 0.0], &[0.0, 0.0]]);
+        let s = embedding_stats(&z, &z).unwrap();
+        assert_eq!(s.feature_std, 0.0);
+        assert_eq!(s.uniformity, 0.0);
+    }
+
+    #[test]
+    fn alignment_matches_cosine_identity() {
+        // For normalized vectors, ||a-b||^2 = 2 - 2 cos(a,b).
+        let z1 = tensor(&[&[1.0, 0.0], &[0.8, 0.6]]);
+        let z2 = tensor(&[&[0.0, 1.0], &[0.6, 0.8]]);
+        let s = embedding_stats(&z1, &z2).unwrap();
+        assert!(
+            (s.alignment - (2.0 - 2.0 * s.pos_cosine)).abs() < 1e-5,
+            "alignment={} cosine={}",
+            s.alignment,
+            s.pos_cosine
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_and_empty_batch_error() {
+        let a = tensor(&[&[1.0, 0.0]]);
+        let b = tensor(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!(embedding_stats(&a, &b).is_err());
+        let flat = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert!(embedding_stats(&flat, &flat).is_err());
+    }
+}

@@ -33,6 +33,9 @@ pub enum NnError {
     },
     /// Checkpoint (de)serialisation failed.
     Io(String),
+    /// The training-health monitor requested an abort (a Critical verdict
+    /// under `CQ_OBS_HEALTH=abort`); the message names the detector.
+    Health(String),
 }
 
 impl fmt::Display for NnError {
@@ -55,6 +58,7 @@ impl fmt::Display for NnError {
             NnError::Param(msg) => write!(f, "parameter error: {msg}"),
             NnError::NonFinite { context } => write!(f, "non-finite value in {context}"),
             NnError::Io(msg) => write!(f, "checkpoint i/o error: {msg}"),
+            NnError::Health(msg) => write!(f, "training aborted by health monitor: {msg}"),
         }
     }
 }

@@ -48,6 +48,8 @@
 
 #![deny(missing_docs)]
 
+pub mod health;
+pub mod names;
 pub mod sink;
 pub mod summary;
 
@@ -103,6 +105,19 @@ pub enum Event {
     /// A rare diagnostic warning (e.g. rejected `CQ_THREADS` value).
     Warning {
         /// Human-readable message.
+        message: String,
+    },
+    /// A non-Ok verdict from the online health monitor (see [`health`]).
+    Health {
+        /// Detector that fired (`nan_sentinel`, `grad_anomaly`, ...).
+        detector: &'static str,
+        /// Severity of the verdict.
+        verdict: health::Verdict,
+        /// Step of the metric observation that triggered it.
+        step: u64,
+        /// The offending value.
+        value: f64,
+        /// Human-readable explanation.
         message: String,
     },
 }
@@ -272,13 +287,17 @@ pub fn histogram(name: &'static str, value: f64) {
     emit(Event::Histogram { name, value });
 }
 
-/// Records one step-attributed metric value. A no-op when disabled.
+/// Records one step-attributed metric value and feeds it to the health
+/// monitor (see [`health`]). With no sink and health off, this is a
+/// branch-on-two-atomic-loads no-op.
 #[inline]
 pub fn metric(name: &'static str, step: u64, value: f64) {
-    if !enabled() {
-        return;
+    if enabled() {
+        emit(Event::Metric { name, step, value });
     }
-    emit(Event::Metric { name, step, value });
+    if health::enabled() {
+        health::observe_metric(name, step, value);
+    }
 }
 
 /// Emits a diagnostic warning event. Library crates route rare diagnostics

@@ -1,0 +1,79 @@
+//! Canonical metric/histogram name constants — the telemetry schema.
+//!
+//! Every `cq_obs::metric`/`cq_obs::histogram` call site in library code
+//! must reference one of these constants instead of an ad-hoc string
+//! literal (enforced by the cq-check `obs-names` lint), so a typo'd name
+//! can never silently fork a metric series, and offline tooling
+//! (`cq-trace`, the health detectors) can match on one spelling.
+//!
+//! Span names are not centralized: they are structural (layer kinds,
+//! phase labels) rather than schema, and several are computed
+//! (`layer_kind()`).
+
+/// Per-step training loss (one observation per optimizer step; exploded
+/// steps report their non-finite/oversized value too, so the health
+/// sentinels can see the divergence).
+pub const TRAIN_LOSS: &str = "train.loss";
+
+/// Per-step global gradient norm (also reported for exploded steps).
+pub const TRAIN_GRAD_NORM: &str = "train.grad_norm";
+
+/// Per-step learning rate after schedule.
+pub const TRAIN_LR: &str = "train.lr";
+
+/// End-of-epoch throughput in images per second.
+pub const TRAIN_IMAGES_PER_SEC: &str = "train.images_per_sec";
+
+/// Per-epoch count of non-finite entries excluded from the epoch
+/// loss/grad-norm means (skipped/exploded steps).
+pub const TRAIN_NONFINITE_STEPS: &str = "train.nonfinite_steps";
+
+/// Sampled quantization bit-width (one observation per draw).
+pub const QUANT_BITS: &str = "quant.bits";
+
+/// Dynamic range (`hi - lo`) seen by the fake-quantizer.
+pub const QUANT_CLIP_RANGE: &str = "quant.clip_range";
+
+/// Per-epoch collapse probe: mean per-dimension standard deviation of the
+/// L2-normalized projector embeddings, scaled by `sqrt(d)` so a healthy
+/// (isotropic) representation sits near 1.0 and a collapsed one at 0.
+pub const EMBED_FEATURE_STD: &str = "embed.feature_std";
+
+/// Per-epoch collapse probe: mean cosine similarity between the
+/// projections of the two views of the same image (positive pairs).
+pub const EMBED_POS_COSINE: &str = "embed.pos_cosine";
+
+/// Per-epoch alignment statistic (Wang & Isola): mean squared distance
+/// between normalized positive-pair projections; 0 = perfectly aligned.
+pub const EMBED_ALIGNMENT: &str = "embed.alignment";
+
+/// Per-epoch uniformity statistic (Wang & Isola):
+/// `log E exp(-2 ||z_i - z_j||^2)` over distinct normalized projections;
+/// 0 means all embeddings coincide (collapse), healthy values are
+/// clearly negative.
+pub const EMBED_UNIFORMITY: &str = "embed.uniformity";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_unique_and_dotted() {
+        let all = [
+            super::TRAIN_LOSS,
+            super::TRAIN_GRAD_NORM,
+            super::TRAIN_LR,
+            super::TRAIN_IMAGES_PER_SEC,
+            super::TRAIN_NONFINITE_STEPS,
+            super::QUANT_BITS,
+            super::QUANT_CLIP_RANGE,
+            super::EMBED_FEATURE_STD,
+            super::EMBED_POS_COSINE,
+            super::EMBED_ALIGNMENT,
+            super::EMBED_UNIFORMITY,
+        ];
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "duplicate telemetry name");
+        assert!(all.iter().all(|n| n.contains('.')), "names are namespaced");
+    }
+}

@@ -11,15 +11,18 @@
 //! {"t":"hist","name":"quant.bits","v":8}
 //! {"t":"metric","name":"train.loss","step":3,"v":4.125}
 //! {"t":"warn","msg":"CQ_THREADS=0 rejected; using 1"}
+//! {"t":"health","detector":"nan_sentinel","verdict":"critical","step":3,"v":null,"msg":"loss is NaN at step 3"}
 //! ```
 //!
 //! `SpanStart` events are not written — the `SpanEnd` record carries the
 //! name, depth and duration, which halves trace volume without losing
 //! information (ordering within a thread is reconstructible from depth).
 
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::{Event, Sink};
@@ -28,42 +31,74 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Records every event in memory, in arrival order. For tests.
+/// Records events in memory, in arrival order. For tests, and as the
+/// aggregation-only sink behind `CQ_OBS=mem`. Optionally bounded: when a
+/// capacity is set, the oldest events are evicted first and the eviction
+/// count is tracked, so long runs cannot grow memory without limit.
 #[derive(Debug, Default)]
 pub struct MemorySink {
-    events: Mutex<Vec<Event>>,
+    events: Mutex<VecDeque<Event>>,
+    capacity: Option<usize>,
+    evicted: AtomicU64,
 }
 
 impl MemorySink {
-    /// Creates an empty sink.
+    /// Creates an unbounded sink.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Returns all recorded events, leaving the sink empty.
+    /// Creates a sink that retains at most `capacity` events, evicting
+    /// oldest-first. A capacity of 0 retains nothing (every event is
+    /// counted as evicted).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MemorySink {
+            events: Mutex::new(VecDeque::new()),
+            capacity: Some(capacity),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns all retained events, leaving the sink empty.
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut lock(&self.events))
+        std::mem::take(&mut *lock(&self.events)).into()
     }
 
-    /// Clones the recorded events without draining them.
+    /// Clones the retained events without draining them.
     pub fn snapshot(&self) -> Vec<Event> {
-        lock(&self.events).clone()
+        lock(&self.events).iter().cloned().collect()
     }
 
-    /// Number of events recorded so far.
+    /// Number of events retained right now.
     pub fn len(&self) -> usize {
         lock(&self.events).len()
     }
 
-    /// Whether no events have been recorded.
+    /// Whether no events are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of events evicted to respect the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
     }
 }
 
 impl Sink for MemorySink {
     fn event(&self, ev: &Event) {
-        lock(&self.events).push(ev.clone());
+        let mut events = lock(&self.events);
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            while events.len() >= cap {
+                events.pop_front();
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        events.push_back(ev.clone());
     }
 }
 
@@ -166,6 +201,18 @@ impl Sink for JsonlSink {
             Event::Warning { message } => {
                 format!("{{\"t\":\"warn\",\"msg\":\"{}\"}}", escape_json(message))
             }
+            Event::Health {
+                detector,
+                verdict,
+                step,
+                value,
+                message,
+            } => format!(
+                "{{\"t\":\"health\",\"detector\":\"{detector}\",\"verdict\":\"{}\",\"step\":{step},\"v\":{},\"msg\":\"{}\"}}",
+                verdict.as_str(),
+                json_f64(*value),
+                escape_json(message)
+            ),
         };
         let mut w = lock(&self.writer);
         let _ = writeln!(w, "{line}");
@@ -183,7 +230,8 @@ impl Sink for JsonlSink {
 /// - `jsonl` → [`JsonlSink`] writing to `CQ_OBS_PATH` (default
 ///   `cq-obs.jsonl`)
 /// - `mem` → [`MemorySink`] (aggregation only; useful to enable the
-///   summary report without a trace file)
+///   summary report without a trace file). `CQ_OBS_MEM_CAP=<n>` bounds it
+///   to the most recent `n` events (unbounded when unset/unparsable).
 /// - anything else → no sink, returns `None`
 pub fn init_from_env() -> Option<String> {
     let mode = std::env::var("CQ_OBS").ok()?;
@@ -204,8 +252,19 @@ pub fn init_from_env() -> Option<String> {
             }
         }
         "mem" => {
-            crate::install(Arc::new(MemorySink::new()));
-            Some("in-memory sink (summary only)".to_string())
+            let cap = std::env::var("CQ_OBS_MEM_CAP")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok());
+            match cap {
+                Some(cap) => {
+                    crate::install(Arc::new(MemorySink::with_capacity(cap)));
+                    Some(format!("in-memory sink (summary only, cap {cap} events)"))
+                }
+                None => {
+                    crate::install(Arc::new(MemorySink::new()));
+                    Some("in-memory sink (summary only)".to_string())
+                }
+            }
         }
         _ => None,
     }
@@ -276,6 +335,70 @@ mod tests {
         assert_eq!(json_f64(0.5), "0.5");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn memory_sink_capacity_evicts_oldest_first() {
+        let s = MemorySink::with_capacity(3);
+        for step in 0..5 {
+            s.event(&Event::Metric {
+                name: "m",
+                step,
+                value: step as f64,
+            });
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.evicted(), 2);
+        let kept: Vec<u64> = s
+            .snapshot()
+            .iter()
+            .map(|e| match e {
+                Event::Metric { step, .. } => *step,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest evicted first");
+
+        let zero = MemorySink::with_capacity(0);
+        zero.event(&Event::Histogram {
+            name: "h",
+            value: 1.0,
+        });
+        assert!(zero.is_empty());
+        assert_eq!(zero.evicted(), 1);
+
+        let unbounded = MemorySink::new();
+        for step in 0..100 {
+            unbounded.event(&Event::Metric {
+                name: "m",
+                step,
+                value: 0.0,
+            });
+        }
+        assert_eq!(unbounded.len(), 100);
+        assert_eq!(unbounded.evicted(), 0);
+    }
+
+    #[test]
+    fn jsonl_health_record_schema() {
+        let _g = crate::test_lock();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cq-obs-health-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).expect("temp file"); // cq-check: allow — test-only
+        sink.event(&Event::Health {
+            detector: "nan_sentinel",
+            verdict: crate::health::Verdict::Critical,
+            step: 3,
+            value: f64::NAN,
+            message: "loss is NaN at step 3".to_string(),
+        });
+        Sink::flush(&sink);
+        let text = std::fs::read_to_string(&path).expect("trace readable"); // cq-check: allow — test-only
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            text.trim(),
+            "{\"t\":\"health\",\"detector\":\"nan_sentinel\",\"verdict\":\"critical\",\"step\":3,\"v\":null,\"msg\":\"loss is NaN at step 3\"}"
+        );
     }
 
     #[test]

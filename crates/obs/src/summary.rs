@@ -9,7 +9,21 @@
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard};
 
+use crate::health::Verdict;
 use crate::Event;
+
+/// One aggregated health verdict, as kept for the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthLine {
+    /// Detector that fired.
+    pub detector: &'static str,
+    /// Severity.
+    pub verdict: Verdict,
+    /// Step of the triggering observation.
+    pub step: u64,
+    /// Explanation.
+    pub message: String,
+}
 
 /// Accumulated span statistics for one span name.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,6 +59,8 @@ pub(crate) struct Aggregate {
     hists: BTreeMap<&'static str, BTreeMap<i64, u64>>,
     metrics: BTreeMap<&'static str, MetricStat>,
     warnings: Vec<String>,
+    health: Vec<HealthLine>,
+    worst_health: Verdict,
 }
 
 static AGGREGATE: Mutex<Option<Aggregate>> = Mutex::new(None);
@@ -105,6 +121,25 @@ pub(crate) fn aggregate(ev: &Event) {
                 agg.warnings.push(message.clone());
             }
         }
+        Event::Health {
+            detector,
+            verdict,
+            step,
+            value: _,
+            message,
+        } => {
+            agg.worst_health = agg.worst_health.max(*verdict);
+            // The monitor already caps per-detector fire volume; this cap
+            // just bounds the report against hand-emitted events.
+            if agg.health.len() < 64 {
+                agg.health.push(HealthLine {
+                    detector,
+                    verdict: *verdict,
+                    step: *step,
+                    message: message.clone(),
+                });
+            }
+        }
     }
 }
 
@@ -126,6 +161,10 @@ pub struct Report {
     pub counters: Vec<(&'static str, u64)>,
     /// Collected warning messages, in arrival order.
     pub warnings: Vec<String>,
+    /// Health verdicts, in firing order (capped).
+    pub health: Vec<HealthLine>,
+    /// Worst health verdict seen (including capped-away repeats).
+    pub worst_health: Verdict,
 }
 
 /// Builds a [`Report`] from the current aggregate and counter registry.
@@ -144,6 +183,8 @@ pub fn summary_report() -> Report {
             .collect();
         report.metrics = agg.metrics.iter().map(|(k, v)| (*k, *v)).collect();
         report.warnings = agg.warnings.clone();
+        report.health = agg.health.clone();
+        report.worst_health = agg.worst_health;
     }
     report
 }
@@ -180,6 +221,7 @@ impl Report {
             && self.metrics.is_empty()
             && self.counters.is_empty()
             && self.warnings.is_empty()
+            && self.health.is_empty()
     }
 
     /// Renders the report as a plain-text block: per-phase time breakdown,
@@ -248,6 +290,15 @@ impl Report {
             out.push_str("== warnings ==\n");
             for w in &self.warnings {
                 out.push_str(&format!("  {w}\n"));
+            }
+        }
+        if !self.health.is_empty() {
+            out.push_str(&format!("== health: {} ==\n", self.worst_health));
+            for h in &self.health {
+                out.push_str(&format!(
+                    "  [{:<8}] {:<16} step {:<6} {}\n",
+                    h.verdict, h.detector, h.step, h.message
+                ));
             }
         }
         out

@@ -145,7 +145,7 @@ impl PrecisionSet {
     pub fn sample(&self, rng: &mut StdRng) -> Precision {
         let i = rng.gen_range(0..self.bits.len());
         let q = self.bits[i];
-        cq_obs::histogram("quant.bits", q as f64);
+        cq_obs::histogram(cq_obs::names::QUANT_BITS, q as f64);
         Precision::Bits(q)
     }
 

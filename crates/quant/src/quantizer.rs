@@ -120,7 +120,7 @@ pub fn fake_quant_into(data: &mut [f32], precision: Precision, mode: QuantMode) 
     // Clip-range and volume observability: the dynamic range drives the
     // quantization step (Eq. 10), so its distribution over a run is the
     // first thing to inspect when quantization noise looks wrong.
-    cq_obs::histogram("quant.clip_range", range as f64);
+    cq_obs::histogram(cq_obs::names::QUANT_CLIP_RANGE, range as f64);
     FAKE_QUANT_ELEMS.add(data.len() as u64);
     let step = range / ((1u32 << q) - 1) as f32;
     match mode {

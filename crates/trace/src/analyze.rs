@@ -1,0 +1,513 @@
+//! The three cq-trace analyses: `summarize`, `check`, and `diff`.
+
+use std::collections::BTreeMap;
+
+use cq_obs::health::{HealthEngine, Verdict};
+
+use crate::record::Record;
+use crate::tree::{build_span_tree, render_span_tree};
+
+fn fmt_count(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}G", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Renders the full offline summary: span tree with self/total time,
+/// counter totals with FLOP-rate reconciliation, histogram and metric
+/// tables, warnings, and any recorded health verdicts.
+pub fn summarize(records: &[Record]) -> String {
+    let mut out = String::new();
+
+    let roots = build_span_tree(records);
+    if !roots.is_empty() {
+        out.push_str("== span tree (total / self / calls / share) ==\n");
+        out.push_str(&render_span_tree(&roots));
+    }
+
+    // Counters: last total wins (flush emits cumulative totals).
+    let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+    for rec in records {
+        if let Record::Counter { name, total } = rec {
+            counters.insert(name, *total);
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str("== counters ==\n");
+        for (name, total) in &counters {
+            out.push_str(&format!(
+                "  {name:<36} {:>12} ({total})\n",
+                fmt_count(*total)
+            ));
+        }
+        // FLOP reconciliation: every *.flops counter against wall time of
+        // the span forest, so a kernel regression shows up as a rate drop
+        // even when per-span timings are noisy.
+        let wall_ns: u64 = roots.iter().map(|r| r.total_ns).sum();
+        let flops: u64 = counters
+            .iter()
+            .filter(|(n, _)| n.ends_with(".flops"))
+            .map(|(_, t)| *t)
+            .sum();
+        if flops > 0 && wall_ns > 0 {
+            out.push_str(&format!(
+                "  flop reconciliation: {} FLOPs over {:.3}s wall -> {:.3} GFLOP/s\n",
+                fmt_count(flops),
+                wall_ns as f64 / 1e9,
+                flops as f64 / wall_ns as f64,
+            ));
+        }
+    }
+
+    let hists = hist_buckets(records);
+    for (name, buckets) in &hists {
+        let total: u64 = buckets.values().sum();
+        out.push_str(&format!("== histogram: {name} ({total} obs) ==\n"));
+        let max = buckets.values().copied().max().unwrap_or(1).max(1);
+        for (bucket, count) in buckets {
+            let bar = "#".repeat(((count * 30) / max) as usize);
+            out.push_str(&format!(
+                "  {bucket:>6}  {count:>8}  {bar:<30} {:.1}%\n",
+                100.0 * *count as f64 / total.max(1) as f64
+            ));
+        }
+    }
+
+    let metrics = metric_series(records);
+    if !metrics.is_empty() {
+        out.push_str("== metrics ==\n");
+        for (name, values) in &metrics {
+            let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+            let nonfinite = values.len() - finite.len();
+            let (min, max, sum) = finite
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY, 0.0), |(lo, hi, s), v| {
+                    (lo.min(*v), hi.max(*v), s + v)
+                });
+            let mean = if finite.is_empty() {
+                f64::NAN
+            } else {
+                sum / finite.len() as f64
+            };
+            out.push_str(&format!(
+                "  {name:<28} n={:<6} last={:<12.5} mean={mean:<12.5} min={min:<12.5} max={max:.5}",
+                values.len(),
+                values.last().copied().unwrap_or(f64::NAN),
+            ));
+            if nonfinite > 0 {
+                out.push_str(&format!("  ({nonfinite} non-finite)"));
+            }
+            out.push('\n');
+        }
+    }
+
+    let warnings: Vec<&str> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Warn { message } => Some(message.as_str()),
+            _ => None,
+        })
+        .collect();
+    if !warnings.is_empty() {
+        out.push_str("== warnings ==\n");
+        for w in warnings {
+            out.push_str(&format!("  {w}\n"));
+        }
+    }
+
+    out.push_str(&render_recorded_health(records));
+    out
+}
+
+fn hist_buckets(records: &[Record]) -> BTreeMap<&str, BTreeMap<i64, u64>> {
+    let mut hists: BTreeMap<&str, BTreeMap<i64, u64>> = BTreeMap::new();
+    for rec in records {
+        if let Record::Hist { name, value } = rec {
+            let bucket = if value.is_finite() {
+                value.round() as i64
+            } else {
+                i64::MIN
+            };
+            *hists.entry(name).or_default().entry(bucket).or_insert(0) += 1;
+        }
+    }
+    hists
+}
+
+fn metric_series(records: &[Record]) -> BTreeMap<&str, Vec<f64>> {
+    let mut metrics: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for rec in records {
+        if let Record::Metric { name, value, .. } = rec {
+            metrics.entry(name).or_default().push(*value);
+        }
+    }
+    metrics
+}
+
+fn render_recorded_health(records: &[Record]) -> String {
+    let mut out = String::new();
+    let health: Vec<&Record> = records
+        .iter()
+        .filter(|r| matches!(r, Record::Health { .. }))
+        .collect();
+    if !health.is_empty() {
+        out.push_str("== recorded health verdicts ==\n");
+        for rec in health {
+            if let Record::Health {
+                detector,
+                verdict,
+                step,
+                message,
+                ..
+            } = rec
+            {
+                out.push_str(&format!(
+                    "  [{verdict:<8}] {detector:<16} step {step:<6} {message}\n"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Result of [`check`]: the rendered report and the worst verdict found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckResult {
+    /// Human-readable verdict report.
+    pub report: String,
+    /// Worst verdict across replayed rules and recorded online verdicts.
+    pub worst: Verdict,
+}
+
+/// Re-runs the online health rules offline: every metric record is fed
+/// through a fresh [`HealthEngine`] (default thresholds), and recorded
+/// online verdicts are folded in, so `check` catches problems whether or
+/// not the run had `CQ_OBS_HEALTH` enabled.
+pub fn check(records: &[Record]) -> CheckResult {
+    let mut engine = HealthEngine::default();
+    for rec in records {
+        if let Record::Metric { name, step, value } = rec {
+            engine.observe(name, *step, *value);
+        }
+    }
+    let mut worst = engine.worst();
+    let mut report = String::new();
+    if engine.log().is_empty() {
+        report.push_str("offline replay: all health rules passed\n");
+    } else {
+        report.push_str("offline replay verdicts:\n");
+        for ev in engine.log() {
+            report.push_str(&format!(
+                "  [{:<8}] {:<16} step {:<6} {}\n",
+                ev.verdict, ev.detector, ev.step, ev.message
+            ));
+        }
+    }
+    for rec in records {
+        if let Record::Health { verdict, .. } = rec {
+            if let Some(v) = Verdict::parse(verdict) {
+                worst = worst.max(v);
+            }
+        }
+    }
+    let recorded = render_recorded_health(records);
+    if !recorded.is_empty() {
+        report.push_str(&recorded);
+    }
+    report.push_str(&format!("worst verdict: {worst}\n"));
+    CheckResult { report, worst }
+}
+
+/// Result of [`diff`]: rendered comparison plus the failing lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffResult {
+    /// Human-readable comparison table.
+    pub report: String,
+    /// One line per regression beyond the threshold (empty = pass).
+    pub regressions: Vec<String>,
+}
+
+/// Compares two traces for CI gating. Span times regress when trace B is
+/// slower than trace A by more than `fail_over_pct` percent (spans whose
+/// larger total is under `min_ns` are ignored as timing noise; speedups
+/// never fail). Counters fail on a relative change beyond the threshold
+/// in either direction, and histogram distributions (e.g. sampled
+/// bit-widths) fail when the total-variation distance between the bucket
+/// shares exceeds `fail_over_pct` percentage points.
+pub fn diff(a: &[Record], b: &[Record], fail_over_pct: f64, min_ns: u64) -> DiffResult {
+    let mut report = String::new();
+    let mut regressions = Vec::new();
+
+    // --- span times, flattened per name ---
+    let totals = |records: &[Record]| -> BTreeMap<String, u64> {
+        let mut m: BTreeMap<String, u64> = BTreeMap::new();
+        for rec in records {
+            if let Record::Span { name, ns, .. } = rec {
+                *m.entry(name.clone()).or_insert(0) += ns;
+            }
+        }
+        m
+    };
+    let (ta, tb) = (totals(a), totals(b));
+    let mut span_names: Vec<&String> = ta.keys().chain(tb.keys()).collect();
+    span_names.sort_unstable();
+    span_names.dedup();
+    report.push_str(&format!(
+        "== span time diff (fail over +{fail_over_pct}%, noise floor {:.1}ms) ==\n",
+        min_ns as f64 / 1e6
+    ));
+    for name in span_names {
+        let (va, vb) = (
+            ta.get(name).copied().unwrap_or(0),
+            tb.get(name).copied().unwrap_or(0),
+        );
+        if va.max(vb) < min_ns {
+            continue;
+        }
+        let delta_pct = if va > 0 {
+            100.0 * (vb as f64 - va as f64) / va as f64
+        } else {
+            f64::INFINITY
+        };
+        let mark = if delta_pct > fail_over_pct {
+            " REGRESSION"
+        } else {
+            ""
+        };
+        report.push_str(&format!(
+            "  {name:<36} {:>10.3}ms -> {:>10.3}ms  {delta_pct:>+8.1}%{mark}\n",
+            va as f64 / 1e6,
+            vb as f64 / 1e6
+        ));
+        if delta_pct > fail_over_pct {
+            regressions.push(format!("span {name}: {delta_pct:+.1}% time"));
+        }
+    }
+
+    // --- counters (deterministic: same seed should match closely) ---
+    let counters = |records: &[Record]| -> BTreeMap<String, u64> {
+        let mut m = BTreeMap::new();
+        for rec in records {
+            if let Record::Counter { name, total } = rec {
+                m.insert(name.clone(), *total);
+            }
+        }
+        m
+    };
+    let (ca, cb) = (counters(a), counters(b));
+    let mut counter_names: Vec<&String> = ca.keys().chain(cb.keys()).collect();
+    counter_names.sort_unstable();
+    counter_names.dedup();
+    if !counter_names.is_empty() {
+        report.push_str("== counter diff ==\n");
+        for name in counter_names {
+            let (va, vb) = (
+                ca.get(name).copied().unwrap_or(0),
+                cb.get(name).copied().unwrap_or(0),
+            );
+            let delta_pct = 100.0 * (vb as f64 - va as f64) / (va.max(1) as f64);
+            let mark = if delta_pct.abs() > fail_over_pct {
+                " REGRESSION"
+            } else {
+                ""
+            };
+            report.push_str(&format!(
+                "  {name:<36} {va:>14} -> {vb:>14}  {delta_pct:>+8.1}%{mark}\n"
+            ));
+            if delta_pct.abs() > fail_over_pct {
+                regressions.push(format!("counter {name}: {delta_pct:+.1}%"));
+            }
+        }
+    }
+
+    // --- histogram distributions (bit-width shares) ---
+    let (ha, hb) = (hist_buckets(a), hist_buckets(b));
+    let mut hist_names: Vec<&str> = ha.keys().chain(hb.keys()).copied().collect();
+    hist_names.sort_unstable();
+    hist_names.dedup();
+    if !hist_names.is_empty() {
+        report.push_str("== histogram distribution diff (total variation) ==\n");
+        let empty = BTreeMap::new();
+        for name in hist_names {
+            let (da, db) = (
+                ha.get(name).unwrap_or(&empty),
+                hb.get(name).unwrap_or(&empty),
+            );
+            let (na, nb) = (
+                da.values().sum::<u64>().max(1) as f64,
+                db.values().sum::<u64>().max(1) as f64,
+            );
+            let mut buckets: Vec<&i64> = da.keys().chain(db.keys()).collect();
+            buckets.sort_unstable();
+            buckets.dedup();
+            let tv_pct: f64 = 50.0
+                * buckets
+                    .iter()
+                    .map(|bkt| {
+                        let pa = da.get(bkt).copied().unwrap_or(0) as f64 / na;
+                        let pb = db.get(bkt).copied().unwrap_or(0) as f64 / nb;
+                        (pa - pb).abs()
+                    })
+                    .sum::<f64>();
+            let mark = if tv_pct > fail_over_pct {
+                " REGRESSION"
+            } else {
+                ""
+            };
+            report.push_str(&format!("  {name:<36} TV distance {tv_pct:.2}pp{mark}\n"));
+            if tv_pct > fail_over_pct {
+                regressions.push(format!("histogram {name}: TV {tv_pct:.2}pp"));
+            }
+        }
+    }
+
+    if regressions.is_empty() {
+        report.push_str("diff: no regressions\n");
+    } else {
+        report.push_str(&format!("diff: {} regression(s)\n", regressions.len()));
+    }
+    DiffResult {
+        report,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::parse_trace;
+
+    fn metric(name: &str, step: u64, v: f64) -> Record {
+        Record::Metric {
+            name: name.to_string(),
+            step,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn summarize_covers_all_sections() {
+        let text = concat!(
+            "{\"t\":\"span\",\"name\":\"forward\",\"depth\":1,\"ns\":750000}\n",
+            "{\"t\":\"span\",\"name\":\"step\",\"depth\":0,\"ns\":1000000}\n",
+            "{\"t\":\"counter\",\"name\":\"tensor.matmul.flops\",\"total\":5000000}\n",
+            "{\"t\":\"hist\",\"name\":\"quant.bits\",\"v\":4}\n",
+            "{\"t\":\"hist\",\"name\":\"quant.bits\",\"v\":8}\n",
+            "{\"t\":\"metric\",\"name\":\"train.loss\",\"step\":0,\"v\":2.5}\n",
+            "{\"t\":\"metric\",\"name\":\"train.loss\",\"step\":1,\"v\":null}\n",
+            "{\"t\":\"warn\",\"msg\":\"odd\"}\n",
+            "{\"t\":\"health\",\"detector\":\"nan_sentinel\",\"verdict\":\"critical\",\"step\":1,\"v\":null,\"msg\":\"loss is NaN\"}\n",
+        );
+        let records = parse_trace(text).expect("valid");
+        let out = summarize(&records);
+        assert!(out.contains("span tree"), "{out}");
+        assert!(out.contains("step"), "{out}");
+        assert!(out.contains("flop reconciliation"), "{out}");
+        assert!(out.contains("GFLOP/s"), "{out}");
+        assert!(out.contains("quant.bits"), "{out}");
+        assert!(out.contains("train.loss"), "{out}");
+        assert!(out.contains("(1 non-finite)"), "{out}");
+        assert!(out.contains("odd"), "{out}");
+        assert!(out.contains("recorded health"), "{out}");
+    }
+
+    #[test]
+    fn check_replays_rules_offline() {
+        let healthy: Vec<Record> = (0..10)
+            .map(|i| metric(cq_obs::names::TRAIN_LOSS, i, 2.0 - 0.1 * i as f64))
+            .collect();
+        let res = check(&healthy);
+        assert_eq!(res.worst, Verdict::Ok);
+        assert!(
+            res.report.contains("all health rules passed"),
+            "{}",
+            res.report
+        );
+
+        let mut sick = healthy.clone();
+        sick.push(metric(cq_obs::names::TRAIN_LOSS, 10, f64::NAN));
+        let res = check(&sick);
+        assert_eq!(res.worst, Verdict::Critical);
+        assert!(res.report.contains("nan_sentinel"), "{}", res.report);
+    }
+
+    #[test]
+    fn check_folds_in_recorded_verdicts() {
+        let records = vec![Record::Health {
+            detector: "collapse_probe".to_string(),
+            verdict: "critical".to_string(),
+            step: 5,
+            value: 0.0,
+            message: "collapsed".to_string(),
+        }];
+        let res = check(&records);
+        assert_eq!(res.worst, Verdict::Critical);
+    }
+
+    fn span(name: &str, ns: u64) -> Record {
+        Record::Span {
+            name: name.to_string(),
+            depth: 0,
+            ns,
+        }
+    }
+
+    fn counter(name: &str, total: u64) -> Record {
+        Record::Counter {
+            name: name.to_string(),
+            total,
+        }
+    }
+
+    fn hist(name: &str, v: f64) -> Record {
+        Record::Hist {
+            name: name.to_string(),
+            value: v,
+        }
+    }
+
+    #[test]
+    fn diff_passes_identical_traces_and_flags_regressions() {
+        let a = vec![
+            span("step", 100_000_000),
+            counter("flops", 1000),
+            hist("quant.bits", 4.0),
+            hist("quant.bits", 8.0),
+        ];
+        let same = diff(&a, &a, 30.0, 1_000_000);
+        assert!(same.regressions.is_empty(), "{:?}", same.regressions);
+
+        // 2x slower span, counter drift, skewed distribution.
+        let b = vec![
+            span("step", 200_000_000),
+            counter("flops", 2000),
+            hist("quant.bits", 4.0),
+            hist("quant.bits", 4.0),
+            hist("quant.bits", 4.0),
+            hist("quant.bits", 4.0),
+        ];
+        let bad = diff(&a, &b, 30.0, 1_000_000);
+        assert_eq!(bad.regressions.len(), 3, "{:?}", bad.regressions);
+        assert!(bad.report.contains("REGRESSION"), "{}", bad.report);
+    }
+
+    #[test]
+    fn diff_ignores_noise_floor_and_speedups() {
+        // Tiny span doubled: below the floor, ignored.
+        let a = vec![span("tiny", 1_000), span("big", 100_000_000)];
+        let b = vec![span("tiny", 2_000), span("big", 60_000_000)];
+        let res = diff(&a, &b, 30.0, 1_000_000);
+        assert!(res.regressions.is_empty(), "{:?}", res.regressions);
+        assert!(
+            !res.report.contains("tiny"),
+            "floored span listed: {}",
+            res.report
+        );
+    }
+}

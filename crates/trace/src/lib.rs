@@ -1,0 +1,35 @@
+//! # cq-trace
+//!
+//! Offline analyzer for cq-obs JSONL traces. Three analyses:
+//!
+//! - [`analyze::summarize`] — span tree with self/total time and a
+//!   flame-style text rendering, counter totals with FLOP-rate
+//!   reconciliation, histogram/metric tables, warnings, and recorded
+//!   health verdicts.
+//! - [`analyze::check`] — re-runs the `cq_obs::health` rules offline
+//!   against the metric stream (works on traces from runs that never
+//!   enabled the online monitor) and folds in recorded verdicts; the CLI
+//!   exits nonzero on a Critical result.
+//! - [`analyze::diff`] — CI regression gate between two traces: span
+//!   times (with a noise floor; only slowdowns fail), counter totals, and
+//!   histogram distributions (total-variation distance on bucket shares,
+//!   e.g. the sampled bit-width mix).
+//!
+//! The parser ([`record`]) is hand-rolled for the flat cq-obs schema —
+//! no JSON dependency, per the repo's offline-only build constraint.
+
+#![deny(missing_docs)]
+
+pub mod analyze;
+pub mod record;
+pub mod tree;
+
+pub use analyze::{check, diff, summarize, CheckResult, DiffResult};
+pub use record::{parse_trace, ParseError, Record};
+pub use tree::{build_span_tree, render_span_tree, SpanNode};
+
+/// Reads and parses a trace file.
+pub fn load_trace(path: &str) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+}

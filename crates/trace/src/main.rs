@@ -1,0 +1,104 @@
+//! `cq-trace` — offline analyzer for cq-obs JSONL traces.
+//!
+//! ```text
+//! cq-trace summarize <trace.jsonl>
+//! cq-trace check <trace.jsonl>
+//! cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]
+//! ```
+//!
+//! Exit codes: 0 = pass, 1 = Critical verdict (`check`) or regression
+//! (`diff`), 2 = usage or I/O/parse error.
+
+use std::process::ExitCode;
+
+use cq_obs::health::Verdict;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cq-trace summarize <trace.jsonl>\n  cq-trace check <trace.jsonl>\n  cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "summarize" => {
+            let [_, path] = args.as_slice() else {
+                return usage();
+            };
+            match cq_trace::load_trace(path) {
+                Ok(records) => {
+                    print!("{}", cq_trace::summarize(&records));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cq-trace: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "check" => {
+            let [_, path] = args.as_slice() else {
+                return usage();
+            };
+            match cq_trace::load_trace(path) {
+                Ok(records) => {
+                    let res = cq_trace::check(&records);
+                    print!("{}", res.report);
+                    if res.worst == Verdict::Critical {
+                        eprintln!("cq-trace check: FAIL (critical verdict)");
+                        ExitCode::FAILURE
+                    } else {
+                        println!("cq-trace check: PASS");
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cq-trace: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "diff" => {
+            if args.len() < 3 {
+                return usage();
+            }
+            let (path_a, path_b) = (&args[1], &args[2]);
+            let mut fail_over = 30.0f64;
+            let mut min_ms = 10.0f64;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                let value = rest.next().and_then(|v| v.parse::<f64>().ok());
+                match (flag.as_str(), value) {
+                    ("--fail-over", Some(v)) => fail_over = v,
+                    ("--min-ms", Some(v)) => min_ms = v,
+                    _ => return usage(),
+                }
+            }
+            let (a, b) = match (cq_trace::load_trace(path_a), cq_trace::load_trace(path_b)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("cq-trace: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let res = cq_trace::diff(&a, &b, fail_over, (min_ms * 1e6) as u64);
+            print!("{}", res.report);
+            if res.regressions.is_empty() {
+                println!("cq-trace diff: PASS");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "cq-trace diff: FAIL ({} regressions)",
+                    res.regressions.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,401 @@
+//! JSONL trace records and a minimal hand-rolled parser for them.
+//!
+//! The cq-obs JSONL schema (see `cq_obs::sink`) is flat: one JSON object
+//! per line, string/number/null values only, discriminated by `"t"`. A
+//! full JSON library would be a dependency for nothing; this parser
+//! handles exactly that subset and rejects everything else loudly.
+
+use std::fmt;
+
+/// One parsed trace line, mirroring `cq_obs::Event` with owned names
+/// (the offline side has no `&'static str` to point at).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A closed span scope (`{"t":"span",...}`).
+    Span {
+        /// Span name.
+        name: String,
+        /// Nesting depth on the emitting thread.
+        depth: u16,
+        /// Elapsed nanoseconds.
+        ns: u64,
+    },
+    /// A counter total (`{"t":"counter",...}`).
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Accumulated total at flush time.
+        total: u64,
+    },
+    /// One histogram observation (`{"t":"hist",...}`).
+    Hist {
+        /// Histogram name.
+        name: String,
+        /// Observed value (`null` in the file parses as NaN).
+        value: f64,
+    },
+    /// One step metric (`{"t":"metric",...}`).
+    Metric {
+        /// Metric name.
+        name: String,
+        /// Training step.
+        step: u64,
+        /// Value (`null` in the file parses as NaN).
+        value: f64,
+    },
+    /// A diagnostic warning (`{"t":"warn",...}`).
+    Warn {
+        /// Message text.
+        message: String,
+    },
+    /// An online health verdict (`{"t":"health",...}`).
+    Health {
+        /// Detector name.
+        detector: String,
+        /// Verdict spelling (`ok`/`warn`/`critical`).
+        verdict: String,
+        /// Step of the triggering observation.
+        step: u64,
+        /// Offending value (`null` parses as NaN).
+        value: f64,
+        /// Explanation.
+        message: String,
+    },
+}
+
+/// A parse failure, with enough context to locate the bad line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number (0 when unknown).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Str(String),
+    Num(f64),
+    Null,
+}
+
+impl JsonVal {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonVal::Num(n) => Some(*n),
+            JsonVal::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonVal::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor {
+            chars: s.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn consume(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.next() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(format!("expected '{c}', found '{got}'")),
+            None => Err(format!("expected '{c}', found end of line")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .chars
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonVal, String> {
+        self.skip_ws();
+        match self.chars.peek() {
+            Some('"') => Ok(JsonVal::Str(self.string()?)),
+            Some('n') => {
+                for want in "null".chars() {
+                    if self.chars.next() != Some(want) {
+                        return Err("bad literal (expected null)".to_string());
+                    }
+                }
+                Ok(JsonVal::Null)
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&c) = self.chars.peek() {
+                    if !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')) {
+                        break;
+                    }
+                    num.push(c);
+                    self.chars.next();
+                }
+                num.parse::<f64>()
+                    .map(JsonVal::Num)
+                    .map_err(|e| format!("bad number {num:?}: {e}"))
+            }
+            other => Err(format!("unsupported JSON value starting at {other:?}")),
+        }
+    }
+
+    /// Parses one flat `{"k":v,...}` object.
+    fn object(&mut self) -> Result<Vec<(String, JsonVal)>, String> {
+        self.consume('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&'}') {
+            self.chars.next();
+            return Ok(fields);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.consume(':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+        self.skip_ws();
+        match self.chars.next() {
+            None => Ok(fields),
+            Some(c) => Err(format!("trailing content after object: '{c}'")),
+        }
+    }
+}
+
+fn field<'a>(fields: &'a [(String, JsonVal)], key: &str) -> Result<&'a JsonVal, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field \"{key}\""))
+}
+
+fn str_field(fields: &[(String, JsonVal)], key: &str) -> Result<String, String> {
+    field(fields, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field \"{key}\" is not a string"))
+}
+
+fn u64_field(fields: &[(String, JsonVal)], key: &str) -> Result<u64, String> {
+    field(fields, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field \"{key}\" is not a non-negative integer"))
+}
+
+fn f64_field(fields: &[(String, JsonVal)], key: &str) -> Result<f64, String> {
+    field(fields, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field \"{key}\" is not a number or null"))
+}
+
+impl Record {
+    /// Parses one trace line. Empty/whitespace lines are not accepted;
+    /// callers skip them before calling.
+    pub fn parse(line: &str) -> Result<Record, String> {
+        let fields = Cursor::new(line).object()?;
+        let t = str_field(&fields, "t")?;
+        match t.as_str() {
+            "span" => Ok(Record::Span {
+                name: str_field(&fields, "name")?,
+                depth: u64_field(&fields, "depth")?
+                    .try_into()
+                    .map_err(|_| "depth out of range".to_string())?,
+                ns: u64_field(&fields, "ns")?,
+            }),
+            "counter" => Ok(Record::Counter {
+                name: str_field(&fields, "name")?,
+                total: u64_field(&fields, "total")?,
+            }),
+            "hist" => Ok(Record::Hist {
+                name: str_field(&fields, "name")?,
+                value: f64_field(&fields, "v")?,
+            }),
+            "metric" => Ok(Record::Metric {
+                name: str_field(&fields, "name")?,
+                step: u64_field(&fields, "step")?,
+                value: f64_field(&fields, "v")?,
+            }),
+            "warn" => Ok(Record::Warn {
+                message: str_field(&fields, "msg")?,
+            }),
+            "health" => Ok(Record::Health {
+                detector: str_field(&fields, "detector")?,
+                verdict: str_field(&fields, "verdict")?,
+                step: u64_field(&fields, "step")?,
+                value: f64_field(&fields, "v")?,
+                message: str_field(&fields, "msg")?,
+            }),
+            other => Err(format!("unknown record type {other:?}")),
+        }
+    }
+}
+
+/// Parses a whole trace (text of a `.jsonl` file), skipping blank lines.
+pub fn parse_trace(text: &str) -> Result<Vec<Record>, ParseError> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match Record::parse(line) {
+            Ok(r) => records.push(r),
+            Err(message) => {
+                return Err(ParseError {
+                    line: idx + 1,
+                    message,
+                })
+            }
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_schema_record() {
+        let text = concat!(
+            "{\"t\":\"span\",\"name\":\"train.step\",\"depth\":1,\"ns\":42}\n",
+            "\n",
+            "{\"t\":\"counter\",\"name\":\"tensor.matmul.flops\",\"total\":98304}\n",
+            "{\"t\":\"hist\",\"name\":\"quant.bits\",\"v\":8}\n",
+            "{\"t\":\"metric\",\"name\":\"train.loss\",\"step\":3,\"v\":4.125}\n",
+            "{\"t\":\"metric\",\"name\":\"train.loss\",\"step\":4,\"v\":null}\n",
+            "{\"t\":\"warn\",\"msg\":\"a \\\"quoted\\\"\\nmessage\"}\n",
+            "{\"t\":\"health\",\"detector\":\"nan_sentinel\",\"verdict\":\"critical\",\"step\":3,\"v\":null,\"msg\":\"loss is NaN\"}\n",
+        );
+        let records = parse_trace(text).expect("valid trace");
+        assert_eq!(records.len(), 7);
+        assert_eq!(
+            records[0],
+            Record::Span {
+                name: "train.step".to_string(),
+                depth: 1,
+                ns: 42
+            }
+        );
+        assert_eq!(
+            records[1],
+            Record::Counter {
+                name: "tensor.matmul.flops".to_string(),
+                total: 98304
+            }
+        );
+        match &records[4] {
+            Record::Metric { step, value, .. } => {
+                assert_eq!(*step, 4);
+                assert!(value.is_nan(), "null parses as NaN");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &records[5] {
+            Record::Warn { message } => assert_eq!(message, "a \"quoted\"\nmessage"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &records[6] {
+            Record::Health {
+                detector, verdict, ..
+            } => {
+                assert_eq!(detector, "nan_sentinel");
+                assert_eq!(verdict, "critical");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let err = parse_trace("{\"t\":\"span\",\"name\":\"x\",\"depth\":0,\"ns\":1}\nnot json\n")
+            .expect_err("second line is bad");
+        assert_eq!(err.line, 2);
+
+        assert!(Record::parse("{\"t\":\"mystery\"}").is_err());
+        assert!(
+            Record::parse("{\"t\":\"span\",\"name\":\"x\"}").is_err(),
+            "missing fields"
+        );
+        assert!(
+            Record::parse("{\"t\":\"span\",\"name\":\"x\",\"depth\":0,\"ns\":1} extra").is_err()
+        );
+        assert!(Record::parse("[1,2]").is_err(), "arrays unsupported");
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        match Record::parse("{\"t\":\"warn\",\"msg\":\"caf\\u00e9\"}") {
+            Ok(Record::Warn { message }) => assert_eq!(message, "café"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
