@@ -1,6 +1,6 @@
 //! Lint pass: source-level checks over the workspace's library crates.
 //!
-//! Four lints, all tuned to this repository's layout (test modules
+//! Five lints, all tuned to this repository's layout (test modules
 //! trail their file behind a `#[cfg(test)]` line; bench drivers live in
 //! `src/bin/`; binary entry points are `main.rs`):
 //!
@@ -28,6 +28,13 @@
 //!   line (or the immediately following line for calls broken after the
 //!   open paren). The usual `cq-check: allow — <reason>` marker exempts
 //!   a deliberate site.
+//! - **no-raw-threads**: no `crossbeam::` (scoped thread) use outside
+//!   `crates/tensor/src/par.rs` — ad-hoc thread fan-out re-introduces
+//!   per-call spawn overhead and scheduling-dependent reduction orders,
+//!   which is exactly what the persistent pool and its fixed chunk grid
+//!   exist to prevent. Parallel work goes through `cq_tensor::par`. The
+//!   marker exempts a deliberate site; this lint covers test code too,
+//!   since results from raw scopes are not thread-count reproducible.
 
 use std::path::{Path, PathBuf};
 
@@ -44,6 +51,10 @@ const EXPECT_PAT: &str = concat!(".exp", "ect(");
 const PRINTLN_PAT: &str = concat!("print", "ln!(");
 const METRIC_PAT: &str = concat!("cq_obs::met", "ric(");
 const HIST_PAT: &str = concat!("cq_obs::hist", "ogram(");
+const CROSSBEAM_PAT: &str = concat!("cross", "beam::");
+
+/// The one file allowed to own thread-pool internals.
+const PAR_RS: &str = "crates/tensor/src/par.rs";
 
 /// Recursively collects `.rs` files under `dir`, skipping `src/bin`
 /// directories (executables may panic on bad CLI input).
@@ -213,6 +224,34 @@ fn lint_obs_names_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
     }
 }
 
+/// Applies the no-raw-threads lint to one file's contents. Unlike the
+/// other lints this scans the whole file (tests included): a raw
+/// `crossbeam::` scope anywhere produces scheduling-dependent behaviour
+/// the persistent pool exists to rule out.
+fn lint_no_raw_threads_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
+    if rel.ends_with(PAR_RS) {
+        return;
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if is_comment(line) || !line.contains(CROSSBEAM_PAT) {
+            continue;
+        }
+        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
+        if !allowed {
+            violations.push(Violation {
+                pass: "lint",
+                location: format!("{rel}:{}", i + 1),
+                message: format!(
+                    "raw {CROSSBEAM_PAT} use outside {PAR_RS}; route parallel work \
+                     through cq_tensor::par (persistent pool, deterministic chunk \
+                     grid), or add `{ALLOW_MARKER} — <reason>`"
+                ),
+            });
+        }
+    }
+}
+
 /// Non-test `impl Layer for T` type names declared in one file.
 fn layer_impls_in(text: &str) -> Vec<String> {
     let lines: Vec<&str> = text.lines().collect();
@@ -262,6 +301,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
             .to_string();
         lint_unwrap_in(&rel, &text, &mut violations);
         lint_obs_names_in(&rel, &text, &mut violations);
+        lint_no_raw_threads_in(&rel, &text, &mut violations);
         if path.file_name().is_none_or(|n| n != "main.rs") {
             lint_println_in(&rel, &text, &mut violations);
         }
@@ -403,6 +443,41 @@ mod tests {
         for text in [marked, in_tests] {
             let mut v = Vec::new();
             lint_obs_names_in("x.rs", &text, &mut v);
+            assert!(v.is_empty(), "{text}");
+        }
+    }
+
+    #[test]
+    fn no_raw_threads_flags_scopes_outside_par() {
+        let text = format!("fn f() {{\n    {}scope(|s| {{}});\n}}\n", CROSSBEAM_PAT);
+        let mut v = Vec::new();
+        lint_no_raw_threads_in("crates/nn/src/conv.rs", &text, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].location, "crates/nn/src/conv.rs:2");
+        // Test code is NOT exempt for this lint.
+        let in_tests = format!(
+            "fn f() {{}}\n#[cfg(test)]\nmod t {{\nfn g() {{ {}scope(|s| {{}}); }}\n}}\n",
+            CROSSBEAM_PAT
+        );
+        let mut v = Vec::new();
+        lint_no_raw_threads_in("crates/nn/src/conv.rs", &in_tests, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn no_raw_threads_exempts_par_and_marker_and_comments() {
+        let text = format!("fn f() {{\n    {}scope(|s| {{}});\n}}\n", CROSSBEAM_PAT);
+        let mut v = Vec::new();
+        lint_no_raw_threads_in("crates/tensor/src/par.rs", &text, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        let marked = format!(
+            "fn f() {{\n    {}scope(|s| {{}}); // {} — migration shim\n}}\n",
+            CROSSBEAM_PAT, ALLOW_MARKER
+        );
+        let commented = format!("fn f() {{}}\n// docs may mention {}scope\n", CROSSBEAM_PAT);
+        for text in [marked, commented] {
+            let mut v = Vec::new();
+            lint_no_raw_threads_in("crates/nn/src/conv.rs", &text, &mut v);
             assert!(v.is_empty(), "{text}");
         }
     }

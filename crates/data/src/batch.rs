@@ -1,9 +1,8 @@
 //! Batch iteration: shuffled supervised batches and the two-view
 //! contrastive loader (augmentation parallelised over the batch).
 
-use cq_tensor::par::parallel_for_each;
+use cq_tensor::par::parallel_chunks_mut_pair;
 use cq_tensor::Tensor;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -134,20 +133,22 @@ impl TwoViewLoader {
         // Per-sample seeds drawn serially => deterministic regardless of
         // worker scheduling.
         let seeds: Vec<u64> = (0..n).map(|_| self.rng.gen()).collect();
-        let v1 = Mutex::new(vec![0.0f32; n * chw]);
-        let v2 = Mutex::new(vec![0.0f32; n * chw]);
+        let mut v1 = vec![0.0f32; n * chw];
+        let mut v2 = vec![0.0f32; n * chw];
         let pipeline = self.pipeline;
-        parallel_for_each(n, |i| {
+        // Each sample owns one disjoint chunk of each view buffer, so the
+        // workers write lock-free.
+        parallel_chunks_mut_pair(&mut v1, &mut v2, chw, chw, |i, c1, c2| {
             let mut srng = StdRng::seed_from_u64(seeds[i]);
             let img = dataset.image(indices[i]);
             let (a, b) = pipeline.two_views(img, &mut srng);
-            v1.lock()[i * chw..(i + 1) * chw].copy_from_slice(a.as_slice());
-            v2.lock()[i * chw..(i + 1) * chw].copy_from_slice(b.as_slice());
+            c1.copy_from_slice(a.as_slice());
+            c2.copy_from_slice(b.as_slice());
         });
         let labels = indices.iter().map(|&i| dataset.label(i)).collect();
         TwoViewBatch {
-            view1: Tensor::from_vec(v1.into_inner(), &[n, 3, s, s]).expect("view1 shape"), // cq-check: allow — buffer length matches dims by construction
-            view2: Tensor::from_vec(v2.into_inner(), &[n, 3, s, s]).expect("view2 shape"), // cq-check: allow — buffer length matches dims by construction
+            view1: Tensor::from_vec(v1, &[n, 3, s, s]).expect("view1 shape"), // cq-check: allow — buffer length matches dims by construction
+            view2: Tensor::from_vec(v2, &[n, 3, s, s]).expect("view2 shape"), // cq-check: allow — buffer length matches dims by construction
             labels,
         }
     }

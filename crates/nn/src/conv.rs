@@ -2,10 +2,11 @@
 //! [`DepthwiseConv2d`] (direct loops, used by MobileNetV2).
 //!
 //! Both layers parallelise over batch samples with per-band weight-gradient
-//! accumulators, so gradients are deterministic (fixed band partition,
-//! in-order reduction) while still using every core.
+//! accumulators, so gradients are deterministic (the band grid depends only
+//! on the batch size — never on the thread count — and partials are reduced
+//! in band order) while still using every core via the persistent pool.
 
-use cq_tensor::par::num_threads;
+use cq_tensor::par::{parallel_for_chunks, parallel_map_chunks, ChunkGrid};
 use cq_tensor::{col2im, depthwise_conv2d, depthwise_conv2d_backward, im2col, Conv2dSpec, Tensor};
 use rand::rngs::StdRng;
 
@@ -16,6 +17,24 @@ struct SendPtr(*mut f32);
 // SAFETY: only used with disjoint per-sample chunks.
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor so closures capture the `Sync` wrapper, not the pointer.
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Fixed cap on batch bands. A constant (not `num_threads()`) so the band
+/// grid — and with it the weight-gradient partial count and reduction
+/// order — is identical at every thread count. Also bounds the per-band
+/// scratch (im2col buffers) and partial-accumulator memory.
+const MAX_BANDS: usize = 8;
+
+/// Band grid over `n` batch samples.
+fn band_grid(n: usize) -> ChunkGrid {
+    ChunkGrid::with_max_chunks(n, 1, MAX_BANDS)
+}
 
 /// Serial `out = a @ b` for `a: [m,k]`, `b: [k,n]` (used inside batch
 /// workers to avoid nested thread spawning).
@@ -67,16 +86,6 @@ fn mm_tn(a: &[f32], k: usize, m: usize, b: &[f32], n: usize, out: &mut [f32]) {
             }
         }
     }
-}
-
-/// Splits `0..n` into at most `num_threads()` contiguous bands.
-fn bands(n: usize) -> Vec<(usize, usize)> {
-    let t = num_threads().min(n).max(1);
-    let chunk = n.div_ceil(t);
-    (0..t)
-        .map(|b| (b * chunk, ((b + 1) * chunk).min(n)))
-        .filter(|(s, e)| s < e)
-        .collect()
 }
 
 /// Dense 2-D convolution over NCHW batches.
@@ -174,41 +183,35 @@ impl Layer for Conv2d {
         let spec = self.spec;
         {
             let out_ptr = SendPtr(out.as_mut_ptr());
-            crossbeam::scope(|s| {
-                for (b0, b1) in bands(n) {
-                    let out_ptr = &out_ptr;
-                    let bias = &bias;
-                    s.spawn(move |_| {
-                        let mut cols = vec![0.0f32; ckk * oh * ow];
-                        for i in b0..b1 {
-                            im2col(
-                                &xs[i * c * h * w..(i + 1) * c * h * w],
-                                c,
-                                h,
-                                w,
-                                &spec,
-                                &mut cols,
-                            );
-                            // SAFETY: sample chunks are disjoint across bands.
-                            let dst = unsafe {
-                                std::slice::from_raw_parts_mut(
-                                    out_ptr.0.add(i * o * oh * ow),
-                                    o * oh * ow,
-                                )
-                            };
-                            mm_nn(wslice, o, ckk, &cols, oh * ow, dst);
-                            if let Some(bv) = bias {
-                                for (co, &b) in bv.iter().enumerate() {
-                                    for v in &mut dst[co * oh * ow..(co + 1) * oh * ow] {
-                                        *v += b;
-                                    }
-                                }
+            let bias = &bias;
+            parallel_for_chunks(band_grid(n), |_, b0, b1| {
+                let mut cols = vec![0.0f32; ckk * oh * ow];
+                for i in b0..b1 {
+                    im2col(
+                        &xs[i * c * h * w..(i + 1) * c * h * w],
+                        c,
+                        h,
+                        w,
+                        &spec,
+                        &mut cols,
+                    );
+                    // SAFETY: sample chunks are disjoint across bands.
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            out_ptr.get().add(i * o * oh * ow),
+                            o * oh * ow,
+                        )
+                    };
+                    mm_nn(wslice, o, ckk, &cols, oh * ow, dst);
+                    if let Some(bv) = bias {
+                        for (co, &b) in bv.iter().enumerate() {
+                            for v in &mut dst[co * oh * ow..(co + 1) * oh * ow] {
+                                *v += b;
                             }
                         }
-                    });
+                    }
                 }
-            })
-            .expect("conv2d forward worker panicked"); // cq-check: allow — re-raises a worker panic
+            });
         }
         let y = Tensor::from_vec(out, &[n, o, oh, ow])?;
         Ok((
@@ -251,40 +254,37 @@ impl Layer for Conv2d {
         let dys = dy.as_slice();
         let spec = self.spec;
 
-        let band_list = bands(n);
-        let mut dw_partials = vec![vec![0.0f32; o * ckk]; band_list.len()];
         let mut dx = vec![0.0f32; n * c * h * w];
-        {
+        let dw_partials = {
             let dx_ptr = SendPtr(dx.as_mut_ptr());
-            crossbeam::scope(|s| {
-                for ((b0, b1), dw_part) in band_list.iter().copied().zip(dw_partials.iter_mut()) {
-                    let dx_ptr = &dx_ptr;
-                    s.spawn(move |_| {
-                        let mut cols = vec![0.0f32; ckk * oh * ow];
-                        let mut dcols = vec![0.0f32; ckk * oh * ow];
-                        for i in b0..b1 {
-                            let x_n = &xs[i * c * h * w..(i + 1) * c * h * w];
-                            let dy_n = &dys[i * o * oh * ow..(i + 1) * o * oh * ow];
-                            im2col(x_n, c, h, w, &spec, &mut cols);
-                            // dW += dy_n @ colsᵀ
-                            mm_nt_acc(dy_n, o, oh * ow, &cols, ckk, dw_part);
-                            // dcols = Wᵀ @ dy_n
-                            mm_tn(wslice, o, ckk, dy_n, oh * ow, &mut dcols);
-                            // SAFETY: disjoint per-sample chunks.
-                            let dx_n = unsafe {
-                                std::slice::from_raw_parts_mut(
-                                    dx_ptr.0.add(i * c * h * w),
-                                    c * h * w,
-                                )
-                            };
-                            col2im(&dcols, c, h, w, &spec, dx_n);
-                        }
-                    });
-                }
-            })
-            .expect("conv2d backward worker panicked"); // cq-check: allow — re-raises a worker panic
-        }
-        // In-order reduction of per-band partials keeps gradients deterministic.
+            parallel_map_chunks(
+                band_grid(n),
+                || vec![0.0f32; o * ckk],
+                |_, b0, b1, dw_part| {
+                    let mut cols = vec![0.0f32; ckk * oh * ow];
+                    let mut dcols = vec![0.0f32; ckk * oh * ow];
+                    for i in b0..b1 {
+                        let x_n = &xs[i * c * h * w..(i + 1) * c * h * w];
+                        let dy_n = &dys[i * o * oh * ow..(i + 1) * o * oh * ow];
+                        im2col(x_n, c, h, w, &spec, &mut cols);
+                        // dW += dy_n @ colsᵀ
+                        mm_nt_acc(dy_n, o, oh * ow, &cols, ckk, dw_part);
+                        // dcols = Wᵀ @ dy_n
+                        mm_tn(wslice, o, ckk, dy_n, oh * ow, &mut dcols);
+                        // SAFETY: disjoint per-sample chunks.
+                        let dx_n = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                dx_ptr.get().add(i * c * h * w),
+                                c * h * w,
+                            )
+                        };
+                        col2im(&dcols, c, h, w, &spec, dx_n);
+                    }
+                },
+            )
+        };
+        // In-band-order reduction of the partials keeps gradients
+        // deterministic at any thread count.
         let mut dw = Tensor::zeros(&[o, ckk]);
         for part in &dw_partials {
             for (d, &p) in dw.as_mut_slice().iter_mut().zip(part) {
@@ -371,32 +371,26 @@ impl Layer for DepthwiseConv2d {
         let mut out = vec![0.0f32; n * c * oh * ow];
         {
             let out_ptr = SendPtr(out.as_mut_ptr());
-            crossbeam::scope(|s| {
-                for (b0, b1) in bands(n) {
-                    let out_ptr = &out_ptr;
-                    s.spawn(move |_| {
-                        for i in b0..b1 {
-                            // SAFETY: disjoint per-sample chunks.
-                            let dst = unsafe {
-                                std::slice::from_raw_parts_mut(
-                                    out_ptr.0.add(i * c * oh * ow),
-                                    c * oh * ow,
-                                )
-                            };
-                            depthwise_conv2d(
-                                &xs[i * c * h * w..(i + 1) * c * h * w],
-                                wslice,
-                                c,
-                                h,
-                                w,
-                                &spec,
-                                dst,
-                            );
-                        }
-                    });
+            parallel_for_chunks(band_grid(n), |_, b0, b1| {
+                for i in b0..b1 {
+                    // SAFETY: disjoint per-sample chunks.
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            out_ptr.get().add(i * c * oh * ow),
+                            c * oh * ow,
+                        )
+                    };
+                    depthwise_conv2d(
+                        &xs[i * c * h * w..(i + 1) * c * h * w],
+                        wslice,
+                        c,
+                        h,
+                        w,
+                        &spec,
+                        dst,
+                    );
                 }
-            })
-            .expect("depthwise forward worker panicked"); // cq-check: allow — re-raises a worker panic
+            });
         }
         let y = Tensor::from_vec(out, &[n, c, oh, ow])?;
         Ok((
@@ -439,40 +433,36 @@ impl Layer for DepthwiseConv2d {
         let spec = self.spec;
         let (kh, kw) = spec.kernel;
 
-        let band_list = bands(n);
-        let mut dw_partials = vec![vec![0.0f32; c * kh * kw]; band_list.len()];
         let mut dx = vec![0.0f32; n * c * h * w];
-        {
+        let dw_partials = {
             let dx_ptr = SendPtr(dx.as_mut_ptr());
-            crossbeam::scope(|s| {
-                for ((b0, b1), dw_part) in band_list.iter().copied().zip(dw_partials.iter_mut()) {
-                    let dx_ptr = &dx_ptr;
-                    s.spawn(move |_| {
-                        for i in b0..b1 {
-                            // SAFETY: disjoint per-sample chunks.
-                            let dx_n = unsafe {
-                                std::slice::from_raw_parts_mut(
-                                    dx_ptr.0.add(i * c * h * w),
-                                    c * h * w,
-                                )
-                            };
-                            depthwise_conv2d_backward(
-                                &xs[i * c * h * w..(i + 1) * c * h * w],
-                                wslice,
-                                &dys[i * c * oh * ow..(i + 1) * c * oh * ow],
-                                c,
-                                h,
-                                w,
-                                &spec,
-                                dx_n,
-                                dw_part,
-                            );
-                        }
-                    });
-                }
-            })
-            .expect("depthwise backward worker panicked"); // cq-check: allow — re-raises a worker panic
-        }
+            parallel_map_chunks(
+                band_grid(n),
+                || vec![0.0f32; c * kh * kw],
+                |_, b0, b1, dw_part| {
+                    for i in b0..b1 {
+                        // SAFETY: disjoint per-sample chunks.
+                        let dx_n = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                dx_ptr.get().add(i * c * h * w),
+                                c * h * w,
+                            )
+                        };
+                        depthwise_conv2d_backward(
+                            &xs[i * c * h * w..(i + 1) * c * h * w],
+                            wslice,
+                            &dys[i * c * oh * ow..(i + 1) * c * oh * ow],
+                            c,
+                            h,
+                            w,
+                            &spec,
+                            dx_n,
+                            dw_part,
+                        );
+                    }
+                },
+            )
+        };
         let mut dw = Tensor::zeros(&[c, kh, kw]);
         for part in &dw_partials {
             for (d, &p) in dw.as_mut_slice().iter_mut().zip(part) {

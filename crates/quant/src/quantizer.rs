@@ -109,13 +109,27 @@ pub fn fake_quant_into(data: &mut [f32], precision: Precision, mode: QuantMode) 
     }
     let mut lo = f32::INFINITY;
     let mut hi = f32::NEG_INFINITY;
+    let mut finite = true;
     for &v in data.iter() {
+        // f32::min/max skip NaN, so lo/hi alone can come out finite for a
+        // tensor that contains NaN — track finiteness explicitly or the
+        // finite entries would get snapped while the NaN slips through.
+        finite &= v.is_finite();
         lo = lo.min(v);
         hi = hi.max(v);
     }
+    if !finite {
+        cq_obs::warn_with(|| {
+            format!(
+                "fake_quant: tensor of {} elements contains NaN/Inf; left unquantized",
+                data.len()
+            )
+        });
+        return;
+    }
     let range = hi - lo;
-    if !(range.is_finite() && range > 0.0) {
-        return; // constant or non-finite tensor: nothing to quantize
+    if range <= 0.0 {
+        return; // constant tensor: nothing to quantize
     }
     // Clip-range and volume observability: the dynamic range drives the
     // quantization step (Eq. 10), so its distribution over a run is the
@@ -288,9 +302,44 @@ mod tests {
 
     #[test]
     fn nonfinite_input_left_alone() {
-        let mut v = vec![f32::NAN, 1.0, 2.0];
+        // Deliberately off-grid finite values: with lo=0.3, hi=0.7 the
+        // 4-bit grid step is (0.7-0.3)/15, and neither 0.3 nor 0.7 is an
+        // exact multiple of it, so any quantization would visibly move
+        // them. (The old test used 1.0/2.0, which happened to round-trip
+        // the grid exactly and masked a partial-quantization bug: min/max
+        // skip NaN, so the finite entries were being snapped.)
+        let cases: [&[f32]; 3] = [
+            &[f32::NAN, 0.3, 0.7],
+            &[0.3, f32::INFINITY, 0.7],
+            &[0.3, 0.7, f32::NEG_INFINITY, f32::NAN],
+        ];
+        for case in cases {
+            let mut v = case.to_vec();
+            fake_quant_into(&mut v, Precision::Bits(4), QuantMode::Round);
+            for (got, want) in v.iter().zip(case) {
+                if want.is_nan() {
+                    assert!(got.is_nan());
+                } else {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "finite value {want} was modified in {case:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonfinite_input_emits_warning() {
+        let sink = std::sync::Arc::new(cq_obs::sink::MemorySink::new());
+        cq_obs::install(sink.clone());
+        let mut v = vec![f32::NAN, 0.3, 0.7];
         fake_quant_into(&mut v, Precision::Bits(4), QuantMode::Round);
-        assert!(v[0].is_nan());
-        assert_eq!(&v[1..], &[1.0, 2.0]);
+        cq_obs::uninstall();
+        let warned = sink.snapshot().iter().any(|e| {
+            matches!(e, cq_obs::Event::Warning { message } if message.contains("left unquantized"))
+        });
+        assert!(warned, "expected a fake_quant NaN/Inf warning");
     }
 }

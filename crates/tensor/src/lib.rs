@@ -17,8 +17,10 @@
 //!   which matters more than view tricks at the model sizes used here.
 //! - All randomness is drawn from caller-provided [`rand::rngs::StdRng`]
 //!   instances so experiments are reproducible bit-for-bit.
-//! - Parallelism uses [`crossbeam`] scoped threads via [`par::parallel_for`];
-//!   kernels parallelise over row bands or batch elements.
+//! - Parallelism goes through the persistent worker pool in [`par`]
+//!   (spawned once per process, parked between jobs); kernels parallelise
+//!   over row bands or batch elements on a fixed chunk grid, so results
+//!   are bitwise identical at any `CQ_THREADS`.
 //!
 //! # Example
 //!

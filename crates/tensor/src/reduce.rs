@@ -1,12 +1,38 @@
 //! Reductions (sum/mean/min/max/argmax), axis reductions for rank-2
 //! tensors, and row-wise softmax / log-softmax.
+//!
+//! Whole-tensor reductions use pairwise (tree) summation: the rounding
+//! error grows as `O(log n)` instead of the `O(n)` of a naive running
+//! sum, and splitting at the midpoint mirrors how the parallel runtime
+//! combines ordered chunk partials, so sequential and chunked reductions
+//! agree bitwise.
 
 use crate::{Result, Tensor, TensorError};
 
+/// Below this length a sequential fold is both accurate enough and faster
+/// than further recursion.
+const PAIRWISE_LEAF: usize = 64;
+
+/// Pairwise (tree) summation of `f(x)` over a slice: split at the
+/// midpoint, recurse, add the halves. Error grows logarithmically in the
+/// length instead of linearly.
+fn pairwise_map_sum(xs: &[f32], f: &impl Fn(f32) -> f32) -> f32 {
+    if xs.len() <= PAIRWISE_LEAF {
+        return xs.iter().fold(0.0f32, |acc, &v| acc + f(v));
+    }
+    let mid = xs.len() / 2;
+    pairwise_map_sum(&xs[..mid], f) + pairwise_map_sum(&xs[mid..], f)
+}
+
+/// Pairwise summation of a slice; see [`pairwise_map_sum`].
+pub(crate) fn pairwise_sum(xs: &[f32]) -> f32 {
+    pairwise_map_sum(xs, &|v| v)
+}
+
 impl Tensor {
-    /// Sum of all elements.
+    /// Sum of all elements, computed by pairwise (tree) summation.
     pub fn sum(&self) -> f32 {
-        self.as_slice().iter().sum()
+        pairwise_sum(self.as_slice())
     }
 
     /// Mean of all elements (0 for an empty tensor).
@@ -62,17 +88,14 @@ impl Tensor {
         best
     }
 
-    /// Variance of all elements (population variance; 0 for <2 elements).
+    /// Variance of all elements (population variance; 0 for <2 elements),
+    /// with the squared deviations reduced by pairwise summation.
     pub fn variance(&self) -> f32 {
         if self.len() < 2 {
             return 0.0;
         }
         let m = self.mean();
-        self.as_slice()
-            .iter()
-            .map(|&v| (v - m) * (v - m))
-            .sum::<f32>()
-            / self.len() as f32
+        pairwise_map_sum(self.as_slice(), &|v| (v - m) * (v - m)) / self.len() as f32
     }
 
     /// Sums a rank-2 tensor over `axis` (0 → column sums `[n]`,
@@ -229,6 +252,43 @@ mod tests {
         assert_eq!(t.max(), 3.0);
         assert_eq!(t.min(), -2.0);
         assert_eq!(t.argmax(), 2);
+    }
+
+    #[test]
+    fn pairwise_sum_survives_adversarial_magnitudes() {
+        // One large value followed by a million tiny ones. A naive
+        // left-to-right f32 fold loses every tiny addend (each is below
+        // the ulp of 1e4 ≈ 9.8e-4) and returns exactly 1e4; pairwise
+        // summation accumulates the tiny values in their own subtrees
+        // first, recovering the true total of about 1e4 + 100.
+        let mut v = vec![1e-4f32; 1_000_001];
+        v[0] = 1e4;
+        let naive: f32 = v.iter().sum();
+        assert_eq!(naive, 1e4, "naive sum should drop every small addend");
+        let t = Tensor::from_slice(&v);
+        let exact = 1e4f64 + 1e-4f64 * 1_000_000.0;
+        let rel = ((t.sum() as f64 - exact) / exact).abs();
+        assert!(rel < 1e-6, "pairwise sum {} vs exact {exact}", t.sum());
+        // Mean inherits the accuracy.
+        let mean_exact = exact / 1_000_001.0;
+        assert!(((t.mean() as f64 - mean_exact) / mean_exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pairwise_sum_matches_ordered_chunk_reduction() {
+        // Summing ordered chunk partials the way the parallel runtime
+        // does must agree with the sequential pairwise sum to within the
+        // pairwise error bound (bitwise when the split points coincide).
+        let v: Vec<f32> = (0..4096).map(|i| ((i * 37) % 101) as f32 * 0.01).collect();
+        let whole = pairwise_sum(&v);
+        // Chunk at the same midpoint recursion depth (2 halves, then 4).
+        let mid = v.len() / 2;
+        let q1 = v.len() / 4;
+        let halves = pairwise_sum(&v[..mid]) + pairwise_sum(&v[mid..]);
+        let quarters = (pairwise_sum(&v[..q1]) + pairwise_sum(&v[q1..mid]))
+            + (pairwise_sum(&v[mid..mid + q1]) + pairwise_sum(&v[mid + q1..]));
+        assert_eq!(whole.to_bits(), halves.to_bits());
+        assert_eq!(whole.to_bits(), quarters.to_bits());
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! Traces from multi-threaded runs interleave depths from different
 //! threads; reconstruction still terminates and loses no time, but
 //! parent/child attribution is only exact for single-threaded traces
-//! (the golden-trace/pilot configuration pins `CQ_THREADS=1`).
+//! (CI's `CQ_THREADS=1` pilot leg; numerical results are identical at
+//! any thread count, so a single-threaded trace is representative).
 
 use crate::record::Record;
 

@@ -1,0 +1,127 @@
+//! Thread-count independence (ISSUE satellite): the parallel runtime must
+//! produce bitwise-identical results no matter how many threads execute
+//! the work. The chunk grid is derived from the problem size alone and
+//! reduced partials are combined in chunk order, so `CQ_THREADS` may only
+//! change wall-clock — never a single bit of output.
+//!
+//! `CQ_THREADS` itself is parsed once per process, so this test varies the
+//! executor count through `par::with_thread_limit`, which caps how many
+//! pool threads may claim chunks of a dispatch — the same degrees of
+//! freedom a different `CQ_THREADS` value would exercise. (CI additionally
+//! runs the golden trace and pilot at `CQ_THREADS=1` and `4` across
+//! processes.)
+//!
+//! Single `#[test]`: the cq-obs sink used for the trainer loss trace is
+//! process-global, and the thread limit is per-thread state.
+
+use std::sync::Arc;
+
+use contrastive_quant::core::{Pipeline, PretrainConfig, SimclrTrainer};
+use contrastive_quant::data::{Dataset, DatasetConfig};
+use contrastive_quant::models::{Arch, Encoder, EncoderConfig};
+use contrastive_quant::nn::{Conv2d, ForwardCtx, Layer, ParamSet};
+use contrastive_quant::quant::PrecisionSet;
+use contrastive_quant::tensor::par::with_thread_limit;
+use contrastive_quant::tensor::{Conv2dSpec, Tensor};
+use cq_obs::sink::MemorySink;
+use cq_obs::Event;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const LIMITS: [usize; 4] = [1, 2, 5, 8];
+
+fn bits_of(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn matmul_bits(limit: usize) -> Vec<u32> {
+    with_thread_limit(limit, || {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::randn(&[96, 64], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[64, 80], 0.0, 1.0, &mut rng);
+        let mut out = bits_of(&a.matmul(&b).expect("matmul"));
+        out.extend(bits_of(&a.matmul_nt(&a).expect("matmul_nt")));
+        out.extend(bits_of(&a.matmul_tn(&a).expect("matmul_tn")));
+        out
+    })
+}
+
+fn conv_grad_bits(limit: usize) -> Vec<u32> {
+    with_thread_limit(limit, || {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut conv = Conv2d::new(&mut ps, "c", 3, 8, Conv2dSpec::new(3, 1, 1), true, &mut rng);
+        let wid = conv.weight_id();
+        let x = Tensor::randn(&[6, 3, 10, 10], 0.0, 1.0, &mut rng);
+        let ctx = ForwardCtx::train();
+        let (y, cache) = conv.forward(&ps, &x, &ctx).expect("forward");
+        let dy = Tensor::randn(&[6, 8, 10, 10], 0.0, 0.5, &mut rng);
+        assert_eq!(y.dims(), dy.dims());
+        let mut gs = ps.zero_grads();
+        let dx = conv.backward(&ps, &cache, &dy, &mut gs).expect("backward");
+        let mut out = bits_of(gs.get(wid));
+        out.extend(bits_of(&dx));
+        out
+    })
+}
+
+fn trainer_loss_trace(limit: usize) -> Vec<u64> {
+    with_thread_limit(limit, || {
+        let sink = Arc::new(MemorySink::new());
+        cq_obs::reset();
+        cq_obs::install(sink.clone());
+        let encoder = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), 7)
+            .expect("encoder");
+        let cfg = PretrainConfig {
+            pipeline: Pipeline::CqA,
+            precision_set: Some(PrecisionSet::range(6, 16).expect("valid range")),
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.02,
+            seed: 7,
+            ..Default::default()
+        };
+        // 16 train images / batch 8 = exactly 2 steps.
+        let (train, _) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(16, 8));
+        let mut trainer = SimclrTrainer::new(encoder, cfg).expect("trainer");
+        trainer.train(&train).expect("2-step pretrain");
+        cq_obs::uninstall();
+        let losses: Vec<u64> = sink
+            .take()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Metric { name, step, value } if *name == "train.loss" => {
+                    // Compare the raw f64 bits: "identical" means identical.
+                    Some(value.to_bits() ^ *step)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(losses.len(), 2, "expected one train.loss per step");
+        losses
+    })
+}
+
+#[test]
+fn results_are_bitwise_identical_at_any_thread_count() {
+    let matmul_base = matmul_bits(LIMITS[0]);
+    let conv_base = conv_grad_bits(LIMITS[0]);
+    let trace_base = trainer_loss_trace(LIMITS[0]);
+    for &limit in &LIMITS[1..] {
+        assert_eq!(
+            matmul_bits(limit),
+            matmul_base,
+            "matmul drifted at thread limit {limit}"
+        );
+        assert_eq!(
+            conv_grad_bits(limit),
+            conv_base,
+            "conv gradients drifted at thread limit {limit}"
+        );
+        assert_eq!(
+            trainer_loss_trace(limit),
+            trace_base,
+            "trainer loss trace drifted at thread limit {limit}"
+        );
+    }
+}
