@@ -1,24 +1,88 @@
 //! Checkpoint inspector: prints the architecture, parameter inventory and
-//! feature statistics of a saved encoder (`.cqen` file).
+//! feature statistics of a saved encoder (`.cqen` file), or the header,
+//! parameter counts, step counter and history summary of a full training
+//! checkpoint (`.ckpt`, CQTS format — see `cq_core::TrainState`).
 //!
 //! ```text
 //! cargo run --release -p cq-bench --bin inspect -- target/cq-cache/<tag>.cqen
+//! cargo run --release -p cq-bench --bin inspect -- pilot.ckpt
 //! ```
+//!
+//! The format is sniffed from the file magic, not the extension.
 
+use cq_core::TrainState;
 use cq_models::Encoder;
 use cq_nn::ForwardCtx;
 use cq_tensor::Tensor;
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: inspect <checkpoint.cqen>");
+        eprintln!("usage: inspect <checkpoint.cqen|checkpoint.ckpt>");
         std::process::exit(2);
     });
-    let f = std::fs::File::open(&path).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     });
-    let mut enc = Encoder::load(std::io::BufReader::new(f)).unwrap_or_else(|e| {
+    if bytes.starts_with(&TrainState::MAGIC) {
+        inspect_train_state(&path, &bytes);
+    } else {
+        inspect_encoder(&path, &bytes);
+    }
+}
+
+/// Prints the CQTS header, tensor inventory counts and training history
+/// of a full training checkpoint.
+fn inspect_train_state(path: &str, bytes: &[u8]) {
+    let st = TrainState::read(bytes).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("checkpoint : {path} (CQTS v{})", st.version);
+    println!("method     : {}", TrainState::method_name(st.method_tag));
+    match st.pipeline() {
+        Some(p) => println!("pipeline   : {p}"),
+        None => println!("pipeline   : unknown tag {}", st.pipeline_tag),
+    }
+    println!("seed       : {}", st.seed);
+    println!("batch size : {}", st.batch_size);
+    println!(
+        "progress   : {} epochs done, {} steps taken",
+        st.epochs_done, st.steps_taken
+    );
+    let scalars: usize = st.params.iter().map(|(_, _, t)| t.len()).sum();
+    println!(
+        "parameters : {} tensors, {scalars} scalars",
+        st.params.len()
+    );
+    println!(
+        "state      : {} BatchNorm tensors, {} momentum buffers",
+        st.state.len(),
+        st.velocity.len()
+    );
+    match &st.target {
+        Some((p, s)) => println!(
+            "target net : {} tensors, {} state tensors (BYOL)",
+            p.len(),
+            s.len()
+        ),
+        None => println!("target net : none"),
+    }
+    let h = &st.history;
+    println!(
+        "history    : {} steps, {} exploded ({:.1}%)",
+        h.steps,
+        h.exploded_steps,
+        100.0 * h.explosion_rate()
+    );
+    for (i, (l, g)) in h.epoch_losses.iter().zip(&h.epoch_grad_norms).enumerate() {
+        println!("  epoch {i:>3}: loss {l:>10.5}  grad-norm {g:>10.5}");
+    }
+}
+
+/// Classic `.cqen` encoder inspection with a deterministic forward probe.
+fn inspect_encoder(path: &str, bytes: &[u8]) {
+    let mut enc = Encoder::load(bytes).unwrap_or_else(|e| {
         eprintln!("cannot parse {path}: {e}");
         std::process::exit(1);
     });

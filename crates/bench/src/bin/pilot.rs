@@ -1,14 +1,138 @@
 //! Calibration pilot: time one pretrain+eval cycle and check effect
 //! direction (baseline vs CQ-A vs CQ-C) on a small slice.
+//!
+//! Checkpoint mode (used by the CI kill-and-resume gate): when any of
+//! `--epochs`, `--stop-after`, `--ckpt` or `--resume` is given, the
+//! pilot runs ONLY the CQ-A pretrain, driven by those flags:
+//!
+//! ```text
+//! pilot --epochs 2 --ckpt a.ckpt              # full run, ckpt after epoch 1
+//! pilot --epochs 2 --stop-after 1 --ckpt b.ckpt   # "killed" after the save
+//! pilot --epochs 2 --resume b.ckpt            # resumed continuation
+//! ```
+//!
+//! With `CQ_OBS=<trace.jsonl>` each invocation writes a trace; the two
+//! segment traces merged with `cq-trace merge` must diff clean against
+//! the uninterrupted run's trace (`cq-trace diff`) — that is the bitwise
+//! resume gate.
 
 use cq_bench::*;
-use cq_core::Pipeline;
-use cq_models::Arch;
+use cq_core::{Pipeline, SimclrTrainer};
+use cq_models::{Arch, Encoder};
 use cq_quant::PrecisionSet;
 use std::time::Instant;
 
+/// Flags of the checkpoint mode; `None` everywhere means the classic
+/// calibration pilot.
+#[derive(Default)]
+struct CkptArgs {
+    epochs: Option<usize>,
+    stop_after: Option<usize>,
+    ckpt: Option<String>,
+    resume: Option<String>,
+}
+
+impl CkptArgs {
+    fn parse() -> CkptArgs {
+        let mut out = CkptArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut value = |flag: &str| {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("pilot: {flag} needs a value");
+                    std::process::exit(2);
+                })
+            };
+            match a.as_str() {
+                "--epochs" => out.epochs = value("--epochs").parse().ok(),
+                "--stop-after" => out.stop_after = value("--stop-after").parse().ok(),
+                "--ckpt" => out.ckpt = Some(value("--ckpt")),
+                "--resume" => out.resume = Some(value("--resume")),
+                "--scale" => {
+                    value("--scale"); // handled by Scale::from_args
+                }
+                other if other.starts_with("--scale=") => {}
+                other => {
+                    eprintln!("pilot: unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    fn checkpoint_mode(&self) -> bool {
+        self.epochs.is_some()
+            || self.stop_after.is_some()
+            || self.ckpt.is_some()
+            || self.resume.is_some()
+    }
+}
+
+/// CQ-A pretrain only, driven by the checkpoint-mode flags. Exits the
+/// process on I/O or training errors (this is a CI binary).
+fn run_checkpoint_mode(args: &CkptArgs) {
+    let mut proto = Protocol::new(Regime::CifarLike, Scale::Quick);
+    proto.data = proto.data.with_sizes(512, 256);
+    proto.pretrain_epochs = args.epochs.unwrap_or(2);
+    let (train, _) = proto.datasets();
+    let fail = |what: &str, e: &dyn std::fmt::Display| -> ! {
+        eprintln!("pilot: {what}: {e}");
+        std::process::exit(1);
+    };
+    let pset = PrecisionSet::range(6, 16).unwrap_or_else(|e| fail("precision set", &e));
+    let enc = Encoder::new(&proto.encoder_cfg(Arch::ResNet18), proto.seed)
+        .unwrap_or_else(|e| fail("encoder init", &e));
+    let mut trainer = SimclrTrainer::new(enc, proto.pretrain_cfg(Pipeline::CqA, Some(pset)))
+        .unwrap_or_else(|e| fail("trainer init", &e));
+
+    if let Some(path) = &args.resume {
+        let f = std::fs::File::open(path).unwrap_or_else(|e| fail(path, &e));
+        trainer
+            .load_checkpoint(std::io::BufReader::new(f))
+            .unwrap_or_else(|e| fail(path, &e));
+        eprintln!("  [ckpt] resumed {path} at epoch {}", trainer.epochs_done());
+    }
+    if let Some(path) = &args.ckpt {
+        // Save after epoch 1 (or the --stop-after epoch when given),
+        // then either exit ("killed" segment) or continue the run.
+        let at = args.stop_after.unwrap_or(1);
+        trainer
+            .train_until(&train, at)
+            .unwrap_or_else(|e| fail("pretrain", &e));
+        let f = std::fs::File::create(path).unwrap_or_else(|e| fail(path, &e));
+        trainer
+            .save_checkpoint(std::io::BufWriter::new(f))
+            .unwrap_or_else(|e| fail(path, &e));
+        eprintln!(
+            "  [ckpt] saved {path} after epoch {}",
+            trainer.epochs_done()
+        );
+    }
+    if args.stop_after.is_none() {
+        trainer
+            .train(&train)
+            .unwrap_or_else(|e| fail("pretrain", &e));
+    }
+    println!(
+        "pilot ckpt-mode: CQ-A epochs {} steps {} loss {:?} (expl {:.2})",
+        trainer.epochs_done(),
+        trainer.history().steps,
+        trainer.history().final_loss(),
+        trainer.history().explosion_rate(),
+    );
+    if let Some(summary) = obs_summary() {
+        eprintln!("{summary}");
+    }
+}
+
 fn main() {
     obs_init();
+    let args = CkptArgs::parse();
+    if args.checkpoint_mode() {
+        run_checkpoint_mode(&args);
+        return;
+    }
     let mut proto = Protocol::new(Regime::CifarLike, Scale::Quick);
     proto.data = proto.data.with_sizes(512, 256);
     proto.pretrain_epochs = 8;

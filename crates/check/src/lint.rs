@@ -1,6 +1,6 @@
 //! Lint pass: source-level checks over the workspace's library crates.
 //!
-//! Five lints, all tuned to this repository's layout (test modules
+//! Six lints, all tuned to this repository's layout (test modules
 //! trail their file behind a `#[cfg(test)]` line; bench drivers live in
 //! `src/bin/`; binary entry points are `main.rs`):
 //!
@@ -35,6 +35,15 @@
 //!   exist to prevent. Parallel work goes through `cq_tensor::par`. The
 //!   marker exempts a deliberate site; this lint covers test code too,
 //!   since results from raw scopes are not thread-count reproducible.
+//! - **one-train-loop**: `crates/core/src/engine.rs` owns the epoch
+//!   loop and everything a checkpoint must capture. Outside it, cq-core
+//!   library code must not iterate over `cfg.epochs` (a second epoch
+//!   loop would drift from the engine's LR schedule, telemetry and
+//!   resume bookkeeping) and must not seed a raw `StdRng` (trainer
+//!   randomness goes through `CqRng`, whose state is serializable into
+//!   checkpoints — `StdRng` state cannot be extracted, so any such RNG
+//!   silently breaks bitwise resume). The marker exempts a deliberate
+//!   site.
 
 use std::path::{Path, PathBuf};
 
@@ -52,9 +61,17 @@ const PRINTLN_PAT: &str = concat!("print", "ln!(");
 const METRIC_PAT: &str = concat!("cq_obs::met", "ric(");
 const HIST_PAT: &str = concat!("cq_obs::hist", "ogram(");
 const CROSSBEAM_PAT: &str = concat!("cross", "beam::");
+const EPOCHS_FIELD_PAT: &str = concat!(".epo", "chs");
+const STDRNG_SEED_PAT: &str = concat!("StdRng::seed_", "from_u64");
 
 /// The one file allowed to own thread-pool internals.
 const PAR_RS: &str = "crates/tensor/src/par.rs";
+
+/// The one file allowed to own the training epoch loop.
+const ENGINE_RS: &str = "crates/core/src/engine.rs";
+
+/// The crate whose library sources the one-train-loop lint covers.
+const CORE_SRC: &str = "crates/core/src/";
 
 /// Recursively collects `.rs` files under `dir`, skipping `src/bin`
 /// directories (executables may panic on bad CLI input).
@@ -252,6 +269,50 @@ fn lint_no_raw_threads_in(rel: &str, text: &str, violations: &mut Vec<Violation>
     }
 }
 
+/// Applies the one-train-loop lint to one file's contents: in cq-core
+/// library code outside `engine.rs`, no epoch iteration (`for` over a
+/// `.epochs` field) and no raw `StdRng` seeding — both would bypass the
+/// engine's checkpoint/resume bookkeeping.
+fn lint_one_train_loop_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
+    if !rel.contains(CORE_SRC) || rel.ends_with(ENGINE_RS) {
+        return;
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    let boundary = test_boundary(&lines);
+    for (i, line) in lines.iter().enumerate().take(boundary) {
+        if is_comment(line) {
+            continue;
+        }
+        let epoch_loop = line.contains("for ") && line.contains(EPOCHS_FIELD_PAT);
+        let raw_rng = line.contains(STDRNG_SEED_PAT);
+        if !epoch_loop && !raw_rng {
+            continue;
+        }
+        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
+        if allowed {
+            continue;
+        }
+        let message = if epoch_loop {
+            format!(
+                "epoch loop outside {ENGINE_RS}; drive training through \
+                 TrainLoop (one engine owns the schedule, telemetry and \
+                 resume bookkeeping), or add `{ALLOW_MARKER} — <reason>`"
+            )
+        } else {
+            format!(
+                "raw StdRng seeding in trainer code; use cq_tensor::CqRng so \
+                 the state serializes into checkpoints (StdRng breaks bitwise \
+                 resume), or add `{ALLOW_MARKER} — <reason>`"
+            )
+        };
+        violations.push(Violation {
+            pass: "lint",
+            location: format!("{rel}:{}", i + 1),
+            message,
+        });
+    }
+}
+
 /// Non-test `impl Layer for T` type names declared in one file.
 fn layer_impls_in(text: &str) -> Vec<String> {
     let lines: Vec<&str> = text.lines().collect();
@@ -302,6 +363,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
         lint_unwrap_in(&rel, &text, &mut violations);
         lint_obs_names_in(&rel, &text, &mut violations);
         lint_no_raw_threads_in(&rel, &text, &mut violations);
+        lint_one_train_loop_in(&rel, &text, &mut violations);
         if path.file_name().is_none_or(|n| n != "main.rs") {
             lint_println_in(&rel, &text, &mut violations);
         }
@@ -479,6 +541,53 @@ mod tests {
             let mut v = Vec::new();
             lint_no_raw_threads_in("crates/nn/src/conv.rs", &text, &mut v);
             assert!(v.is_empty(), "{text}");
+        }
+    }
+
+    #[test]
+    fn one_train_loop_flags_epoch_loops_and_raw_rng_in_core() {
+        let epoch_loop = format!(
+            "fn f() {{\n    for e in 0..cfg{} {{}}\n}}\n",
+            EPOCHS_FIELD_PAT
+        );
+        let mut v = Vec::new();
+        lint_one_train_loop_in("crates/core/src/simclr.rs", &epoch_loop, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].location, "crates/core/src/simclr.rs:2");
+
+        let raw_rng = format!("fn f() {{\n    let r = {}(7);\n}}\n", STDRNG_SEED_PAT);
+        let mut v = Vec::new();
+        lint_one_train_loop_in("crates/core/src/byol.rs", &raw_rng, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("CqRng"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn one_train_loop_exempts_engine_other_crates_tests_and_marker() {
+        let epoch_loop = format!(
+            "fn f() {{\n    for e in 0..cfg{} {{}}\n}}\n",
+            EPOCHS_FIELD_PAT
+        );
+        // engine.rs owns the loop; other crates may iterate epochs freely
+        // (e.g. cq-eval's linear-probe loop).
+        for rel in ["crates/core/src/engine.rs", "crates/eval/src/probe.rs"] {
+            let mut v = Vec::new();
+            lint_one_train_loop_in(rel, &epoch_loop, &mut v);
+            assert!(v.is_empty(), "{rel}: {v:?}");
+        }
+        // Test modules and marked sites are exempt.
+        let in_tests = format!(
+            "fn f() {{}}\n#[cfg(test)]\nmod t {{\nfn g() {{ let r = {}(7); }}\n}}\n",
+            STDRNG_SEED_PAT
+        );
+        let marked = format!(
+            "fn f() {{\n    for e in 0..cfg{} {{}} // {} — migration shim\n}}\n",
+            EPOCHS_FIELD_PAT, ALLOW_MARKER
+        );
+        for text in [in_tests, marked] {
+            let mut v = Vec::new();
+            lint_one_train_loop_in("crates/core/src/simclr.rs", &text, &mut v);
+            assert!(v.is_empty(), "{text}: {v:?}");
         }
     }
 

@@ -1,4 +1,6 @@
-//! BYOL trainer (online/target networks) with Contrastive Quant support.
+//! BYOL trainer (online/target networks) with Contrastive Quant support,
+//! implemented as an [`SslMethod`] driven by the shared [`TrainLoop`]
+//! engine.
 //!
 //! Per §3.4 of the paper, adapting Contrastive Quant to BYOL means:
 //! (1) the NCE loss becomes BYOL's normalized-MSE regression loss;
@@ -12,31 +14,154 @@
 //! `NCE(f1, f2) + NCE(f1⁺, f2⁺)` terms); each cross term is applied
 //! symmetrically with a stop-gradient on the opposite branch.
 
+use std::io::{Read, Write};
+
 use cq_data::{AugmentConfig, AugmentPipeline, Dataset, TwoViewBatch, TwoViewLoader};
 use cq_models::{mlp_head, Encoder, HeadConfig};
-use cq_nn::{CosineSchedule, ForwardCtx, Layer, NnError, Sequential, Sgd, SgdConfig};
-use cq_quant::{Precision, QuantConfig};
-use cq_tensor::Tensor;
-use rand::rngs::StdRng;
+use cq_nn::{ForwardCtx, GradSet, Layer, NnError, ParamSet, Sequential};
+use cq_quant::Precision;
+use cq_tensor::{CqRng, Tensor};
 use rand::SeedableRng;
 
+use crate::engine::{SslMethod, StepCtx, TrainLoop};
 use crate::{byol_regression, Pipeline, PretrainConfig, TrainHistory};
 
-/// BYOL self-supervised pre-training, hosting the [`Pipeline::Baseline`]
-/// and [`Pipeline::CqC`] variants evaluated in Table 6 of the paper.
-pub struct ByolTrainer {
+/// BYOL's per-step loss semantics: symmetric normalized-MSE regression of
+/// online predictions onto stop-gradient target projections, with an EMA
+/// target update after each optimizer step.
+struct ByolMethod {
     online: Encoder,
     predictor: Sequential,
     /// Parameter count of the online encoder before the predictor was
     /// registered; used to strip the predictor in `into_encoder`.
     encoder_params: usize,
     target: Encoder,
-    cfg: PretrainConfig,
-    opt: Sgd,
-    loader: TwoViewLoader,
-    rng: StdRng,
-    history: TrainHistory,
-    steps_taken: usize,
+}
+
+impl ByolMethod {
+    /// Symmetric BYOL loss at one precision: both views pass through the
+    /// online network (with predictor) against the target's other view.
+    fn branch_loss(
+        &mut self,
+        batch: &TwoViewBatch,
+        ctx: &StepCtx<'_>,
+        q: Option<Precision>,
+        gs: &mut GradSet,
+    ) -> Result<f32, NnError> {
+        let fctx = match q {
+            Some(p) => ctx.quant_ctx(p),
+            None => ForwardCtx::train(),
+        };
+        let mut total = 0.0f32;
+        for (va, vb) in [(&batch.view1, &batch.view2), (&batch.view2, &batch.view1)] {
+            let online_out = self.online.forward(va, &fctx)?;
+            let (p, pred_cache) =
+                self.predictor
+                    .forward(self.online.params(), &online_out.projection, &fctx)?;
+            // stop-gradient: target forward is never backpropagated
+            let t = self.target.forward(vb, &fctx)?;
+            let pl = byol_regression(&p, &t.projection)?;
+            total += pl.loss;
+            let dz = self
+                .predictor
+                .backward(self.online.params(), &pred_cache, &pl.grad_a, gs)?;
+            self.online
+                .backward_projection(&online_out.trace, &dz, gs)?;
+        }
+        Ok(total)
+    }
+
+    /// Cross-precision consistency on online projections of one view,
+    /// applied symmetrically with a stop-gradient on the opposite branch.
+    fn cross_precision_loss(
+        &mut self,
+        view: &Tensor,
+        ctx: &StepCtx<'_>,
+        q1: Precision,
+        q2: Precision,
+        gs: &mut GradSet,
+    ) -> Result<f32, NnError> {
+        let c1 = ctx.quant_ctx(q1);
+        let c2 = ctx.quant_ctx(q2);
+        let o1 = self.online.forward(view, &c1)?;
+        let o2 = self.online.forward(view, &c2)?;
+        let l12 = byol_regression(&o1.projection, &o2.projection)?;
+        let l21 = byol_regression(&o2.projection, &o1.projection)?;
+        self.online
+            .backward_projection(&o1.trace, &l12.grad_a, gs)?;
+        self.online
+            .backward_projection(&o2.trace, &l21.grad_a, gs)?;
+        Ok(0.5 * (l12.loss + l21.loss))
+    }
+}
+
+impl SslMethod for ByolMethod {
+    const TAG: u8 = 1;
+    const NAME: &'static str = "byol";
+
+    fn params(&self) -> &ParamSet {
+        self.online.params()
+    }
+
+    fn params_mut(&mut self) -> &mut ParamSet {
+        self.online.params_mut()
+    }
+
+    fn compute_loss(
+        &mut self,
+        batch: &TwoViewBatch,
+        ctx: &mut StepCtx<'_>,
+        gs: &mut GradSet,
+    ) -> Result<f32, NnError> {
+        match ctx.cfg().pipeline {
+            Pipeline::Baseline => self.branch_loss(batch, ctx, None, gs),
+            Pipeline::CqC => {
+                let (q1, q2) = ctx.sample_pair()?;
+                // View-consistency at each precision (Eq. 9 terms 1+2).
+                let mut loss = self.branch_loss(batch, ctx, Some(q1), gs)?;
+                loss += self.branch_loss(batch, ctx, Some(q2), gs)?;
+                // Cross-precision consistency within each view (terms 3+4).
+                loss += self.cross_precision_loss(&batch.view1, ctx, q1, q2, gs)?;
+                loss += self.cross_precision_loss(&batch.view2, ctx, q1, q2, gs)?;
+                Ok(loss)
+            }
+            other => Err(NnError::Param(format!("unsupported BYOL pipeline {other}"))),
+        }
+    }
+
+    fn after_step(&mut self, cfg: &PretrainConfig) -> Result<(), NnError> {
+        self.target.ema_update_from(&self.online, cfg.ema_tau)
+    }
+
+    fn probe_encoder(&mut self, _cfg: &PretrainConfig) -> Option<&mut Encoder> {
+        Some(&mut self.online)
+    }
+
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        let mut v = self.online.state_tensors();
+        v.extend(self.predictor.state_tensors());
+        v
+    }
+
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut v = self.online.state_tensors_mut();
+        v.extend(self.predictor.state_tensors_mut());
+        v
+    }
+
+    fn target(&self) -> Option<&Encoder> {
+        Some(&self.target)
+    }
+
+    fn target_mut(&mut self) -> Option<&mut Encoder> {
+        Some(&mut self.target)
+    }
+}
+
+/// BYOL self-supervised pre-training, hosting the [`Pipeline::Baseline`]
+/// and [`Pipeline::CqC`] variants evaluated in Table 6 of the paper.
+pub struct ByolTrainer {
+    inner: TrainLoop<ByolMethod>,
 }
 
 impl std::fmt::Debug for ByolTrainer {
@@ -44,7 +169,8 @@ impl std::fmt::Debug for ByolTrainer {
         write!(
             f,
             "ByolTrainer(pipeline={}, steps={})",
-            self.cfg.pipeline, self.steps_taken
+            self.inner.cfg().pipeline,
+            self.inner.steps_taken()
         )
     }
 }
@@ -68,7 +194,7 @@ impl ByolTrainer {
                 cfg.pipeline
             )));
         }
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1234);
+        let mut rng = CqRng::seed_from_u64(cfg.seed ^ 0x1234);
         // Duplicate into the target BEFORE registering the predictor: the
         // target network has no prediction head.
         let target = online.duplicate()?;
@@ -80,43 +206,29 @@ impl ByolTrainer {
             online.params_mut(),
             &mut rng,
         );
-        let opt = Sgd::new(
-            online.params(),
-            SgdConfig {
-                lr: cfg.lr,
-                momentum: cfg.momentum,
-                weight_decay: cfg.weight_decay,
-                nesterov: false,
-            },
-        );
         let loader = TwoViewLoader::new(
             AugmentPipeline::new(AugmentConfig::simclr()),
             cfg.batch_size,
             cfg.seed ^ 0xB0B0,
         );
-        let sample_rng = StdRng::seed_from_u64(cfg.seed);
-        Ok(ByolTrainer {
+        let method = ByolMethod {
             online,
             predictor,
             encoder_params,
             target,
-            cfg,
-            opt,
-            loader,
-            rng: sample_rng,
-            history: TrainHistory::default(),
-            steps_taken: 0,
-        })
+        };
+        let inner = TrainLoop::new(method, cfg, loader)?;
+        Ok(ByolTrainer { inner })
     }
 
     /// The online encoder (the one that is kept after pre-training).
     pub fn online(&self) -> &Encoder {
-        &self.online
+        &self.inner.method().online
     }
 
     /// Mutable online encoder access.
     pub fn online_mut(&mut self) -> &mut Encoder {
-        &mut self.online
+        &mut self.inner.method_mut().online
     }
 
     /// Consumes the trainer, returning the trained online encoder with
@@ -124,14 +236,20 @@ impl ByolTrainer {
     /// the encoder's, so truncation restores architectural alignment for
     /// `duplicate`/`save`).
     pub fn into_encoder(self) -> Encoder {
-        let mut online = self.online;
-        online.params_mut().truncate(self.encoder_params);
+        let m = self.inner.into_method();
+        let mut online = m.online;
+        online.params_mut().truncate(m.encoder_params);
         online
     }
 
     /// Training diagnostics so far.
     pub fn history(&self) -> &TrainHistory {
-        &self.history
+        self.inner.history()
+    }
+
+    /// Epochs completed so far (survives checkpoint/resume).
+    pub fn epochs_done(&self) -> usize {
+        self.inner.epochs_done()
     }
 
     /// Runs `cfg.epochs` of BYOL pre-training.
@@ -141,41 +259,17 @@ impl ByolTrainer {
     /// Propagates layer/optimizer errors; exploded steps are skipped and
     /// counted, not raised.
     pub fn train(&mut self, dataset: &Dataset) -> Result<(), NnError> {
-        let total = (self.cfg.epochs * self.loader.batches_per_epoch(dataset)).max(1);
-        let sched = CosineSchedule::new(self.cfg.lr, total, total / 20);
-        for _ in 0..self.cfg.epochs {
-            let epoch_start = std::time::Instant::now();
-            let batches = self.loader.epoch(dataset);
-            let mut losses = Vec::new();
-            let mut norms = Vec::new();
-            for batch in &batches {
-                let lr = sched.lr_at(self.steps_taken);
-                match self.step(batch, lr)? {
-                    Some((loss, norm)) => {
-                        losses.push(loss);
-                        norms.push(norm);
-                    }
-                    // NaN placeholder keeps one slot per step; the epoch
-                    // means skip it and its count becomes a metric.
-                    None => {
-                        losses.push(f32::NAN);
-                        norms.push(f32::NAN);
-                    }
-                }
-                self.steps_taken += 1;
-            }
-            crate::simclr::record_epoch_throughput(
-                self.steps_taken,
-                batches.len() * self.cfg.batch_size,
-                epoch_start.elapsed(),
-            );
-            if let Some(batch) = batches.first() {
-                crate::simclr::record_collapse_probe(&mut self.online, batch, self.steps_taken)?;
-            }
-            crate::simclr::record_epoch_stats(&mut self.history, &losses, &norms, self.steps_taken);
-            crate::simclr::abort_check()?;
-        }
-        Ok(())
+        self.inner.train(dataset)
+    }
+
+    /// Runs pre-training until `stop_epoch` epochs are complete (clamped
+    /// to `cfg.epochs`); the LR schedule still spans the full run.
+    ///
+    /// # Errors
+    ///
+    /// See [`train`](ByolTrainer::train).
+    pub fn train_until(&mut self, dataset: &Dataset, stop_epoch: usize) -> Result<(), NnError> {
+        self.inner.train_until(dataset, stop_epoch)
     }
 
     /// One optimizer + EMA step. Returns `None` when skipped (explosion).
@@ -185,99 +279,33 @@ impl ByolTrainer {
     /// Propagates layer/optimizer errors, and [`NnError::Health`] when the
     /// health monitor has latched an abort.
     pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
-        crate::simclr::abort_check()?;
-        let _sp = cq_obs::span("train.step");
-        let mut gs = self.online.params().zero_grads();
-        let loss = match self.cfg.pipeline {
-            Pipeline::Baseline => self.branch_loss(batch, None, &mut gs)?,
-            Pipeline::CqC => {
-                let (q1, q2) = self
-                    .cfg
-                    .precision_set
-                    .as_ref()
-                    .ok_or_else(|| NnError::Param("CQ-C requires a precision set".into()))?
-                    .sample_pair(&mut self.rng);
-                // View-consistency at each precision (Eq. 9 terms 1+2).
-                let mut loss = self.branch_loss(batch, Some(q1), &mut gs)?;
-                loss += self.branch_loss(batch, Some(q2), &mut gs)?;
-                // Cross-precision consistency within each view (terms 3+4).
-                loss += self.cross_precision_loss(&batch.view1, q1, q2, &mut gs)?;
-                loss += self.cross_precision_loss(&batch.view2, q1, q2, &mut gs)?;
-                loss
-            }
-            other => return Err(NnError::Param(format!("unsupported BYOL pipeline {other}"))),
-        };
-        let norm = gs.global_norm();
-        if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
-            self.history.exploded_steps += 1;
-            crate::simclr::record_exploded_step();
-            // Report the divergent values before skipping — this is what
-            // lets the health sentinels see the explosion.
-            crate::simclr::record_step_metrics(self.steps_taken, loss, norm, lr);
-            return Ok(None);
-        }
-        self.opt.step(self.online.params_mut(), &gs, lr)?;
-        self.target
-            .ema_update_from(&self.online, self.cfg.ema_tau)?;
-        self.history.steps += 1;
-        crate::simclr::record_step_metrics(self.steps_taken, loss, norm, lr);
-        Ok(Some((loss, norm)))
+        self.inner.step(batch, lr)
     }
 
-    /// Symmetric BYOL loss at one precision: both views pass through the
-    /// online network (with predictor) against the target's other view.
-    fn branch_loss(
-        &mut self,
-        batch: &TwoViewBatch,
-        q: Option<Precision>,
-        gs: &mut cq_nn::GradSet,
-    ) -> Result<f32, NnError> {
-        let ctx = match q {
-            Some(p) => ForwardCtx::train()
-                .with_quant(QuantConfig::uniform(p).with_mode(self.cfg.quant_mode)),
-            None => ForwardCtx::train(),
-        };
-        let mut total = 0.0f32;
-        for (va, vb) in [(&batch.view1, &batch.view2), (&batch.view2, &batch.view1)] {
-            let online_out = self.online.forward(va, &ctx)?;
-            let (p, pred_cache) =
-                self.predictor
-                    .forward(self.online.params(), &online_out.projection, &ctx)?;
-            // stop-gradient: target forward is never backpropagated
-            let t = self.target.forward(vb, &ctx)?;
-            let pl = byol_regression(&p, &t.projection)?;
-            total += pl.loss;
-            let dz = self
-                .predictor
-                .backward(self.online.params(), &pred_cache, &pl.grad_a, gs)?;
-            self.online
-                .backward_projection(&online_out.trace, &dz, gs)?;
-        }
-        Ok(total)
+    /// Writes a checkpoint (parameters, predictor, target network,
+    /// momentum, RNG states) from which [`load_checkpoint`] resumes
+    /// bitwise-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] on write failure.
+    ///
+    /// [`load_checkpoint`]: ByolTrainer::load_checkpoint
+    pub fn save_checkpoint<W: Write>(&self, w: W) -> Result<(), NnError> {
+        self.inner.save_checkpoint(w)
     }
 
-    /// Cross-precision consistency on online projections of one view,
-    /// applied symmetrically with a stop-gradient on the opposite branch.
-    fn cross_precision_loss(
-        &mut self,
-        view: &Tensor,
-        q1: Precision,
-        q2: Precision,
-        gs: &mut cq_nn::GradSet,
-    ) -> Result<f32, NnError> {
-        let c1 =
-            ForwardCtx::train().with_quant(QuantConfig::uniform(q1).with_mode(self.cfg.quant_mode));
-        let c2 =
-            ForwardCtx::train().with_quant(QuantConfig::uniform(q2).with_mode(self.cfg.quant_mode));
-        let o1 = self.online.forward(view, &c1)?;
-        let o2 = self.online.forward(view, &c2)?;
-        let l12 = byol_regression(&o1.projection, &o2.projection)?;
-        let l21 = byol_regression(&o2.projection, &o1.projection)?;
-        self.online
-            .backward_projection(&o1.trace, &l12.grad_a, gs)?;
-        self.online
-            .backward_projection(&o2.trace, &l21.grad_a, gs)?;
-        Ok(0.5 * (l12.loss + l21.loss))
+    /// Restores a checkpoint written by [`save_checkpoint`]. Fails with a
+    /// clean error (and no partial mutation) on corrupt or mismatched
+    /// files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`]/[`NnError::Param`] on invalid checkpoints.
+    ///
+    /// [`save_checkpoint`]: ByolTrainer::save_checkpoint
+    pub fn load_checkpoint<R: Read>(&mut self, r: R) -> Result<(), NnError> {
+        self.inner.load_checkpoint(r)
     }
 }
 
@@ -338,9 +366,19 @@ mod tests {
     #[test]
     fn ema_moves_target() {
         let mut t = ByolTrainer::new(tiny_encoder(4), cfg(Pipeline::Baseline)).unwrap();
-        let before: Vec<f32> = t.target.params().iter().map(|(_, _, p)| p.sum()).collect();
+        let sums = |t: &ByolTrainer| -> Vec<f32> {
+            t.inner
+                .method()
+                .target()
+                .unwrap()
+                .params()
+                .iter()
+                .map(|(_, _, p)| p.sum())
+                .collect()
+        };
+        let before = sums(&t);
         t.train(&tiny_dataset()).unwrap();
-        let after: Vec<f32> = t.target.params().iter().map(|(_, _, p)| p.sum()).collect();
+        let after = sums(&t);
         assert_ne!(before, after, "EMA must move target parameters");
     }
 

@@ -20,20 +20,27 @@
 //!
 //! with `f_i = F_{q_i}(Aug_1(x))`, `f_i⁺ = F_{q_i}(Aug_2(x))`.
 //!
-//! Both host frameworks are implemented: [`SimclrTrainer`] (NT-Xent loss)
-//! and [`ByolTrainer`] (online/target networks, EMA target update,
-//! stop-gradient, prediction head, MSE-style regression loss).
+//! All host frameworks are implemented: [`SimclrTrainer`] (NT-Xent loss),
+//! [`ByolTrainer`] (online/target networks, EMA target update,
+//! stop-gradient, prediction head, MSE-style regression loss) and
+//! [`SimsiamTrainer`]. Each is a thin wrapper around the shared
+//! [`TrainLoop`] engine: the trainer supplies only per-step loss semantics
+//! via the [`SslMethod`] trait, while the engine owns epoch iteration, the
+//! LR schedule, explosion skipping, telemetry, health aborts, and exact
+//! checkpoint/resume (see [`TrainState`]).
 
 #![deny(missing_docs)]
 
 mod byol;
 mod config;
+mod engine;
 mod loss;
 mod simclr;
 mod simsiam;
 
 pub use byol::ByolTrainer;
 pub use config::{Pipeline, PrecisionSampling, PretrainConfig, TrainHistory};
+pub use engine::{SslMethod, StepCtx, TrainLoop, TrainState};
 pub use loss::{byol_regression, nt_xent, PairLoss};
 pub use simclr::{extract_features, SimclrTrainer};
 pub use simsiam::SimsiamTrainer;

@@ -1,114 +1,172 @@
-//! SimCLR trainer with the Contrastive Quant pipelines.
+//! SimCLR trainer with the Contrastive Quant pipelines, implemented as an
+//! [`SslMethod`] driven by the shared [`TrainLoop`] engine.
+
+use std::io::{Read, Write};
 
 use cq_data::{AugmentConfig, AugmentPipeline, Dataset, TwoViewBatch, TwoViewLoader};
 use cq_models::Encoder;
-use cq_nn::{CosineSchedule, ForwardCtx, NnError, Sgd, SgdConfig};
-use cq_quant::{Precision, QuantConfig};
+use cq_nn::{ForwardCtx, GradSet, NnError, ParamSet};
 use cq_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use crate::{nt_xent, Pipeline, PrecisionSampling, PretrainConfig, TrainHistory};
+use crate::engine::{SslMethod, StepCtx, TrainLoop};
+use crate::{nt_xent, Pipeline, PretrainConfig, TrainHistory};
 
-// Steps skipped due to gradient explosion, across all trainers in the
-// process; no-op unless a cq-obs sink is installed.
-static EXPLODED_STEPS: cq_obs::Counter = cq_obs::Counter::new("train.exploded_steps");
-
-/// Emits the per-step training metrics shared by the SimCLR/BYOL/SimSiam
-/// trainers (no-ops without an installed sink or health monitor). Also
-/// called for exploded steps — the possibly NaN/oversized values are what
-/// the health sentinels need to see a divergence.
-pub(crate) fn record_step_metrics(step: usize, loss: f32, norm: f32, lr: f32) {
-    let step = step as u64;
-    cq_obs::metric(cq_obs::names::TRAIN_LOSS, step, loss as f64);
-    cq_obs::metric(cq_obs::names::TRAIN_GRAD_NORM, step, norm as f64);
-    cq_obs::metric(cq_obs::names::TRAIN_LR, step, lr as f64);
+/// SimCLR's per-step loss semantics: NT-Xent over the pipeline-specific
+/// combination of quantized/noisy forward branches.
+struct SimclrMethod {
+    encoder: Encoder,
 }
 
-/// Records one exploded (skipped) step.
-pub(crate) fn record_exploded_step() {
-    EXPLODED_STEPS.add(1);
-}
+impl SslMethod for SimclrMethod {
+    const TAG: u8 = 0;
+    const NAME: &'static str = "simclr";
 
-/// Emits the end-of-epoch throughput metric.
-pub(crate) fn record_epoch_throughput(step: usize, images: usize, elapsed: std::time::Duration) {
-    let secs = elapsed.as_secs_f64();
-    if secs > 0.0 {
-        cq_obs::metric(
-            cq_obs::names::TRAIN_IMAGES_PER_SEC,
-            step as u64,
-            images as f64 / secs,
-        );
+    fn params(&self) -> &ParamSet {
+        self.encoder.params()
     }
-}
 
-/// Surfaces a pending health abort (`CQ_OBS_HEALTH=abort` + Critical
-/// verdict) as an error; trainers call this once per step and per epoch.
-pub(crate) fn abort_check() -> Result<(), NnError> {
-    match cq_obs::health::abort_requested() {
-        Some(msg) => Err(NnError::Health(msg)),
-        None => Ok(()),
+    fn params_mut(&mut self) -> &mut ParamSet {
+        self.encoder.params_mut()
     }
-}
 
-/// Mean over the finite entries of `v`, plus the count of non-finite
-/// entries (the NaN placeholders skipped/exploded steps leave behind).
-/// All-non-finite input yields NaN, preserving "nothing succeeded".
-pub(crate) fn finite_mean(v: &[f32]) -> (f32, usize) {
-    let mut sum = 0.0f64;
-    let mut finite = 0usize;
-    for &x in v {
-        if x.is_finite() {
-            sum += x as f64;
-            finite += 1;
-        }
+    fn compute_loss(
+        &mut self,
+        batch: &TwoViewBatch,
+        ctx: &mut StepCtx<'_>,
+        gs: &mut GradSet,
+    ) -> Result<f32, NnError> {
+        let pipeline = ctx.cfg().pipeline;
+        let temp = ctx.cfg().temperature;
+        let loss = match pipeline {
+            Pipeline::Baseline => {
+                let fctx = ForwardCtx::train();
+                let o1 = self.encoder.forward(&batch.view1, &fctx)?;
+                let o2 = self.encoder.forward(&batch.view2, &fctx)?;
+                let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
+                self.encoder
+                    .backward_projection(&o1.trace, &pl.grad_a, gs)?;
+                self.encoder
+                    .backward_projection(&o2.trace, &pl.grad_b, gs)?;
+                pl.loss
+            }
+            Pipeline::CqA => {
+                let (q1, q2) = ctx.sample_pair()?;
+                let o1 = self.encoder.forward(&batch.view1, &ctx.quant_ctx(q1))?;
+                let o2 = self.encoder.forward(&batch.view2, &ctx.quant_ctx(q2))?;
+                let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
+                self.encoder
+                    .backward_projection(&o1.trace, &pl.grad_a, gs)?;
+                self.encoder
+                    .backward_projection(&o2.trace, &pl.grad_b, gs)?;
+                pl.loss
+            }
+            Pipeline::CqB => {
+                let (q1, q2) = ctx.sample_pair()?;
+                let f1 = self.encoder.forward(&batch.view1, &ctx.quant_ctx(q1))?;
+                let f2 = self.encoder.forward(&batch.view1, &ctx.quant_ctx(q2))?;
+                let f1p = self.encoder.forward(&batch.view2, &ctx.quant_ctx(q1))?;
+                let f2p = self.encoder.forward(&batch.view2, &ctx.quant_ctx(q2))?;
+                let t1 = nt_xent(&f1.projection, &f1p.projection, temp)?;
+                let t2 = nt_xent(&f2.projection, &f2p.projection, temp)?;
+                self.encoder
+                    .backward_projection(&f1.trace, &t1.grad_a, gs)?;
+                self.encoder
+                    .backward_projection(&f1p.trace, &t1.grad_b, gs)?;
+                self.encoder
+                    .backward_projection(&f2.trace, &t2.grad_a, gs)?;
+                self.encoder
+                    .backward_projection(&f2p.trace, &t2.grad_b, gs)?;
+                t1.loss + t2.loss
+            }
+            Pipeline::CqC => {
+                let (q1, q2) = ctx.sample_pair()?;
+                let f1 = self.encoder.forward(&batch.view1, &ctx.quant_ctx(q1))?;
+                let f2 = self.encoder.forward(&batch.view1, &ctx.quant_ctx(q2))?;
+                let f1p = self.encoder.forward(&batch.view2, &ctx.quant_ctx(q1))?;
+                let f2p = self.encoder.forward(&batch.view2, &ctx.quant_ctx(q2))?;
+                // Eq. 9: view terms + cross-precision terms.
+                let t1 = nt_xent(&f1.projection, &f1p.projection, temp)?;
+                let t2 = nt_xent(&f2.projection, &f2p.projection, temp)?;
+                let t3 = nt_xent(&f1.projection, &f2.projection, temp)?;
+                let t4 = nt_xent(&f1p.projection, &f2p.projection, temp)?;
+                // Each branch participates in two terms; sum its gradients
+                // before walking the trace once.
+                let d_f1 = t1.grad_a.add(&t3.grad_a)?;
+                let d_f2 = t2.grad_a.add(&t3.grad_b)?;
+                let d_f1p = t1.grad_b.add(&t4.grad_a)?;
+                let d_f2p = t2.grad_b.add(&t4.grad_b)?;
+                self.encoder.backward_projection(&f1.trace, &d_f1, gs)?;
+                self.encoder.backward_projection(&f2.trace, &d_f2, gs)?;
+                self.encoder.backward_projection(&f1p.trace, &d_f1p, gs)?;
+                self.encoder.backward_projection(&f2p.trace, &d_f2p, gs)?;
+                t1.loss + t2.loss + t3.loss + t4.loss
+            }
+            Pipeline::CqQuant => {
+                // No input augmentation (the loader already produced
+                // identical views); quantization is the only view-maker.
+                let (q1, q2) = ctx.sample_pair()?;
+                let f1 = self.encoder.forward(&batch.view1, &ctx.quant_ctx(q1))?;
+                let f2 = self.encoder.forward(&batch.view1, &ctx.quant_ctx(q2))?;
+                let pl = nt_xent(&f1.projection, &f2.projection, temp)?;
+                self.encoder
+                    .backward_projection(&f1.trace, &pl.grad_a, gs)?;
+                self.encoder
+                    .backward_projection(&f2.trace, &pl.grad_b, gs)?;
+                pl.loss
+            }
+            Pipeline::NoiseA => {
+                // CQ-A's structure with Gaussian weight noise as the
+                // model-side augmentation (the paper's future-work
+                // direction, §4.2).
+                let (s1, s2) = (ctx.noise_seed(), ctx.noise_seed());
+                let o1 = self.encoder.forward(&batch.view1, &ctx.noise_ctx(s1))?;
+                let o2 = self.encoder.forward(&batch.view2, &ctx.noise_ctx(s2))?;
+                let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
+                self.encoder
+                    .backward_projection(&o1.trace, &pl.grad_a, gs)?;
+                self.encoder
+                    .backward_projection(&o2.trace, &pl.grad_b, gs)?;
+                pl.loss
+            }
+            Pipeline::NoiseC => {
+                // CQ-C's structure with Gaussian weight noise.
+                let (s1, s2) = (ctx.noise_seed(), ctx.noise_seed());
+                let f1 = self.encoder.forward(&batch.view1, &ctx.noise_ctx(s1))?;
+                let f2 = self.encoder.forward(&batch.view1, &ctx.noise_ctx(s2))?;
+                let f1p = self.encoder.forward(&batch.view2, &ctx.noise_ctx(s1))?;
+                let f2p = self.encoder.forward(&batch.view2, &ctx.noise_ctx(s2))?;
+                let t1 = nt_xent(&f1.projection, &f1p.projection, temp)?;
+                let t2 = nt_xent(&f2.projection, &f2p.projection, temp)?;
+                let t3 = nt_xent(&f1.projection, &f2.projection, temp)?;
+                let t4 = nt_xent(&f1p.projection, &f2p.projection, temp)?;
+                let d_f1 = t1.grad_a.add(&t3.grad_a)?;
+                let d_f2 = t2.grad_a.add(&t3.grad_b)?;
+                let d_f1p = t1.grad_b.add(&t4.grad_a)?;
+                let d_f2p = t2.grad_b.add(&t4.grad_b)?;
+                self.encoder.backward_projection(&f1.trace, &d_f1, gs)?;
+                self.encoder.backward_projection(&f2.trace, &d_f2, gs)?;
+                self.encoder.backward_projection(&f1p.trace, &d_f1p, gs)?;
+                self.encoder.backward_projection(&f2p.trace, &d_f2p, gs)?;
+                t1.loss + t2.loss + t3.loss + t4.loss
+            }
+        };
+        Ok(loss)
     }
-    let mean = if finite == 0 {
-        f32::NAN
-    } else {
-        (sum / finite as f64) as f32
-    };
-    (mean, v.len() - finite)
-}
 
-/// Pushes the epoch loss/grad-norm means (finite entries only) into the
-/// history and emits the non-finite step count as a metric, which the
-/// health NaN sentinel watches.
-pub(crate) fn record_epoch_stats(
-    history: &mut TrainHistory,
-    losses: &[f32],
-    norms: &[f32],
-    step: usize,
-) {
-    let (loss_mean, bad) = finite_mean(losses);
-    let (norm_mean, _) = finite_mean(norms);
-    cq_obs::metric(
-        cq_obs::names::TRAIN_NONFINITE_STEPS,
-        step as u64,
-        bad as f64,
-    );
-    history.epoch_losses.push(loss_mean);
-    history.epoch_grad_norms.push(norm_mean);
-}
-
-/// Per-epoch SSL collapse probe: one extra full-precision forward over
-/// `batch`, with the embedding statistics emitted as `embed.*` metrics.
-/// Skipped entirely unless a sink or the health monitor is active, so
-/// plain runs pay nothing.
-pub(crate) fn record_collapse_probe(
-    encoder: &mut Encoder,
-    batch: &TwoViewBatch,
-    step: usize,
-) -> Result<(), NnError> {
-    if !cq_models::stats::stats_enabled() {
-        return Ok(());
+    fn probe_encoder(&mut self, cfg: &PretrainConfig) -> Option<&mut Encoder> {
+        // CQ-Quant feeds identical input views (quantization is the only
+        // view-maker), which makes the positive-pair probe vacuous — skip
+        // it for that pipeline.
+        (cfg.pipeline != Pipeline::CqQuant).then_some(&mut self.encoder)
     }
-    let _sp = cq_obs::span("train.collapse_probe");
-    let ctx = ForwardCtx::eval();
-    let o1 = encoder.forward(&batch.view1, &ctx)?;
-    let o2 = encoder.forward(&batch.view2, &ctx)?;
-    cq_models::record_embedding_stats(step as u64, &o1.projection, &o2.projection)?;
-    Ok(())
+
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        self.encoder.state_tensors()
+    }
+
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        self.encoder.state_tensors_mut()
+    }
 }
 
 /// Self-supervised pre-training with SimCLR's NT-Xent objective, hosting
@@ -135,13 +193,7 @@ pub(crate) fn record_collapse_probe(
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct SimclrTrainer {
-    encoder: Encoder,
-    cfg: PretrainConfig,
-    opt: Sgd,
-    loader: TwoViewLoader,
-    rng: StdRng,
-    history: TrainHistory,
-    steps_taken: usize,
+    inner: TrainLoop<SimclrMethod>,
 }
 
 impl std::fmt::Debug for SimclrTrainer {
@@ -149,7 +201,8 @@ impl std::fmt::Debug for SimclrTrainer {
         write!(
             f,
             "SimclrTrainer(pipeline={}, steps={})",
-            self.cfg.pipeline, self.steps_taken
+            self.inner.cfg().pipeline,
+            self.inner.steps_taken()
         )
     }
 }
@@ -172,45 +225,33 @@ impl SimclrTrainer {
         };
         let loader =
             TwoViewLoader::new(AugmentPipeline::new(aug), cfg.batch_size, cfg.seed ^ 0xA5A5);
-        let opt = Sgd::new(
-            encoder.params(),
-            SgdConfig {
-                lr: cfg.lr,
-                momentum: cfg.momentum,
-                weight_decay: cfg.weight_decay,
-                nesterov: false,
-            },
-        );
-        let rng = StdRng::seed_from_u64(cfg.seed);
-        Ok(SimclrTrainer {
-            encoder,
-            cfg,
-            opt,
-            loader,
-            rng,
-            history: TrainHistory::default(),
-            steps_taken: 0,
-        })
+        let inner = TrainLoop::new(SimclrMethod { encoder }, cfg, loader)?;
+        Ok(SimclrTrainer { inner })
     }
 
     /// The encoder being trained.
     pub fn encoder(&self) -> &Encoder {
-        &self.encoder
+        &self.inner.method().encoder
     }
 
     /// Mutable encoder access (evaluation needs `&mut` for forward).
     pub fn encoder_mut(&mut self) -> &mut Encoder {
-        &mut self.encoder
+        &mut self.inner.method_mut().encoder
     }
 
     /// Consumes the trainer, returning the trained encoder.
     pub fn into_encoder(self) -> Encoder {
-        self.encoder
+        self.inner.into_method().encoder
     }
 
     /// Training diagnostics so far.
     pub fn history(&self) -> &TrainHistory {
-        &self.history
+        self.inner.history()
+    }
+
+    /// Epochs completed so far (survives checkpoint/resume).
+    pub fn epochs_done(&self) -> usize {
+        self.inner.epochs_done()
     }
 
     /// Runs `cfg.epochs` of pre-training over `dataset`.
@@ -221,47 +262,18 @@ impl SimclrTrainer {
     /// error: the step is skipped and counted in the history (this is the
     /// behaviour the paper describes for CQ-B).
     pub fn train(&mut self, dataset: &Dataset) -> Result<(), NnError> {
-        let batches_per_epoch = self.loader.batches_per_epoch(dataset);
-        let total = (self.cfg.epochs * batches_per_epoch).max(1);
-        let sched = CosineSchedule::new(self.cfg.lr, total, total / 20);
-        for _ in 0..self.cfg.epochs {
-            let epoch_start = std::time::Instant::now();
-            let batches = self.loader.epoch(dataset);
-            let mut losses = Vec::with_capacity(batches.len());
-            let mut norms = Vec::with_capacity(batches.len());
-            for batch in &batches {
-                let lr = sched.lr_at(self.steps_taken);
-                match self.step(batch, lr)? {
-                    Some((loss, norm)) => {
-                        losses.push(loss);
-                        norms.push(norm);
-                    }
-                    // NaN placeholder keeps one slot per step; the epoch
-                    // means skip it and its count becomes a metric.
-                    None => {
-                        losses.push(f32::NAN);
-                        norms.push(f32::NAN);
-                    }
-                }
-                self.steps_taken += 1;
-            }
-            crate::simclr::record_epoch_throughput(
-                self.steps_taken,
-                batches.len() * self.cfg.batch_size,
-                epoch_start.elapsed(),
-            );
-            // CQ-Quant feeds identical input views (quantization is the
-            // only view-maker), which makes the positive-pair probe
-            // vacuous — skip it for that pipeline.
-            if self.cfg.pipeline != Pipeline::CqQuant {
-                if let Some(batch) = batches.first() {
-                    record_collapse_probe(&mut self.encoder, batch, self.steps_taken)?;
-                }
-            }
-            record_epoch_stats(&mut self.history, &losses, &norms, self.steps_taken);
-            abort_check()?;
-        }
-        Ok(())
+        self.inner.train(dataset)
+    }
+
+    /// Runs pre-training until `stop_epoch` epochs are complete (clamped
+    /// to `cfg.epochs`); the LR schedule still spans the full run, so a
+    /// checkpoint written here and resumed matches an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// See [`train`](SimclrTrainer::train).
+    pub fn train_until(&mut self, dataset: &Dataset, stop_epoch: usize) -> Result<(), NnError> {
+        self.inner.train_until(dataset, stop_epoch)
     }
 
     /// One optimizer step on a two-view batch. Returns `None` when the
@@ -272,173 +284,32 @@ impl SimclrTrainer {
     /// Propagates layer/optimizer errors, and [`NnError::Health`] when the
     /// health monitor has latched an abort.
     pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
-        abort_check()?;
-        let _sp = cq_obs::span("train.step");
-        let mut gs = self.encoder.params().zero_grads();
-        let temp = self.cfg.temperature;
-        let loss = match self.cfg.pipeline {
-            Pipeline::Baseline => {
-                let ctx = ForwardCtx::train();
-                let o1 = self.encoder.forward(&batch.view1, &ctx)?;
-                let o2 = self.encoder.forward(&batch.view2, &ctx)?;
-                let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
-                self.encoder
-                    .backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
-                self.encoder
-                    .backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
-                pl.loss
-            }
-            Pipeline::CqA => {
-                let (q1, q2) = self.sample_pair()?;
-                let o1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
-                let o2 = self.encoder.forward(&batch.view2, &self.quant_ctx(q2))?;
-                let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
-                self.encoder
-                    .backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
-                self.encoder
-                    .backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
-                pl.loss
-            }
-            Pipeline::CqB => {
-                let (q1, q2) = self.sample_pair()?;
-                let f1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
-                let f2 = self.encoder.forward(&batch.view1, &self.quant_ctx(q2))?;
-                let f1p = self.encoder.forward(&batch.view2, &self.quant_ctx(q1))?;
-                let f2p = self.encoder.forward(&batch.view2, &self.quant_ctx(q2))?;
-                let t1 = nt_xent(&f1.projection, &f1p.projection, temp)?;
-                let t2 = nt_xent(&f2.projection, &f2p.projection, temp)?;
-                self.encoder
-                    .backward_projection(&f1.trace, &t1.grad_a, &mut gs)?;
-                self.encoder
-                    .backward_projection(&f1p.trace, &t1.grad_b, &mut gs)?;
-                self.encoder
-                    .backward_projection(&f2.trace, &t2.grad_a, &mut gs)?;
-                self.encoder
-                    .backward_projection(&f2p.trace, &t2.grad_b, &mut gs)?;
-                t1.loss + t2.loss
-            }
-            Pipeline::CqC => {
-                let (q1, q2) = self.sample_pair()?;
-                let f1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
-                let f2 = self.encoder.forward(&batch.view1, &self.quant_ctx(q2))?;
-                let f1p = self.encoder.forward(&batch.view2, &self.quant_ctx(q1))?;
-                let f2p = self.encoder.forward(&batch.view2, &self.quant_ctx(q2))?;
-                // Eq. 9: view terms + cross-precision terms.
-                let t1 = nt_xent(&f1.projection, &f1p.projection, temp)?;
-                let t2 = nt_xent(&f2.projection, &f2p.projection, temp)?;
-                let t3 = nt_xent(&f1.projection, &f2.projection, temp)?;
-                let t4 = nt_xent(&f1p.projection, &f2p.projection, temp)?;
-                // Each branch participates in two terms; sum its gradients
-                // before walking the trace once.
-                let d_f1 = t1.grad_a.add(&t3.grad_a)?;
-                let d_f2 = t2.grad_a.add(&t3.grad_b)?;
-                let d_f1p = t1.grad_b.add(&t4.grad_a)?;
-                let d_f2p = t2.grad_b.add(&t4.grad_b)?;
-                self.encoder
-                    .backward_projection(&f1.trace, &d_f1, &mut gs)?;
-                self.encoder
-                    .backward_projection(&f2.trace, &d_f2, &mut gs)?;
-                self.encoder
-                    .backward_projection(&f1p.trace, &d_f1p, &mut gs)?;
-                self.encoder
-                    .backward_projection(&f2p.trace, &d_f2p, &mut gs)?;
-                t1.loss + t2.loss + t3.loss + t4.loss
-            }
-            Pipeline::CqQuant => {
-                // No input augmentation (the loader already produced
-                // identical views); quantization is the only view-maker.
-                let (q1, q2) = self.sample_pair()?;
-                let f1 = self.encoder.forward(&batch.view1, &self.quant_ctx(q1))?;
-                let f2 = self.encoder.forward(&batch.view1, &self.quant_ctx(q2))?;
-                let pl = nt_xent(&f1.projection, &f2.projection, temp)?;
-                self.encoder
-                    .backward_projection(&f1.trace, &pl.grad_a, &mut gs)?;
-                self.encoder
-                    .backward_projection(&f2.trace, &pl.grad_b, &mut gs)?;
-                pl.loss
-            }
-            Pipeline::NoiseA => {
-                // CQ-A's structure with Gaussian weight noise as the
-                // model-side augmentation (the paper's future-work
-                // direction, §4.2).
-                let (s1, s2) = (self.rng.gen::<u64>(), self.rng.gen::<u64>());
-                let o1 = self.encoder.forward(&batch.view1, &self.noise_ctx(s1))?;
-                let o2 = self.encoder.forward(&batch.view2, &self.noise_ctx(s2))?;
-                let pl = nt_xent(&o1.projection, &o2.projection, temp)?;
-                self.encoder
-                    .backward_projection(&o1.trace, &pl.grad_a, &mut gs)?;
-                self.encoder
-                    .backward_projection(&o2.trace, &pl.grad_b, &mut gs)?;
-                pl.loss
-            }
-            Pipeline::NoiseC => {
-                // CQ-C's structure with Gaussian weight noise.
-                let (s1, s2) = (self.rng.gen::<u64>(), self.rng.gen::<u64>());
-                let f1 = self.encoder.forward(&batch.view1, &self.noise_ctx(s1))?;
-                let f2 = self.encoder.forward(&batch.view1, &self.noise_ctx(s2))?;
-                let f1p = self.encoder.forward(&batch.view2, &self.noise_ctx(s1))?;
-                let f2p = self.encoder.forward(&batch.view2, &self.noise_ctx(s2))?;
-                let t1 = nt_xent(&f1.projection, &f1p.projection, temp)?;
-                let t2 = nt_xent(&f2.projection, &f2p.projection, temp)?;
-                let t3 = nt_xent(&f1.projection, &f2.projection, temp)?;
-                let t4 = nt_xent(&f1p.projection, &f2p.projection, temp)?;
-                let d_f1 = t1.grad_a.add(&t3.grad_a)?;
-                let d_f2 = t2.grad_a.add(&t3.grad_b)?;
-                let d_f1p = t1.grad_b.add(&t4.grad_a)?;
-                let d_f2p = t2.grad_b.add(&t4.grad_b)?;
-                self.encoder
-                    .backward_projection(&f1.trace, &d_f1, &mut gs)?;
-                self.encoder
-                    .backward_projection(&f2.trace, &d_f2, &mut gs)?;
-                self.encoder
-                    .backward_projection(&f1p.trace, &d_f1p, &mut gs)?;
-                self.encoder
-                    .backward_projection(&f2p.trace, &d_f2p, &mut gs)?;
-                t1.loss + t2.loss + t3.loss + t4.loss
-            }
-        };
-        let norm = gs.global_norm();
-        if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
-            self.history.exploded_steps += 1;
-            record_exploded_step();
-            // Report the divergent values before skipping — this is what
-            // lets the health sentinels see the explosion.
-            record_step_metrics(self.steps_taken, loss, norm, lr);
-            return Ok(None);
-        }
-        self.opt.step(self.encoder.params_mut(), &gs, lr)?;
-        self.history.steps += 1;
-        record_step_metrics(self.steps_taken, loss, norm, lr);
-        Ok(Some((loss, norm)))
+        self.inner.step(batch, lr)
     }
 
-    fn sample_pair(&mut self) -> Result<(Precision, Precision), NnError> {
-        let set = self.cfg.precision_set.as_ref().ok_or_else(|| {
-            NnError::Param(format!(
-                "pipeline {} requires a precision set",
-                self.cfg.pipeline
-            ))
-        })?;
-        Ok(match self.cfg.sampling {
-            PrecisionSampling::Uniform => set.sample_pair(&mut self.rng),
-            PrecisionSampling::Cyclic => {
-                let bits = set.as_slice();
-                let n = bits.len();
-                let t = self.steps_taken;
-                (
-                    Precision::Bits(bits[t % n]),
-                    Precision::Bits(bits[(t + n / 2) % n]),
-                )
-            }
-        })
+    /// Writes a checkpoint from which [`load_checkpoint`] resumes
+    /// bitwise-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] on write failure.
+    ///
+    /// [`load_checkpoint`]: SimclrTrainer::load_checkpoint
+    pub fn save_checkpoint<W: Write>(&self, w: W) -> Result<(), NnError> {
+        self.inner.save_checkpoint(w)
     }
 
-    fn quant_ctx(&self, p: Precision) -> ForwardCtx {
-        ForwardCtx::train().with_quant(QuantConfig::uniform(p).with_mode(self.cfg.quant_mode))
-    }
-
-    fn noise_ctx(&self, seed: u64) -> ForwardCtx {
-        ForwardCtx::train().with_weight_noise(self.cfg.noise_std, seed)
+    /// Restores a checkpoint written by [`save_checkpoint`]. Fails with a
+    /// clean error (and no partial mutation) on corrupt or mismatched
+    /// files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`]/[`NnError::Param`] on invalid checkpoints.
+    ///
+    /// [`save_checkpoint`]: SimclrTrainer::save_checkpoint
+    pub fn load_checkpoint<R: Read>(&mut self, r: R) -> Result<(), NnError> {
+        self.inner.load_checkpoint(r)
     }
 }
 
@@ -512,6 +383,7 @@ mod tests {
             assert_eq!(h.epoch_losses.len(), 1, "{pipeline}");
             assert!(h.final_loss().unwrap().is_finite(), "{pipeline}");
             assert!(h.steps > 0, "{pipeline}");
+            assert_eq!(t.epochs_done(), 1, "{pipeline}");
         }
     }
 
@@ -594,6 +466,20 @@ mod tests {
         let mut t = SimclrTrainer::new(tiny_encoder(13), c).unwrap();
         t.train(&ds).unwrap();
         assert!(t.history().final_loss().unwrap().is_finite());
+    }
+
+    #[test]
+    fn partial_training_resumes_to_same_loss() {
+        let ds = tiny_dataset();
+        let mut full = SimclrTrainer::new(tiny_encoder(6), cfg(Pipeline::CqA)).unwrap();
+        let mut c2 = cfg(Pipeline::CqA);
+        c2.epochs = 1; // same schedule; train_until splits the epoch loop
+        let mut split = SimclrTrainer::new(tiny_encoder(6), c2).unwrap();
+        full.train(&ds).unwrap();
+        split.train_until(&ds, 0).unwrap();
+        assert_eq!(split.epochs_done(), 0);
+        split.train(&ds).unwrap();
+        assert_eq!(full.history().epoch_losses, split.history().epoch_losses);
     }
 
     #[test]

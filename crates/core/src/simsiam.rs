@@ -1,7 +1,8 @@
 //! SimSiam trainer (Chen & He, ref 12 of the paper): a stop-gradient
 //! siamese method with **no negative pairs and no momentum target** —
 //! included as an extra baseline to situate Contrastive Quant among the
-//! contrastive-learning frameworks it builds on.
+//! contrastive-learning frameworks it builds on. Implemented as an
+//! [`SslMethod`] driven by the shared [`TrainLoop`] engine.
 //!
 //! The loss is the symmetric negative cosine similarity
 //! `L = D(p1, sg(z2))/2 + D(p2, sg(z1))/2` with `p = predictor(z)`; we
@@ -10,27 +11,117 @@
 //! BYOL one: per-precision view-consistency terms plus symmetric
 //! cross-precision consistency on the projections.
 
+use std::io::{Read, Write};
+
 use cq_data::{AugmentConfig, AugmentPipeline, Dataset, TwoViewBatch, TwoViewLoader};
 use cq_models::{mlp_head, Encoder, HeadConfig};
-use cq_nn::{CosineSchedule, ForwardCtx, Layer, NnError, Sequential, Sgd, SgdConfig};
-use cq_quant::{Precision, QuantConfig};
-use rand::rngs::StdRng;
+use cq_nn::{ForwardCtx, GradSet, Layer, NnError, ParamSet, Sequential};
+use cq_quant::Precision;
+use cq_tensor::{CqRng, Tensor};
 use rand::SeedableRng;
 
+use crate::engine::{SslMethod, StepCtx, TrainLoop};
 use crate::{byol_regression, Pipeline, PretrainConfig, TrainHistory};
+
+/// SimSiam's per-step loss semantics: symmetric stop-gradient regression
+/// of each view's prediction onto the other view's detached projection.
+struct SimsiamMethod {
+    encoder: Encoder,
+    predictor: Sequential,
+    encoder_params: usize,
+}
+
+impl SimsiamMethod {
+    /// Symmetric stop-grad loss at one (optional) precision: both views
+    /// are encoded once; each prediction regresses onto the *detached*
+    /// projection of the other view.
+    fn branch_loss(
+        &mut self,
+        batch: &TwoViewBatch,
+        ctx: &StepCtx<'_>,
+        q: Option<Precision>,
+        gs: &mut GradSet,
+    ) -> Result<f32, NnError> {
+        let fctx = match q {
+            Some(p) => ctx.quant_ctx(p),
+            None => ForwardCtx::train(),
+        };
+        let o1 = self.encoder.forward(&batch.view1, &fctx)?;
+        let o2 = self.encoder.forward(&batch.view2, &fctx)?;
+        let (p1, c1) = self
+            .predictor
+            .forward(self.encoder.params(), &o1.projection, &fctx)?;
+        let (p2, c2) = self
+            .predictor
+            .forward(self.encoder.params(), &o2.projection, &fctx)?;
+        // D(p1, sg(z2)) — gradient flows through p1's branch only.
+        let l1 = byol_regression(&p1, &o2.projection)?;
+        let l2 = byol_regression(&p2, &o1.projection)?;
+        let dz1 = self
+            .predictor
+            .backward(self.encoder.params(), &c1, &l1.grad_a, gs)?;
+        self.encoder.backward_projection(&o1.trace, &dz1, gs)?;
+        let dz2 = self
+            .predictor
+            .backward(self.encoder.params(), &c2, &l2.grad_a, gs)?;
+        self.encoder.backward_projection(&o2.trace, &dz2, gs)?;
+        Ok(0.5 * (l1.loss + l2.loss))
+    }
+}
+
+impl SslMethod for SimsiamMethod {
+    const TAG: u8 = 2;
+    const NAME: &'static str = "simsiam";
+
+    fn params(&self) -> &ParamSet {
+        self.encoder.params()
+    }
+
+    fn params_mut(&mut self) -> &mut ParamSet {
+        self.encoder.params_mut()
+    }
+
+    fn compute_loss(
+        &mut self,
+        batch: &TwoViewBatch,
+        ctx: &mut StepCtx<'_>,
+        gs: &mut GradSet,
+    ) -> Result<f32, NnError> {
+        match ctx.cfg().pipeline {
+            Pipeline::Baseline => self.branch_loss(batch, ctx, None, gs),
+            Pipeline::CqC => {
+                let (q1, q2) = ctx.sample_pair()?;
+                let mut loss = self.branch_loss(batch, ctx, Some(q1), gs)?;
+                loss += self.branch_loss(batch, ctx, Some(q2), gs)?;
+                Ok(loss)
+            }
+            other => Err(NnError::Param(format!(
+                "unsupported SimSiam pipeline {other}"
+            ))),
+        }
+    }
+
+    fn probe_encoder(&mut self, _cfg: &PretrainConfig) -> Option<&mut Encoder> {
+        Some(&mut self.encoder)
+    }
+
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        let mut v = self.encoder.state_tensors();
+        v.extend(self.predictor.state_tensors());
+        v
+    }
+
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut v = self.encoder.state_tensors_mut();
+        v.extend(self.predictor.state_tensors_mut());
+        v
+    }
+}
 
 /// SimSiam self-supervised pre-training, hosting [`Pipeline::Baseline`]
 /// and [`Pipeline::CqC`].
 pub struct SimsiamTrainer {
-    encoder: Encoder,
-    predictor: Sequential,
-    encoder_params: usize,
-    cfg: PretrainConfig,
-    opt: Sgd,
-    loader: TwoViewLoader,
-    rng: StdRng,
-    history: TrainHistory,
-    steps_taken: usize,
+    inner: TrainLoop<SimsiamMethod>,
 }
 
 impl std::fmt::Debug for SimsiamTrainer {
@@ -38,7 +129,8 @@ impl std::fmt::Debug for SimsiamTrainer {
         write!(
             f,
             "SimsiamTrainer(pipeline={}, steps={})",
-            self.cfg.pipeline, self.steps_taken
+            self.inner.cfg().pipeline,
+            self.inner.steps_taken()
         )
     }
 }
@@ -59,7 +151,7 @@ impl SimsiamTrainer {
                 cfg.pipeline
             )));
         }
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51A51);
+        let mut rng = CqRng::seed_from_u64(cfg.seed ^ 0x51A51);
         let encoder_params = encoder.params().len();
         let pd = encoder.proj_dim();
         let predictor = mlp_head(
@@ -68,44 +160,36 @@ impl SimsiamTrainer {
             encoder.params_mut(),
             &mut rng,
         );
-        let opt = Sgd::new(
-            encoder.params(),
-            SgdConfig {
-                lr: cfg.lr,
-                momentum: cfg.momentum,
-                weight_decay: cfg.weight_decay,
-                nesterov: false,
-            },
-        );
         let loader = TwoViewLoader::new(
             AugmentPipeline::new(AugmentConfig::simclr()),
             cfg.batch_size,
             cfg.seed ^ 0x5151,
         );
-        let sample_rng = StdRng::seed_from_u64(cfg.seed);
-        Ok(SimsiamTrainer {
+        let method = SimsiamMethod {
             encoder,
             predictor,
             encoder_params,
-            cfg,
-            opt,
-            loader,
-            rng: sample_rng,
-            history: TrainHistory::default(),
-            steps_taken: 0,
-        })
+        };
+        let inner = TrainLoop::new(method, cfg, loader)?;
+        Ok(SimsiamTrainer { inner })
     }
 
     /// Training diagnostics so far.
     pub fn history(&self) -> &TrainHistory {
-        &self.history
+        self.inner.history()
+    }
+
+    /// Epochs completed so far (survives checkpoint/resume).
+    pub fn epochs_done(&self) -> usize {
+        self.inner.epochs_done()
     }
 
     /// Consumes the trainer, returning the encoder with the predictor
     /// stripped.
     pub fn into_encoder(self) -> Encoder {
-        let mut enc = self.encoder;
-        enc.params_mut().truncate(self.encoder_params);
+        let m = self.inner.into_method();
+        let mut enc = m.encoder;
+        enc.params_mut().truncate(m.encoder_params);
         enc
     }
 
@@ -116,41 +200,17 @@ impl SimsiamTrainer {
     /// Propagates layer/optimizer errors; exploded steps are skipped and
     /// counted.
     pub fn train(&mut self, dataset: &Dataset) -> Result<(), NnError> {
-        let total = (self.cfg.epochs * self.loader.batches_per_epoch(dataset)).max(1);
-        let sched = CosineSchedule::new(self.cfg.lr, total, total / 20);
-        for _ in 0..self.cfg.epochs {
-            let epoch_start = std::time::Instant::now();
-            let batches = self.loader.epoch(dataset);
-            let mut losses = Vec::new();
-            let mut norms = Vec::new();
-            for batch in &batches {
-                let lr = sched.lr_at(self.steps_taken);
-                match self.step(batch, lr)? {
-                    Some((loss, norm)) => {
-                        losses.push(loss);
-                        norms.push(norm);
-                    }
-                    // NaN placeholder keeps one slot per step; the epoch
-                    // means skip it and its count becomes a metric.
-                    None => {
-                        losses.push(f32::NAN);
-                        norms.push(f32::NAN);
-                    }
-                }
-                self.steps_taken += 1;
-            }
-            crate::simclr::record_epoch_throughput(
-                self.steps_taken,
-                batches.len() * self.cfg.batch_size,
-                epoch_start.elapsed(),
-            );
-            if let Some(batch) = batches.first() {
-                crate::simclr::record_collapse_probe(&mut self.encoder, batch, self.steps_taken)?;
-            }
-            crate::simclr::record_epoch_stats(&mut self.history, &losses, &norms, self.steps_taken);
-            crate::simclr::abort_check()?;
-        }
-        Ok(())
+        self.inner.train(dataset)
+    }
+
+    /// Runs pre-training until `stop_epoch` epochs are complete (clamped
+    /// to `cfg.epochs`); the LR schedule still spans the full run.
+    ///
+    /// # Errors
+    ///
+    /// See [`train`](SimsiamTrainer::train).
+    pub fn train_until(&mut self, dataset: &Dataset, stop_epoch: usize) -> Result<(), NnError> {
+        self.inner.train_until(dataset, stop_epoch)
     }
 
     /// One optimizer step; `None` when skipped due to explosion.
@@ -160,77 +220,32 @@ impl SimsiamTrainer {
     /// Propagates layer/optimizer errors, and [`NnError::Health`] when the
     /// health monitor has latched an abort.
     pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
-        crate::simclr::abort_check()?;
-        let _sp = cq_obs::span("train.step");
-        let mut gs = self.encoder.params().zero_grads();
-        let loss = match self.cfg.pipeline {
-            Pipeline::Baseline => self.branch_loss(batch, None, &mut gs)?,
-            Pipeline::CqC => {
-                let (q1, q2) = self
-                    .cfg
-                    .precision_set
-                    .as_ref()
-                    .ok_or_else(|| NnError::Param("CQ-C requires a precision set".into()))?
-                    .sample_pair(&mut self.rng);
-                let mut loss = self.branch_loss(batch, Some(q1), &mut gs)?;
-                loss += self.branch_loss(batch, Some(q2), &mut gs)?;
-                loss
-            }
-            other => {
-                return Err(NnError::Param(format!(
-                    "unsupported SimSiam pipeline {other}"
-                )))
-            }
-        };
-        let norm = gs.global_norm();
-        if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
-            self.history.exploded_steps += 1;
-            crate::simclr::record_exploded_step();
-            // Report the divergent values before skipping — this is what
-            // lets the health sentinels see the explosion.
-            crate::simclr::record_step_metrics(self.steps_taken, loss, norm, lr);
-            return Ok(None);
-        }
-        self.opt.step(self.encoder.params_mut(), &gs, lr)?;
-        self.history.steps += 1;
-        crate::simclr::record_step_metrics(self.steps_taken, loss, norm, lr);
-        Ok(Some((loss, norm)))
+        self.inner.step(batch, lr)
     }
 
-    /// Symmetric stop-grad loss at one (optional) precision: both views
-    /// are encoded once; each prediction regresses onto the *detached*
-    /// projection of the other view.
-    fn branch_loss(
-        &mut self,
-        batch: &TwoViewBatch,
-        q: Option<Precision>,
-        gs: &mut cq_nn::GradSet,
-    ) -> Result<f32, NnError> {
-        let ctx = match q {
-            Some(p) => ForwardCtx::train()
-                .with_quant(QuantConfig::uniform(p).with_mode(self.cfg.quant_mode)),
-            None => ForwardCtx::train(),
-        };
-        let o1 = self.encoder.forward(&batch.view1, &ctx)?;
-        let o2 = self.encoder.forward(&batch.view2, &ctx)?;
-        let (p1, c1) = self
-            .predictor
-            .forward(self.encoder.params(), &o1.projection, &ctx)?;
-        let (p2, c2) = self
-            .predictor
-            .forward(self.encoder.params(), &o2.projection, &ctx)?;
-        // D(p1, sg(z2)) — gradient flows through p1's branch only.
-        let l1 = byol_regression(&p1, &o2.projection)?;
-        let l2 = byol_regression(&p2, &o1.projection)?;
-        let dz1 = self
-            .predictor
-            .backward(self.encoder.params(), &c1, &l1.grad_a, gs)?;
-        self.encoder.backward_projection(&o1.trace, &dz1, gs)?;
-        let dz2 = self
-            .predictor
-            .backward(self.encoder.params(), &c2, &l2.grad_a, gs)?;
-        self.encoder.backward_projection(&o2.trace, &dz2, gs)?;
-        Ok(0.5 * (l1.loss + l2.loss))
+    /// Writes a checkpoint from which [`load_checkpoint`] resumes
+    /// bitwise-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] on write failure.
+    ///
+    /// [`load_checkpoint`]: SimsiamTrainer::load_checkpoint
+    pub fn save_checkpoint<W: Write>(&self, w: W) -> Result<(), NnError> {
+        self.inner.save_checkpoint(w)
+    }
+
+    /// Restores a checkpoint written by [`save_checkpoint`]. Fails with a
+    /// clean error (and no partial mutation) on corrupt or mismatched
+    /// files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`]/[`NnError::Param`] on invalid checkpoints.
+    ///
+    /// [`save_checkpoint`]: SimsiamTrainer::save_checkpoint
+    pub fn load_checkpoint<R: Read>(&mut self, r: R) -> Result<(), NnError> {
+        self.inner.load_checkpoint(r)
     }
 }
 

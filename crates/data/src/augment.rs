@@ -5,7 +5,7 @@
 //! directly on CHW `f32` images.
 
 use cq_tensor::Tensor;
-use rand::rngs::StdRng;
+
 use rand::Rng;
 
 /// Probabilities and strengths of each augmentation op.
@@ -110,7 +110,7 @@ impl AugmentPipeline {
     /// # Panics
     ///
     /// Panics if the image is not CHW with 3 channels.
-    pub fn apply(&self, img: &Tensor, rng: &mut StdRng) -> Tensor {
+    pub fn apply<R: Rng>(&self, img: &Tensor, rng: &mut R) -> Tensor {
         assert_eq!(img.rank(), 3, "augment expects [C, H, W]");
         assert_eq!(img.dims()[0], 3, "augment expects 3 channels");
         let mut out = random_resized_crop(img, self.cfg.crop_min_scale, rng);
@@ -137,7 +137,7 @@ impl AugmentPipeline {
     }
 
     /// Produces the two augmented views of Eq. 3.
-    pub fn two_views(&self, img: &Tensor, rng: &mut StdRng) -> (Tensor, Tensor) {
+    pub fn two_views<R: Rng>(&self, img: &Tensor, rng: &mut R) -> (Tensor, Tensor) {
         (self.apply(img, rng), self.apply(img, rng))
     }
 }
@@ -166,7 +166,7 @@ fn bilinear(img: &[f32], h: usize, w: usize, ch: usize, fy: f32, fx: f32) -> f32
 
 /// Random crop of area in `[min_scale, 1]`, bilinearly resized back to the
 /// original resolution.
-pub(crate) fn random_resized_crop(img: &Tensor, min_scale: f32, rng: &mut StdRng) -> Tensor {
+pub(crate) fn random_resized_crop<R: Rng>(img: &Tensor, min_scale: f32, rng: &mut R) -> Tensor {
     let (h, w) = dims(img);
     if min_scale >= 1.0 {
         return img.clone();
@@ -206,7 +206,7 @@ pub(crate) fn hflip(img: &Tensor) -> Tensor {
 }
 
 /// Random brightness / contrast / saturation jitter of strength `s`.
-pub(crate) fn color_jitter(img: &Tensor, s: f32, rng: &mut StdRng) -> Tensor {
+pub(crate) fn color_jitter<R: Rng>(img: &Tensor, s: f32, rng: &mut R) -> Tensor {
     let brightness = 1.0 + rng.gen_range(-s..s);
     let contrast = 1.0 + rng.gen_range(-s..s);
     let saturation = 1.0 + rng.gen_range(-s..s);
@@ -272,7 +272,7 @@ pub(crate) fn rotate(img: &Tensor, angle: f32) -> Tensor {
 
 /// Erases a random square (side = `frac` of the image side) to the image
 /// mean — cutout / random-erasing.
-pub(crate) fn cutout(img: &Tensor, frac: f32, rng: &mut StdRng) -> Tensor {
+pub(crate) fn cutout<R: Rng>(img: &Tensor, frac: f32, rng: &mut R) -> Tensor {
     let (h, w) = dims(img);
     let side = ((h.min(w)) as f32 * frac).round().max(1.0) as usize;
     if side >= h || side >= w {
@@ -321,6 +321,7 @@ pub(crate) fn blur3(img: &Tensor) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn test_img() -> Tensor {

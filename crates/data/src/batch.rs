@@ -2,8 +2,7 @@
 //! contrastive loader (augmentation parallelised over the batch).
 
 use cq_tensor::par::parallel_chunks_mut_pair;
-use cq_tensor::Tensor;
-use rand::rngs::StdRng;
+use cq_tensor::{CqRng, Tensor};
 use rand::{Rng, SeedableRng};
 
 use crate::{AugmentPipeline, Dataset};
@@ -29,7 +28,7 @@ impl<'a> BatchIter<'a> {
     /// # Panics
     ///
     /// Panics if `batch_size == 0`.
-    pub fn new(dataset: &'a Dataset, batch_size: usize, rng: &mut StdRng) -> Self {
+    pub fn new<R: Rng>(dataset: &'a Dataset, batch_size: usize, rng: &mut R) -> Self {
         assert!(batch_size > 0, "batch_size must be positive");
         BatchIter {
             dataset,
@@ -73,11 +72,13 @@ pub struct TwoViewBatch {
 ///
 /// Augmentation is parallelised over the batch; determinism is preserved
 /// by deriving an independent per-sample RNG seed from the loader's master
-/// stream before fanning out.
+/// stream before fanning out. The master stream is a serializable
+/// [`CqRng`] so a training run can checkpoint the loader mid-schedule and
+/// resume with bit-identical augmentations.
 #[derive(Debug)]
 pub struct TwoViewLoader {
     pipeline: AugmentPipeline,
-    rng: StdRng,
+    rng: CqRng,
     batch_size: usize,
 }
 
@@ -91,7 +92,7 @@ impl TwoViewLoader {
         assert!(batch_size > 0, "batch_size must be positive");
         TwoViewLoader {
             pipeline,
-            rng: StdRng::seed_from_u64(seed),
+            rng: CqRng::seed_from_u64(seed),
             batch_size,
         }
     }
@@ -99,6 +100,18 @@ impl TwoViewLoader {
     /// The configured batch size.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// The master RNG state, for checkpointing.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores a master RNG state captured by [`rng_state`].
+    ///
+    /// [`rng_state`]: TwoViewLoader::rng_state
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = CqRng::from_state(state);
     }
 
     /// Number of batches per epoch over `dataset`.
@@ -139,7 +152,7 @@ impl TwoViewLoader {
         // Each sample owns one disjoint chunk of each view buffer, so the
         // workers write lock-free.
         parallel_chunks_mut_pair(&mut v1, &mut v2, chw, chw, |i, c1, c2| {
-            let mut srng = StdRng::seed_from_u64(seeds[i]);
+            let mut srng = CqRng::seed_from_u64(seeds[i]);
             let img = dataset.image(indices[i]);
             let (a, b) = pipeline.two_views(img, &mut srng);
             c1.copy_from_slice(a.as_slice());
@@ -158,6 +171,7 @@ impl TwoViewLoader {
 mod tests {
     use super::*;
     use crate::{AugmentConfig, DatasetConfig};
+    use rand::rngs::StdRng;
 
     fn tiny() -> Dataset {
         Dataset::generate(&DatasetConfig::cifarlike().with_sizes(32, 8)).0
@@ -206,6 +220,24 @@ mod tests {
         let mut l1 = TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), 8, 1);
         let mut l2 = TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), 8, 2);
         assert_ne!(l1.epoch(&ds)[0].view1, l2.epoch(&ds)[0].view1);
+    }
+
+    #[test]
+    fn loader_rng_state_round_trip_resumes_stream() {
+        let ds = tiny();
+        let mut full = TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), 8, 42);
+        let mut part = TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), 8, 42);
+        full.epoch(&ds);
+        let e2_full = full.epoch(&ds);
+
+        // Simulate checkpoint/resume between epochs 1 and 2.
+        part.epoch(&ds);
+        let state = part.rng_state();
+        let mut resumed = TwoViewLoader::new(AugmentPipeline::new(AugmentConfig::simclr()), 8, 0);
+        resumed.set_rng_state(state);
+        let e2_resumed = resumed.epoch(&ds);
+        assert_eq!(e2_full[0].view1, e2_resumed[0].view1);
+        assert_eq!(e2_full[3].view2, e2_resumed[3].view2);
     }
 
     #[test]

@@ -398,7 +398,10 @@ impl Encoder {
         Ok(enc)
     }
 
-    fn state_tensors(&self) -> Vec<&Tensor> {
+    /// Non-parameter state tensors (BatchNorm running stats) of the
+    /// backbone followed by the projector, in a fixed traversal order.
+    /// Exposed so checkpointing can capture state that `params()` misses.
+    pub fn state_tensors(&self) -> Vec<&Tensor> {
         let mut v = self.backbone.state_tensors();
         if let Some(p) = &self.projector {
             v.extend(p.state_tensors());
@@ -406,7 +409,10 @@ impl Encoder {
         v
     }
 
-    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+    /// Mutable view of [`state_tensors`], for checkpoint restore.
+    ///
+    /// [`state_tensors`]: Encoder::state_tensors
+    pub fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
         let mut v = self.backbone.state_tensors_mut();
         if let Some(p) = &mut self.projector {
             v.extend(p.state_tensors_mut());

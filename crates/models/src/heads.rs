@@ -5,7 +5,7 @@
 //! network. Both are the same shape: `Linear → [BN] → ReLU → Linear`.
 
 use cq_nn::{BatchNorm1d, Linear, ParamSet, Relu, Sequential};
-use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Configuration of an MLP head.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +43,12 @@ impl HeadConfig {
 }
 
 /// Builds the `Linear → [BN] → ReLU → Linear` head described by `cfg`.
-pub fn mlp_head(cfg: &HeadConfig, name: &str, ps: &mut ParamSet, rng: &mut StdRng) -> Sequential {
+pub fn mlp_head<R: Rng>(
+    cfg: &HeadConfig,
+    name: &str,
+    ps: &mut ParamSet,
+    rng: &mut R,
+) -> Sequential {
     let mut head = Sequential::new();
     head.push(Linear::new(
         ps,
@@ -73,6 +78,7 @@ mod tests {
     use super::*;
     use cq_nn::{ForwardCtx, Layer};
     use cq_tensor::Tensor;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]

@@ -1,7 +1,7 @@
 //! Fully connected layer with optional bias and weight fake-quantization.
 
 use cq_tensor::Tensor;
-use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::{Cache, ForwardCtx, GradSet, Layer, NnError, ParamId, ParamSet, Result};
 
@@ -30,13 +30,13 @@ impl Linear {
     /// Creates a linear layer, registering its parameters in `ps`.
     ///
     /// Weights use Xavier-uniform init; the bias (if any) starts at zero.
-    pub fn new(
+    pub fn new<R: Rng>(
         ps: &mut ParamSet,
         name: &str,
         in_features: usize,
         out_features: usize,
         bias: bool,
-        rng: &mut StdRng,
+        rng: &mut R,
     ) -> Self {
         let w =
             Tensor::xavier_uniform(&[out_features, in_features], in_features, out_features, rng);
@@ -122,6 +122,7 @@ impl Layer for Linear {
 mod tests {
     use super::*;
     use cq_quant::{Precision, QuantConfig};
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn setup() -> (ParamSet, Linear) {

@@ -64,6 +64,23 @@ impl Sgd {
         self.cfg
     }
 
+    /// The momentum buffers, in parameter order (for checkpointing).
+    pub fn velocity(&self) -> &[Tensor] {
+        &self.velocity
+    }
+
+    /// Replaces the momentum buffers (checkpoint restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `velocity` does not match the existing buffers
+    /// in count or per-tensor shape; the optimizer is left untouched.
+    pub fn set_velocity(&mut self, velocity: Vec<Tensor>) -> Result<()> {
+        check_velocity_shapes("SGD", &self.velocity, &velocity)?;
+        self.velocity = velocity;
+        Ok(())
+    }
+
     /// Applies one update with the given (scheduled) learning rate.
     ///
     /// # Errors
@@ -197,6 +214,23 @@ impl Lars {
         Lars { cfg, velocity }
     }
 
+    /// The momentum buffers, in parameter order (for checkpointing).
+    pub fn velocity(&self) -> &[Tensor] {
+        &self.velocity
+    }
+
+    /// Replaces the momentum buffers (checkpoint restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `velocity` does not match the existing buffers
+    /// in count or per-tensor shape; the optimizer is left untouched.
+    pub fn set_velocity(&mut self, velocity: Vec<Tensor>) -> Result<()> {
+        check_velocity_shapes("LARS", &self.velocity, &velocity)?;
+        self.velocity = velocity;
+        Ok(())
+    }
+
     /// Applies one update with the given (scheduled) learning rate.
     ///
     /// # Errors
@@ -240,6 +274,28 @@ impl Lars {
         }
         Ok(())
     }
+}
+
+/// Shared shape validation for [`Sgd::set_velocity`] /
+/// [`Lars::set_velocity`].
+fn check_velocity_shapes(kind: &str, current: &[Tensor], incoming: &[Tensor]) -> Result<()> {
+    if incoming.len() != current.len() {
+        return Err(crate::NnError::Param(format!(
+            "{kind} has {} momentum buffers, checkpoint provides {}",
+            current.len(),
+            incoming.len()
+        )));
+    }
+    for (i, (cur, inc)) in current.iter().zip(incoming).enumerate() {
+        if cur.dims() != inc.dims() {
+            return Err(crate::NnError::Param(format!(
+                "{kind} momentum buffer {i} has dims {:?}, checkpoint provides {:?}",
+                cur.dims(),
+                inc.dims()
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Clips gradients to a maximum global norm; returns the pre-clip norm so
@@ -411,6 +467,52 @@ mod tests {
         ps2.add("b", Tensor::zeros(&[1]));
         let gs2 = ps2.zero_grads();
         assert!(opt.step(&mut ps2, &gs2, 0.1).is_err());
+    }
+
+    #[test]
+    fn velocity_round_trip_restores_momentum() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::zeros(&[2]));
+        let mut gs = ps.zero_grads();
+        gs.accumulate(id, &Tensor::from_slice(&[1.0, 2.0])).unwrap();
+        let cfg = SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            nesterov: false,
+        };
+        let mut opt = Sgd::new(&ps, cfg);
+        opt.step(&mut ps, &gs, 0.1).unwrap();
+
+        // Clone state mid-run, continue both copies: identical trajectories.
+        let saved = opt.velocity().to_vec();
+        let mut ps2 = ParamSet::new();
+        ps2.add("w", Tensor::zeros(&[2]));
+        ps2.copy_from(&ps).unwrap();
+        let mut opt2 = Sgd::new(&ps2, cfg);
+        opt2.set_velocity(saved).unwrap();
+        opt.step(&mut ps, &gs, 0.1).unwrap();
+        opt2.step(&mut ps2, &gs, 0.1).unwrap();
+        assert_eq!(ps.get(id).as_slice(), ps2.get(id).as_slice());
+    }
+
+    #[test]
+    fn set_velocity_rejects_mismatched_shapes() {
+        let mut ps = ParamSet::new();
+        ps.add("w", Tensor::zeros(&[2]));
+        let mut opt = Sgd::new(&ps, SgdConfig::default());
+        assert!(opt.set_velocity(vec![]).is_err(), "wrong count");
+        assert!(
+            opt.set_velocity(vec![Tensor::zeros(&[3])]).is_err(),
+            "wrong dims"
+        );
+        // A failed restore leaves the original buffers intact.
+        assert_eq!(opt.velocity().len(), 1);
+        assert_eq!(opt.velocity()[0].dims(), &[2]);
+
+        let mut lars = Lars::new(&ps, LarsConfig::default());
+        assert!(lars.set_velocity(vec![Tensor::zeros(&[3])]).is_err());
+        assert!(lars.set_velocity(vec![Tensor::zeros(&[2])]).is_ok());
     }
 
     #[test]

@@ -34,6 +34,16 @@ pub const QUANT_BITS: &str = "quant.bits";
 /// Dynamic range (`hi - lo`) seen by the fake-quantizer.
 pub const QUANT_CLIP_RANGE: &str = "quant.clip_range";
 
+/// Checkpoints written by the training engine (counter). Everything under
+/// the `ckpt.` prefix is run-lifecycle telemetry, which `cq-trace diff`
+/// reports but does not gate (a resumed run legitimately loads one
+/// checkpoint more than an uninterrupted one).
+pub const CKPT_SAVED: &str = "ckpt.saved";
+
+/// Checkpoints restored by the training engine (counter). See
+/// [`CKPT_SAVED`] for the `ckpt.` gating exemption.
+pub const CKPT_LOADED: &str = "ckpt.loaded";
+
 /// Per-epoch collapse probe: mean per-dimension standard deviation of the
 /// L2-normalized projector embeddings, scaled by `sqrt(d)` so a healthy
 /// (isotropic) representation sits near 1.0 and a collapsed one at 0.
@@ -65,6 +75,8 @@ mod tests {
             super::TRAIN_NONFINITE_STEPS,
             super::QUANT_BITS,
             super::QUANT_CLIP_RANGE,
+            super::CKPT_SAVED,
+            super::CKPT_LOADED,
             super::EMBED_FEATURE_STD,
             super::EMBED_POS_COSINE,
             super::EMBED_ALIGNMENT,

@@ -1,6 +1,5 @@
 //! Bit-width precisions and the precision sets of §4.1.
 
-use rand::rngs::StdRng;
 use rand::Rng;
 use std::fmt;
 
@@ -142,7 +141,7 @@ impl PrecisionSet {
     /// `quant.bits` observability histogram (a no-op without a sink), which
     /// is how runs verify the sampled distribution matches the configured
     /// set — the paper's core augmentation mechanism.
-    pub fn sample(&self, rng: &mut StdRng) -> Precision {
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Precision {
         let i = rng.gen_range(0..self.bits.len());
         let q = self.bits[i];
         cq_obs::histogram(cq_obs::names::QUANT_BITS, q as f64);
@@ -152,7 +151,7 @@ impl PrecisionSet {
     /// Samples the iteration's precision pair `(q1, q2)` — two independent
     /// uniform draws, exactly as the paper describes ("randomly selected
     /// from a precision set during training"). The two draws may coincide.
-    pub fn sample_pair(&self, rng: &mut StdRng) -> (Precision, Precision) {
+    pub fn sample_pair<R: Rng>(&self, rng: &mut R) -> (Precision, Precision) {
         (self.sample(rng), self.sample(rng))
     }
 
@@ -179,6 +178,7 @@ impl fmt::Display for PrecisionSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]

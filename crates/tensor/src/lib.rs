@@ -15,8 +15,10 @@
 //!   produce a strided view (e.g. [`Tensor::transpose`]) materialise the
 //!   result instead. This keeps every kernel simple and cache-friendly,
 //!   which matters more than view tricks at the model sizes used here.
-//! - All randomness is drawn from caller-provided [`rand::rngs::StdRng`]
-//!   instances so experiments are reproducible bit-for-bit.
+//! - All randomness is drawn from caller-provided [`rand::Rng`] instances
+//!   so experiments are reproducible bit-for-bit; state that must survive
+//!   checkpoint/resume uses the serializable [`CqRng`] (bit-compatible
+//!   with the vendored `StdRng`).
 //! - Parallelism goes through the persistent worker pool in [`par`]
 //!   (spawned once per process, parked between jobs); kernels parallelise
 //!   over row bands or batch elements on a fixed chunk grid, so results
@@ -51,6 +53,8 @@ mod tensor;
 pub use conv::{col2im, depthwise_conv2d, depthwise_conv2d_backward, im2col, Conv2dSpec};
 pub use error::TensorError;
 pub use io::{read_tensor, write_tensor};
+pub use rng::CqRng;
+
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
     max_pool2d_backward,

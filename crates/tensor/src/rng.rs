@@ -1,16 +1,87 @@
-//! Random tensor constructors and weight-initialisation schemes.
+//! Random tensor constructors, weight-initialisation schemes, and the
+//! serializable [`CqRng`] generator used by everything that must survive
+//! a checkpoint/resume cycle.
 //!
-//! All constructors take an explicit `&mut StdRng` so every experiment in
-//! the reproduction is seeded and bit-reproducible.
+//! All constructors take an explicit `&mut R` where `R: Rng`, so every
+//! experiment in the reproduction is seeded and bit-reproducible. The
+//! vendored `StdRng` still works everywhere, but training-time state that
+//! has to be checkpointed uses [`CqRng`], whose internal state is
+//! extractable ([`CqRng::state`]) and restorable ([`CqRng::from_state`]).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::{Shape, Tensor};
 
+/// Serializable xoshiro256++ generator, bit-compatible with the vendored
+/// `rand::rngs::StdRng`.
+///
+/// `StdRng` hides its state, which makes exact checkpoint/resume
+/// impossible; `CqRng` implements the *same* algorithm (splitmix64
+/// seeding, xoshiro256++ output) with the state exposed, so a stream
+/// seeded identically is bit-identical to `StdRng`'s — the invariant the
+/// golden-trace tests rely on, pinned by `matches_stdrng_stream` below.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CqRng {
+    s: [u64; 4],
+}
+
+impl CqRng {
+    /// Returns the full internal state, for checkpointing.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured [`state`].
+    ///
+    /// The all-zero state is a fixed point of xoshiro256++ (the stream is
+    /// constant zero); it can never be produced by seeding, so loaders
+    /// treat it as evidence of corruption and must reject it before
+    /// calling this.
+    ///
+    /// [`state`]: CqRng::state
+    pub fn from_state(s: [u64; 4]) -> Self {
+        CqRng { s }
+    }
+}
+
+impl SeedableRng for CqRng {
+    /// Expands the seed through splitmix64, exactly as `StdRng` does.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        CqRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for CqRng {
+    /// xoshiro256++ output function, identical to the vendored `StdRng`.
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
 impl Tensor {
     /// Tensor of i.i.d. uniform samples from `[lo, hi)`.
-    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut StdRng) -> Self {
+    pub fn rand_uniform<R: Rng>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
         let shape = Shape::new(shape);
         let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
         // cq-check: allow — buffer length matches dims by construction
@@ -20,7 +91,7 @@ impl Tensor {
     /// Tensor of i.i.d. standard-normal samples scaled by `std` and shifted
     /// by `mean` (Box–Muller transform; no external distribution crate
     /// needed).
-    pub fn randn(shape: &[usize], mean: f32, std: f32, rng: &mut StdRng) -> Self {
+    pub fn randn<R: Rng>(shape: &[usize], mean: f32, std: f32, rng: &mut R) -> Self {
         let shape = Shape::new(shape);
         let n = shape.len();
         let mut data = Vec::with_capacity(n);
@@ -40,7 +111,7 @@ impl Tensor {
 
     /// Kaiming/He normal initialisation for a weight tensor with the given
     /// fan-in: `N(0, sqrt(2 / fan_in))`. Standard for ReLU networks.
-    pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Self {
+    pub fn kaiming_normal<R: Rng>(shape: &[usize], fan_in: usize, rng: &mut R) -> Self {
         let std = (2.0 / fan_in.max(1) as f32).sqrt();
         Tensor::randn(shape, 0.0, std, rng)
     }
@@ -48,11 +119,11 @@ impl Tensor {
     /// Xavier/Glorot uniform initialisation:
     /// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`. Used for linear
     /// projection heads.
-    pub fn xavier_uniform(
+    pub fn xavier_uniform<R: Rng>(
         shape: &[usize],
         fan_in: usize,
         fan_out: usize,
-        rng: &mut StdRng,
+        rng: &mut R,
     ) -> Self {
         let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
         Tensor::rand_uniform(shape, -a, a, rng)
@@ -60,7 +131,7 @@ impl Tensor {
 
     /// Returns a random permutation of `0..n` (Fisher–Yates), used for
     /// epoch shuffling.
-    pub fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    pub fn permutation<R: Rng>(n: usize, rng: &mut R) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
             let j = rng.gen_range(0..=i);
@@ -73,6 +144,7 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]
@@ -138,5 +210,43 @@ mod tests {
         let t = Tensor::randn(&[7], 0.0, 1.0, &mut rng);
         assert_eq!(t.len(), 7);
         assert!(t.is_finite());
+    }
+
+    /// The checkpointing design assumes `CqRng` is a drop-in, bit-exact
+    /// replacement for the vendored `StdRng` (same splitmix64 seeding,
+    /// same xoshiro256++ output). If this ever breaks, every golden trace
+    /// shifts — so pin it.
+    #[test]
+    fn cqrng_matches_stdrng_stream() {
+        for seed in [0u64, 1, 7, 42, u64::MAX] {
+            let mut std = StdRng::seed_from_u64(seed);
+            let mut cq = CqRng::seed_from_u64(seed);
+            for _ in 0..64 {
+                assert_eq!(std.next_u64(), cq.next_u64(), "seed {seed}");
+            }
+            // Derived draws go through the same Rng plumbing.
+            assert_eq!(std.gen_range(0..1000usize), cq.gen_range(0..1000usize));
+            assert_eq!(std.gen_range(-1.0f32..1.0), cq.gen_range(-1.0f32..1.0));
+            assert_eq!(std.gen::<u64>(), cq.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn cqrng_state_round_trips_mid_stream() {
+        let mut a = CqRng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = CqRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn cqrng_seeding_never_produces_all_zero_state() {
+        for seed in [0u64, 1, u64::MAX] {
+            assert_ne!(CqRng::seed_from_u64(seed).state(), [0u64; 4]);
+        }
     }
 }

@@ -247,6 +247,16 @@ const SCHED_COUNTER_PREFIX: &str = "pool.";
 /// regressions are caught by the span section with its noise floor).
 const TIMING_METRIC_SUFFIX: &str = "_per_sec";
 
+/// Checkpoint lifecycle telemetry (`ckpt.*` spans and counters) only
+/// exists in runs that save or restore a checkpoint. An uninterrupted
+/// reference trace has none of it, so a kill-and-resume trace diffed
+/// against the reference would show an infinite delta on `ckpt.load` /
+/// `ckpt.saved` no matter how exact the resume was. [`diff`] reports
+/// these but never gates on them; the actual resume guarantees — loss
+/// series, bit-width histograms, workload counters — stay strictly
+/// gated.
+const CKPT_PREFIX: &str = "ckpt.";
+
 /// Compares two traces for CI gating. Span times regress when trace B is
 /// slower than trace A by more than `fail_over_pct` percent (spans whose
 /// larger total is under `min_ns` are ignored as timing noise; speedups
@@ -259,7 +269,9 @@ const TIMING_METRIC_SUFFIX: &str = "_per_sec";
 /// (`*_per_sec`) are timing, reported but not gated. Histogram
 /// distributions (e.g. sampled bit-widths) fail when the total-variation
 /// distance between the bucket shares exceeds `fail_over_pct` percentage
-/// points.
+/// points. Checkpoint lifecycle telemetry (`ckpt.*` spans and counters)
+/// is reported but never gated in either section (see [`CKPT_PREFIX`]):
+/// it only exists on the resumed side of a kill-and-resume comparison.
 pub fn diff(a: &[Record], b: &[Record], fail_over_pct: f64, min_ns: u64) -> DiffResult {
     let mut report = String::new();
     let mut regressions = Vec::new();
@@ -295,8 +307,12 @@ pub fn diff(a: &[Record], b: &[Record], fail_over_pct: f64, min_ns: u64) -> Diff
         } else {
             f64::INFINITY
         };
-        let mark = if delta_pct > fail_over_pct {
+        let lifecycle = name.starts_with(CKPT_PREFIX);
+        let failed = !lifecycle && delta_pct > fail_over_pct;
+        let mark = if failed {
             " REGRESSION"
+        } else if lifecycle {
+            " (lifecycle, not gated)"
         } else {
             ""
         };
@@ -305,7 +321,7 @@ pub fn diff(a: &[Record], b: &[Record], fail_over_pct: f64, min_ns: u64) -> Diff
             va as f64 / 1e6,
             vb as f64 / 1e6
         ));
-        if delta_pct > fail_over_pct {
+        if failed {
             regressions.push(format!("span {name}: {delta_pct:+.1}% time"));
         }
     }
@@ -332,14 +348,18 @@ pub fn diff(a: &[Record], b: &[Record], fail_over_pct: f64, min_ns: u64) -> Diff
                 cb.get(name).copied().unwrap_or(0),
             );
             let delta_pct = 100.0 * (vb as f64 - va as f64) / (va.max(1) as f64);
-            let sched = name.starts_with(SCHED_COUNTER_PREFIX);
-            let failed = !sched && delta_pct.abs() > fail_over_pct;
+            let exempt_mark = if name.starts_with(SCHED_COUNTER_PREFIX) {
+                Some(" (sched, not gated)")
+            } else if name.starts_with(CKPT_PREFIX) {
+                Some(" (lifecycle, not gated)")
+            } else {
+                None
+            };
+            let failed = exempt_mark.is_none() && delta_pct.abs() > fail_over_pct;
             let mark = if failed {
                 " REGRESSION"
-            } else if sched {
-                " (sched, not gated)"
             } else {
-                ""
+                exempt_mark.unwrap_or("")
             };
             report.push_str(&format!(
                 "  {name:<36} {va:>14} -> {vb:>14}  {delta_pct:>+8.1}%{mark}\n"
@@ -598,6 +618,34 @@ mod tests {
 
         let a = vec![counter("tensor.matmul.flops", 10)];
         let b = vec![counter("tensor.matmul.flops", 10_000_000)];
+        let res = diff(&a, &b, 30.0, 1_000_000);
+        assert_eq!(res.regressions.len(), 1, "{:?}", res.regressions);
+    }
+
+    #[test]
+    fn diff_reports_but_never_gates_ckpt_lifecycle() {
+        // A resumed run has ckpt.load / ckpt.save spans and ckpt.* counters
+        // that the uninterrupted reference run lacks entirely (0 -> N, an
+        // infinite span delta). The kill-and-resume CI gate diffs exactly
+        // that shape, so ckpt.* must report without gating.
+        let a: Vec<Record> = vec![span("train.step", 100_000_000)];
+        let b = vec![
+            span("train.step", 100_000_000),
+            span("ckpt.load", 50_000_000),
+            span("ckpt.save", 50_000_000),
+            counter("ckpt.loaded", 1),
+            counter("ckpt.saved", 1),
+        ];
+        let res = diff(&a, &b, 30.0, 1_000_000);
+        assert!(res.regressions.is_empty(), "{:?}", res.regressions);
+        assert!(
+            res.report.contains("ckpt.load") && res.report.contains("(lifecycle, not gated)"),
+            "{}",
+            res.report
+        );
+
+        // A non-ckpt span appearing only in trace B still gates.
+        let b = vec![span("train.step", 100_000_000), span("extra", 50_000_000)];
         let res = diff(&a, &b, 30.0, 1_000_000);
         assert_eq!(res.regressions.len(), 1, "{:?}", res.regressions);
     }

@@ -14,6 +14,9 @@
 //!   times (with a noise floor; only slowdowns fail), counter totals, and
 //!   histogram distributions (total-variation distance on bucket shares,
 //!   e.g. the sampled bit-width mix).
+//! - [`record::merge`] — stitches the traces of consecutive process
+//!   segments of one run (kill-and-resume) into a single trace that
+//!   [`analyze::diff`] can gate against an uninterrupted reference.
 //!
 //! The parser ([`record`]) is hand-rolled for the flat cq-obs schema —
 //! no JSON dependency, per the repo's offline-only build constraint.
@@ -25,7 +28,7 @@ pub mod record;
 pub mod tree;
 
 pub use analyze::{check, diff, summarize, CheckResult, DiffResult};
-pub use record::{parse_trace, ParseError, Record};
+pub use record::{merge, parse_trace, render_trace, ParseError, Record};
 pub use tree::{build_span_tree, render_span_tree, SpanNode};
 
 /// Reads and parses a trace file.

@@ -4,7 +4,12 @@
 //! cq-trace summarize <trace.jsonl>
 //! cq-trace check <trace.jsonl>
 //! cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]
+//! cq-trace merge <out.jsonl> <seg1.jsonl> <seg2.jsonl> [...]
 //! ```
+//!
+//! `merge` stitches the traces of consecutive process segments of one
+//! run (kill-and-resume) into a single trace: counter totals are summed
+//! per name (last flush per segment), everything else is concatenated.
 //!
 //! Exit codes: 0 = pass, 1 = Critical verdict (`check`) or regression
 //! (`diff`), 2 = usage or I/O/parse error.
@@ -15,7 +20,7 @@ use cq_obs::health::Verdict;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cq-trace summarize <trace.jsonl>\n  cq-trace check <trace.jsonl>\n  cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]"
+        "usage:\n  cq-trace summarize <trace.jsonl>\n  cq-trace check <trace.jsonl>\n  cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]\n  cq-trace merge <out.jsonl> <seg1.jsonl> <seg2.jsonl> [...]"
     );
     ExitCode::from(2)
 }
@@ -97,6 +102,38 @@ fn main() -> ExitCode {
                     res.regressions.len()
                 );
                 ExitCode::FAILURE
+            }
+        }
+        "merge" => {
+            // out path + at least two segments to stitch.
+            if args.len() < 4 {
+                return usage();
+            }
+            let out_path = &args[1];
+            let mut segments = Vec::new();
+            for path in &args[2..] {
+                match cq_trace::load_trace(path) {
+                    Ok(records) => segments.push(records),
+                    Err(e) => {
+                        eprintln!("cq-trace: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let merged = cq_trace::merge(&segments);
+            let n = merged.len();
+            match std::fs::write(out_path, cq_trace::render_trace(&merged)) {
+                Ok(()) => {
+                    println!(
+                        "cq-trace merge: {} segment(s) -> {out_path} ({n} records)",
+                        segments.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cq-trace: cannot write {out_path}: {e}");
+                    ExitCode::from(2)
+                }
             }
         }
         _ => usage(),

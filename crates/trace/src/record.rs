@@ -5,6 +5,7 @@
 //! full JSON library would be a dependency for nothing; this parser
 //! handles exactly that subset and rejects everything else loudly.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One parsed trace line, mirroring `cq_obs::Event` with owned names
@@ -298,6 +299,134 @@ impl Record {
     }
 }
 
+/// Escapes `s` as a JSON string literal onto `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a value field the way the cq-obs sink does: non-finite values
+/// become `null` (which [`Record::parse`] reads back as NaN).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Record {
+    /// Serializes the record as one cq-obs JSONL line (no trailing
+    /// newline), the exact inverse of [`Record::parse`] — except that
+    /// non-finite values collapse to `null`/NaN, matching what the live
+    /// sink emits.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Record::Span { name, depth, ns } => {
+                out.push_str("{\"t\":\"span\",\"name\":");
+                push_json_str(&mut out, name);
+                out.push_str(&format!(",\"depth\":{depth},\"ns\":{ns}}}"));
+            }
+            Record::Counter { name, total } => {
+                out.push_str("{\"t\":\"counter\",\"name\":");
+                push_json_str(&mut out, name);
+                out.push_str(&format!(",\"total\":{total}}}"));
+            }
+            Record::Hist { name, value } => {
+                out.push_str("{\"t\":\"hist\",\"name\":");
+                push_json_str(&mut out, name);
+                out.push_str(&format!(",\"v\":{}}}", json_num(*value)));
+            }
+            Record::Metric { name, step, value } => {
+                out.push_str("{\"t\":\"metric\",\"name\":");
+                push_json_str(&mut out, name);
+                out.push_str(&format!(",\"step\":{step},\"v\":{}}}", json_num(*value)));
+            }
+            Record::Warn { message } => {
+                out.push_str("{\"t\":\"warn\",\"msg\":");
+                push_json_str(&mut out, message);
+                out.push('}');
+            }
+            Record::Health {
+                detector,
+                verdict,
+                step,
+                value,
+                message,
+            } => {
+                out.push_str("{\"t\":\"health\",\"detector\":");
+                push_json_str(&mut out, detector);
+                out.push_str(",\"verdict\":");
+                push_json_str(&mut out, verdict);
+                out.push_str(&format!(",\"step\":{step},\"v\":{},", json_num(*value)));
+                out.push_str("\"msg\":");
+                push_json_str(&mut out, message);
+                out.push('}');
+            }
+        }
+        out
+    }
+}
+
+/// Renders a trace back to `.jsonl` text (one record per line, trailing
+/// newline included when non-empty).
+pub fn render_trace(records: &[Record]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&rec.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+/// Merges traces from consecutive process segments of one logical run —
+/// e.g. a training run killed after saving a checkpoint plus its resumed
+/// continuation — into a single trace comparable against an
+/// uninterrupted reference with [`crate::diff`].
+///
+/// Counters need care: the sink emits them as *running process totals at
+/// flush time*, so within one file the last total per name wins, and
+/// each process segment restarts from zero. The merge takes each file's
+/// last total per counter name, sums across files, and appends one
+/// combined counter record per name (sorted) after all non-counter
+/// records, which are concatenated in file order.
+pub fn merge(traces: &[Vec<Record>]) -> Vec<Record> {
+    let mut out = Vec::new();
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for trace in traces {
+        let mut last: BTreeMap<&str, u64> = BTreeMap::new();
+        for rec in trace {
+            match rec {
+                Record::Counter { name, total } => {
+                    last.insert(name, *total);
+                }
+                other => out.push(other.clone()),
+            }
+        }
+        for (name, total) in last {
+            *totals.entry(name.to_string()).or_insert(0) += total;
+        }
+    }
+    for (name, total) in totals {
+        out.push(Record::Counter { name, total });
+    }
+    out
+}
+
 /// Parses a whole trace (text of a `.jsonl` file), skipping blank lines.
 pub fn parse_trace(text: &str) -> Result<Vec<Record>, ParseError> {
     let mut records = Vec::new();
@@ -397,5 +526,115 @@ mod tests {
             Ok(Record::Warn { message }) => assert_eq!(message, "café"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let records = vec![
+            Record::Span {
+                name: "train.step".to_string(),
+                depth: 1,
+                ns: 42,
+            },
+            Record::Counter {
+                name: "ckpt.loaded".to_string(),
+                total: 1,
+            },
+            Record::Hist {
+                name: "quant.bits".to_string(),
+                value: 8.0,
+            },
+            Record::Metric {
+                name: "train.loss".to_string(),
+                step: 3,
+                value: 4.125,
+            },
+            Record::Warn {
+                message: "a \"quoted\"\nmessage\twith\u{1}control".to_string(),
+            },
+            Record::Health {
+                detector: "nan_sentinel".to_string(),
+                verdict: "critical".to_string(),
+                step: 3,
+                value: 0.5,
+                message: "loss is NaN".to_string(),
+            },
+        ];
+        let text = render_trace(&records);
+        let back = parse_trace(&text).expect("rendered trace parses");
+        assert_eq!(records, back);
+
+        // Non-finite values collapse to null and parse back as NaN.
+        let nan = Record::Metric {
+            name: "train.loss".to_string(),
+            step: 0,
+            value: f64::NAN,
+        };
+        assert!(nan.to_jsonl().contains("\"v\":null"), "{}", nan.to_jsonl());
+        match Record::parse(&nan.to_jsonl()) {
+            Ok(Record::Metric { value, .. }) => assert!(value.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_sums_last_counter_totals_and_concatenates_the_rest() {
+        // Segment 1 flushes twice (e.g. stop-after-save then process
+        // exit): only the last running total per counter counts.
+        let seg1 = vec![
+            Record::Span {
+                name: "train.step".to_string(),
+                depth: 0,
+                ns: 10,
+            },
+            Record::Counter {
+                name: "tensor.matmul.flops".to_string(),
+                total: 100,
+            },
+            Record::Counter {
+                name: "tensor.matmul.flops".to_string(),
+                total: 250,
+            },
+            Record::Counter {
+                name: "ckpt.saved".to_string(),
+                total: 1,
+            },
+        ];
+        // Segment 2 (resumed process) restarts its totals from zero.
+        let seg2 = vec![
+            Record::Metric {
+                name: "train.loss".to_string(),
+                step: 3,
+                value: 2.5,
+            },
+            Record::Counter {
+                name: "tensor.matmul.flops".to_string(),
+                total: 300,
+            },
+            Record::Counter {
+                name: "ckpt.loaded".to_string(),
+                total: 1,
+            },
+        ];
+        let merged = merge(&[seg1, seg2]);
+        let counters: Vec<(&str, u64)> = merged
+            .iter()
+            .filter_map(|r| match r {
+                Record::Counter { name, total } => Some((name.as_str(), *total)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            counters,
+            vec![
+                ("ckpt.loaded", 1),
+                ("ckpt.saved", 1),
+                ("tensor.matmul.flops", 550),
+            ]
+        );
+        // Non-counter records are concatenated in file order, before the
+        // combined counters.
+        assert!(matches!(&merged[0], Record::Span { name, .. } if name == "train.step"));
+        assert!(matches!(&merged[1], Record::Metric { name, .. } if name == "train.loss"));
     }
 }
