@@ -8,7 +8,7 @@ use cq_models::plan::{encoder_plan, mlp_head_plan, NOMINAL_INPUT};
 use cq_models::{Arch, HeadConfig};
 use cq_quant::PrecisionSet;
 
-use crate::Violation;
+use crate::analysis::Finding;
 
 /// Summary of one successfully validated encoder configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,17 +47,13 @@ fn table_pset() -> Option<PrecisionSet> {
 /// architectures, pre-training configs for every pipeline, and the
 /// detection-transfer head.
 ///
-/// Returns the per-config reports plus any violations; an empty
-/// violation list means the whole experiment grid is statically sound.
-pub fn validate_builtin() -> (Vec<ConfigReport>, Vec<Violation>) {
+/// Returns the per-config reports plus any findings; an empty finding
+/// list means the whole experiment grid is statically sound.
+pub fn validate_builtin() -> (Vec<ConfigReport>, Vec<Finding>) {
     let mut reports = Vec::new();
     let mut violations = Vec::new();
     let mut fail = |label: &str, msg: String| {
-        violations.push(Violation {
-            pass: "configs",
-            location: label.to_string(),
-            message: msg,
-        });
+        violations.push(Finding::error("configs", "config-invalid", label, 0, msg));
     };
 
     for (scale, sname) in scales() {
@@ -138,21 +134,25 @@ pub fn validate_builtin() -> (Vec<ConfigReport>, Vec<Violation>) {
 /// Negative checks: each deliberately broken configuration must be
 /// *rejected*, with the error attributed to the offending layer. A
 /// passing validator that silently accepts these has rotted.
-pub fn negative_checks() -> Vec<Violation> {
+pub fn negative_checks() -> Vec<Finding> {
     let mut violations = Vec::new();
     let mut expect_reject = |label: &str, outcome: Result<String, String>| match outcome {
-        Ok(accepted) => violations.push(Violation {
-            pass: "negative",
-            location: label.to_string(),
-            message: format!("broken config was accepted: {accepted}"),
-        }),
+        Ok(accepted) => violations.push(Finding::error(
+            "negative",
+            "broken-config-accepted",
+            label,
+            0,
+            format!("broken config was accepted: {accepted}"),
+        )),
         Err(msg) => {
             if msg.is_empty() {
-                violations.push(Violation {
-                    pass: "negative",
-                    location: label.to_string(),
-                    message: "rejected, but without the expected attribution".into(),
-                });
+                violations.push(Finding::error(
+                    "negative",
+                    "rejection-unattributed",
+                    label,
+                    0,
+                    "rejected, but without the expected attribution",
+                ));
             }
         }
     };

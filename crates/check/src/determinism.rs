@@ -1,0 +1,372 @@
+//! Determinism auditor: token-level rules that keep the numeric paths
+//! bitwise-reproducible.
+//!
+//! The repo's reproducibility story (golden traces, CQTS resume, the
+//! thread-determinism tests) only holds if numeric code avoids the three
+//! classic entropy leaks: hash-order iteration, wall-clock-derived
+//! values, and ad-hoc float reduction orders — plus RNG construction
+//! outside the blessed plumbing. Four rules, each suppressible with a
+//! `cq-allow(<lint>): <reason>` where a site is genuinely benign:
+//!
+//! | lint              | flags                                          |
+//! |-------------------|------------------------------------------------|
+//! | `det-hash-iter`   | `HashMap`/`HashSet` in numeric library code — iteration order varies per process (SipHash keys are randomized), so any fold over one is run-dependent. Use `BTreeMap`/`BTreeSet` or an indexed `Vec`. |
+//! | `det-time-source` | `SystemTime::now`/`Instant::now` in numeric library code — a clock read adjacent to seeded numerics is how "seeded" runs drift. Telemetry layers (cq-obs, cq-trace, cq-bench) are out of scope. |
+//! | `det-float-accum` | `.sum::<f32/f64>()` or `.fold(0.0, …)` outside `crates/tensor/src/reduce.rs` — float addition is non-associative, so accumulation order is part of the numeric contract; the blessed pairwise/chunk-ordered reducers pin it. |
+//! | `det-rng-ctor`    | entropy-seeded RNGs (`thread_rng`, `from_entropy`) anywhere including tests, and seeded constructors (`StdRng::…`, `CqRng::…`) in numeric library code outside `crates/core/src/engine.rs` and the `crates/data` loader plumbing — scattered RNG streams cannot be captured by checkpoints. |
+//!
+//! Numeric crates: tensor, nn, quant, models, data, core, detect, eval.
+//! The telemetry/analysis layers (obs, trace, bench, check) are excluded
+//! — they sit outside the reproducible numeric core by design.
+
+use crate::analysis::{Analysis, Finding, Pat, SourceFile};
+use crate::lexer::TokenKind;
+
+/// Pass name the determinism rules report under.
+const PASS: &str = "determinism";
+
+/// Crates whose library code must be bitwise-reproducible.
+const NUMERIC_CRATES: [&str; 8] = [
+    "tensor", "nn", "quant", "models", "data", "core", "detect", "eval",
+];
+
+/// The one file allowed to own accumulation order.
+const REDUCE_RS: &str = "crates/tensor/src/reduce.rs";
+
+/// The training engine owns the run's RNG lifecycle.
+const ENGINE_RS: &str = "crates/core/src/engine.rs";
+
+/// Loader plumbing derives per-worker streams from the run seed.
+const DATA_SRC: &str = "crates/data/src/";
+
+/// Whether `rel` is a library source of a numeric crate.
+fn in_numeric_crate(rel: &str) -> bool {
+    NUMERIC_CRATES
+        .iter()
+        .any(|c| rel.contains(&format!("crates/{c}/src/")))
+}
+
+/// det-hash-iter: `HashMap`/`HashSet` in numeric library code.
+pub struct DetHashIter;
+
+impl Analysis for DetHashIter {
+    fn lint(&self) -> &'static str {
+        "det-hash-iter"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        if !in_numeric_crate(&file.rel) {
+            return;
+        }
+        for i in 0..file.code.len() {
+            let name = file.code_text(i);
+            if name != "HashMap" && name != "HashSet" {
+                continue;
+            }
+            if file.code_tok(i).is_none_or(|t| t.kind != TokenKind::Ident) {
+                continue;
+            }
+            let line = file.code_tok(i).map_or(0, |t| t.line);
+            if file.is_test_line(line) {
+                continue;
+            }
+            out.push(Finding::error(
+                PASS,
+                self.lint(),
+                file.rel.clone(),
+                line,
+                format!(
+                    "{name} in numeric code: iteration order is randomized per \
+                     process; use BTreeMap/BTreeSet or an indexed Vec, or add \
+                     `cq-allow(det-hash-iter): <reason>`"
+                ),
+            ));
+        }
+    }
+}
+
+/// det-time-source: `SystemTime::now`/`Instant::now` in numeric library
+/// code.
+pub struct DetTimeSource;
+
+impl Analysis for DetTimeSource {
+    fn lint(&self) -> &'static str {
+        "det-time-source"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        if !in_numeric_crate(&file.rel) {
+            return;
+        }
+        for i in 0..file.code.len() {
+            let hit = file.matches(
+                i,
+                &[
+                    Pat::IdentIn(&["SystemTime", "Instant"]),
+                    Pat::PathSep,
+                    Pat::Ident("now"),
+                ],
+            );
+            if !hit {
+                continue;
+            }
+            let line = file.code_tok(i).map_or(0, |t| t.line);
+            if file.is_test_line(line) {
+                continue;
+            }
+            out.push(Finding::error(
+                PASS,
+                self.lint(),
+                file.rel.clone(),
+                line,
+                format!(
+                    "{}::now in numeric code: wall-clock values adjacent to \
+                     seeded numerics make runs drift; keep clocks in the \
+                     telemetry layer, or add `cq-allow(det-time-source): <reason>` \
+                     if the value provably never feeds a computation",
+                    file.code_text(i)
+                ),
+            ));
+        }
+    }
+}
+
+/// det-float-accum: float accumulation outside the blessed reducers.
+pub struct DetFloatAccum;
+
+impl Analysis for DetFloatAccum {
+    fn lint(&self) -> &'static str {
+        "det-float-accum"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        if !in_numeric_crate(&file.rel) || file.rel.ends_with(REDUCE_RS) {
+            return;
+        }
+        for i in 0..file.code.len() {
+            // `.sum::<f32>()` / `.sum::<f64>()`
+            let turbo_sum = file.matches(
+                i,
+                &[
+                    Pat::Punct('.'),
+                    Pat::Ident("sum"),
+                    Pat::PathSep,
+                    Pat::Punct('<'),
+                    Pat::IdentIn(&["f32", "f64"]),
+                ],
+            );
+            // `.fold(0.0, …)` — a float-zero seed marks a float reduction.
+            let float_fold = file
+                .matches(i, &[Pat::Punct('.'), Pat::Ident("fold"), Pat::Punct('(')])
+                && file.code_tok(i + 3).is_some_and(|t| {
+                    t.kind == TokenKind::Number && t.text(file.text).contains('.')
+                });
+            if !turbo_sum && !float_fold {
+                continue;
+            }
+            let line = file.code_tok(i).map_or(0, |t| t.line);
+            if file.is_test_line(line) {
+                continue;
+            }
+            out.push(Finding::error(
+                PASS,
+                self.lint(),
+                file.rel.clone(),
+                line,
+                format!(
+                    "float accumulation outside {REDUCE_RS}: summation order is \
+                     part of the numeric contract; use cq_tensor's pairwise/ \
+                     chunk-ordered reducers, or add `cq-allow(det-float-accum): \
+                     <reason>` when the order is fixed by construction"
+                ),
+            ));
+        }
+    }
+}
+
+/// det-rng-ctor: RNG construction outside the blessed plumbing.
+pub struct DetRngCtor;
+
+impl Analysis for DetRngCtor {
+    fn lint(&self) -> &'static str {
+        "det-rng-ctor"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        let rel = &file.rel;
+        for i in 0..file.code.len() {
+            let line = file.code_tok(i).map_or(0, |t| t.line);
+
+            // Entropy-seeded RNGs are banned everywhere, tests included —
+            // a test that passes under one OS entropy draw and fails under
+            // another is worse than no test.
+            let entropy = file.code_tok(i).is_some_and(|t| {
+                t.kind == TokenKind::Ident
+                    && matches!(t.text(file.text), "thread_rng" | "from_entropy")
+            });
+            if entropy {
+                out.push(Finding::error(
+                    PASS,
+                    self.lint(),
+                    rel.clone(),
+                    line,
+                    format!(
+                        "entropy-seeded RNG ({}) — every stream must derive from \
+                         the run seed; construct from a seed instead",
+                        file.code_text(i)
+                    ),
+                ));
+                continue;
+            }
+
+            // Seeded constructors are confined to the engine and loader
+            // plumbing: scattered streams cannot be captured by CQTS
+            // checkpoints, so bitwise resume breaks silently.
+            if rel.ends_with(ENGINE_RS) || rel.contains(DATA_SRC) || !in_numeric_crate(rel) {
+                continue;
+            }
+            if file.is_test_line(line) {
+                continue;
+            }
+            let seeded = file.matches(
+                i,
+                &[
+                    Pat::IdentIn(&["StdRng", "CqRng"]),
+                    Pat::PathSep,
+                    Pat::IdentIn(&["seed_from_u64", "from_seed", "new"]),
+                ],
+            );
+            if !seeded {
+                continue;
+            }
+            out.push(Finding::error(
+                PASS,
+                self.lint(),
+                rel.clone(),
+                line,
+                format!(
+                    "RNG constructed outside {ENGINE_RS}/loader plumbing: streams \
+                     born here are invisible to checkpoints, breaking bitwise \
+                     resume; thread an Rng in from the engine, or add \
+                     `cq-allow(det-rng-ctor): <reason>` (e.g. a fixed-seed \
+                     utility whose stream is not part of training state)"
+                ),
+            ));
+        }
+    }
+}
+
+/// The four determinism rules, ready to run alongside the source lints.
+pub fn determinism_analyses() -> Vec<Box<dyn Analysis>> {
+    vec![
+        Box::new(DetHashIter),
+        Box::new(DetTimeSource),
+        Box::new(DetFloatAccum),
+        Box::new(DetRngCtor),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_file;
+
+    fn check_one(rel: &str, src: &str, a: &dyn Analysis) -> Vec<Finding> {
+        let file = SourceFile::parse(rel, src);
+        let mut out = Vec::new();
+        analyze_file(&file, &[a], &mut out);
+        out
+    }
+
+    fn unsuppressed(findings: &[Finding], lint: &str) -> usize {
+        findings
+            .iter()
+            .filter(|f| f.lint == lint && !f.suppressed)
+            .count()
+    }
+
+    const NUMERIC: &str = "crates/nn/src/x.rs";
+
+    #[test]
+    fn hash_iter_flagged_in_numeric_crates_only() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, f32> = HashMap::new(); }\n";
+        let out = check_one(NUMERIC, src, &DetHashIter);
+        assert!(unsuppressed(&out, "det-hash-iter") >= 1, "{out:?}");
+        // Telemetry layer is out of scope.
+        let out = check_one("crates/obs/src/x.rs", src, &DetHashIter);
+        assert_eq!(unsuppressed(&out, "det-hash-iter"), 0, "{out:?}");
+        // BTree collections are fine.
+        let out = check_one(NUMERIC, "use std::collections::BTreeMap;\n", &DetHashIter);
+        assert_eq!(unsuppressed(&out, "det-hash-iter"), 0, "{out:?}");
+        // Mentions in docs/strings are not uses.
+        let out = check_one(
+            NUMERIC,
+            "// replaced a HashMap here\nfn f() {}\n",
+            &DetHashIter,
+        );
+        assert_eq!(unsuppressed(&out, "det-hash-iter"), 0, "{out:?}");
+    }
+
+    #[test]
+    fn time_source_flagged_outside_tests() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let out = check_one(NUMERIC, src, &DetTimeSource);
+        assert_eq!(unsuppressed(&out, "det-time-source"), 1, "{out:?}");
+        let test_src =
+            "#[cfg(test)]\nmod t {\n    fn g() { let t = std::time::Instant::now(); }\n}\n";
+        let out = check_one(NUMERIC, test_src, &DetTimeSource);
+        assert_eq!(unsuppressed(&out, "det-time-source"), 0, "{out:?}");
+        let sys = "fn f() { let t = SystemTime::now(); }\n";
+        let out = check_one(NUMERIC, sys, &DetTimeSource);
+        assert_eq!(unsuppressed(&out, "det-time-source"), 1, "{out:?}");
+    }
+
+    #[test]
+    fn float_accum_flags_sum_and_fold_but_not_reduce_rs() {
+        let src = "fn f(v: &[f32]) -> f32 {\n    let a = v.iter().sum::<f32>();\n    let b = v.iter().fold(0.0f32, |s, x| s + x);\n    a + b\n}\n";
+        let out = check_one(NUMERIC, src, &DetFloatAccum);
+        assert_eq!(unsuppressed(&out, "det-float-accum"), 2, "{out:?}");
+        let out = check_one("crates/tensor/src/reduce.rs", src, &DetFloatAccum);
+        assert_eq!(unsuppressed(&out, "det-float-accum"), 0, "{out:?}");
+        // Integer folds are order-independent.
+        let int_src = "fn f(v: &[usize]) -> usize { v.iter().fold(0, |s, x| s + x) }\n";
+        let out = check_one(NUMERIC, int_src, &DetFloatAccum);
+        assert_eq!(unsuppressed(&out, "det-float-accum"), 0, "{out:?}");
+        let int_sum = "fn f(v: &[u64]) -> u64 { v.iter().sum::<u64>() }\n";
+        let out = check_one(NUMERIC, int_sum, &DetFloatAccum);
+        assert_eq!(unsuppressed(&out, "det-float-accum"), 0, "{out:?}");
+    }
+
+    #[test]
+    fn rng_ctor_rules() {
+        // Entropy RNG: flagged even in tests, even outside numeric crates.
+        let src = "#[cfg(test)]\nmod t {\n    fn g() { let r = rand::thread_rng(); }\n}\n";
+        let out = check_one("crates/obs/src/x.rs", src, &DetRngCtor);
+        assert_eq!(unsuppressed(&out, "det-rng-ctor"), 1, "{out:?}");
+
+        // Seeded ctor in a numeric crate: flagged.
+        let seeded = "fn f() { let r = CqRng::seed_from_u64(7); }\n";
+        let out = check_one(NUMERIC, seeded, &DetRngCtor);
+        assert_eq!(unsuppressed(&out, "det-rng-ctor"), 1, "{out:?}");
+
+        // ...but not in the engine, loader plumbing, or test code.
+        for rel in ["crates/core/src/engine.rs", "crates/data/src/loader.rs"] {
+            let out = check_one(rel, seeded, &DetRngCtor);
+            assert_eq!(unsuppressed(&out, "det-rng-ctor"), 0, "{rel}: {out:?}");
+        }
+        let test_seeded =
+            "#[cfg(test)]\nmod t {\n    fn g() { let r = CqRng::seed_from_u64(7); }\n}\n";
+        let out = check_one(NUMERIC, test_seeded, &DetRngCtor);
+        assert_eq!(unsuppressed(&out, "det-rng-ctor"), 0, "{out:?}");
+    }
+
+    #[test]
+    fn allow_comment_excuses_a_justified_site() {
+        let src = "fn f() {\n    // cq-allow(det-time-source): telemetry only, never feeds numerics\n    let t = Instant::now();\n}\n";
+        let out = check_one(NUMERIC, src, &DetTimeSource);
+        assert_eq!(unsuppressed(&out, "det-time-source"), 0, "{out:?}");
+        assert!(out
+            .iter()
+            .any(|f| f.lint == "det-time-source" && f.suppressed));
+    }
+}

@@ -1,0 +1,545 @@
+//! A small zero-dependency Rust lexer for static analysis.
+//!
+//! Produces a flat token stream with byte spans and line numbers. Unlike
+//! the raw line-greps it replaced, the stream distinguishes *code* from
+//! *trivia*: string literals (plain, raw, byte, C-string), char literals,
+//! line/doc comments and (nested) block comments each become a single
+//! token, so an analysis that walks [`Token::is_code`] tokens can never
+//! be fooled by a pattern spelled inside a string or a comment.
+//!
+//! The lexer is tolerant by construction — it never fails. Unterminated
+//! literals or stray bytes degrade to best-effort tokens covering the
+//! rest of the input, which is the right behaviour for an analyzer that
+//! must keep scanning a file the compiler would reject anyway. It is
+//! *not* a full Rust lexer (no shebang handling, no float-suffix
+//! splitting); it covers exactly what the analyses in this crate need:
+//! identifiers, punctuation, literals and comments, correctly delimited.
+
+use std::fmt;
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// String literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A single punctuation byte (`.`, `:`, `(`, `!`, …).
+    Punct,
+    /// Line comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// Block comment `/* … */`, nesting-aware, including `/** … */`.
+    BlockComment,
+    /// A byte the lexer does not recognise (kept for span continuity).
+    Unknown,
+}
+
+/// One token: its kind, byte span in the source, and 1-based line number
+/// of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the same source it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token participates in program semantics (not a
+    /// comment). String/char literals *are* code — they are data the
+    /// program manipulates — but analyses matching call or path patterns
+    /// should match [`TokenKind::Ident`]/[`TokenKind::Punct`] sequences,
+    /// which literals can never satisfy.
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether the token is a comment (line, doc or block).
+    pub fn is_comment(&self) -> bool {
+        !self.is_code()
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Ident => "ident",
+            TokenKind::Lifetime => "lifetime",
+            TokenKind::Number => "number",
+            TokenKind::Str => "string",
+            TokenKind::Char => "char",
+            TokenKind::Punct => "punct",
+            TokenKind::LineComment => "line-comment",
+            TokenKind::BlockComment => "block-comment",
+            TokenKind::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Lexes `src` into a token stream. Whitespace is skipped; every other
+/// byte is covered by exactly one token. Never fails (see module docs).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' | b'c' => self.ident_or_prefixed_literal(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii() => self.push1(TokenKind::Punct),
+                _ => self.unknown_utf8(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, start_line: usize) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line: start_line,
+        });
+    }
+
+    fn push1(&mut self, kind: TokenKind) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(kind, start, self.line);
+    }
+
+    /// Advances past one byte, bumping the line counter on `\n`.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start, start_line);
+    }
+
+    /// Nesting-aware block comment; an unterminated comment swallows the
+    /// rest of the input (matching rustc's recovery).
+    fn block_comment(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, start, start_line);
+    }
+
+    /// A plain (escaped) string literal starting at its opening quote;
+    /// `start` may precede `pos` when a `b`/`c` prefix was consumed.
+    fn string(&mut self, start: usize) {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' if self.pos + 1 < self.bytes.len() => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Str, start, start_line);
+    }
+
+    /// A raw string literal: `pos` sits on the first `#` or the opening
+    /// quote (after `r` / `br` / `cr`); `start` is the literal's start.
+    fn raw_string(&mut self, start: usize) {
+        let start_line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#ident` raw identifier (or stray `r#`): rewind the hashes
+            // and lex as an identifier instead.
+            self.pos = start;
+            self.raw_ident();
+            return;
+        }
+        self.pos += 1; // opening quote
+        'scan: while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                // A close needs `"` followed by exactly `hashes` `#`s.
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(1 + seen) == Some(b'#') {
+                    seen += 1;
+                }
+                if seen == hashes {
+                    self.pos += 1 + hashes;
+                    break 'scan;
+                }
+            }
+            self.bump();
+        }
+        self.push(TokenKind::Str, start, start_line);
+    }
+
+    /// `r#ident` — the `r` and `#` bytes are part of the identifier.
+    fn raw_ident(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        self.pos += 1; // `r`
+        if self.peek(0) == Some(b'#') {
+            self.pos += 1;
+        }
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, start_line);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) from `'\n'`.
+    fn char_or_lifetime(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        // Lifetime: `'` + ident-start, NOT followed by a closing `'`.
+        if let Some(n1) = self.peek(1) {
+            if is_ident_start(n1) && self.peek(2) != Some(b'\'') {
+                self.pos += 2;
+                while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Lifetime, start, start_line);
+                return;
+            }
+        }
+        // Char literal (possibly escaped or multibyte).
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' if self.pos + 1 < self.bytes.len() => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => break, // unterminated char: stop at end of line
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Char, start, start_line);
+    }
+
+    /// An identifier that may actually prefix a literal: `r"…"`, `r#"…"#`,
+    /// `b"…"`, `b'…'`, `br#"…"#`, `c"…"`, `cr"…"`, `r#ident`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        let b0 = self.bytes[self.pos];
+        match (b0, self.peek(1)) {
+            (b'r', Some(b'"' | b'#')) => {
+                self.pos += 1;
+                self.raw_string(start);
+            }
+            (b'b' | b'c', Some(b'"')) => {
+                self.pos += 1;
+                self.string(start);
+            }
+            (b'b', Some(b'\'')) => {
+                self.pos += 1;
+                // Reuse char scanning; the quote handler never produces a
+                // lifetime after `b`, which rustc also forbids.
+                let quote = self.pos;
+                let start_line = self.line;
+                self.pos = quote + 1;
+                while self.pos < self.bytes.len() {
+                    match self.bytes[self.pos] {
+                        b'\\' if self.pos + 1 < self.bytes.len() => {
+                            self.bump();
+                            self.bump();
+                        }
+                        b'\'' => {
+                            self.pos += 1;
+                            break;
+                        }
+                        b'\n' => break,
+                        _ => self.bump(),
+                    }
+                }
+                self.push(TokenKind::Char, start, start_line);
+            }
+            (b'b' | b'c', Some(b'r')) if matches!(self.peek(2), Some(b'"' | b'#')) => {
+                self.pos += 2;
+                self.raw_string(start);
+            }
+            _ => self.ident(),
+        }
+    }
+
+    fn ident(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            // Defensive: caller guaranteed an ident-start byte.
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, start_line);
+    }
+
+    /// Numbers, including `0x…`/`0b…`/`0o…`, `1_000`, `1.5e-3`, `1f32`.
+    /// The goal is span correctness, not numeric validation.
+    fn number(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let is_num = b.is_ascii_alphanumeric() || b == b'_';
+            // `1.5` continues the number; `1.max(2)` and `0..n` do not.
+            let is_float_dot = b == b'.'
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+                && self.bytes[self.pos - 1] != b'.';
+            // Exponent sign: `1e-3` / `2.5E+10`.
+            let is_exp_sign = (b == b'+' || b == b'-')
+                && matches!(self.bytes[self.pos - 1], b'e' | b'E')
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+                && self.bytes[start..self.pos]
+                    .iter()
+                    .any(|&c| c.is_ascii_digit());
+            if is_num || is_float_dot || is_exp_sign {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // Trailing `1.` (float with no fractional digits, e.g. `1. + x`):
+        // only when not part of `..`.
+        if self.peek(0) == Some(b'.')
+            && self.peek(1) != Some(b'.')
+            && !self.peek(1).is_some_and(is_ident_start)
+        {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Number, start, start_line);
+    }
+
+    /// A non-ASCII byte sequence outside any literal: cover the full
+    /// UTF-8 scalar so spans stay on char boundaries.
+    fn unknown_utf8(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        let ch_len = self.src[self.pos..]
+            .chars()
+            .next()
+            .map_or(1, char::len_utf8);
+        self.pos += ch_len;
+        self.push(TokenKind::Unknown, start, start_line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("let x = foo.bar(1_000, 2.5e-3);");
+        assert_eq!(toks[0], (TokenKind::Ident, "let"));
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+        assert_eq!(toks[2], (TokenKind::Punct, "="));
+        assert!(toks.contains(&(TokenKind::Number, "1_000")));
+        assert!(toks.contains(&(TokenKind::Number, "2.5e-3")));
+    }
+
+    #[test]
+    fn range_dots_do_not_join_numbers() {
+        let toks = kinds("for i in 0..n { a[i] = 1..=8; }");
+        assert!(toks.contains(&(TokenKind::Number, "0")));
+        assert!(toks.contains(&(TokenKind::Number, "1")));
+        assert!(toks.contains(&(TokenKind::Number, "8")));
+        assert!(!toks.iter().any(|(_, s)| s.contains("..")));
+    }
+
+    #[test]
+    fn method_call_on_number_literal() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Number, "1"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+        assert_eq!(toks[2], (TokenKind::Ident, "max"));
+    }
+
+    #[test]
+    fn strings_swallow_contents() {
+        let toks = kinds(r#"f("call .unwrap() inside", x)"#);
+        assert!(toks.contains(&(TokenKind::Str, r#""call .unwrap() inside""#)));
+        assert!(!toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && *s == "unwrap"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_in_string() {
+        let toks = kinds(r#"let s = "a\"b"; s.len()"#);
+        assert!(toks.contains(&(TokenKind::Str, r#""a\"b""#)));
+        assert!(toks.contains(&(TokenKind::Ident, "len")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"no "escape" here"#; t()"###;
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Str, r###"r#"no "escape" here"#"###)));
+        assert!(toks.contains(&(TokenKind::Ident, "t")));
+    }
+
+    #[test]
+    fn byte_and_cstrings() {
+        let toks = kinds(r##"(b"bytes", br#"raw"#, c"cstr", b'\n')"##);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 3, "{toks:?}");
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Char && s.starts_with("b'")));
+    }
+
+    #[test]
+    fn raw_ident_is_ident() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#fn")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert!(toks.contains(&(TokenKind::Char, "'a'")));
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'")));
+    }
+
+    #[test]
+    fn line_and_doc_comments() {
+        let src = "// plain\n/// doc mentions .unwrap()\n//! inner\ncode()";
+        let toks = lex(src);
+        let comments: Vec<_> = toks.iter().filter(|t| t.is_comment()).collect();
+        assert_eq!(comments.len(), 3);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "code" && t.line == 4));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ after()";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text(src).ends_with("comment */"));
+        assert!(toks.iter().any(|t| t.text(src) == "after"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\n/* b\nc */\nlast";
+        let toks = lex(src);
+        let last = toks.iter().find(|t| t.text(src) == "last").unwrap();
+        assert_eq!(last.line, 6);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b'", "x 'a"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+            // Every byte is covered or skipped; no panic, no loop.
+        }
+    }
+
+    #[test]
+    fn non_ascii_outside_literals() {
+        let toks = kinds("let x = 1; // π in comment\nlet y = \"π\";");
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && s.contains('π')));
+    }
+}

@@ -1,7 +1,9 @@
 //! # cq-check
 //!
-//! Static analyzer for the contrastive-quant training stack. Three passes
-//! (see DESIGN.md §"Verification & static analysis"):
+//! Static analyzer for the contrastive-quant training stack (see
+//! DESIGN.md §12 "Static analysis architecture"). Five passes share one
+//! finding model ([`analysis::Finding`]) and one suppression/baseline
+//! system:
 //!
 //! 1. **Config pass** ([`configs`]) — symbolically interprets every
 //!    built-in table/figure configuration (all scales × regimes ×
@@ -13,32 +15,31 @@
 //!    1-bit quantizer, batch size 1, …) are *rejected* with
 //!    layer-attributed errors, guarding the validators themselves against
 //!    rot.
-//! 3. **Lint pass** ([`lint`]) — scans the workspace sources, denying
-//!    `unwrap`/`expect` in library code (escape hatch: a
-//!    `cq-check: allow — <reason>` marker on the same or preceding line)
-//!    and requiring every `Layer` impl to carry gradcheck coverage.
+//! 3. **Quant dataflow** ([`quantflow`]) — propagates per-layer clip
+//!    bounds through every built-in encoder plan, verifying grid
+//!    representability at every supported bit-width and i32-accumulator
+//!    fit at the integer-inference widths.
+//! 4. **Lint pass** ([`lint`]) — token-aware source lints (no-unwrap,
+//!    no-println, obs-names, no-raw-threads, one-train-loop,
+//!    gradcheck-coverage) over the workspace's library crates.
+//! 5. **Determinism pass** ([`determinism`]) — audits numeric code for
+//!    hash-order iteration, wall-clock reads, unblessed float
+//!    accumulation, and RNG construction outside the engine/loader.
 //!
-//! The `cq-check` binary runs all three and exits non-zero on any
-//! violation, making it usable as a CI gate.
+//! The token stream comes from the vendored zero-dependency lexer in
+//! [`lexer`]; passes plug in via the [`analysis::Analysis`] trait.
+//! Justified findings are excused inline with `cq-allow(<lint>): <reason>`
+//! comments or centrally via a committed baseline file; the binary's exit
+//! codes (0 clean / 1 errors / 2 usage / 3 warnings-only) are a stable CI
+//! contract documented in [`analysis`].
 
 #![deny(missing_docs)]
 
+pub mod analysis;
 pub mod configs;
+pub mod determinism;
+pub mod lexer;
 pub mod lint;
+pub mod quantflow;
 
-/// One finding of any pass.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Violation {
-    /// Pass that produced the finding (`configs`, `negative`, `lint`).
-    pub pass: &'static str,
-    /// Where: a config label or `file:line`.
-    pub location: String,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl std::fmt::Display for Violation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{}] {}: {}", self.pass, self.location, self.message)
-    }
-}
+pub use analysis::{Analysis, Finding, Severity};

@@ -1,18 +1,16 @@
-//! Lint pass: source-level checks over the workspace's library crates.
+//! Source lints over the workspace's library crates, token-aware.
 //!
-//! Six lints, all tuned to this repository's layout (test modules
-//! trail their file behind a `#[cfg(test)]` line; bench drivers live in
-//! `src/bin/`; binary entry points are `main.rs`):
+//! Six lints, each an [`Analysis`] over the lexed token stream (so a
+//! pattern spelled inside a string literal, doc comment or block comment
+//! can never trip them — the failure mode of the line-greps these
+//! replaced):
 //!
 //! - **no-unwrap**: library code must not call `unwrap`/`expect` —
-//!   errors are propagated as `Result`s. A justified site carries a
-//!   `cq-check: allow — <reason>` marker on the same or preceding line.
+//!   errors are propagated as `Result`s.
 //! - **no-println**: library code must not write diagnostics to stdout
 //!   with `println!` — route them through `cq_obs` (events/metrics) or
 //!   `eprintln!` so stdout stays reserved for a binary's actual output.
-//!   `main.rs` and `src/bin/**` are exempt (stdout is theirs), and a
-//!   deliberate site (e.g. a report printer) carries the same
-//!   `cq-check: allow — <reason>` marker.
+//!   `main.rs` and `src/bin/**` are exempt (stdout is theirs).
 //! - **gradcheck-coverage**: every file defining a non-test
 //!   `impl Layer for T` must also invoke the `check_layer` gradcheck
 //!   family, so no layer's backward pass ships unverified. A
@@ -23,46 +21,28 @@
 //!   sites must name their series via a `cq_obs::names::*` constant, not
 //!   an ad-hoc string literal — ad-hoc names silently fork a series
 //!   (`"train.loss"` vs `"train_loss"`) and break the health monitor and
-//!   `cq-trace diff`, which match on the canonical names. The check is
-//!   line-local: it flags a literal as the first argument on the same
-//!   line (or the immediately following line for calls broken after the
-//!   open paren). The usual `cq-check: allow — <reason>` marker exempts
-//!   a deliberate site.
+//!   `cq-trace diff`, which match on the canonical names.
 //! - **no-raw-threads**: no `crossbeam::` (scoped thread) use outside
 //!   `crates/tensor/src/par.rs` — ad-hoc thread fan-out re-introduces
 //!   per-call spawn overhead and scheduling-dependent reduction orders,
 //!   which is exactly what the persistent pool and its fixed chunk grid
-//!   exist to prevent. Parallel work goes through `cq_tensor::par`. The
-//!   marker exempts a deliberate site; this lint covers test code too,
-//!   since results from raw scopes are not thread-count reproducible.
+//!   exist to prevent. This lint covers test code too, since results
+//!   from raw scopes are not thread-count reproducible.
 //! - **one-train-loop**: `crates/core/src/engine.rs` owns the epoch
 //!   loop and everything a checkpoint must capture. Outside it, cq-core
-//!   library code must not iterate over `cfg.epochs` (a second epoch
-//!   loop would drift from the engine's LR schedule, telemetry and
-//!   resume bookkeeping) and must not seed a raw `StdRng` (trainer
-//!   randomness goes through `CqRng`, whose state is serializable into
-//!   checkpoints — `StdRng` state cannot be extracted, so any such RNG
-//!   silently breaks bitwise resume). The marker exempts a deliberate
-//!   site.
+//!   library code must not iterate over `cfg.epochs` and must not seed a
+//!   raw `StdRng` (trainer randomness goes through `CqRng`, whose state
+//!   is serializable into checkpoints).
+//!
+//! A justified site is excused with a `cq-allow(<lint>): <reason>`
+//! comment on the same or preceding line (see [`crate::analysis`]).
 
 use std::path::{Path, PathBuf};
 
-use crate::Violation;
+use crate::analysis::{analyze_file, Analysis, Finding, Pat, SourceFile};
 
-/// Marker that exempts an `unwrap`/`expect` site, on its own line or the
-/// line above.
-pub const ALLOW_MARKER: &str = "cq-check: allow";
-
-// Spelled via concat so this file's own pattern definitions don't trip
-// the scanner when cq-check lints itself.
-const UNWRAP_PAT: &str = concat!(".unw", "rap()");
-const EXPECT_PAT: &str = concat!(".exp", "ect(");
-const PRINTLN_PAT: &str = concat!("print", "ln!(");
-const METRIC_PAT: &str = concat!("cq_obs::met", "ric(");
-const HIST_PAT: &str = concat!("cq_obs::hist", "ogram(");
-const CROSSBEAM_PAT: &str = concat!("cross", "beam::");
-const EPOCHS_FIELD_PAT: &str = concat!(".epo", "chs");
-const STDRNG_SEED_PAT: &str = concat!("StdRng::seed_", "from_u64");
+/// Pass name the source lints report under.
+const PASS: &str = "lint";
 
 /// The one file allowed to own thread-pool internals.
 const PAR_RS: &str = "crates/tensor/src/par.rs";
@@ -73,8 +53,16 @@ const ENGINE_RS: &str = "crates/core/src/engine.rs";
 /// The crate whose library sources the one-train-loop lint covers.
 const CORE_SRC: &str = "crates/core/src/";
 
-/// Recursively collects `.rs` files under `dir`, skipping `src/bin`
-/// directories (executables may panic on bad CLI input).
+/// Directory names never descended into by [`workspace_sources`]:
+/// executables (`bin`), build output (`target`, however deeply nested)
+/// and vendored third-party code (`vendor`).
+const SKIP_DIRS: [&str; 3] = ["bin", "target", "vendor"];
+
+/// Recursively collects `.rs` files under `dir`. Skips the
+/// [`SKIP_DIRS`] directories and hidden entries at any depth, and never
+/// follows symlinks (a link into `target/`, a sibling crate or a
+/// directory cycle would otherwise smuggle files past the skip list or
+/// hang the walk).
 fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
@@ -82,8 +70,15 @@ fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
     let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
     entries.sort();
     for path in entries {
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "bin") {
+        let Ok(meta) = std::fs::symlink_metadata(&path) else {
+            continue;
+        };
+        if meta.is_symlink() {
+            continue;
+        }
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if meta.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
                 continue;
             }
             rust_sources(&path, out);
@@ -94,263 +89,28 @@ fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 /// All library sources of the workspace at `root`: `crates/*/src/**/*.rs`
-/// minus `src/bin/**`.
+/// minus `src/bin/**`, nested `target`/`vendor` directories, hidden
+/// directories and anything behind a symlink.
 pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
     let mut files = Vec::new();
     let crates = root.join("crates");
     let Ok(entries) = std::fs::read_dir(&crates) else {
         return files;
     };
-    let mut dirs: Vec<_> = entries.flatten().map(|e| e.path().join("src")).collect();
+    let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
     dirs.sort();
     for d in dirs {
-        rust_sources(&d, &mut files);
+        if std::fs::symlink_metadata(&d).is_ok_and(|m| m.is_dir() && !m.is_symlink()) {
+            rust_sources(&d.join("src"), &mut files);
+        }
     }
     files
 }
 
-/// Index of the first `#[cfg(test)]` line, or `len` when absent. In this
-/// codebase test modules always trail the file, so everything after that
-/// line is test code.
-fn test_boundary(lines: &[&str]) -> usize {
-    lines
-        .iter()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-        .unwrap_or(lines.len())
-}
-
-fn is_comment(line: &str) -> bool {
-    let t = line.trim_start();
-    t.starts_with("//") // covers `///` and `//!` too
-}
-
-/// Applies the no-unwrap lint to one file's contents.
-fn lint_unwrap_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
-    let lines: Vec<&str> = text.lines().collect();
-    let boundary = test_boundary(&lines);
-    for (i, line) in lines.iter().enumerate().take(boundary) {
-        if is_comment(line) {
-            continue;
-        }
-        let has_site = line.contains(UNWRAP_PAT) || line.contains(EXPECT_PAT);
-        if !has_site {
-            continue;
-        }
-        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
-        if !allowed {
-            violations.push(Violation {
-                pass: "lint",
-                location: format!("{rel}:{}", i + 1),
-                message: format!(
-                    "unwrap/expect in library code; propagate the error or add \
-                     `{ALLOW_MARKER} — <reason>`"
-                ),
-            });
-        }
-    }
-}
-
-/// True when `line` invokes `println!` itself — not `eprintln!`, whose
-/// spelling contains the shorter macro name as a suffix.
-fn calls_println(line: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(PRINTLN_PAT) {
-        let at = from + pos;
-        let preceded_by_ident =
-            at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
-        if !preceded_by_ident {
-            return true;
-        }
-        from = at + 1;
-    }
-    false
-}
-
-/// Applies the no-println lint to one file's contents. `main.rs` is the
-/// caller's responsibility to exempt (it owns stdout).
-fn lint_println_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
-    let lines: Vec<&str> = text.lines().collect();
-    let boundary = test_boundary(&lines);
-    for (i, line) in lines.iter().enumerate().take(boundary) {
-        if is_comment(line) || !calls_println(line) {
-            continue;
-        }
-        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
-        if !allowed {
-            violations.push(Violation {
-                pass: "lint",
-                location: format!("{rel}:{}", i + 1),
-                message: format!(
-                    "println! in library code; emit a cq_obs event or use eprintln!, \
-                     or add `{ALLOW_MARKER} — <reason>`"
-                ),
-            });
-        }
-    }
-}
-
-/// True when, after a `cq_obs::metric(` / `cq_obs::histogram(` site at
-/// byte offset `after_paren` in `line`, the first argument is a string
-/// literal. When the call is broken right after the open paren, the first
-/// token of `next_line` (if any) is inspected instead.
-fn literal_first_arg(line: &str, after_paren: usize, next_line: Option<&str>) -> bool {
-    let rest = line[after_paren..].trim_start();
-    if rest.is_empty() {
-        return next_line.is_some_and(|l| l.trim_start().starts_with('"'));
-    }
-    rest.starts_with('"')
-}
-
-/// Applies the obs-names lint to one file's contents: metric/histogram
-/// series must be named by `cq_obs::names::*` constants.
-fn lint_obs_names_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
-    let lines: Vec<&str> = text.lines().collect();
-    let boundary = test_boundary(&lines);
-    for (i, line) in lines.iter().enumerate().take(boundary) {
-        if is_comment(line) {
-            continue;
-        }
-        let mut flagged = false;
-        for pat in [METRIC_PAT, HIST_PAT] {
-            let mut from = 0;
-            while let Some(pos) = line[from..].find(pat) {
-                let after = from + pos + pat.len();
-                let next = (i + 1 < boundary).then(|| lines[i + 1]);
-                if literal_first_arg(line, after, next) {
-                    flagged = true;
-                }
-                from = after;
-            }
-        }
-        if !flagged {
-            continue;
-        }
-        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
-        if !allowed {
-            violations.push(Violation {
-                pass: "lint",
-                location: format!("{rel}:{}", i + 1),
-                message: format!(
-                    "ad-hoc metric/histogram name literal; use a `cq_obs::names::*` \
-                     constant so the series stays canonical, or add \
-                     `{ALLOW_MARKER} — <reason>`"
-                ),
-            });
-        }
-    }
-}
-
-/// Applies the no-raw-threads lint to one file's contents. Unlike the
-/// other lints this scans the whole file (tests included): a raw
-/// `crossbeam::` scope anywhere produces scheduling-dependent behaviour
-/// the persistent pool exists to rule out.
-fn lint_no_raw_threads_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
-    if rel.ends_with(PAR_RS) {
-        return;
-    }
-    let lines: Vec<&str> = text.lines().collect();
-    for (i, line) in lines.iter().enumerate() {
-        if is_comment(line) || !line.contains(CROSSBEAM_PAT) {
-            continue;
-        }
-        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
-        if !allowed {
-            violations.push(Violation {
-                pass: "lint",
-                location: format!("{rel}:{}", i + 1),
-                message: format!(
-                    "raw {CROSSBEAM_PAT} use outside {PAR_RS}; route parallel work \
-                     through cq_tensor::par (persistent pool, deterministic chunk \
-                     grid), or add `{ALLOW_MARKER} — <reason>`"
-                ),
-            });
-        }
-    }
-}
-
-/// Applies the one-train-loop lint to one file's contents: in cq-core
-/// library code outside `engine.rs`, no epoch iteration (`for` over a
-/// `.epochs` field) and no raw `StdRng` seeding — both would bypass the
-/// engine's checkpoint/resume bookkeeping.
-fn lint_one_train_loop_in(rel: &str, text: &str, violations: &mut Vec<Violation>) {
-    if !rel.contains(CORE_SRC) || rel.ends_with(ENGINE_RS) {
-        return;
-    }
-    let lines: Vec<&str> = text.lines().collect();
-    let boundary = test_boundary(&lines);
-    for (i, line) in lines.iter().enumerate().take(boundary) {
-        if is_comment(line) {
-            continue;
-        }
-        let epoch_loop = line.contains("for ") && line.contains(EPOCHS_FIELD_PAT);
-        let raw_rng = line.contains(STDRNG_SEED_PAT);
-        if !epoch_loop && !raw_rng {
-            continue;
-        }
-        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
-        if allowed {
-            continue;
-        }
-        let message = if epoch_loop {
-            format!(
-                "epoch loop outside {ENGINE_RS}; drive training through \
-                 TrainLoop (one engine owns the schedule, telemetry and \
-                 resume bookkeeping), or add `{ALLOW_MARKER} — <reason>`"
-            )
-        } else {
-            format!(
-                "raw StdRng seeding in trainer code; use cq_tensor::CqRng so \
-                 the state serializes into checkpoints (StdRng breaks bitwise \
-                 resume), or add `{ALLOW_MARKER} — <reason>`"
-            )
-        };
-        violations.push(Violation {
-            pass: "lint",
-            location: format!("{rel}:{}", i + 1),
-            message,
-        });
-    }
-}
-
-/// Non-test `impl Layer for T` type names declared in one file.
-fn layer_impls_in(text: &str) -> Vec<String> {
-    let lines: Vec<&str> = text.lines().collect();
-    let boundary = test_boundary(&lines);
-    lines[..boundary]
-        .iter()
-        .filter_map(|l| {
-            let t = l.trim_start();
-            let rest = t.strip_prefix("impl Layer for ")?;
-            let name: String = rest
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            (!name.is_empty()).then_some(name)
-        })
-        .collect()
-}
-
-/// Layer kinds vouched for by a `CQ_GRADCHECK_LOG` file (empty when the
-/// env var is unset or the file is unreadable).
-fn logged_layers() -> Vec<String> {
-    let Ok(path) = std::env::var("CQ_GRADCHECK_LOG") else {
-        return Vec::new();
-    };
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    text.lines()
-        .filter_map(|l| l.strip_prefix("gradcheck layer="))
-        .filter_map(|rest| rest.split_whitespace().next())
-        .map(str::to_string)
-        .collect()
-}
-
-/// Runs all three source lints over the workspace at `root`.
-pub fn lint_workspace(root: &Path) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    let logged = logged_layers();
+/// Runs `analyses` over every workspace source file at `root`, applying
+/// inline suppressions and stale-suppression detection per file.
+pub fn run_source_passes(root: &Path, analyses: &[&dyn Analysis]) -> Vec<Finding> {
+    let mut out = Vec::new();
     for path in workspace_sources(root) {
         let Ok(text) = std::fs::read_to_string(&path) else {
             continue;
@@ -360,31 +120,313 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
             .unwrap_or(&path)
             .display()
             .to_string();
-        lint_unwrap_in(&rel, &text, &mut violations);
-        lint_obs_names_in(&rel, &text, &mut violations);
-        lint_no_raw_threads_in(&rel, &text, &mut violations);
-        lint_one_train_loop_in(&rel, &text, &mut violations);
-        if path.file_name().is_none_or(|n| n != "main.rs") {
-            lint_println_in(&rel, &text, &mut violations);
-        }
-        let impls = layer_impls_in(&text);
-        if !impls.is_empty() && !text.contains("check_layer") {
-            for name in impls {
-                if logged.iter().any(|l| l == &name) {
-                    continue; // a gradcheck elsewhere logged this kind
-                }
-                violations.push(Violation {
-                    pass: "lint",
-                    location: rel.clone(),
-                    message: format!(
-                        "`impl Layer for {name}` has no gradcheck coverage in this file \
-                         (add a check_layer test or log it via CQ_GRADCHECK_LOG)"
-                    ),
-                });
+        let file = SourceFile::parse(rel, &text);
+        analyze_file(&file, analyses, &mut out);
+    }
+    out
+}
+
+/// no-unwrap: `.unwrap()` / `.expect(` in non-test library code.
+pub struct NoUnwrap;
+
+impl Analysis for NoUnwrap {
+    fn lint(&self) -> &'static str {
+        "no-unwrap"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        for i in 0..file.code.len() {
+            let unwrap = file.matches(
+                i,
+                &[
+                    Pat::Punct('.'),
+                    Pat::Ident("unwrap"),
+                    Pat::Punct('('),
+                    Pat::Punct(')'),
+                ],
+            );
+            let expect = file.matches(i, &[Pat::Punct('.'), Pat::Ident("expect"), Pat::Punct('(')]);
+            if !unwrap && !expect {
+                continue;
             }
+            let line = file.code_tok(i).map_or(0, |t| t.line);
+            if file.is_test_line(line) {
+                continue;
+            }
+            out.push(Finding::error(
+                PASS,
+                self.lint(),
+                file.rel.clone(),
+                line,
+                "unwrap/expect in library code; propagate the error or add \
+                 `cq-allow(no-unwrap): <reason>`",
+            ));
         }
     }
-    violations
+}
+
+/// no-println: `println!` in non-test library code (`main.rs` exempt).
+pub struct NoPrintln;
+
+impl Analysis for NoPrintln {
+    fn lint(&self) -> &'static str {
+        "no-println"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        if file.rel.ends_with("main.rs") {
+            return; // a binary's entry point owns stdout
+        }
+        for i in 0..file.code.len() {
+            if !file.matches(
+                i,
+                &[Pat::Ident("println"), Pat::Punct('!'), Pat::Punct('(')],
+            ) {
+                continue;
+            }
+            let line = file.code_tok(i).map_or(0, |t| t.line);
+            if file.is_test_line(line) {
+                continue;
+            }
+            out.push(Finding::error(
+                PASS,
+                self.lint(),
+                file.rel.clone(),
+                line,
+                "println! in library code; emit a cq_obs event or use eprintln!, \
+                 or add `cq-allow(no-println): <reason>`",
+            ));
+        }
+    }
+}
+
+/// obs-names: metric/histogram series must be named by `cq_obs::names::*`
+/// constants, not ad-hoc string literals.
+pub struct ObsNames;
+
+impl Analysis for ObsNames {
+    fn lint(&self) -> &'static str {
+        "obs-names"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        for i in 0..file.code.len() {
+            let hit = file.matches(
+                i,
+                &[
+                    Pat::Ident("cq_obs"),
+                    Pat::PathSep,
+                    Pat::IdentIn(&["metric", "histogram"]),
+                    Pat::Punct('('),
+                    Pat::Str,
+                ],
+            );
+            if !hit {
+                continue;
+            }
+            let line = file.code_tok(i).map_or(0, |t| t.line);
+            if file.is_test_line(line) {
+                continue;
+            }
+            out.push(Finding::error(
+                PASS,
+                self.lint(),
+                file.rel.clone(),
+                line,
+                "ad-hoc metric/histogram name literal; use a `cq_obs::names::*` \
+                 constant so the series stays canonical, or add \
+                 `cq-allow(obs-names): <reason>`",
+            ));
+        }
+    }
+}
+
+/// no-raw-threads: `crossbeam::` anywhere (tests included) outside the
+/// pool implementation.
+pub struct NoRawThreads;
+
+impl Analysis for NoRawThreads {
+    fn lint(&self) -> &'static str {
+        "no-raw-threads"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        if file.rel.ends_with(PAR_RS) {
+            return;
+        }
+        for i in 0..file.code.len() {
+            if !file.matches(i, &[Pat::Ident("crossbeam"), Pat::PathSep]) {
+                continue;
+            }
+            let line = file.code_tok(i).map_or(0, |t| t.line);
+            out.push(Finding::error(
+                PASS,
+                self.lint(),
+                file.rel.clone(),
+                line,
+                format!(
+                    "raw crossbeam:: use outside {PAR_RS}; route parallel work \
+                     through cq_tensor::par (persistent pool, deterministic chunk \
+                     grid), or add `cq-allow(no-raw-threads): <reason>`"
+                ),
+            ));
+        }
+    }
+}
+
+/// one-train-loop: no epoch iteration or raw `StdRng` seeding in cq-core
+/// library code outside the engine.
+pub struct OneTrainLoop;
+
+impl Analysis for OneTrainLoop {
+    fn lint(&self) -> &'static str {
+        "one-train-loop"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        if !file.rel.contains(CORE_SRC) || file.rel.ends_with(ENGINE_RS) {
+            return;
+        }
+        for i in 0..file.code.len() {
+            let line = file.code_tok(i).map_or(0, |t| t.line);
+            if file.is_test_line(line) {
+                continue;
+            }
+            let epoch_loop = file.matches(i, &[Pat::Punct('.'), Pat::Ident("epochs")])
+                && file.line_has_ident(line, "for");
+            let raw_rng = file.matches(
+                i,
+                &[
+                    Pat::Ident("StdRng"),
+                    Pat::PathSep,
+                    Pat::Ident("seed_from_u64"),
+                ],
+            );
+            if !epoch_loop && !raw_rng {
+                continue;
+            }
+            let message = if epoch_loop {
+                format!(
+                    "epoch loop outside {ENGINE_RS}; drive training through \
+                     TrainLoop (one engine owns the schedule, telemetry and \
+                     resume bookkeeping), or add `cq-allow(one-train-loop): <reason>`"
+                )
+            } else {
+                "raw StdRng seeding in trainer code; use cq_tensor::CqRng so \
+                 the state serializes into checkpoints (StdRng breaks bitwise \
+                 resume), or add `cq-allow(one-train-loop): <reason>`"
+                    .to_string()
+            };
+            out.push(Finding::error(
+                PASS,
+                self.lint(),
+                file.rel.clone(),
+                line,
+                message,
+            ));
+        }
+    }
+}
+
+/// gradcheck-coverage: every non-test `impl Layer for T` must be vouched
+/// for by a `check_layer`-family call in the same file or a
+/// `CQ_GRADCHECK_LOG` entry.
+pub struct GradcheckCoverage {
+    /// Layer kinds vouched for by the gradcheck log (empty when the env
+    /// var is unset or the file is unreadable).
+    logged: Vec<String>,
+}
+
+impl GradcheckCoverage {
+    /// Loads the `CQ_GRADCHECK_LOG` vouch list once, at construction.
+    pub fn from_env() -> Self {
+        let logged = std::env::var("CQ_GRADCHECK_LOG")
+            .ok()
+            .and_then(|path| std::fs::read_to_string(path).ok())
+            .map(|text| {
+                text.lines()
+                    .filter_map(|l| l.strip_prefix("gradcheck layer="))
+                    .filter_map(|rest| rest.split_whitespace().next())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        GradcheckCoverage { logged }
+    }
+}
+
+impl Analysis for GradcheckCoverage {
+    fn lint(&self) -> &'static str {
+        "gradcheck-coverage"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        // A `check_layer` / `check_layer_with` call anywhere in the file
+        // (its trailing test module included — that is where gradcheck
+        // tests live) vouches for every impl in the file.
+        let has_gradcheck =
+            (0..file.code.len()).any(|i| file.code_text(i).starts_with("check_layer"));
+        if has_gradcheck {
+            return;
+        }
+        for i in 0..file.code.len() {
+            let hit = file.matches(
+                i,
+                &[
+                    Pat::Ident("impl"),
+                    Pat::Ident("Layer"),
+                    Pat::Ident("for"),
+                    Pat::AnyIdent,
+                ],
+            );
+            if !hit {
+                continue;
+            }
+            let line = file.code_tok(i).map_or(0, |t| t.line);
+            if file.is_test_line(line) {
+                continue;
+            }
+            let name = file.code_text(i + 3).to_string();
+            if self.logged.iter().any(|l| l == &name) {
+                continue; // a gradcheck elsewhere logged this kind
+            }
+            out.push(Finding::error(
+                PASS,
+                self.lint(),
+                file.rel.clone(),
+                line,
+                format!(
+                    "`impl Layer for {name}` has no gradcheck coverage in this file \
+                     (add a check_layer test or log it via CQ_GRADCHECK_LOG)"
+                ),
+            ));
+        }
+    }
+}
+
+/// The five source lints plus gradcheck coverage, ready to run.
+pub fn source_analyses() -> Vec<Box<dyn Analysis>> {
+    vec![
+        Box::new(NoUnwrap),
+        Box::new(NoPrintln),
+        Box::new(ObsNames),
+        Box::new(NoRawThreads),
+        Box::new(OneTrainLoop),
+        Box::new(GradcheckCoverage::from_env()),
+    ]
+}
+
+/// Runs every source analysis — the six lints plus the determinism
+/// auditor — over the workspace at `root` in a single pass per file.
+///
+/// The two families must share one [`analyze_file`] run: suppression
+/// matching is per-file across *all* findings, so a `cq-allow(det-…)`
+/// comment would be falsely reported stale by a lint-only scan.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let lints = source_analyses();
+    let det = crate::determinism::determinism_analyses();
+    let refs: Vec<&dyn Analysis> = lints.iter().chain(det.iter()).map(Box::as_ref).collect();
+    run_source_passes(root, &refs)
 }
 
 /// The workspace root this binary was compiled in (two levels above the
@@ -397,220 +439,219 @@ pub fn default_root() -> PathBuf {
 mod tests {
     use super::*;
 
-    fn bad_line() -> String {
-        format!("    let v = thing{};", UNWRAP_PAT)
+    fn check_one(rel: &str, src: &str, a: &dyn Analysis) -> Vec<Finding> {
+        let file = SourceFile::parse(rel, src);
+        let mut out = Vec::new();
+        analyze_file(&file, &[a], &mut out);
+        out
+    }
+
+    fn unsuppressed(findings: &[Finding], lint: &str) -> usize {
+        findings
+            .iter()
+            .filter(|f| f.lint == lint && !f.suppressed)
+            .count()
     }
 
     #[test]
-    fn flags_unmarked_unwrap() {
-        let text = format!("fn f() {{\n{}\n}}\n", bad_line());
-        let mut v = Vec::new();
-        lint_unwrap_in("x.rs", &text, &mut v);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].location, "x.rs:2");
+    fn flags_unmarked_unwrap_and_expect() {
+        let src = "fn f() {\n    let v = thing.unwrap();\n    let w = o.expect(\"msg\");\n}\n";
+        let out = check_one("x.rs", src, &NoUnwrap);
+        assert_eq!(unsuppressed(&out, "no-unwrap"), 2, "{out:?}");
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[1].line, 3);
     }
 
     #[test]
-    fn marker_on_same_or_previous_line_allows() {
-        let same = format!("fn f() {{\n{} // {} — fine\n}}\n", bad_line(), ALLOW_MARKER);
-        let prev = format!(
-            "fn f() {{\n// {} — fine\n{}\n}}\n",
-            ALLOW_MARKER,
-            bad_line()
+    fn unwrap_in_string_comment_and_tests_is_ignored() {
+        let src = concat!(
+            "fn f() {\n",
+            "    // docs may mention .unwrap() freely\n",
+            "    /* block: .expect(\"x\") */\n",
+            "    let s = \"call .unwrap() here\";\n",
+            "    let t = r#\"raw .expect(\"y\") \"#;\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod t {\n",
+            "    fn g() { thing.unwrap(); }\n",
+            "}\n"
         );
-        for text in [same, prev] {
-            let mut v = Vec::new();
-            lint_unwrap_in("x.rs", &text, &mut v);
-            assert!(v.is_empty(), "{text}");
+        let out = check_one("x.rs", src, &NoUnwrap);
+        assert_eq!(unsuppressed(&out, "no-unwrap"), 0, "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }\n";
+        let out = check_one("x.rs", src, &NoUnwrap);
+        assert_eq!(unsuppressed(&out, "no-unwrap"), 0, "{out:?}");
+    }
+
+    #[test]
+    fn allow_marker_suppresses_unwrap() {
+        let same = "fn f() {\n    v.unwrap(); // cq-allow(no-unwrap): fine here\n}\n";
+        let prev = "fn f() {\n    // cq-allow(no-unwrap): fine here\n    v.unwrap();\n}\n";
+        for src in [same, prev] {
+            let out = check_one("x.rs", src, &NoUnwrap);
+            assert_eq!(unsuppressed(&out, "no-unwrap"), 0, "{src}");
         }
     }
 
     #[test]
-    fn test_code_and_comments_are_ignored() {
-        let text = format!(
-            "fn f() {{}}\n// docs may mention {}\n#[cfg(test)]\nmod tests {{\n{}\n}}\n",
-            UNWRAP_PAT,
-            bad_line()
-        );
-        let mut v = Vec::new();
-        lint_unwrap_in("x.rs", &text, &mut v);
-        assert!(v.is_empty(), "{v:?}");
+    fn flags_println_but_not_eprintln_or_strings() {
+        let src = "fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n    let s = \"println!(z)\";\n}\n";
+        let out = check_one("x.rs", src, &NoPrintln);
+        assert_eq!(unsuppressed(&out, "no-println"), 1, "{out:?}");
+        assert_eq!(out[0].line, 2);
     }
 
     #[test]
-    fn flags_println_but_not_eprintln() {
-        let text = format!(
-            "fn f() {{\n    {}\"x\");\n    e{}\"y\");\n}}\n",
-            PRINTLN_PAT, PRINTLN_PAT
-        );
-        let mut v = Vec::new();
-        lint_println_in("x.rs", &text, &mut v);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].location, "x.rs:2");
-    }
-
-    #[test]
-    fn println_marker_and_test_code_allowed() {
-        let marked = format!(
-            "fn f() {{\n    {}\"x\"); // {} — report output\n}}\n",
-            PRINTLN_PAT, ALLOW_MARKER
-        );
-        let in_tests = format!(
-            "fn f() {{}}\n#[cfg(test)]\nmod t {{\nfn g() {{ {}\"x\"); }}\n}}\n",
-            PRINTLN_PAT
-        );
-        for text in [marked, in_tests] {
-            let mut v = Vec::new();
-            lint_println_in("x.rs", &text, &mut v);
-            assert!(v.is_empty(), "{text}");
-        }
+    fn println_exempt_in_main_rs() {
+        let src = "fn main() { println!(\"report\"); }\n";
+        let out = check_one("crates/bench/src/main.rs", src, &NoPrintln);
+        assert_eq!(unsuppressed(&out, "no-println"), 0, "{out:?}");
     }
 
     #[test]
     fn obs_names_flags_literals_but_not_constants() {
-        let text = format!(
-            "fn f() {{\n    {}\"train.loss\", 0, 1.0);\n    \
-             {}cq_obs::names::TRAIN_LOSS, 0, 1.0);\n    \
-             {}\"quant.bits\", 4.0);\n    {}cq_obs::names::QUANT_BITS, 4.0);\n}}\n",
-            METRIC_PAT, METRIC_PAT, HIST_PAT, HIST_PAT
+        let src = concat!(
+            "fn f() {\n",
+            "    cq_obs::metric(\"train.loss\", 0, 1.0);\n",
+            "    cq_obs::metric(cq_obs::names::TRAIN_LOSS, 0, 1.0);\n",
+            "    cq_obs::histogram(\"quant.bits\", 4.0);\n",
+            "    cq_obs::histogram(cq_obs::names::QUANT_BITS, 4.0);\n",
+            "}\n"
         );
-        let mut v = Vec::new();
-        lint_obs_names_in("x.rs", &text, &mut v);
-        assert_eq!(v.len(), 2, "{v:?}");
-        assert_eq!(v[0].location, "x.rs:2");
-        assert_eq!(v[1].location, "x.rs:4");
+        let out = check_one("x.rs", src, &ObsNames);
+        assert_eq!(unsuppressed(&out, "obs-names"), 2, "{out:?}");
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[1].line, 4);
     }
 
     #[test]
-    fn obs_names_catches_literal_after_line_break() {
-        let text = format!(
-            "fn f() {{\n    {}\n        \"ad.hoc\", 0, 1.0);\n}}\n",
-            METRIC_PAT
-        );
-        let mut v = Vec::new();
-        lint_obs_names_in("x.rs", &text, &mut v);
-        assert_eq!(v.len(), 1, "{v:?}");
+    fn obs_names_catches_literal_after_line_break_and_comment() {
+        // The token stream sees through both the line break and an
+        // interleaved comment — cases the old line-local grep missed.
+        let src = "fn f() {\n    cq_obs::metric( // series\n        \"ad.hoc\", 0, 1.0);\n}\n";
+        let out = check_one("x.rs", src, &ObsNames);
+        assert_eq!(unsuppressed(&out, "obs-names"), 1, "{out:?}");
     }
 
     #[test]
-    fn obs_names_marker_and_test_code_allowed() {
-        let marked = format!(
-            "fn f() {{\n    {}\"one.off\", 0, 1.0); // {} — experiment-local series\n}}\n",
-            METRIC_PAT, ALLOW_MARKER
+    fn no_raw_threads_flags_tests_too_and_exempts_par() {
+        let src = "fn f() {\n    crossbeam::scope(|s| {});\n}\n#[cfg(test)]\nmod t {\n    fn g() { crossbeam::scope(|s| {}); }\n}\n";
+        let out = check_one("crates/nn/src/conv.rs", src, &NoRawThreads);
+        assert_eq!(unsuppressed(&out, "no-raw-threads"), 2, "{out:?}");
+        let out = check_one("crates/tensor/src/par.rs", src, &NoRawThreads);
+        assert_eq!(unsuppressed(&out, "no-raw-threads"), 0, "{out:?}");
+        // A doc comment naming crossbeam:: is not a use.
+        let out = check_one(
+            "crates/nn/src/conv.rs",
+            "// crossbeam::scope was removed in PR 4\nfn f() {}\n",
+            &NoRawThreads,
         );
-        let in_tests = format!(
-            "fn f() {{}}\n#[cfg(test)]\nmod t {{\nfn g() {{ {}\"x\", 0, 1.0); }}\n}}\n",
-            METRIC_PAT
-        );
-        for text in [marked, in_tests] {
-            let mut v = Vec::new();
-            lint_obs_names_in("x.rs", &text, &mut v);
-            assert!(v.is_empty(), "{text}");
-        }
-    }
-
-    #[test]
-    fn no_raw_threads_flags_scopes_outside_par() {
-        let text = format!("fn f() {{\n    {}scope(|s| {{}});\n}}\n", CROSSBEAM_PAT);
-        let mut v = Vec::new();
-        lint_no_raw_threads_in("crates/nn/src/conv.rs", &text, &mut v);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].location, "crates/nn/src/conv.rs:2");
-        // Test code is NOT exempt for this lint.
-        let in_tests = format!(
-            "fn f() {{}}\n#[cfg(test)]\nmod t {{\nfn g() {{ {}scope(|s| {{}}); }}\n}}\n",
-            CROSSBEAM_PAT
-        );
-        let mut v = Vec::new();
-        lint_no_raw_threads_in("crates/nn/src/conv.rs", &in_tests, &mut v);
-        assert_eq!(v.len(), 1, "{v:?}");
-    }
-
-    #[test]
-    fn no_raw_threads_exempts_par_and_marker_and_comments() {
-        let text = format!("fn f() {{\n    {}scope(|s| {{}});\n}}\n", CROSSBEAM_PAT);
-        let mut v = Vec::new();
-        lint_no_raw_threads_in("crates/tensor/src/par.rs", &text, &mut v);
-        assert!(v.is_empty(), "{v:?}");
-        let marked = format!(
-            "fn f() {{\n    {}scope(|s| {{}}); // {} — migration shim\n}}\n",
-            CROSSBEAM_PAT, ALLOW_MARKER
-        );
-        let commented = format!("fn f() {{}}\n// docs may mention {}scope\n", CROSSBEAM_PAT);
-        for text in [marked, commented] {
-            let mut v = Vec::new();
-            lint_no_raw_threads_in("crates/nn/src/conv.rs", &text, &mut v);
-            assert!(v.is_empty(), "{text}");
-        }
+        assert_eq!(unsuppressed(&out, "no-raw-threads"), 0, "{out:?}");
     }
 
     #[test]
     fn one_train_loop_flags_epoch_loops_and_raw_rng_in_core() {
-        let epoch_loop = format!(
-            "fn f() {{\n    for e in 0..cfg{} {{}}\n}}\n",
-            EPOCHS_FIELD_PAT
-        );
-        let mut v = Vec::new();
-        lint_one_train_loop_in("crates/core/src/simclr.rs", &epoch_loop, &mut v);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].location, "crates/core/src/simclr.rs:2");
-
-        let raw_rng = format!("fn f() {{\n    let r = {}(7);\n}}\n", STDRNG_SEED_PAT);
-        let mut v = Vec::new();
-        lint_one_train_loop_in("crates/core/src/byol.rs", &raw_rng, &mut v);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].message.contains("CqRng"), "{}", v[0].message);
-    }
-
-    #[test]
-    fn one_train_loop_exempts_engine_other_crates_tests_and_marker() {
-        let epoch_loop = format!(
-            "fn f() {{\n    for e in 0..cfg{} {{}}\n}}\n",
-            EPOCHS_FIELD_PAT
-        );
-        // engine.rs owns the loop; other crates may iterate epochs freely
-        // (e.g. cq-eval's linear-probe loop).
+        let src = "fn f(cfg: &C) {\n    for e in 0..cfg.epochs {}\n    let r = StdRng::seed_from_u64(7);\n}\n";
+        let out = check_one("crates/core/src/simclr.rs", src, &OneTrainLoop);
+        assert_eq!(unsuppressed(&out, "one-train-loop"), 2, "{out:?}");
+        assert!(out[1].message.contains("CqRng"));
+        // engine.rs owns the loop; other crates may iterate epochs freely.
         for rel in ["crates/core/src/engine.rs", "crates/eval/src/probe.rs"] {
-            let mut v = Vec::new();
-            lint_one_train_loop_in(rel, &epoch_loop, &mut v);
-            assert!(v.is_empty(), "{rel}: {v:?}");
-        }
-        // Test modules and marked sites are exempt.
-        let in_tests = format!(
-            "fn f() {{}}\n#[cfg(test)]\nmod t {{\nfn g() {{ let r = {}(7); }}\n}}\n",
-            STDRNG_SEED_PAT
-        );
-        let marked = format!(
-            "fn f() {{\n    for e in 0..cfg{} {{}} // {} — migration shim\n}}\n",
-            EPOCHS_FIELD_PAT, ALLOW_MARKER
-        );
-        for text in [in_tests, marked] {
-            let mut v = Vec::new();
-            lint_one_train_loop_in("crates/core/src/simclr.rs", &text, &mut v);
-            assert!(v.is_empty(), "{text}: {v:?}");
+            let out = check_one(rel, src, &OneTrainLoop);
+            assert_eq!(unsuppressed(&out, "one-train-loop"), 0, "{rel}: {out:?}");
         }
     }
 
     #[test]
-    fn finds_layer_impls_outside_tests_only() {
-        let text =
-            "impl Layer for Conv9 {\n}\n#[cfg(test)]\nmod t {\nimpl Layer for Fake {\n}\n}\n";
-        assert_eq!(layer_impls_in(text), vec!["Conv9".to_string()]);
+    fn gradcheck_lint_finds_uncovered_impls() {
+        let src = "impl Layer for Conv9 {\n}\n";
+        let out = check_one("x.rs", src, &GradcheckCoverage { logged: vec![] });
+        assert_eq!(unsuppressed(&out, "gradcheck-coverage"), 1, "{out:?}");
+        assert!(out[0].message.contains("Conv9"));
+
+        let covered = "impl Layer for Conv9 {\n}\n#[cfg(test)]\nmod t {\n    fn g() { check_layer_with(x); }\n}\n";
+        let out = check_one("x.rs", covered, &GradcheckCoverage { logged: vec![] });
+        assert_eq!(unsuppressed(&out, "gradcheck-coverage"), 0, "{out:?}");
+
+        let logged = GradcheckCoverage {
+            logged: vec!["Conv9".into()],
+        };
+        let out = check_one("x.rs", src, &logged);
+        assert_eq!(unsuppressed(&out, "gradcheck-coverage"), 0, "{out:?}");
     }
 
     #[test]
-    fn repo_sources_pass_both_lints() {
-        let violations = lint_workspace(&default_root());
-        assert!(violations.is_empty(), "violations:\n{violations:#?}");
+    fn test_impls_are_ignored() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod t {\n    impl Layer for Fake {}\n}\n";
+        let out = check_one("x.rs", src, &GradcheckCoverage { logged: vec![] });
+        assert_eq!(unsuppressed(&out, "gradcheck-coverage"), 0, "{out:?}");
     }
 
     #[test]
-    fn workspace_sources_skip_bin_dirs() {
+    fn repo_sources_pass_all_source_lints() {
+        let findings = lint_workspace(&default_root());
+        let bad: Vec<_> = findings.iter().filter(|f| !f.suppressed).collect();
+        assert!(bad.is_empty(), "violations:\n{bad:#?}");
+        // The gate is live, not vacuous: the workspace carries real,
+        // justified suppressions that these passes matched.
+        assert!(findings.iter().any(|f| f.suppressed));
+    }
+
+    #[test]
+    fn workspace_sources_skip_bin_target_vendor_and_symlinks() {
+        use std::fs;
+        let base = std::env::temp_dir().join(format!("cq-ws-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        let src = base.join("crates/alpha/src");
+        fs::create_dir_all(src.join("sub")).unwrap();
+        fs::create_dir_all(src.join("bin")).unwrap();
+        fs::create_dir_all(src.join("target/debug")).unwrap();
+        fs::create_dir_all(src.join("vendor/dep")).unwrap();
+        fs::create_dir_all(src.join(".hidden")).unwrap();
+        for (p, body) in [
+            ("lib.rs", "pub fn a() {}"),
+            ("sub/mod.rs", "pub fn b() {}"),
+            ("bin/tool.rs", "fn main() {}"),
+            ("target/debug/gen.rs", "fn junk() {}"),
+            ("vendor/dep/lib.rs", "fn dep() {}"),
+            (".hidden/x.rs", "fn hidden() {}"),
+        ] {
+            fs::write(src.join(p), body).unwrap();
+        }
+        #[cfg(unix)]
+        {
+            // A directory cycle and a file link — neither may be walked.
+            std::os::unix::fs::symlink(&base, src.join("loop")).unwrap();
+            std::os::unix::fs::symlink(src.join("lib.rs"), src.join("linked.rs")).unwrap();
+        }
+        let files = workspace_sources(&base);
+        let rels: Vec<String> = files
+            .iter()
+            .map(|f| f.strip_prefix(&base).unwrap().display().to_string())
+            .collect();
+        assert_eq!(
+            rels,
+            vec![
+                "crates/alpha/src/lib.rs".to_string(),
+                "crates/alpha/src/sub/mod.rs".to_string()
+            ],
+            "walked set must pin exactly the library sources"
+        );
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn repo_workspace_sources_are_library_code_only() {
         let files = workspace_sources(&default_root());
         assert!(!files.is_empty());
-        assert!(files
-            .iter()
-            .all(|f| !f.components().any(|c| c.as_os_str() == "bin")));
+        for f in &files {
+            let has = |n: &str| f.components().any(|c| c.as_os_str() == n);
+            assert!(!has("bin") && !has("target") && !has("vendor"), "{f:?}");
+        }
         assert!(files.iter().any(|f| f.ends_with("crates/nn/src/layer.rs")));
     }
 }

@@ -1,48 +1,89 @@
 //! `cq-check` — static analysis gate for the contrastive-quant stack.
 //!
-//! Runs three passes (config validation, negative checks, source lints)
-//! and exits non-zero on any violation. Usage:
+//! Runs five passes (config validation, negative checks, quant-soundness
+//! dataflow, source lints, determinism audit) over the workspace. Usage:
 //!
 //! ```text
-//! cq-check [--root <workspace>] [--verbose]
+//! cq-check [--root <workspace>] [--verbose] [--json]
+//!          [--baseline <file>] [--write-baseline <file>]
+//!          [--deny-warnings]
 //! ```
 //!
-//! `--verbose` prints a per-config table (feature/projector dims,
-//! parameter counts, FLOPs) for every built-in experiment configuration.
+//! Exit codes (stable contract for CI consumers):
+//!
+//! | code | meaning                                          |
+//! |------|--------------------------------------------------|
+//! | 0    | no unsuppressed findings                         |
+//! | 1    | at least one unsuppressed error-severity finding |
+//! | 2    | usage error (unknown flag, unreadable baseline)  |
+//! | 3    | unsuppressed warnings only (no errors)           |
+//!
+//! `--deny-warnings` promotes exit 3 to exit 1. `--json` prints the full
+//! finding list (suppressed included) as a JSON array on stdout and
+//! nothing else; exit codes are unchanged. `--write-baseline` snapshots
+//! the current unsuppressed findings to a baseline file that a later
+//! `--baseline` run tolerates (and reports stale entries of).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cq_check::{configs, lint};
+use cq_check::analysis::{findings_to_json, Baseline};
+use cq_check::{configs, lint, quantflow, Finding, Severity};
 
-fn main() -> ExitCode {
-    let mut root = lint::default_root();
-    let mut verbose = false;
+/// Parsed command line.
+struct Opts {
+    root: PathBuf,
+    verbose: bool,
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    deny_warnings: bool,
+}
+
+/// Parses argv; `Err` carries a usage message (exit 2).
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: lint::default_root(),
+        verbose: false,
+        json: false,
+        baseline: None,
+        write_baseline: None,
+        deny_warnings: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => {
-                if let Some(v) = args.next() {
-                    root = PathBuf::from(v);
-                }
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a path")?);
             }
-            "--verbose" | "-v" => verbose = true,
-            other => {
-                eprintln!("cq-check: unknown argument `{other}`");
-                return ExitCode::from(2);
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?));
             }
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(
+                    args.next().ok_or("--write-baseline needs a path")?,
+                ));
+            }
+            "--verbose" | "-v" => opts.verbose = true,
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    Ok(opts)
+}
 
-    let mut violations = Vec::new();
+/// Collects every pass's findings in a stable order.
+fn run_all(opts: &Opts, status: &mut Vec<String>) -> Vec<Finding> {
+    let mut findings = Vec::new();
 
-    let (reports, mut config_violations) = configs::validate_builtin();
-    println!(
-        "[configs]  {} built-in encoder configs statically sound, {} violations",
+    let (reports, mut config_findings) = configs::validate_builtin();
+    status.push(format!(
+        "[configs]     {} built-in encoder configs statically sound, {} findings",
         reports.len(),
-        config_violations.len()
-    );
-    if verbose {
+        config_findings.len()
+    ));
+    if opts.verbose && !opts.json {
         println!(
             "  {:<40} {:>6} {:>6} {:>10} {:>14}",
             "config", "feat", "out", "params", "flops"
@@ -54,41 +95,144 @@ fn main() -> ExitCode {
             );
         }
     }
-    violations.append(&mut config_violations);
+    findings.append(&mut config_findings);
 
-    let mut negative_violations = configs::negative_checks();
-    println!(
-        "[negative] broken-config rejection checks: {} violations",
-        negative_violations.len()
-    );
-    violations.append(&mut negative_violations);
+    let mut negative_findings = configs::negative_checks();
+    status.push(format!(
+        "[negative]    broken-config rejection checks: {} findings",
+        negative_findings.len()
+    ));
+    findings.append(&mut negative_findings);
 
-    let mut lint_violations = lint::lint_workspace(&root);
-    let scanned = lint::workspace_sources(&root).len();
-    println!(
-        "[lint]     scanned {scanned} library sources under {}: {} violations",
-        root.display(),
-        lint_violations.len()
-    );
+    let (qreports, mut quant_findings) = quantflow::quant_soundness_builtin();
+    let min_int_bits = qreports.iter().map(|r| r.max_int_bits).min().unwrap_or(0);
+    status.push(format!(
+        "[quant]       {} configs bound-propagated, min proven int-inference width {} bits, {} findings",
+        qreports.len(),
+        min_int_bits,
+        quant_findings.len()
+    ));
+    if opts.verbose && !opts.json {
+        println!(
+            "  {:<40} {:>7} {:>12} {:>12} {:>9}",
+            "config", "layers", "worst K", "max bound", "int bits"
+        );
+        for r in &qreports {
+            println!(
+                "  {:<40} {:>7} {:>12} {:>12.1} {:>9}",
+                r.label, r.layers, r.worst_mac_taps, r.max_bound, r.max_int_bits
+            );
+        }
+    }
+    findings.append(&mut quant_findings);
+
+    // One combined pass over the sources: lint_workspace runs the lints
+    // and the determinism audit together so suppressions of either
+    // family match (see its docs).
+    let mut source_findings = lint::lint_workspace(&opts.root);
+    let scanned = lint::workspace_sources(&opts.root).len();
+    status.push(format!(
+        "[lint+det]    scanned {scanned} library sources under {}: {} findings",
+        opts.root.display(),
+        source_findings.len()
+    ));
     // An empty scan means the root is wrong (typo'd --root, moved tree);
     // reporting PASS over zero files would make the gate vacuous.
     if scanned == 0 {
-        violations.push(cq_check::Violation {
-            pass: "lint",
-            location: root.display().to_string(),
-            message: "no library sources found under this root (wrong --root?)".into(),
-        });
+        findings.push(Finding::error(
+            "lint",
+            "empty-scan",
+            opts.root.display().to_string(),
+            0,
+            "no library sources found under this root (wrong --root?)",
+        ));
     }
-    violations.append(&mut lint_violations);
+    findings.append(&mut source_findings);
+    findings
+}
 
-    if violations.is_empty() {
-        println!("cq-check: PASS");
-        ExitCode::SUCCESS
-    } else {
-        for v in &violations {
-            eprintln!("{v}");
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("cq-check: {msg}");
+            return ExitCode::from(2);
         }
-        eprintln!("cq-check: FAIL ({} violations)", violations.len());
-        ExitCode::FAILURE
+    };
+
+    let mut status = Vec::new();
+    let mut findings = run_all(&opts, &mut status);
+
+    if let Some(path) = &opts.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let bl = Baseline::parse(&text);
+                let mut stale = bl.apply(&mut findings);
+                status.push(format!(
+                    "[baseline]    {} entries from {}, {} stale",
+                    bl.len(),
+                    path.display(),
+                    stale.len()
+                ));
+                findings.append(&mut stale);
+            }
+            Err(e) => {
+                eprintln!("cq-check: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &opts.write_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cq-check: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        status.push(format!("[baseline]    wrote {}", path.display()));
+    }
+
+    let errors = findings
+        .iter()
+        .filter(|f| !f.suppressed && f.severity == Severity::Error)
+        .count();
+    let warnings = findings
+        .iter()
+        .filter(|f| !f.suppressed && f.severity == Severity::Warning)
+        .count();
+    let suppressed = findings.iter().filter(|f| f.suppressed).count();
+
+    if opts.json {
+        println!("{}", findings_to_json(&findings));
+    } else {
+        for line in &status {
+            println!("{line}");
+        }
+        for f in &findings {
+            if !f.suppressed {
+                eprintln!("{f}");
+            } else if opts.verbose {
+                println!("{f}");
+            }
+        }
+        if errors == 0 && warnings == 0 {
+            println!("cq-check: PASS ({suppressed} suppressed findings)");
+        } else {
+            eprintln!(
+                "cq-check: FAIL ({errors} errors, {warnings} warnings, {suppressed} suppressed)"
+            );
+        }
+    }
+
+    if errors > 0 {
+        ExitCode::from(1)
+    } else if warnings > 0 {
+        if opts.deny_warnings {
+            ExitCode::from(1)
+        } else {
+            ExitCode::from(3)
+        }
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -1,0 +1,432 @@
+//! Quantization-soundness dataflow over the Plan IR.
+//!
+//! Walks every built-in encoder plan and statically verifies, at each
+//! supported bit-width, the three properties real integer inference (the
+//! ROADMAP's i8/i4 path) will depend on:
+//!
+//! 1. **Clip-range propagation** — a symmetric per-layer value bound
+//!    `[-b, b]` is propagated through the stack (convs multiply it by
+//!    their tap count and the weight clip range, BatchNorm re-normalizes
+//!    it, Relu6 clamps it, residual sums add branch bounds). The bound
+//!    must stay finite and positive at every layer; a plan that inflates
+//!    it past `f32` range has no representable quantization grid.
+//! 2. **Grid alignment** — the uniform grid `step = 2b / (2^q - 1)` must
+//!    be a normal `f32` (not zero, subnormal, or infinite) and must
+//!    reconstruct the clip range: `(2^q - 1) · step ≈ 2b`. A subnormal
+//!    step collapses distinct levels; a non-reconstructing one clips
+//!    asymmetrically.
+//! 3. **i32-accumulator bounds** — for every MAC layer (conv, depthwise,
+//!    linear) with `K` taps, the worst-case integer accumulation
+//!    `K·(2^q-1)² + (2^q-1)` must fit in `i32` for every bit-width `q ≤ 8`
+//!    (the integer-inference target; `(2^16-1)²` alone exceeds `i32::MAX`,
+//!    so wider widths stay on the float fake-quant path by construction).
+//!    Pooling sums are not checked: they accumulate values, not products,
+//!    and overflow only beyond ~8M-element windows.
+//!
+//! The bound constants are the modeling assumptions of the fake-quant
+//! pipeline, documented here rather than scattered: inputs are
+//! channel-standardized (≈ ±3σ), weights are clipped to `[-1, 1]` by the
+//! quantizer, and post-BatchNorm activations are taken at ±8σ.
+//!
+//! Findings report under pass `quant` with lints `bound-nonfinite`,
+//! `scale-nonfinite`, `grid-misaligned`, and `acc-overflow`, attributed
+//! `config-label / layer-name`.
+
+use cq_bench::{Protocol, Regime, Scale};
+use cq_models::plan::{encoder_plan, NOMINAL_INPUT};
+use cq_models::Arch;
+use cq_nn::spec::{LayerKind, Plan};
+
+use crate::analysis::Finding;
+
+/// Pass name the quant dataflow reports under.
+const PASS: &str = "quant";
+
+/// Clip bound assumed for channel-standardized input pixels (±3σ).
+pub const INPUT_BOUND: f64 = 3.0;
+
+/// Weight clip range enforced by the fake quantizer.
+pub const W_BOUND: f64 = 1.0;
+
+/// Post-BatchNorm activation bound (±8σ of the normalized activation).
+pub const BN_BOUND: f64 = 8.0;
+
+/// Bit-widths the quantizer supports (`Precision::bits` range).
+pub const Q_RANGE: std::ops::RangeInclusive<u8> = 2..=16;
+
+/// Largest bit-width required to run on the i32 integer-inference path.
+pub const INT_INFER_MAX_BITS: u8 = 8;
+
+/// Relative tolerance for grid reconstruction (`(2^q-1)·step` vs `2b`).
+const GRID_RTOL: f32 = 1e-3;
+
+/// Per-config result of the dataflow walk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantReport {
+    /// Config label (`scale/regime/arch/head`).
+    pub label: String,
+    /// Number of leaf layers walked (composites flattened).
+    pub layers: usize,
+    /// Largest MAC tap count `K` in the plan (conv `in_ch·kh·kw`,
+    /// linear `in_features`, +1 for bias).
+    pub worst_mac_taps: u64,
+    /// Largest propagated activation bound.
+    pub max_bound: f64,
+    /// Largest bit-width whose worst-case accumulation fits `i32` — the
+    /// statically proven ceiling for the integer-inference path.
+    pub max_int_bits: u8,
+}
+
+/// Worst-case i32 accumulation for `taps` products of `q`-bit magnitudes
+/// plus a `q`-bit bias term.
+fn acc_worst(taps: u64, q: u8) -> u128 {
+    let m = (1u128 << q) - 1;
+    taps as u128 * m * m + m
+}
+
+/// Whether `taps`-wide MAC accumulation fits `i32` at bit-width `q`.
+fn acc_fits_i32(taps: u64, q: u8) -> bool {
+    acc_worst(taps, q) <= i32::MAX as u128
+}
+
+/// MAC tap count of a leaf layer, or `None` for non-MAC layers.
+fn mac_taps(kind: &LayerKind) -> Option<u64> {
+    match kind {
+        LayerKind::Conv2d {
+            in_ch, spec, bias, ..
+        } => {
+            let (kh, kw) = spec.kernel;
+            Some((in_ch * kh * kw + usize::from(*bias)) as u64)
+        }
+        LayerKind::DepthwiseConv2d { spec, .. } => {
+            let (kh, kw) = spec.kernel;
+            Some((kh * kw) as u64)
+        }
+        LayerKind::Linear {
+            in_features, bias, ..
+        } => Some((in_features + usize::from(*bias)) as u64),
+        _ => None,
+    }
+}
+
+/// State threaded through the recursive walk.
+struct Walk<'a> {
+    label: &'a str,
+    findings: Vec<Finding>,
+    layers: usize,
+    worst_mac_taps: u64,
+    max_bound: f64,
+}
+
+impl Walk<'_> {
+    fn fail(&mut self, lint: &'static str, layer: &str, msg: String) {
+        self.findings.push(Finding::error(
+            PASS,
+            lint,
+            format!("{} / {layer}", self.label),
+            0,
+            msg,
+        ));
+    }
+
+    /// Checks the quantization grid of a value bound `b` at every
+    /// supported bit-width.
+    fn check_grid(&mut self, layer: &str, b: f64) {
+        if !b.is_finite() || b <= 0.0 {
+            self.fail(
+                "bound-nonfinite",
+                layer,
+                format!("propagated clip bound {b:e} is not a positive finite value"),
+            );
+            return;
+        }
+        for q in Q_RANGE {
+            let levels = (1u32 << q) - 1;
+            let step = (2.0 * b / levels as f64) as f32;
+            if !step.is_normal() {
+                self.fail(
+                    "scale-nonfinite",
+                    layer,
+                    format!(
+                        "quantization step {step:e} at {q}-bit (bound {b:e}) is not a \
+                         normal f32 — the grid is unrepresentable"
+                    ),
+                );
+                continue;
+            }
+            let recon = step as f64 * levels as f64;
+            let rel = ((recon - 2.0 * b) / (2.0 * b)).abs() as f32;
+            if rel > GRID_RTOL {
+                self.fail(
+                    "grid-misaligned",
+                    layer,
+                    format!(
+                        "{q}-bit grid reconstructs clip range {recon:e} vs {:e} \
+                         (relative error {rel:e}) — levels do not tile the range",
+                        2.0 * b
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Checks i32 accumulator fit for a MAC layer with `taps` taps at the
+    /// integer-inference bit-widths.
+    fn check_acc(&mut self, layer: &str, taps: u64) {
+        self.worst_mac_taps = self.worst_mac_taps.max(taps);
+        for q in Q_RANGE {
+            if q > INT_INFER_MAX_BITS {
+                break;
+            }
+            if !acc_fits_i32(taps, q) {
+                self.fail(
+                    "acc-overflow",
+                    layer,
+                    format!(
+                        "{taps}-tap MAC at {q}-bit accumulates up to {} > i32::MAX \
+                         ({}) — integer inference would overflow",
+                        acc_worst(taps, q),
+                        i32::MAX
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Propagates the value bound through one plan, returning the output
+    /// bound.
+    fn walk(&mut self, plan: &Plan, mut bound: f64) -> f64 {
+        for layer in plan.layers() {
+            bound = self.walk_layer(&layer.name, &layer.kind, bound);
+        }
+        bound
+    }
+
+    fn walk_layer(&mut self, name: &str, kind: &LayerKind, bound: f64) -> f64 {
+        let out = match kind {
+            LayerKind::Residual { main, skip } => {
+                let mb = self.walk(main, bound);
+                let sb = match skip {
+                    Some(p) => self.walk(p, bound),
+                    None => bound,
+                };
+                mb + sb // elementwise sum adds worst-case branch bounds
+            }
+            LayerKind::Block(p) => return self.walk(p, bound),
+            _ => {
+                self.layers += 1;
+                if let Some(taps) = mac_taps(kind) {
+                    self.check_acc(name, taps);
+                }
+                match kind {
+                    // A K-tap MAC of clipped weights scales the bound by
+                    // K·W_BOUND in the worst case.
+                    LayerKind::Conv2d { .. }
+                    | LayerKind::DepthwiseConv2d { .. }
+                    | LayerKind::Linear { .. } => {
+                        // cq-allow(no-unwrap): mac_taps covers every MAC arm above
+                        bound * W_BOUND * mac_taps(kind).unwrap() as f64
+                    }
+                    // Normalization re-standardizes the activation.
+                    LayerKind::BatchNorm2d { .. } | LayerKind::BatchNorm1d { .. } => BN_BOUND,
+                    LayerKind::Relu6 => bound.min(6.0),
+                    // Relu halves the support but not the magnitude bound;
+                    // pooling (max or mean) never exceeds its inputs.
+                    LayerKind::Relu
+                    | LayerKind::MaxPool2d { .. }
+                    | LayerKind::AvgPool2d { .. }
+                    | LayerKind::GlobalAvgPool => bound,
+                    LayerKind::Residual { .. } | LayerKind::Block(_) => unreachable!(),
+                }
+            }
+        };
+        self.max_bound = self.max_bound.max(out);
+        self.check_grid(name, out);
+        out
+    }
+}
+
+/// Runs the dataflow over one plan, labeling findings with `label`.
+/// Returns the report and any findings.
+pub fn check_plan(label: &str, plan: &Plan) -> (QuantReport, Vec<Finding>) {
+    let mut w = Walk {
+        label,
+        findings: Vec::new(),
+        layers: 0,
+        worst_mac_taps: 0,
+        max_bound: INPUT_BOUND,
+    };
+    w.walk(plan, INPUT_BOUND);
+    let max_int_bits = Q_RANGE
+        .rev()
+        .find(|&q| acc_fits_i32(w.worst_mac_taps.max(1), q))
+        .unwrap_or(0);
+    let report = QuantReport {
+        label: label.to_string(),
+        layers: w.layers,
+        worst_mac_taps: w.worst_mac_taps,
+        max_bound: w.max_bound,
+        max_int_bits,
+    };
+    (report, w.findings)
+}
+
+/// Runs the quantization-soundness dataflow over all 48 built-in encoder
+/// configurations (2 scales × 2 regimes × 6 architectures × 2 heads).
+pub fn quant_soundness_builtin() -> (Vec<QuantReport>, Vec<Finding>) {
+    let mut reports = Vec::new();
+    let mut findings = Vec::new();
+    for (scale, sname) in [(Scale::Quick, "quick"), (Scale::Paper, "paper")] {
+        for (regime, rname) in [
+            (Regime::CifarLike, "cifarlike"),
+            (Regime::ImagenetLike, "imagenetlike"),
+        ] {
+            let proto = Protocol::new(regime, scale);
+            for arch in Arch::all() {
+                for (cfg, head) in [
+                    (proto.encoder_cfg(arch), "simclr"),
+                    (proto.byol_encoder_cfg(arch), "byol"),
+                ] {
+                    let label = format!("{sname}/{rname}/{arch:?}/{head}");
+                    match encoder_plan(&cfg) {
+                        Err(e) => findings.push(Finding::error(
+                            PASS,
+                            "bound-nonfinite",
+                            label,
+                            0,
+                            format!("encoder plan failed to build: {e}"),
+                        )),
+                        Ok((plan, _, _)) => {
+                            // The plan is shape-sound (the configs pass
+                            // proves it); here we only need the dataflow.
+                            debug_assert!(plan.infer(&NOMINAL_INPUT).is_ok());
+                            let (report, mut f) = check_plan(&label, &plan);
+                            reports.push(report);
+                            findings.append(&mut f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (reports, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_tensor::Conv2dSpec;
+
+    #[test]
+    fn all_48_builtin_configs_are_quant_sound() {
+        let (reports, findings) = quant_soundness_builtin();
+        assert!(findings.is_empty(), "findings: {findings:#?}");
+        assert_eq!(reports.len(), 48);
+        for r in &reports {
+            assert!(r.layers > 0, "{}: empty walk", r.label);
+            assert!(r.worst_mac_taps > 0, "{}: no MAC layers", r.label);
+            // Every built-in config must support the full integer-inference
+            // target range statically.
+            assert!(
+                r.max_int_bits >= INT_INFER_MAX_BITS,
+                "{}: max_int_bits {} < {INT_INFER_MAX_BITS}",
+                r.label,
+                r.max_int_bits
+            );
+            assert!(r.max_bound.is_finite() && r.max_bound > 0.0);
+        }
+    }
+
+    #[test]
+    fn overflow_prone_synthetic_config_is_rejected() {
+        // A 40k-input linear layer: 40_001 · (2^8-1)^2 ≈ 2.6e9 > i32::MAX,
+        // so the 8-bit integer path would overflow its accumulator.
+        let mut plan = Plan::new();
+        plan.push(
+            "huge.fc",
+            LayerKind::Linear {
+                in_features: 40_000,
+                out_features: 8,
+                bias: true,
+            },
+        );
+        let (report, findings) = check_plan("synthetic/overflow", &plan);
+        let acc: Vec<_> = findings
+            .iter()
+            .filter(|f| f.lint == "acc-overflow")
+            .collect();
+        assert!(!acc.is_empty(), "expected acc-overflow, got {findings:?}");
+        assert!(acc[0].file.contains("huge.fc"), "{:?}", acc[0]);
+        assert!(acc[0].message.contains("i32::MAX"));
+        assert!(report.max_int_bits < INT_INFER_MAX_BITS);
+    }
+
+    #[test]
+    fn unnormalized_deep_stack_breaks_the_grid() {
+        // Twelve 512-channel 3x3 convs with no BatchNorm between them:
+        // the bound inflates by 4608x per layer and the f32 step overflows.
+        let mut plan = Plan::new();
+        for i in 0..12 {
+            plan.push(
+                format!("conv{i}"),
+                LayerKind::Conv2d {
+                    in_ch: 512,
+                    out_ch: 512,
+                    spec: Conv2dSpec::new(3, 1, 1),
+                    bias: false,
+                },
+            );
+        }
+        let (_, findings) = check_plan("synthetic/no-bn", &plan);
+        assert!(
+            findings.iter().any(|f| f.lint == "scale-nonfinite"),
+            "expected scale-nonfinite, got {findings:?}"
+        );
+    }
+
+    #[test]
+    fn bn_resets_the_bound_and_relu6_clamps_it() {
+        let mut plan = Plan::new();
+        plan.push(
+            "conv",
+            LayerKind::Conv2d {
+                in_ch: 64,
+                out_ch: 64,
+                spec: Conv2dSpec::new(3, 1, 1),
+                bias: false,
+            },
+        );
+        plan.push("bn", LayerKind::BatchNorm2d { channels: 64 });
+        plan.push("act", LayerKind::Relu6);
+        let (report, findings) = check_plan("synthetic/bn-relu6", &plan);
+        assert!(findings.is_empty(), "{findings:?}");
+        // conv: 3 * 1.0 * 576 = 1728; bn resets to 8; relu6 clamps to 6.
+        assert_eq!(report.max_bound, INPUT_BOUND * 64.0 * 9.0);
+        assert_eq!(report.layers, 3);
+    }
+
+    #[test]
+    fn residual_adds_branch_bounds() {
+        let mut main = Plan::new();
+        main.push("m.bn", LayerKind::BatchNorm2d { channels: 4 });
+        let mut plan = Plan::new();
+        plan.push("block", LayerKind::Residual { main, skip: None });
+        let (report, findings) = check_plan("synthetic/residual", &plan);
+        assert!(findings.is_empty(), "{findings:?}");
+        // main ends at BN_BOUND, identity skip carries INPUT_BOUND.
+        assert_eq!(report.max_bound, BN_BOUND + INPUT_BOUND);
+    }
+
+    #[test]
+    fn accumulator_math_matches_the_documented_formula() {
+        // 8-bit: K*(255^2) + 255 <= i32::MAX iff K <= 33025.
+        assert!(acc_fits_i32(33_000, 8));
+        assert!(!acc_fits_i32(33_026, 8));
+        // 16-bit never fits: a single product exceeds i32::MAX.
+        assert!(!acc_fits_i32(1, 16));
+        // Typical ResNet worst case (512 * 3 * 3) is comfortably safe.
+        assert!(acc_fits_i32(4608, 8));
+        assert!(acc_fits_i32(4608, 9));
+        assert!(!acc_fits_i32(4608, 10));
+    }
+}

@@ -194,6 +194,7 @@ impl ByolTrainer {
                 cfg.pipeline
             )));
         }
+        // cq-allow(det-rng-ctor): one-shot init stream derived from the run seed, consumed before training
         let mut rng = CqRng::seed_from_u64(cfg.seed ^ 0x1234);
         // Duplicate into the target BEFORE registering the predictor: the
         // target network has no prediction head.

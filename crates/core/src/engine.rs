@@ -378,6 +378,7 @@ impl<M: SslMethod> TrainLoop<M> {
         let sched = CosineSchedule::new(self.cfg.lr, total, total / 20);
         let stop = stop_epoch.min(self.cfg.epochs);
         while self.epochs_done < stop {
+            // cq-allow(det-time-source): epoch wall-time telemetry only; never feeds a computation
             let epoch_start = std::time::Instant::now();
             let batches = self.loader.epoch(dataset);
             let mut losses = Vec::with_capacity(batches.len());

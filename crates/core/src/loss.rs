@@ -108,6 +108,7 @@ pub fn nt_xent(a: &Tensor, b: &Tensor, temperature: f32) -> Result<PairLoss, NnE
         let zrow = &zs[i * d..(i + 1) * d];
         let urow = &us[i * d..(i + 1) * d];
         let durow = &dus[i * d..(i + 1) * d];
+        // cq-allow(det-float-accum): sequential slice-order sum, fixed by construction
         let norm = zrow.iter().map(|&v| v * v).sum::<f32>().sqrt().max(1e-12);
         let dot: f32 = durow.iter().zip(urow).map(|(&g, &uu)| g * uu).sum();
         for k in 0..d {
@@ -151,7 +152,9 @@ pub fn byol_regression(p: &Tensor, t: &Tensor) -> Result<PairLoss, NnError> {
     for i in 0..n {
         let pr = &psl[i * d..(i + 1) * d];
         let tr = &tsl[i * d..(i + 1) * d];
+        // cq-allow(det-float-accum): sequential slice-order sum, fixed by construction
         let pn = pr.iter().map(|&v| v * v).sum::<f32>().sqrt().max(1e-12);
+        // cq-allow(det-float-accum): sequential slice-order sum, fixed by construction
         let tn = tr.iter().map(|&v| v * v).sum::<f32>().sqrt().max(1e-12);
         let dot: f32 = pr.iter().zip(tr).map(|(&a, &b)| a * b).sum();
         let cos = dot / (pn * tn);

@@ -151,6 +151,7 @@ impl SimsiamTrainer {
                 cfg.pipeline
             )));
         }
+        // cq-allow(det-rng-ctor): one-shot init stream derived from the run seed, consumed before training
         let mut rng = CqRng::seed_from_u64(cfg.seed ^ 0x51A51);
         let encoder_params = encoder.params().len();
         let pd = encoder.proj_dim();

@@ -86,6 +86,7 @@ impl DetDataset {
     }
 
     fn render_split(cfg: &DetectionConfig, n: usize, seed: u64) -> DetDataset {
+        // cq-allow(det-rng-ctor): synthetic dataset rendered from the split seed, regenerated identically each run
         let mut rng = StdRng::seed_from_u64(seed);
         let mut images = Vec::with_capacity(n);
         let mut annotations = Vec::with_capacity(n);

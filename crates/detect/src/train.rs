@@ -62,6 +62,7 @@ pub fn train_detector(
     test: &DetDataset,
     cfg: &DetectorConfig,
 ) -> Result<DetMetrics, NnError> {
+    // cq-allow(det-rng-ctor): detection transfer is a short un-checkpointed eval; its stream replays from cfg.seed
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut model = encoder.duplicate()?;
     let channels = model.feat_dim(); // spatial channels == feature dim

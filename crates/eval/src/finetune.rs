@@ -79,6 +79,7 @@ pub fn finetune(
     test: &Dataset,
     cfg: &FinetuneConfig,
 ) -> Result<FinetuneResult, NnError> {
+    // cq-allow(det-rng-ctor): evaluation protocol is un-checkpointed; its stream replays from cfg.seed
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let subset = train.stratified_subset(cfg.label_fraction, &mut rng);
 
@@ -130,6 +131,7 @@ pub fn finetune(
         epoch_losses.push(if losses.is_empty() {
             f32::NAN
         } else {
+            // cq-allow(det-float-accum): per-batch losses averaged in batch order
             losses.iter().sum::<f32>() / losses.len() as f32
         });
     }

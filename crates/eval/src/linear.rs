@@ -62,6 +62,7 @@ pub fn linear_eval(
     // Standardise features (helps SGD conditioning; fit on train only).
     let (ftr, fte) = standardise(&ftr, &fte, d);
 
+    // cq-allow(det-rng-ctor): evaluation protocol is un-checkpointed; its stream replays from cfg.seed
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut w = Tensor::xavier_uniform(&[num_classes, d], d, num_classes, &mut rng);
     let mut b = Tensor::zeros(&[num_classes]);

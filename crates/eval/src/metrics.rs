@@ -35,7 +35,10 @@ pub fn knn_accuracy(features: &Tensor, labels: &[usize], k: usize) -> f32 {
         dists.select_nth_unstable_by(kk - 1, |a, b| {
             a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
         });
-        let mut votes = std::collections::HashMap::new();
+        // BTreeMap, not HashMap: max_by_key takes the last maximum in
+        // iteration order, so vote ties must break by label, not by
+        // whatever SipHash key this process drew.
+        let mut votes = std::collections::BTreeMap::new();
         for &(_, l) in &dists[..kk] {
             *votes.entry(l).or_insert(0usize) += 1;
         }

@@ -121,6 +121,7 @@ pub fn tsne(features: &Tensor, cfg: &TsneConfig) -> Tensor {
     }
 
     // Gradient descent on the 2-D embedding.
+    // cq-allow(det-rng-ctor): visualization is un-checkpointed; its stream replays from cfg.seed
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut y = Tensor::randn(&[n, 2], 0.0, 1e-2, &mut rng).into_vec();
     let mut vel = vec![0.0f32; n * 2];

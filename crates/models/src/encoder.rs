@@ -112,6 +112,7 @@ impl Encoder {
     pub fn new(cfg: &EncoderConfig, seed: u64) -> Result<Self, NnError> {
         crate::plan::validate_encoder(cfg)
             .map_err(|e| NnError::Param(format!("invalid encoder config: {e}")))?;
+        // cq-allow(det-rng-ctor): one-shot weight-init stream derived from the caller's seed, consumed before training
         let mut rng = StdRng::seed_from_u64(seed);
         let mut params = ParamSet::new();
         let (backbone, feat_dim) = match cfg.arch {

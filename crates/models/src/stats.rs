@@ -43,6 +43,7 @@ fn normalized_rows(z: &Tensor) -> Result<(Vec<f32>, usize, usize), NnError> {
     let mut rows = z.as_slice().to_vec();
     for i in 0..n {
         let row = &mut rows[i * d..(i + 1) * d];
+        // cq-allow(det-float-accum): sequential slice-order sum, fixed by construction
         let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
         for v in row.iter_mut() {
             *v /= norm;
@@ -92,6 +93,7 @@ pub fn embedding_stats(z1: &Tensor, z2: &Tensor) -> Result<EmbeddingStats, NnErr
     let rows = all.len();
     let mut feature_std = 0.0f64;
     for dim in 0..d {
+        // cq-allow(det-float-accum): row-order f64 sum over a fixed embedding set
         let mean: f64 = all.iter().map(|r| r[dim] as f64).sum::<f64>() / rows as f64;
         let var: f64 = all
             .iter()
@@ -99,6 +101,7 @@ pub fn embedding_stats(z1: &Tensor, z2: &Tensor) -> Result<EmbeddingStats, NnErr
                 let dv = r[dim] as f64 - mean;
                 dv * dv
             })
+            // cq-allow(det-float-accum): row-order f64 sum over a fixed embedding set
             .sum::<f64>()
             / rows as f64;
         feature_std += var.sqrt();

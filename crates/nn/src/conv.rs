@@ -297,6 +297,7 @@ impl Layer for Conv2d {
             for i in 0..n {
                 for (co, dbv) in db.iter_mut().enumerate() {
                     let base = (i * o + co) * oh * ow;
+                    // cq-allow(det-float-accum): contiguous slice sum in index order
                     *dbv += dys[base..base + oh * ow].iter().sum::<f32>();
                 }
             }

@@ -123,6 +123,7 @@ fn run_check<L: Layer>(
     eps: f32,
     soft: bool,
 ) {
+    // cq-allow(det-rng-ctor): fixed-seed test utility; the stream is not training state
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     let x = Tensor::randn(input_shape, 0.0, 1.0, &mut rng);
 
@@ -198,6 +199,7 @@ fn run_check<L: Layer>(
         ));
     }
 
+    // cq-allow(det-float-accum): max-fold is order-independent
     let max_rel = results.iter().map(|(rel, _)| *rel).fold(0.0f32, f32::max);
     log_summary(layer.layer_kind(), max_rel, results.len());
 

@@ -76,6 +76,7 @@ impl BatchNormInner {
                 for o in 0..outer {
                     for (ci, mv) in mean.iter_mut().enumerate() {
                         let base = (o * c + ci) * inner;
+                        // cq-allow(det-float-accum): contiguous slice sum in index order
                         *mv += xs[base..base + inner].iter().sum::<f32>();
                     }
                 }
@@ -89,6 +90,7 @@ impl BatchNormInner {
                         var[ci] += xs[base..base + inner]
                             .iter()
                             .map(|&v| (v - mu) * (v - mu))
+                            // cq-allow(det-float-accum): contiguous slice sum in index order
                             .sum::<f32>();
                     }
                 }

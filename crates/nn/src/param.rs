@@ -309,6 +309,7 @@ impl GradSet {
 
     /// Global L2 norm across every gradient tensor.
     pub fn global_norm(&self) -> f32 {
+        // cq-allow(det-float-accum): tensors summed in fixed registration order
         self.tensors.iter().map(Tensor::sq_norm).sum::<f32>().sqrt()
     }
 

@@ -22,6 +22,7 @@ pub(crate) fn perturbed_weight(w: &Tensor, id: ParamId, ctx: &ForwardCtx) -> Opt
         let rms = (w.sq_norm() / w.len().max(1) as f32).sqrt();
         let sigma = noise.std * rms;
         if sigma > 0.0 {
+            // cq-allow(det-rng-ctor): stream re-derived per call from noise.seed and the layer id; stateless, nothing to checkpoint
             let mut rng = StdRng::seed_from_u64(
                 noise.seed ^ (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );

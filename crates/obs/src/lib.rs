@@ -465,7 +465,7 @@ mod tests {
         install(a.clone());
         install(b.clone());
         metric("m", 0, 1.0);
-        let got = uninstall().expect("a sink was installed"); // cq-check: allow — test-only helper, asserted one line above
+        let got = uninstall().expect("a sink was installed");
         reset();
         assert!(a.take().is_empty(), "replaced sink must see nothing");
         assert_eq!(b.take().len(), 1);

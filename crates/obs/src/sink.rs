@@ -279,7 +279,7 @@ mod tests {
         let _g = crate::test_lock();
         let dir = std::env::temp_dir();
         let path = dir.join(format!("cq-obs-test-{}.jsonl", std::process::id()));
-        let sink = JsonlSink::create(&path).expect("temp file"); // cq-check: allow — test-only
+        let sink = JsonlSink::create(&path).expect("temp file");
         sink.event(&Event::SpanStart {
             name: "skipped",
             depth: 0,
@@ -306,7 +306,7 @@ mod tests {
             message: "a \"quoted\"\nmessage".to_string(),
         });
         Sink::flush(&sink);
-        let text = std::fs::read_to_string(&path).expect("trace readable"); // cq-check: allow — test-only
+        let text = std::fs::read_to_string(&path).expect("trace readable");
         let _ = std::fs::remove_file(&path);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 5, "SpanStart must be skipped: {lines:?}");
@@ -384,7 +384,7 @@ mod tests {
         let _g = crate::test_lock();
         let dir = std::env::temp_dir();
         let path = dir.join(format!("cq-obs-health-{}.jsonl", std::process::id()));
-        let sink = JsonlSink::create(&path).expect("temp file"); // cq-check: allow — test-only
+        let sink = JsonlSink::create(&path).expect("temp file");
         sink.event(&Event::Health {
             detector: "nan_sentinel",
             verdict: crate::health::Verdict::Critical,
@@ -393,7 +393,7 @@ mod tests {
             message: "loss is NaN at step 3".to_string(),
         });
         Sink::flush(&sink);
-        let text = std::fs::read_to_string(&path).expect("trace readable"); // cq-check: allow — test-only
+        let text = std::fs::read_to_string(&path).expect("trace readable");
         let _ = std::fs::remove_file(&path);
         assert_eq!(
             text.trim(),

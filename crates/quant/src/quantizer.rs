@@ -169,6 +169,7 @@ pub fn quant_mse(t: &Tensor, precision: Precision, mode: QuantMode) -> f32 {
         .iter()
         .zip(q.as_slice())
         .map(|(&a, &b)| (a - b) * (a - b))
+        // cq-allow(det-float-accum): element-order sum over one tensor's slice
         .sum::<f32>()
         / t.len().max(1) as f32
 }

@@ -209,6 +209,7 @@ impl Job {
             if c >= self.n_chunks {
                 return;
             }
+            // cq-allow(det-time-source): pool timing telemetry only; never feeds a computation
             let t0 = cq_obs::enabled().then(Instant::now);
             // SAFETY: c < n_chunks, so the caller is still blocked in
             // `dispatch` and the closure it owns is alive.

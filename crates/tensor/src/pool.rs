@@ -198,6 +198,7 @@ pub fn global_avg_pool(x: &Tensor) -> Result<Tensor> {
     let xs = x.as_slice();
     for (i, o) in out.iter_mut().enumerate() {
         let base = i * h * w;
+        // cq-allow(det-float-accum): contiguous spatial window summed in index order
         *o = xs[base..base + h * w].iter().sum::<f32>() / spatial;
     }
     Tensor::from_vec(out, &[n, c])
