@@ -1,0 +1,312 @@
+//! `cq-bench kernels` — measured kernel throughput, written as a
+//! schema-versioned `BENCH_<pr>.json` so every PR's speed claim is a
+//! committed artifact instead of a sentence.
+//!
+//! For each kernel (`matmul`, `matmul_nt`, `matmul_tn`, `conv2d`) across
+//! a fixed size grid, reports blocked GFLOP/s, the pre-rewrite scalar
+//! baseline GFLOP/s (the unblocked reference kernels dispatched exactly
+//! as the old `Tensor::matmul*` were), and the speedup — both sides
+//! timed in-process at the same thread count, so the ratio isolates the
+//! kernel change. Also times a 2-step CQ-A pilot (the golden-trace
+//! workload) in steps/sec, plus machine/thread metadata so `cq-trace
+//! bench-diff` can refuse to hard-gate across different hardware.
+//!
+//! ```text
+//! kernels [--scale quick|paper] [--out BENCH_7.json]
+//! ```
+
+use cq_bench::Scale;
+use cq_core::{Pipeline, PretrainConfig, SimclrTrainer};
+use cq_data::{Dataset, DatasetConfig};
+use cq_models::{Arch, Encoder, EncoderConfig};
+use cq_quant::PrecisionSet;
+use cq_tensor::gemm::{self, Kind};
+use cq_tensor::par::num_threads;
+use cq_tensor::{im2col, Conv2dSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema identifier checked by `cq-trace bench-check` / `bench-diff`.
+const SCHEMA: &str = "cq-bench-kernels/v1";
+
+/// This PR's artifact number.
+const PR: u32 = 7;
+
+/// One measured grid point.
+struct Point {
+    kernel: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    iters: usize,
+    gflops: f64,
+    ref_gflops: f64,
+}
+
+/// Times `f` (already warmed up): picks an iteration count that makes one
+/// rep last ~80 ms, runs three reps, returns best seconds-per-call.
+fn time_best(mut f: impl FnMut()) -> (f64, usize) {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-7);
+    let iters = (0.08 / once).ceil().max(1.0) as usize;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    (best, iters)
+}
+
+fn randvec(len: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Measures one matmul layout at `m`×`n`×`k`: blocked kernel vs the
+/// pre-rewrite parallel reference, same data, same thread count.
+fn bench_matmul(kind: Kind, m: usize, n: usize, k: usize, rng: &mut StdRng) -> Point {
+    let (alen, blen) = match kind {
+        Kind::Nn => (m * k, k * n),
+        Kind::Nt => (m * k, n * k),
+        Kind::Tn => (k * m, k * n),
+    };
+    let a = randvec(alen, rng);
+    let b = randvec(blen, rng);
+    let mut out = vec![0.0f32; m * n];
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+
+    let (t_blocked, iters) = time_best(|| gemm::par_gemm(kind, &a, &b, m, n, k, &mut out));
+    let (t_ref, _) = time_best(|| gemm::reference::par_gemm_ref(kind, &a, &b, m, n, k, &mut out));
+
+    Point {
+        kernel: match kind {
+            Kind::Nn => "matmul",
+            Kind::Nt => "matmul_nt",
+            Kind::Tn => "matmul_tn",
+        },
+        m,
+        n,
+        k,
+        iters,
+        gflops: flops / t_blocked / 1e9,
+        ref_gflops: flops / t_ref / 1e9,
+    }
+}
+
+/// Measures a per-sample dense conv forward (im2col + NN product, the
+/// Conv2d band-worker hot path) for a `c`→`o` layer on an `h`×`w` input.
+/// `m`/`n`/`k` record the lowered product shape. Both sides share the new
+/// im2col, so the ratio isolates the GEMM.
+fn bench_conv(c: usize, o: usize, h: usize, w: usize, rng: &mut StdRng) -> Point {
+    let spec = Conv2dSpec::new(3, 1, 1);
+    let (oh, ow) = spec.out_hw(h, w).expect("conv geometry");
+    let ckk = spec.col_rows(c);
+    let x = randvec(c * h * w, rng);
+    let wgt = randvec(o * ckk, rng);
+    let mut cols = vec![0.0f32; ckk * oh * ow];
+    let mut out = vec![0.0f32; o * oh * ow];
+    let flops = 2.0 * (o * ckk * oh * ow) as f64;
+
+    let (t_blocked, iters) = time_best(|| {
+        im2col(&x, c, h, w, &spec, &mut cols);
+        gemm::gemm_nn(&wgt, o, ckk, &cols, oh * ow, &mut out);
+    });
+    let (t_ref, _) = time_best(|| {
+        im2col(&x, c, h, w, &spec, &mut cols);
+        gemm::reference::gemm_nn(&wgt, o, ckk, &cols, oh * ow, &mut out);
+    });
+
+    Point {
+        kernel: "conv2d",
+        m: o,
+        n: oh * ow,
+        k: ckk,
+        iters,
+        gflops: flops / t_blocked / 1e9,
+        ref_gflops: flops / t_ref / 1e9,
+    }
+}
+
+/// Times the 2-step CQ-A pilot (the exact golden-trace workload:
+/// 16 images, batch 8, ResNet-18 width 2) and returns steps/sec.
+fn bench_pilot_steps() -> (usize, f64) {
+    let steps = 2;
+    let run = || {
+        let encoder = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), 7)
+            .expect("encoder");
+        let cfg = PretrainConfig {
+            pipeline: Pipeline::CqA,
+            precision_set: Some(PrecisionSet::range(6, 16).expect("valid range")),
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.02,
+            seed: 7,
+            ..Default::default()
+        };
+        let (train, _) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(16, 8));
+        let mut trainer = SimclrTrainer::new(encoder, cfg).expect("trainer");
+        let t = Instant::now();
+        trainer.train(&train).expect("2-step pretrain");
+        t.elapsed().as_secs_f64()
+    };
+    run(); // warmup
+    let secs = run().min(run());
+    (steps, steps as f64 / secs)
+}
+
+/// First `model name` line of /proc/cpuinfo, or "unknown".
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|s| s.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(scale: Scale, points: &[Point], pilot: (usize, f64)) -> String {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(s, "  \"pr\": {PR},");
+    let _ = writeln!(
+        s,
+        "  \"scale\": \"{}\",",
+        if scale == Scale::Paper {
+            "paper"
+        } else {
+            "quick"
+        }
+    );
+    let _ = writeln!(s, "  \"unix_secs\": {unix_secs},");
+    let _ = writeln!(s, "  \"machine\": {{");
+    let _ = writeln!(s, "    \"os\": \"{}\",", esc(std::env::consts::OS));
+    let _ = writeln!(s, "    \"arch\": \"{}\",", esc(std::env::consts::ARCH));
+    let _ = writeln!(s, "    \"cpu\": \"{}\",", esc(&cpu_model()));
+    let _ = writeln!(s, "    \"threads\": {}", num_threads());
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"kernels\": [");
+    for (i, p) in points.iter().enumerate() {
+        let speedup = p.gflops / p.ref_gflops;
+        let _ = writeln!(
+            s,
+            "    {{\"kernel\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \"iters\": {}, \
+             \"gflops\": {:.3}, \"ref_gflops\": {:.3}, \"speedup\": {:.3}}}{}",
+            p.kernel,
+            p.m,
+            p.n,
+            p.k,
+            p.iters,
+            p.gflops,
+            p.ref_gflops,
+            speedup,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(
+        s,
+        "  \"pilot\": {{\"steps\": {}, \"steps_per_sec\": {:.3}}}",
+        pilot.0, pilot.1
+    );
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut out_path = format!("BENCH_{PR}.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("kernels: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--scale" => {
+                args.next(); // validated by Scale::from_args
+            }
+            other if other.starts_with("--scale=") => {}
+            other if other.starts_with("--out=") => {
+                out_path = other["--out=".len()..].to_string();
+            }
+            other => {
+                eprintln!("kernels: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    // The 256-cube is the acceptance point (blocked >= 2x scalar); the
+    // paper grid extends to 512 for the perf trajectory.
+    let cubes: &[usize] = match scale {
+        Scale::Quick => &[64, 128, 256],
+        Scale::Paper => &[64, 128, 256, 384, 512],
+    };
+    let mut points = Vec::new();
+    for &s in cubes {
+        for kind in [Kind::Nn, Kind::Nt, Kind::Tn] {
+            points.push(bench_matmul(kind, s, s, s, &mut rng));
+        }
+    }
+    // One rectangular case per layout: backward-pass-like skinny shapes.
+    points.push(bench_matmul(Kind::Nn, 64, 512, 128, &mut rng));
+    points.push(bench_matmul(Kind::Nt, 128, 64, 512, &mut rng));
+    points.push(bench_matmul(Kind::Tn, 64, 512, 128, &mut rng));
+    // Conv hot paths at two widths.
+    points.push(bench_conv(8, 16, 32, 32, &mut rng));
+    points.push(bench_conv(16, 32, 16, 16, &mut rng));
+
+    for p in &points {
+        eprintln!(
+            "  {:>9} {:>4}x{:<4}x{:<4} {:>8.2} GFLOP/s (ref {:>7.2}, x{:.2})",
+            p.kernel,
+            p.m,
+            p.n,
+            p.k,
+            p.gflops,
+            p.ref_gflops,
+            p.gflops / p.ref_gflops
+        );
+    }
+    let pilot = bench_pilot_steps();
+    eprintln!("  2-step CQ-A pilot: {:.2} steps/sec", pilot.1);
+
+    let json = render_json(scale, &points, pilot);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("kernels: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} ({} grid points)", points.len());
+}

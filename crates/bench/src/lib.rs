@@ -32,29 +32,55 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--scale` from argv, falling back to the `CQ_SCALE` env var
-    /// and then to `Quick`.
-    pub fn from_args() -> Scale {
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            if a == "--scale" {
-                if let Some(v) = args.next() {
-                    return Scale::parse(&v);
-                }
-            } else if let Some(v) = a.strip_prefix("--scale=") {
-                return Scale::parse(v);
-            }
-        }
-        match std::env::var("CQ_SCALE") {
-            Ok(v) => Scale::parse(&v),
-            Err(_) => Scale::Quick,
+    /// Parses a scale name: exactly `quick` or `paper`, case-insensitive
+    /// (`full` is accepted as a legacy alias for `paper`). Anything else
+    /// is an error — a typo'd scale must never silently run `quick`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection message shown to the user.
+    pub fn try_parse(v: &str) -> std::result::Result<Scale, String> {
+        match v.to_ascii_lowercase().as_str() {
+            "quick" => Ok(Scale::Quick),
+            "paper" | "full" => Ok(Scale::Paper),
+            _ => Err(format!("invalid scale `{v}`: expected `quick` or `paper`")),
         }
     }
 
-    fn parse(v: &str) -> Scale {
-        match v.to_ascii_lowercase().as_str() {
-            "paper" | "full" => Scale::Paper,
-            _ => Scale::Quick,
+    /// Parses `--scale` from argv, falling back to the `CQ_SCALE` env var
+    /// and then to `Quick`. Exits with code 2 on an invalid value.
+    pub fn from_args() -> Scale {
+        let env = std::env::var("CQ_SCALE").ok();
+        match Scale::resolve(std::env::args().skip(1), env.as_deref()) {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("cq-bench: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Pure resolution logic behind [`Scale::from_args`]: the `--scale`
+    /// flag wins over the `CQ_SCALE` env value; both must parse exactly;
+    /// with neither present the default is `Quick`.
+    fn resolve(
+        args: impl Iterator<Item = String>,
+        env: Option<&str>,
+    ) -> std::result::Result<Scale, String> {
+        let mut args = args;
+        while let Some(a) = args.next() {
+            if a == "--scale" {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--scale needs a value (quick|paper)".to_string())?;
+                return Scale::try_parse(&v);
+            } else if let Some(v) = a.strip_prefix("--scale=") {
+                return Scale::try_parse(v);
+            }
+        }
+        match env {
+            Some(v) => Scale::try_parse(v).map_err(|e| format!("CQ_SCALE: {e}")),
+            None => Ok(Scale::Quick),
         }
     }
 }
@@ -394,11 +420,72 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scale_parsing() {
-        assert_eq!(Scale::parse("paper"), Scale::Paper);
-        assert_eq!(Scale::parse("full"), Scale::Paper);
-        assert_eq!(Scale::parse("quick"), Scale::Quick);
-        assert_eq!(Scale::parse("garbage"), Scale::Quick);
+    fn scale_parsing_accepts_exact_names_case_insensitively() {
+        assert_eq!(Scale::try_parse("paper"), Ok(Scale::Paper));
+        assert_eq!(Scale::try_parse("PAPER"), Ok(Scale::Paper));
+        assert_eq!(Scale::try_parse("full"), Ok(Scale::Paper));
+        assert_eq!(Scale::try_parse("quick"), Ok(Scale::Quick));
+        assert_eq!(Scale::try_parse("Quick"), Ok(Scale::Quick));
+    }
+
+    #[test]
+    fn scale_parsing_rejects_everything_else_with_pinned_message() {
+        // The messages are part of the CLI contract: pin them.
+        assert_eq!(
+            Scale::try_parse("garbage"),
+            Err("invalid scale `garbage`: expected `quick` or `paper`".to_string())
+        );
+        assert_eq!(
+            Scale::try_parse(""),
+            Err("invalid scale ``: expected `quick` or `paper`".to_string())
+        );
+        assert_eq!(
+            Scale::try_parse("quick "),
+            Err("invalid scale `quick `: expected `quick` or `paper`".to_string())
+        );
+    }
+
+    #[test]
+    fn scale_flag_takes_precedence_over_env() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Flag wins over env.
+        assert_eq!(
+            Scale::resolve(args(&["--scale", "paper"]).into_iter(), Some("quick")),
+            Ok(Scale::Paper)
+        );
+        assert_eq!(
+            Scale::resolve(args(&["--scale=quick"]).into_iter(), Some("paper")),
+            Ok(Scale::Quick)
+        );
+        // Env applies when no flag; default is Quick.
+        assert_eq!(
+            Scale::resolve(args(&[]).into_iter(), Some("paper")),
+            Ok(Scale::Paper)
+        );
+        assert_eq!(
+            Scale::resolve(args(&[]).into_iter(), None),
+            Ok(Scale::Quick)
+        );
+        // Errors surface instead of silently defaulting, and name their
+        // source.
+        assert_eq!(
+            Scale::resolve(args(&["--scale", "nope"]).into_iter(), None),
+            Err("invalid scale `nope`: expected `quick` or `paper`".to_string())
+        );
+        assert_eq!(
+            Scale::resolve(args(&["--scale"]).into_iter(), None),
+            Err("--scale needs a value (quick|paper)".to_string())
+        );
+        assert_eq!(
+            Scale::resolve(args(&[]).into_iter(), Some("nope")),
+            Err("CQ_SCALE: invalid scale `nope`: expected `quick` or `paper`".to_string())
+        );
+        // The flag short-circuits before the env value is parsed, so a
+        // bad CQ_SCALE cannot mask a valid --scale.
+        assert_eq!(
+            Scale::resolve(args(&["--scale", "quick"]).into_iter(), Some("nope")),
+            Ok(Scale::Quick)
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Source lints over the workspace's library crates, token-aware.
 //!
-//! Six lints, each an [`Analysis`] over the lexed token stream (so a
+//! Seven lints, each an [`Analysis`] over the lexed token stream (so a
 //! pattern spelled inside a string literal, doc comment or block comment
 //! can never trip them — the failure mode of the line-greps these
 //! replaced):
@@ -33,6 +33,14 @@
 //!   library code must not iterate over `cfg.epochs` and must not seed a
 //!   raw `StdRng` (trainer randomness goes through `CqRng`, whose state
 //!   is serializable into checkpoints).
+//! - **no-naive-hot-loop**: no unblocked multiply-accumulate loop nest
+//!   (three or more nested `for`s around a `+=` whose right-hand side
+//!   multiplies) outside `crates/tensor/src/gemm/` — that is O(n³)
+//!   arithmetic written the slow way; route the product through the
+//!   blocked `cq_tensor::gemm` kernels, which are bitwise-identical to
+//!   the naive loops and several times faster. Data movement (`+=` with
+//!   multiplies only inside index expressions, as in `col2im`) is not
+//!   flagged.
 //!
 //! A justified site is excused with a `cq-allow(<lint>): <reason>`
 //! comment on the same or preceding line (see [`crate::analysis`]).
@@ -328,6 +336,123 @@ impl Analysis for OneTrainLoop {
     }
 }
 
+/// Directory owning the blocked GEMM kernels — the one place a naive
+/// multiply-accumulate loop nest is allowed (its `reference` module *is*
+/// the oracle the blocked kernels are proven against).
+const GEMM_DIR: &str = "crates/tensor/src/gemm/";
+
+/// no-naive-hot-loop: an unblocked multiply-accumulate loop nest (`+=`
+/// with a multiplying right-hand side under ≥ 3 nested `for`s) outside
+/// [`GEMM_DIR`].
+pub struct NoNaiveHotLoop;
+
+impl NoNaiveHotLoop {
+    /// True when the code token at `i` begins a `for` *loop* (followed by
+    /// an `in` before the body brace) rather than `impl Trait for Type`.
+    fn is_for_loop(file: &SourceFile<'_>, i: usize) -> bool {
+        if !file.ident_eq(i, "for") {
+            return false;
+        }
+        for j in i + 1..(i + 24).min(file.code.len()) {
+            if file.punct_eq(j, '{') {
+                return false;
+            }
+            if file.ident_eq(j, "in") {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True when the `+=` whose `+` sits at code index `i` has a binary
+    /// `*` outside any parentheses/brackets on its right-hand side —
+    /// i.e. the statement computes a product, not just a strided copy
+    /// whose multiplies all live in index expressions.
+    fn rhs_multiplies(file: &SourceFile<'_>, i: usize) -> bool {
+        let mut depth = 0usize;
+        for j in i + 2..file.code.len() {
+            if depth == 0 && file.punct_eq(j, ';') {
+                return false;
+            }
+            if file.punct_eq(j, '(') || file.punct_eq(j, '[') {
+                depth += 1;
+            } else if file.punct_eq(j, ')') || file.punct_eq(j, ']') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && file.punct_eq(j, '*') {
+                // Binary `*` only: a multiply follows a value (ident,
+                // number or closing delimiter); a deref follows an
+                // operator.
+                let binary = file.code_tok(j - 1).is_some_and(|t| {
+                    matches!(
+                        t.kind,
+                        crate::lexer::TokenKind::Ident | crate::lexer::TokenKind::Number
+                    )
+                }) || file.punct_eq(j - 1, ')')
+                    || file.punct_eq(j - 1, ']');
+                if binary {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Analysis for NoNaiveHotLoop {
+    fn lint(&self) -> &'static str {
+        "no-naive-hot-loop"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        if file.rel.contains(GEMM_DIR) {
+            return;
+        }
+        // One forward scan: brace depth plus the brace depths at which
+        // `for` bodies opened tells how many loops enclose any token.
+        let mut depth = 0usize;
+        let mut for_stack: Vec<usize> = Vec::new();
+        let mut pending_for = false;
+        for i in 0..file.code.len() {
+            if Self::is_for_loop(file, i) {
+                pending_for = true;
+            } else if file.punct_eq(i, '{') {
+                depth += 1;
+                if pending_for {
+                    for_stack.push(depth);
+                    pending_for = false;
+                }
+            } else if file.punct_eq(i, '}') {
+                if for_stack.last() == Some(&depth) {
+                    for_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            } else if file.punct_eq(i, '+')
+                && file.punct_eq(i + 1, '=')
+                && for_stack.len() >= 3
+                && Self::rhs_multiplies(file, i)
+            {
+                let line = file.code_tok(i).map_or(0, |t| t.line);
+                if file.is_test_line(line) {
+                    continue;
+                }
+                out.push(Finding::error(
+                    PASS,
+                    self.lint(),
+                    file.rel.clone(),
+                    line,
+                    format!(
+                        "naive multiply-accumulate loop nest ({} nested `for`s); \
+                         route the product through cq_tensor::gemm (blocked, \
+                         bitwise-identical, several times faster), or add \
+                         `cq-allow(no-naive-hot-loop): <reason>`",
+                        for_stack.len()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// gradcheck-coverage: every non-test `impl Layer for T` must be vouched
 /// for by a `check_layer`-family call in the same file or a
 /// `CQ_GRADCHECK_LOG` entry.
@@ -404,7 +529,7 @@ impl Analysis for GradcheckCoverage {
     }
 }
 
-/// The five source lints plus gradcheck coverage, ready to run.
+/// The six source lints plus gradcheck coverage, ready to run.
 pub fn source_analyses() -> Vec<Box<dyn Analysis>> {
     vec![
         Box::new(NoUnwrap),
@@ -412,11 +537,12 @@ pub fn source_analyses() -> Vec<Box<dyn Analysis>> {
         Box::new(ObsNames),
         Box::new(NoRawThreads),
         Box::new(OneTrainLoop),
+        Box::new(NoNaiveHotLoop),
         Box::new(GradcheckCoverage::from_env()),
     ]
 }
 
-/// Runs every source analysis — the six lints plus the determinism
+/// Runs every source analysis — the seven lints plus the determinism
 /// auditor — over the workspace at `root` in a single pass per file.
 ///
 /// The two families must share one [`analyze_file`] run: suppression
@@ -589,6 +715,111 @@ mod tests {
         let src = "fn f() {}\n#[cfg(test)]\nmod t {\n    impl Layer for Fake {}\n}\n";
         let out = check_one("x.rs", src, &GradcheckCoverage { logged: vec![] });
         assert_eq!(unsuppressed(&out, "gradcheck-coverage"), 0, "{out:?}");
+    }
+
+    #[test]
+    fn naive_hot_loop_flags_triple_nested_mac() {
+        let src = concat!(
+            "fn mm(a: &[f32], b: &[f32], out: &mut [f32], n: usize) {\n",
+            "    for i in 0..n {\n",
+            "        for kk in 0..n {\n",
+            "            for j in 0..n {\n",
+            "                out[i * n + j] += a[i * n + kk] * b[kk * n + j];\n",
+            "            }\n",
+            "        }\n",
+            "    }\n",
+            "}\n"
+        );
+        let out = check_one("crates/nn/src/x.rs", src, &NoNaiveHotLoop);
+        assert_eq!(unsuppressed(&out, "no-naive-hot-loop"), 1, "{out:?}");
+        assert_eq!(out[0].line, 5);
+        // The gemm directory is the blessed home of the reference nest.
+        let out = check_one("crates/tensor/src/gemm/reference.rs", src, &NoNaiveHotLoop);
+        assert_eq!(unsuppressed(&out, "no-naive-hot-loop"), 0, "{out:?}");
+    }
+
+    #[test]
+    fn naive_hot_loop_ignores_shallow_nests_and_data_movement() {
+        // Two loops: an axpy, not a GEMM.
+        let two = "fn f(n: usize) {\n    for i in 0..n {\n        for j in 0..n {\n            out[i] += a[j] * b[j];\n        }\n    }\n}\n";
+        assert_eq!(
+            unsuppressed(
+                &check_one("x.rs", two, &NoNaiveHotLoop),
+                "no-naive-hot-loop"
+            ),
+            0
+        );
+        // col2im-style scatter: multiplies only inside index brackets.
+        let scatter = concat!(
+            "fn g(n: usize) {\n",
+            "    for c in 0..n {\n",
+            "        for oy in 0..n {\n",
+            "            for ox in 0..n {\n",
+            "                out[iy * w + ix] += cols[c * n + oy * n + ox];\n",
+            "            }\n",
+            "        }\n",
+            "    }\n",
+            "}\n"
+        );
+        assert_eq!(
+            unsuppressed(
+                &check_one("x.rs", scatter, &NoNaiveHotLoop),
+                "no-naive-hot-loop"
+            ),
+            0
+        );
+        // A deref on the RHS is not a multiply.
+        let deref = "fn h(n: usize) {\n    for a in 0..n {\n        for b in 0..n {\n            for c in 0..n {\n                acc += *p;\n            }\n        }\n    }\n}\n";
+        assert_eq!(
+            unsuppressed(
+                &check_one("x.rs", deref, &NoNaiveHotLoop),
+                "no-naive-hot-loop"
+            ),
+            0
+        );
+        // `impl Trait for Type` braces are not loop bodies.
+        let impl_for = concat!(
+            "impl Trait for Conv {\n",
+            "    fn f(&self, n: usize) {\n",
+            "        for i in 0..n {\n",
+            "            for j in 0..n {\n",
+            "                acc += a[i] * b[j];\n",
+            "            }\n",
+            "        }\n",
+            "    }\n",
+            "}\n"
+        );
+        assert_eq!(
+            unsuppressed(
+                &check_one("x.rs", impl_for, &NoNaiveHotLoop),
+                "no-naive-hot-loop"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn naive_hot_loop_allow_marker_suppresses() {
+        let src = concat!(
+            "fn mm(n: usize) {\n",
+            "    for i in 0..n {\n",
+            "        for kk in 0..n {\n",
+            "            // cq-allow(no-naive-hot-loop): tiny fixed-size stencil\n",
+            "            for j in 0..n {\n",
+            "                out[i] += a[kk] * b[j];\n",
+            "            }\n",
+            "        }\n",
+            "    }\n",
+            "}\n"
+        );
+        // The marker is on the line preceding the `for`, not the `+=` —
+        // place it adjacent to the finding line instead.
+        let adjacent = src.replace(
+            "            // cq-allow(no-naive-hot-loop): tiny fixed-size stencil\n            for j in 0..n {\n",
+            "            for j in 0..n {\n                // cq-allow(no-naive-hot-loop): tiny fixed-size stencil\n",
+        );
+        let out = check_one("x.rs", &adjacent, &NoNaiveHotLoop);
+        assert_eq!(unsuppressed(&out, "no-naive-hot-loop"), 0, "{out:?}");
     }
 
     #[test]

@@ -229,6 +229,7 @@ impl Dataset {
             for c in 0..3 {
                 for &v in &img.as_slice()[c * s * s..(c + 1) * s * s] {
                     let d = v as f64 - mean[c];
+                    // cq-allow(no-naive-hot-loop): one-time per-channel variance pass over the dataset; f64 reduction, not a matmul
                     var[c] += d * d;
                 }
             }

@@ -82,7 +82,7 @@ pub fn yolo_loss(
                             let t = rs[idx(ni, ch, gy, gx)];
                             let st = sigmoid(t);
                             let diff = st - target.clamp(0.0, 1.0);
-                            loss += LAMBDA_BOX * diff * diff / norm;
+                            loss += LAMBDA_BOX * diff * diff / norm; // cq-allow(no-naive-hot-loop): per-cell box loss/grad; elementwise over anchor grid, no matrix structure
                             grad[idx(ni, ch, gy, gx)] +=
                                 LAMBDA_BOX * 2.0 * diff * st * (1.0 - st) / norm;
                         }
@@ -102,7 +102,7 @@ pub fn yolo_loss(
                     }
                     None => {
                         // objectness -> 0, down-weighted
-                        loss += -LAMBDA_NOOBJ * (1.0 - p_obj).max(1e-7).ln() / norm;
+                        loss += -LAMBDA_NOOBJ * (1.0 - p_obj).max(1e-7).ln() / norm; // cq-allow(no-naive-hot-loop): per-cell objectness loss/grad; elementwise over anchor grid
                         grad[idx(ni, 0, gy, gx)] += LAMBDA_NOOBJ * p_obj / norm;
                     }
                 }

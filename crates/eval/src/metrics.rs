@@ -108,6 +108,7 @@ pub fn separability_ratio(features: &Tensor, labels: &[usize]) -> f32 {
             let mut acc = 0.0f32;
             for k in 0..d {
                 let diff = centroids[a * d + k] - centroids[b * d + k];
+                // cq-allow(no-naive-hot-loop): pairwise centroid distances over num_classes points; evaluation-time only
                 acc += diff * diff;
             }
             between += acc.sqrt();

@@ -52,6 +52,7 @@ pub fn tsne(features: &Tensor, cfg: &TsneConfig) -> Tensor {
             let mut acc = 0.0f32;
             for k in 0..d {
                 let diff = fs[i * d + k] - fs[j * d + k];
+                // cq-allow(no-naive-hot-loop): offline diagnostic on a few hundred points; pairwise distances, not a hot-path matmul
                 acc += diff * diff;
             }
             d2[i * n + j] = acc;
@@ -76,6 +77,7 @@ pub fn tsne(features: &Tensor, cfg: &TsneConfig) -> Tensor {
                 }
                 let pij = (-beta * dist).exp();
                 sum += pij;
+                // cq-allow(no-naive-hot-loop): perplexity binary search accumulator; offline diagnostic, tiny n
                 sum_dp += pij * dist;
             }
             if sum <= 0.0 {
@@ -142,6 +144,7 @@ pub fn tsne(features: &Tensor, cfg: &TsneConfig) -> Tensor {
                 let q = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
                 qnum[i * n + j] = q;
                 qnum[j * n + i] = q;
+                // cq-allow(no-naive-hot-loop): Student-t normalizer accumulation; offline diagnostic, tiny n
                 qsum += 2.0 * q;
             }
         }
@@ -159,7 +162,7 @@ pub fn tsne(features: &Tensor, cfg: &TsneConfig) -> Tensor {
                 }
                 let qn = qnum[i * n + j];
                 let coef = 4.0 * (exag * pij[i * n + j] - qn / qsum) * qn;
-                g0 += coef * (y[i * 2] - y[j * 2]);
+                g0 += coef * (y[i * 2] - y[j * 2]); // cq-allow(no-naive-hot-loop): KL gradient over 2-D embedding; offline diagnostic, tiny n
                 g1 += coef * (y[i * 2 + 1] - y[j * 2 + 1]);
             }
             grad[i * 2] = g0;

@@ -6,6 +6,7 @@
 //! on the batch size — never on the thread count — and partials are reduced
 //! in band order) while still using every core via the persistent pool.
 
+use cq_tensor::gemm::{gemm_nn, gemm_nt_acc, gemm_tn};
 use cq_tensor::par::{parallel_for_chunks, parallel_map_chunks, ChunkGrid};
 use cq_tensor::{col2im, depthwise_conv2d, depthwise_conv2d_backward, im2col, Conv2dSpec, Tensor};
 use rand::rngs::StdRng;
@@ -34,58 +35,6 @@ const MAX_BANDS: usize = 8;
 /// Band grid over `n` batch samples.
 fn band_grid(n: usize) -> ChunkGrid {
     ChunkGrid::with_max_chunks(n, 1, MAX_BANDS)
-}
-
-/// Serial `out = a @ b` for `a: [m,k]`, `b: [k,n]` (used inside batch
-/// workers to avoid nested thread spawning).
-fn mm_nn(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    out.fill(0.0);
-    for i in 0..m {
-        for kk in 0..k {
-            let aik = a[i * k + kk];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..kk * n + n];
-            let orow = &mut out[i * n..i * n + n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += aik * bv;
-            }
-        }
-    }
-}
-
-/// Serial `out += a @ bᵀ` for `a: [m,k]`, `b: [n,k]`.
-fn mm_nt_acc(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    for i in 0..m {
-        let arow = &a[i * k..i * k + k];
-        for j in 0..n {
-            let brow = &b[j * k..j * k + k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            out[i * n + j] += acc;
-        }
-    }
-}
-
-/// Serial `out = aᵀ @ b` for `a: [k,m]`, `b: [k,n]`.
-fn mm_tn(a: &[f32], k: usize, m: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    out.fill(0.0);
-    for kk in 0..k {
-        let brow = &b[kk * n..kk * n + n];
-        for i in 0..m {
-            let aki = a[kk * m + i];
-            if aki == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..i * n + n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += aki * bv;
-            }
-        }
-    }
 }
 
 /// Dense 2-D convolution over NCHW batches.
@@ -202,7 +151,9 @@ impl Layer for Conv2d {
                             o * oh * ow,
                         )
                     };
-                    mm_nn(wslice, o, ckk, &cols, oh * ow, dst);
+                    // Serial blocked kernel: the batch bands above are the
+                    // parallel dimension, so no nested dispatch here.
+                    gemm_nn(wslice, o, ckk, &cols, oh * ow, dst);
                     if let Some(bv) = bias {
                         for (co, &b) in bv.iter().enumerate() {
                             for v in &mut dst[co * oh * ow..(co + 1) * oh * ow] {
@@ -268,9 +219,9 @@ impl Layer for Conv2d {
                         let dy_n = &dys[i * o * oh * ow..(i + 1) * o * oh * ow];
                         im2col(x_n, c, h, w, &spec, &mut cols);
                         // dW += dy_n @ colsᵀ
-                        mm_nt_acc(dy_n, o, oh * ow, &cols, ckk, dw_part);
+                        gemm_nt_acc(dy_n, o, oh * ow, &cols, ckk, dw_part);
                         // dcols = Wᵀ @ dy_n
-                        mm_tn(wslice, o, ckk, dy_n, oh * ow, &mut dcols);
+                        gemm_tn(wslice, o, ckk, dy_n, oh * ow, &mut dcols);
                         // SAFETY: disjoint per-sample chunks.
                         let dx_n = unsafe {
                             std::slice::from_raw_parts_mut(

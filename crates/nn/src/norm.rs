@@ -172,6 +172,7 @@ impl BatchNormInner {
             for ci in 0..c {
                 let base = (o * c + ci) * inner;
                 for k in 0..inner {
+                    // cq-allow(no-naive-hot-loop): per-channel reduction over (outer, inner); output is a length-c vector, not a matmul
                     dgamma[ci] += dys[base + k] * xh[base + k];
                     dbeta[ci] += dys[base + k];
                 }

@@ -114,20 +114,41 @@ pub fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, ou
             for kj in 0..kw {
                 let row = ((ci * kh + ki) * kw + kj) * ospatial;
                 let dst = &mut out[row..row + ospatial];
+                // The in-bounds output-x interval [x0, x1) for this tap
+                // does not depend on oy: hoist the border test out of the
+                // pixel loop so interior spans are straight copies.
+                let off = kj as isize - pw as isize;
+                let x0 = if off >= 0 {
+                    0
+                } else {
+                    ((-off) as usize).div_ceil(sw)
+                }
+                .min(ow);
+                let hi = w as isize - 1 - off;
+                let x1 = if hi < 0 {
+                    x0
+                } else {
+                    ((hi as usize) / sw + 1).clamp(x0, ow)
+                };
                 for oy in 0..oh {
                     let iy = (oy * sh + ki) as isize - ph as isize;
+                    let orow = &mut dst[oy * ow..(oy + 1) * ow];
                     if iy < 0 || iy >= h as isize {
-                        dst[oy * ow..(oy + 1) * ow].fill(0.0);
+                        orow.fill(0.0);
                         continue;
                     }
                     let iy = iy as usize;
-                    for ox in 0..ow {
-                        let ix = (ox * sw + kj) as isize - pw as isize;
-                        dst[oy * ow + ox] = if ix < 0 || ix >= w as isize {
-                            0.0
+                    orow[..x0].fill(0.0);
+                    orow[x1..].fill(0.0);
+                    if x1 > x0 {
+                        let src0 = iy * w + ((x0 * sw) as isize + off) as usize;
+                        if sw == 1 {
+                            orow[x0..x1].copy_from_slice(&in_ch[src0..src0 + (x1 - x0)]);
                         } else {
-                            in_ch[iy * w + ix as usize]
-                        };
+                            for (i, o) in orow[x0..x1].iter_mut().enumerate() {
+                                *o = in_ch[src0 + i * sw];
+                            }
+                        }
                     }
                 }
             }
@@ -219,6 +240,7 @@ pub fn depthwise_conv2d(
                     for kj in 0..kw {
                         let ix = (ox * sw + kj) as isize - pw as isize;
                         if ix >= 0 && (ix as usize) < w {
+                            // cq-allow(no-naive-hot-loop): depthwise k x k stencil with per-tap padding guards; no matrix structure to lower onto cq_tensor::gemm
                             acc += in_ch[iy as usize * w + ix as usize] * ker[ki * kw + kj];
                         }
                     }
@@ -279,7 +301,7 @@ pub fn depthwise_conv2d_backward(
                         let ix = (ox * sw + kj) as isize - pw as isize;
                         if ix >= 0 && (ix as usize) < w {
                             let iidx = ci * h * w + iy as usize * w + ix as usize;
-                            dinput[iidx] += g * ker[ki * kw + kj];
+                            dinput[iidx] += g * ker[ki * kw + kj]; // cq-allow(no-naive-hot-loop): depthwise backward scatter; padding-guarded stencil taps, not a lowerable matmul
                             dweight[ci * kh * kw + ki * kw + kj] +=
                                 g * in_ch[iy as usize * w + ix as usize];
                         }

@@ -1,0 +1,153 @@
+//! Unblocked reference GEMM kernels: the exact scalar loops the packed
+//! microkernels in the parent module replaced.
+//!
+//! These are kept for three jobs:
+//!
+//! 1. **Small-size fast path** — below [`super`]'s packing threshold the
+//!    panel copies would cost more than they save, so tiny products run
+//!    here directly.
+//! 2. **Equivalence oracle** — the property tests assert the packed
+//!    kernels match these loops *bit for bit* on every shape.
+//! 3. **Perf baseline** — `cq-bench kernels` measures blocked speedups
+//!    against [`par_gemm_ref`], which reproduces the pre-rewrite parallel
+//!    row-band dispatch exactly.
+//!
+//! This module is the one place the `cq-check` `no-naive-hot-loop` lint
+//! permits an unblocked multiply-accumulate loop nest; new naive loops
+//! anywhere else are a finding.
+
+use crate::par::parallel_for;
+
+/// Minimum output rows per parallel band in [`par_gemm_ref`] — the
+/// pre-rewrite `MIN_ROWS_PER_BAND` value, preserved so the baseline
+/// parallelises exactly like the old kernels did.
+const MIN_ROWS_PER_BAND: usize = 8;
+
+/// Serial `out = a @ b` for `a: [m,k]`, `b: [k,n]` (i-k-j loop order,
+/// contiguous row updates, `a == 0.0` terms skipped).
+pub fn gemm_nn(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..kk * n + n];
+            let orow = &mut out[i * n..i * n + n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// Serial `out = a @ bᵀ` for `a: [m,k]`, `b: [n,k]` (contiguous dot per
+/// output element, no zero skip).
+pub fn gemm_nt(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..i * k + k];
+        for j in 0..n {
+            let brow = &b[j * k..j * k + k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Serial `out += a @ bᵀ` for `a: [m,k]`, `b: [n,k]`: the full-`k` dot is
+/// formed first, then added to `out` once (the accumulation order weight
+/// gradients depend on).
+pub fn gemm_nt_acc(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..i * k + k];
+        for j in 0..n {
+            let brow = &b[j * k..j * k + k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// Serial `out = aᵀ @ b` for `a: [k,m]`, `b: [k,n]` (k-i-j loop order,
+/// `a == 0.0` terms skipped).
+pub fn gemm_tn(a: &[f32], k: usize, m: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for kk in 0..k {
+        let brow = &b[kk * n..kk * n + n];
+        for i in 0..m {
+            let aki = a[kk * m + i];
+            if aki == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..i * n + n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aki * bv;
+            }
+        }
+    }
+}
+
+/// Pre-rewrite parallel baseline: the reference kernel for `kind`,
+/// dispatched over row bands through [`parallel_for`] exactly as the old
+/// `Tensor::matmul*` kernels were. `cq-bench kernels` times this to give
+/// the blocked kernels an honest same-thread-count speedup denominator.
+pub fn par_gemm_ref(
+    kind: super::Kind,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n);
+    let out_ptr = super::SendPtr(out.as_mut_ptr());
+    parallel_for(m, MIN_ROWS_PER_BAND, |r0, r1| {
+        // Capture the Sync wrapper, not the raw pointer field.
+        let out_ptr = &out_ptr;
+        let rows = r1 - r0;
+        // SAFETY: row bands [r0, r1) are disjoint across workers.
+        let orows = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(r0 * n), rows * n) };
+        match kind {
+            super::Kind::Nn => gemm_nn(&a[r0 * k..r1 * k], rows, k, b, n, orows),
+            super::Kind::Nt => gemm_nt(&a[r0 * k..r1 * k], rows, k, b, n, orows),
+            super::Kind::Tn => {
+                // The transposed-A layout has no contiguous row slice per
+                // band; run the k-i-j loops on the band columns directly.
+                orows.fill(0.0);
+                for kk in 0..k {
+                    let brow = &b[kk * n..kk * n + n];
+                    for i in r0..r1 {
+                        let aki = a[kk * m + i];
+                        if aki == 0.0 {
+                            continue;
+                        }
+                        let orow = &mut orows[(i - r0) * n..(i - r0) * n + n];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += aki * bv;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}

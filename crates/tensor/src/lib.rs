@@ -15,6 +15,9 @@
 //!   produce a strided view (e.g. [`Tensor::transpose`]) materialise the
 //!   result instead. This keeps every kernel simple and cache-friendly,
 //!   which matters more than view tricks at the model sizes used here.
+//! - Matrix products go through the cache-blocked, register-tiled
+//!   kernels in [`gemm`], which are bitwise-identical to the unblocked
+//!   scalar loops they replaced (see that module's determinism notes).
 //! - All randomness is drawn from caller-provided [`rand::Rng`] instances
 //!   so experiments are reproducible bit-for-bit; state that must survive
 //!   checkpoint/resume uses the serializable [`CqRng`] (bit-compatible
@@ -40,6 +43,7 @@
 
 mod conv;
 mod error;
+pub mod gemm;
 mod io;
 mod linalg;
 pub mod par;

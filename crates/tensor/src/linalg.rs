@@ -1,12 +1,11 @@
 //! Matrix operations: blocked parallel matmul (plus transposed variants
 //! needed by backward passes) and materialised transpose / permute.
+//!
+//! The actual kernels live in [`crate::gemm`]; this module owns shape
+//! validation, workload counters and the sanitize guard.
 
-use crate::par::parallel_for;
+use crate::gemm::{par_gemm, Kind};
 use crate::{Result, Tensor, TensorError};
-
-/// Minimum number of output rows per parallel band. Below this, matmul runs
-/// single-threaded; thread spawn overhead would dominate.
-const MIN_ROWS_PER_BAND: usize = 8;
 
 // Kernel counters: calls and multiply-add FLOPs (2·m·n·k per product, all
 // three layout variants pooled) so an observed run can be reconciled
@@ -23,9 +22,9 @@ fn count_matmul(m: usize, n: usize, k: usize) {
 impl Tensor {
     /// Matrix product `self @ other` for rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// The kernel is parallelised over row bands and uses an i-k-j loop
-    /// order so the innermost loop is a contiguous fused multiply-add over
-    /// the output row.
+    /// Runs the packed register-tiled kernel in [`crate::gemm`],
+    /// parallelised over row tiles of the deterministic chunk grid;
+    /// results are bitwise thread-count independent.
     ///
     /// # Errors
     ///
@@ -43,30 +42,16 @@ impl Tensor {
             });
         }
         count_matmul(m, n, k);
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        {
-            let out_ptr = SendPtr(out.as_mut_ptr());
-            parallel_for(m, MIN_ROWS_PER_BAND, |r0, r1| {
-                let out_ptr = &out_ptr;
-                for i in r0..r1 {
-                    // SAFETY: bands [r0, r1) are disjoint across workers, so
-                    // each output row is written by exactly one thread.
-                    let row = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
-                    for kk in 0..k {
-                        let aik = a[i * k + kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let brow = &b[kk * n..kk * n + n];
-                        for (o, &bv) in row.iter_mut().zip(brow) {
-                            *o += aik * bv;
-                        }
-                    }
-                }
-            });
-        }
+        par_gemm(
+            Kind::Nn,
+            self.as_slice(),
+            other.as_slice(),
+            m,
+            n,
+            k,
+            &mut out,
+        );
         #[cfg(feature = "sanitize")]
         crate::sanitize::guard_slice("matmul", &out);
         Tensor::from_vec(out, &[m, n])
@@ -75,8 +60,8 @@ impl Tensor {
     /// `self @ otherᵀ` for rank-2 tensors: `[m,k] x [n,k] -> [m,n]`.
     ///
     /// Used by backward passes (`dX = dY @ Wᵀ` with `W` stored `[n,k]`)
-    /// without materialising the transpose. The kernel is a dot product of
-    /// two contiguous rows, which vectorises well.
+    /// without materialising the transpose: the transpose is folded into
+    /// the kernel's B-panel packing.
     ///
     /// # Errors
     ///
@@ -92,28 +77,16 @@ impl Tensor {
             });
         }
         count_matmul(m, n, k);
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        {
-            let out_ptr = SendPtr(out.as_mut_ptr());
-            parallel_for(m, MIN_ROWS_PER_BAND, |r0, r1| {
-                let out_ptr = &out_ptr;
-                for i in r0..r1 {
-                    // SAFETY: disjoint row bands, as in `matmul`.
-                    let row = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
-                    let arow = &a[i * k..i * k + k];
-                    for (j, o) in row.iter_mut().enumerate() {
-                        let brow = &b[j * k..j * k + k];
-                        let mut acc = 0.0f32;
-                        for (&av, &bv) in arow.iter().zip(brow) {
-                            acc += av * bv;
-                        }
-                        *o = acc;
-                    }
-                }
-            });
-        }
+        par_gemm(
+            Kind::Nt,
+            self.as_slice(),
+            other.as_slice(),
+            m,
+            n,
+            k,
+            &mut out,
+        );
         #[cfg(feature = "sanitize")]
         crate::sanitize::guard_slice("matmul", &out);
         Tensor::from_vec(out, &[m, n])
@@ -121,8 +94,8 @@ impl Tensor {
 
     /// `selfᵀ @ other` for rank-2 tensors: `[k,m] x [k,n] -> [m,n]`.
     ///
-    /// Used by backward passes (`dW = Xᵀ @ dY`). Parallelised over the
-    /// output rows `m`.
+    /// Used by backward passes (`dW = Xᵀ @ dY`); the transpose is folded
+    /// into the kernel's A-panel packing.
     ///
     /// # Errors
     ///
@@ -138,29 +111,16 @@ impl Tensor {
             });
         }
         count_matmul(m, n, k);
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        {
-            let out_ptr = SendPtr(out.as_mut_ptr());
-            parallel_for(m, MIN_ROWS_PER_BAND, |r0, r1| {
-                let out_ptr = &out_ptr;
-                for i in r0..r1 {
-                    // SAFETY: disjoint row bands, as in `matmul`.
-                    let row = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
-                    for kk in 0..k {
-                        let aki = a[kk * m + i];
-                        if aki == 0.0 {
-                            continue;
-                        }
-                        let brow = &b[kk * n..kk * n + n];
-                        for (o, &bv) in row.iter_mut().zip(brow) {
-                            *o += aki * bv;
-                        }
-                    }
-                }
-            });
-        }
+        par_gemm(
+            Kind::Tn,
+            self.as_slice(),
+            other.as_slice(),
+            m,
+            n,
+            k,
+            &mut out,
+        );
         #[cfg(feature = "sanitize")]
         crate::sanitize::guard_slice("matmul", &out);
         Tensor::from_vec(out, &[m, n])
@@ -224,13 +184,6 @@ impl Tensor {
         Tensor::from_vec(data, &[rows.len(), n])
     }
 }
-
-/// Raw pointer wrapper asserting cross-thread transfer is safe because the
-/// caller guarantees disjoint writes.
-struct SendPtr(*mut f32);
-// SAFETY: used only with disjoint index ranges per thread.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
 
 fn as_2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {

@@ -1,0 +1,578 @@
+//! Parsing, validation and regression-diffing of `cq-bench kernels`
+//! artifacts (`BENCH_<pr>.json`, schema `cq-bench-kernels/v1`).
+//!
+//! The flat-line parser in [`crate::record`] cannot read these files —
+//! they are one nested JSON document, not JSONL — so this module carries
+//! its own minimal recursive-descent parser for the full JSON value
+//! grammar (still no external dependency). On top of it:
+//!
+//! - [`parse_bench`] — parse + schema-validate into a [`BenchReport`].
+//! - [`diff_bench`] — compare two reports grid-point by grid-point and
+//!   flag throughput regressions beyond a noise threshold. Benchmarks
+//!   from *different machines* are never hard-gated: the diff degrades to
+//!   a report with a note, because GFLOP/s across CPUs is not a
+//!   regression signal.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Schema string this module understands.
+pub const BENCH_SCHEMA: &str = "cq-bench-kernels/v1";
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (number precision: `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, key order not preserved.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object field lookup; `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON syntax error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json offset {}: {}", self.offset, self.message)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => self.err(format!("unexpected byte `{}`", other as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected `{lit}`"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Value::Num(v)),
+            _ => self.err(format!("bad number `{text}`")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let rest = &self.bytes[self.pos..];
+                    let ch_len = match rest[0] {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    match std::str::from_utf8(rest.get(..ch_len).unwrap_or_default()) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.err("invalid utf-8 in string"),
+                    }
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+pub fn parse_json(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage after document");
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Bench report schema
+// ---------------------------------------------------------------------------
+
+/// One measured kernel grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    /// Kernel name (`matmul`, `matmul_nt`, `matmul_tn`, `conv2d`).
+    pub kernel: String,
+    /// Output rows of the (lowered) product.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Contraction length.
+    pub k: usize,
+    /// Blocked-kernel throughput.
+    pub gflops: f64,
+    /// Pre-rewrite scalar baseline throughput.
+    pub ref_gflops: f64,
+}
+
+impl KernelPoint {
+    /// Identity of this grid point for cross-report matching.
+    pub fn key(&self) -> (String, usize, usize, usize) {
+        (self.kernel.clone(), self.m, self.n, self.k)
+    }
+}
+
+/// A parsed, schema-valid `BENCH_<pr>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// PR number the artifact belongs to.
+    pub pr: u64,
+    /// `quick` or `paper`.
+    pub scale: String,
+    /// `os/arch/cpu/threads` fingerprint, used to refuse cross-machine
+    /// hard gating.
+    pub machine: String,
+    /// All measured grid points.
+    pub kernels: Vec<KernelPoint>,
+    /// Training-pilot throughput in steps/sec (0.0 if absent).
+    pub pilot_steps_per_sec: f64,
+}
+
+fn req_str(v: &Value, key: &str, ctx: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{ctx}: missing string field `{key}`"))
+}
+
+fn req_num(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing numeric field `{key}`"))
+}
+
+/// Parses and schema-validates a bench artifact.
+pub fn parse_bench(text: &str) -> Result<BenchReport, String> {
+    let root = parse_json(text).map_err(|e| e.to_string())?;
+    let schema = req_str(&root, "schema", "root")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!(
+            "unsupported schema `{schema}` (expected `{BENCH_SCHEMA}`)"
+        ));
+    }
+    let pr = req_num(&root, "pr", "root")? as u64;
+    let scale = req_str(&root, "scale", "root")?;
+    let mach = root.get("machine").ok_or("root: missing `machine`")?;
+    let machine = format!(
+        "{}/{}/{}/{}t",
+        req_str(mach, "os", "machine")?,
+        req_str(mach, "arch", "machine")?,
+        req_str(mach, "cpu", "machine")?,
+        req_num(mach, "threads", "machine")? as u64,
+    );
+    let mut kernels = Vec::new();
+    let entries = root
+        .get("kernels")
+        .and_then(Value::as_arr)
+        .ok_or("root: missing `kernels` array")?;
+    if entries.is_empty() {
+        return Err("`kernels` array is empty".into());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        let ctx = format!("kernels[{i}]");
+        let point = KernelPoint {
+            kernel: req_str(entry, "kernel", &ctx)?,
+            m: req_num(entry, "m", &ctx)? as usize,
+            n: req_num(entry, "n", &ctx)? as usize,
+            k: req_num(entry, "k", &ctx)? as usize,
+            gflops: req_num(entry, "gflops", &ctx)?,
+            ref_gflops: req_num(entry, "ref_gflops", &ctx)?,
+        };
+        if point.gflops <= 0.0 || point.ref_gflops <= 0.0 {
+            return Err(format!("{ctx}: non-positive throughput"));
+        }
+        kernels.push(point);
+    }
+    let pilot_steps_per_sec = root
+        .get("pilot")
+        .map(|p| req_num(p, "steps_per_sec", "pilot"))
+        .transpose()?
+        .unwrap_or(0.0);
+    Ok(BenchReport {
+        pr,
+        scale,
+        machine,
+        kernels,
+        pilot_steps_per_sec,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Diff gate
+// ---------------------------------------------------------------------------
+
+/// Outcome of [`diff_bench`].
+#[derive(Debug, Clone)]
+pub struct BenchDiff {
+    /// Human-readable table.
+    pub report: String,
+    /// Grid points slower than the threshold allows (empty on pass).
+    pub regressions: Vec<String>,
+    /// True when old/new ran on different machines (gate disarmed).
+    pub machine_mismatch: bool,
+}
+
+/// Compares two bench reports. A grid point regresses when the new
+/// blocked throughput is more than `fail_over_pct` percent below the old
+/// one; points present on only one side are reported but never fail.
+/// When the machine fingerprints differ the diff never fails (GFLOP/s
+/// across CPUs is not comparable) — it reports with a note instead.
+pub fn diff_bench(old: &BenchReport, new: &BenchReport, fail_over_pct: f64) -> BenchDiff {
+    let mut report = String::new();
+    let mut regressions = Vec::new();
+    let machine_mismatch = old.machine != new.machine;
+    report.push_str(&format!(
+        "bench-diff: PR {} -> PR {} ({} threshold {:.0}%)\n",
+        old.pr, new.pr, new.scale, fail_over_pct
+    ));
+    if machine_mismatch {
+        report.push_str(&format!(
+            "note: different machines (old `{}`, new `{}`): reporting only, gate disarmed\n",
+            old.machine, new.machine
+        ));
+    }
+    let old_by_key: BTreeMap<_, _> = old.kernels.iter().map(|p| (p.key(), p)).collect();
+    for p in &new.kernels {
+        let label = format!("{} {}x{}x{}", p.kernel, p.m, p.n, p.k);
+        match old_by_key.get(&p.key()) {
+            None => report.push_str(&format!(
+                "  new   {label}: {:.2} GFLOP/s (no old measurement)\n",
+                p.gflops
+            )),
+            Some(o) => {
+                let delta_pct = (p.gflops - o.gflops) / o.gflops * 100.0;
+                let verdict = if delta_pct < -fail_over_pct && !machine_mismatch {
+                    regressions.push(format!("{label}: {delta_pct:+.1}%"));
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                report.push_str(&format!(
+                    "  {verdict:>5} {label}: {:.2} -> {:.2} GFLOP/s ({delta_pct:+.1}%)\n",
+                    o.gflops, p.gflops
+                ));
+            }
+        }
+    }
+    for p in &old.kernels {
+        if !new.kernels.iter().any(|q| q.key() == p.key()) {
+            report.push_str(&format!(
+                "  gone  {} {}x{}x{} (was {:.2} GFLOP/s)\n",
+                p.kernel, p.m, p.n, p.k, p.gflops
+            ));
+        }
+    }
+    if old.pilot_steps_per_sec > 0.0 && new.pilot_steps_per_sec > 0.0 {
+        let delta_pct =
+            (new.pilot_steps_per_sec - old.pilot_steps_per_sec) / old.pilot_steps_per_sec * 100.0;
+        let verdict = if delta_pct < -fail_over_pct && !machine_mismatch {
+            regressions.push(format!("pilot steps/sec: {delta_pct:+.1}%"));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        report.push_str(&format!(
+            "  {verdict:>5} pilot: {:.2} -> {:.2} steps/sec ({delta_pct:+.1}%)\n",
+            old.pilot_steps_per_sec, new.pilot_steps_per_sec
+        ));
+    }
+    BenchDiff {
+        report,
+        regressions,
+        machine_mismatch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(gflops_256: f64, cpu: &str) -> String {
+        format!(
+            r#"{{
+  "schema": "cq-bench-kernels/v1",
+  "pr": 7,
+  "scale": "quick",
+  "unix_secs": 1,
+  "machine": {{"os": "linux", "arch": "x86_64", "cpu": "{cpu}", "threads": 4}},
+  "kernels": [
+    {{"kernel": "matmul", "m": 256, "n": 256, "k": 256, "iters": 9,
+      "gflops": {gflops_256}, "ref_gflops": 15.0, "speedup": 2.4}},
+    {{"kernel": "conv2d", "m": 16, "n": 1024, "k": 72, "iters": 40,
+      "gflops": 20.0, "ref_gflops": 14.0, "speedup": 1.4}}
+  ],
+  "pilot": {{"steps": 2, "steps_per_sec": 150.0}}
+}}"#
+        )
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_escapes_and_numbers() {
+        let v = parse_json(r#"{"a": [1, -2.5e1, "x\n\"yA"], "b": {"c": null, "d": true}}"#)
+            .expect("parse");
+        assert_eq!(
+            v.get("a").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1], Value::Num(-25.0));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2],
+            Value::Str("x\n\"yA".into())
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a": }"#).is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json(r#"{"a": 1e999}"#).is_err(), "non-finite number");
+    }
+
+    #[test]
+    fn parse_bench_validates_schema() {
+        let report = parse_bench(&sample(36.0, "TestCpu")).expect("valid report");
+        assert_eq!(report.pr, 7);
+        assert_eq!(report.kernels.len(), 2);
+        assert_eq!(report.machine, "linux/x86_64/TestCpu/4t");
+        assert!((report.pilot_steps_per_sec - 150.0).abs() < 1e-9);
+
+        let wrong_schema = sample(36.0, "TestCpu").replace("cq-bench-kernels/v1", "bogus/v9");
+        assert!(parse_bench(&wrong_schema).unwrap_err().contains("schema"));
+        let no_kernels = sample(36.0, "TestCpu").replace("\"kernels\"", "\"kernelz\"");
+        assert!(parse_bench(&no_kernels).unwrap_err().contains("kernels"));
+    }
+
+    #[test]
+    fn diff_flags_regressions_beyond_threshold() {
+        let old = parse_bench(&sample(36.0, "TestCpu")).unwrap();
+        let ok = parse_bench(&sample(30.0, "TestCpu")).unwrap(); // -16.7%
+        let bad = parse_bench(&sample(20.0, "TestCpu")).unwrap(); // -44.4%
+        assert!(diff_bench(&old, &ok, 25.0).regressions.is_empty());
+        let d = diff_bench(&old, &bad, 25.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.regressions[0].contains("matmul 256x256x256"));
+    }
+
+    #[test]
+    fn diff_never_fails_across_machines() {
+        let old = parse_bench(&sample(36.0, "CpuA")).unwrap();
+        let new = parse_bench(&sample(10.0, "CpuB")).unwrap();
+        let d = diff_bench(&old, &new, 25.0);
+        assert!(d.machine_mismatch);
+        assert!(d.regressions.is_empty());
+        assert!(d.report.contains("gate disarmed"));
+    }
+}

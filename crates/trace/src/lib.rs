@@ -18,16 +18,26 @@
 //!   segments of one run (kill-and-resume) into a single trace that
 //!   [`analyze::diff`] can gate against an uninterrupted reference.
 //!
-//! The parser ([`record`]) is hand-rolled for the flat cq-obs schema —
-//! no JSON dependency, per the repo's offline-only build constraint.
+//! - [`bench::diff_bench`] — CI throughput gate between two
+//!   `cq-bench kernels` artifacts (`BENCH_<pr>.json`): flags grid points
+//!   whose blocked GFLOP/s dropped beyond a noise threshold, and disarms
+//!   itself (report-only) when the artifacts come from different
+//!   machines.
+//!
+//! The trace parser ([`record`]) is hand-rolled for the flat cq-obs
+//! schema, and [`bench`] carries a minimal recursive-descent parser for
+//! the nested bench-artifact JSON — no JSON dependency either way, per
+//! the repo's offline-only build constraint.
 
 #![deny(missing_docs)]
 
 pub mod analyze;
+pub mod bench;
 pub mod record;
 pub mod tree;
 
 pub use analyze::{check, diff, summarize, CheckResult, DiffResult};
+pub use bench::{diff_bench, parse_bench, BenchDiff, BenchReport};
 pub use record::{merge, parse_trace, render_trace, ParseError, Record};
 pub use tree::{build_span_tree, render_span_tree, SpanNode};
 

@@ -5,7 +5,14 @@
 //! cq-trace check <trace.jsonl>
 //! cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]
 //! cq-trace merge <out.jsonl> <seg1.jsonl> <seg2.jsonl> [...]
+//! cq-trace bench-check <bench.json>
+//! cq-trace bench-diff <old.json> <new.json> [--fail-over <pct>] [--report-only]
 //! ```
+//!
+//! `bench-check` validates a `cq-bench kernels` artifact against the
+//! `cq-bench-kernels/v1` schema. `bench-diff` gates new kernel
+//! throughput against a committed artifact; artifacts from different
+//! machines are reported but never fail the gate.
 //!
 //! `merge` stitches the traces of consecutive process segments of one
 //! run (kill-and-resume) into a single trace: counter totals are summed
@@ -20,9 +27,14 @@ use cq_obs::health::Verdict;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cq-trace summarize <trace.jsonl>\n  cq-trace check <trace.jsonl>\n  cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]\n  cq-trace merge <out.jsonl> <seg1.jsonl> <seg2.jsonl> [...]"
+        "usage:\n  cq-trace summarize <trace.jsonl>\n  cq-trace check <trace.jsonl>\n  cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]\n  cq-trace merge <out.jsonl> <seg1.jsonl> <seg2.jsonl> [...]\n  cq-trace bench-check <bench.json>\n  cq-trace bench-diff <old.json> <new.json> [--fail-over <pct>] [--report-only]"
     );
     ExitCode::from(2)
+}
+
+fn load_bench(path: &str) -> Result<cq_trace::BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    cq_trace::parse_bench(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -134,6 +146,76 @@ fn main() -> ExitCode {
                     eprintln!("cq-trace: cannot write {out_path}: {e}");
                     ExitCode::from(2)
                 }
+            }
+        }
+        "bench-check" => {
+            let [_, path] = args.as_slice() else {
+                return usage();
+            };
+            match load_bench(path) {
+                Ok(report) => {
+                    println!(
+                        "cq-trace bench-check: PASS ({} grid points, machine {})",
+                        report.kernels.len(),
+                        report.machine
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cq-trace bench-check: {e}");
+                    // Schema violations are findings (1); unreadable files
+                    // are I/O errors (2).
+                    if e.contains("cannot read") {
+                        ExitCode::from(2)
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+        }
+        "bench-diff" => {
+            if args.len() < 3 {
+                return usage();
+            }
+            let (path_old, path_new) = (&args[1], &args[2]);
+            let mut fail_over = 25.0f64;
+            let mut report_only = false;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--report-only" => report_only = true,
+                    "--fail-over" => match rest.next().and_then(|v| v.parse::<f64>().ok()) {
+                        Some(v) => fail_over = v,
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let (old, new) = match (load_bench(path_old), load_bench(path_new)) {
+                (Ok(old), Ok(new)) => (old, new),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("cq-trace: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let res = cq_trace::diff_bench(&old, &new, fail_over);
+            print!("{}", res.report);
+            if res.regressions.is_empty() || report_only {
+                if !res.regressions.is_empty() {
+                    println!(
+                        "cq-trace bench-diff: {} regression(s), report-only",
+                        res.regressions.len()
+                    );
+                } else {
+                    println!("cq-trace bench-diff: PASS");
+                }
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "cq-trace bench-diff: FAIL ({} regressions)",
+                    res.regressions.len()
+                );
+                ExitCode::FAILURE
             }
         }
         _ => usage(),

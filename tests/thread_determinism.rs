@@ -46,6 +46,25 @@ fn matmul_bits(limit: usize) -> Vec<u32> {
     })
 }
 
+/// Deliberately tile-unaligned (prime) shapes so the packed-panel kernels
+/// exercise edge tiles (`mr < MR`, `nr < NR`) and the small-size fast
+/// path, not just full register tiles.
+fn matmul_unaligned_bits(limit: usize) -> Vec<u32> {
+    with_thread_limit(limit, || {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Tensor::randn(&[97, 53], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[53, 61], 0.0, 1.0, &mut rng);
+        let bt = Tensor::randn(&[61, 53], 0.0, 1.0, &mut rng);
+        let at = Tensor::randn(&[53, 97], 0.0, 1.0, &mut rng);
+        let mut out = bits_of(&a.matmul(&b).expect("matmul"));
+        out.extend(bits_of(&a.matmul_nt(&bt).expect("matmul_nt")));
+        out.extend(bits_of(&at.matmul_tn(&b).expect("matmul_tn")));
+        let t = Tensor::randn(&[1, 1], 0.0, 1.0, &mut rng);
+        out.extend(bits_of(&t.matmul(&t).expect("1x1 matmul")));
+        out
+    })
+}
+
 fn conv_grad_bits(limit: usize) -> Vec<u32> {
     with_thread_limit(limit, || {
         let mut ps = ParamSet::new();
@@ -65,7 +84,14 @@ fn conv_grad_bits(limit: usize) -> Vec<u32> {
     })
 }
 
-fn trainer_loss_trace(limit: usize) -> Vec<u64> {
+/// Golden workload counters for the 2-step CQ-A pilot below, captured
+/// with the pre-rewrite scalar kernels. The packed/blocked kernels must
+/// issue exactly the same matmul calls (and therefore FLOPs): the rewrite
+/// changes how each product is computed, never which products happen.
+const MATMUL_CALLS_GOLDEN: u64 = 32;
+const MATMUL_FLOPS_GOLDEN: u64 = 102_400;
+
+fn trainer_loss_trace(limit: usize) -> (Vec<u64>, u64, u64) {
     with_thread_limit(limit, || {
         let sink = Arc::new(MemorySink::new());
         cq_obs::reset();
@@ -85,9 +111,11 @@ fn trainer_loss_trace(limit: usize) -> Vec<u64> {
         let (train, _) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(16, 8));
         let mut trainer = SimclrTrainer::new(encoder, cfg).expect("trainer");
         trainer.train(&train).expect("2-step pretrain");
+        // Counters are emitted as totals on flush, not per increment.
+        cq_obs::flush();
         cq_obs::uninstall();
-        let losses: Vec<u64> = sink
-            .take()
+        let events = sink.take();
+        let losses: Vec<u64> = events
             .iter()
             .filter_map(|e| match e {
                 Event::Metric { name, step, value } if *name == "train.loss" => {
@@ -98,20 +126,45 @@ fn trainer_loss_trace(limit: usize) -> Vec<u64> {
             })
             .collect();
         assert_eq!(losses.len(), 2, "expected one train.loss per step");
-        losses
+        let counter = |want: &str| -> u64 {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Counter { name, total } if *name == want => Some(*total),
+                    _ => None,
+                })
+                .next_back()
+                .unwrap_or_else(|| panic!("counter {want} missing from trace"))
+        };
+        (
+            losses,
+            counter("tensor.matmul.calls"),
+            counter("tensor.matmul.flops"),
+        )
     })
 }
 
 #[test]
 fn results_are_bitwise_identical_at_any_thread_count() {
     let matmul_base = matmul_bits(LIMITS[0]);
+    let unaligned_base = matmul_unaligned_bits(LIMITS[0]);
     let conv_base = conv_grad_bits(LIMITS[0]);
-    let trace_base = trainer_loss_trace(LIMITS[0]);
+    let (trace_base, calls_base, flops_base) = trainer_loss_trace(LIMITS[0]);
+    assert_eq!(
+        (calls_base, flops_base),
+        (MATMUL_CALLS_GOLDEN, MATMUL_FLOPS_GOLDEN),
+        "tensor.matmul.{{calls,flops}} drifted from the pre-rewrite golden"
+    );
     for &limit in &LIMITS[1..] {
         assert_eq!(
             matmul_bits(limit),
             matmul_base,
             "matmul drifted at thread limit {limit}"
+        );
+        assert_eq!(
+            matmul_unaligned_bits(limit),
+            unaligned_base,
+            "tile-unaligned matmul drifted at thread limit {limit}"
         );
         assert_eq!(
             conv_grad_bits(limit),
@@ -120,7 +173,7 @@ fn results_are_bitwise_identical_at_any_thread_count() {
         );
         assert_eq!(
             trainer_loss_trace(limit),
-            trace_base,
+            (trace_base.clone(), calls_base, flops_base),
             "trainer loss trace drifted at thread limit {limit}"
         );
     }

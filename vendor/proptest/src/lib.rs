@@ -136,6 +136,56 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// A boxed generator arm of a [`Union`] (one `prop_oneof!` alternative).
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Weighted union over strategies with a common value type; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<(u32, UnionArm<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, generator)` arms.
+    pub fn new(arms: Vec<(u32, UnionArm<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = ((rng.next_u64() as u128 * self.total as u128) >> 64) as u64;
+        for (w, gen) in &self.arms {
+            if pick < *w as u64 {
+                return gen(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight bookkeeping out of range");
+    }
+}
+
+/// Picks among strategies, optionally weighted (`w => strategy`);
+/// mirrors `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, {
+            let __s = $strat;
+            Box::new(move |__rng: &mut $crate::TestRng| {
+                $crate::Strategy::generate(&__s, __rng)
+            }) as Box<dyn Fn(&mut $crate::TestRng) -> _>
+        })),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
 /// Collection strategies.
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -262,8 +312,8 @@ macro_rules! proptest {
 /// The glob-importable prelude, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
-    pub use crate::{Just, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestRng, Union};
 }
 
 #[cfg(test)]
@@ -289,6 +339,22 @@ mod tests {
             prop_assert_eq!(v.len(), 16);
             prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
         }
+
+        #[test]
+        fn oneof_draws_only_listed_values(x in prop_oneof![1 => Just(3usize), 1 => Just(7usize), 2 => 10usize..12]) {
+            prop_assert!([3usize, 7, 10, 11].contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_oneof_reaches_every_arm() {
+        let s = prop_oneof![1 => Just(0u8), 3 => Just(1u8)];
+        let mut rng = crate::rng_for("weighted_oneof");
+        let mut seen = [false; 2];
+        for _ in 0..256 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
     }
 
     #[test]
