@@ -11,8 +11,18 @@
 //! workload) in steps/sec, plus machine/thread metadata so `cq-trace
 //! bench-diff` can refuse to hard-gate across different hardware.
 //!
+//! The v2 schema adds a measured machine roofline — peak multiply-add
+//! GFLOP/s (independent accumulator chains across the worker pool; the
+//! kernels' determinism contract forbids FMA, so the mul-add peak is
+//! the ceiling they can legally reach) and stream triad bandwidth — and
+//! stamps every grid point with its arithmetic intensity and the
+//! percentage of the roofline-attainable throughput it achieves. The
+//! machine fingerprint gains the effective thread count (post
+//! `CQ_THREADS`) and the SIMD dispatch level, so a `bench-diff` across
+//! a thread-count or ISA change degrades to report-only.
+//!
 //! ```text
-//! kernels [--scale quick|paper] [--out BENCH_7.json]
+//! kernels [--scale quick|paper] [--out BENCH_8.json]
 //! ```
 
 use cq_bench::Scale;
@@ -21,7 +31,7 @@ use cq_data::{Dataset, DatasetConfig};
 use cq_models::{Arch, Encoder, EncoderConfig};
 use cq_quant::PrecisionSet;
 use cq_tensor::gemm::{self, Kind};
-use cq_tensor::par::num_threads;
+use cq_tensor::par::{num_threads, parallel_chunks_mut, parallel_for_each};
 use cq_tensor::{im2col, Conv2dSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,10 +39,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Schema identifier checked by `cq-trace bench-check` / `bench-diff`.
-const SCHEMA: &str = "cq-bench-kernels/v1";
+const SCHEMA: &str = "cq-bench-kernels/v2";
 
 /// This PR's artifact number.
-const PR: u32 = 7;
+const PR: u32 = 8;
 
 /// One measured grid point.
 struct Point {
@@ -132,6 +142,114 @@ fn bench_conv(c: usize, o: usize, h: usize, w: usize, rng: &mut StdRng) -> Point
     }
 }
 
+/// Measured machine ceilings the roofline model is built from.
+struct Roofline {
+    /// Peak multiply-add throughput across the pool, GFLOP/s.
+    peak_gflops: f64,
+    /// Sustained stream-triad bandwidth across the pool, GB/s.
+    stream_gbs: f64,
+}
+
+impl Roofline {
+    /// Arithmetic intensity of an `m`×`n`×`k` product in FLOPs per byte
+    /// of unique f32 traffic (both operands plus the output).
+    fn intensity(m: usize, n: usize, k: usize) -> f64 {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let bytes = 4.0 * (m * k + k * n + m * n) as f64;
+        flops / bytes
+    }
+
+    /// Roofline-attainable GFLOP/s at arithmetic intensity `ai`:
+    /// `min(peak, ai x bandwidth)`.
+    fn attainable(&self, ai: f64) -> f64 {
+        self.peak_gflops.min(ai * self.stream_gbs)
+    }
+}
+
+/// Lanes in the peak-compute microkernel: enough independent per-lane
+/// accumulator chains to hide mul/add latency at any vector width the
+/// autovectorizer picks (8 chains even at 512-bit vectors) while still
+/// fitting the accumulators in registers.
+const PEAK_LANES: usize = 128;
+
+/// Multiply-add iterations per work item in the peak measurement.
+const PEAK_REPS: u32 = 100_000;
+
+/// One peak-compute work item: `PEAK_LANES` independent multiply-add
+/// chains against broadcast constants (no per-lane operand loads, so
+/// the loop is pure FP issue). Deliberately mul-then-add (two
+/// instructions), not FMA — the gemm kernels' bitwise-determinism
+/// contract forbids FMA contraction, so this measures the ceiling those
+/// kernels can legally reach.
+fn madd_chains(seed: f32) -> f32 {
+    let mut acc = [0.0f32; PEAK_LANES];
+    for (i, v) in acc.iter_mut().enumerate() {
+        *v = seed + i as f32 * 1e-6;
+    }
+    for _ in 0..PEAK_REPS {
+        for a in acc.iter_mut() {
+            // Fixed point of x*c + d stays ~ d/(1-c): bounded forever.
+            *a = *a * 0.999_999 + 1.0e-3;
+        }
+    }
+    let mut sum = 0.0f32;
+    for a in acc {
+        sum += a;
+    }
+    sum
+}
+
+/// Measures peak multiply-add GFLOP/s across the worker pool: several
+/// compute-bound items per thread, best of three passes.
+fn measure_peak_gflops() -> f64 {
+    let items = num_threads() * 8;
+    let run = || {
+        parallel_for_each(items, |i| {
+            std::hint::black_box(madd_chains(1.0 + i as f32));
+        })
+    };
+    run(); // warm up the pool and the frequency governor
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        run();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let flops = items as f64 * PEAK_REPS as f64 * PEAK_LANES as f64 * 2.0;
+    flops / best / 1e9
+}
+
+/// Measures sustained memory bandwidth with a stream-style triad
+/// (`c = a + 3b`) over buffers far larger than the last-level cache,
+/// parallelized across the pool. Counts 12 bytes of traffic per element
+/// (two reads, one write; write-allocate traffic is ignored, as STREAM
+/// does).
+fn measure_stream_gbs() -> f64 {
+    const LEN: usize = 8 * 1024 * 1024; // 32 MiB per buffer
+    const CHUNK: usize = 64 * 1024;
+    let a: Vec<f32> = (0..LEN).map(|i| (i % 17) as f32).collect();
+    let b: Vec<f32> = (0..LEN).map(|i| (i % 13) as f32).collect();
+    let mut c = vec![0.0f32; LEN];
+    let run = |c: &mut [f32]| {
+        parallel_chunks_mut(c, CHUNK, |ci, chunk| {
+            let off = ci * CHUNK;
+            let (a, b) = (&a[off..off + CHUNK], &b[off..off + CHUNK]);
+            for i in 0..CHUNK {
+                chunk[i] = a[i] + 3.0 * b[i];
+            }
+        })
+    };
+    run(&mut c); // warm up: page in all three buffers
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        run(&mut c);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(&c);
+    (12.0 * LEN as f64) / best / 1e9
+}
+
 /// Times the 2-step CQ-A pilot (the exact golden-trace workload:
 /// 16 images, batch 8, ResNet-18 width 2) and returns steps/sec.
 fn bench_pilot_steps() -> (usize, f64) {
@@ -188,7 +306,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn render_json(scale: Scale, points: &[Point], pilot: (usize, f64)) -> String {
+fn render_json(scale: Scale, points: &[Point], roofline: &Roofline, pilot: (usize, f64)) -> String {
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -211,15 +329,28 @@ fn render_json(scale: Scale, points: &[Point], pilot: (usize, f64)) -> String {
     let _ = writeln!(s, "    \"os\": \"{}\",", esc(std::env::consts::OS));
     let _ = writeln!(s, "    \"arch\": \"{}\",", esc(std::env::consts::ARCH));
     let _ = writeln!(s, "    \"cpu\": \"{}\",", esc(&cpu_model()));
-    let _ = writeln!(s, "    \"threads\": {}", num_threads());
+    let hw_threads = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1);
+    let _ = writeln!(s, "    \"threads\": {hw_threads},");
+    let _ = writeln!(s, "    \"threads_effective\": {},", num_threads());
+    let _ = writeln!(s, "    \"simd\": \"{}\"", esc(gemm::simd_level_name()));
     let _ = writeln!(s, "  }},");
+    let _ = writeln!(
+        s,
+        "  \"roofline\": {{\"peak_gflops\": {:.3}, \"stream_gbs\": {:.3}}},",
+        roofline.peak_gflops, roofline.stream_gbs
+    );
     let _ = writeln!(s, "  \"kernels\": [");
     for (i, p) in points.iter().enumerate() {
         let speedup = p.gflops / p.ref_gflops;
+        let ai = Roofline::intensity(p.m, p.n, p.k);
+        let pct = 100.0 * p.gflops / roofline.attainable(ai);
         let _ = writeln!(
             s,
             "    {{\"kernel\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \"iters\": {}, \
-             \"gflops\": {:.3}, \"ref_gflops\": {:.3}, \"speedup\": {:.3}}}{}",
+             \"gflops\": {:.3}, \"ref_gflops\": {:.3}, \"speedup\": {:.3}, \
+             \"ai\": {:.3}, \"roofline_pct\": {:.1}}}{}",
             p.kernel,
             p.m,
             p.n,
@@ -228,6 +359,8 @@ fn render_json(scale: Scale, points: &[Point], pilot: (usize, f64)) -> String {
             p.gflops,
             p.ref_gflops,
             speedup,
+            ai,
+            pct,
             if i + 1 < points.len() { "," } else { "" }
         );
     }
@@ -300,10 +433,27 @@ fn main() {
             p.gflops / p.ref_gflops
         );
     }
+    // The compute ceiling is the mul-add microbenchmark, raised to the
+    // fastest observed kernel point when a kernel beats it — a gemm with
+    // deeper ILP than the chain microkernel is itself a demonstration of
+    // what the machine sustains, and the ceiling must bound the evidence.
+    let micro_peak = measure_peak_gflops();
+    let best_kernel = points.iter().map(|p| p.gflops).fold(0.0, f64::max);
+    let roofline = Roofline {
+        peak_gflops: micro_peak.max(best_kernel),
+        stream_gbs: measure_stream_gbs(),
+    };
+    eprintln!(
+        "  roofline: {:.2} GFLOP/s mul-add peak, {:.2} GB/s stream ({} simd, {} thread(s))",
+        roofline.peak_gflops,
+        roofline.stream_gbs,
+        gemm::simd_level_name(),
+        num_threads()
+    );
     let pilot = bench_pilot_steps();
     eprintln!("  2-step CQ-A pilot: {:.2} steps/sec", pilot.1);
 
-    let json = render_json(scale, &points, pilot);
+    let json = render_json(scale, &points, &roofline, pilot);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("kernels: cannot write {out_path}: {e}");
         std::process::exit(1);

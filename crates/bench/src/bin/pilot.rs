@@ -22,6 +22,12 @@ use cq_models::{Arch, Encoder};
 use cq_quant::PrecisionSet;
 use std::time::Instant;
 
+/// Counting allocator so the `mem.alloc_count` phase metric is live in
+/// pilot runs (a plain `System` pass-through plus one relaxed atomic
+/// increment; see `cq_obs::alloc`).
+#[global_allocator]
+static ALLOC: cq_obs::alloc::CountingAlloc = cq_obs::alloc::CountingAlloc::system();
+
 /// Flags of the checkpoint mode; `None` everywhere means the classic
 /// calibration pilot.
 #[derive(Default)]

@@ -55,6 +55,45 @@ fn record_step_metrics(step: usize, loss: f32, norm: f32, lr: f32) {
     cq_obs::metric(cq_obs::names::TRAIN_LR, step, lr as f64);
 }
 
+/// Emits the per-step worker-pool attribution metrics — utilization (busy
+/// time per wall-nanosecond per executor) and chunk-claim imbalance —
+/// from the pool counter deltas across the step. Both series are
+/// scheduling telemetry: `cq-trace diff` reports but never gates them.
+fn record_pool_metrics(step: usize, before: &cq_tensor::par::PoolStats, wall_ns: u64) {
+    let after = cq_tensor::par::pool_stats();
+    let width = after.workers_spawned + 1; // the dispatching caller participates
+    let step = step as u64;
+    if let Some(util) = after.utilization_since(before, wall_ns, width) {
+        cq_obs::metric(cq_obs::names::POOL_UTILIZATION, step, util);
+    }
+    if let Some(imbalance) = after.imbalance_since(before) {
+        cq_obs::metric(cq_obs::names::POOL_CHUNK_IMBALANCE, step, imbalance);
+    }
+}
+
+/// Emits the end-of-phase memory metrics: peak RSS so far (`VmHWM`) and
+/// the allocation-call delta since the previous sample. The allocation
+/// series only appears in binaries that installed
+/// [`cq_obs::alloc::CountingAlloc`] as their global allocator.
+fn record_phase_memory(step: usize) {
+    if !cq_obs::enabled() {
+        return;
+    }
+    let step = step as u64;
+    if let Some(kb) = cq_obs::alloc::peak_rss_kb() {
+        cq_obs::metric(cq_obs::names::MEM_PEAK_RSS_KB, step, kb as f64);
+    }
+    if let Some(calls) = cq_obs::alloc::alloc_calls() {
+        static LAST: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let prev = LAST.swap(calls, std::sync::atomic::Ordering::Relaxed);
+        cq_obs::metric(
+            cq_obs::names::MEM_ALLOC_COUNT,
+            step,
+            calls.saturating_sub(prev) as f64,
+        );
+    }
+}
+
 /// Emits the end-of-epoch throughput metric.
 fn record_epoch_throughput(step: usize, images: usize, elapsed: std::time::Duration) {
     let secs = elapsed.as_secs_f64();
@@ -404,6 +443,7 @@ impl<M: SslMethod> TrainLoop<M> {
                 batches.len() * self.cfg.batch_size,
                 epoch_start.elapsed(),
             );
+            record_phase_memory(self.steps_taken);
             if let Some(batch) = batches.first() {
                 if let Some(encoder) = self.method.probe_encoder(&self.cfg) {
                     record_collapse_probe(encoder, batch, self.steps_taken)?;
@@ -426,6 +466,10 @@ impl<M: SslMethod> TrainLoop<M> {
     pub fn step(&mut self, batch: &TwoViewBatch, lr: f32) -> Result<Option<(f32, f32)>, NnError> {
         abort_check()?;
         let _sp = cq_obs::span("train.step");
+        let pool_window = cq_obs::enabled().then(|| {
+            // cq-allow(det-time-source): step wall-time for pool utilization telemetry only
+            (cq_tensor::par::pool_stats(), std::time::Instant::now())
+        });
         let mut gs = self.method.params().zero_grads();
         let mut ctx = StepCtx {
             cfg: &self.cfg,
@@ -437,6 +481,9 @@ impl<M: SslMethod> TrainLoop<M> {
         if !loss.is_finite() || !gs.is_finite() || norm > self.cfg.explosion_threshold {
             self.history.exploded_steps += 1;
             EXPLODED_STEPS.add(1);
+            if let Some((before, t0)) = &pool_window {
+                record_pool_metrics(self.steps_taken, before, t0.elapsed().as_nanos() as u64);
+            }
             // Report the divergent values before skipping — this is what
             // lets the health sentinels see the explosion.
             record_step_metrics(self.steps_taken, loss, norm, lr);
@@ -445,6 +492,9 @@ impl<M: SslMethod> TrainLoop<M> {
         self.opt.step(self.method.params_mut(), &gs, lr)?;
         self.method.after_step(&self.cfg)?;
         self.history.steps += 1;
+        if let Some((before, t0)) = &pool_window {
+            record_pool_metrics(self.steps_taken, before, t0.elapsed().as_nanos() as u64);
+        }
         record_step_metrics(self.steps_taken, loss, norm, lr);
         Ok(Some((loss, norm)))
     }

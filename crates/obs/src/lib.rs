@@ -48,8 +48,10 @@
 
 #![deny(missing_docs)]
 
+pub mod alloc;
 pub mod health;
 pub mod names;
+pub mod prof;
 pub mod sink;
 pub mod summary;
 
@@ -106,6 +108,21 @@ pub enum Event {
     Warning {
         /// Human-readable message.
         message: String,
+    },
+    /// One profiling timeline interval on one thread (opt-in; emitted
+    /// only while [`prof`] is enabled, so default traces never carry
+    /// these — see the gating contract in the [`prof`] module docs).
+    Timeline {
+        /// Interval name (a span name, `"pool.busy"`, `"pool.park"`).
+        name: &'static str,
+        /// Lane category (`"span"` or `"pool"`).
+        cat: &'static str,
+        /// Dense process-local id of the thread the interval ran on.
+        tid: u64,
+        /// Start, nanoseconds since the process profiling epoch.
+        start_ns: u64,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
     },
     /// A non-Ok verdict from the online health monitor (see [`health`]).
     Health {
@@ -184,12 +201,21 @@ pub fn emit(ev: Event) {
 #[derive(Debug)]
 pub struct SpanGuard {
     inner: Option<(&'static str, u16, Instant)>,
+    /// Epoch-relative start, captured only while [`prof`] is enabled, so
+    /// the closed scope can double as a timeline interval.
+    prof_start_ns: Option<u64>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((name, depth, start)) = self.inner.take() {
             let nanos = start.elapsed().as_nanos() as u64;
+            if let Some(start_ns) = self.prof_start_ns.take() {
+                // Reuse the already-measured duration: the timeline
+                // interval matches the SpanEnd record exactly and costs
+                // no extra clock read.
+                prof::record(name, prof::CAT_SPAN, start_ns, start_ns + nanos);
+            }
             emit(Event::SpanEnd { name, depth, nanos });
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         }
@@ -201,7 +227,10 @@ impl Drop for SpanGuard {
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { inner: None };
+        return SpanGuard {
+            inner: None,
+            prof_start_ns: None,
+        };
     }
     let depth = DEPTH.with(|d| {
         let v = d.get();
@@ -209,8 +238,10 @@ pub fn span(name: &'static str) -> SpanGuard {
         v
     });
     emit(Event::SpanStart { name, depth });
+    let prof_start_ns = prof::enabled().then(prof::now_ns);
     SpanGuard {
         inner: Some((name, depth, Instant::now())),
+        prof_start_ns,
     }
 }
 
@@ -318,6 +349,7 @@ pub fn flush() {
     if !enabled() {
         return;
     }
+    prof::drain_thread();
     for (name, total) in counter_totals() {
         emit(Event::Counter { name, total });
     }

@@ -44,6 +44,27 @@ pub const CKPT_SAVED: &str = "ckpt.saved";
 /// [`CKPT_SAVED`] for the `ckpt.` gating exemption.
 pub const CKPT_LOADED: &str = "ckpt.loaded";
 
+/// Per-step worker-pool utilization: pool busy time during the step
+/// divided by `step wall time x pool width`, in (0, 1] when the pool ran
+/// (0 when the step never dispatched). Timing-dependent by nature, so
+/// `cq-trace diff` reports but never gates this series.
+pub const POOL_UTILIZATION: &str = "pool.utilization";
+
+/// Per-step chunk-claim imbalance: mean over the step's pool jobs of
+/// `max claims by one worker / ideal claims per worker` (1.0 = perfectly
+/// balanced). Claim order is scheduling-dependent, so `cq-trace diff`
+/// reports but never gates this series.
+pub const POOL_CHUNK_IMBALANCE: &str = "pool.chunk_imbalance";
+
+/// Per-phase peak resident set size in kilobytes (`VmHWM` sampled at the
+/// phase boundary). Environment-dependent: report-only in diffs via the
+/// `mem.` prefix.
+pub const MEM_PEAK_RSS_KB: &str = "mem.peak_rss_kb";
+
+/// Per-phase allocation calls (delta of the opt-in counting allocator —
+/// see [`crate::alloc`]); 0 when no counting allocator is installed.
+pub const MEM_ALLOC_COUNT: &str = "mem.alloc_count";
+
 /// Per-epoch collapse probe: mean per-dimension standard deviation of the
 /// L2-normalized projector embeddings, scaled by `sqrt(d)` so a healthy
 /// (isotropic) representation sits near 1.0 and a collapsed one at 0.
@@ -77,6 +98,10 @@ mod tests {
             super::QUANT_CLIP_RANGE,
             super::CKPT_SAVED,
             super::CKPT_LOADED,
+            super::POOL_UTILIZATION,
+            super::POOL_CHUNK_IMBALANCE,
+            super::MEM_PEAK_RSS_KB,
+            super::MEM_ALLOC_COUNT,
             super::EMBED_FEATURE_STD,
             super::EMBED_POS_COSINE,
             super::EMBED_ALIGNMENT,

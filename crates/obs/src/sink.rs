@@ -12,7 +12,12 @@
 //! {"t":"metric","name":"train.loss","step":3,"v":4.125}
 //! {"t":"warn","msg":"CQ_THREADS=0 rejected; using 1"}
 //! {"t":"health","detector":"nan_sentinel","verdict":"critical","step":3,"v":null,"msg":"loss is NaN at step 3"}
+//! {"t":"tl","name":"pool.busy","cat":"pool","tid":2,"ts":1048576,"dur":524288}
 //! ```
+//!
+//! `tl` records (per-thread timeline intervals, `ts`/`dur` in
+//! nanoseconds since the process profiling epoch) appear only when
+//! profiling is enabled (`CQ_PROF=1`) — see [`crate::prof`].
 //!
 //! `SpanStart` events are not written — the `SpanEnd` record carries the
 //! name, depth and duration, which halves trace volume without losing
@@ -40,6 +45,7 @@ pub struct MemorySink {
     events: Mutex<VecDeque<Event>>,
     capacity: Option<usize>,
     evicted: AtomicU64,
+    evicted_timeline: AtomicU64,
 }
 
 impl MemorySink {
@@ -56,6 +62,7 @@ impl MemorySink {
             events: Mutex::new(VecDeque::new()),
             capacity: Some(capacity),
             evicted: AtomicU64::new(0),
+            evicted_timeline: AtomicU64::new(0),
         }
     }
 
@@ -79,9 +86,27 @@ impl MemorySink {
         self.len() == 0
     }
 
-    /// Number of events evicted to respect the capacity bound.
+    /// Number of non-timeline events evicted to respect the capacity
+    /// bound.
     pub fn evicted(&self) -> u64 {
         self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Number of [`Event::Timeline`] records evicted to respect the
+    /// capacity bound. Tracked separately: a profiled run emits orders of
+    /// magnitude more timeline events than anything else, and this
+    /// counter shows when the cap is trimming the timeline rather than
+    /// the primary telemetry.
+    pub fn evicted_timeline(&self) -> u64 {
+        self.evicted_timeline.load(Ordering::Relaxed)
+    }
+
+    fn count_eviction(&self, ev: &Event) {
+        let ctr = match ev {
+            Event::Timeline { .. } => &self.evicted_timeline,
+            _ => &self.evicted,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -90,12 +115,13 @@ impl Sink for MemorySink {
         let mut events = lock(&self.events);
         if let Some(cap) = self.capacity {
             if cap == 0 {
-                self.evicted.fetch_add(1, Ordering::Relaxed);
+                self.count_eviction(ev);
                 return;
             }
             while events.len() >= cap {
-                events.pop_front();
-                self.evicted.fetch_add(1, Ordering::Relaxed);
+                if let Some(old) = events.pop_front() {
+                    self.count_eviction(&old);
+                }
             }
         }
         events.push_back(ev.clone());
@@ -201,6 +227,15 @@ impl Sink for JsonlSink {
             Event::Warning { message } => {
                 format!("{{\"t\":\"warn\",\"msg\":\"{}\"}}", escape_json(message))
             }
+            Event::Timeline {
+                name,
+                cat,
+                tid,
+                start_ns,
+                dur_ns,
+            } => format!(
+                "{{\"t\":\"tl\",\"name\":\"{name}\",\"cat\":\"{cat}\",\"tid\":{tid},\"ts\":{start_ns},\"dur\":{dur_ns}}}"
+            ),
             Event::Health {
                 detector,
                 verdict,
@@ -233,9 +268,13 @@ impl Sink for JsonlSink {
 ///   summary report without a trace file). `CQ_OBS_MEM_CAP=<n>` bounds it
 ///   to the most recent `n` events (unbounded when unset/unparsable).
 /// - anything else → no sink, returns `None`
+///
+/// When a sink was installed and `CQ_PROF` is set to `1`, `on` or
+/// `timeline`, per-thread timeline profiling (see [`crate::prof`]) is
+/// enabled on top of it; without a sink `CQ_PROF` has no effect.
 pub fn init_from_env() -> Option<String> {
     let mode = std::env::var("CQ_OBS").ok()?;
-    match mode.as_str() {
+    let installed = match mode.as_str() {
         "jsonl" => {
             let path = std::env::var("CQ_OBS_PATH").unwrap_or_else(|_| "cq-obs.jsonl".to_string());
             match JsonlSink::create(&path) {
@@ -267,6 +306,16 @@ pub fn init_from_env() -> Option<String> {
             }
         }
         _ => None,
+    }?;
+    let prof_on = matches!(
+        std::env::var("CQ_PROF").ok().as_deref(),
+        Some("1" | "on" | "timeline")
+    );
+    if prof_on {
+        crate::prof::set_enabled(true);
+        Some(format!("{installed} + timeline profiling (CQ_PROF)"))
+    } else {
+        Some(installed)
     }
 }
 
@@ -377,6 +426,63 @@ mod tests {
         }
         assert_eq!(unbounded.len(), 100);
         assert_eq!(unbounded.evicted(), 0);
+    }
+
+    #[test]
+    fn jsonl_timeline_record_schema() {
+        let _g = crate::test_lock();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cq-obs-tl-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).expect("temp file");
+        sink.event(&Event::Timeline {
+            name: "pool.busy",
+            cat: "pool",
+            tid: 2,
+            start_ns: 1_048_576,
+            dur_ns: 524_288,
+        });
+        Sink::flush(&sink);
+        let text = std::fs::read_to_string(&path).expect("trace readable");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            text.trim(),
+            "{\"t\":\"tl\",\"name\":\"pool.busy\",\"cat\":\"pool\",\"tid\":2,\"ts\":1048576,\"dur\":524288}"
+        );
+    }
+
+    #[test]
+    fn memory_sink_counts_timeline_evictions_separately() {
+        let tl = |i: u64| Event::Timeline {
+            name: "pool.busy",
+            cat: "pool",
+            tid: 0,
+            start_ns: i,
+            dur_ns: 1,
+        };
+        let s = MemorySink::with_capacity(2);
+        // Timeline events count toward the cap like everything else...
+        s.event(&tl(0));
+        s.event(&tl(1));
+        s.event(&Event::Histogram {
+            name: "h",
+            value: 1.0,
+        });
+        s.event(&Event::Histogram {
+            name: "h",
+            value: 2.0,
+        });
+        assert_eq!(s.len(), 2);
+        // ...but their evictions are tallied on their own counter.
+        assert_eq!(s.evicted_timeline(), 2);
+        assert_eq!(s.evicted(), 0);
+        s.event(&tl(2));
+        assert_eq!(s.evicted(), 1, "the evicted histogram");
+        assert_eq!(s.evicted_timeline(), 2);
+
+        let zero = MemorySink::with_capacity(0);
+        zero.event(&tl(0));
+        assert_eq!(zero.evicted_timeline(), 1);
+        assert_eq!(zero.evicted(), 0);
     }
 
     #[test]

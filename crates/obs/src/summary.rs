@@ -6,7 +6,7 @@
 //! histogram regardless of which sink is active. `BTreeMap`s keep the
 //! rendered report deterministic.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Mutex, MutexGuard};
 
 use crate::health::Verdict;
@@ -37,6 +37,18 @@ pub struct SpanStat {
     pub min_depth: u16,
 }
 
+/// Accumulated statistics for one timeline lane (a `(category, name)`
+/// pair such as `("pool", "pool.busy")` or `("span", "train.step")`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimelineStat {
+    /// Number of intervals recorded.
+    pub events: u64,
+    /// Total interval time across all threads, nanoseconds.
+    pub total_ns: u64,
+    /// Distinct thread ids the lane was observed on.
+    pub threads: BTreeSet<u64>,
+}
+
 /// Accumulated statistics for one metric name.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MetricStat {
@@ -58,6 +70,8 @@ pub(crate) struct Aggregate {
     // histogram name -> (rounded bucket -> count)
     hists: BTreeMap<&'static str, BTreeMap<i64, u64>>,
     metrics: BTreeMap<&'static str, MetricStat>,
+    // (category, name) -> interval stats
+    timeline: BTreeMap<(&'static str, &'static str), TimelineStat>,
     warnings: Vec<String>,
     health: Vec<HealthLine>,
     worst_health: Verdict,
@@ -115,6 +129,18 @@ pub(crate) fn aggregate(ev: &Event) {
             st.max = st.max.max(*value);
             st.sum += *value;
         }
+        Event::Timeline {
+            name,
+            cat,
+            tid,
+            start_ns: _,
+            dur_ns,
+        } => {
+            let st = agg.timeline.entry((cat, name)).or_default();
+            st.events += 1;
+            st.total_ns += dur_ns;
+            st.threads.insert(*tid);
+        }
         Event::Warning { message } => {
             // Bounded: warnings are rare by contract, but cap defensively.
             if agg.warnings.len() < 64 {
@@ -157,6 +183,9 @@ pub struct Report {
     pub histograms: Vec<(&'static str, Vec<(i64, u64)>)>,
     /// Per-metric stats, sorted by name.
     pub metrics: Vec<(&'static str, MetricStat)>,
+    /// Per-timeline-lane stats (`(category, name)`), sorted. Non-empty
+    /// only for profiled runs (see [`crate::prof`]).
+    pub timeline: Vec<((&'static str, &'static str), TimelineStat)>,
     /// Counter totals, sorted by name.
     pub counters: Vec<(&'static str, u64)>,
     /// Collected warning messages, in arrival order.
@@ -182,6 +211,7 @@ pub fn summary_report() -> Report {
             .map(|(k, m)| (*k, m.iter().map(|(b, c)| (*b, *c)).collect()))
             .collect();
         report.metrics = agg.metrics.iter().map(|(k, v)| (*k, *v)).collect();
+        report.timeline = agg.timeline.iter().map(|(k, v)| (*k, v.clone())).collect();
         report.warnings = agg.warnings.clone();
         report.health = agg.health.clone();
         report.worst_health = agg.worst_health;
@@ -219,6 +249,7 @@ impl Report {
         self.spans.is_empty()
             && self.histograms.is_empty()
             && self.metrics.is_empty()
+            && self.timeline.is_empty()
             && self.counters.is_empty()
             && self.warnings.is_empty()
             && self.health.is_empty()
@@ -274,6 +305,18 @@ impl Report {
                 out.push_str(&format!(
                     "  {name:<28} n={:<6} last={:<12.5} mean={:<12.5} min={:<12.5} max={:.5}\n",
                     m.count, m.last, mean, m.min, m.max
+                ));
+            }
+        }
+        if !self.timeline.is_empty() {
+            out.push_str("== timeline lanes ==\n");
+            for ((cat, name), st) in &self.timeline {
+                out.push_str(&format!(
+                    "  {cat:<6} {name:<21} {:>8} events  {:>10}  {} thread{}\n",
+                    fmt_count(st.events),
+                    fmt_ns(st.total_ns),
+                    st.threads.len(),
+                    if st.threads.len() == 1 { "" } else { "s" }
                 ));
             }
         }

@@ -135,6 +135,20 @@ fn simd_level() -> Level {
     })
 }
 
+/// Name of the SIMD dispatch level the host selected (`baseline`,
+/// `avx2`, `avx512`). Telemetry for bench artifacts and machine
+/// fingerprints; speed metadata only — every level produces the same
+/// bits (invariant 3 above).
+pub fn simd_level_name() -> &'static str {
+    match simd_level() {
+        Level::Baseline => "baseline",
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 => "avx2",
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx512 => "avx512",
+    }
+}
+
 /// Shape-only test for the unblocked fast path: degenerate `k`, outputs
 /// narrower than one register tile, or products small enough that panel
 /// packing would cost more than it saves.

@@ -27,13 +27,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
-// Pool telemetry (no-ops unless a cq-obs sink is installed). The `pool.*`
-// namespace is scheduling telemetry: cq-trace's diff gate reports but does
-// not fail on it, since busy time and spawn counts legitimately vary with
-// the thread count while workload counters must not.
+// Pool telemetry (no-ops unless a cq-obs sink is installed). `pool.jobs`
+// and `pool.chunks` are workload counters — dispatch count and grid sizes
+// are pure functions of the problem, so they are identical at every
+// `CQ_THREADS` and cq-trace's diff gate fails on a drift. `pool.busy_ns`,
+// `pool.park_ns` and `pool.workers_spawned` are timing/width telemetry
+// that legitimately varies with the thread count: diff reports them but
+// never gates.
 static C_JOBS: cq_obs::Counter = cq_obs::Counter::new("pool.jobs");
 static C_CHUNKS: cq_obs::Counter = cq_obs::Counter::new("pool.chunks");
 static C_BUSY_NS: cq_obs::Counter = cq_obs::Counter::new("pool.busy_ns");
+static C_PARK_NS: cq_obs::Counter = cq_obs::Counter::new("pool.park_ns");
 static C_SPAWNED: cq_obs::Counter = cq_obs::Counter::new("pool.workers_spawned");
 
 /// How a raw `CQ_THREADS` value was interpreted (pure, testable without
@@ -188,6 +192,12 @@ struct Job {
     next: AtomicUsize,
     /// Threads that registered to execute chunks (slot 0 = the caller).
     claimers: AtomicUsize,
+    /// Threads that claimed at least one chunk (telemetry; only
+    /// maintained while a cq-obs sink is installed).
+    active_claimers: AtomicUsize,
+    /// Most chunks claimed by any single thread (telemetry; only
+    /// maintained while a cq-obs sink is installed).
+    max_claims: AtomicU64,
     /// Cap on `claimers` (the per-dispatch thread limit).
     max_claimers: usize,
     state: Mutex<JobState>,
@@ -204,10 +214,22 @@ impl Job {
     /// Claims and executes chunks until the grid is exhausted. Called by
     /// the dispatching caller and by registered pool workers.
     fn run_claims(&self, pool: &Pool) {
+        let busy_start = cq_obs::prof::enabled().then(cq_obs::prof::now_ns);
+        let mut my_claims: u64 = 0;
         loop {
             let c = self.next.fetch_add(1, Ordering::Relaxed);
             if c >= self.n_chunks {
-                return;
+                break;
+            }
+            my_claims += 1;
+            if cq_obs::enabled() {
+                // Claim attribution, updated *before* the chunk completes
+                // so the dispatcher (which waits on the last completion)
+                // is guaranteed to observe every contribution.
+                if my_claims == 1 {
+                    self.active_claimers.fetch_add(1, Ordering::Relaxed);
+                }
+                self.max_claims.fetch_max(my_claims, Ordering::Relaxed);
             }
             // cq-allow(det-time-source): pool timing telemetry only; never feeds a computation
             let t0 = cq_obs::enabled().then(Instant::now);
@@ -227,6 +249,16 @@ impl Job {
             st.done += 1;
             if st.done == self.n_chunks {
                 self.done_cv.notify_all();
+            }
+        }
+        if my_claims > 0 {
+            if let Some(start) = busy_start {
+                cq_obs::prof::record(
+                    cq_obs::prof::POOL_BUSY,
+                    cq_obs::prof::CAT_POOL,
+                    start,
+                    cq_obs::prof::now_ns(),
+                );
             }
         }
     }
@@ -251,27 +283,49 @@ struct Pool {
 static JOBS: AtomicU64 = AtomicU64::new(0);
 /// Chunks executed, parallel and inline.
 static CHUNKS: AtomicU64 = AtomicU64::new(0);
+/// Sum over completed jobs of `max chunks claimed by one thread x threads
+/// that claimed`. Divided by [`CHUNKS`]'s matching delta this yields the
+/// chunk-imbalance ratio (1.0 = perfectly balanced claims). Only
+/// maintained while a cq-obs sink is installed.
+static CLAIM_WEIGHT: AtomicU64 = AtomicU64::new(0);
+/// Nanoseconds workers spent parked between jobs. Only accumulates while
+/// timeline profiling is enabled (the park path reads no clock otherwise).
+static PARK_NS: AtomicU64 = AtomicU64::new(0);
 
 fn worker_loop(pool: &'static Pool) {
     let mut last_seq = 0u64;
     loop {
-        let job = {
+        let (job, park_start) = {
             let mut slot = lock(&pool.slot);
+            let mut park_start: Option<u64> = None;
             loop {
                 if slot.seq != last_seq {
                     last_seq = slot.seq;
                     if let Some(j) = &slot.job {
-                        break Arc::clone(j);
+                        break (Arc::clone(j), park_start);
                     }
+                }
+                if park_start.is_none() && cq_obs::prof::enabled() {
+                    park_start = Some(cq_obs::prof::now_ns());
                 }
                 slot = pool.wake.wait(slot).unwrap_or_else(|e| e.into_inner());
             }
         };
+        if let Some(start) = park_start {
+            let end = cq_obs::prof::now_ns();
+            PARK_NS.fetch_add(end.saturating_sub(start), Ordering::Relaxed);
+            C_PARK_NS.add(end.saturating_sub(start));
+            cq_obs::prof::record(cq_obs::prof::POOL_PARK, cq_obs::prof::CAT_POOL, start, end);
+        }
         // Register as a claimer unless the dispatch's thread limit is
         // already saturated (slot 0 belongs to the dispatching caller).
         if job.claimers.fetch_add(1, Ordering::Relaxed) < job.max_claimers {
             job.run_claims(pool);
         }
+        // Workers park indefinitely between jobs, so the job boundary is
+        // their one reliable point to hand staged timeline intervals to
+        // the sink (a no-op unless profiling is on).
+        cq_obs::prof::drain_thread();
     }
 }
 
@@ -324,6 +378,46 @@ pub struct PoolStats {
     /// while a cq-obs sink is installed (timing reads are gated to keep
     /// the disabled hot path free of clock calls).
     pub busy_ns: u64,
+    /// Nanoseconds workers spent parked between jobs. Only accumulates
+    /// while timeline profiling (`CQ_PROF`) is enabled.
+    pub park_ns: u64,
+    /// Sum over dispatches of `max chunks claimed by one thread x threads
+    /// that claimed`: a delta of this divided by the matching delta of
+    /// `chunks` is the chunk-imbalance ratio (>= 1.0; 1.0 = perfectly
+    /// balanced). Only accumulates while a cq-obs sink is installed.
+    pub claim_weight: u64,
+}
+
+impl PoolStats {
+    /// Pool utilization over the window between `earlier` and `self`:
+    /// busy nanoseconds per wall nanosecond per executor (`width` =
+    /// workers + dispatching caller), in `(0, 1]` when the pool ran.
+    /// `None` when the window is empty or nothing was dispatched.
+    pub fn utilization_since(
+        &self,
+        earlier: &PoolStats,
+        wall_ns: u64,
+        width: usize,
+    ) -> Option<f64> {
+        let busy = self.busy_ns.checked_sub(earlier.busy_ns)?;
+        if wall_ns == 0 || width == 0 || self.jobs == earlier.jobs {
+            return None;
+        }
+        Some((busy as f64 / (wall_ns as f64 * width as f64)).min(1.0))
+    }
+
+    /// Chunk-imbalance ratio over the window between `earlier` and
+    /// `self`: mean over the window's jobs of `max claims by one thread /
+    /// ideal claims per thread`. 1.0 = perfectly balanced; `None` when no
+    /// chunks ran in the window.
+    pub fn imbalance_since(&self, earlier: &PoolStats) -> Option<f64> {
+        let weight = self.claim_weight.checked_sub(earlier.claim_weight)?;
+        let chunks = self.chunks.checked_sub(earlier.chunks)?;
+        if chunks == 0 || weight == 0 {
+            return None;
+        }
+        Some(weight as f64 / chunks as f64)
+    }
 }
 
 /// Snapshot of the pool's counters. Does not initialise the pool.
@@ -340,6 +434,8 @@ pub fn pool_stats() -> PoolStats {
         jobs: JOBS.load(Ordering::Relaxed),
         chunks: CHUNKS.load(Ordering::Relaxed),
         busy_ns,
+        park_ns: PARK_NS.load(Ordering::Relaxed),
+        claim_weight: CLAIM_WEIGHT.load(Ordering::Relaxed),
     }
 }
 
@@ -363,6 +459,16 @@ where
     };
     let Some(pool) = pool else {
         CHUNKS.fetch_add(n_chunks as u64, Ordering::Relaxed);
+        // Counted here as well as on the pool path so `pool.chunks` is a
+        // pure workload counter (identical at every thread count) and the
+        // trace diff gate can hold it fixed across CQ_THREADS.
+        C_CHUNKS.add(n_chunks as u64);
+        if cq_obs::enabled() {
+            // One thread claimed everything: by definition balanced
+            // (weight = chunks x 1), keeping the global ratio consistent
+            // across serial and parallel dispatches.
+            CLAIM_WEIGHT.fetch_add(n_chunks as u64, Ordering::Relaxed);
+        }
         for c in 0..n_chunks {
             task(c);
         }
@@ -379,6 +485,8 @@ where
         n_chunks,
         next: AtomicUsize::new(0),
         claimers: AtomicUsize::new(1),
+        active_claimers: AtomicUsize::new(0),
+        max_claims: AtomicU64::new(0),
         max_claimers: limit.min(pool.workers_spawned.load(Ordering::Acquire) + 1),
         state: Mutex::new(JobState {
             done: 0,
@@ -408,6 +516,14 @@ where
         if slot.seq == seq {
             slot.job = None; // don't keep the dead task pointer reachable
         }
+    }
+    if cq_obs::enabled() {
+        // Every claim updated these counters before its completion was
+        // recorded, and we waited for the last completion under the job
+        // mutex, so both reads are complete for this job.
+        let active = job.active_claimers.load(Ordering::Relaxed).max(1) as u64;
+        let max_claims = job.max_claims.load(Ordering::Relaxed);
+        CLAIM_WEIGHT.fetch_add(max_claims.saturating_mul(active), Ordering::Relaxed);
     }
     if let Some(p) = payload {
         std::panic::resume_unwind(p);

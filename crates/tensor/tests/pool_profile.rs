@@ -1,0 +1,148 @@
+//! Pool profiling attribution: with `CQ_PROF` on, dispatches must emit
+//! per-worker busy/park timeline intervals, the claim-weight accounting
+//! must yield a sane imbalance ratio, and the per-thread interval streams
+//! must be well-formed (no overlap on one worker). One `#[test]` only:
+//! the global sink and the profiling gate are process state.
+
+use cq_obs::sink::MemorySink;
+use cq_obs::{prof, Event};
+use cq_tensor::par::{num_threads, parallel_for_each, pool_stats};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A few tens of microseconds of un-elidable work per item, so several
+/// workers get to claim chunks of the same job.
+fn busy_work(i: usize) -> f32 {
+    let mut acc = i as f32;
+    for k in 0..20_000u32 {
+        acc = std::hint::black_box(acc * 1.000_001 + k as f32 * 1e-6);
+    }
+    acc
+}
+
+#[test]
+fn profiled_pool_attributes_busy_park_and_claims() {
+    if num_threads() < 2 {
+        eprintln!("skipping: single-threaded configuration");
+        return;
+    }
+    let sink = Arc::new(MemorySink::new());
+    cq_obs::install(sink.clone());
+    prof::set_enabled(true);
+
+    let before = pool_stats();
+    // cq-allow(det-time-source): test wall-clock for utilization telemetry
+    let t0 = Instant::now();
+    // Repeated jobs: the first wakes the workers, later ones give every
+    // worker a park interval between jobs. Workers drain their staged
+    // intervals at job boundaries, so poll until the attribution shows
+    // up (draining is asynchronous with the dispatcher's return).
+    // cq-allow(det-time-source): test deadline only
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let (busy_tids, parks) = loop {
+        for round in 0..4 {
+            parallel_for_each(64, |i| {
+                std::hint::black_box(busy_work(i + round));
+            });
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let events = sink.snapshot();
+        let busy_tids: Vec<u64> = {
+            let mut tids: Vec<u64> = events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Timeline {
+                        name: "pool.busy",
+                        tid,
+                        ..
+                    } => Some(*tid),
+                    _ => None,
+                })
+                .collect();
+            tids.sort_unstable();
+            tids.dedup();
+            tids
+        };
+        let parks = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Timeline {
+                        name: "pool.park",
+                        ..
+                    }
+                )
+            })
+            .count();
+        if busy_tids.len() >= 2 && parks >= 1 {
+            break (busy_tids, parks);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no multi-thread attribution after 30s: busy tids {busy_tids:?}, {parks} parks"
+        );
+    };
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let after = pool_stats();
+    prof::set_enabled(false);
+    cq_obs::uninstall();
+    cq_obs::reset();
+
+    assert!(
+        busy_tids.len() >= 2,
+        "busy intervals on >= 2 threads: {busy_tids:?}"
+    );
+    assert!(parks >= 1, "at least one park interval");
+
+    // Counter-side attribution: busy/park totals moved, claim weight
+    // yields an imbalance ratio >= 1, utilization lands in (0, 1].
+    assert!(after.busy_ns > before.busy_ns, "busy_ns accumulated");
+    assert!(after.park_ns >= before.park_ns);
+    let imbalance = after
+        .imbalance_since(&before)
+        .expect("chunks ran in the window");
+    assert!(
+        imbalance >= 1.0,
+        "max/ideal claims ratio is >= 1 by construction, got {imbalance}"
+    );
+    let width = after.workers_spawned + 1;
+    let util = after
+        .utilization_since(&before, wall_ns, width)
+        .expect("jobs ran in the window");
+    assert!(
+        util > 0.0 && util <= 1.0,
+        "utilization in (0,1], got {util}"
+    );
+
+    // Per-thread well-formedness: pool intervals on one worker must not
+    // overlap (a worker is busy or parked, never both).
+    let mut lanes: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    for ev in sink.take() {
+        if let Event::Timeline {
+            cat: "pool",
+            tid,
+            start_ns,
+            dur_ns,
+            ..
+        } = ev
+        {
+            lanes
+                .entry(tid)
+                .or_default()
+                .push((start_ns, start_ns + dur_ns));
+        }
+    }
+    for (tid, mut iv) in lanes {
+        iv.sort_unstable();
+        for w in iv.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1,
+                "overlapping pool intervals on thread {tid}: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}

@@ -233,19 +233,34 @@ pub struct DiffResult {
     pub regressions: Vec<String>,
 }
 
-/// Counters under this namespace describe the execution environment
-/// (worker busy time, threads spawned, chunks claimed), not the workload:
-/// they legitimately differ between runs at different `CQ_THREADS`, so
-/// [`diff`] reports them without gating on them. Workload counters
-/// (FLOPs, images, quantized elements) stay strictly gated — with the
-/// deterministic runtime they must match across thread counts.
-const SCHED_COUNTER_PREFIX: &str = "pool.";
+/// The pool counters that describe the execution environment rather
+/// than the workload: worker busy/park time and threads spawned
+/// legitimately differ between runs at different `CQ_THREADS`, so
+/// [`diff`] reports them without gating on them. The *workload* pool
+/// counters — `pool.jobs` and `pool.chunks`, which the deterministic
+/// runtime derives from problem sizes alone — are NOT in this list and
+/// gate like any other workload counter: a drift there means the chunk
+/// grid changed, which is exactly the determinism break the diff
+/// exists to catch.
+const SCHED_COUNTERS: [&str; 3] = ["pool.busy_ns", "pool.park_ns", "pool.workers_spawned"];
 
 /// Metrics measuring wall-clock throughput rather than numerical state:
 /// like span times they vary with hardware and thread count, so the
 /// metric-series gate reports but does not fail on them (span timing
 /// regressions are caught by the span section with its noise floor).
 const TIMING_METRIC_SUFFIX: &str = "_per_sec";
+
+/// Metric series derived from wall-clock or process-environment
+/// measurements rather than the deterministic numerical state:
+/// `pool.utilization` (busy time over wall time), `pool.chunk_imbalance`
+/// (claim spread, a function of worker scheduling), and the `mem.*`
+/// series (peak RSS and allocator call deltas, which depend on the
+/// allocator, thread count, and what else the process has done). All
+/// report without gating.
+const TIMING_METRICS: [&str; 2] = ["pool.utilization", "pool.chunk_imbalance"];
+
+/// Prefix for the process-memory metric series (see [`TIMING_METRICS`]).
+const MEM_METRIC_PREFIX: &str = "mem.";
 
 /// Checkpoint lifecycle telemetry (`ckpt.*` spans and counters) only
 /// exists in runs that save or restore a checkpoint. An uninterrupted
@@ -261,12 +276,15 @@ const CKPT_PREFIX: &str = "ckpt.";
 /// slower than trace A by more than `fail_over_pct` percent (spans whose
 /// larger total is under `min_ns` are ignored as timing noise; speedups
 /// never fail). Counters fail on a relative change beyond the threshold
-/// in either direction — except the `pool.*` scheduling telemetry, which
-/// is reported but never gated (see [`SCHED_COUNTER_PREFIX`]). Metric
-/// series (losses etc.) fail on length mismatch or per-step relative
-/// drift beyond the threshold — with the deterministic parallel runtime,
-/// same-seed runs must agree at any thread count; throughput metrics
-/// (`*_per_sec`) are timing, reported but not gated. Histogram
+/// in either direction — except the scheduling telemetry listed in
+/// [`SCHED_COUNTERS`], which is reported but never gated; `pool.jobs`
+/// and `pool.chunks` are thread-count-invariant workload counters and
+/// gate normally. Metric series (losses etc.) fail on length mismatch
+/// or per-step relative drift beyond the threshold — with the
+/// deterministic parallel runtime, same-seed runs must agree at any
+/// thread count; throughput metrics (`*_per_sec`), the pool
+/// utilization/imbalance series, and `mem.*` are timing/environment,
+/// reported but not gated (see [`TIMING_METRICS`]). Histogram
 /// distributions (e.g. sampled bit-widths) fail when the total-variation
 /// distance between the bucket shares exceeds `fail_over_pct` percentage
 /// points. Checkpoint lifecycle telemetry (`ckpt.*` spans and counters)
@@ -348,7 +366,7 @@ pub fn diff(a: &[Record], b: &[Record], fail_over_pct: f64, min_ns: u64) -> Diff
                 cb.get(name).copied().unwrap_or(0),
             );
             let delta_pct = 100.0 * (vb as f64 - va as f64) / (va.max(1) as f64);
-            let exempt_mark = if name.starts_with(SCHED_COUNTER_PREFIX) {
+            let exempt_mark = if SCHED_COUNTERS.contains(&name.as_str()) {
                 Some(" (sched, not gated)")
             } else if name.starts_with(CKPT_PREFIX) {
                 Some(" (lifecycle, not gated)")
@@ -383,7 +401,9 @@ pub fn diff(a: &[Record], b: &[Record], fail_over_pct: f64, min_ns: u64) -> Diff
                 ma.get(name).unwrap_or(&empty),
                 mb.get(name).unwrap_or(&empty),
             );
-            let timing = name.ends_with(TIMING_METRIC_SUFFIX);
+            let timing = name.ends_with(TIMING_METRIC_SUFFIX)
+                || TIMING_METRICS.contains(&name)
+                || name.starts_with(MEM_METRIC_PREFIX);
             if sa.len() != sb.len() {
                 // A missing step is structural, not timing noise: gate it
                 // even for throughput metrics.
@@ -606,10 +626,12 @@ mod tests {
         // the same relative drift still gate.
         let a = vec![
             counter("pool.busy_ns", 10),
+            counter("pool.park_ns", 0),
             counter("pool.workers_spawned", 0),
         ];
         let b = vec![
             counter("pool.busy_ns", 10_000_000),
+            counter("pool.park_ns", 5_000_000),
             counter("pool.workers_spawned", 4),
         ];
         let res = diff(&a, &b, 30.0, 1_000_000);
@@ -620,6 +642,53 @@ mod tests {
         let b = vec![counter("tensor.matmul.flops", 10_000_000)];
         let res = diff(&a, &b, 30.0, 1_000_000);
         assert_eq!(res.regressions.len(), 1, "{:?}", res.regressions);
+    }
+
+    #[test]
+    fn diff_gates_pool_workload_counters() {
+        // pool.jobs / pool.chunks derive from problem sizes alone — the
+        // chunk grid is thread-count-independent — so a drift there is a
+        // determinism break, not scheduling noise. They must gate like
+        // any workload counter.
+        let a = vec![counter("pool.jobs", 100), counter("pool.chunks", 800)];
+        let same = diff(&a, &a, 30.0, 1_000_000);
+        assert!(same.regressions.is_empty(), "{:?}", same.regressions);
+
+        let b = vec![counter("pool.jobs", 100), counter("pool.chunks", 1600)];
+        let res = diff(&a, &b, 30.0, 1_000_000);
+        assert_eq!(res.regressions.len(), 1, "{:?}", res.regressions);
+        assert!(
+            res.regressions[0].contains("pool.chunks"),
+            "{:?}",
+            res.regressions
+        );
+    }
+
+    #[test]
+    fn diff_reports_but_never_gates_pool_and_mem_metrics() {
+        // Utilization, imbalance, and memory series are wall-clock /
+        // environment measurements: hugely different across thread
+        // counts and allocators, so value drift never gates. A missing
+        // step (series length) still does — the emission schedule is
+        // deterministic even when the values are not.
+        let a = vec![
+            metric("pool.utilization", 0, 0.0),
+            metric("pool.chunk_imbalance", 0, 1.0),
+            metric("mem.peak_rss_kb", 0, 50_000.0),
+            metric("mem.alloc_count", 0, 1_000.0),
+        ];
+        let b = vec![
+            metric("pool.utilization", 0, 0.9),
+            metric("pool.chunk_imbalance", 0, 3.5),
+            metric("mem.peak_rss_kb", 0, 120_000.0),
+            metric("mem.alloc_count", 0, 9_000_000.0),
+        ];
+        let res = diff(&a, &b, 30.0, 1_000_000);
+        assert!(res.regressions.is_empty(), "{:?}", res.regressions);
+        assert!(res.report.contains("(timing, not gated)"), "{}", res.report);
+
+        let res = diff(&a, &a[..2], 30.0, 1_000_000);
+        assert_eq!(res.regressions.len(), 2, "{:?}", res.regressions);
     }
 
     #[test]

@@ -1,5 +1,14 @@
 //! Parsing, validation and regression-diffing of `cq-bench kernels`
-//! artifacts (`BENCH_<pr>.json`, schema `cq-bench-kernels/v1`).
+//! artifacts (`BENCH_<pr>.json`, schemas `cq-bench-kernels/v1` and
+//! `/v2`).
+//!
+//! v2 extends v1 with a measured machine roofline (`peak_gflops`,
+//! `stream_gbs`), per-point arithmetic intensity and %-of-roofline, and
+//! a machine fingerprint that also carries the effective thread count
+//! and SIMD dispatch level. Both schema versions parse; a v1-vs-v2 diff
+//! compares throughput as usual but the fingerprints differ in format,
+//! so the hard gate disarms exactly as it does across real hardware
+//! changes.
 //!
 //! The flat-line parser in [`crate::record`] cannot read these files —
 //! they are one nested JSON document, not JSONL — so this module carries
@@ -16,8 +25,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Schema string this module understands.
+/// The original schema string.
 pub const BENCH_SCHEMA: &str = "cq-bench-kernels/v1";
+
+/// The roofline-aware schema string.
+pub const BENCH_SCHEMA_V2: &str = "cq-bench-kernels/v2";
 
 // ---------------------------------------------------------------------------
 // Minimal JSON value parser
@@ -313,6 +325,9 @@ pub struct KernelPoint {
     pub gflops: f64,
     /// Pre-rewrite scalar baseline throughput.
     pub ref_gflops: f64,
+    /// Percent of the roofline-attainable throughput this point reaches
+    /// (v2 artifacts; 0.0 in v1 artifacts, which carry no roofline).
+    pub roofline_pct: f64,
 }
 
 impl KernelPoint {
@@ -336,6 +351,9 @@ pub struct BenchReport {
     pub kernels: Vec<KernelPoint>,
     /// Training-pilot throughput in steps/sec (0.0 if absent).
     pub pilot_steps_per_sec: f64,
+    /// Measured machine ceilings `(peak_gflops, stream_gbs)`; `None` in
+    /// v1 artifacts.
+    pub roofline: Option<(f64, f64)>,
 }
 
 fn req_str(v: &Value, key: &str, ctx: &str) -> Result<String, String> {
@@ -351,25 +369,54 @@ fn req_num(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{ctx}: missing numeric field `{key}`"))
 }
 
-/// Parses and schema-validates a bench artifact.
+/// Parses and schema-validates a bench artifact (v1 or v2).
 pub fn parse_bench(text: &str) -> Result<BenchReport, String> {
     let root = parse_json(text).map_err(|e| e.to_string())?;
     let schema = req_str(&root, "schema", "root")?;
-    if schema != BENCH_SCHEMA {
-        return Err(format!(
-            "unsupported schema `{schema}` (expected `{BENCH_SCHEMA}`)"
-        ));
-    }
+    let v2 = match schema.as_str() {
+        s if s == BENCH_SCHEMA => false,
+        s if s == BENCH_SCHEMA_V2 => true,
+        _ => {
+            return Err(format!(
+                "unsupported schema `{schema}` (expected `{BENCH_SCHEMA}` or `{BENCH_SCHEMA_V2}`)"
+            ))
+        }
+    };
     let pr = req_num(&root, "pr", "root")? as u64;
     let scale = req_str(&root, "scale", "root")?;
     let mach = root.get("machine").ok_or("root: missing `machine`")?;
-    let machine = format!(
-        "{}/{}/{}/{}t",
-        req_str(mach, "os", "machine")?,
-        req_str(mach, "arch", "machine")?,
-        req_str(mach, "cpu", "machine")?,
-        req_num(mach, "threads", "machine")? as u64,
-    );
+    // v2 fingerprints the *effective* execution environment: the thread
+    // count the pool actually uses (post CQ_THREADS) and the SIMD
+    // dispatch level, both of which change what GFLOP/s means.
+    let machine = if v2 {
+        format!(
+            "{}/{}/{}/{}t/{}",
+            req_str(mach, "os", "machine")?,
+            req_str(mach, "arch", "machine")?,
+            req_str(mach, "cpu", "machine")?,
+            req_num(mach, "threads_effective", "machine")? as u64,
+            req_str(mach, "simd", "machine")?,
+        )
+    } else {
+        format!(
+            "{}/{}/{}/{}t",
+            req_str(mach, "os", "machine")?,
+            req_str(mach, "arch", "machine")?,
+            req_str(mach, "cpu", "machine")?,
+            req_num(mach, "threads", "machine")? as u64,
+        )
+    };
+    let roofline = if v2 {
+        let r = root.get("roofline").ok_or("root: missing `roofline`")?;
+        let peak = req_num(r, "peak_gflops", "roofline")?;
+        let stream = req_num(r, "stream_gbs", "roofline")?;
+        if !(peak.is_finite() && peak > 0.0 && stream.is_finite() && stream > 0.0) {
+            return Err("roofline: non-positive or non-finite ceiling".into());
+        }
+        Some((peak, stream))
+    } else {
+        None
+    };
     let mut kernels = Vec::new();
     let entries = root
         .get("kernels")
@@ -387,9 +434,23 @@ pub fn parse_bench(text: &str) -> Result<BenchReport, String> {
             k: req_num(entry, "k", &ctx)? as usize,
             gflops: req_num(entry, "gflops", &ctx)?,
             ref_gflops: req_num(entry, "ref_gflops", &ctx)?,
+            roofline_pct: if v2 {
+                req_num(entry, "roofline_pct", &ctx)?
+            } else {
+                0.0
+            },
         };
         if point.gflops <= 0.0 || point.ref_gflops <= 0.0 {
             return Err(format!("{ctx}: non-positive throughput"));
+        }
+        if v2 {
+            let ai = req_num(entry, "ai", &ctx)?;
+            if !(ai.is_finite() && ai > 0.0) {
+                return Err(format!("{ctx}: non-positive arithmetic intensity"));
+            }
+            if !(point.roofline_pct.is_finite() && point.roofline_pct > 0.0) {
+                return Err(format!("{ctx}: non-positive roofline_pct"));
+            }
         }
         kernels.push(point);
     }
@@ -404,6 +465,7 @@ pub fn parse_bench(text: &str) -> Result<BenchReport, String> {
         machine,
         kernels,
         pilot_steps_per_sec,
+        roofline,
     })
 }
 
@@ -441,9 +503,20 @@ pub fn diff_bench(old: &BenchReport, new: &BenchReport, fail_over_pct: f64) -> B
             old.machine, new.machine
         ));
     }
+    if let Some((peak, stream)) = new.roofline {
+        report.push_str(&format!(
+            "roofline (new machine): {peak:.1} GFLOP/s mul-add peak, {stream:.1} GB/s stream\n"
+        ));
+    }
     let old_by_key: BTreeMap<_, _> = old.kernels.iter().map(|p| (p.key(), p)).collect();
     for p in &new.kernels {
-        let label = format!("{} {}x{}x{}", p.kernel, p.m, p.n, p.k);
+        let mut label = format!("{} {}x{}x{}", p.kernel, p.m, p.n, p.k);
+        if p.roofline_pct > 0.0 {
+            let _ = std::fmt::Write::write_fmt(
+                &mut label,
+                format_args!(" [{:.0}% roofline]", p.roofline_pct),
+            );
+        }
         match old_by_key.get(&p.key()) {
             None => report.push_str(&format!(
                 "  new   {label}: {:.2} GFLOP/s (no old measurement)\n",
@@ -564,6 +637,59 @@ mod tests {
         let d = diff_bench(&old, &bad, 25.0);
         assert_eq!(d.regressions.len(), 1);
         assert!(d.regressions[0].contains("matmul 256x256x256"));
+    }
+
+    fn sample_v2(gflops_256: f64, simd: &str) -> String {
+        format!(
+            r#"{{
+  "schema": "cq-bench-kernels/v2",
+  "pr": 8,
+  "scale": "quick",
+  "unix_secs": 1,
+  "machine": {{"os": "linux", "arch": "x86_64", "cpu": "TestCpu", "threads": 8,
+               "threads_effective": 4, "simd": "{simd}"}},
+  "roofline": {{"peak_gflops": 120.0, "stream_gbs": 18.0}},
+  "kernels": [
+    {{"kernel": "matmul", "m": 256, "n": 256, "k": 256, "iters": 9,
+      "gflops": {gflops_256}, "ref_gflops": 15.0, "speedup": 2.4,
+      "ai": 42.7, "roofline_pct": 30.0}}
+  ],
+  "pilot": {{"steps": 2, "steps_per_sec": 150.0}}
+}}"#
+        )
+    }
+
+    #[test]
+    fn parse_bench_accepts_v2_with_roofline() {
+        let report = parse_bench(&sample_v2(36.0, "avx2")).expect("valid v2 report");
+        assert_eq!(report.pr, 8);
+        // Fingerprint carries the effective thread count and SIMD level.
+        assert_eq!(report.machine, "linux/x86_64/TestCpu/4t/avx2");
+        assert_eq!(report.roofline, Some((120.0, 18.0)));
+        assert!((report.kernels[0].roofline_pct - 30.0).abs() < 1e-9);
+
+        // v2 requires the roofline block and sane per-point fields.
+        let no_roofline = sample_v2(36.0, "avx2").replace("\"roofline\"", "\"rooflinez\"");
+        assert!(parse_bench(&no_roofline).unwrap_err().contains("roofline"));
+        let bad_pct =
+            sample_v2(36.0, "avx2").replace("\"roofline_pct\": 30.0", "\"roofline_pct\": 0.0");
+        assert!(parse_bench(&bad_pct).unwrap_err().contains("roofline_pct"));
+        let bad_peak =
+            sample_v2(36.0, "avx2").replace("\"peak_gflops\": 120.0", "\"peak_gflops\": -1.0");
+        assert!(parse_bench(&bad_peak).unwrap_err().contains("ceiling"));
+    }
+
+    #[test]
+    fn v1_vs_v2_diff_reports_but_never_gates() {
+        // The fingerprint format changed between schema versions, so a
+        // v1-vs-v2 diff behaves like a machine change: report-only.
+        let old = parse_bench(&sample(36.0, "TestCpu")).unwrap();
+        let new = parse_bench(&sample_v2(10.0, "avx2")).unwrap();
+        let d = diff_bench(&old, &new, 25.0);
+        assert!(d.machine_mismatch);
+        assert!(d.regressions.is_empty());
+        assert!(d.report.contains("roofline (new machine)"), "{}", d.report);
+        assert!(d.report.contains("% roofline]"), "{}", d.report);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   whose blocked GFLOP/s dropped beyond a noise threshold, and disarms
 //!   itself (report-only) when the artifacts come from different
 //!   machines.
+//! - [`timeline::export_chrome_trace`] / [`timeline::profile`] — turn
+//!   the per-thread timeline intervals of a `CQ_PROF=1` run into a
+//!   `chrome://tracing` / Perfetto JSON file, or into a self-time-ranked
+//!   span table with worker-pool utilization attributed per phase.
 //!
 //! The trace parser ([`record`]) is hand-rolled for the flat cq-obs
 //! schema, and [`bench`] carries a minimal recursive-descent parser for
@@ -34,11 +38,13 @@
 pub mod analyze;
 pub mod bench;
 pub mod record;
+pub mod timeline;
 pub mod tree;
 
 pub use analyze::{check, diff, summarize, CheckResult, DiffResult};
 pub use bench::{diff_bench, parse_bench, BenchDiff, BenchReport};
 pub use record::{merge, parse_trace, render_trace, ParseError, Record};
+pub use timeline::{export_chrome_trace, profile, ProfileResult};
 pub use tree::{build_span_tree, render_span_tree, SpanNode};
 
 /// Reads and parses a trace file.

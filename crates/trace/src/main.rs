@@ -7,6 +7,8 @@
 //! cq-trace merge <out.jsonl> <seg1.jsonl> <seg2.jsonl> [...]
 //! cq-trace bench-check <bench.json>
 //! cq-trace bench-diff <old.json> <new.json> [--fail-over <pct>] [--report-only]
+//! cq-trace timeline <trace.jsonl> [--out <trace.json>]
+//! cq-trace profile <trace.jsonl> [--require-pool]
 //! ```
 //!
 //! `bench-check` validates a `cq-bench kernels` artifact against the
@@ -18,6 +20,13 @@
 //! run (kill-and-resume) into a single trace: counter totals are summed
 //! per name (last flush per segment), everything else is concatenated.
 //!
+//! `timeline` exports the per-thread intervals of a `CQ_PROF=1` trace
+//! as Chrome trace event JSON (load in `chrome://tracing` or
+//! <https://ui.perfetto.dev>). `profile` prints the self-time-ranked
+//! span table with per-phase pool utilization; `--require-pool` makes
+//! it fail when no positive pool utilization can be derived (the CI
+//! profile smoke gate).
+//!
 //! Exit codes: 0 = pass, 1 = Critical verdict (`check`) or regression
 //! (`diff`), 2 = usage or I/O/parse error.
 
@@ -27,7 +36,7 @@ use cq_obs::health::Verdict;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cq-trace summarize <trace.jsonl>\n  cq-trace check <trace.jsonl>\n  cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]\n  cq-trace merge <out.jsonl> <seg1.jsonl> <seg2.jsonl> [...]\n  cq-trace bench-check <bench.json>\n  cq-trace bench-diff <old.json> <new.json> [--fail-over <pct>] [--report-only]"
+        "usage:\n  cq-trace summarize <trace.jsonl>\n  cq-trace check <trace.jsonl>\n  cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]\n  cq-trace merge <out.jsonl> <seg1.jsonl> <seg2.jsonl> [...]\n  cq-trace bench-check <bench.json>\n  cq-trace bench-diff <old.json> <new.json> [--fail-over <pct>] [--report-only]\n  cq-trace timeline <trace.jsonl> [--out <trace.json>]\n  cq-trace profile <trace.jsonl> [--require-pool]"
     );
     ExitCode::from(2)
 }
@@ -216,6 +225,90 @@ fn main() -> ExitCode {
                     res.regressions.len()
                 );
                 ExitCode::FAILURE
+            }
+        }
+        "timeline" => {
+            if args.len() < 2 {
+                return usage();
+            }
+            let path = &args[1];
+            let mut out_path: Option<&String> = None;
+            let mut rest = args[2..].iter();
+            while let Some(flag) = rest.next() {
+                match (flag.as_str(), rest.next()) {
+                    ("--out", Some(v)) => out_path = Some(v),
+                    _ => return usage(),
+                }
+            }
+            let records = match cq_trace::load_trace(path) {
+                Ok(records) => records,
+                Err(e) => {
+                    eprintln!("cq-trace: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match cq_trace::export_chrome_trace(&records) {
+                Ok(json) => match out_path {
+                    Some(out) => match std::fs::write(out, &json) {
+                        Ok(()) => {
+                            println!("cq-trace timeline: {path} -> {out} ({} bytes)", json.len());
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("cq-trace: cannot write {out}: {e}");
+                            ExitCode::from(2)
+                        }
+                    },
+                    None => {
+                        print!("{json}");
+                        ExitCode::SUCCESS
+                    }
+                },
+                Err(e) => {
+                    eprintln!("cq-trace timeline: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "profile" => {
+            if args.len() < 2 {
+                return usage();
+            }
+            let path = &args[1];
+            let mut require_pool = false;
+            for flag in &args[2..] {
+                match flag.as_str() {
+                    "--require-pool" => require_pool = true,
+                    _ => return usage(),
+                }
+            }
+            let records = match cq_trace::load_trace(path) {
+                Ok(records) => records,
+                Err(e) => {
+                    eprintln!("cq-trace: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match cq_trace::profile(&records) {
+                Ok(res) => {
+                    print!("{}", res.report);
+                    let pool_ok = res
+                        .pool_utilization
+                        .is_some_and(|u| u.is_finite() && u > 0.0);
+                    if require_pool && !pool_ok {
+                        eprintln!(
+                            "cq-trace profile: FAIL (no positive pool utilization; got {:?})",
+                            res.pool_utilization
+                        );
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cq-trace profile: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         _ => usage(),

@@ -49,6 +49,20 @@ pub enum Record {
         /// Message text.
         message: String,
     },
+    /// One per-thread profiling timeline interval (`{"t":"tl",...}`).
+    /// Present only in traces recorded with `CQ_PROF` enabled.
+    Timeline {
+        /// Interval name (a span name, `pool.busy`, `pool.park`).
+        name: String,
+        /// Lane category (`span` or `pool`).
+        cat: String,
+        /// Dense process-local thread id.
+        tid: u64,
+        /// Start, nanoseconds since the process profiling epoch.
+        start_ns: u64,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+    },
     /// An online health verdict (`{"t":"health",...}`).
     Health {
         /// Detector name.
@@ -287,6 +301,13 @@ impl Record {
             "warn" => Ok(Record::Warn {
                 message: str_field(&fields, "msg")?,
             }),
+            "tl" => Ok(Record::Timeline {
+                name: str_field(&fields, "name")?,
+                cat: str_field(&fields, "cat")?,
+                tid: u64_field(&fields, "tid")?,
+                start_ns: u64_field(&fields, "ts")?,
+                dur_ns: u64_field(&fields, "dur")?,
+            }),
             "health" => Ok(Record::Health {
                 detector: str_field(&fields, "detector")?,
                 verdict: str_field(&fields, "verdict")?,
@@ -360,6 +381,21 @@ impl Record {
                 out.push_str("{\"t\":\"warn\",\"msg\":");
                 push_json_str(&mut out, message);
                 out.push('}');
+            }
+            Record::Timeline {
+                name,
+                cat,
+                tid,
+                start_ns,
+                dur_ns,
+            } => {
+                out.push_str("{\"t\":\"tl\",\"name\":");
+                push_json_str(&mut out, name);
+                out.push_str(",\"cat\":");
+                push_json_str(&mut out, cat);
+                out.push_str(&format!(
+                    ",\"tid\":{tid},\"ts\":{start_ns},\"dur\":{dur_ns}}}"
+                ));
             }
             Record::Health {
                 detector,
@@ -463,9 +499,10 @@ mod tests {
             "{\"t\":\"metric\",\"name\":\"train.loss\",\"step\":4,\"v\":null}\n",
             "{\"t\":\"warn\",\"msg\":\"a \\\"quoted\\\"\\nmessage\"}\n",
             "{\"t\":\"health\",\"detector\":\"nan_sentinel\",\"verdict\":\"critical\",\"step\":3,\"v\":null,\"msg\":\"loss is NaN\"}\n",
+            "{\"t\":\"tl\",\"name\":\"pool.busy\",\"cat\":\"pool\",\"tid\":2,\"ts\":1048576,\"dur\":524288}\n",
         );
         let records = parse_trace(text).expect("valid trace");
-        assert_eq!(records.len(), 7);
+        assert_eq!(records.len(), 8);
         assert_eq!(
             records[0],
             Record::Span {
@@ -501,6 +538,16 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        assert_eq!(
+            records[7],
+            Record::Timeline {
+                name: "pool.busy".to_string(),
+                cat: "pool".to_string(),
+                tid: 2,
+                start_ns: 1_048_576,
+                dur_ns: 524_288,
+            }
+        );
     }
 
     #[test]
@@ -558,6 +605,13 @@ mod tests {
                 step: 3,
                 value: 0.5,
                 message: "loss is NaN".to_string(),
+            },
+            Record::Timeline {
+                name: "train.step".to_string(),
+                cat: "span".to_string(),
+                tid: 0,
+                start_ns: 10,
+                dur_ns: 90,
             },
         ];
         let text = render_trace(&records);
