@@ -21,15 +21,26 @@
 //! `CQ_THREADS`) and the SIMD dispatch level, so a `bench-diff` across
 //! a thread-count or ISA change degrades to report-only.
 //!
+//! The v3 schema adds the integer inference path: `matmul_i8` /
+//! `matmul_i8_nt` grid points (i8×i8→i32 blocked kernels vs their
+//! serial references, in integer GOP/s under the same `gflops` key) and
+//! an `int8_encoders` section measuring end-to-end imgs/sec of the
+//! `cq-infer` i8 program against the fake-quant f32 eval forward per
+//! encoder architecture.
+//!
 //! ```text
-//! kernels [--scale quick|paper] [--out BENCH_8.json]
+//! kernels [--scale quick|paper] [--out BENCH_9.json]
 //! ```
 
+use cq_bench::parity::clustered_batch;
 use cq_bench::Scale;
 use cq_core::{Pipeline, PretrainConfig, SimclrTrainer};
 use cq_data::{Dataset, DatasetConfig};
+use cq_infer::IntEncoder;
 use cq_models::{Arch, Encoder, EncoderConfig};
-use cq_quant::PrecisionSet;
+use cq_nn::ForwardCtx;
+use cq_quant::{Precision, PrecisionSet, QuantConfig};
+use cq_tensor::gemm::int8::{gemm_i8_nn_ref, gemm_i8_nt_ref, par_gemm_i8, IntKind};
 use cq_tensor::gemm::{self, Kind};
 use cq_tensor::par::{num_threads, parallel_chunks_mut, parallel_for_each};
 use cq_tensor::{im2col, Conv2dSpec};
@@ -39,10 +50,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Schema identifier checked by `cq-trace bench-check` / `bench-diff`.
-const SCHEMA: &str = "cq-bench-kernels/v2";
+const SCHEMA: &str = "cq-bench-kernels/v3";
 
 /// This PR's artifact number.
-const PR: u32 = 8;
+const PR: u32 = 9;
 
 /// One measured grid point.
 struct Point {
@@ -142,6 +153,77 @@ fn bench_conv(c: usize, o: usize, h: usize, w: usize, rng: &mut StdRng) -> Point
     }
 }
 
+/// Measures one i8×i8→i32 matmul layout at `m`×`n`×`k`: the blocked
+/// integer kernel (parallel dispatch) against the serial scalar
+/// reference. Throughput is integer GOP/s (2·m·n·k MAC ops), reported
+/// under the same `gflops` key so the diff tooling treats the points
+/// uniformly.
+fn bench_matmul_i8(kind: IntKind, m: usize, n: usize, k: usize, rng: &mut StdRng) -> Point {
+    let blen = match kind {
+        IntKind::Nn => k * n,
+        IntKind::Nt => n * k,
+    };
+    let a: Vec<i8> = (0..m * k)
+        .map(|_| rng.gen_range(-128i16..128) as i8)
+        .collect();
+    let b: Vec<i8> = (0..blen)
+        .map(|_| rng.gen_range(-128i16..128) as i8)
+        .collect();
+    let mut out = vec![0i32; m * n];
+    let ops = 2.0 * m as f64 * n as f64 * k as f64;
+
+    let (t_blocked, iters) = time_best(|| par_gemm_i8(kind, &a, &b, m, n, k, &mut out));
+    let (t_ref, _) = time_best(|| match kind {
+        IntKind::Nn => gemm_i8_nn_ref(&a, m, k, &b, n, &mut out),
+        IntKind::Nt => gemm_i8_nt_ref(&a, m, k, &b, n, &mut out),
+    });
+
+    Point {
+        kernel: match kind {
+            IntKind::Nn => "matmul_i8",
+            IntKind::Nt => "matmul_i8_nt",
+        },
+        m,
+        n,
+        k,
+        iters,
+        gflops: ops / t_blocked / 1e9,
+        ref_gflops: ops / t_ref / 1e9,
+    }
+}
+
+/// One end-to-end encoder throughput measurement: images per second of
+/// the `cq-infer` i8 program vs the fake-quant f32 eval forward.
+struct EncPoint {
+    arch: Arch,
+    n: usize,
+    f32_ips: f64,
+    int8_ips: f64,
+}
+
+/// Measures int8-vs-f32 imgs/sec for one architecture on a synthetic
+/// batch (width 8, 16×16 images — the parity-harness geometry).
+fn bench_int8_encoder(arch: Arch, rng_seed: u64) -> EncPoint {
+    let mut enc = Encoder::new(&EncoderConfig::new(arch, 8), rng_seed).expect("encoder");
+    let int = IntEncoder::from_encoder(&enc).expect("int conversion");
+    let (x, _) = clustered_batch(8, 16, rng_seed);
+    let n = x.dims()[0];
+    let fake8 = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(8)));
+
+    let (t_f32, _) = time_best(|| {
+        enc.features(&x, &fake8).expect("f32 forward");
+    });
+    let (t_int, _) = time_best(|| {
+        int.features(&x).expect("int8 forward");
+    });
+    EncPoint {
+        arch,
+        n,
+        f32_ips: n as f64 / t_f32,
+        int8_ips: n as f64 / t_int,
+    }
+}
+
 /// Measured machine ceilings the roofline model is built from.
 struct Roofline {
     /// Peak multiply-add throughput across the pool, GFLOP/s.
@@ -157,6 +239,14 @@ impl Roofline {
         let flops = 2.0 * m as f64 * n as f64 * k as f64;
         let bytes = 4.0 * (m * k + k * n + m * n) as f64;
         flops / bytes
+    }
+
+    /// Arithmetic intensity of an i8×i8→i32 product: one byte per
+    /// operand element, four per accumulator.
+    fn intensity_i8(m: usize, n: usize, k: usize) -> f64 {
+        let ops = 2.0 * m as f64 * n as f64 * k as f64;
+        let bytes = (m * k + k * n + 4 * m * n) as f64;
+        ops / bytes
     }
 
     /// Roofline-attainable GFLOP/s at arithmetic intensity `ai`:
@@ -306,7 +396,13 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn render_json(scale: Scale, points: &[Point], roofline: &Roofline, pilot: (usize, f64)) -> String {
+fn render_json(
+    scale: Scale,
+    points: &[Point],
+    encoders: &[EncPoint],
+    roofline: &Roofline,
+    pilot: (usize, f64),
+) -> String {
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -344,7 +440,11 @@ fn render_json(scale: Scale, points: &[Point], roofline: &Roofline, pilot: (usiz
     let _ = writeln!(s, "  \"kernels\": [");
     for (i, p) in points.iter().enumerate() {
         let speedup = p.gflops / p.ref_gflops;
-        let ai = Roofline::intensity(p.m, p.n, p.k);
+        let ai = if p.kernel.starts_with("matmul_i8") {
+            Roofline::intensity_i8(p.m, p.n, p.k)
+        } else {
+            Roofline::intensity(p.m, p.n, p.k)
+        };
         let pct = 100.0 * p.gflops / roofline.attainable(ai);
         let _ = writeln!(
             s,
@@ -362,6 +462,21 @@ fn render_json(scale: Scale, points: &[Point], roofline: &Roofline, pilot: (usiz
             ai,
             pct,
             if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"int8_encoders\": [");
+    for (i, e) in encoders.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"arch\": \"{:?}\", \"n\": {}, \"f32_imgs_per_sec\": {:.3}, \
+             \"int8_imgs_per_sec\": {:.3}, \"ratio\": {:.3}}}{}",
+            e.arch,
+            e.n,
+            e.f32_ips,
+            e.int8_ips,
+            e.int8_ips / e.f32_ips,
+            if i + 1 < encoders.len() { "," } else { "" }
         );
     }
     let _ = writeln!(s, "  ],");
@@ -420,6 +535,13 @@ fn main() {
     // Conv hot paths at two widths.
     points.push(bench_conv(8, 16, 32, 32, &mut rng));
     points.push(bench_conv(16, 32, 16, 16, &mut rng));
+    // Integer inference kernels: the i8 GEMM cubes (NN is the conv
+    // lowering, NT the linear layout) plus one im2col-shaped rectangle.
+    for &s in cubes {
+        points.push(bench_matmul_i8(IntKind::Nn, s, s, s, &mut rng));
+        points.push(bench_matmul_i8(IntKind::Nt, s, s, s, &mut rng));
+    }
+    points.push(bench_matmul_i8(IntKind::Nn, 32, 256, 72, &mut rng));
 
     for p in &points {
         eprintln!(
@@ -438,7 +560,13 @@ fn main() {
     // deeper ILP than the chain microkernel is itself a demonstration of
     // what the machine sustains, and the ceiling must bound the evidence.
     let micro_peak = measure_peak_gflops();
-    let best_kernel = points.iter().map(|p| p.gflops).fold(0.0, f64::max);
+    // Integer GOP/s points are excluded: the mul-add roofline is an FP
+    // ceiling and i8 kernels can legitimately exceed it.
+    let best_kernel = points
+        .iter()
+        .filter(|p| !p.kernel.starts_with("matmul_i8"))
+        .map(|p| p.gflops)
+        .fold(0.0, f64::max);
     let roofline = Roofline {
         peak_gflops: micro_peak.max(best_kernel),
         stream_gbs: measure_stream_gbs(),
@@ -450,10 +578,27 @@ fn main() {
         gemm::simd_level_name(),
         num_threads()
     );
+    let enc_archs: &[Arch] = match scale {
+        Scale::Quick => &[Arch::ResNet18, Arch::MobileNetV2],
+        Scale::Paper => &[Arch::ResNet18, Arch::ResNet34, Arch::MobileNetV2],
+    };
+    let encoders: Vec<EncPoint> = enc_archs
+        .iter()
+        .map(|&arch| bench_int8_encoder(arch, 0xC0DE))
+        .collect();
+    for e in &encoders {
+        eprintln!(
+            "  int8 {:?}: f32 {:.1} imgs/s | int8 {:.1} imgs/s (x{:.2})",
+            e.arch,
+            e.f32_ips,
+            e.int8_ips,
+            e.int8_ips / e.f32_ips
+        );
+    }
     let pilot = bench_pilot_steps();
     eprintln!("  2-step CQ-A pilot: {:.2} steps/sec", pilot.1);
 
-    let json = render_json(scale, &points, &roofline, pilot);
+    let json = render_json(scale, &points, &encoders, &roofline, pilot);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("kernels: cannot write {out_path}: {e}");
         std::process::exit(1);

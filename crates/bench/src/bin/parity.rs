@@ -1,0 +1,74 @@
+//! `cq-bench parity` — int8-vs-fake-quant parity over all 48 built-in
+//! encoder configurations (the acceptance gate for the integer
+//! inference path).
+//!
+//! For each configuration the harness converts a BN-randomized encoder
+//! with `cq-infer` and compares integer features against the 8-bit
+//! fake-quant f32 path on a clustered batch: max-abs / relative feature
+//! error plus leave-one-out 1-NN top-1 agreement. Any configuration
+//! below the thresholds (agreement ≥ 99%, relative error ≤ 15%) fails
+//! the run.
+//!
+//! ```text
+//! parity [--per-cluster N]    # default 16 (128 samples per config)
+//! ```
+//!
+//! Honors `CQ_THREADS`; results are bitwise thread-count independent
+//! (integer accumulation), which the CI lane checks by running at 1 and
+//! 4 threads.
+
+use cq_bench::parity::{parity_builtin, KNN_AGREEMENT_MIN, PARITY_PER_CLUSTER, REL_ERR_MAX};
+
+fn main() {
+    let mut per_cluster = PARITY_PER_CLUSTER;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--per-cluster" => {
+                per_cluster = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("parity: --per-cluster needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("parity: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let reports = match parity_builtin(per_cluster) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("parity: harness error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("| config | max abs err | rel err | kNN agreement | verdict |");
+    println!("|---|---|---|---|---|");
+    let mut failures = 0usize;
+    for r in &reports {
+        if !r.pass {
+            failures += 1;
+        }
+        println!(
+            "| {} | {:.4} | {:.4} | {:.1}% | {} |",
+            r.label,
+            r.max_abs_err,
+            r.rel_err,
+            100.0 * r.knn_agreement,
+            if r.pass { "ok" } else { "FAIL" }
+        );
+    }
+    println!(
+        "\nparity: {}/{} configs pass (thresholds: agreement >= {:.0}%, rel err <= {:.0}%)",
+        reports.len() - failures,
+        reports.len(),
+        100.0 * KNN_AGREEMENT_MIN,
+        100.0 * REL_ERR_MAX
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -15,11 +15,21 @@
 //! segment traces merged with `cq-trace merge` must diff clean against
 //! the uninterrupted run's trace (`cq-trace diff`) — that is the bitwise
 //! resume gate.
+//!
+//! Inference mode: `pilot --infer <ckpt>` converts a checkpoint written
+//! by the checkpoint mode to a real i8 integer program (`cq-infer`) —
+//! the i32 accumulator headroom proof runs as a conversion-time
+//! assertion — and reports int8-vs-fake-quant parity and throughput on
+//! the test split. Exits non-zero if parity misses the checkpoint-gate
+//! thresholds (see [`INFER_KNN_MIN`]).
 
+use cq_bench::parity::{feature_parity, REL_ERR_MAX};
 use cq_bench::*;
-use cq_core::{Pipeline, SimclrTrainer};
+use cq_core::{Pipeline, SimclrTrainer, TrainState};
 use cq_models::{Arch, Encoder};
-use cq_quant::PrecisionSet;
+use cq_nn::ForwardCtx;
+use cq_quant::{Precision, PrecisionSet, QuantConfig, QuantMode};
+use cq_tensor::Tensor;
 use std::time::Instant;
 
 /// Counting allocator so the `mem.alloc_count` phase metric is live in
@@ -36,6 +46,7 @@ struct CkptArgs {
     stop_after: Option<usize>,
     ckpt: Option<String>,
     resume: Option<String>,
+    infer: Option<String>,
 }
 
 impl CkptArgs {
@@ -54,6 +65,7 @@ impl CkptArgs {
                 "--stop-after" => out.stop_after = value("--stop-after").parse().ok(),
                 "--ckpt" => out.ckpt = Some(value("--ckpt")),
                 "--resume" => out.resume = Some(value("--resume")),
+                "--infer" => out.infer = Some(value("--infer")),
                 "--scale" => {
                     value("--scale"); // handled by Scale::from_args
                 }
@@ -132,9 +144,99 @@ fn run_checkpoint_mode(args: &CkptArgs) {
     }
 }
 
+/// kNN-agreement floor for the checkpoint gate. Looser than the parity
+/// harness's [`KNN_AGREEMENT_MIN`] on purpose: the harness measures
+/// trained-like calibrated networks (damped residual branches), while a
+/// pilot-scale checkpoint has seen a handful of steps and is still close
+/// to random init — where ulp-level int-vs-f32 accumulation differences
+/// chaotically flip a few nearest neighbors (observed 96.9-99.2% across
+/// schedules; relative feature error stays an order of magnitude under
+/// its bound). The 99% claim is carried by the 48-config parity sweep.
+const INFER_KNN_MIN: f32 = 0.95;
+
+/// Integer-inference mode: converts a checkpoint-mode checkpoint to an
+/// i8 program and reports parity + throughput against the fake-quant
+/// f32 path on the test split. Exits non-zero on conversion failure
+/// (including the headroom gate) or a parity miss.
+fn run_infer_mode(path: &str) {
+    let fail = |what: &str, e: &dyn std::fmt::Display| -> ! {
+        eprintln!("pilot: {what}: {e}");
+        std::process::exit(1);
+    };
+    let mut proto = Protocol::new(Regime::CifarLike, Scale::Quick);
+    proto.data = proto.data.with_sizes(512, 256);
+    let cfg = proto.encoder_cfg(Arch::ResNet18);
+
+    let f = std::fs::File::open(path).unwrap_or_else(|e| fail(path, &e));
+    let st = TrainState::read(std::io::BufReader::new(f)).unwrap_or_else(|e| fail(path, &e));
+    let mut enc =
+        cq_infer::encoder_from_train_state(&st, &cfg).unwrap_or_else(|e| fail("rebuild", &e));
+    let t0 = Instant::now();
+    // Conversion runs the i32 accumulator headroom proof on every MAC;
+    // an unprovable layer aborts here, before any integer math runs.
+    let int = cq_infer::IntEncoder::from_encoder(&enc).unwrap_or_else(|e| fail("convert", &e));
+    let t_conv = t0.elapsed().as_secs_f32();
+
+    let (_, test) = proto.datasets();
+    let idx: Vec<usize> = (0..test.len()).collect();
+    let (x, labels) = test.batch(&idx);
+    // Deployment inputs are 8-bit images; project the synthetic pixels
+    // onto the same grid so both paths read identical data.
+    let dims = x.dims().to_vec();
+    let mut pixels = x.into_vec();
+    cq_quant::fake_quant_into(&mut pixels, Precision::Bits(8), QuantMode::Round);
+    let x = Tensor::from_vec(pixels, &dims).unwrap_or_else(|e| fail("batch", &e));
+
+    let fake8 = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(8)));
+    let ref_feats = enc
+        .features(&x, &fake8)
+        .unwrap_or_else(|e| fail("f32 forward", &e));
+    let int_feats = int
+        .features(&x)
+        .unwrap_or_else(|e| fail("int8 forward", &e));
+    let (max_abs, rel, agree) = feature_parity(&int_feats, &ref_feats, &labels);
+    let pass = agree >= INFER_KNN_MIN && rel <= REL_ERR_MAX;
+
+    let n = dims[0];
+    let rounds = 3;
+    let t1 = Instant::now();
+    for _ in 0..rounds {
+        enc.features(&x, &fake8)
+            .unwrap_or_else(|e| fail("f32 forward", &e));
+    }
+    let f32_ips = (rounds * n) as f32 / t1.elapsed().as_secs_f32();
+    let t2 = Instant::now();
+    for _ in 0..rounds {
+        int.features(&x)
+            .unwrap_or_else(|e| fail("int8 forward", &e));
+    }
+    let int_ips = (rounds * n) as f32 / t2.elapsed().as_secs_f32();
+
+    println!(
+        "pilot infer: {path}: {} int8 MACs, headroom proof ok ({t_conv:.2}s conversion)",
+        int.num_macs()
+    );
+    println!(
+        "  parity over {n} test images: max abs {max_abs:.4} rel {rel:.4} kNN agreement {:.1}% -> {}",
+        100.0 * agree,
+        if pass { "ok" } else { "FAIL" }
+    );
+    println!(
+        "  throughput: fake-quant f32 {f32_ips:.1} imgs/s | int8 {int_ips:.1} imgs/s | ratio {:.2}x",
+        int_ips / f32_ips
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     obs_init();
     let args = CkptArgs::parse();
+    if let Some(path) = &args.infer {
+        run_infer_mode(path);
+        return;
+    }
     if args.checkpoint_mode() {
         run_checkpoint_mode(&args);
         return;

@@ -15,6 +15,8 @@
 
 #![deny(missing_docs)]
 
+pub mod parity;
+
 use cq_core::{ByolTrainer, Pipeline, PretrainConfig, SimclrTrainer};
 use cq_data::{Dataset, DatasetConfig};
 use cq_eval::{finetune, linear_eval, FinetuneConfig, LinearEvalConfig};

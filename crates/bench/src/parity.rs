@@ -1,0 +1,323 @@
+//! Int8-vs-fake-quant parity harness over the 48 built-in encoder
+//! configurations.
+//!
+//! For each configuration (2 scales × 2 regimes × 6 architectures × 2
+//! heads — the same enumeration `cq-check quantflow` certifies), the
+//! harness builds the encoder, calibrates its batch-norm running
+//! statistics to the batch (as a trained checkpoint's would be),
+//! converts it with [`cq_infer::IntEncoder`], and runs both paths over
+//! a synthetic clustered batch:
+//!
+//! - the **reference path**: the f32 forward in eval mode with 8-bit
+//!   fake quantization (`ForwardCtx::eval().with_quant(uniform 8-bit)`),
+//!   i.e. exactly what training simulated;
+//! - the **integer path**: the converted i8 program.
+//!
+//! It then reports the max-abs / relative feature error and — the
+//! deployment-relevant metric — the *top-1 kNN agreement*: the fraction
+//! of samples whose leave-one-out 1-NN prediction over the feature
+//! space is identical under both paths. The paper's claim is that
+//! contrastively-quantized encoders survive deployment quantization;
+//! agreement ≥ [`KNN_AGREEMENT_MIN`] on every config is the acceptance
+//! bar, alongside relative error ≤ [`REL_ERR_MAX`].
+
+use cq_infer::IntEncoder;
+use cq_models::{Arch, Encoder, EncoderConfig};
+use cq_nn::{ForwardCtx, NnError};
+use cq_quant::{Precision, QuantConfig};
+use cq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Protocol, Regime, Scale};
+
+/// Minimum fraction of samples whose 1-NN prediction must agree between
+/// the int8 and fake-quant f32 paths.
+pub const KNN_AGREEMENT_MIN: f32 = 0.99;
+
+/// Maximum relative max-abs feature error between the two paths.
+pub const REL_ERR_MAX: f32 = 0.15;
+
+/// Clusters in the synthetic parity batch.
+pub const PARITY_CLUSTERS: usize = 8;
+
+/// Samples per cluster in the full harness (128 samples total, so a
+/// single disagreement still passes the 99% bar with margin for one).
+pub const PARITY_PER_CLUSTER: usize = 16;
+
+/// Spatial size of the synthetic parity images.
+const PARITY_HW: usize = 16;
+
+/// Parity outcome for one configuration.
+#[derive(Debug, Clone)]
+pub struct ParityReport {
+    /// `scale/regime/arch/head` label.
+    pub label: String,
+    /// Max absolute feature difference between paths.
+    pub max_abs_err: f32,
+    /// `max_abs_err` relative to the reference path's max magnitude.
+    pub rel_err: f32,
+    /// Fraction of identical leave-one-out 1-NN predictions.
+    pub knn_agreement: f32,
+    /// Whether both thresholds hold.
+    pub pass: bool,
+}
+
+/// The 48 built-in encoder configurations with their canonical labels
+/// (the same enumeration the quantflow soundness gate walks).
+pub fn parity_configs() -> Vec<(String, EncoderConfig)> {
+    let mut out = Vec::new();
+    for (scale, sname) in [(Scale::Quick, "quick"), (Scale::Paper, "paper")] {
+        for (regime, rname) in [
+            (Regime::CifarLike, "cifarlike"),
+            (Regime::ImagenetLike, "imagenetlike"),
+        ] {
+            let proto = Protocol::new(regime, scale);
+            for arch in Arch::all() {
+                for (cfg, head) in [
+                    (proto.encoder_cfg(arch), "simclr"),
+                    (proto.byol_encoder_cfg(arch), "byol"),
+                ] {
+                    out.push((format!("{sname}/{rname}/{arch:?}/{head}"), cfg));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Generates a labeled clustered batch: `clusters` random image centers
+/// (σ = 1), each with `per_cluster` noisy samples (σ = 0.1), well
+/// separated so 1-NN structure is unambiguous.
+///
+/// Pixels are projected onto the 8-bit grid before batching — real
+/// deployment images are 8-bit to begin with, and an on-grid input
+/// keeps the stem convolution's activation grid identical in both
+/// paths (off-grid f32 inputs would inject a quantization perturbation
+/// the fake-quant reference never sees, which deep untrained stacks
+/// amplify chaotically).
+pub fn clustered_batch(clusters: usize, per_cluster: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pix = 3 * PARITY_HW * PARITY_HW;
+    let centers: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..pix).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
+        .collect();
+    let n = clusters * per_cluster;
+    let mut data = Vec::with_capacity(n * pix);
+    let mut labels = Vec::with_capacity(n);
+    for (c, center) in centers.iter().enumerate() {
+        for _ in 0..per_cluster {
+            data.extend(center.iter().map(|&v| v + rng.gen_range(-0.1..0.1f32)));
+            labels.push(c);
+        }
+    }
+    cq_quant::fake_quant_into(&mut data, Precision::Bits(8), cq_quant::QuantMode::Round);
+    let x = Tensor::from_vec(data, &[n, 3, PARITY_HW, PARITY_HW])
+        .expect("clustered batch shape is consistent by construction"); // cq-allow(no-unwrap): shape computed from the same n/pix used to fill data
+    (x, labels)
+}
+
+/// Leave-one-out 1-NN predicted label per sample under Euclidean
+/// distance, deterministic tie-break by lowest index.
+pub fn nn1_predictions(features: &Tensor, labels: &[usize]) -> Vec<usize> {
+    let (n, d) = (features.dims()[0], features.dims()[1]);
+    let fs = features.as_slice();
+    (0..n)
+        .map(|i| {
+            let fi = &fs[i * d..(i + 1) * d];
+            let mut best = (f32::INFINITY, labels[i]);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let fj = &fs[j * d..(j + 1) * d];
+                let dist: f32 = fi.iter().zip(fj).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                if dist < best.0 {
+                    best = (dist, labels[j]);
+                }
+            }
+            best.1
+        })
+        .collect()
+}
+
+/// Residual-branch output gammas are scaled by this factor before
+/// calibration, giving each block a near-identity effective gain — the
+/// regime trained residual networks actually operate in.
+const RESIDUAL_GAMMA_DAMP: f32 = 0.2;
+
+/// Makes a freshly initialized encoder behave like a trained checkpoint
+/// for parity purposes: damps residual-branch gains, then calibrates
+/// batch-norm running statistics to the batch.
+///
+/// Two properties of a *trained* network matter here and both are absent
+/// at init:
+///
+/// 1. **Near-identity residual blocks.** An untrained residual stack is
+///    exponentially chaotic: each block amplifies tiny numeric
+///    perturbations, so two numerically distinct but equally correct
+///    implementations (f32 sequential accumulation vs exact integer
+///    MACs) diverge without bound by ~40 blocks. Trained residual
+///    networks sit near the identity regime (that is why they are
+///    trainable at all), so the harness scales each block's final
+///    batch-norm gamma (`*.bn2.gamma`, `*.project.bn.gamma`) by
+///    [`RESIDUAL_GAMMA_DAMP`] — the skip path dominates and
+///    perturbations grow with the signal instead of faster than it.
+/// 2. **Matched running statistics.** One train-mode forward folds the
+///    batch statistics into each running stat as `r = 0.9·init +
+///    0.1·batch` from the fresh zeros/ones init, so the batch
+///    statistics are recovered exactly and written back. Without
+///    matched stats, deep stacks amplify activations to ~1e9 and no
+///    8-bit grid — fake or integer — can represent them.
+///
+/// Damping happens *before* the calibration pass so every downstream
+/// batch-norm's recovered statistics match the activations it will see.
+fn calibrate_like_trained(enc: &mut Encoder, x: &Tensor) -> Result<(), NnError> {
+    let damp: Vec<_> = enc
+        .params()
+        .iter()
+        .filter(|(_, name, _)| name.ends_with(".bn2.gamma") || name.ends_with(".project.bn.gamma"))
+        .map(|(id, _, _)| id)
+        .collect();
+    for id in damp {
+        for v in enc.params_mut().get_mut(id).as_mut_slice() {
+            *v *= RESIDUAL_GAMMA_DAMP;
+        }
+    }
+    enc.features(x, &ForwardCtx::train())?;
+    for (i, t) in enc.state_tensors_mut().into_iter().enumerate() {
+        let mean_like = i % 2 == 0;
+        for v in t.as_mut_slice() {
+            *v = if mean_like {
+                *v / 0.1
+            } else {
+                ((*v - 0.9) / 0.1).max(1e-3)
+            };
+        }
+    }
+    Ok(())
+}
+
+/// Compares int8 features against reference features over a labeled
+/// batch: `(max_abs_err, rel_err, knn_agreement)`.
+pub fn feature_parity(
+    int_features: &Tensor,
+    ref_features: &Tensor,
+    labels: &[usize],
+) -> (f32, f32, f32) {
+    let max_abs = int_features
+        .as_slice()
+        .iter()
+        .zip(ref_features.as_slice())
+        .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()));
+    let denom = ref_features
+        .as_slice()
+        .iter()
+        .fold(0.0f32, |m, &v| m.max(v.abs()))
+        .max(1e-6);
+    let pred_int = nn1_predictions(int_features, labels);
+    let pred_ref = nn1_predictions(ref_features, labels);
+    let agree = pred_int
+        .iter()
+        .zip(&pred_ref)
+        .filter(|(a, b)| a == b)
+        .count() as f32
+        / labels.len() as f32;
+    (max_abs, max_abs / denom, agree)
+}
+
+/// Runs int-vs-fake-quant parity for one configuration.
+///
+/// # Errors
+///
+/// Propagates encoder construction / conversion / forward errors.
+pub fn check_parity(
+    label: &str,
+    cfg: &EncoderConfig,
+    per_cluster: usize,
+    seed: u64,
+) -> Result<ParityReport, NnError> {
+    let mut enc = Encoder::new(cfg, seed)?;
+    let (x, labels) = clustered_batch(PARITY_CLUSTERS, per_cluster, seed ^ 0xDA7A);
+    calibrate_like_trained(&mut enc, &x)?;
+
+    let fake8 = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(8)));
+    let ref_features = enc.features(&x, &fake8)?;
+
+    let fail = |e: cq_infer::InferError| NnError::BadInput {
+        layer: format!("int8 parity {label}"),
+        expected: e.to_string(),
+        got: Vec::new(),
+    };
+    let int = IntEncoder::from_encoder(&enc).map_err(fail)?;
+    let int_features = int.features(&x).map_err(fail)?;
+
+    let (max_abs_err, rel_err, knn_agreement) =
+        feature_parity(&int_features, &ref_features, &labels);
+    Ok(ParityReport {
+        label: label.to_string(),
+        max_abs_err,
+        rel_err,
+        knn_agreement,
+        pass: knn_agreement >= KNN_AGREEMENT_MIN && rel_err <= REL_ERR_MAX,
+    })
+}
+
+/// Runs the parity harness over all 48 built-in configurations.
+///
+/// # Errors
+///
+/// Propagates the first configuration failure.
+pub fn parity_builtin(per_cluster: usize) -> Result<Vec<ParityReport>, NnError> {
+    parity_configs()
+        .iter()
+        .map(|(label, cfg)| check_parity(label, cfg, per_cluster, 0xC0DE))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_enumeration_matches_quantflows_48() {
+        let cfgs = parity_configs();
+        assert_eq!(cfgs.len(), 48);
+        let mut labels: Vec<_> = cfgs.iter().map(|(l, _)| l.clone()).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), 48, "labels must be unique");
+    }
+
+    #[test]
+    fn clustered_batch_is_labeled_and_deterministic() {
+        let (xa, la) = clustered_batch(4, 3, 9);
+        let (xb, lb) = clustered_batch(4, 3, 9);
+        assert_eq!(xa.as_slice(), xb.as_slice());
+        assert_eq!(la, lb);
+        assert_eq!(xa.dims(), &[12, 3, PARITY_HW, PARITY_HW]);
+        assert_eq!(la[0], 0);
+        assert_eq!(la[11], 3);
+    }
+
+    #[test]
+    fn parity_passes_on_representative_configs_in_debug() {
+        // Debug-mode subset of the full 48-config release harness: one
+        // ResNet (dense convs + residual skips) and one MobileNetV2
+        // (depthwise + relu6 + BYOL batch-normed head).
+        let proto = Protocol::new(Regime::CifarLike, Scale::Quick);
+        for (label, cfg) in [
+            ("debug/ResNet18/simclr", proto.encoder_cfg(Arch::ResNet18)),
+            (
+                "debug/MobileNetV2/byol",
+                proto.byol_encoder_cfg(Arch::MobileNetV2),
+            ),
+        ] {
+            let r = check_parity(label, &cfg, 4, 7).expect(label);
+            assert!(
+                r.pass,
+                "{label}: rel_err {} agreement {}",
+                r.rel_err, r.knn_agreement
+            );
+        }
+    }
+}

@@ -54,8 +54,9 @@ pub const BN_BOUND: f64 = 8.0;
 /// Bit-widths the quantizer supports (`Precision::bits` range).
 pub const Q_RANGE: std::ops::RangeInclusive<u8> = 2..=16;
 
-/// Largest bit-width required to run on the i32 integer-inference path.
-pub const INT_INFER_MAX_BITS: u8 = 8;
+/// Largest bit-width required to run on the i32 integer-inference path
+/// (shared with the runtime assertion in `cq-infer` via `cq-quant`).
+pub const INT_INFER_MAX_BITS: u8 = cq_quant::intmath::INT_INFER_MAX_BITS;
 
 /// Relative tolerance for grid reconstruction (`(2^q-1)·step` vs `2b`).
 const GRID_RTOL: f32 = 1e-3;
@@ -78,15 +79,19 @@ pub struct QuantReport {
 }
 
 /// Worst-case i32 accumulation for `taps` products of `q`-bit magnitudes
-/// plus a `q`-bit bias term.
+/// plus a `q`-bit bias term. Delegates to the shared formula in
+/// `cq_quant::intmath` so the static proof here and the load-time
+/// assertion in `cq-infer` can never drift apart. `q` is always drawn
+/// from [`Q_RANGE`], which is exactly the range `intmath` accepts.
 fn acc_worst(taps: u64, q: u8) -> u128 {
-    let m = (1u128 << q) - 1;
-    taps as u128 * m * m + m
+    // cq-allow(no-unwrap): Q_RANGE == intmath's supported 2..=16
+    cq_quant::intmath::acc_worst(taps, q).expect("Q_RANGE within supported bit-widths")
 }
 
 /// Whether `taps`-wide MAC accumulation fits `i32` at bit-width `q`.
 fn acc_fits_i32(taps: u64, q: u8) -> bool {
-    acc_worst(taps, q) <= i32::MAX as u128
+    // cq-allow(no-unwrap): Q_RANGE == intmath's supported 2..=16
+    cq_quant::intmath::acc_fits_i32(taps, q).expect("Q_RANGE within supported bit-widths")
 }
 
 /// MAC tap count of a leaf layer, or `None` for non-MAC layers.
@@ -141,7 +146,8 @@ impl Walk<'_> {
             return;
         }
         for q in Q_RANGE {
-            let levels = (1u32 << q) - 1;
+            // cq-allow(no-unwrap): Q_RANGE == intmath's supported 2..=16
+            let levels = cq_quant::intmath::grid_steps(q).expect("Q_RANGE within 2..=16");
             let step = (2.0 * b / levels as f64) as f32;
             if !step.is_normal() {
                 self.fail(
@@ -428,5 +434,25 @@ mod tests {
         assert!(acc_fits_i32(4608, 8));
         assert!(acc_fits_i32(4608, 9));
         assert!(!acc_fits_i32(4608, 10));
+    }
+
+    #[test]
+    fn bound_math_assumes_the_shared_rounding_rule() {
+        // The ±(2^q−1) magnitude bounds in acc_worst assume grid codes come
+        // from round-half-away-from-zero projection (a half-up rule at the
+        // clip boundary would admit 2^q codes). Pin the rule through the
+        // shared contract test so this crate and cq-quant/cq-infer cannot
+        // silently disagree.
+        cq_quant::intmath::assert_round_half_away(cq_quant::intmath::round_half_away);
+        // And the boundary consequence the bounds rely on: a value exactly
+        // at the clip bound b maps to code ±(2^q−1) under a symmetric grid,
+        // never beyond it.
+        for q in [2u8, 8, 16] {
+            let m = cq_quant::intmath::grid_steps(q).unwrap() as f32;
+            let b = 3.0f32;
+            let step = 2.0 * b / m;
+            let code = cq_quant::intmath::round_half_away(b / step);
+            assert!(code.abs() <= m, "q={q}: boundary code {code} exceeds {m}");
+        }
     }
 }

@@ -1,0 +1,102 @@
+//! Epoch-boundary resume edge cases (ISSUE 9 satellite). The resume
+//! audit found no bug here — these tests pin the analyzed behavior so a
+//! refactor cannot introduce one:
+//!
+//! - `train_until(ds, e)` when `epochs_done == e` already is a no-op:
+//!   no step runs, no history row is appended, no RNG advances. A
+//!   supervisor that re-issues the segment command after a kill that
+//!   landed exactly on the checkpoint save must not double-train.
+//! - Loading a checkpoint saved at the *final* epoch and calling
+//!   `train()` is likewise a no-op (the run is already complete), and
+//!   the loaded trainer's history equals the saver's bit for bit — one
+//!   row per epoch, never a duplicated boundary row.
+//! - `stop_epoch` past `cfg.epochs` clamps instead of over-training.
+
+use cq_core::{Pipeline, PretrainConfig, SimclrTrainer};
+use cq_data::{Dataset, DatasetConfig};
+use cq_models::{Arch, Encoder, EncoderConfig};
+use cq_quant::PrecisionSet;
+
+fn trainer() -> SimclrTrainer {
+    let enc = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), 7).unwrap();
+    let cfg = PretrainConfig {
+        pipeline: Pipeline::CqA,
+        precision_set: Some(PrecisionSet::range(6, 16).unwrap()),
+        epochs: 2,
+        batch_size: 8,
+        lr: 0.02,
+        seed: 7,
+        ..Default::default()
+    };
+    SimclrTrainer::new(enc, cfg).unwrap()
+}
+
+fn dataset() -> Dataset {
+    // 16 train images / batch 8 = exactly 2 steps per epoch.
+    Dataset::generate(&DatasetConfig::cifarlike().with_sizes(16, 8)).0
+}
+
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn train_until_at_the_current_boundary_is_a_noop() {
+    let ds = dataset();
+    let mut t = trainer();
+    t.train_until(&ds, 1).unwrap();
+    assert_eq!(t.epochs_done(), 1);
+    assert_eq!(t.history().epoch_losses.len(), 1);
+    let steps = t.history().steps;
+    let params = t.encoder().params().clone();
+    let history = bits32(&t.history().epoch_losses);
+
+    // Re-issuing the same segment command must change nothing: not the
+    // history length (no double-appended boundary row), not a single
+    // parameter bit, not the step counter.
+    t.train_until(&ds, 1).unwrap();
+    assert_eq!(t.epochs_done(), 1);
+    assert_eq!(t.history().epoch_losses.len(), 1, "boundary row duplicated");
+    assert_eq!(t.history().steps, steps);
+    assert_eq!(bits32(&t.history().epoch_losses), history);
+    assert!(*t.encoder().params() == params, "no-op mutated parameters");
+
+    // ...and the run still completes correctly afterwards.
+    t.train(&ds).unwrap();
+    assert_eq!(t.epochs_done(), 2);
+    assert_eq!(t.history().epoch_losses.len(), 2);
+}
+
+#[test]
+fn resuming_a_completed_run_does_not_retrain() {
+    let ds = dataset();
+    let mut done = trainer();
+    done.train(&ds).unwrap();
+    assert_eq!(done.epochs_done(), 2);
+    let mut ckpt = Vec::new();
+    done.save_checkpoint(&mut ckpt).unwrap();
+
+    let mut resumed = trainer();
+    resumed.load_checkpoint(ckpt.as_slice()).unwrap();
+    assert_eq!(resumed.epochs_done(), 2);
+    resumed.train(&ds).unwrap();
+
+    // Already complete: exactly one history row per epoch, all of them
+    // bitwise equal to the saver's, and identical final parameters.
+    assert_eq!(resumed.history().epoch_losses.len(), 2);
+    assert_eq!(
+        bits32(&resumed.history().epoch_losses),
+        bits32(&done.history().epoch_losses)
+    );
+    assert_eq!(resumed.history().steps, done.history().steps);
+    assert!(*resumed.encoder().params() == *done.encoder().params());
+}
+
+#[test]
+fn stop_epoch_clamps_to_configured_epochs() {
+    let ds = dataset();
+    let mut t = trainer();
+    t.train_until(&ds, 99).unwrap();
+    assert_eq!(t.epochs_done(), 2, "stop_epoch must clamp to cfg.epochs");
+    assert_eq!(t.history().epoch_losses.len(), 2);
+}

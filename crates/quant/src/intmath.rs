@@ -1,0 +1,199 @@
+//! Shared integer-inference math: the single source of truth for the
+//! rounding rule and the `2^q − 1` / i32 MAC-headroom arithmetic that the
+//! f32 fake-quant path (this crate), the static quantflow proof
+//! (`cq-check`) and the i8 requantizer (`cq-infer`) must all agree on.
+//!
+//! # The rounding contract
+//!
+//! Every projection onto a quantization grid — fake-quant in f32, weight
+//! requantization to i8, activation quantization at inference time —
+//! rounds **half away from zero**: ties at grid midpoints go to the grid
+//! point of larger magnitude (`0.5 → 1`, `-0.5 → -1`). This is exactly
+//! Rust's `f32::round`, pinned here as [`round_half_away`] so a future
+//! "optimization" to round-half-even (or a C-style truncation) in any one
+//! crate fails the shared contract test instead of silently desynchronizing
+//! the integer and float paths. [`assert_round_half_away`] is the shared
+//! unit test; `cq-quant`, `cq-check` and `cq-infer` all run their own
+//! rounding through it.
+//!
+//! # Guarded `2^q − 1` arithmetic
+//!
+//! `1u32 << q` silently wraps for `q ≥ 32` and `2^1 − 1 = 1` collapses the
+//! grid to a single step; [`grid_levels`] / [`grid_steps`] reject any `q`
+//! outside the supported `2..=16` with an explicit [`QuantError`] instead.
+//!
+//! # i32 accumulator headroom
+//!
+//! [`acc_worst`] / [`acc_fits_i32`] are the formulas the quantflow pass
+//! proves against every built-in config: a `K`-tap MAC of `q`-bit
+//! magnitudes accumulates at worst `K·(2^q−1)² + (2^q−1)`, which must fit
+//! `i32`. The i8 inference path re-checks the same formula at model load
+//! time (see `cq-infer`), so the static proof and the runtime assertion
+//! can never drift apart.
+
+use crate::QuantError;
+
+/// Largest bit-width the i8/i32 integer-inference path supports. Above
+/// this, a single `(2^q−1)²` product can exceed `i32::MAX`, so wider
+/// precisions stay on the float fake-quant path by construction.
+pub const INT_INFER_MAX_BITS: u8 = 8;
+
+/// Rounds half away from zero — the pinned grid-projection rule (this is
+/// `f32::round`, named so call sites document which tie-break they rely
+/// on).
+#[inline]
+pub fn round_half_away(x: f32) -> f32 {
+    x.round()
+}
+
+/// Number of grid levels `2^q`, guarded: `q` outside the supported
+/// `2..=16` is an explicit error, never a shift overflow or a degenerate
+/// two-level grid.
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidBits`] for `q` outside `2..=16`.
+pub fn grid_levels(q: u8) -> Result<u32, QuantError> {
+    if !(2..=16).contains(&q) {
+        return Err(QuantError::InvalidBits(q));
+    }
+    Ok(1u32 << q)
+}
+
+/// Number of grid steps `2^q − 1` (the Eq. 10 divisor), guarded like
+/// [`grid_levels`].
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidBits`] for `q` outside `2..=16`.
+pub fn grid_steps(q: u8) -> Result<u32, QuantError> {
+    Ok(grid_levels(q)? - 1)
+}
+
+/// Worst-case integer accumulation of a `taps`-wide MAC at bit-width `q`:
+/// `taps·(2^q−1)² + (2^q−1)` (products of maximal `q`-bit magnitudes plus
+/// a `q`-bit bias term).
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidBits`] for `q` outside `2..=16`.
+pub fn acc_worst(taps: u64, q: u8) -> Result<u128, QuantError> {
+    let m = grid_steps(q)? as u128;
+    Ok(taps as u128 * m * m + m)
+}
+
+/// Whether a `taps`-wide MAC accumulation fits an `i32` accumulator at
+/// bit-width `q` — the property quantflow proves statically and the i8
+/// loader asserts at conversion time.
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidBits`] for `q` outside `2..=16`.
+pub fn acc_fits_i32(taps: u64, q: u8) -> Result<bool, QuantError> {
+    Ok(acc_worst(taps, q)? <= i32::MAX as u128)
+}
+
+/// Tie and boundary cases every grid-projection rounding must satisfy:
+/// `(input, expected)` under round-half-away-from-zero.
+pub const ROUND_HALF_AWAY_CASES: &[(f32, f32)] = &[
+    // Exact midpoint ties round away from zero, both signs.
+    (0.5, 1.0),
+    (-0.5, -1.0),
+    (1.5, 2.0),
+    (-1.5, -2.0),
+    (2.5, 3.0),
+    (-2.5, -3.0),
+    // The i8 code-range boundaries (weight requantization ties).
+    (126.5, 127.0),
+    (-126.5, -127.0),
+    (127.5, 128.0),
+    (-127.5, -128.0),
+    // Non-tie neighbours must still round to nearest.
+    (0.49999997, 0.0),
+    (-0.49999997, 0.0),
+    (1.4999999, 1.0),
+    (2.5000002, 3.0),
+    // Grid points are fixed points.
+    (0.0, 0.0),
+    (3.0, 3.0),
+    (-3.0, -3.0),
+];
+
+/// Shared contract test: asserts `round` implements round-half-away-from-
+/// zero on every case in [`ROUND_HALF_AWAY_CASES`]. `cq-quant`, `cq-check`
+/// and `cq-infer` each run their rounding through this from their own unit
+/// tests, so the three crates cannot silently disagree on tie-breaks.
+///
+/// # Panics
+///
+/// Panics (test-style assert) on the first violated case.
+pub fn assert_round_half_away(round: impl Fn(f32) -> f32) {
+    for &(input, expected) in ROUND_HALF_AWAY_CASES {
+        let got = round(input);
+        assert!(
+            got == expected,
+            "rounding contract violated: round({input}) = {got}, expected {expected} \
+             (round-half-away-from-zero)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_half_away_satisfies_its_own_contract() {
+        assert_round_half_away(round_half_away);
+    }
+
+    #[test]
+    fn clip_boundary_values_stay_on_grid() {
+        // A value exactly at the clip boundary of a zero-anchored grid
+        // rounds to a code within half a step of the boundary — the same
+        // code in the f32 fake-quant and the i8 requantizer.
+        let (lo, hi, q) = (-3.0f32, 3.0f32, 8u8);
+        let step = (hi - lo) / grid_steps(q).unwrap() as f32;
+        for v in [lo, hi, 0.0] {
+            let code = round_half_away(v / step);
+            assert!((v - code * step).abs() <= step / 2.0 + f32::EPSILON);
+            // Re-projecting the grid point is the identity (idempotence).
+            assert_eq!(round_half_away(code * step / step), code);
+        }
+    }
+
+    #[test]
+    fn grid_levels_guards_degenerate_and_overflowing_widths() {
+        assert_eq!(grid_levels(2), Ok(4));
+        assert_eq!(grid_levels(8), Ok(256));
+        assert_eq!(grid_levels(16), Ok(65536));
+        // q=1 is a degenerate two-level grid; q≥31 would overflow u32/i32.
+        for q in [0, 1, 17, 31, 32, 64, 255] {
+            assert_eq!(grid_levels(q), Err(QuantError::InvalidBits(q)), "q={q}");
+            assert_eq!(grid_steps(q), Err(QuantError::InvalidBits(q)), "q={q}");
+            assert!(acc_worst(1, q).is_err(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn acc_headroom_matches_quantflow_formula() {
+        // 8-bit: K·255² + 255 ≤ i32::MAX iff K ≤ 33025.
+        assert!(acc_fits_i32(33_000, 8).unwrap());
+        assert!(!acc_fits_i32(33_026, 8).unwrap());
+        // 16-bit never fits: one product alone exceeds i32::MAX.
+        assert!(!acc_fits_i32(1, 16).unwrap());
+        // Typical ResNet worst case (512·3·3 taps).
+        assert!(acc_fits_i32(4608, 8).unwrap());
+        assert!(acc_fits_i32(4608, 9).unwrap());
+        assert!(!acc_fits_i32(4608, 10).unwrap());
+        assert_eq!(acc_worst(2, 8).unwrap(), 2 * 255 * 255 + 255);
+    }
+
+    #[test]
+    fn int_infer_ceiling_is_consistent() {
+        // The exported ceiling must actually fit for every built-in MAC
+        // width the plans produce (≤ 33025 taps at 8 bits).
+        assert_eq!(INT_INFER_MAX_BITS, 8);
+        assert!(acc_fits_i32(4608, INT_INFER_MAX_BITS).unwrap());
+    }
+}

@@ -26,6 +26,7 @@
 
 #![deny(missing_docs)]
 
+pub mod intmath;
 mod precision;
 mod quantizer;
 

@@ -57,9 +57,14 @@ impl Precision {
     }
 
     /// Number of quantization levels (`2^q`), or `None` for FP.
+    ///
+    /// Routed through [`crate::intmath::grid_levels`], so a `Bits(q)`
+    /// constructed directly with `q` outside `2..=16` (bypassing
+    /// [`Precision::bits`]) yields `None` rather than a shift overflow
+    /// (`q ≥ 32`) or a degenerate two-level grid (`q = 1`).
     pub fn levels(&self) -> Option<u32> {
         match self {
-            Precision::Bits(q) => Some(1u32 << q),
+            Precision::Bits(q) => crate::intmath::grid_levels(*q).ok(),
             Precision::Fp => None,
         }
     }
@@ -195,6 +200,38 @@ mod tests {
         assert_eq!(Precision::Fp.levels(), None);
         assert!(Precision::Bits(4).is_quantized());
         assert!(!Precision::Fp.is_quantized());
+    }
+
+    #[test]
+    fn levels_guards_out_of_range_widths() {
+        // Directly-constructed Bits(q) outside 2..=16 must not wrap or
+        // panic: q=1 is a degenerate grid, q>=31 would overflow `1u32 << q`.
+        for q in [0u8, 1, 17, 31, 32, 64, 255] {
+            assert_eq!(Precision::Bits(q).levels(), None, "q={q}");
+        }
+        assert_eq!(Precision::Bits(16).levels(), Some(65536));
+    }
+
+    #[test]
+    fn parse_time_rejection_message_is_pinned() {
+        // Config parse time (Precision::bits / PrecisionSet::range) rejects
+        // q outside 2..=16 with this exact message.
+        assert_eq!(
+            Precision::bits(1).unwrap_err().to_string(),
+            "bit-width 1 outside supported range 2..=16"
+        );
+        assert_eq!(
+            Precision::bits(31).unwrap_err().to_string(),
+            "bit-width 31 outside supported range 2..=16"
+        );
+        assert_eq!(
+            PrecisionSet::range(1, 8).unwrap_err().to_string(),
+            "bit-width 1 outside supported range 2..=16"
+        );
+        assert_eq!(
+            PrecisionSet::from_bits(&[8, 40]).unwrap_err().to_string(),
+            "bit-width 40 outside supported range 2..=16"
+        );
     }
 
     #[test]

@@ -131,16 +131,28 @@ pub fn fake_quant_into(data: &mut [f32], precision: Precision, mode: QuantMode) 
     if range <= 0.0 {
         return; // constant tensor: nothing to quantize
     }
+    // Guarded 2^q − 1: a Precision::Bits(q) constructed outside 2..=16
+    // (bypassing the parse-time validation in Precision::bits) must not
+    // silently wrap the shift — warn and leave the tensor unquantized.
+    let steps = match crate::intmath::grid_steps(q) {
+        Ok(s) => s,
+        Err(e) => {
+            cq_obs::warn_with(|| format!("fake_quant: {e}; left unquantized"));
+            return;
+        }
+    };
     // Clip-range and volume observability: the dynamic range drives the
     // quantization step (Eq. 10), so its distribution over a run is the
     // first thing to inspect when quantization noise looks wrong.
     cq_obs::histogram(cq_obs::names::QUANT_CLIP_RANGE, range as f64);
     FAKE_QUANT_ELEMS.add(data.len() as u64);
-    let step = range / ((1u32 << q) - 1) as f32;
+    let step = range / steps as f32;
     match mode {
         QuantMode::Round => {
+            // Round-half-away-from-zero: the pinned grid-projection rule
+            // shared with the i8 requantizer (see crate::intmath).
             for v in data.iter_mut() {
-                *v = step * (*v / step).round();
+                *v = step * crate::intmath::round_half_away(*v / step);
             }
         }
         QuantMode::Floor => {
@@ -329,6 +341,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fake_quant_obeys_shared_rounding_contract() {
+        // Run the fake-quant grid projection through the shared contract:
+        // anchor the tensor range to exactly 255·32 at 8 bits so the step is
+        // exactly 32.0 (a power of two, so scaling the probe in and out is
+        // lossless), then the recovered code equals round(x).
+        crate::intmath::assert_round_half_away(|x| {
+            // Anchors at ±127.5·32 cover every contract case (|x| ≤ 127.5)
+            // without shifting lo/hi.
+            let mut v = vec![-4080.0, 4080.0, x * 32.0];
+            fake_quant_into(&mut v, Precision::Bits(8), QuantMode::Round);
+            v[2] / 32.0
+        });
+    }
+
+    #[test]
+    fn out_of_range_bits_left_unquantized_with_warning() {
+        // Bits(q) outside 2..=16 built directly (not via Precision::bits)
+        // must not wrap `1u32 << q` — the tensor stays untouched.
+        let sink = std::sync::Arc::new(cq_obs::sink::MemorySink::new());
+        cq_obs::install(sink.clone());
+        for q in [1u8, 31, 32, 64] {
+            let orig = [0.3f32, -0.9, 0.7];
+            let mut v = orig.to_vec();
+            fake_quant_into(&mut v, Precision::Bits(q), QuantMode::Round);
+            assert_eq!(v, orig, "q={q} must be a guarded no-op");
+        }
+        cq_obs::uninstall();
+        let warned = sink.snapshot().iter().any(|e| {
+            matches!(e, cq_obs::Event::Warning { message }
+                if message.contains("outside supported range 2..=16"))
+        });
+        assert!(warned, "expected an out-of-range bit-width warning");
     }
 
     #[test]

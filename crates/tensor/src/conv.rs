@@ -251,6 +251,140 @@ pub fn depthwise_conv2d(
     }
 }
 
+/// i8 variant of [`im2col`] for the integer inference path. `pad` is the
+/// i8 code written where a tap falls in padding: with a zero-point
+/// representation the real value `0.0` maps to code `-zp`, not `0`, so
+/// the caller passes that code here and the downstream i8 GEMM's
+/// zero-point correction term stays exact (see `cq-infer`'s conversion
+/// notes).
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with the geometry.
+pub fn im2col_i8(
+    input: &[i8],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    pad: i8,
+    out: &mut [i8],
+) {
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let (oh, ow) = spec.out_hw(h, w).expect("im2col_i8: invalid geometry"); // cq-check: allow — geometry pre-validated by callers
+    assert_eq!(input.len(), c * h * w, "im2col_i8: input length mismatch");
+    assert_eq!(
+        out.len(),
+        c * kh * kw * oh * ow,
+        "im2col_i8: output length mismatch"
+    );
+    IM2COL_ELEMS.add(out.len() as u64);
+
+    let ospatial = oh * ow;
+    for ci in 0..c {
+        let in_ch = &input[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ci * kh + ki) * kw + kj) * ospatial;
+                let dst = &mut out[row..row + ospatial];
+                // Same hoisted border analysis as the f32 im2col: the
+                // in-bounds output-x interval [x0, x1) is oy-independent.
+                let off = kj as isize - pw as isize;
+                let x0 = if off >= 0 {
+                    0
+                } else {
+                    ((-off) as usize).div_ceil(sw)
+                }
+                .min(ow);
+                let hi = w as isize - 1 - off;
+                let x1 = if hi < 0 {
+                    x0
+                } else {
+                    ((hi as usize) / sw + 1).clamp(x0, ow)
+                };
+                for oy in 0..oh {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    let orow = &mut dst[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        orow.fill(pad);
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    orow[..x0].fill(pad);
+                    orow[x1..].fill(pad);
+                    if x1 > x0 {
+                        let src0 = iy * w + ((x0 * sw) as isize + off) as usize;
+                        if sw == 1 {
+                            orow[x0..x1].copy_from_slice(&in_ch[src0..src0 + (x1 - x0)]);
+                        } else {
+                            for (i, o) in orow[x0..x1].iter_mut().enumerate() {
+                                *o = in_ch[src0 + i * sw];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// i8 variant of [`depthwise_conv2d`] with exact `i32` accumulation for
+/// the integer inference path. Unlike the f32 kernel, padded taps are not
+/// skipped: they contribute `pad * ker` so a zero-point code (`pad =
+/// -zp`) is treated exactly like an in-bounds code, keeping the
+/// per-channel zero-point correction term exact.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn depthwise_conv2d_i8(
+    input: &[i8],
+    weight: &[i8],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    pad: i8,
+    out: &mut [i32],
+) {
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let (oh, ow) = spec.out_hw(h, w).expect("depthwise_i8: invalid geometry"); // cq-check: allow — geometry pre-validated by callers
+    assert_eq!(input.len(), c * h * w);
+    assert_eq!(weight.len(), c * kh * kw);
+    assert_eq!(out.len(), c * oh * ow);
+    DEPTHWISE_FLOPS.add(2 * (c * oh * ow * kh * kw) as u64);
+
+    for ci in 0..c {
+        let in_ch = &input[ci * h * w..(ci + 1) * h * w];
+        let ker = &weight[ci * kh * kw..(ci + 1) * kh * kw];
+        let out_ch = &mut out[ci * oh * ow..(ci + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i32;
+                for ki in 0..kh {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    for kj in 0..kw {
+                        let ix = (ox * sw + kj) as isize - pw as isize;
+                        let v = if iy >= 0 && iy < h as isize && ix >= 0 && (ix as usize) < w {
+                            in_ch[iy as usize * w + ix as usize]
+                        } else {
+                            pad
+                        };
+                        // cq-allow(no-naive-hot-loop): depthwise k x k stencil with per-tap padding codes; no matrix structure to lower onto cq_tensor::gemm
+                        acc += v as i32 * ker[ki * kw + kj] as i32;
+                    }
+                }
+                out_ch[oy * ow + ox] = acc;
+            }
+        }
+    }
+}
+
 /// Backward pass of [`depthwise_conv2d`]: accumulates the input gradient
 /// into `dinput` and the weight gradient into `dweight` given the output
 /// gradient `dout`.
@@ -474,6 +608,81 @@ mod tests {
             );
             for (g, r) in out[ci * oh * ow..(ci + 1) * oh * ow].iter().zip(&want) {
                 assert!((g - r).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_i8_matches_f32_im2col_with_zero_pad() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let (c, h, w) = (2, 5, 4);
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let (oh, ow) = spec.out_hw(h, w).unwrap();
+        let xi: Vec<i8> = (0..c * h * w)
+            .map(|_| rng.gen_range(-128i32..=127) as i8)
+            .collect();
+        let xf: Vec<f32> = xi.iter().map(|&v| v as f32).collect();
+        let mut cols_i = vec![0i8; c * 9 * oh * ow];
+        let mut cols_f = vec![0.0f32; c * 9 * oh * ow];
+        im2col_i8(&xi, c, h, w, &spec, 0, &mut cols_i);
+        im2col(&xf, c, h, w, &spec, &mut cols_f);
+        for (a, b) in cols_i.iter().zip(&cols_f) {
+            assert_eq!(*a as f32, *b);
+        }
+    }
+
+    #[test]
+    fn im2col_i8_writes_pad_code_in_padding() {
+        let x = vec![1i8; 9]; // 1 channel, 3x3 of ones
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let mut cols = vec![0i8; 9 * 9];
+        im2col_i8(&x, 1, 3, 3, &spec, -77, &mut cols);
+        // Tap (0,0) at output (0,0) reads input (-1,-1) => pad code.
+        assert_eq!(cols[0], -77);
+        // Center tap row reads the input directly.
+        assert!(cols[4 * 9..5 * 9].iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn depthwise_i8_matches_explicitly_padded_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+        let (c, h, w) = (3, 5, 5);
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let (oh, ow) = spec.out_hw(h, w).unwrap();
+        let pad = -33i8;
+        let x: Vec<i8> = (0..c * h * w)
+            .map(|_| rng.gen_range(-128i32..=127) as i8)
+            .collect();
+        let wgt: Vec<i8> = (0..c * 9)
+            .map(|_| rng.gen_range(-127i32..=127) as i8)
+            .collect();
+        let mut got = vec![0i32; c * oh * ow];
+        depthwise_conv2d_i8(&x, &wgt, c, h, w, &spec, pad, &mut got);
+
+        // Materialize the padded input with the pad code and run a valid
+        // (padding-free) integer conv as the oracle.
+        let (hp, wp) = (h + 2, w + 2);
+        for ci in 0..c {
+            let mut padded = vec![pad; hp * wp];
+            for y in 0..h {
+                for xx in 0..w {
+                    padded[(y + 1) * wp + (xx + 1)] = x[ci * h * w + y * w + xx];
+                }
+            }
+            let ker = &wgt[ci * 9..(ci + 1) * 9];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0i32;
+                    for ki in 0..3 {
+                        for kj in 0..3 {
+                            acc += padded[(oy * 2 + ki) * wp + ox * 2 + kj] as i32
+                                * ker[ki * 3 + kj] as i32;
+                        }
+                    }
+                    assert_eq!(got[ci * oh * ow + oy * ow + ox], acc, "c{ci} ({oy},{ox})");
+                }
             }
         }
     }

@@ -1,0 +1,516 @@
+//! Integer GEMM family for the i8 inference path: `i8 × i8 → i32`
+//! accumulators, packed and register-tiled exactly like the f32 kernels
+//! in the parent module (same `MR`×`NR` tiles, same panel layouts, same
+//! [`ChunkGrid`] dispatch, same runtime SIMD-level selection).
+//!
+//! # Determinism contract
+//!
+//! Integer addition is associative, so — unlike the f32 kernels, whose
+//! bitwise contract rests on fixed summation order — any tiling or thread
+//! split of an i8 GEMM produces identical `i32` bits *provided no
+//! accumulator overflows*. Overflow freedom is the caller's contract: the
+//! quantflow pass (`cq-check`) statically proves `K·(2^q−1)² + (2^q−1) ≤
+//! i32::MAX` for every built-in config at the integer-inference
+//! bit-widths, and `cq-infer` re-asserts the same shared formula
+//! (`cq_quant::intmath::acc_fits_i32`) at model-conversion time. Within
+//! that contract the packed, parallel and scalar-reference kernels here
+//! are all bitwise interchangeable at every thread count — pinned by the
+//! equivalence tests below and the `int8_thread_determinism` proptests.
+//!
+//! # Layouts
+//!
+//! Inference needs two of the three f32 layouts: `Nn` (conv as
+//! `weights[O,K] @ im2col[K,N]`) and `Nt` (linear as
+//! `acts[N,K] @ weights[O,K]ᵀ`). There is no backward pass through the
+//! integer path, so `Tn` (weight gradients) has no i8 counterpart.
+
+use super::{pack_width, simd_level, use_reference, Level, MR, NR};
+use crate::par::{parallel_for_chunks, ChunkGrid};
+
+// Dispatch telemetry, mirroring the f32 counters: shape-driven only, so
+// totals are thread-count-invariant under the cq-trace diff gate.
+static GEMM_I8_PACKED: cq_obs::Counter = cq_obs::Counter::new("tensor.gemm_i8.packed_calls");
+static GEMM_I8_SMALL: cq_obs::Counter = cq_obs::Counter::new("tensor.gemm_i8.small_calls");
+
+/// Operand layout of an integer product (the inference-relevant subset of
+/// the f32 [`super::Kind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntKind {
+    /// `a[m,k] @ b[k,n]` — convolution (weights × im2col columns).
+    Nn,
+    /// `a[m,k] @ b[n,k]ᵀ` — linear layers (activations × weightsᵀ).
+    Nt,
+}
+
+/// Raw pointer wrapper asserting cross-thread transfer is safe because
+/// the caller guarantees disjoint writes (the i32 sibling of the parent's
+/// `SendPtr`).
+struct SendPtrI32(*mut i32);
+// SAFETY: used only with disjoint index ranges per thread.
+unsafe impl Send for SendPtrI32 {}
+unsafe impl Sync for SendPtrI32 {}
+
+/// Scalar reference `out[m,n] = a[m,k] @ b[k,n]` — oracle, baseline and
+/// small-size fast path for the packed NN kernel.
+pub fn gemm_i8_nn_ref(a: &[i8], m: usize, k: usize, b: &[i8], n: usize, out: &mut [i32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        orow.fill(0);
+        for (kk, &av) in arow.iter().enumerate() {
+            let av = av as i32;
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv as i32;
+            }
+        }
+    }
+}
+
+/// Scalar reference `out[m,n] = a[m,k] @ b[n,k]ᵀ` — oracle for the packed
+/// NT kernel.
+pub fn gemm_i8_nt_ref(a: &[i8], m: usize, k: usize, b: &[i8], n: usize, out: &mut [i32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av as i32 * bv as i32;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// One packed integer register tile: `acc[r][c] += ap[kk][r] * bp[kk][c]`
+/// with widening `i8 → i32` multiplies. `inline(always)` so the
+/// `#[target_feature]` drivers compile this body at their vector width.
+#[inline(always)]
+fn micro_tile_i8<const NRW: usize>(k: usize, ap: &[i8], bp: &[i8], acc: &mut [[i32; NRW]; MR]) {
+    debug_assert!(ap.len() >= k * MR);
+    debug_assert!(bp.len() >= k * NRW);
+    for kk in 0..k {
+        let arow = &ap[kk * MR..kk * MR + MR];
+        let brow = &bp[kk * NRW..kk * NRW + NRW];
+        for r in 0..MR {
+            let av = arow[r] as i32;
+            let accr = &mut acc[r];
+            for c in 0..NRW {
+                accr[c] += av * brow[c] as i32;
+            }
+        }
+    }
+}
+
+/// Writes the valid `mr`×`nr` corner of an integer register tile into
+/// row-major `out` (leading dimension `n`, tile origin `(row0, j0)`).
+#[inline(always)]
+fn store_tile_i8<const NRW: usize>(
+    acc: &[[i32; NRW]; MR],
+    out: &mut [i32],
+    n: usize,
+    row0: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    for r in 0..mr {
+        let orow = &mut out[(row0 + r) * n + j0..(row0 + r) * n + j0 + nr];
+        for (c, o) in orow.iter_mut().enumerate() {
+            *o = acc[r][c];
+        }
+    }
+}
+
+/// Packs `mr` rows of row-major `a: [m,k]` starting at row `i0` into the
+/// `[k][MR]` panel `ap` (zero-padded past `mr`; a zero i8 contributes a
+/// zero product, so edge tiles reuse the full-width microkernel).
+#[inline(always)]
+fn pack_a_rows_i8(a: &[i8], k: usize, i0: usize, mr: usize, ap: &mut [i8]) {
+    if mr < MR {
+        ap.fill(0);
+    }
+    for r in 0..mr {
+        let row = &a[(i0 + r) * k..(i0 + r) * k + k];
+        for (kk, &v) in row.iter().enumerate() {
+            ap[kk * MR + r] = v;
+        }
+    }
+}
+
+/// Packs all of row-major `b: [k,n]` into `ceil(n/NRW)` panels of layout
+/// `[k][NRW]`, zero-padding the edge panel.
+fn pack_b_nn_i8<const NRW: usize>(b: &[i8], k: usize, n: usize) -> Vec<i8> {
+    let np = n.div_ceil(NRW);
+    let mut bp = vec![0i8; np * k * NRW];
+    for (p, panel) in bp.chunks_exact_mut(k * NRW).enumerate() {
+        let j0 = p * NRW;
+        let nr = NRW.min(n - j0);
+        for kk in 0..k {
+            panel[kk * NRW..kk * NRW + nr].copy_from_slice(&b[kk * n + j0..kk * n + j0 + nr]);
+        }
+    }
+    bp
+}
+
+/// Packs `b: [n,k]` (the NT layout, logical Bᵀ) into `[k][NRW]` panels:
+/// row `j` of `b` becomes lane `j % NRW` of panel `j / NRW`.
+fn pack_b_nt_i8<const NRW: usize>(b: &[i8], k: usize, n: usize) -> Vec<i8> {
+    let np = n.div_ceil(NRW);
+    let mut bp = vec![0i8; np * k * NRW];
+    for (p, panel) in bp.chunks_exact_mut(k * NRW).enumerate() {
+        let j0 = p * NRW;
+        let nr = NRW.min(n - j0);
+        for c in 0..nr {
+            let row = &b[(j0 + c) * k..(j0 + c) * k + k];
+            for (kk, &v) in row.iter().enumerate() {
+                panel[kk * NRW + c] = v;
+            }
+        }
+    }
+    bp
+}
+
+/// Packs B for `kind` at the panel width of `level`.
+fn pack_b_i8(level: Level, kind: IntKind, b: &[i8], k: usize, n: usize) -> Vec<i8> {
+    match (kind, pack_width(level)) {
+        (IntKind::Nn, w) if w == NR => pack_b_nn_i8::<NR>(b, k, n),
+        (IntKind::Nn, _) => pack_b_nn_i8::<16>(b, k, n),
+        (IntKind::Nt, w) if w == NR => pack_b_nt_i8::<NR>(b, k, n),
+        (IntKind::Nt, _) => pack_b_nt_i8::<16>(b, k, n),
+    }
+}
+
+/// Multiplies row tiles `[t0, t1)` of A against every packed B panel
+/// (width `NRW`), writing rows `t0*MR ..` of the output into `out_rows`
+/// (which holds exactly those rows).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn run_row_tiles_i8<const NRW: usize>(
+    a: &[i8],
+    m: usize,
+    k: usize,
+    bp: &[i8],
+    n: usize,
+    t0: usize,
+    t1: usize,
+    out_rows: &mut [i32],
+    ap: &mut [i8],
+) {
+    let np = n.div_ceil(NRW);
+    for t in t0..t1 {
+        let i0 = t * MR;
+        let mr = MR.min(m - i0);
+        pack_a_rows_i8(a, k, i0, mr, ap);
+        for (p, panel) in bp.chunks_exact(k * NRW).enumerate().take(np) {
+            let j0 = p * NRW;
+            let nr = NRW.min(n - j0);
+            let mut acc = [[0i32; NRW]; MR];
+            micro_tile_i8::<NRW>(k, ap, panel, &mut acc);
+            store_tile_i8::<NRW>(&acc, out_rows, n, i0 - t0 * MR, j0, mr, nr);
+        }
+    }
+}
+
+/// AVX2 driver: same 8-wide integer tile body, compiled with 256-bit
+/// vectors.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 support (see the parent's level
+/// detection).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_row_tiles_i8_avx2(
+    a: &[i8],
+    m: usize,
+    k: usize,
+    bp: &[i8],
+    n: usize,
+    t0: usize,
+    t1: usize,
+    out_rows: &mut [i32],
+    ap: &mut [i8],
+) {
+    run_row_tiles_i8::<NR>(a, m, k, bp, n, t0, t1, out_rows, ap)
+}
+
+/// AVX-512 driver: 16-wide integer tile body (two 256-bit i32 accumulator
+/// rows, or one 512-bit row where available).
+///
+/// # Safety
+///
+/// Caller must have verified AVX-512F support (see the parent's level
+/// detection).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_row_tiles_i8_avx512(
+    a: &[i8],
+    m: usize,
+    k: usize,
+    bp: &[i8],
+    n: usize,
+    t0: usize,
+    t1: usize,
+    out_rows: &mut [i32],
+    ap: &mut [i8],
+) {
+    run_row_tiles_i8::<16>(a, m, k, bp, n, t0, t1, out_rows, ap)
+}
+
+/// Runs row tiles through the driver for `level`. `bp` must have been
+/// packed at `pack_width(level)`.
+#[allow(clippy::too_many_arguments)]
+fn run_tiles_level_i8(
+    level: Level,
+    a: &[i8],
+    m: usize,
+    k: usize,
+    bp: &[i8],
+    n: usize,
+    t0: usize,
+    t1: usize,
+    out_rows: &mut [i32],
+    ap: &mut [i8],
+) {
+    match level {
+        Level::Baseline => run_row_tiles_i8::<NR>(a, m, k, bp, n, t0, t1, out_rows, ap),
+        // SAFETY: `level` comes from runtime CPU detection.
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 => unsafe { run_row_tiles_i8_avx2(a, m, k, bp, n, t0, t1, out_rows, ap) },
+        // SAFETY: `level` comes from runtime CPU detection.
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx512 => unsafe { run_row_tiles_i8_avx512(a, m, k, bp, n, t0, t1, out_rows, ap) },
+    }
+}
+
+fn check_shapes(
+    kind: IntKind,
+    alen: usize,
+    blen: usize,
+    olen: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    let want_b = match kind {
+        IntKind::Nn => k * n,
+        IntKind::Nt => n * k,
+    };
+    assert_eq!(alen, m * k, "gemm_i8: lhs length mismatch");
+    assert_eq!(blen, want_b, "gemm_i8: rhs length mismatch");
+    assert_eq!(olen, m * n, "gemm_i8: out length mismatch");
+}
+
+/// Serial blocked integer GEMM (`out: [m,n]` i32, overwritten) — for
+/// callers already inside a parallel region (per-sample conv workers).
+/// Bitwise-identical to the scalar references at any SIMD level.
+pub fn gemm_i8(kind: IntKind, a: &[i8], b: &[i8], m: usize, n: usize, k: usize, out: &mut [i32]) {
+    check_shapes(kind, a.len(), b.len(), out.len(), m, n, k);
+    if use_reference(m, n, k) {
+        GEMM_I8_SMALL.add(1);
+        if k == 0 {
+            out.fill(0);
+            return;
+        }
+        match kind {
+            IntKind::Nn => gemm_i8_nn_ref(a, m, k, b, n, out),
+            IntKind::Nt => gemm_i8_nt_ref(a, m, k, b, n, out),
+        }
+        return;
+    }
+    GEMM_I8_PACKED.add(1);
+    let level = simd_level();
+    let bp = pack_b_i8(level, kind, b, k, n);
+    let mut ap = vec![0i8; k * MR];
+    run_tiles_level_i8(level, a, m, k, &bp, n, 0, m.div_ceil(MR), out, &mut ap);
+}
+
+/// Parallel blocked integer GEMM (`out: [m,n]` i32, overwritten),
+/// dispatched over row tiles of the deterministic [`ChunkGrid`]. Bitwise-
+/// identical to [`gemm_i8`] and the scalar references at any thread
+/// count (integer accumulation is exact; see the module contract).
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`/`n`/`k`.
+pub fn par_gemm_i8(
+    kind: IntKind,
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [i32],
+) {
+    check_shapes(kind, a.len(), b.len(), out.len(), m, n, k);
+    if use_reference(m, n, k) {
+        GEMM_I8_SMALL.add(1);
+        if k == 0 {
+            out.fill(0);
+            return;
+        }
+        match kind {
+            IntKind::Nn => gemm_i8_nn_ref(a, m, k, b, n, out),
+            IntKind::Nt => gemm_i8_nt_ref(a, m, k, b, n, out),
+        }
+        return;
+    }
+    GEMM_I8_PACKED.add(1);
+    let level = simd_level();
+    let bp = pack_b_i8(level, kind, b, k, n);
+    let bp = &bp[..];
+    let ntiles = m.div_ceil(MR);
+    let out_ptr = SendPtrI32(out.as_mut_ptr());
+    parallel_for_chunks(ChunkGrid::new(ntiles, 1), |_, t0, t1| {
+        // Capture the Sync wrapper, not the raw pointer field.
+        let out_ptr = &out_ptr;
+        let rows0 = t0 * MR;
+        let rows1 = (t1 * MR).min(m);
+        // SAFETY: chunks own disjoint tile ranges, hence disjoint rows.
+        let out_rows = unsafe {
+            std::slice::from_raw_parts_mut(out_ptr.0.add(rows0 * n), (rows1 - rows0) * n)
+        };
+        let mut ap = vec![0i8; k * MR];
+        run_tiles_level_i8(level, a, m, k, bp, n, t0, t1, out_rows, &mut ap);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn randvec_i8(len: usize, seed: u64) -> Vec<i8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| rng.gen_range(-128i32..=127) as i8)
+            .collect()
+    }
+
+    /// Every dispatch level the host can actually run.
+    fn host_levels() -> Vec<Level> {
+        let mut levels = vec![Level::Baseline];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                levels.push(Level::Avx2);
+            }
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                levels.push(Level::Avx512);
+            }
+        }
+        levels
+    }
+
+    // Same dispatch-boundary shapes the f32 kernels pin.
+    const SHAPES: [(usize, usize, usize); 8] = [
+        (1, 1, 1),
+        (3, 9, 5),
+        (8, 8, 8),
+        (16, 16, 16),
+        (17, 15, 9),
+        (24, 33, 31),
+        (25, 31, 40),
+        (40, 41, 23),
+    ];
+
+    #[test]
+    fn packed_matches_reference_both_layouts() {
+        for &(m, n, k) in &SHAPES {
+            for kind in [IntKind::Nn, IntKind::Nt] {
+                let blen = match kind {
+                    IntKind::Nn => k * n,
+                    IntKind::Nt => n * k,
+                };
+                let a = randvec_i8(m * k, 1 + m as u64);
+                let b = randvec_i8(blen, 2 + n as u64);
+                let mut got = vec![1i32; m * n];
+                let mut want = vec![2i32; m * n];
+                gemm_i8(kind, &a, &b, m, n, k, &mut got);
+                match kind {
+                    IntKind::Nn => gemm_i8_nn_ref(&a, m, k, &b, n, &mut want),
+                    IntKind::Nt => gemm_i8_nt_ref(&a, m, k, &b, n, &mut want),
+                }
+                assert_eq!(got, want, "{kind:?} {m}x{n}x{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_matches_serial() {
+        for &(m, n, k) in &SHAPES {
+            for kind in [IntKind::Nn, IntKind::Nt] {
+                let blen = match kind {
+                    IntKind::Nn => k * n,
+                    IntKind::Nt => n * k,
+                };
+                let a = randvec_i8(m * k, 3 + m as u64);
+                let b = randvec_i8(blen, 4 + n as u64);
+                let mut got = vec![1i32; m * n];
+                let mut want = vec![2i32; m * n];
+                par_gemm_i8(kind, &a, &b, m, n, k, &mut got);
+                gemm_i8(kind, &a, &b, m, n, k, &mut want);
+                assert_eq!(got, want, "{kind:?} {m}x{n}x{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_simd_level_matches_reference() {
+        for level in host_levels() {
+            for &(m, n, k) in &SHAPES {
+                if use_reference(m, n, k) {
+                    continue;
+                }
+                let mut ap = vec![0i8; k * MR];
+                let ntiles = m.div_ceil(MR);
+                for kind in [IntKind::Nn, IntKind::Nt] {
+                    let blen = match kind {
+                        IntKind::Nn => k * n,
+                        IntKind::Nt => n * k,
+                    };
+                    let a = randvec_i8(m * k, 20 + m as u64);
+                    let b = randvec_i8(blen, 21 + n as u64);
+                    let bp = pack_b_i8(level, kind, &b, k, n);
+                    let mut got = vec![1i32; m * n];
+                    let mut want = vec![2i32; m * n];
+                    run_tiles_level_i8(level, &a, m, k, &bp, n, 0, ntiles, &mut got, &mut ap);
+                    match kind {
+                        IntKind::Nn => gemm_i8_nn_ref(&a, m, k, &b, n, &mut want),
+                        IntKind::Nt => gemm_i8_nt_ref(&a, m, k, &b, n, &mut want),
+                    }
+                    assert_eq!(got, want, "{level:?} {kind:?} {m}x{n}x{k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_codes_do_not_overflow_within_contract() {
+        // Worst-case i8 products (−128·−128) over a K well inside the
+        // quantflow-proven 8-bit tap ceiling must accumulate exactly.
+        let (m, n, k) = (8, 8, 4608);
+        let a = vec![-128i8; m * k];
+        let b = vec![-128i8; k * n];
+        let mut out = vec![0i32; m * n];
+        par_gemm_i8(IntKind::Nn, &a, &b, m, n, k, &mut out);
+        assert!(out.iter().all(|&v| v == 4608 * 128 * 128));
+    }
+
+    #[test]
+    fn k_zero_yields_zeros() {
+        let mut out = vec![7i32; 3 * 4];
+        par_gemm_i8(IntKind::Nn, &[], &[], 3, 4, 0, &mut out);
+        assert!(out.iter().all(|&v| v == 0));
+    }
+}

@@ -40,6 +40,7 @@
 //! (see [`use_reference`]); no path choice ever depends on data or
 //! thread count.
 
+pub mod int8;
 pub mod reference;
 
 use crate::par::{parallel_for_chunks, ChunkGrid};

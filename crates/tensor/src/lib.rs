@@ -54,7 +54,10 @@ pub mod sanitize;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, depthwise_conv2d, depthwise_conv2d_backward, im2col, Conv2dSpec};
+pub use conv::{
+    col2im, depthwise_conv2d, depthwise_conv2d_backward, depthwise_conv2d_i8, im2col, im2col_i8,
+    Conv2dSpec,
+};
 pub use error::TensorError;
 pub use io::{read_tensor, write_tensor};
 pub use rng::CqRng;

@@ -1,6 +1,6 @@
 //! Parsing, validation and regression-diffing of `cq-bench kernels`
-//! artifacts (`BENCH_<pr>.json`, schemas `cq-bench-kernels/v1` and
-//! `/v2`).
+//! artifacts (`BENCH_<pr>.json`, schemas `cq-bench-kernels/v1`, `/v2`
+//! and `/v3`).
 //!
 //! v2 extends v1 with a measured machine roofline (`peak_gflops`,
 //! `stream_gbs`), per-point arithmetic intensity and %-of-roofline, and
@@ -9,6 +9,14 @@
 //! compares throughput as usual but the fingerprints differ in format,
 //! so the hard gate disarms exactly as it does across real hardware
 //! changes.
+//!
+//! v3 extends v2 with the integer inference path: i8 GEMM grid points
+//! (`matmul_i8*`, integer GOP/s under the shared `gflops` key) and a
+//! required `int8_encoders` section — per-architecture imgs/sec of the
+//! `cq-infer` i8 program vs the fake-quant f32 forward. The machine
+//! fingerprint format is unchanged from v2, so v2-vs-v3 diffs on the
+//! same machine still hard-gate the shared kernel grid; encoder points
+//! diff like kernels when both sides carry them.
 //!
 //! The flat-line parser in [`crate::record`] cannot read these files —
 //! they are one nested JSON document, not JSONL — so this module carries
@@ -30,6 +38,9 @@ pub const BENCH_SCHEMA: &str = "cq-bench-kernels/v1";
 
 /// The roofline-aware schema string.
 pub const BENCH_SCHEMA_V2: &str = "cq-bench-kernels/v2";
+
+/// The integer-inference-aware schema string.
+pub const BENCH_SCHEMA_V3: &str = "cq-bench-kernels/v3";
 
 // ---------------------------------------------------------------------------
 // Minimal JSON value parser
@@ -337,6 +348,19 @@ impl KernelPoint {
     }
 }
 
+/// One int8-vs-f32 encoder throughput measurement (v3 artifacts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Int8EncoderPoint {
+    /// Architecture name (`ResNet18`, `MobileNetV2`, ...).
+    pub arch: String,
+    /// Batch size of the measurement.
+    pub n: usize,
+    /// Fake-quant f32 eval forward throughput, imgs/sec.
+    pub f32_imgs_per_sec: f64,
+    /// `cq-infer` i8 program throughput, imgs/sec.
+    pub int8_imgs_per_sec: f64,
+}
+
 /// A parsed, schema-valid `BENCH_<pr>.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -354,6 +378,8 @@ pub struct BenchReport {
     /// Measured machine ceilings `(peak_gflops, stream_gbs)`; `None` in
     /// v1 artifacts.
     pub roofline: Option<(f64, f64)>,
+    /// Int8-vs-f32 encoder throughput points; empty before v3.
+    pub int8_encoders: Vec<Int8EncoderPoint>,
 }
 
 fn req_str(v: &Value, key: &str, ctx: &str) -> Result<String, String> {
@@ -369,16 +395,20 @@ fn req_num(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{ctx}: missing numeric field `{key}`"))
 }
 
-/// Parses and schema-validates a bench artifact (v1 or v2).
+/// Parses and schema-validates a bench artifact (v1, v2 or v3).
 pub fn parse_bench(text: &str) -> Result<BenchReport, String> {
     let root = parse_json(text).map_err(|e| e.to_string())?;
     let schema = req_str(&root, "schema", "root")?;
+    // v3 keeps every v2 rule (roofline, fingerprint format, per-point
+    // ai/roofline_pct) and adds a required `int8_encoders` section.
+    let v3 = schema == BENCH_SCHEMA_V3;
     let v2 = match schema.as_str() {
         s if s == BENCH_SCHEMA => false,
         s if s == BENCH_SCHEMA_V2 => true,
+        s if s == BENCH_SCHEMA_V3 => true,
         _ => {
             return Err(format!(
-                "unsupported schema `{schema}` (expected `{BENCH_SCHEMA}` or `{BENCH_SCHEMA_V2}`)"
+                "unsupported schema `{schema}` (expected `{BENCH_SCHEMA}`, `{BENCH_SCHEMA_V2}` or `{BENCH_SCHEMA_V3}`)"
             ))
         }
     };
@@ -454,6 +484,33 @@ pub fn parse_bench(text: &str) -> Result<BenchReport, String> {
         }
         kernels.push(point);
     }
+    let mut int8_encoders = Vec::new();
+    if v3 {
+        let entries = root
+            .get("int8_encoders")
+            .and_then(Value::as_arr)
+            .ok_or("root: missing `int8_encoders` array (required by v3)")?;
+        if entries.is_empty() {
+            return Err("`int8_encoders` array is empty".into());
+        }
+        for (i, entry) in entries.iter().enumerate() {
+            let ctx = format!("int8_encoders[{i}]");
+            let point = Int8EncoderPoint {
+                arch: req_str(entry, "arch", &ctx)?,
+                n: req_num(entry, "n", &ctx)? as usize,
+                f32_imgs_per_sec: req_num(entry, "f32_imgs_per_sec", &ctx)?,
+                int8_imgs_per_sec: req_num(entry, "int8_imgs_per_sec", &ctx)?,
+            };
+            if !(point.f32_imgs_per_sec.is_finite()
+                && point.f32_imgs_per_sec > 0.0
+                && point.int8_imgs_per_sec.is_finite()
+                && point.int8_imgs_per_sec > 0.0)
+            {
+                return Err(format!("{ctx}: non-positive throughput"));
+            }
+            int8_encoders.push(point);
+        }
+    }
     let pilot_steps_per_sec = root
         .get("pilot")
         .map(|p| req_num(p, "steps_per_sec", "pilot"))
@@ -466,6 +523,7 @@ pub fn parse_bench(text: &str) -> Result<BenchReport, String> {
         kernels,
         pilot_steps_per_sec,
         roofline,
+        int8_encoders,
     })
 }
 
@@ -543,6 +601,42 @@ pub fn diff_bench(old: &BenchReport, new: &BenchReport, fail_over_pct: f64) -> B
                 "  gone  {} {}x{}x{} (was {:.2} GFLOP/s)\n",
                 p.kernel, p.m, p.n, p.k, p.gflops
             ));
+        }
+    }
+    // Encoder points diff like kernel points. The int8/f32 *ratio* is
+    // machine-relative, but the gate still keys on absolute imgs/sec of
+    // the int8 path — that is what the integer inference work optimizes.
+    let old_enc: BTreeMap<_, _> = old
+        .int8_encoders
+        .iter()
+        .map(|p| ((p.arch.clone(), p.n), p))
+        .collect();
+    for p in &new.int8_encoders {
+        let label = format!(
+            "int8 {} n={} ({:.2}x of f32)",
+            p.arch,
+            p.n,
+            p.int8_imgs_per_sec / p.f32_imgs_per_sec
+        );
+        match old_enc.get(&(p.arch.clone(), p.n)) {
+            None => report.push_str(&format!(
+                "  new   {label}: {:.1} imgs/sec (no old measurement)\n",
+                p.int8_imgs_per_sec
+            )),
+            Some(o) => {
+                let delta_pct =
+                    (p.int8_imgs_per_sec - o.int8_imgs_per_sec) / o.int8_imgs_per_sec * 100.0;
+                let verdict = if delta_pct < -fail_over_pct && !machine_mismatch {
+                    regressions.push(format!("{label}: {delta_pct:+.1}%"));
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                report.push_str(&format!(
+                    "  {verdict:>5} {label}: {:.1} -> {:.1} imgs/sec ({delta_pct:+.1}%)\n",
+                    o.int8_imgs_per_sec, p.int8_imgs_per_sec
+                ));
+            }
         }
     }
     if old.pilot_steps_per_sec > 0.0 && new.pilot_steps_per_sec > 0.0 {
@@ -690,6 +784,77 @@ mod tests {
         assert!(d.regressions.is_empty());
         assert!(d.report.contains("roofline (new machine)"), "{}", d.report);
         assert!(d.report.contains("% roofline]"), "{}", d.report);
+    }
+
+    fn sample_v3(int8_ips: f64, gflops_256: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "cq-bench-kernels/v3",
+  "pr": 9,
+  "scale": "quick",
+  "unix_secs": 1,
+  "machine": {{"os": "linux", "arch": "x86_64", "cpu": "TestCpu", "threads": 8,
+               "threads_effective": 4, "simd": "avx2"}},
+  "roofline": {{"peak_gflops": 120.0, "stream_gbs": 18.0}},
+  "kernels": [
+    {{"kernel": "matmul", "m": 256, "n": 256, "k": 256, "iters": 9,
+      "gflops": {gflops_256}, "ref_gflops": 15.0, "speedup": 2.4,
+      "ai": 42.7, "roofline_pct": 30.0}},
+    {{"kernel": "matmul_i8", "m": 256, "n": 256, "k": 256, "iters": 9,
+      "gflops": 80.0, "ref_gflops": 25.0, "speedup": 3.2,
+      "ai": 63.0, "roofline_pct": 110.0}}
+  ],
+  "int8_encoders": [
+    {{"arch": "ResNet18", "n": 128, "f32_imgs_per_sec": 1100.0,
+      "int8_imgs_per_sec": {int8_ips}, "ratio": 0.6}}
+  ],
+  "pilot": {{"steps": 2, "steps_per_sec": 150.0}}
+}}"#
+        )
+    }
+
+    #[test]
+    fn parse_bench_accepts_v3_and_requires_int8_encoders() {
+        let report = parse_bench(&sample_v3(660.0, 36.0)).expect("valid v3 report");
+        assert_eq!(report.pr, 9);
+        // v3 keeps the v2 fingerprint format so same-machine v2-vs-v3
+        // diffs still hard-gate.
+        assert_eq!(report.machine, "linux/x86_64/TestCpu/4t/avx2");
+        assert_eq!(report.int8_encoders.len(), 1);
+        assert_eq!(report.int8_encoders[0].arch, "ResNet18");
+        // i8 points may exceed 100% of the *FP* roofline; only > 0 is
+        // required.
+        assert!(report.kernels.iter().any(|p| p.kernel == "matmul_i8"));
+
+        let missing = sample_v3(660.0, 36.0).replace("\"int8_encoders\"", "\"int8_encoderz\"");
+        assert!(parse_bench(&missing).unwrap_err().contains("int8_encoders"));
+        let bad_ips = sample_v3(-1.0, 36.0);
+        assert!(parse_bench(&bad_ips).unwrap_err().contains("throughput"));
+    }
+
+    #[test]
+    fn v2_vs_v3_same_machine_still_gates_shared_kernels() {
+        // The fingerprint format did not change in v3, so the shared
+        // kernel grid stays hard-gated across the schema bump.
+        let old = parse_bench(&sample_v2(36.0, "avx2")).unwrap();
+        let new = parse_bench(&sample_v3(660.0, 20.0)).unwrap(); // matmul -44.4%
+        let d = diff_bench(&old, &new, 25.0);
+        assert!(!d.machine_mismatch);
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.regressions[0].contains("matmul 256x256x256"));
+        // Encoder points are new-only here: reported, never failed.
+        assert!(d.report.contains("int8 ResNet18 n=128"), "{}", d.report);
+    }
+
+    #[test]
+    fn v3_vs_v3_gates_int8_encoder_throughput() {
+        let old = parse_bench(&sample_v3(660.0, 36.0)).unwrap();
+        let ok = parse_bench(&sample_v3(600.0, 36.0)).unwrap(); // -9.1%
+        let bad = parse_bench(&sample_v3(300.0, 36.0)).unwrap(); // -54.5%
+        assert!(diff_bench(&old, &ok, 25.0).regressions.is_empty());
+        let d = diff_bench(&old, &bad, 25.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.regressions[0].contains("int8 ResNet18"), "{}", d.report);
     }
 
     #[test]

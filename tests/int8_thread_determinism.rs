@@ -1,0 +1,111 @@
+//! Thread-count independence of the i8 inference GEMM (ISSUE 9
+//! satellite), mirroring `tests/thread_determinism.rs` for the f32
+//! kernels: `par_gemm_i8` must produce bitwise-identical `i32` output at
+//! every thread limit, and that output must equal the scalar reference
+//! oracle bit for bit.
+//!
+//! For the integer kernels this is a *stronger* claim than for f32 —
+//! integer addition is associative, so as long as accumulators cannot
+//! overflow (the quantflow headroom proof), any tiling or thread split
+//! is exact. These proptests drive the claim through adversarial
+//! shapes: degenerate dims (1), `K = 0`, primes, and the register-tile
+//! edges `MR±1`/`NR±1` where the packed kernels take their `mr < MR`,
+//! `nr < NR` remainder paths.
+//!
+//! The thread limit is varied with `par::with_thread_limit` (same
+//! degrees of freedom as `CQ_THREADS`, but testable in-process); the
+//! values exercised match the f32 test: 1, 2, 5 and 8.
+
+use contrastive_quant::tensor::gemm::int8::{
+    gemm_i8, gemm_i8_nn_ref, gemm_i8_nt_ref, par_gemm_i8, IntKind,
+};
+use contrastive_quant::tensor::par::with_thread_limit;
+use proptest::prelude::*;
+
+const LIMITS: [usize; 4] = [1, 2, 5, 8];
+
+/// Adversarial size values: degenerate, prime, and straddling the 8-wide
+/// register tile (`MR = NR = 8`) so edge tiles and the small-size
+/// reference fast path both fire.
+const ADVERSARIAL_DIMS: [usize; 8] = [1, 2, 5, 7, 8, 9, 13, 17];
+
+/// Full-range i8 operands, including the `-128` asymmetric endpoint;
+/// sized for the largest adversarial shape and truncated per case. Sizes
+/// are bounded so `K·128² ≪ i32::MAX` (headroom by construction).
+fn full_range(cells: usize) -> impl Strategy<Value = Vec<i8>> {
+    collection::vec(-128i8..=127, cells)
+}
+
+fn run_all_limits(kind: IntKind, a: &[i8], b: &[i8], m: usize, n: usize, k: usize) -> Vec<i32> {
+    let mut oracle = vec![0i32; m * n];
+    match kind {
+        IntKind::Nn => gemm_i8_nn_ref(a, m, k, b, n, &mut oracle),
+        IntKind::Nt => gemm_i8_nt_ref(a, m, k, b, n, &mut oracle),
+    }
+    // Sequential blocked kernel first: blocked == oracle.
+    let mut seq = vec![0i32; m * n];
+    gemm_i8(kind, a, b, m, n, k, &mut seq);
+    assert_eq!(seq, oracle, "{kind:?} {m}x{n}x{k}: blocked != reference");
+    // Then every thread limit: parallel == oracle, bit for bit.
+    for &limit in &LIMITS {
+        let par = with_thread_limit(limit, || {
+            let mut out = vec![0i32; m * n];
+            par_gemm_i8(kind, a, b, m, n, k, &mut out);
+            out
+        });
+        assert_eq!(
+            par, oracle,
+            "{kind:?} {m}x{n}x{k}: drift at thread limit {limit}"
+        );
+    }
+    oracle
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn par_gemm_i8_nn_is_thread_count_independent(
+        mi in 0usize..8, ni in 0usize..8, ki in 0usize..8,
+        a in full_range(17 * 17), b in full_range(17 * 17),
+    ) {
+        let (m, n, k) = (ADVERSARIAL_DIMS[mi], ADVERSARIAL_DIMS[ni], ADVERSARIAL_DIMS[ki]);
+        run_all_limits(IntKind::Nn, &a[..m * k], &b[..k * n], m, n, k);
+    }
+
+    #[test]
+    fn par_gemm_i8_nt_is_thread_count_independent(
+        mi in 0usize..8, ni in 0usize..8, ki in 0usize..8,
+        a in full_range(17 * 17), b in full_range(17 * 17),
+    ) {
+        let (m, n, k) = (ADVERSARIAL_DIMS[mi], ADVERSARIAL_DIMS[ni], ADVERSARIAL_DIMS[ki]);
+        run_all_limits(IntKind::Nt, &a[..m * k], &b[..n * k], m, n, k);
+    }
+}
+
+/// `K = 0` is an empty reduction: every output element is exactly zero at
+/// every thread count (and the kernels must not read the empty operands).
+#[test]
+fn k_zero_yields_zero_bits_at_every_thread_count() {
+    for kind in [IntKind::Nn, IntKind::Nt] {
+        for (m, n) in [(1, 1), (7, 9), (8, 8), (17, 5)] {
+            let out = run_all_limits(kind, &[], &[], m, n, 0);
+            assert!(out.iter().all(|&v| v == 0), "{kind:?} {m}x{n}x0 nonzero");
+        }
+    }
+}
+
+/// The extreme-magnitude corner: all operands at the asymmetric i8
+/// endpoints (`-128 · -128` products) with K at the adversarial maximum,
+/// where any accumulator-width mistake would show first.
+#[test]
+fn saturated_operands_stay_exact_at_every_thread_count() {
+    let (m, n, k) = (9, 17, 17);
+    let a = vec![-128i8; m * k];
+    let b = vec![127i8; k * n];
+    let nn = run_all_limits(IntKind::Nn, &a, &b, m, n, k);
+    assert!(nn.iter().all(|&v| v == -128 * 127 * k as i32));
+    let b = vec![-128i8; n * k];
+    let nt = run_all_limits(IntKind::Nt, &a, &b, m, n, k);
+    assert!(nt.iter().all(|&v| v == 128 * 128 * k as i32));
+}
