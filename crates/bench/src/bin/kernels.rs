@@ -28,8 +28,14 @@
 //! `cq-infer` i8 program against the fake-quant f32 eval forward per
 //! encoder architecture.
 //!
+//! PR 10 adds two optional sections under the unchanged v3 schema: an
+//! `ew_chains` section measuring the graph executor's fused vs. unfused
+//! elementwise-chain throughput (BN → residual adds → ReLU → fake-quant,
+//! in GB/s of logical chain traffic), and a `fusion_pilots` section
+//! timing the 2-step CQ-A/B/C pilots under both fusion modes.
+//!
 //! ```text
-//! kernels [--scale quick|paper] [--out BENCH_9.json]
+//! kernels [--scale quick|paper] [--out BENCH_10.json]
 //! ```
 
 use cq_bench::parity::clustered_batch;
@@ -38,22 +44,24 @@ use cq_core::{Pipeline, PretrainConfig, SimclrTrainer};
 use cq_data::{Dataset, DatasetConfig};
 use cq_infer::IntEncoder;
 use cq_models::{Arch, Encoder, EncoderConfig};
-use cq_nn::ForwardCtx;
+use cq_nn::graph::{with_fusion_mode, FusionMode, Recorder};
+use cq_nn::{BatchNorm2d, ForwardCtx, Layer, ParamSet, Relu};
 use cq_quant::{Precision, PrecisionSet, QuantConfig};
 use cq_tensor::gemm::int8::{gemm_i8_nn_ref, gemm_i8_nt_ref, par_gemm_i8, IntKind};
 use cq_tensor::gemm::{self, Kind};
 use cq_tensor::par::{num_threads, parallel_chunks_mut, parallel_for_each};
-use cq_tensor::{im2col, Conv2dSpec};
+use cq_tensor::{im2col, Conv2dSpec, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
+use std::sync::Arc as StdArc;
 use std::time::Instant;
 
 /// Schema identifier checked by `cq-trace bench-check` / `bench-diff`.
 const SCHEMA: &str = "cq-bench-kernels/v3";
 
 /// This PR's artifact number.
-const PR: u32 = 9;
+const PR: u32 = 10;
 
 /// One measured grid point.
 struct Point {
@@ -224,6 +232,176 @@ fn bench_int8_encoder(arch: Arch, rng_seed: u64) -> EncPoint {
     }
 }
 
+/// One fused-vs-unfused elementwise-chain measurement.
+struct ChainPoint {
+    chain: &'static str,
+    elems: usize,
+    groups: usize,
+    iters: usize,
+    fused_gbs: f64,
+    unfused_gbs: f64,
+}
+
+/// Measures the elementwise chain BN → (`adds` × residual add) → ReLU →
+/// 8-bit fake-quant over an `[n, c, h, w]` map, fused vs. unfused.
+///
+/// The *fused* arm drives the graph executor through the public
+/// [`Recorder`] path: one recorded chain, one working buffer (the input's
+/// own storage), one merged pass with the quantizer's range scan folded
+/// in. The *unfused* arm is the eager per-layer fallback — standalone
+/// `Layer::forward` calls plus `Tensor::add` joins, the path every
+/// non-graph caller still takes — which materializes a fresh tensor per
+/// layer and re-reads it on the next. Both arms compute bit-identical
+/// values and carry identical harness costs: each feeds its own output
+/// forward as the next iteration's input (the chain contracts toward a
+/// fixed point, so values stay finite and the quant range stays open),
+/// and residual operands are `Arc`-shared, never deep-copied. Throughput
+/// counts the chain's *logical* traffic — one read of the input, one
+/// read per residual operand, one write of the output — so both arms are
+/// scored against the same bytes and the ratio is exactly the memory
+/// traffic (intermediate buffers, re-reads, quant re-scan) that graph
+/// fusion elides. Tensors are sized past L2 but under the allocator's
+/// mmap threshold, so timings measure memory traffic rather than
+/// page-fault churn. (`CQ_FUSION=on` vs `off` *within* the recorder is
+/// the bitwise-contract pair, benchmarked by the `fusion_pilots`
+/// section below.)
+fn bench_ew_chain(
+    chain: &'static str,
+    dims: [usize; 4],
+    adds: usize,
+    rng: &mut StdRng,
+) -> ChainPoint {
+    let [n, c, h, w] = dims;
+    let elems = n * c * h * w;
+    let mut ps = ParamSet::new();
+    // Each arm gets its own layers (forward takes `&mut self`) and its
+    // own feed-forward state; both pairs are identically initialized, so
+    // the two arms iterate the same chain function.
+    let mut bn = BatchNorm2d::new(&mut ps, "bn", c);
+    let mut relu = Relu::new();
+    let mut bn_e = BatchNorm2d::new(&mut ps, "bn_eager", c);
+    let mut relu_e = Relu::new();
+    // Eval-mode BN (running statistics) keeps the chain free of the
+    // whole-tensor stats reduction, so the measurement is the executor's
+    // pass structure and nothing else.
+    let ctx = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(8)));
+    let input = Tensor::from_vec(randvec(elems, rng), &dims).expect("chain input");
+    let mut state = Some(input.clone());
+    let mut state_e = Some(input);
+    let skips: Vec<StdArc<Tensor>> = (0..adds)
+        .map(|_| {
+            StdArc::new(Tensor::from_vec(randvec(elems, rng), &dims).expect("residual operand"))
+        })
+        .collect();
+
+    let mut run_fused = || {
+        let prev = state.take().expect("chain state");
+        with_fusion_mode(FusionMode::Fused, || {
+            let mut rec = Recorder::new(&ps, &ctx, prev);
+            rec.run(&mut bn).expect("bn record");
+            for s in &skips {
+                rec.push_add(StdArc::clone(s)).expect("residual add");
+            }
+            rec.run(&mut relu).expect("relu record");
+            let (y, _) = rec.finish().expect("chain execution");
+            state = Some(y);
+        });
+        std::hint::black_box(&state);
+    };
+    let mut run_eager = || {
+        let prev = state_e.take().expect("chain state");
+        // cq-allow(no-eager-forward): this arm measures the eager fallback on purpose
+        let (mut t, _) = bn_e.forward(&ps, &prev, &ctx).expect("bn forward");
+        for s in &skips {
+            t = t.add(s.as_ref()).expect("residual add");
+        }
+        // cq-allow(no-eager-forward): this arm measures the eager fallback on purpose
+        let (y, _) = relu_e.forward(&ps, &t, &ctx).expect("relu forward");
+        state_e = Some(y);
+        std::hint::black_box(&state_e);
+    };
+    // Interleave the arms rep-by-rep instead of timing one arm to
+    // completion before the other: the suite runs the chains right after
+    // sustained SIMD benches, and back-to-back blocks would hand the two
+    // arms systematically different clock/thermal states. Alternating
+    // reps exposes both arms to the same conditions; best-of-3 then
+    // discards the noisy rounds for each arm independently.
+    let t0 = Instant::now();
+    run_fused();
+    let once = t0.elapsed().as_secs_f64().max(1e-7);
+    run_eager();
+    let iters = (0.08 / once).ceil().max(1.0) as usize;
+    let mut t_fused = f64::INFINITY;
+    let mut t_unfused = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            run_fused();
+        }
+        t_fused = t_fused.min(t.elapsed().as_secs_f64() / iters as f64);
+        let t = Instant::now();
+        for _ in 0..iters {
+            run_eager();
+        }
+        t_unfused = t_unfused.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    let bytes = (4 * elems * (2 + adds)) as f64;
+    ChainPoint {
+        chain,
+        elems,
+        groups: 2 + adds,
+        iters,
+        fused_gbs: bytes / t_fused / 1e9,
+        unfused_gbs: bytes / t_unfused / 1e9,
+    }
+}
+
+/// One per-pipeline pilot measurement under both fusion modes.
+struct FusionPilot {
+    pipeline: Pipeline,
+    steps: usize,
+    fused_sps: f64,
+    unfused_sps: f64,
+}
+
+/// Seconds for one 2-step pilot of `pipeline` (16 images, batch 8,
+/// ResNet-18 width 2 — the golden-trace workload).
+fn pilot_secs(pipeline: Pipeline) -> f64 {
+    let encoder =
+        Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), 7).expect("encoder");
+    let cfg = PretrainConfig {
+        pipeline,
+        precision_set: Some(PrecisionSet::range(6, 16).expect("valid range")),
+        epochs: 1,
+        batch_size: 8,
+        lr: 0.02,
+        seed: 7,
+        ..Default::default()
+    };
+    let (train, _) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(16, 8));
+    let mut trainer = SimclrTrainer::new(encoder, cfg).expect("trainer");
+    let t = Instant::now();
+    trainer.train(&train).expect("2-step pretrain");
+    t.elapsed().as_secs_f64()
+}
+
+/// Times the 2-step pilot of `pipeline` with fusion forced on and off
+/// (the override is thread-local and the trainer runs on this thread,
+/// so the mode governs every chain flush of the run).
+fn bench_fusion_pilot(pipeline: Pipeline) -> FusionPilot {
+    let steps = 2;
+    let timed = |mode: FusionMode| with_fusion_mode(mode, || pilot_secs(pipeline));
+    timed(FusionMode::Fused); // warmup
+    let fused = timed(FusionMode::Fused).min(timed(FusionMode::Fused));
+    let unfused = timed(FusionMode::Unfused).min(timed(FusionMode::Unfused));
+    FusionPilot {
+        pipeline,
+        steps,
+        fused_sps: steps as f64 / fused,
+        unfused_sps: steps as f64 / unfused,
+    }
+}
+
 /// Measured machine ceilings the roofline model is built from.
 struct Roofline {
     /// Peak multiply-add throughput across the pool, GFLOP/s.
@@ -341,29 +519,13 @@ fn measure_stream_gbs() -> f64 {
 }
 
 /// Times the 2-step CQ-A pilot (the exact golden-trace workload:
-/// 16 images, batch 8, ResNet-18 width 2) and returns steps/sec.
+/// 16 images, batch 8, ResNet-18 width 2) in the process-default fusion
+/// mode and returns steps/sec — the legacy `pilot` section every older
+/// artifact carries.
 fn bench_pilot_steps() -> (usize, f64) {
     let steps = 2;
-    let run = || {
-        let encoder = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), 7)
-            .expect("encoder");
-        let cfg = PretrainConfig {
-            pipeline: Pipeline::CqA,
-            precision_set: Some(PrecisionSet::range(6, 16).expect("valid range")),
-            epochs: 1,
-            batch_size: 8,
-            lr: 0.02,
-            seed: 7,
-            ..Default::default()
-        };
-        let (train, _) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(16, 8));
-        let mut trainer = SimclrTrainer::new(encoder, cfg).expect("trainer");
-        let t = Instant::now();
-        trainer.train(&train).expect("2-step pretrain");
-        t.elapsed().as_secs_f64()
-    };
-    run(); // warmup
-    let secs = run().min(run());
+    pilot_secs(Pipeline::CqA); // warmup
+    let secs = pilot_secs(Pipeline::CqA).min(pilot_secs(Pipeline::CqA));
     (steps, steps as f64 / secs)
 }
 
@@ -400,6 +562,8 @@ fn render_json(
     scale: Scale,
     points: &[Point],
     encoders: &[EncPoint],
+    chains: &[ChainPoint],
+    fusion_pilots: &[FusionPilot],
     roofline: &Roofline,
     pilot: (usize, f64),
 ) -> String {
@@ -480,6 +644,38 @@ fn render_json(
         );
     }
     let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"ew_chains\": [");
+    for (i, c) in chains.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"chain\": \"{}\", \"elems\": {}, \"groups\": {}, \"iters\": {}, \
+             \"fused_gbs\": {:.3}, \"unfused_gbs\": {:.3}, \"speedup\": {:.3}}}{}",
+            c.chain,
+            c.elems,
+            c.groups,
+            c.iters,
+            c.fused_gbs,
+            c.unfused_gbs,
+            c.fused_gbs / c.unfused_gbs,
+            if i + 1 < chains.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"fusion_pilots\": [");
+    for (i, p) in fusion_pilots.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"pipeline\": \"{:?}\", \"steps\": {}, \"fused_steps_per_sec\": {:.3}, \
+             \"unfused_steps_per_sec\": {:.3}, \"speedup\": {:.3}}}{}",
+            p.pipeline,
+            p.steps,
+            p.fused_sps,
+            p.unfused_sps,
+            p.fused_sps / p.unfused_sps,
+            if i + 1 < fusion_pilots.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ],");
     let _ = writeln!(
         s,
         "  \"pilot\": {{\"steps\": {}, \"steps_per_sec\": {:.3}}}",
@@ -516,6 +712,31 @@ fn main() {
     }
 
     let mut rng = StdRng::seed_from_u64(0xBE7C);
+    // Elementwise fusion: chain throughput at three chain depths (the
+    // deeper the chain, the more full passes fusion elides). 512K
+    // elements per tensor (2 MiB) spills L2 while staying below the
+    // allocator's mmap threshold, so the eager arm's per-layer
+    // materializations cost memory traffic, not page faults. This
+    // section runs FIRST: it is the suite's only purely memory-bound
+    // comparison, and running it on a fresh heap (before the gemm and
+    // encoder sections grow and fragment the arena) keeps large
+    // allocations hugepage-backed and the measurement reproducible.
+    let chain_dims = [4usize, 32, 64, 64];
+    let chains = vec![
+        bench_ew_chain("bn_relu_q8", chain_dims, 0, &mut rng),
+        bench_ew_chain("bn_add3_relu_q8", chain_dims, 3, &mut rng),
+        bench_ew_chain("bn_add7_relu_q8", chain_dims, 7, &mut rng),
+    ];
+    for c in &chains {
+        eprintln!(
+            "  ew {:<16} {:>4} groups {:>8.2} GB/s fused (unfused {:>7.2}, x{:.2})",
+            c.chain,
+            c.groups,
+            c.fused_gbs,
+            c.unfused_gbs,
+            c.fused_gbs / c.unfused_gbs
+        );
+    }
     // The 256-cube is the acceptance point (blocked >= 2x scalar); the
     // paper grid extends to 512 for the perf trajectory.
     let cubes: &[usize] = match scale {
@@ -595,10 +816,31 @@ fn main() {
             e.int8_ips / e.f32_ips
         );
     }
+    let fusion_pilots: Vec<FusionPilot> = [Pipeline::CqA, Pipeline::CqB, Pipeline::CqC]
+        .into_iter()
+        .map(bench_fusion_pilot)
+        .collect();
+    for p in &fusion_pilots {
+        eprintln!(
+            "  2-step {:?} pilot: {:.2} steps/sec fused (unfused {:.2}, x{:.2})",
+            p.pipeline,
+            p.fused_sps,
+            p.unfused_sps,
+            p.fused_sps / p.unfused_sps
+        );
+    }
     let pilot = bench_pilot_steps();
     eprintln!("  2-step CQ-A pilot: {:.2} steps/sec", pilot.1);
 
-    let json = render_json(scale, &points, &encoders, &roofline, pilot);
+    let json = render_json(
+        scale,
+        &points,
+        &encoders,
+        &chains,
+        &fusion_pilots,
+        &roofline,
+        pilot,
+    );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("kernels: cannot write {out_path}: {e}");
         std::process::exit(1);

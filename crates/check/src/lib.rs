@@ -1,7 +1,7 @@
 //! # cq-check
 //!
 //! Static analyzer for the contrastive-quant training stack (see
-//! DESIGN.md §12 "Static analysis architecture"). Five passes share one
+//! DESIGN.md §12 "Static analysis architecture"). Six passes share one
 //! finding model ([`analysis::Finding`]) and one suppression/baseline
 //! system:
 //!
@@ -15,14 +15,19 @@
 //!    1-bit quantizer, batch size 1, …) are *rejected* with
 //!    layer-attributed errors, guarding the validators themselves against
 //!    rot.
-//! 3. **Quant dataflow** ([`quantflow`]) — propagates per-layer clip
+//! 3. **Graph pass** ([`graphcheck`]) — lowers every built-in encoder
+//!    config to the [`cq_nn::graph::Graph`] op IR and proves plan and
+//!    graph agree on shapes, FLOPs, and per-layer attribution, and that
+//!    the statically predicted fusable elementwise chains exist.
+//! 4. **Quant dataflow** ([`quantflow`]) — propagates per-layer clip
 //!    bounds through every built-in encoder plan, verifying grid
 //!    representability at every supported bit-width and i32-accumulator
 //!    fit at the integer-inference widths.
-//! 4. **Lint pass** ([`lint`]) — token-aware source lints (no-unwrap,
+//! 5. **Lint pass** ([`lint`]) — token-aware source lints (no-unwrap,
 //!    no-println, obs-names, no-raw-threads, one-train-loop,
-//!    gradcheck-coverage) over the workspace's library crates.
-//! 5. **Determinism pass** ([`determinism`]) — audits numeric code for
+//!    gradcheck-coverage, no-eager-forward) over the workspace's library
+//!    crates.
+//! 6. **Determinism pass** ([`determinism`]) — audits numeric code for
 //!    hash-order iteration, wall-clock reads, unblessed float
 //!    accumulation, and RNG construction outside the engine/loader.
 //!
@@ -38,6 +43,7 @@
 pub mod analysis;
 pub mod configs;
 pub mod determinism;
+pub mod graphcheck;
 pub mod lexer;
 pub mod lint;
 pub mod quantflow;

@@ -1,6 +1,6 @@
 //! Source lints over the workspace's library crates, token-aware.
 //!
-//! Seven lints, each an [`Analysis`] over the lexed token stream (so a
+//! Eight lints, each an [`Analysis`] over the lexed token stream (so a
 //! pattern spelled inside a string literal, doc comment or block comment
 //! can never trip them — the failure mode of the line-greps these
 //! replaced):
@@ -28,6 +28,13 @@
 //!   which is exactly what the persistent pool and its fixed chunk grid
 //!   exist to prevent. This lint covers test code too, since results
 //!   from raw scopes are not thread-count reproducible.
+//! - **no-eager-forward**: cq-nn / cq-models forward paths must build
+//!   and execute op graphs, not hand-rolled eager tensor-op chains —
+//!   no in-place element mutation (`as_mut_slice` / `iter_mut`) inside
+//!   a `forward` body, and no `fake_quant_into` call outside the graph
+//!   executor, which owns activation fake-quantization (the fused and
+//!   unfused paths stay bitwise-identical only because every chain runs
+//!   through one kernel set).
 //! - **one-train-loop**: `crates/core/src/engine.rs` owns the epoch
 //!   loop and everything a checkpoint must capture. Outside it, cq-core
 //!   library code must not iterate over `cfg.epochs` and must not seed a
@@ -453,6 +460,106 @@ impl Analysis for NoNaiveHotLoop {
     }
 }
 
+/// The crates whose forward paths must route through the graph executor.
+const GRAPH_CRATES: [&str; 2] = ["crates/nn/src/", "crates/models/src/"];
+
+/// The graph executor itself — the one home of the fused kernel set.
+const GRAPH_RS: &str = "crates/nn/src/graph.rs";
+
+/// no-eager-forward: eager tensor-op chains in cq-nn / cq-models forward
+/// paths outside the graph executor. Two shapes are flagged:
+///
+/// 1. a `fake_quant_into(` call anywhere in these crates outside
+///    [`GRAPH_RS`] — activation fake-quant is a whole-tensor pass that
+///    the executor places at fused-segment boundaries; a second call
+///    site forks the bitwise contract;
+/// 2. in-place element mutation (`.as_mut_slice(` / `.iter_mut(`)
+///    inside a non-test `fn forward` / `fn forward_spatial` body — the
+///    duplicated elementwise loops the graph executor replaced.
+///
+/// Backward passes, optimizers and leaf compute kernels (matmul, im2col,
+/// pooling) are untouched: they mutate outside `forward` bodies.
+pub struct NoEagerForward;
+
+impl Analysis for NoEagerForward {
+    fn lint(&self) -> &'static str {
+        "no-eager-forward"
+    }
+
+    fn check(&self, file: &SourceFile<'_>, out: &mut Vec<Finding>) {
+        if !GRAPH_CRATES.iter().any(|c| file.rel.contains(c)) || file.rel.ends_with(GRAPH_RS) {
+            return;
+        }
+        // Brace-depth scan tracking whether we are inside a forward body
+        // (closures nest deeper, so "inside" is depth > entry depth).
+        let mut depth = 0usize;
+        let mut forward_entry: Option<usize> = None;
+        let mut pending_fn = false;
+        let mut last_line = 0usize;
+        for i in 0..file.code.len() {
+            if file.matches(
+                i,
+                &[
+                    Pat::Ident("fn"),
+                    Pat::IdentIn(&["forward", "forward_spatial"]),
+                ],
+            ) {
+                pending_fn = true;
+            } else if file.punct_eq(i, '{') {
+                depth += 1;
+                if pending_fn {
+                    forward_entry.get_or_insert(depth);
+                    pending_fn = false;
+                }
+            } else if file.punct_eq(i, '}') {
+                if forward_entry == Some(depth) {
+                    forward_entry = None;
+                }
+                depth = depth.saturating_sub(1);
+            }
+
+            let quant_call = file.matches(i, &[Pat::Ident("fake_quant_into"), Pat::Punct('(')]);
+            let eager_mut = forward_entry.is_some()
+                && file.matches(
+                    i,
+                    &[
+                        Pat::Punct('.'),
+                        Pat::IdentIn(&["as_mut_slice", "iter_mut"]),
+                        Pat::Punct('('),
+                    ],
+                );
+            if !quant_call && !eager_mut {
+                continue;
+            }
+            let line = file.code_tok(i).map_or(0, |t| t.line);
+            if file.is_test_line(line) || line == last_line {
+                continue; // one finding per offending line
+            }
+            last_line = line;
+            let message = if quant_call {
+                format!(
+                    "fake_quant_into outside {GRAPH_RS}; activation fake-quant \
+                     belongs to the graph executor's fused kernel set (one call \
+                     site keeps fused == unfused bitwise), or add \
+                     `cq-allow(no-eager-forward): <reason>`"
+                )
+            } else {
+                "eager element mutation in a forward path; record the op on the \
+                 graph Recorder (or execute_single) so the fused executor owns \
+                 the loop, or add `cq-allow(no-eager-forward): <reason>`"
+                    .to_string()
+            };
+            out.push(Finding::error(
+                PASS,
+                self.lint(),
+                file.rel.clone(),
+                line,
+                message,
+            ));
+        }
+    }
+}
+
 /// gradcheck-coverage: every non-test `impl Layer for T` must be vouched
 /// for by a `check_layer`-family call in the same file or a
 /// `CQ_GRADCHECK_LOG` entry.
@@ -529,7 +636,7 @@ impl Analysis for GradcheckCoverage {
     }
 }
 
-/// The six source lints plus gradcheck coverage, ready to run.
+/// The seven source lints plus gradcheck coverage, ready to run.
 pub fn source_analyses() -> Vec<Box<dyn Analysis>> {
     vec![
         Box::new(NoUnwrap),
@@ -538,11 +645,12 @@ pub fn source_analyses() -> Vec<Box<dyn Analysis>> {
         Box::new(NoRawThreads),
         Box::new(OneTrainLoop),
         Box::new(NoNaiveHotLoop),
+        Box::new(NoEagerForward),
         Box::new(GradcheckCoverage::from_env()),
     ]
 }
 
-/// Runs every source analysis — the seven lints plus the determinism
+/// Runs every source analysis — the eight lints plus the determinism
 /// auditor — over the workspace at `root` in a single pass per file.
 ///
 /// The two families must share one [`analyze_file`] run: suppression
@@ -820,6 +928,76 @@ mod tests {
         );
         let out = check_one("x.rs", &adjacent, &NoNaiveHotLoop);
         assert_eq!(unsuppressed(&out, "no-naive-hot-loop"), 0, "{out:?}");
+    }
+
+    #[test]
+    fn eager_forward_flags_element_mutation_in_forward_bodies() {
+        let src = concat!(
+            "impl Layer for Thing {\n",
+            "    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {\n",
+            "        let mut y = x.clone();\n",
+            "        for v in y.as_mut_slice().iter_mut() {\n",
+            "            *v = v.max(0.0);\n",
+            "        }\n",
+            "        Ok(y)\n",
+            "    }\n",
+            "    fn backward(&self, dy: &Tensor) -> Result<Tensor> {\n",
+            "        let mut dx = dy.clone();\n",
+            "        for v in dx.as_mut_slice().iter_mut() {}\n", // backward may mutate
+            "        Ok(dx)\n",
+            "    }\n",
+            "}\n"
+        );
+        let out = check_one("crates/nn/src/foo.rs", src, &NoEagerForward);
+        assert_eq!(unsuppressed(&out, "no-eager-forward"), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        // Other crates and the executor itself are out of scope.
+        for rel in ["crates/core/src/foo.rs", "crates/nn/src/graph.rs"] {
+            let out = check_one(rel, src, &NoEagerForward);
+            assert_eq!(unsuppressed(&out, "no-eager-forward"), 0, "{rel}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn eager_forward_flags_fake_quant_anywhere_in_scope() {
+        // fake_quant_into is flagged even outside a forward body: the
+        // executor owns the only blessed call site.
+        let src = "fn helper(buf: &mut [f32]) {\n    fake_quant_into(buf, p, m);\n}\n";
+        let out = check_one("crates/models/src/foo.rs", src, &NoEagerForward);
+        assert_eq!(unsuppressed(&out, "no-eager-forward"), 1, "{out:?}");
+        assert!(out[0].message.contains("graph executor"), "{out:?}");
+        // The import alone (no call parenthesis after the path) is fine.
+        let import = "use cq_quant::fake_quant_into;\n";
+        let out = check_one("crates/models/src/foo.rs", import, &NoEagerForward);
+        assert_eq!(unsuppressed(&out, "no-eager-forward"), 0, "{out:?}");
+    }
+
+    #[test]
+    fn eager_forward_allow_marker_and_closures_behave() {
+        let allowed = concat!(
+            "fn forward(x: &Tensor) -> Tensor {\n",
+            "    // cq-allow(no-eager-forward): stats bookkeeping, not the data path\n",
+            "    x.as_mut_slice();\n",
+            "    x\n",
+            "}\n"
+        );
+        let out = check_one("crates/nn/src/foo.rs", allowed, &NoEagerForward);
+        assert_eq!(unsuppressed(&out, "no-eager-forward"), 0, "{out:?}");
+        // Mutation inside a closure nested in forward is still forward-path.
+        let closure = concat!(
+            "fn forward(x: &Tensor) -> Tensor {\n",
+            "    run(|| {\n",
+            "        x.iter_mut();\n",
+            "    });\n",
+            "    x\n",
+            "}\n",
+            "fn other(y: &Tensor) {\n",
+            "    y.iter_mut();\n", // not a forward body
+            "}\n"
+        );
+        let out = check_one("crates/nn/src/foo.rs", closure, &NoEagerForward);
+        assert_eq!(unsuppressed(&out, "no-eager-forward"), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `cq-check` — static analysis gate for the contrastive-quant stack.
 //!
-//! Runs five passes (config validation, negative checks, quant-soundness
-//! dataflow, source lints, determinism audit) over the workspace. Usage:
+//! Runs six passes (config validation, negative checks, graph lowering,
+//! quant-soundness dataflow, source lints, determinism audit) over the
+//! workspace. Usage:
 //!
 //! ```text
 //! cq-check [--root <workspace>] [--verbose] [--json]
@@ -28,7 +29,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cq_check::analysis::{findings_to_json, Baseline};
-use cq_check::{configs, lint, quantflow, Finding, Severity};
+use cq_check::{configs, graphcheck, lint, quantflow, Finding, Severity};
 
 /// Parsed command line.
 struct Opts {
@@ -103,6 +104,28 @@ fn run_all(opts: &Opts, status: &mut Vec<String>) -> Vec<Finding> {
         negative_findings.len()
     ));
     findings.append(&mut negative_findings);
+
+    let (greports, mut graph_findings) = graphcheck::graph_soundness_builtin();
+    let total_chains: usize = greports.iter().map(|r| r.fused_chains).sum();
+    status.push(format!(
+        "[graph]       {} configs lowered to the op graph, {} fusable chains predicted, {} findings",
+        greports.len(),
+        total_chains,
+        graph_findings.len()
+    ));
+    if opts.verbose && !opts.json {
+        println!(
+            "  {:<40} {:>6} {:>14} {:>7} {:>9} {:>7}",
+            "config", "nodes", "flops", "chains", "max chain", "quant"
+        );
+        for r in &greports {
+            println!(
+                "  {:<40} {:>6} {:>14} {:>7} {:>9} {:>7}",
+                r.label, r.nodes, r.flops, r.fused_chains, r.max_chain_len, r.quantize_nodes
+            );
+        }
+    }
+    findings.append(&mut graph_findings);
 
     let (qreports, mut quant_findings) = quantflow::quant_soundness_builtin();
     let min_int_bits = qreports.iter().map(|r| r.max_int_bits).min().unwrap_or(0);

@@ -71,6 +71,29 @@ fn record_pool_metrics(step: usize, before: &cq_tensor::par::PoolStats, wall_ns:
     }
 }
 
+/// Cumulative bytes of intermediate-tensor traffic elided by the graph
+/// executor's fusion pass, read from the process-global counter totals.
+fn fusion_elided_total() -> u64 {
+    cq_obs::counter_totals()
+        .iter()
+        .find(|(name, _)| *name == cq_obs::names::FUSION_PASS_ELIDED_BYTES)
+        .map_or(0, |&(_, total)| total)
+}
+
+/// Emits the per-step fused-pass traffic savings as a metric series —
+/// the delta of the cumulative `fusion.pass_elided_bytes` counter across
+/// the step (0 under `CQ_FUSION=off`). Deterministic for a fixed fusion
+/// mode, so `cq-trace diff` gates it within a mode; cross-mode diffs
+/// exempt the `fusion.` prefix.
+fn record_fusion_metrics(step: usize, elided_before: u64) {
+    let elided = fusion_elided_total().saturating_sub(elided_before);
+    cq_obs::metric(
+        cq_obs::names::FUSION_PASS_ELIDED_BYTES,
+        step as u64,
+        elided as f64,
+    );
+}
+
 /// Emits the end-of-phase memory metrics: peak RSS so far (`VmHWM`) and
 /// the allocation-call delta since the previous sample. The allocation
 /// series only appears in binaries that installed
@@ -470,6 +493,7 @@ impl<M: SslMethod> TrainLoop<M> {
             // cq-allow(det-time-source): step wall-time for pool utilization telemetry only
             (cq_tensor::par::pool_stats(), std::time::Instant::now())
         });
+        let fusion_before = cq_obs::enabled().then(fusion_elided_total);
         let mut gs = self.method.params().zero_grads();
         let mut ctx = StepCtx {
             cfg: &self.cfg,
@@ -484,6 +508,9 @@ impl<M: SslMethod> TrainLoop<M> {
             if let Some((before, t0)) = &pool_window {
                 record_pool_metrics(self.steps_taken, before, t0.elapsed().as_nanos() as u64);
             }
+            if let Some(before) = fusion_before {
+                record_fusion_metrics(self.steps_taken, before);
+            }
             // Report the divergent values before skipping — this is what
             // lets the health sentinels see the explosion.
             record_step_metrics(self.steps_taken, loss, norm, lr);
@@ -494,6 +521,9 @@ impl<M: SslMethod> TrainLoop<M> {
         self.history.steps += 1;
         if let Some((before, t0)) = &pool_window {
             record_pool_metrics(self.steps_taken, before, t0.elapsed().as_nanos() as u64);
+        }
+        if let Some(before) = fusion_before {
+            record_fusion_metrics(self.steps_taken, before);
         }
         record_step_metrics(self.steps_taken, loss, norm, lr);
         Ok(Some((loss, norm)))

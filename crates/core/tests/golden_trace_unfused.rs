@@ -1,0 +1,105 @@
+//! Fusion-off golden-trace gate (ISSUE 10 satellite): the same 3-step
+//! CQ-A pretrain as `golden_trace.rs`, executed with elementwise fusion
+//! disabled, must reproduce the *identical* committed goldens — losses
+//! and sampled bit-width sequence. Together with the default-mode run
+//! this pins the bitwise contract of the graph executor: fused and
+//! unfused chains produce the same bits, so `CQ_FUSION` can never change
+//! training results.
+//!
+//! Single `#[test]` in its own file: the sink is process-global, and the
+//! fusion override is thread-local (the trainer runs on this thread; the
+//! pool workers only execute chunk closures handed to them, so the mode
+//! decided at flush time on this thread governs the whole run).
+
+use std::sync::Arc;
+
+use cq_core::{Pipeline, PretrainConfig, SimclrTrainer};
+use cq_data::{Dataset, DatasetConfig};
+use cq_models::{Arch, Encoder, EncoderConfig};
+use cq_nn::graph::{with_fusion_mode, FusionMode};
+use cq_obs::sink::MemorySink;
+use cq_obs::Event;
+use cq_quant::PrecisionSet;
+
+// The committed goldens from golden_trace.rs — intentionally duplicated
+// so a re-baseline there that forgets the unfused path fails loudly here.
+const GOLDEN_LOSSES: [f32; 3] = [2.709015, 2.737559, 2.7074358];
+const GOLDEN_BITS: [u32; 6] = [6, 7, 13, 10, 16, 11];
+const LOSS_TOL: f32 = 1e-5;
+
+#[test]
+fn unfused_three_step_cq_a_pretrain_matches_committed_golden() {
+    let sink = Arc::new(MemorySink::new());
+    cq_obs::reset();
+    cq_obs::install(sink.clone());
+
+    with_fusion_mode(FusionMode::Unfused, || {
+        let encoder = Encoder::new(&EncoderConfig::new(Arch::ResNet18, 2).with_proj(16, 8), 7)
+            .expect("encoder construction");
+        let cfg = PretrainConfig {
+            pipeline: Pipeline::CqA,
+            precision_set: Some(PrecisionSet::range(6, 16).expect("valid range")),
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.02,
+            seed: 7,
+            ..Default::default()
+        };
+        let (train, _test) = Dataset::generate(&DatasetConfig::cifarlike().with_sizes(24, 8));
+        let mut trainer = SimclrTrainer::new(encoder, cfg).expect("trainer construction");
+        trainer.train(&train).expect("3-step pretrain");
+    });
+
+    cq_obs::uninstall();
+    let events = sink.take();
+
+    let losses: Vec<(u64, f32)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Metric { name, step, value } if *name == "train.loss" => {
+                Some((*step, *value as f32))
+            }
+            _ => None,
+        })
+        .collect();
+    let bits: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Histogram { name, value } if *name == "quant.bits" => Some(*value as u32),
+            _ => None,
+        })
+        .collect();
+
+    assert_eq!(
+        losses.len(),
+        GOLDEN_LOSSES.len(),
+        "expected one train.loss metric per step, got {losses:?}"
+    );
+    for (i, (golden, (step, actual))) in GOLDEN_LOSSES.iter().zip(&losses).enumerate() {
+        assert_eq!(*step, i as u64, "loss metrics must be keyed by step");
+        assert!(
+            (golden - actual).abs() <= LOSS_TOL,
+            "step {i} unfused loss drifted: golden {golden}, actual {actual} \
+             (tol {LOSS_TOL}); the fused/unfused bitwise contract is broken"
+        );
+    }
+    assert_eq!(
+        bits,
+        GOLDEN_BITS.to_vec(),
+        "unfused sampled bit-width sequence drifted from the committed golden"
+    );
+
+    // The run must actually have taken the unfused path: multi-group
+    // chains report as fallbacks, and no chain may have fused.
+    let totals = cq_obs::counter_totals();
+    let get = |n: &str| totals.iter().find(|(k, _)| *k == n).map_or(0, |&(_, v)| v);
+    assert!(
+        get("graph.unfused_fallbacks") > 0,
+        "unfused run recorded no multi-group chains — override not applied?"
+    );
+    assert_eq!(
+        get("graph.fused_chains"),
+        0,
+        "fused chains executed during an unfused-mode run"
+    );
+}

@@ -1,6 +1,7 @@
 //! MobileNetV2 with inverted residual (expand → depthwise → linear
 //! bottleneck) blocks, CIFAR-style stem for small inputs.
 
+use cq_nn::graph::Recorder;
 use cq_nn::{
     BatchNorm2d, Cache, Conv2d, DepthwiseConv2d, ForwardCtx, GlobalAvgPool, GradSet, Layer,
     NnError, ParamSet, Relu6, Sequential,
@@ -115,21 +116,47 @@ impl Layer for InvertedResidual {
         x: &Tensor,
         ctx: &ForwardCtx,
     ) -> Result<(Tensor, Cache), NnError> {
-        let (h, expand_cache) = match &mut self.expand {
-            Some((c, b, a)) => {
-                let (h1, cc) = c.forward(ps, x, ctx)?;
-                let (h2, bc) = b.forward(ps, &h1, ctx)?;
-                let (h3, ac) = a.forward(ps, &h2, ctx)?;
-                (h3, Some((cc, bc, ac)))
+        // One recorded chain for the whole block: each BN+ReLU6 pair
+        // fuses with its activation fake-quant, and the linear bottleneck
+        // fuses bn_proj with the identity residual when present.
+        let mut rec = Recorder::new(ps, ctx, x.clone());
+        let has_expand = self.expand.is_some();
+        if let Some((c, b, a)) = &mut self.expand {
+            rec.run(c)?;
+            rec.run(b)?;
+            rec.run(a)?;
+        }
+        rec.run(&mut self.dw)?;
+        rec.run(&mut self.bn_dw)?;
+        rec.run(&mut self.act_dw)?;
+        rec.run(&mut self.project)?;
+        rec.run(&mut self.bn_proj)?;
+        if self.use_res {
+            rec.push_add(x.clone())?;
+        }
+        let (out, caches) = rec.finish()?;
+        let mut it = caches.into_iter();
+        let expand_cache = if has_expand {
+            match (it.next(), it.next(), it.next()) {
+                (Some(cc), Some(bc), Some(ac)) => Some((cc, bc, ac)),
+                _ => {
+                    return Err(NnError::CacheMismatch {
+                        layer: "InvertedResidual".into(),
+                    })
+                }
             }
-            None => (x.clone(), None),
+        } else {
+            None
         };
-        let (d1, dw) = self.dw.forward(ps, &h, ctx)?;
-        let (d2, bn_dw) = self.bn_dw.forward(ps, &d1, ctx)?;
-        let (d3, act_dw) = self.act_dw.forward(ps, &d2, ctx)?;
-        let (p1, project) = self.project.forward(ps, &d3, ctx)?;
-        let (p2, bn_proj) = self.bn_proj.forward(ps, &p1, ctx)?;
-        let out = if self.use_res { p2.add(x)? } else { p2 };
+        let (dw, bn_dw, act_dw, project, bn_proj) =
+            match (it.next(), it.next(), it.next(), it.next(), it.next()) {
+                (Some(d), Some(bd), Some(ad), Some(p), Some(bp)) => (d, bd, ad, p, bp),
+                _ => {
+                    return Err(NnError::CacheMismatch {
+                        layer: "InvertedResidual".into(),
+                    })
+                }
+            };
         Ok((
             out,
             Cache::new(IrCache {

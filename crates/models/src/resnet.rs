@@ -5,6 +5,7 @@
 //! inputs here are small). ResNet-74/110/152 use the classic 3-stage CIFAR
 //! layout `6n+2` with `n` = 12 / 18 / 25.
 
+use cq_nn::graph::Recorder;
 use cq_nn::{
     BatchNorm2d, Cache, Conv2d, ForwardCtx, GlobalAvgPool, GradSet, Layer, NnError, ParamSet, Relu,
     Sequential,
@@ -163,11 +164,14 @@ impl Layer for BasicBlock {
         x: &Tensor,
         ctx: &ForwardCtx,
     ) -> Result<(Tensor, Cache), NnError> {
-        let (y1, c1) = self.conv1.forward(ps, x, ctx)?;
-        let (y2, b1) = self.bn1.forward(ps, &y1, ctx)?;
-        let (y3, r1) = self.relu1.forward(ps, &y2, ctx)?;
-        let (y4, c2) = self.conv2.forward(ps, &y3, ctx)?;
-        let (y5, b2) = self.bn2.forward(ps, &y4, ctx)?;
+        // Record the main branch as one graph chain: bn2, the residual
+        // add, relu_out and its fake-quant fuse into a single pass.
+        let mut rec = Recorder::new(ps, ctx, x.clone());
+        rec.run(&mut self.conv1)?;
+        rec.run(&mut self.bn1)?;
+        rec.run(&mut self.relu1)?;
+        rec.run(&mut self.conv2)?;
+        rec.run(&mut self.bn2)?;
         let (skip, down) = match &mut self.down {
             Some((dc, db)) => {
                 let (s1, dcc) = dc.forward(ps, x, ctx)?;
@@ -176,8 +180,27 @@ impl Layer for BasicBlock {
             }
             None => (x.clone(), None),
         };
-        let summed = y5.add(&skip)?;
-        let (out, rout) = self.relu_out.forward(ps, &summed, ctx)?;
+        rec.push_add(skip)?;
+        rec.run(&mut self.relu_out)?;
+        let (out, caches) = rec.finish()?;
+        let mut it = caches.into_iter();
+        let (c1, b1, r1, c2, b2, rout) = match (
+            it.next(),
+            it.next(),
+            it.next(),
+            it.next(),
+            it.next(),
+            it.next(),
+        ) {
+            (Some(c1), Some(b1), Some(r1), Some(c2), Some(b2), Some(rout)) => {
+                (c1, b1, r1, c2, b2, rout)
+            }
+            _ => {
+                return Err(NnError::CacheMismatch {
+                    layer: "BasicBlock".into(),
+                })
+            }
+        };
         Ok((
             out,
             Cache::new(BlockCache {

@@ -3,10 +3,16 @@
 //! projected onto the quantization grid (post-activation quantization, the
 //! standard QAT placement), and the straight-through estimator passes
 //! gradients through the quantizer unchanged.
+//!
+//! The forward kernels live in the fused graph executor
+//! ([`crate::graph`]): standalone `forward` calls run a single-group
+//! chain, while [`Layer::record`] lets a surrounding [`Recorder`] fuse
+//! the activation (and its fake-quant) into the preceding elementwise
+//! pass.
 
-use cq_quant::fake_quant_into;
 use cq_tensor::Tensor;
 
+use crate::graph::{execute_single, EwGroup, EwOp, Recorder};
 use crate::{Cache, ForwardCtx, GradSet, Layer, ParamSet, Result};
 
 /// Rectified linear unit `y = max(0, x)`.
@@ -26,23 +32,42 @@ struct ActCache {
     mask: Vec<f32>,
 }
 
+/// The recorded op group for a ReLU-family activation: the activation op,
+/// its gradient-mask tap, and the trailing post-activation fake-quant.
+fn act_group(op: EwOp, ctx: &ForwardCtx) -> EwGroup {
+    EwGroup::new(vec![op], None)
+        .with_quant(ctx.quant.act, ctx.quant.mode)
+        .with_mask_tap()
+        .with_cache(|taps| {
+            Cache::new(ActCache {
+                // cq-allow(no-unwrap): the group requests a mask tap two lines up
+                mask: taps.mask.expect("activation group requests a mask tap"),
+            })
+        })
+}
+
+fn act_backward(layer_name: &str, cache: &Cache, dy: &Tensor) -> Result<Tensor> {
+    let c = cache.downcast::<ActCache>(layer_name)?;
+    let mut dx = dy.clone();
+    for (g, &m) in dx.as_mut_slice().iter_mut().zip(&c.mask) {
+        *g *= m;
+    }
+    Ok(dx)
+}
+
 impl Layer for Relu {
     fn layer_kind(&self) -> &'static str {
         "Relu"
     }
 
     fn forward(&mut self, _ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
-        let mut y = x.clone();
-        let mut mask = vec![0.0f32; x.len()];
-        for (v, m) in y.as_mut_slice().iter_mut().zip(&mut mask) {
-            if *v > 0.0 {
-                *m = 1.0;
-            } else {
-                *v = 0.0;
-            }
-        }
-        fake_quant_into(y.as_mut_slice(), ctx.quant.act, ctx.quant.mode);
-        Ok((y, Cache::new(ActCache { mask })))
+        execute_single(x, act_group(EwOp::Relu, ctx))
+    }
+
+    fn record(&mut self, rec: &mut Recorder<'_>) -> Result<bool> {
+        let g = act_group(EwOp::Relu, rec.ctx());
+        rec.push_group(g);
+        Ok(true)
     }
 
     fn backward(
@@ -52,12 +77,7 @@ impl Layer for Relu {
         dy: &Tensor,
         _gs: &mut GradSet,
     ) -> Result<Tensor> {
-        let c = cache.downcast::<ActCache>("Relu")?;
-        let mut dx = dy.clone();
-        for (g, &m) in dx.as_mut_slice().iter_mut().zip(&c.mask) {
-            *g *= m;
-        }
-        Ok(dx)
+        act_backward("Relu", cache, dy)
     }
 }
 
@@ -78,16 +98,13 @@ impl Layer for Relu6 {
     }
 
     fn forward(&mut self, _ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
-        let mut y = x.clone();
-        let mut mask = vec![0.0f32; x.len()];
-        for (v, m) in y.as_mut_slice().iter_mut().zip(&mut mask) {
-            if *v > 0.0 && *v < 6.0 {
-                *m = 1.0;
-            }
-            *v = v.clamp(0.0, 6.0);
-        }
-        fake_quant_into(y.as_mut_slice(), ctx.quant.act, ctx.quant.mode);
-        Ok((y, Cache::new(ActCache { mask })))
+        execute_single(x, act_group(EwOp::Relu6, ctx))
+    }
+
+    fn record(&mut self, rec: &mut Recorder<'_>) -> Result<bool> {
+        let g = act_group(EwOp::Relu6, rec.ctx());
+        rec.push_group(g);
+        Ok(true)
     }
 
     fn backward(
@@ -97,12 +114,7 @@ impl Layer for Relu6 {
         dy: &Tensor,
         _gs: &mut GradSet,
     ) -> Result<Tensor> {
-        let c = cache.downcast::<ActCache>("Relu6")?;
-        let mut dx = dy.clone();
-        for (g, &m) in dx.as_mut_slice().iter_mut().zip(&c.mask) {
-            *g *= m;
-        }
-        Ok(dx)
+        act_backward("Relu6", cache, dy)
     }
 }
 

@@ -53,6 +53,21 @@ pub trait Layer: Send {
     fn layer_kind(&self) -> &'static str {
         "layer"
     }
+
+    /// Records this layer's work onto a lazy elementwise chain instead of
+    /// executing eagerly. Fusable layers (activations, BatchNorm) push an
+    /// op group and return `Ok(true)`; the default `Ok(false)` makes the
+    /// [`crate::graph::Recorder`] materialize the chain and fall back to
+    /// [`Layer::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inputs of unexpected shape, exactly as
+    /// [`Layer::forward`] would.
+    fn record(&mut self, rec: &mut crate::graph::Recorder<'_>) -> Result<bool> {
+        let _ = rec;
+        Ok(false)
+    }
 }
 
 /// A chain of layers applied in order.
@@ -140,35 +155,22 @@ impl Sequential {
     }
 }
 
-/// Runs a chain of layers, checking each output when `ctx.sanitize` is on.
+/// Runs a chain of layers through the graph [`crate::graph::Recorder`]:
+/// fusable layers record lazily, everything else executes at
+/// materialization barriers. Per-layer spans and sanitize scans happen
+/// inside [`crate::graph::Recorder::run`].
 fn run_layers(
     layers: &mut [Box<dyn Layer>],
     ps: &ParamSet,
     x: &Tensor,
     ctx: &ForwardCtx,
 ) -> Result<(Tensor, Cache)> {
-    let mut children = Vec::with_capacity(layers.len());
-    let mut cur = x.clone();
-    for (i, layer) in layers.iter_mut().enumerate() {
-        // Per-layer forward timer; layer_kind() is 'static so the hook is
-        // allocation-free, and a no-op without an installed sink.
-        let _sp = cq_obs::span(layer.layer_kind());
-        let (y, c) = layer.forward(ps, &cur, ctx)?;
-        if ctx.sanitize {
-            let label = format!("layer #{i} ({})", layer.layer_kind());
-            if let Some(v) = cq_tensor::sanitize::scan(&label, y.dims(), y.as_slice()) {
-                cq_tensor::sanitize::record(v.clone());
-                if v.kind.is_fatal() {
-                    return Err(crate::NnError::NonFinite {
-                        context: v.to_string(),
-                    });
-                }
-            }
-        }
-        children.push(c);
-        cur = y;
+    let mut rec = crate::graph::Recorder::new(ps, ctx, x.clone());
+    for layer in layers.iter_mut() {
+        rec.run(layer.as_mut())?;
     }
-    Ok((cur, Cache::new(SeqCache { children })))
+    let (y, children) = rec.finish()?;
+    Ok((y, Cache::new(SeqCache { children })))
 }
 
 /// Trace for [`Sequential`]: one cache per child layer.

@@ -48,6 +48,7 @@ mod conv;
 mod ctx;
 mod error;
 pub mod gradcheck;
+pub mod graph;
 mod layer;
 mod linear;
 mod loss;

@@ -8,6 +8,7 @@
 
 use cq_tensor::Tensor;
 
+use crate::graph::{execute_single, EwGroup, EwOp, Recorder};
 use crate::{Cache, ForwardCtx, GradSet, Layer, Mode, NnError, ParamId, ParamSet, Result};
 
 /// Shared implementation: normalisation over the channel axis of data laid
@@ -47,8 +48,13 @@ impl BatchNormInner {
         }
     }
 
-    /// `x` viewed as `(outer, channels, inner)`, row-major.
-    fn forward(
+    /// Builds the recorded op group for `x` viewed as
+    /// `(outer, channels, inner)`, row-major: batch statistics (and the
+    /// running-stat EMA update, in train mode) are computed eagerly here —
+    /// they are whole-tensor reductions — while the normalize+affine sweep
+    /// itself becomes a fusable [`EwGroup`] whose cache captures the
+    /// `xhat` tap.
+    fn make_group(
         &mut self,
         ps: &ParamSet,
         x: &Tensor,
@@ -56,7 +62,7 @@ impl BatchNormInner {
         inner: usize,
         ctx: &ForwardCtx,
         layer_name: &str,
-    ) -> Result<(Tensor, Cache)> {
+    ) -> Result<EwGroup> {
         let c = self.channels;
         debug_assert_eq!(x.len(), outer * c * inner);
         let m = (outer * inner) as f32;
@@ -118,35 +124,30 @@ impl BatchNormInner {
         };
 
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-        let g = ps.get(self.gamma).as_slice();
-        let b = ps.get(self.beta).as_slice();
-        let mut xhat = vec![0.0f32; x.len()];
-        let mut y = vec![0.0f32; x.len()];
-        for o in 0..outer {
-            for ci in 0..c {
-                let base = (o * c + ci) * inner;
-                let mu = mean[ci];
-                let is = inv_std[ci];
-                let (gc, bc) = (g[ci], b[ci]);
-                for k in 0..inner {
-                    let xh = (xs[base + k] - mu) * is;
-                    xhat[base + k] = xh;
-                    y[base + k] = gc * xh + bc;
-                }
-            }
-        }
-        let xhat = Tensor::from_vec(xhat, x.dims())?;
-        let y = Tensor::from_vec(y, x.dims())?;
-        Ok((
-            y,
+        let scale = ps.get(self.gamma).as_slice().to_vec();
+        let shift = ps.get(self.beta).as_slice().to_vec();
+        let mode = ctx.mode;
+        Ok(EwGroup::new(
+            vec![
+                EwOp::Normalize {
+                    mean,
+                    inv_std: inv_std.clone(),
+                },
+                EwOp::Affine { scale, shift },
+            ],
+            Some((c, inner)),
+        )
+        .with_xhat_tap()
+        .with_cache(move |taps| {
             Cache::new(BnCache {
-                xhat,
+                // cq-allow(no-unwrap): the group requests an xhat tap two lines up
+                xhat: taps.xhat.expect("batch-norm group requests an xhat tap"),
                 inv_std,
                 outer,
                 inner,
-                mode: ctx.mode,
-            }),
-        ))
+                mode,
+            })
+        }))
     }
 
     fn backward(
@@ -234,6 +235,20 @@ impl BatchNorm2d {
     pub fn channels(&self) -> usize {
         self.inner.channels
     }
+
+    /// Validates an `[N, C, H, W]` input and returns the
+    /// `(outer, inner)` view of the channel axis.
+    fn view(&self, x: &Tensor) -> Result<(usize, usize)> {
+        if x.rank() != 4 || x.dims()[1] != self.inner.channels {
+            return Err(NnError::BadInput {
+                layer: format!("BatchNorm2d({})", self.inner.channels),
+                expected: format!("[N, {}, H, W]", self.inner.channels),
+                got: x.dims().to_vec(),
+            });
+        }
+        // NCHW is (outer=n, c, inner=h*w) in row-major order already.
+        Ok((x.dims()[0], x.dims()[2] * x.dims()[3]))
+    }
 }
 
 impl Layer for BatchNorm2d {
@@ -242,16 +257,24 @@ impl Layer for BatchNorm2d {
     }
 
     fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
-        if x.rank() != 4 || x.dims()[1] != self.inner.channels {
-            return Err(NnError::BadInput {
-                layer: format!("BatchNorm2d({})", self.inner.channels),
-                expected: format!("[N, {}, H, W]", self.inner.channels),
-                got: x.dims().to_vec(),
-            });
-        }
-        let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
-        // NCHW is (outer=n, c, inner=h*w) in row-major order already.
-        self.inner.forward(ps, x, n, h * w, ctx, "BatchNorm2d")
+        let (outer, inner) = self.view(x)?;
+        let g = self
+            .inner
+            .make_group(ps, x, outer, inner, ctx, "BatchNorm2d")?;
+        execute_single(x, g)
+    }
+
+    fn record(&mut self, rec: &mut Recorder<'_>) -> Result<bool> {
+        // Statistics are whole-tensor reductions: materialize the chain
+        // first, then record the normalize+affine sweep as a fusable group.
+        rec.flush_pending()?;
+        let (ps, ctx) = (rec.ps(), rec.ctx());
+        let (outer, inner) = self.view(rec.cur())?;
+        let g = self
+            .inner
+            .make_group(ps, rec.cur(), outer, inner, ctx, "BatchNorm2d")?;
+        rec.push_group(g);
+        Ok(true)
     }
 
     fn backward(
@@ -287,6 +310,19 @@ impl BatchNorm1d {
             inner: BatchNormInner::new(ps, name, features, 0.1, 1e-5),
         }
     }
+
+    /// Validates an `[N, C]` input and returns the `(outer, inner)` view
+    /// of the feature axis.
+    fn view(&self, x: &Tensor) -> Result<(usize, usize)> {
+        if x.rank() != 2 || x.dims()[1] != self.inner.channels {
+            return Err(NnError::BadInput {
+                layer: format!("BatchNorm1d({})", self.inner.channels),
+                expected: format!("[N, {}]", self.inner.channels),
+                got: x.dims().to_vec(),
+            });
+        }
+        Ok((x.dims()[0], 1))
+    }
 }
 
 impl Layer for BatchNorm1d {
@@ -295,15 +331,22 @@ impl Layer for BatchNorm1d {
     }
 
     fn forward(&mut self, ps: &ParamSet, x: &Tensor, ctx: &ForwardCtx) -> Result<(Tensor, Cache)> {
-        if x.rank() != 2 || x.dims()[1] != self.inner.channels {
-            return Err(NnError::BadInput {
-                layer: format!("BatchNorm1d({})", self.inner.channels),
-                expected: format!("[N, {}]", self.inner.channels),
-                got: x.dims().to_vec(),
-            });
-        }
-        let n = x.dims()[0];
-        self.inner.forward(ps, x, n, 1, ctx, "BatchNorm1d")
+        let (outer, inner) = self.view(x)?;
+        let g = self
+            .inner
+            .make_group(ps, x, outer, inner, ctx, "BatchNorm1d")?;
+        execute_single(x, g)
+    }
+
+    fn record(&mut self, rec: &mut Recorder<'_>) -> Result<bool> {
+        rec.flush_pending()?;
+        let (ps, ctx) = (rec.ps(), rec.ctx());
+        let (outer, inner) = self.view(rec.cur())?;
+        let g = self
+            .inner
+            .make_group(ps, rec.cur(), outer, inner, ctx, "BatchNorm1d")?;
+        rec.push_group(g);
+        Ok(true)
     }
 
     fn backward(

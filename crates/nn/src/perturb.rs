@@ -17,6 +17,7 @@ pub(crate) fn perturbed_weight(w: &Tensor, id: ParamId, ctx: &ForwardCtx) -> Opt
         return None;
     }
     let mut out = w.clone();
+    // cq-allow(no-eager-forward): weight-side fake-quant on a detached weight copy; the graph executor owns only the activation stream
     fake_quant_into(out.as_mut_slice(), ctx.quant.weight, ctx.quant.mode);
     if let Some(noise) = ctx.weight_noise {
         let rms = (w.sq_norm() / w.len().max(1) as f32).sqrt();

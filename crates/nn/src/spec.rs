@@ -326,180 +326,11 @@ impl Plan {
     }
 }
 
-fn numel(dims: &[usize]) -> u64 {
-    dims.iter().map(|&d| d as u64).product()
-}
-
-fn want_rank(name: &str, dims: &[usize], rank: usize) -> Result<(), SpecError> {
-    if dims.len() != rank {
-        return Err(SpecError {
-            layer: name.to_string(),
-            kind: SpecErrorKind::Rank {
-                expected: rank,
-                got: dims.len(),
-            },
-        });
-    }
-    Ok(())
-}
-
-fn out_hw(name: &str, spec: &Conv2dSpec, h: usize, w: usize) -> Result<(usize, usize), SpecError> {
-    spec.out_hw(h, w).map_err(|e| SpecError {
-        layer: name.to_string(),
-        kind: SpecErrorKind::Geometry(e.to_string()),
-    })
-}
-
-/// Infers `(output shape, flops)` for one layer.
+/// Infers `(output shape, flops)` for one layer by lowering it into a
+/// scratch op-graph — `crate::graph` is the single source of truth for
+/// shape checks and FLOP formulas (see `Graph::lower`).
 fn infer_layer(layer: &LayerSpec, dims: &[usize]) -> Result<(Vec<usize>, u64), SpecError> {
-    let name = layer.name.as_str();
-    match &layer.kind {
-        LayerKind::Conv2d {
-            in_ch,
-            out_ch,
-            spec,
-            bias,
-        } => {
-            want_rank(name, dims, 4)?;
-            if dims[1] != *in_ch {
-                return Err(SpecError {
-                    layer: name.to_string(),
-                    kind: SpecErrorKind::Channels {
-                        expected: *in_ch,
-                        got: dims[1],
-                    },
-                });
-            }
-            let (oh, ow) = out_hw(name, spec, dims[2], dims[3])?;
-            let out = vec![dims[0], *out_ch, oh, ow];
-            let (kh, kw) = spec.kernel;
-            let mut flops = 2 * numel(&out) * (*in_ch as u64) * (kh as u64) * (kw as u64);
-            if *bias {
-                flops += numel(&out);
-            }
-            Ok((out, flops))
-        }
-        LayerKind::DepthwiseConv2d { channels, spec } => {
-            want_rank(name, dims, 4)?;
-            if dims[1] != *channels {
-                return Err(SpecError {
-                    layer: name.to_string(),
-                    kind: SpecErrorKind::Channels {
-                        expected: *channels,
-                        got: dims[1],
-                    },
-                });
-            }
-            let (oh, ow) = out_hw(name, spec, dims[2], dims[3])?;
-            let out = vec![dims[0], *channels, oh, ow];
-            let (kh, kw) = spec.kernel;
-            let flops = 2 * numel(&out) * (kh as u64) * (kw as u64);
-            Ok((out, flops))
-        }
-        LayerKind::BatchNorm2d { channels } => {
-            want_rank(name, dims, 4)?;
-            if dims[1] != *channels {
-                return Err(SpecError {
-                    layer: name.to_string(),
-                    kind: SpecErrorKind::Channels {
-                        expected: *channels,
-                        got: dims[1],
-                    },
-                });
-            }
-            Ok((dims.to_vec(), 2 * numel(dims)))
-        }
-        LayerKind::BatchNorm1d { features } => {
-            want_rank(name, dims, 2)?;
-            if dims[1] != *features {
-                return Err(SpecError {
-                    layer: name.to_string(),
-                    kind: SpecErrorKind::Features {
-                        expected: *features,
-                        got: dims[1],
-                    },
-                });
-            }
-            Ok((dims.to_vec(), 2 * numel(dims)))
-        }
-        LayerKind::Linear {
-            in_features,
-            out_features,
-            bias,
-        } => {
-            want_rank(name, dims, 2)?;
-            if dims[1] != *in_features {
-                return Err(SpecError {
-                    layer: name.to_string(),
-                    kind: SpecErrorKind::Features {
-                        expected: *in_features,
-                        got: dims[1],
-                    },
-                });
-            }
-            let out = vec![dims[0], *out_features];
-            let mut flops = 2 * (dims[0] as u64) * (*in_features as u64) * (*out_features as u64);
-            if *bias {
-                flops += numel(&out);
-            }
-            Ok((out, flops))
-        }
-        LayerKind::Relu | LayerKind::Relu6 => Ok((dims.to_vec(), numel(dims))),
-        LayerKind::MaxPool2d { spec } | LayerKind::AvgPool2d { spec } => {
-            want_rank(name, dims, 4)?;
-            let (oh, ow) = out_hw(name, spec, dims[2], dims[3])?;
-            let out = vec![dims[0], dims[1], oh, ow];
-            let (kh, kw) = spec.kernel;
-            let flops = numel(&out) * (kh as u64) * (kw as u64);
-            Ok((out, flops))
-        }
-        LayerKind::GlobalAvgPool => {
-            want_rank(name, dims, 4)?;
-            Ok((vec![dims[0], dims[1]], numel(dims)))
-        }
-        LayerKind::Residual { main, skip } => {
-            let mut flops = 0u64;
-            let mut main_shape = dims.to_vec();
-            for l in &main.layers {
-                let (s, f) = infer_layer(l, &main_shape)?;
-                main_shape = s;
-                flops += f;
-            }
-            let skip_shape = match skip {
-                Some(p) => {
-                    let mut s = dims.to_vec();
-                    for l in &p.layers {
-                        let (ns, f) = infer_layer(l, &s)?;
-                        s = ns;
-                        flops += f;
-                    }
-                    s
-                }
-                None => dims.to_vec(),
-            };
-            if main_shape != skip_shape {
-                return Err(SpecError {
-                    layer: name.to_string(),
-                    kind: SpecErrorKind::BranchMismatch {
-                        main: main_shape,
-                        skip: skip_shape,
-                    },
-                });
-            }
-            flops += numel(&main_shape); // the elementwise sum
-            Ok((main_shape, flops))
-        }
-        LayerKind::Block(p) => {
-            let mut shape = dims.to_vec();
-            let mut flops = 0u64;
-            for l in &p.layers {
-                let (s, f) = infer_layer(l, &shape)?;
-                shape = s;
-                flops += f;
-            }
-            Ok((shape, flops))
-        }
-    }
+    crate::graph::infer_layer_via_graph(layer, dims)
 }
 
 fn param_count_layer(layer: &LayerSpec) -> usize {

@@ -1,0 +1,169 @@
+//! Property tests pinning the graph executor's bitwise contract
+//! (ISSUE 10 satellite): fused and unfused execution of
+//! BN/activation/quantize chains must agree **bit for bit** — outputs,
+//! gradients, and updated running statistics — across adversarial shapes
+//! and thread limits 1/2/5/8. Any extended-precision carry, reordered
+//! reduction, or thread-dependent chunking in the fused path shows up
+//! here as a `to_bits` mismatch.
+
+use cq_nn::graph::{with_fusion_mode, FusionMode};
+use cq_nn::{BatchNorm1d, BatchNorm2d, ForwardCtx, Layer, ParamSet, Relu, Relu6, Sequential};
+use cq_quant::{Precision, QuantConfig, QuantMode};
+use cq_tensor::par::with_thread_limit;
+use cq_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Deterministic, seed-keyed fill with varied sign and magnitude
+/// (including values beyond the ReLU6 knee at 6).
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let k = (i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97) % 2048;
+            (k as f32 / 2048.0 - 0.5) * 16.0
+        })
+        .collect()
+}
+
+/// Builds the stack under test: BN2d -> Relu -> BN2d -> Relu6 over
+/// `[n, c, h, w]`, with gamma/beta perturbed away from the (1, 0) init so
+/// the affine op is non-trivial.
+fn build_stack(c: usize, seed: u64) -> (ParamSet, Sequential) {
+    let mut ps = ParamSet::new();
+    let mut seq = Sequential::new();
+    seq.push(BatchNorm2d::new(&mut ps, "bn1", c));
+    seq.push(Relu::new());
+    seq.push(BatchNorm2d::new(&mut ps, "bn2", c));
+    seq.push(Relu6::new());
+    let ids: Vec<_> = ps.iter().map(|(id, _, _)| id).collect();
+    for id in ids {
+        let scale = if ps.name(id).ends_with(".gamma") {
+            0.1
+        } else {
+            0.05
+        };
+        for (i, v) in ps.get_mut(id).as_mut_slice().iter_mut().enumerate() {
+            *v += ((i as u64 + seed) % 7) as f32 * scale;
+        }
+    }
+    (ps, seq)
+}
+
+/// One full fused-vs-unfused comparison at a given thread limit:
+/// forward (train mode, quantized), backward, running stats.
+#[allow(clippy::too_many_arguments)]
+fn assert_bitwise_equal(
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    bits: u8,
+    floor: bool,
+    threads: usize,
+    seed: u64,
+) {
+    let dims = [n, c, h, w];
+    let len = n * c * h * w;
+    let x = Tensor::from_vec(fill(len, seed), &dims).unwrap();
+    let dy = Tensor::from_vec(fill(len, seed + 1), &dims).unwrap();
+    let mut quant = QuantConfig::uniform(Precision::Bits(bits));
+    if floor {
+        quant.mode = QuantMode::Floor;
+    }
+    let ctx = ForwardCtx::train().with_quant(quant);
+
+    let run = |mode: FusionMode| {
+        let (ps, mut seq) = build_stack(c, seed);
+        with_thread_limit(threads, || {
+            with_fusion_mode(mode, || {
+                let (y, cache) = seq.forward(&ps, &x, &ctx).unwrap();
+                let mut gs = ps.zero_grads();
+                let dx = seq.backward(&ps, &cache, &dy, &mut gs).unwrap();
+                let stats: Vec<u32> = seq
+                    .state_tensors()
+                    .iter()
+                    .flat_map(|t| t.as_slice().iter().map(|v| v.to_bits()))
+                    .collect();
+                let grads: Vec<u32> = ps
+                    .iter()
+                    .flat_map(|(id, _, _)| gs.get(id).as_slice().iter().map(|v| v.to_bits()))
+                    .collect();
+                let ybits: Vec<u32> = y.as_slice().iter().map(|v| v.to_bits()).collect();
+                let dxbits: Vec<u32> = dx.as_slice().iter().map(|v| v.to_bits()).collect();
+                (ybits, dxbits, grads, stats)
+            })
+        })
+    };
+
+    let fused = run(FusionMode::Fused);
+    let unfused = run(FusionMode::Unfused);
+    assert_eq!(
+        fused.0, unfused.0,
+        "forward bits diverge ({dims:?}, t={threads})"
+    );
+    assert_eq!(
+        fused.1, unfused.1,
+        "dx bits diverge ({dims:?}, t={threads})"
+    );
+    assert_eq!(
+        fused.2, unfused.2,
+        "grad bits diverge ({dims:?}, t={threads})"
+    );
+    assert_eq!(
+        fused.3, unfused.3,
+        "running-stat bits diverge ({dims:?}, t={threads})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Adversarial shapes — tiny inner extents, single channels, prime
+    /// dimensions straddling the executor's chunk size — at every thread
+    /// limit the pool contract covers.
+    #[test]
+    fn fused_equals_unfused_bitwise(
+        n in 2usize..=5,
+        c in 1usize..=7,
+        h in 1usize..=13,
+        w in 1usize..=17,
+        bits in 2u8..=16,
+        floor_raw in 0u8..=1,
+        seed in 0u64..512,
+    ) {
+        for threads in [1usize, 2, 5, 8] {
+            assert_bitwise_equal(n, c, h, w, bits, floor_raw == 1, threads, seed);
+        }
+    }
+}
+
+/// A shape big enough that the executor actually splits it into many
+/// parallel chunks (crosses the 4096-element block size several times).
+#[test]
+fn fused_equals_unfused_on_multi_chunk_tensor() {
+    for threads in [1usize, 2, 5, 8] {
+        assert_bitwise_equal(4, 3, 37, 41, 7, false, threads, 99);
+    }
+}
+
+/// The 1-D (projection-head) variant: BN1d -> Relu over `[n, features]`,
+/// eval mode so running statistics drive normalization.
+#[test]
+fn fused_equals_unfused_for_bn1d_eval() {
+    let (n, f) = (9, 33);
+    let x = Tensor::from_vec(fill(n * f, 3), &[n, f]).unwrap();
+    let ctx = ForwardCtx::eval().with_quant(QuantConfig::uniform(Precision::Bits(4)));
+    let run = |mode: FusionMode| {
+        let mut ps = ParamSet::new();
+        let mut seq = Sequential::new();
+        seq.push(BatchNorm1d::new(&mut ps, "bn", f));
+        seq.push(Relu::new());
+        with_fusion_mode(mode, || {
+            let (y, _) = seq.forward(&ps, &x, &ctx).unwrap();
+            y.as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<u32>>()
+        })
+    };
+    assert_eq!(run(FusionMode::Fused), run(FusionMode::Unfused));
+}

@@ -65,6 +65,13 @@ pub const MEM_PEAK_RSS_KB: &str = "mem.peak_rss_kb";
 /// see [`crate::alloc`]); 0 when no counting allocator is installed.
 pub const MEM_ALLOC_COUNT: &str = "mem.alloc_count";
 
+/// Per-step bytes of intermediate-tensor memory traffic elided by the
+/// graph executor's elementwise fusion pass (delta of the cumulative
+/// `fusion.pass_elided_bytes` counter across the step). Deterministic
+/// for a fixed fusion mode; a `CQ_FUSION=on` vs `off` diff exempts the
+/// `fusion.` prefix explicitly (`cq-trace diff --exempt-prefix fusion.`).
+pub const FUSION_PASS_ELIDED_BYTES: &str = "fusion.pass_elided_bytes";
+
 /// Per-epoch collapse probe: mean per-dimension standard deviation of the
 /// L2-normalized projector embeddings, scaled by `sqrt(d)` so a healthy
 /// (isotropic) representation sits near 1.0 and a collapsed one at 0.
@@ -102,6 +109,7 @@ mod tests {
             super::POOL_CHUNK_IMBALANCE,
             super::MEM_PEAK_RSS_KB,
             super::MEM_ALLOC_COUNT,
+            super::FUSION_PASS_ELIDED_BYTES,
             super::EMBED_FEATURE_STD,
             super::EMBED_POS_COSINE,
             super::EMBED_ALIGNMENT,

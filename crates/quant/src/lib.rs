@@ -31,4 +31,7 @@ mod precision;
 mod quantizer;
 
 pub use precision::{Precision, PrecisionSet, QuantError};
-pub use quantizer::{fake_quant, fake_quant_into, quant_mse, quant_snr_db, QuantConfig, QuantMode};
+pub use quantizer::{
+    fake_quant, fake_quant_into, fake_quant_scanned, quant_mse, quant_snr_db, QuantConfig,
+    QuantMode, RangeScan,
+};

@@ -97,9 +97,95 @@ pub fn fake_quant(t: &Tensor, precision: Precision, mode: QuantMode) -> Tensor {
     out
 }
 
+/// Accumulated min/max/finiteness of a value stream — the reduction half
+/// of [`fake_quant_into`], split out so a producing pass (e.g. the fused
+/// graph executor) can gather it while each value is still in a register
+/// and hand it to [`fake_quant_scanned`], eliding the quantizer's own
+/// whole-buffer re-read.
+///
+/// Fold order is immaterial to the quantized output bits: `finite` is an
+/// AND; `f32::min`/`f32::max` skip NaN and are associative and
+/// commutative on every pair except the `-0.0`/`+0.0` tie, whose
+/// representative may depend on fold order but can never change the
+/// downstream result — `hi - lo` produces identical bits for either zero
+/// (`x - (-0.0)` ≡ `x - (+0.0)` for all finite `x`), and an all-zero
+/// tensor fails the `range > 0` gate with either sign. Merging per-chunk
+/// partials in any deterministic order is therefore bit-identical to the
+/// sequential sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeScan {
+    lo: f32,
+    hi: f32,
+    finite: bool,
+}
+
+impl RangeScan {
+    /// The fold identity: empty range, finite.
+    pub fn new() -> Self {
+        RangeScan {
+            lo: f32::INFINITY,
+            hi: f32::NEG_INFINITY,
+            finite: true,
+        }
+    }
+
+    /// Folds one value into the scan.
+    #[inline]
+    pub fn observe(&mut self, v: f32) {
+        // f32::min/max skip NaN, so lo/hi alone can come out finite for a
+        // tensor that contains NaN — track finiteness explicitly or the
+        // finite entries would get snapped while the NaN slips through.
+        self.finite &= v.is_finite();
+        self.lo = self.lo.min(v);
+        self.hi = self.hi.max(v);
+    }
+
+    /// Combines two partial scans (see the type docs for why any combine
+    /// order yields identical quantized bits).
+    pub fn merge(&mut self, other: RangeScan) {
+        self.finite &= other.finite;
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+    }
+
+    /// Sequential scan of a slice — exactly the sweep
+    /// [`fake_quant_into`] performs internally.
+    pub fn scan(data: &[f32]) -> Self {
+        let mut s = RangeScan::new();
+        for &v in data {
+            s.observe(v);
+        }
+        s
+    }
+}
+
+impl Default for RangeScan {
+    fn default() -> Self {
+        RangeScan::new()
+    }
+}
+
 /// In-place variant of [`fake_quant`] operating on a raw slice; used on
 /// hot paths to avoid an allocation.
 pub fn fake_quant_into(data: &mut [f32], precision: Precision, mode: QuantMode) {
+    if matches!(precision, Precision::Fp) || data.is_empty() {
+        return;
+    }
+    let scan = RangeScan::scan(data);
+    fake_quant_scanned(data, scan, precision, mode);
+}
+
+/// Applies the grid projection of [`fake_quant_into`] given a
+/// precomputed [`RangeScan`] of exactly the current contents of `data`.
+/// Bit-identical to [`fake_quant_into`] — same warnings, counters,
+/// histogram and grid — without the quantizer's whole-buffer re-read;
+/// the caller is responsible for `scan` matching `data`.
+pub fn fake_quant_scanned(
+    data: &mut [f32],
+    scan: RangeScan,
+    precision: Precision,
+    mode: QuantMode,
+) {
     let q = match precision {
         Precision::Fp => return,
         Precision::Bits(q) => q,
@@ -107,17 +193,7 @@ pub fn fake_quant_into(data: &mut [f32], precision: Precision, mode: QuantMode) 
     if data.is_empty() {
         return;
     }
-    let mut lo = f32::INFINITY;
-    let mut hi = f32::NEG_INFINITY;
-    let mut finite = true;
-    for &v in data.iter() {
-        // f32::min/max skip NaN, so lo/hi alone can come out finite for a
-        // tensor that contains NaN — track finiteness explicitly or the
-        // finite entries would get snapped while the NaN slips through.
-        finite &= v.is_finite();
-        lo = lo.min(v);
-        hi = hi.max(v);
-    }
+    let RangeScan { lo, hi, finite } = scan;
     if !finite {
         cq_obs::warn_with(|| {
             format!(
@@ -229,6 +305,57 @@ mod tests {
                 "{v} not on grid (step {step})"
             );
         }
+    }
+
+    #[test]
+    fn scanned_path_is_bitwise_identical_to_into() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for mode in [QuantMode::Round, QuantMode::Floor] {
+            for bits in [2u8, 5, 8, 16] {
+                let t = Tensor::randn(&[1023], 0.3, 1.7, &mut rng);
+                let mut a = t.as_slice().to_vec();
+                let mut b = a.clone();
+                fake_quant_into(&mut a, Precision::Bits(bits), mode);
+                let scan = RangeScan::scan(&b);
+                fake_quant_scanned(&mut b, scan, Precision::Bits(bits), mode);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "bits={bits} mode={mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_scan_merge_matches_sequential_bitwise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let t = Tensor::randn(&[997], -0.4, 2.1, &mut rng);
+        let mut data = t.as_slice().to_vec();
+        // Adversarial extras: both zero signs and exact duplicates.
+        data.extend_from_slice(&[0.0, -0.0, 2.5, 2.5, -3.0, -3.0]);
+        let mut seq = data.clone();
+        let mut chunked = data.clone();
+        // Merge odd-sized chunk partials in reverse order — the least
+        // sequential fold imaginable must still give identical bits.
+        let mut scan = RangeScan::new();
+        for chunk in data.chunks(123).rev() {
+            scan.merge(RangeScan::scan(chunk));
+        }
+        fake_quant_into(&mut seq, Precision::Bits(7), QuantMode::Round);
+        fake_quant_scanned(&mut chunked, scan, Precision::Bits(7), QuantMode::Round);
+        for (x, y) in seq.iter().zip(&chunked) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn scanned_path_leaves_nonfinite_input_alone() {
+        let mut data = vec![1.0, f32::NAN, 3.0];
+        let orig = data.clone();
+        let scan = RangeScan::scan(&data);
+        fake_quant_scanned(&mut data, scan, Precision::Bits(8), QuantMode::Round);
+        assert_eq!(data[0], orig[0]);
+        assert!(data[1].is_nan());
+        assert_eq!(data[2], orig[2]);
     }
 
     #[test]

@@ -18,6 +18,15 @@
 //! same machine still hard-gate the shared kernel grid; encoder points
 //! diff like kernels when both sides carry them.
 //!
+//! Since PR 10 the v3 artifact may additionally carry two *optional*
+//! sections measuring the graph executor's elementwise fusion:
+//! `ew_chains` (fused vs. unfused chain throughput in GB/s of logical
+//! chain traffic) and `fusion_pilots` (2-step pilot steps/sec per
+//! pipeline under both fusion modes). The schema string is unchanged —
+//! older artifacts simply lack the sections — but when present the
+//! entries are validated and the *fused* throughput diffs like any other
+//! grid point.
+//!
 //! The flat-line parser in [`crate::record`] cannot read these files —
 //! they are one nested JSON document, not JSONL — so this module carries
 //! its own minimal recursive-descent parser for the full JSON value
@@ -361,6 +370,46 @@ pub struct Int8EncoderPoint {
     pub int8_imgs_per_sec: f64,
 }
 
+/// One fused-vs-unfused elementwise-chain throughput measurement
+/// (optional `ew_chains` section, PR 10+ artifacts). Throughput counts
+/// the chain's logical traffic — read input, read each residual
+/// operand, write output — so the fused/unfused ratio isolates the
+/// passes the fusion pass elides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EwChainPoint {
+    /// Chain label (`bn_relu_q8`, `bn_add3_relu_q8`, ...).
+    pub chain: String,
+    /// Elements per tensor in the chain.
+    pub elems: usize,
+    /// Recorded elementwise groups (= unfused pass count).
+    pub groups: usize,
+    /// Fused-mode throughput, GB/s of logical chain traffic.
+    pub fused_gbs: f64,
+    /// Unfused-mode throughput over the same traffic.
+    pub unfused_gbs: f64,
+}
+
+impl EwChainPoint {
+    /// Fused-over-unfused speedup.
+    pub fn speedup(&self) -> f64 {
+        self.fused_gbs / self.unfused_gbs
+    }
+}
+
+/// One per-pipeline training-pilot measurement under both fusion modes
+/// (optional `fusion_pilots` section, PR 10+ artifacts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionPilotPoint {
+    /// Pipeline label (`CqA`, `CqB`, `CqC`).
+    pub pipeline: String,
+    /// Steps per timed run.
+    pub steps: usize,
+    /// Steps/sec with fusion on.
+    pub fused_steps_per_sec: f64,
+    /// Steps/sec with fusion off.
+    pub unfused_steps_per_sec: f64,
+}
+
 /// A parsed, schema-valid `BENCH_<pr>.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -380,6 +429,10 @@ pub struct BenchReport {
     pub roofline: Option<(f64, f64)>,
     /// Int8-vs-f32 encoder throughput points; empty before v3.
     pub int8_encoders: Vec<Int8EncoderPoint>,
+    /// Fused-vs-unfused elementwise-chain points; empty before PR 10.
+    pub ew_chains: Vec<EwChainPoint>,
+    /// Per-pipeline fused-vs-unfused pilot points; empty before PR 10.
+    pub fusion_pilots: Vec<FusionPilotPoint>,
 }
 
 fn req_str(v: &Value, key: &str, ctx: &str) -> Result<String, String> {
@@ -511,6 +564,52 @@ pub fn parse_bench(text: &str) -> Result<BenchReport, String> {
             int8_encoders.push(point);
         }
     }
+    // Optional fusion sections (PR 10+). Absent in older artifacts;
+    // when present every entry must be well-formed and positive.
+    let mut ew_chains = Vec::new();
+    if let Some(entries) = root.get("ew_chains").and_then(Value::as_arr) {
+        for (i, entry) in entries.iter().enumerate() {
+            let ctx = format!("ew_chains[{i}]");
+            let point = EwChainPoint {
+                chain: req_str(entry, "chain", &ctx)?,
+                elems: req_num(entry, "elems", &ctx)? as usize,
+                groups: req_num(entry, "groups", &ctx)? as usize,
+                fused_gbs: req_num(entry, "fused_gbs", &ctx)?,
+                unfused_gbs: req_num(entry, "unfused_gbs", &ctx)?,
+            };
+            if point.elems == 0 || point.groups == 0 {
+                return Err(format!("{ctx}: zero elems or groups"));
+            }
+            if !(point.fused_gbs.is_finite()
+                && point.fused_gbs > 0.0
+                && point.unfused_gbs.is_finite()
+                && point.unfused_gbs > 0.0)
+            {
+                return Err(format!("{ctx}: non-positive throughput"));
+            }
+            ew_chains.push(point);
+        }
+    }
+    let mut fusion_pilots = Vec::new();
+    if let Some(entries) = root.get("fusion_pilots").and_then(Value::as_arr) {
+        for (i, entry) in entries.iter().enumerate() {
+            let ctx = format!("fusion_pilots[{i}]");
+            let point = FusionPilotPoint {
+                pipeline: req_str(entry, "pipeline", &ctx)?,
+                steps: req_num(entry, "steps", &ctx)? as usize,
+                fused_steps_per_sec: req_num(entry, "fused_steps_per_sec", &ctx)?,
+                unfused_steps_per_sec: req_num(entry, "unfused_steps_per_sec", &ctx)?,
+            };
+            if !(point.fused_steps_per_sec.is_finite()
+                && point.fused_steps_per_sec > 0.0
+                && point.unfused_steps_per_sec.is_finite()
+                && point.unfused_steps_per_sec > 0.0)
+            {
+                return Err(format!("{ctx}: non-positive throughput"));
+            }
+            fusion_pilots.push(point);
+        }
+    }
     let pilot_steps_per_sec = root
         .get("pilot")
         .map(|p| req_num(p, "steps_per_sec", "pilot"))
@@ -524,6 +623,8 @@ pub fn parse_bench(text: &str) -> Result<BenchReport, String> {
         pilot_steps_per_sec,
         roofline,
         int8_encoders,
+        ew_chains,
+        fusion_pilots,
     })
 }
 
@@ -635,6 +736,69 @@ pub fn diff_bench(old: &BenchReport, new: &BenchReport, fail_over_pct: f64) -> B
                 report.push_str(&format!(
                     "  {verdict:>5} {label}: {:.1} -> {:.1} imgs/sec ({delta_pct:+.1}%)\n",
                     o.int8_imgs_per_sec, p.int8_imgs_per_sec
+                ));
+            }
+        }
+    }
+    // Elementwise-chain and fusion-pilot points gate on the *fused*
+    // throughput — that is what the fusion work optimizes; the unfused
+    // side rides along as the in-artifact baseline.
+    let old_ch: BTreeMap<_, _> = old.ew_chains.iter().map(|p| (p.chain.clone(), p)).collect();
+    for p in &new.ew_chains {
+        let label = format!(
+            "ew {} ({} groups, {:.2}x fused)",
+            p.chain,
+            p.groups,
+            p.speedup()
+        );
+        match old_ch.get(&p.chain) {
+            None => report.push_str(&format!(
+                "  new   {label}: {:.2} GB/s (no old measurement)\n",
+                p.fused_gbs
+            )),
+            Some(o) => {
+                let delta_pct = (p.fused_gbs - o.fused_gbs) / o.fused_gbs * 100.0;
+                let verdict = if delta_pct < -fail_over_pct && !machine_mismatch {
+                    regressions.push(format!("{label}: {delta_pct:+.1}%"));
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                report.push_str(&format!(
+                    "  {verdict:>5} {label}: {:.2} -> {:.2} GB/s ({delta_pct:+.1}%)\n",
+                    o.fused_gbs, p.fused_gbs
+                ));
+            }
+        }
+    }
+    let old_fp: BTreeMap<_, _> = old
+        .fusion_pilots
+        .iter()
+        .map(|p| (p.pipeline.clone(), p))
+        .collect();
+    for p in &new.fusion_pilots {
+        let label = format!(
+            "pilot {} ({:.2}x fused)",
+            p.pipeline,
+            p.fused_steps_per_sec / p.unfused_steps_per_sec
+        );
+        match old_fp.get(&p.pipeline) {
+            None => report.push_str(&format!(
+                "  new   {label}: {:.2} steps/sec (no old measurement)\n",
+                p.fused_steps_per_sec
+            )),
+            Some(o) => {
+                let delta_pct =
+                    (p.fused_steps_per_sec - o.fused_steps_per_sec) / o.fused_steps_per_sec * 100.0;
+                let verdict = if delta_pct < -fail_over_pct && !machine_mismatch {
+                    regressions.push(format!("{label}: {delta_pct:+.1}%"));
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                report.push_str(&format!(
+                    "  {verdict:>5} {label}: {:.2} -> {:.2} steps/sec ({delta_pct:+.1}%)\n",
+                    o.fused_steps_per_sec, p.fused_steps_per_sec
                 ));
             }
         }
@@ -855,6 +1019,68 @@ mod tests {
         let d = diff_bench(&old, &bad, 25.0);
         assert_eq!(d.regressions.len(), 1);
         assert!(d.regressions[0].contains("int8 ResNet18"), "{}", d.report);
+    }
+
+    /// v3 artifact with the optional PR-10 fusion sections attached.
+    fn sample_v3_fusion(fused_gbs: f64, fused_sps: f64) -> String {
+        let base = sample_v3(660.0, 36.0);
+        let fusion = format!(
+            r#"  "ew_chains": [
+    {{"chain": "bn_add3_relu_q8", "elems": 4194304, "groups": 5, "iters": 3,
+      "fused_gbs": {fused_gbs}, "unfused_gbs": 10.0, "speedup": 1.5}}
+  ],
+  "fusion_pilots": [
+    {{"pipeline": "CqA", "steps": 2, "fused_steps_per_sec": {fused_sps},
+      "unfused_steps_per_sec": 1.0}}
+  ],
+  "pilot""#
+        );
+        base.replace("  \"pilot\"", &fusion)
+    }
+
+    #[test]
+    fn parse_bench_validates_optional_fusion_sections() {
+        let report = parse_bench(&sample_v3_fusion(15.0, 1.2)).expect("valid report");
+        assert_eq!(report.ew_chains.len(), 1);
+        assert_eq!(report.ew_chains[0].groups, 5);
+        assert!((report.ew_chains[0].speedup() - 1.5).abs() < 1e-9);
+        assert_eq!(report.fusion_pilots.len(), 1);
+        assert_eq!(report.fusion_pilots[0].pipeline, "CqA");
+
+        // Sections are optional: the plain v3 sample still parses with
+        // empty vectors.
+        let plain = parse_bench(&sample_v3(660.0, 36.0)).expect("plain v3");
+        assert!(plain.ew_chains.is_empty() && plain.fusion_pilots.is_empty());
+
+        // But when present, entries must be well-formed and positive.
+        assert!(parse_bench(&sample_v3_fusion(-1.0, 1.2))
+            .unwrap_err()
+            .contains("throughput"));
+        assert!(parse_bench(&sample_v3_fusion(15.0, 0.0))
+            .unwrap_err()
+            .contains("throughput"));
+        let bad_groups = sample_v3_fusion(15.0, 1.2).replace("\"groups\": 5", "\"groups\": 0");
+        assert!(parse_bench(&bad_groups).unwrap_err().contains("groups"));
+    }
+
+    #[test]
+    fn diff_gates_fused_chain_and_pilot_throughput() {
+        let old = parse_bench(&sample_v3_fusion(15.0, 1.2)).unwrap();
+        let ok = parse_bench(&sample_v3_fusion(13.0, 1.1)).unwrap(); // within 25%
+        let bad = parse_bench(&sample_v3_fusion(7.0, 0.5)).unwrap(); // both > -50%
+        assert!(diff_bench(&old, &ok, 25.0).regressions.is_empty());
+        let d = diff_bench(&old, &bad, 25.0);
+        assert_eq!(d.regressions.len(), 2, "{}", d.report);
+        assert!(d
+            .regressions
+            .iter()
+            .any(|r| r.contains("ew bn_add3_relu_q8")));
+        assert!(d.regressions.iter().any(|r| r.contains("pilot CqA")));
+        // New-only sections (old artifact predates PR 10) report, never gate.
+        let pre = parse_bench(&sample_v3(660.0, 36.0)).unwrap();
+        let d = diff_bench(&pre, &bad, 25.0);
+        assert!(d.regressions.is_empty());
+        assert!(d.report.contains("no old measurement"), "{}", d.report);
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub mod record;
 pub mod timeline;
 pub mod tree;
 
-pub use analyze::{check, diff, summarize, CheckResult, DiffResult};
-pub use bench::{diff_bench, parse_bench, BenchDiff, BenchReport};
+pub use analyze::{check, diff, diff_with_exemptions, summarize, CheckResult, DiffResult};
+pub use bench::{diff_bench, parse_bench, BenchDiff, BenchReport, EwChainPoint, FusionPilotPoint};
 pub use record::{merge, parse_trace, render_trace, ParseError, Record};
 pub use timeline::{export_chrome_trace, profile, ProfileResult};
 pub use tree::{build_span_tree, render_span_tree, SpanNode};

@@ -3,13 +3,18 @@
 //! ```text
 //! cq-trace summarize <trace.jsonl>
 //! cq-trace check <trace.jsonl>
-//! cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]
+//! cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>] [--exempt-prefix <p>]...
 //! cq-trace merge <out.jsonl> <seg1.jsonl> <seg2.jsonl> [...]
 //! cq-trace bench-check <bench.json>
 //! cq-trace bench-diff <old.json> <new.json> [--fail-over <pct>] [--report-only]
 //! cq-trace timeline <trace.jsonl> [--out <trace.json>]
 //! cq-trace profile <trace.jsonl> [--require-pool]
 //! ```
+//!
+//! `diff --exempt-prefix <p>` (repeatable) reports but never gates any
+//! span/counter/metric/histogram whose name starts with `<p>` — used by
+//! the fusion-matrix CI lane to diff `CQ_FUSION=on` vs `off` traces,
+//! where the `graph.`/`fusion.` chain accounting legitimately differs.
 //!
 //! `bench-check` validates a `cq-bench kernels` artifact against the
 //! `cq-bench-kernels/v1` schema. `bench-diff` gates new kernel
@@ -36,7 +41,7 @@ use cq_obs::health::Verdict;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cq-trace summarize <trace.jsonl>\n  cq-trace check <trace.jsonl>\n  cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>]\n  cq-trace merge <out.jsonl> <seg1.jsonl> <seg2.jsonl> [...]\n  cq-trace bench-check <bench.json>\n  cq-trace bench-diff <old.json> <new.json> [--fail-over <pct>] [--report-only]\n  cq-trace timeline <trace.jsonl> [--out <trace.json>]\n  cq-trace profile <trace.jsonl> [--require-pool]"
+        "usage:\n  cq-trace summarize <trace.jsonl>\n  cq-trace check <trace.jsonl>\n  cq-trace diff <a.jsonl> <b.jsonl> [--fail-over <pct>] [--min-ms <ms>] [--exempt-prefix <p>]...\n  cq-trace merge <out.jsonl> <seg1.jsonl> <seg2.jsonl> [...]\n  cq-trace bench-check <bench.json>\n  cq-trace bench-diff <old.json> <new.json> [--fail-over <pct>] [--report-only]\n  cq-trace timeline <trace.jsonl> [--out <trace.json>]\n  cq-trace profile <trace.jsonl> [--require-pool]"
     );
     ExitCode::from(2)
 }
@@ -96,12 +101,19 @@ fn main() -> ExitCode {
             let (path_a, path_b) = (&args[1], &args[2]);
             let mut fail_over = 30.0f64;
             let mut min_ms = 10.0f64;
+            let mut exempt_prefixes: Vec<String> = Vec::new();
             let mut rest = args[3..].iter();
             while let Some(flag) = rest.next() {
-                let value = rest.next().and_then(|v| v.parse::<f64>().ok());
-                match (flag.as_str(), value) {
-                    ("--fail-over", Some(v)) => fail_over = v,
-                    ("--min-ms", Some(v)) => min_ms = v,
+                match (flag.as_str(), rest.next()) {
+                    ("--fail-over", Some(v)) => match v.parse::<f64>() {
+                        Ok(v) => fail_over = v,
+                        Err(_) => return usage(),
+                    },
+                    ("--min-ms", Some(v)) => match v.parse::<f64>() {
+                        Ok(v) => min_ms = v,
+                        Err(_) => return usage(),
+                    },
+                    ("--exempt-prefix", Some(p)) => exempt_prefixes.push(p.clone()),
                     _ => return usage(),
                 }
             }
@@ -112,7 +124,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            let res = cq_trace::diff(&a, &b, fail_over, (min_ms * 1e6) as u64);
+            let res = cq_trace::diff_with_exemptions(
+                &a,
+                &b,
+                fail_over,
+                (min_ms * 1e6) as u64,
+                &exempt_prefixes,
+            );
             print!("{}", res.report);
             if res.regressions.is_empty() {
                 println!("cq-trace diff: PASS");
@@ -163,8 +181,22 @@ fn main() -> ExitCode {
             };
             match load_bench(path) {
                 Ok(report) => {
+                    let best_chain = report
+                        .ew_chains
+                        .iter()
+                        .map(cq_trace::EwChainPoint::speedup)
+                        .fold(0.0f64, f64::max);
+                    let fusion = if best_chain > 0.0 {
+                        format!(
+                            ", {} ew chains (best {:.2}x fused)",
+                            report.ew_chains.len(),
+                            best_chain
+                        )
+                    } else {
+                        String::new()
+                    };
                     println!(
-                        "cq-trace bench-check: PASS ({} grid points, machine {})",
+                        "cq-trace bench-check: PASS ({} grid points{fusion}, machine {})",
                         report.kernels.len(),
                         report.machine
                     );
